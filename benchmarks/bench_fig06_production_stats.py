@@ -1,0 +1,54 @@
+"""Figure 6: production statistics — per-database variance boxplots.
+
+Paper: storage size and QPS "differ from the median ... by more than nine
+orders of magnitude"; active real-time queries vary by "several hundred
+thousand times the median". We synthesize a heavy-tailed fleet and report
+the same normalized boxplot statistics.
+"""
+
+import math
+
+from benchmarks.conftest import print_table
+from repro.workloads import FleetConfig, synthesize_fleet
+
+
+def test_fig06_production_stats(benchmark):
+    stats = benchmark.pedantic(
+        lambda: synthesize_fleet(FleetConfig(databases=100_000, seed=2023)),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for name, metric in stats.items():
+        normalized = metric.normalized()
+        rows.append(
+            (
+                name,
+                f"1e{math.log10(normalized.minimum):+.1f}",
+                f"1e{math.log10(normalized.p25):+.1f}",
+                "1.0",
+                f"1e{math.log10(normalized.p75):+.1f}",
+                f"1e{math.log10(normalized.p99):+.1f}",
+                f"1e{math.log10(normalized.maximum):+.1f}",
+                f"{normalized.orders_of_magnitude:.1f}",
+            )
+        )
+    print_table(
+        "Fig 6: per-database variance, normalized to median",
+        ["metric", "min", "p25", "median", "p75", "p99", "max", "decades"],
+        rows,
+    )
+
+    storage = stats["storage_bytes"].normalized()
+    qps = stats["qps"].normalized()
+    realtime = stats["active_realtime_queries"].normalized()
+    # paper: storage and QPS extremes exceed nine orders of magnitude
+    # from the median (we check the max side, as the figure shows)
+    assert math.log10(storage.maximum) >= 8.0
+    assert math.log10(qps.maximum) >= 8.0
+    # active real-time queries: "several hundred thousand times the median"
+    assert realtime.maximum >= 1e5
+    # all three are heavy-tailed: p99 far above p75
+    for metric in (storage, qps, realtime):
+        assert metric.p99 > 10 * metric.p75

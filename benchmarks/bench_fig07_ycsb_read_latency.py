@@ -1,0 +1,54 @@
+"""Figure 7: YCSB read latency (p50/p99) vs target QPS, workloads A & B.
+
+Paper shapes: p50 read latency roughly constant across throughput levels
+for both workloads; p99 grows at higher QPS, more on write-heavy workload
+A; p99 improves in the second half of the run as auto-scaling catches up
+with YCSB's rapid ramp.
+"""
+
+from benchmarks.conftest import ms, print_table
+
+
+def test_fig07_ycsb_read_latency(benchmark, ycsb_matrix):
+    qps_levels, results = benchmark.pedantic(
+        lambda: ycsb_matrix, rounds=1, iterations=1
+    )
+
+    rows = []
+    for workload in ("A", "B"):
+        for qps in qps_levels:
+            r = results[(workload, qps)]
+            rows.append(
+                (
+                    workload,
+                    qps,
+                    ms(r.read_p50_us),
+                    ms(r.read_p99_us),
+                    ms(r.read_p99_first_half_us),
+                    ms(r.read_p99_second_half_us),
+                )
+            )
+    print_table(
+        "Fig 7: YCSB read latency vs target QPS",
+        ["workload", "qps", "p50", "p99", "p99 (1st half)", "p99 (2nd half)"],
+        rows,
+    )
+
+    for workload in ("A", "B"):
+        p50s = [results[(workload, q)].read_p50_us for q in qps_levels]
+        # p50 stays roughly constant across an 8x throughput range
+        assert max(p50s) < 3 * min(p50s), f"workload {workload} p50 not flat"
+
+    # p99 grows with QPS on the write-heavy workload A
+    a_p99 = [results[("A", q)].read_p99_us for q in qps_levels]
+    assert a_p99[-1] > a_p99[0]
+
+    # and auto-scaling brings the high-QPS p99 back down within the run
+    hot = results[("A", qps_levels[-1])]
+    assert hot.read_p99_second_half_us <= hot.read_p99_first_half_us
+
+    # workload A (more writes) sees worse tails than workload B
+    assert (
+        results[("A", qps_levels[-1])].read_p99_us
+        >= results[("B", qps_levels[-1])].read_p99_us
+    )

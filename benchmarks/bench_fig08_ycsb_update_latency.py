@@ -1,0 +1,50 @@
+"""Figure 8: YCSB update latency (p50/p99) vs target QPS, workloads A & B.
+
+Paper shapes: update p50 roughly constant; updates slower than reads
+(multi-region commit quorum); p99 inflation at high QPS concentrated on
+the write-heavy workload A, recovering as auto-scaling reacts.
+"""
+
+from benchmarks.conftest import ms, print_table
+
+
+def test_fig08_ycsb_update_latency(benchmark, ycsb_matrix):
+    qps_levels, results = benchmark.pedantic(
+        lambda: ycsb_matrix, rounds=1, iterations=1
+    )
+
+    rows = []
+    for workload in ("A", "B"):
+        for qps in qps_levels:
+            r = results[(workload, qps)]
+            rows.append(
+                (
+                    workload,
+                    qps,
+                    ms(r.update_p50_us),
+                    ms(r.update_p99_us),
+                    ms(r.update_p99_first_half_us),
+                    ms(r.update_p99_second_half_us),
+                )
+            )
+    print_table(
+        "Fig 8: YCSB update latency vs target QPS",
+        ["workload", "qps", "p50", "p99", "p99 (1st half)", "p99 (2nd half)"],
+        rows,
+    )
+
+    for workload in ("A", "B"):
+        for qps in qps_levels:
+            r = results[(workload, qps)]
+            # writes are more demanding than reads at every level
+            assert r.update_p50_us > r.read_p50_us
+
+        p50s = [results[(workload, q)].update_p50_us for q in qps_levels]
+        assert max(p50s) < 3 * min(p50s), f"workload {workload} update p50 not flat"
+
+    # tail inflation at high QPS is mainly a workload-A phenomenon
+    a_hot = results[("A", qps_levels[-1])]
+    b_hot = results[("B", qps_levels[-1])]
+    assert a_hot.update_p99_us >= b_hot.update_p99_us
+    # auto-scaling recovery within the run
+    assert a_hot.update_p99_second_half_us <= a_hot.update_p99_first_half_us

@@ -1,0 +1,49 @@
+"""Figure 9: notification latency vs number of Listen connections.
+
+Paper setup: one write per second to a single document while an
+exponentially increasing number of clients hold a real-time query over
+it. Shape: "notification latency remains relatively stable even with an
+exponential increase in the number of Listen connections" because the
+Frontend pool auto-scales with connection count, independently of the
+rest of the system.
+"""
+
+from benchmarks.conftest import ms, print_table
+from repro.workloads import FanoutConfig, run_fanout_experiment
+
+
+def test_fig09_notification_fanout(benchmark):
+    config = FanoutConfig(
+        listener_counts=(1, 10, 100, 1_000, 10_000, 100_000),
+        writes_per_level=45,
+        seed=7,
+    )
+    results = benchmark.pedantic(
+        lambda: run_fanout_experiment(config), rounds=1, iterations=1
+    )
+
+    print_table(
+        "Fig 9: notification latency vs Listen connections",
+        ["listeners", "p50", "p99", "frontend tasks"],
+        [
+            (r.listeners, ms(r.notify_p50_us), ms(r.notify_p99_us), r.frontend_tasks_at_end)
+            for r in results
+        ],
+    )
+
+    by_listeners = {r.listeners: r for r in results}
+    # stability in the scaled regime: 100x more listeners (1k -> 100k),
+    # same notification latency (within 3x)
+    assert (
+        by_listeners[100_000].notify_p50_us < 3 * by_listeners[1_000].notify_p50_us
+    )
+    # total growth across five orders of magnitude of listeners stays
+    # bounded (the paper's y-axis barely moves)
+    assert by_listeners[100_000].notify_p50_us < 100_000 * 0.01 * max(
+        1, by_listeners[1].notify_p50_us
+    )
+    # the stability is *because* the Frontend pool scaled
+    assert (
+        by_listeners[100_000].frontend_tasks_at_end
+        > 50 * by_listeners[100].frontend_tasks_at_end
+    )

@@ -1,0 +1,105 @@
+"""Figure 10: commit latency vs document size and vs indexed-field count.
+
+Paper setup (section V-B2): 10 QPS of single-document commits; first
+experiment sweeps a single field from 10KB to ~1MiB; second sweeps 1 to
+500 numeric fields ("a linear increase in the number of index entries
+written per commit"); the database is pre-initialized so commits span
+multiple tablets.
+
+These sweeps run real commits on the functional database: index-entry
+counts and 2PC participant counts are measured, not assumed.
+
+Includes the exemption ablation the paper offers as mitigation: excluding
+fields from automatic indexing flattens the field-count curve.
+"""
+
+from benchmarks.conftest import ms, print_table
+from repro.workloads import run_doc_size_sweep, run_field_count_sweep
+
+
+def test_fig10a_document_size(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_doc_size_sweep(
+            sizes_kb=(10, 50, 100, 250, 500, 1000),
+            commits_per_size=40,
+            seed_docs=150,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Fig 10a: commit latency vs document size",
+        ["size (KB)", "p50", "p99", "index entries", "2PC participants"],
+        [
+            (
+                r.parameter,
+                ms(r.commit_p50_us),
+                ms(r.commit_p99_us),
+                f"{r.index_entries_per_commit:.0f}",
+                f"{r.participants_per_commit:.1f}",
+            )
+            for r in results
+        ],
+    )
+    by_size = {r.parameter: r for r in results}
+    # latency grows with document size ...
+    assert by_size[1000].commit_p50_us > by_size[10].commit_p50_us
+    # ... roughly linearly: 100x the size costs well under 100x the time
+    # (the quorum floor dominates small commits)
+    assert by_size[1000].commit_p50_us < 20 * by_size[10].commit_p50_us
+    # a single scalar field means a constant 2 automatic index entries
+    assert all(r.index_entries_per_commit == 2 for r in results)
+
+
+def test_fig10b_indexed_field_count(benchmark):
+    def run():
+        indexed = run_field_count_sweep(
+            field_counts=(1, 10, 50, 100, 250, 500),
+            commits_per_count=40,
+            seed_docs=150,
+        )
+        exempted = run_field_count_sweep(
+            field_counts=(500,),
+            commits_per_count=40,
+            seed_docs=150,
+            exempt_fields=True,
+        )
+        return indexed, exempted
+
+    indexed, exempted = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (
+            r.parameter,
+            ms(r.commit_p50_us),
+            ms(r.commit_p99_us),
+            f"{r.index_entries_per_commit:.0f}",
+            f"{r.participants_per_commit:.1f}",
+        )
+        for r in indexed
+    ]
+    rows.append(
+        (
+            "500 (exempt)",
+            ms(exempted[0].commit_p50_us),
+            ms(exempted[0].commit_p99_us),
+            f"{exempted[0].index_entries_per_commit:.0f}",
+            f"{exempted[0].participants_per_commit:.1f}",
+        )
+    )
+    print_table(
+        "Fig 10b: commit latency vs indexed field count (+ exemption ablation)",
+        ["fields", "p50", "p99", "index entries", "2PC participants"],
+        rows,
+    )
+
+    by_count = {r.parameter: r for r in indexed}
+    # index entries grow linearly with field count (asc + desc per field)
+    assert by_count[500].index_entries_per_commit == 1000
+    assert by_count[1].index_entries_per_commit == 2
+    # more entries -> more tablets in the 2PC -> higher latency
+    assert by_count[500].participants_per_commit > by_count[1].participants_per_commit
+    assert by_count[500].commit_p50_us > 2 * by_count[1].commit_p50_us
+    # the exemption ablation flattens the curve back down
+    assert exempted[0].index_entries_per_commit == 0
+    assert exempted[0].commit_p50_us < by_count[500].commit_p50_us

@@ -1,0 +1,61 @@
+"""Regional vs multi-regional write latency (paper section IV-D2).
+
+"Network latency between replicas is higher for a multi-regional
+deployment, and Spanner needs a quorum of replicas to agree before
+committing a write, leading to higher Firestore write latency in
+multi-regional deployments than in regional ones." Reads pay less of the
+difference (a single leader round vs a full commit quorum).
+"""
+
+from benchmarks.conftest import ms, print_table
+from repro.service.cluster import ClusterConfig, ServingCluster
+from repro.service.metrics import LatencyRecorder
+from repro.service.rpc import RpcKind
+
+
+def _measure(multi_region: bool) -> tuple[LatencyRecorder, LatencyRecorder]:
+    cluster = ServingCluster(
+        config=ClusterConfig(
+            multi_region=multi_region,
+            autoscale_frontend=False,
+            autoscale_backend=False,
+            backend_tasks=8,
+        )
+    )
+    reads = LatencyRecorder("reads")
+    writes = LatencyRecorder("writes")
+    kernel = cluster.kernel
+
+    def tick(count=[0]):
+        if count[0] >= 2000:
+            return
+        count[0] += 1
+        cluster.submit("db", RpcKind.GET, reads.record)
+        cluster.submit("db", RpcKind.COMMIT, writes.record, commit_participants=2)
+        kernel.after(5_000, lambda: tick(count))
+
+    kernel.at(0, tick)
+    kernel.run_for(60_000_000)
+    return reads, writes
+
+
+def test_regional_vs_multiregional(benchmark):
+    (r_reads, r_writes), (m_reads, m_writes) = benchmark.pedantic(
+        lambda: (_measure(False), _measure(True)), rounds=1, iterations=1
+    )
+    print_table(
+        "Write latency: regional vs multi-regional (nam5-style)",
+        ["deployment", "read p50", "read p99", "commit p50", "commit p99"],
+        [
+            ("regional", ms(r_reads.p50), ms(r_reads.p99),
+             ms(r_writes.p50), ms(r_writes.p99)),
+            ("multi-region", ms(m_reads.p50), ms(m_reads.p99),
+             ms(m_writes.p50), ms(m_writes.p99)),
+        ],
+    )
+    # the paper's claim: multi-regional writes are substantially slower
+    assert m_writes.p50 > 3 * r_writes.p50
+    # and the penalty is write-skewed: reads pay proportionally less
+    write_ratio = m_writes.p50 / r_writes.p50
+    read_ratio = m_reads.p50 / r_reads.p50
+    assert write_ratio > read_ratio

@@ -1,0 +1,57 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's evaluation
+(section V): it runs the corresponding workload, prints the same
+rows/series the paper plots, asserts the qualitative *shape* (who wins,
+by roughly what factor, where the knees are), and reports the simulation
+through pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` gives
+a timing inventory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render one paper-style table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def ms(us: int | float) -> str:
+    """Microseconds -> milliseconds string for table cells."""
+    return f"{us / 1000:.2f}ms"
+
+
+@pytest.fixture(scope="session")
+def ycsb_matrix():
+    """Figures 7 and 8 come from the same YCSB runs; do them once.
+
+    Workloads A (50/50) and B (95/5), uniform keys, 900-byte documents,
+    multiple target QPS levels — scaled to 2 minutes per cell (the paper
+    uses 10) with the last half measured.
+    """
+    from repro.workloads import YcsbConfig, YcsbRunner
+
+    qps_levels = (250, 500, 1000, 2000)
+    results = {}
+    for workload in ("A", "B"):
+        for qps in qps_levels:
+            config = YcsbConfig(
+                workload=workload,
+                target_qps=qps,
+                duration_s=120,
+                measure_last_s=60,
+                seed=42,
+            )
+            results[(workload, qps)] = YcsbRunner(config).run()
+    return qps_levels, results

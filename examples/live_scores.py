@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Live sports scores: one writer, many real-time listeners.
+
+The paper's fan-out scenario (section V-B1): "end users running an
+application that displays sporting-event scores receive a query update due
+to a team scoring" — a single document write broadcast to every connected
+device, with consistent snapshots on each.
+
+Run:  python examples/live_scores.py
+"""
+
+from repro import FirestoreService, set_op, update_op
+from repro.client import MobileClient
+
+
+def main() -> None:
+    service = FirestoreService(region="nam5")
+    db = service.create_database("sports-app")
+
+    db.commit(
+        [
+            set_op("games/finals", {"home": "Sharks", "away": "Owls",
+                                    "homeScore": 0, "awayScore": 0, "live": True}),
+            set_op("games/friendly", {"home": "Cats", "away": "Dogs",
+                                      "homeScore": 0, "awayScore": 0, "live": False}),
+        ]
+    )
+
+    # A small crowd of fan devices, each with a live-games listener.
+    fans = [MobileClient(db) for _ in range(5)]
+    received: dict[int, list] = {i: [] for i in range(len(fans))}
+    for i, fan in enumerate(fans):
+        fan.on_snapshot(
+            fan.query("games").where("live", "==", True),
+            received[i].append,
+        )
+
+    def broadcast(description: str) -> None:
+        service.clock.advance(100_000)
+        db.pump_realtime()
+        views = [received[i][-1] for i in range(len(fans))]
+        scores = {
+            doc.path.id: f"{doc.data['homeScore']}-{doc.data['awayScore']}"
+            for doc in views[0].documents
+        }
+        agree = all(
+            [d.data for d in view.documents] == [d.data for d in views[0].documents]
+            for view in views
+        )
+        print(f"{description}: {scores}  "
+              f"(all {len(fans)} fans consistent: {agree})")
+
+    print(f"{len(fans)} fans connected, {db.realtime.active_queries} active queries")
+    broadcast("kickoff")
+
+    db.commit([update_op("games/finals", {"homeScore": 1})])
+    broadcast("Sharks score")
+
+    db.commit([update_op("games/finals", {"awayScore": 1})])
+    db.commit([update_op("games/finals", {"awayScore": 2})])
+    broadcast("Owls rally (two writes, one consistent snapshot)")
+
+    # the friendly goes live: it *enters* every fan's result set
+    db.commit([update_op("games/friendly", {"live": True})])
+    broadcast("friendly goes live")
+
+    # a fan's device loses connectivity mid-game
+    offline_fan = fans[0]
+    offline_fan.disconnect()
+    db.commit([update_op("games/finals", {"homeScore": 2})])
+    service.clock.advance(100_000)
+    db.pump_realtime()
+    stale = received[0][-1].documents[0].data["homeScore"]
+    live = received[1][-1].documents[0].data["homeScore"]
+    print(f"offline fan sees stale score {stale}, online fans see {live}")
+
+    offline_fan.connect()
+    service.clock.advance(100_000)
+    db.pump_realtime()
+    caught_up = received[0][-1].documents[0].data["homeScore"]
+    print(f"after reconnect the offline fan caught up: {caught_up}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""A note-taking app that works on the subway: disconnected operation.
+
+Exercises the paper's section IV-E machinery end to end: the local cache,
+immediate local acknowledgement of mutations, queries served offline,
+persistence across app restarts, reconnection reconciliation, and
+last-update-wins conflict resolution between two devices.
+
+Run:  python examples/offline_notes.py
+"""
+
+from repro import FirestoreService
+from repro.client import InMemoryPersistence, MobileClient
+from repro.core.values import SERVER_TIMESTAMP
+
+
+def show(view, label: str) -> None:
+    flags = []
+    if view.from_cache:
+        flags.append("from-cache")
+    if view.has_pending_writes:
+        flags.append("pending-writes")
+    note_list = ", ".join(d.data["title"] for d in view.documents) or "(none)"
+    print(f"{label}: [{note_list}] {' '.join(flags)}")
+
+
+def main() -> None:
+    service = FirestoreService(region="nam5")
+    db = service.create_database("notes-app")
+    disk = InMemoryPersistence()  # the phone's storage
+
+    phone = MobileClient(db, persistence=disk)
+    views = []
+    phone.on_snapshot(
+        phone.query("notes").order_by("createdAt"), views.append
+    )
+
+    print("== online: notes sync immediately ==")
+    phone.set("notes/groceries", {"title": "Groceries", "body": "milk, eggs",
+                                  "createdAt": SERVER_TIMESTAMP})
+    show(views[-1], "phone view")
+    print(f"server has it too: {db.lookup('notes/groceries').exists}")
+
+    print("\n== the subway: offline edits are acknowledged locally ==")
+    service.clock.advance_seconds(60)  # time passes on the ride
+    phone.disconnect()
+    phone.set("notes/ideas", {"title": "Ideas", "body": "firestore clone?",
+                              "createdAt": SERVER_TIMESTAMP})
+    phone.update("notes/groceries", {"body": "milk, eggs, coffee"})
+    show(views[-1], "phone view")
+    print(f"pending writes queued: {phone.pending_writes}; "
+          f"server still unaware: {not db.lookup('notes/ideas').exists}")
+
+    print("\n== the app restarts underground: persistence warms the cache ==")
+    phone.persist()
+    restarted = MobileClient(db, persistence=disk, start_online=False)
+    offline_view = restarted.get_query(restarted.query("notes").order_by("createdAt"))
+    show(offline_view, "restarted phone (still offline)")
+    print(f"restored pending writes: {restarted.pending_writes}")
+
+    print("\n== meanwhile, the user's laptop edits the same note ==")
+    laptop = MobileClient(db)
+    laptop.update("notes/groceries", {"body": "EDITED ON LAPTOP"})
+
+    print("\n== back above ground: reconnect, flush, reconcile ==")
+    restarted.connect()
+    service.clock.advance(100_000)
+    db.pump_realtime()
+    groceries = db.lookup("notes/groceries").data
+    print(f"server now has {db.document_count()} notes")
+    print(f"groceries body (last update wins): {groceries['body']!r}")
+    assert db.lookup("notes/ideas").exists
+
+    print("\n== laptop sees the phone's offline work via its listener ==")
+    laptop_views = []
+    laptop.on_snapshot(laptop.query("notes").order_by("createdAt"), laptop_views.append)
+    show(laptop_views[-1], "laptop view")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""The Firestore Web Codelab app: restaurant recommendations with reviews.
+
+The paper's running example (sections III and V-D): "a functional
+serverless restaurant recommendation web application, which lets users see
+a list of restaurants with filtering and sorting, and view and add
+reviews". This version is end-to-end: security rules from Figure 3,
+third-party clients authenticated as end users, composite indexes for the
+filtered+sorted views, a transaction that maintains the rating aggregates,
+and a real-time listener driving the "UI".
+
+Run:  python examples/restaurant_reviews.py
+"""
+
+from repro import AuthContext, FirestoreService, set_op
+from repro.client import MobileClient
+
+RULES = """
+service cloud.firestore {
+  match /databases/{database}/documents {
+    match /restaurants/{restaurantId} {
+      allow read: if true;
+      // the codelab lets signed-in users update the rating aggregates
+      allow update: if request.auth != null;
+      match /ratings/{ratingId} {
+        allow read: if request.auth != null;
+        allow create: if request.auth != null
+                      && request.resource.data.userId == request.auth.uid;
+      }
+    }
+  }
+}
+"""
+
+SAMPLE_RESTAURANTS = [
+    ("burger-palace", {"name": "Burger Palace", "city": "SF", "type": "BBQ",
+                       "avgRating": 0.0, "numRatings": 0}),
+    ("noodle-hut", {"name": "Noodle Hut", "city": "SF", "type": "Noodles",
+                    "avgRating": 0.0, "numRatings": 0}),
+    ("ny-grill", {"name": "NY Grill", "city": "New York", "type": "BBQ",
+                  "avgRating": 0.0, "numRatings": 0}),
+]
+
+
+def add_review(db, restaurant_id: str, user: AuthContext, rating: int, text: str) -> None:
+    """The section IV-D2 write: one transaction inserts the rating and
+    updates the parent's aggregates (executed with the user's auth, so
+    the Figure 3 rules authorize the create)."""
+
+    def txn(tx):
+        snap = tx.get(f"restaurants/{restaurant_id}")
+        count = snap.data["numRatings"]
+        new_avg = (snap.data["avgRating"] * count + rating) / (count + 1)
+        tx.create(
+            f"restaurants/{restaurant_id}/ratings/{user.uid}-{count}",
+            {"rating": rating, "text": text, "userId": user.uid},
+        )
+        tx.update(
+            f"restaurants/{restaurant_id}",
+            {"avgRating": new_avg, "numRatings": count + 1},
+        )
+
+    from repro.core.transaction import run_transaction
+
+    run_transaction(db.backend, txn, auth=user)
+
+
+def main() -> None:
+    service = FirestoreService(region="nam5")
+    db = service.create_database("friendly-eats")
+    db.set_rules(RULES)
+
+    # The developer seeds data with the (privileged) Server SDK.
+    db.commit([set_op(f"restaurants/{rid}", data) for rid, data in SAMPLE_RESTAURANTS])
+
+    # Composite index for the filtered + sorted view the UI needs.
+    db.create_index("restaurants", [("city", "asc"), ("avgRating", "desc")])
+
+    # An end-user device: the Mobile/Web SDK authenticated as "alice".
+    alice = MobileClient(db, auth=AuthContext(uid="alice"))
+
+    # The main UI is a real-time query (onSnapshot in the Codelab).
+    def render(view):
+        print("  -- top SF restaurants --")
+        for doc in view.documents:
+            data = doc.data
+            print(f"  {data['name']:15s} {data['avgRating']:.1f}* "
+                  f"({data['numRatings']} ratings)")
+
+    alice.on_snapshot(
+        alice.query("restaurants")
+        .where("city", "==", "SF")
+        .order_by("avgRating", "desc"),
+        render,
+    )
+
+    print("alice adds reviews:")
+    add_review(db, "burger-palace", alice.auth, 5, "Best burgers in town!")
+    add_review(db, "noodle-hut", alice.auth, 4, "Solid noodles.")
+    service.clock.advance(100_000)
+    db.pump_realtime()
+
+    print("bob reviews too:")
+    bob = AuthContext(uid="bob")
+    add_review(db, "burger-palace", bob, 4, "Pretty good")
+    service.clock.advance(100_000)
+    db.pump_realtime()
+
+    # Security rules stop spoofed reviews cold.
+    from repro.errors import PermissionDenied
+
+    try:
+        db.commit(
+            [set_op("restaurants/burger-palace/ratings/spoof",
+                    {"rating": 1, "userId": "bob"})],
+            auth=alice.auth,
+        )
+    except PermissionDenied:
+        print("spoofed review rejected by security rules (as in Fig. 3)")
+
+    reviews = db.run_query(
+        db.query("restaurants/burger-palace/ratings"), auth=alice.auth
+    )
+    print(f"burger-palace has {len(reviews.documents)} reviews:")
+    for doc in reviews.documents:
+        print(f"  {doc.data['userId']}: {doc.data['rating']}* {doc.data['text']}")
+
+
+if __name__ == "__main__":
+    main()

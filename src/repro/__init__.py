@@ -1,0 +1,77 @@
+"""repro: a from-scratch reproduction of Firestore (ICDE 2023).
+
+A schemaless, serverless NoSQL document database with strongly-consistent
+real-time queries, built on a simulated Spanner substrate, with the
+Firebase-style client SDK (disconnected operation included), security
+rules, and the multi-tenant serving simulation used to regenerate the
+paper's evaluation figures.
+
+Quickstart::
+
+    from repro import FirestoreService, set_op
+
+    service = FirestoreService(region="nam5")
+    db = service.create_database("my-app")
+    db.commit([set_op("restaurants/one", {"name": "Burger Palace"})])
+    snapshot = db.lookup("restaurants/one")
+    assert snapshot.data["name"] == "Burger Palace"
+"""
+
+from repro.core import (
+    SERVER_TIMESTAMP,
+    array_remove,
+    array_union,
+    increment,
+    parse_gql,
+    AuthContext,
+    Document,
+    DocumentSnapshot,
+    FirestoreDatabase,
+    FirestoreService,
+    GeoPoint,
+    IndexField,
+    Operator,
+    Path,
+    Precondition,
+    Query,
+    Reference,
+    Timestamp,
+    TransactionContext,
+    TriggerEvent,
+    WriteOp,
+    create_op,
+    delete_op,
+    set_op,
+    update_op,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SERVER_TIMESTAMP",
+    "array_remove",
+    "array_union",
+    "increment",
+    "parse_gql",
+    "AuthContext",
+    "Document",
+    "DocumentSnapshot",
+    "FirestoreDatabase",
+    "FirestoreService",
+    "GeoPoint",
+    "IndexField",
+    "Operator",
+    "Path",
+    "Precondition",
+    "Query",
+    "Reference",
+    "Timestamp",
+    "TransactionContext",
+    "TriggerEvent",
+    "WriteOp",
+    "create_op",
+    "delete_op",
+    "set_op",
+    "update_op",
+    "__version__",
+]

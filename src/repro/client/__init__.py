@@ -1,0 +1,28 @@
+"""The Mobile/Web client SDK: disconnected operation included.
+
+"The Client (Mobile and Web) SDKs build a local cache of the documents
+accessed by the client ... Mutations to documents by the client are
+acknowledged immediately after updating the local cache; the updates are
+also flushed to the Firestore API asynchronously. ... A disconnected
+client can therefore continue to serve queries and updates using its
+local cache, and reconcile its local cache when it eventually reconnects"
+(paper section IV-E).
+"""
+
+from repro.client.local_cache import CachedDocument, LocalCache
+from repro.client.mutations import Mutation, MutationKind, MutationQueue
+from repro.client.view import ViewSnapshot
+from repro.client.persistence import FilePersistence, InMemoryPersistence
+from repro.client.client import MobileClient
+
+__all__ = [
+    "CachedDocument",
+    "LocalCache",
+    "Mutation",
+    "MutationKind",
+    "MutationQueue",
+    "ViewSnapshot",
+    "FilePersistence",
+    "InMemoryPersistence",
+    "MobileClient",
+]

@@ -1,0 +1,180 @@
+"""The pending mutation queue and latency-compensation overlay.
+
+Local writes are "acknowledged immediately after updating the local
+cache; the updates are also flushed to the Firestore API asynchronously"
+(paper section IV-E). Until flushed, every query view overlays the
+pending mutations on top of the last server state, so the user sees their
+own writes instantly. Blind writes use a "last update wins" model
+(section III-E), which the flush preserves by replaying mutations in
+order.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.document import deep_copy_data
+from repro.core.path import Path
+from repro.core.values import (
+    SERVER_TIMESTAMP,
+    FieldTransform,
+    Timestamp,
+    apply_transform,
+    delete_field,
+    get_field,
+    set_field,
+)
+
+
+class MutationKind(enum.Enum):
+    """The three blind write shapes the SDK queues."""
+    SET = "set"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One locally-buffered write."""
+
+    mutation_id: int
+    kind: MutationKind
+    path: Path
+    data: Optional[dict] = None
+    delete_fields: tuple[str, ...] = ()
+
+
+class MutationQueue:
+    """Ordered pending mutations with overlay application."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._queue: list[Mutation] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is pending."""
+        return not self._queue
+
+    def enqueue(
+        self,
+        kind: MutationKind,
+        path: Path,
+        data: Optional[dict] = None,
+        delete_fields: tuple[str, ...] = (),
+    ) -> Mutation:
+        """Append one mutation; returns it with its id assigned."""
+        mutation = Mutation(next(self._ids), kind, path, data, delete_fields)
+        self._queue.append(mutation)
+        return mutation
+
+    def drain(self) -> list[Mutation]:
+        """Remove and return every pending mutation (flush)."""
+        drained, self._queue = self._queue, []
+        return drained
+
+    def requeue_front(self, mutations: list[Mutation]) -> None:
+        """Put back mutations whose flush failed, preserving order."""
+        self._queue = mutations + self._queue
+
+    def pending_paths(self) -> set[Path]:
+        """The set of documents with pending mutations."""
+        return {m.path for m in self._queue}
+
+    def has_pending(self, path: Path) -> bool:
+        """Whether this document has pending mutations."""
+        return any(m.path == path for m in self._queue)
+
+    def mutations(self) -> list[Mutation]:
+        """A snapshot of the queue, in order."""
+        return list(self._queue)
+
+    # -- overlay -----------------------------------------------------------------
+
+    def overlay(
+        self,
+        path: Path,
+        server_data: Optional[dict],
+        local_now_us: int,
+    ) -> tuple[Optional[dict], bool]:
+        """Apply pending mutations for ``path`` over the server state.
+
+        Returns (effective_data, has_pending). SERVER_TIMESTAMP sentinels
+        become a local time estimate until the server value arrives.
+        """
+        data = deep_copy_data(server_data) if server_data is not None else None
+        pending = False
+        for mutation in self._queue:
+            if mutation.path != path:
+                continue
+            pending = True
+            data = _apply_mutation(mutation, data, local_now_us)
+        return data, pending
+
+
+def _apply_mutation(
+    mutation: Mutation, data: Optional[dict], local_now_us: int
+) -> Optional[dict]:
+    if mutation.kind is MutationKind.DELETE:
+        return None
+    if mutation.kind is MutationKind.SET:
+        assert mutation.data is not None
+        return _estimate_transforms(
+            deep_copy_data(mutation.data), data, local_now_us
+        )
+    # UPDATE on a missing document is a no-op locally (the server would
+    # reject it; last-update-wins keeps the local view consistent)
+    if data is None:
+        return None
+    assert mutation.data is not None
+    for dotted, value in _flatten(mutation.data):
+        if isinstance(value, FieldTransform):
+            _, base = get_field(data, dotted)
+            value = apply_transform(value, base)
+        elif value is SERVER_TIMESTAMP:
+            value = Timestamp(local_now_us)
+        set_field(data, dotted, value)
+    for dotted in mutation.delete_fields:
+        delete_field(data, dotted)
+    return data
+
+
+def _flatten(update_data: dict, prefix: str = ""):
+    for key, value in update_data.items():
+        dotted = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict) and value:
+            yield from _flatten(value, dotted)
+        else:
+            yield dotted, value
+
+
+def _estimate_transforms(data, old_data: Optional[dict], local_now_us: int):
+    """Locally estimate transforms: SERVER_TIMESTAMP becomes the device's
+    current time; increments/array ops resolve against the field's
+    previous (effective) value — mirroring the Backend's semantics so the
+    compensated view converges with the server result."""
+    estimate = Timestamp(local_now_us)
+    old = old_data if old_data is not None else {}
+
+    def walk(node, dotted: str):
+        if node is SERVER_TIMESTAMP:
+            return estimate
+        if isinstance(node, FieldTransform):
+            _, base = get_field(old, dotted) if dotted else (False, None)
+            return apply_transform(node, base)
+        if isinstance(node, dict):
+            return {
+                key: walk(value, f"{dotted}.{key}" if dotted else key)
+                for key, value in node.items()
+            }
+        if isinstance(node, list):
+            return [walk(item, dotted) for item in node]
+        return node
+
+    return walk(data, "")

@@ -1,0 +1,147 @@
+"""Optional local-cache persistence.
+
+"Based on their privacy preferences, an end user can choose to persist
+their local cache. This choice affects the behavior after a device is
+restarted; persistence provides a warm cache" (paper section IV-E).
+
+State (cached documents + the pending mutation queue) serializes through
+the same binary document format used for the Entities payload, so a
+"restart" restores exactly what the device knew — including unflushed
+offline writes.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path as FsPath
+from typing import Optional
+
+from repro.core.path import Path
+from repro.core.serialization import deserialize_document, serialize_document
+from repro.client.local_cache import LocalCache
+from repro.client.mutations import MutationKind, MutationQueue
+
+_MAGIC = b"FSRP\x01"
+
+
+def serialize_state(cache: LocalCache, queue: MutationQueue) -> bytes:
+    """Pack cache + mutation queue into one byte string."""
+    out = bytearray(_MAGIC)
+    docs = cache.all_documents()
+    out += struct.pack(">I", len(docs))
+    for doc in docs:
+        _write_str(out, str(doc.path))
+        out += struct.pack(">Q", doc.version_ts)
+        if doc.data is None:
+            out += struct.pack(">I", 0xFFFFFFFF)
+        else:
+            payload = serialize_document(doc.data)
+            out += struct.pack(">I", len(payload))
+            out += payload
+    mutations = queue.mutations()
+    out += struct.pack(">I", len(mutations))
+    for mutation in mutations:
+        _write_str(out, mutation.kind.value)
+        _write_str(out, str(mutation.path))
+        if mutation.data is None:
+            out += struct.pack(">I", 0xFFFFFFFF)
+        else:
+            payload = serialize_document(mutation.data)
+            out += struct.pack(">I", len(payload))
+            out += payload
+        out += struct.pack(">I", len(mutation.delete_fields))
+        for dotted in mutation.delete_fields:
+            _write_str(out, dotted)
+    return bytes(out)
+
+
+def deserialize_state(raw: bytes) -> tuple[LocalCache, MutationQueue]:
+    """Inverse of :func:`serialize_state`."""
+    if not raw.startswith(_MAGIC):
+        raise ValueError("not a persisted client state")
+    offset = len(_MAGIC)
+    cache = LocalCache()
+    (doc_count,) = struct.unpack_from(">I", raw, offset)
+    offset += 4
+    for _ in range(doc_count):
+        path_str, offset = _read_str(raw, offset)
+        (version_ts,) = struct.unpack_from(">Q", raw, offset)
+        offset += 8
+        (length,) = struct.unpack_from(">I", raw, offset)
+        offset += 4
+        if length == 0xFFFFFFFF:
+            data = None
+        else:
+            data = deserialize_document(raw[offset : offset + length])
+            offset += length
+        cache.record_document(Path.parse(path_str), data, version_ts)
+    queue = MutationQueue()
+    (mutation_count,) = struct.unpack_from(">I", raw, offset)
+    offset += 4
+    for _ in range(mutation_count):
+        kind_str, offset = _read_str(raw, offset)
+        path_str, offset = _read_str(raw, offset)
+        (length,) = struct.unpack_from(">I", raw, offset)
+        offset += 4
+        if length == 0xFFFFFFFF:
+            data = None
+        else:
+            data = deserialize_document(raw[offset : offset + length])
+            offset += length
+        (field_count,) = struct.unpack_from(">I", raw, offset)
+        offset += 4
+        delete_fields = []
+        for _ in range(field_count):
+            dotted, offset = _read_str(raw, offset)
+            delete_fields.append(dotted)
+        queue.enqueue(
+            MutationKind(kind_str),
+            Path.parse(path_str),
+            data,
+            tuple(delete_fields),
+        )
+    return cache, queue
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    out += struct.pack(">I", len(raw))
+    out += raw
+
+
+def _read_str(raw: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from(">I", raw, offset)
+    offset += 4
+    return raw[offset : offset + length].decode("utf-8"), offset + length
+
+
+class InMemoryPersistence:
+    """A fake 'disk' for tests and examples."""
+
+    def __init__(self) -> None:
+        self._blob: Optional[bytes] = None
+
+    def save(self, blob: bytes) -> None:
+        """Store the blob in memory."""
+        self._blob = blob
+
+    def load(self) -> Optional[bytes]:
+        """The last saved blob, or None."""
+        return self._blob
+
+
+class FilePersistence:
+    """Real on-disk persistence."""
+
+    def __init__(self, file_path: str | FsPath):
+        self.file_path = FsPath(file_path)
+
+    def save(self, blob: bytes) -> None:
+        """Write the blob to disk."""
+        self.file_path.write_bytes(blob)
+
+    def load(self) -> Optional[bytes]:
+        """Read the blob from disk, or None if absent."""
+        if not self.file_path.exists():
+            return None
+        return self.file_path.read_bytes()

@@ -1,0 +1,136 @@
+"""Query views: what a snapshot listener sees.
+
+A view combines (a) the last server-confirmed result of the query with
+(b) the pending-mutation overlay, producing the display state the paper
+describes: "it displays the initial state ..., automatically updates the
+display when some other user changes the state, ... automatically updates
+the display when this end-user updates the state ..., behaves reasonably
+when the end-user is disconnected (local updates are seen)" (section
+III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.path import Path
+from repro.core.query import NormalizedQuery, Query
+from repro.realtime.frontend import query_order_key
+from repro.realtime.matcher import document_matches_query
+
+
+@dataclass(frozen=True)
+class ViewDocument:
+    """One document in a view snapshot."""
+
+    path: Path
+    data: dict
+    has_pending_writes: bool
+
+
+@dataclass(frozen=True)
+class ViewSnapshot:
+    """What a snapshot listener receives."""
+
+    query: Query
+    documents: tuple[ViewDocument, ...]
+    #: True when served from the local cache (offline or not yet synced)
+    from_cache: bool
+    #: True when any shown document reflects an unflushed local write
+    has_pending_writes: bool
+    added: tuple[Path, ...] = ()
+    modified: tuple[Path, ...] = ()
+    removed: tuple[Path, ...] = ()
+
+    @property
+    def paths(self) -> list[Path]:
+        """The result documents' paths, in query order."""
+        return [doc.path for doc in self.documents]
+
+    def data_by_id(self) -> dict[str, dict]:
+        """Map of document id to data, for assertions and display."""
+        return {doc.path.id: doc.data for doc in self.documents}
+
+
+class QueryView:
+    """Maintains one listener's result set across server + local events."""
+
+    def __init__(self, normalized: NormalizedQuery):
+        self.normalized = normalized
+        #: last server-confirmed contents: path -> data
+        self.server_docs: dict[Path, dict] = {}
+        self.synced = False  # has a server snapshot ever arrived?
+        self._last_paths: Optional[dict[Path, dict]] = None
+
+    def apply_server_snapshot(self, documents: list) -> None:
+        """Replace server state from a (full) realtime snapshot."""
+        self.server_docs = {doc.path: doc.data for doc in documents}
+        self.synced = True
+
+    def compute(
+        self,
+        mutation_queue,
+        from_cache: bool,
+        local_now_us: int,
+        extra_docs: Optional[dict[Path, Optional[dict]]] = None,
+    ) -> ViewSnapshot:
+        """Build the visible snapshot: server state + local overlay.
+
+        ``extra_docs``: locally-cached documents outside the server
+        result set. They serve as overlay bases so offline mutations to
+        them are visible, and may enter the result via pending mutations.
+        """
+        extra_docs = extra_docs or {}
+        effective: dict[Path, tuple[dict, bool]] = {}
+        candidates = (
+            set(self.server_docs) | mutation_queue.pending_paths() | set(extra_docs)
+        )
+        for path in candidates:
+            server_data = self.server_docs.get(path)
+            if server_data is None:
+                server_data = extra_docs.get(path)
+            data, pending = mutation_queue.overlay(path, server_data, local_now_us)
+            if data is None:
+                continue
+            if not document_matches_query(self.normalized, path, data):
+                continue
+            effective[path] = (data, pending)
+
+        key = query_order_key(self.normalized)
+        ordered = sorted(
+            ((path, data) for path, (data, _) in effective.items()), key=key
+        )
+        query = self.normalized.query
+        if query.offset:
+            ordered = ordered[query.offset :]
+        if query.limit is not None:
+            ordered = ordered[: query.limit]
+
+        documents = tuple(
+            ViewDocument(path, data, effective[path][1]) for path, data in ordered
+        )
+        added, modified, removed = self._delta({p: d for p, d in ordered})
+        return ViewSnapshot(
+            query=query,
+            documents=documents,
+            from_cache=from_cache,
+            has_pending_writes=any(doc.has_pending_writes for doc in documents),
+            added=added,
+            modified=modified,
+            removed=removed,
+        )
+
+    def _delta(self, current: dict[Path, dict]):
+        previous = self._last_paths
+        self._last_paths = current
+        if previous is None:
+            return tuple(current), (), ()
+        added = tuple(path for path in current if path not in previous)
+        removed = tuple(path for path in previous if path not in current)
+        modified = tuple(
+            path
+            for path, data in current.items()
+            if path in previous and previous[path] != data
+        )
+        return added, modified, removed

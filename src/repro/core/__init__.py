@@ -1,0 +1,100 @@
+"""Firestore core: the paper's primary contribution.
+
+Data model (values, documents, hierarchical paths), order-preserving
+encoding, automatic + composite secondary indexes, the query engine
+(greedy planning, index scans, zig-zag joins), the Backend write protocol
+with its Real-time Cache two-phase commit, index backfill, triggers, and
+the multi-tenant Spanner layout.
+"""
+
+from repro.core.values import (
+    SERVER_TIMESTAMP,
+    FieldTransform,
+    GeoPoint,
+    Reference,
+    Timestamp,
+    array_remove,
+    array_union,
+    compare_values,
+    increment,
+    values_equal,
+)
+from repro.core.gql import parse_gql
+from repro.core.validation import DataValidator, ValidationReport
+from repro.core.ab_testing import ABReport, QueryABHarness
+from repro.core.path import Path, collection_path, document_path
+from repro.core.document import Document, DocumentSnapshot
+from repro.core.query import Cursor, Filter, Operator, Order, Query
+from repro.core.indexes import (
+    IndexDefinition,
+    IndexField,
+    IndexKind,
+    IndexMode,
+    IndexRegistry,
+    IndexState,
+)
+from repro.core.backend import (
+    AuthContext,
+    Backend,
+    Precondition,
+    WriteKind,
+    WriteOp,
+    create_op,
+    delete_op,
+    set_op,
+    update_op,
+)
+from repro.core.transaction import TransactionContext, run_transaction
+from repro.core.firestore import FirestoreDatabase, FirestoreService
+from repro.core.triggers import CloudFunctionsRuntime, TriggerEvent
+from repro.core.backfill import IndexBackfillService
+
+__all__ = [
+    "SERVER_TIMESTAMP",
+    "FieldTransform",
+    "array_remove",
+    "array_union",
+    "increment",
+    "parse_gql",
+    "DataValidator",
+    "ValidationReport",
+    "ABReport",
+    "QueryABHarness",
+    "GeoPoint",
+    "Reference",
+    "Timestamp",
+    "compare_values",
+    "values_equal",
+    "Path",
+    "collection_path",
+    "document_path",
+    "Document",
+    "DocumentSnapshot",
+    "Cursor",
+    "Filter",
+    "Operator",
+    "Order",
+    "Query",
+    "IndexDefinition",
+    "IndexField",
+    "IndexKind",
+    "IndexMode",
+    "IndexRegistry",
+    "IndexState",
+    "AuthContext",
+    "Backend",
+    "Precondition",
+    "WriteKind",
+    "WriteOp",
+    "create_op",
+    "delete_op",
+    "set_op",
+    "update_op",
+    "TransactionContext",
+    "run_transaction",
+    "FirestoreDatabase",
+    "FirestoreService",
+    "CloudFunctionsRuntime",
+    "TriggerEvent",
+    "IndexBackfillService",
+]

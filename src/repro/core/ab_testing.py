@@ -1,0 +1,172 @@
+"""A/B comparison of query execution.
+
+"We twice rewrote the Firestore query planner. These rewrites were
+extensively tested with A/B comparison of query execution to confirm zero
+customer impact before rollout." (paper section VI)
+
+:class:`QueryABHarness` executes every query twice — through the real
+planner/executor and through a deliberately naive reference evaluator
+(full collection scan + in-memory filter/sort, semantically the ground
+truth the index-based engine must reproduce) — and reports mismatches.
+``run_random`` generates a corpus of queries from the database's own data,
+the way production replayed sampled customer RPCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FailedPrecondition
+from repro.sim.rand import SimRandom
+from repro.core.document import Document
+from repro.core.firestore import FirestoreDatabase
+from repro.core.path import Path
+from repro.core.query import Query, matches_filter
+from repro.core.values import get_field
+from repro.realtime.frontend import query_order_key
+
+
+@dataclass
+class ABResult:
+    """The outcome of one A/B-compared query."""
+
+    query: Query
+    matched: bool
+    engine_ids: list[str]
+    reference_ids: list[str]
+
+    def describe(self) -> str:
+        """One-line OK/DIFF summary of this comparison."""
+        status = "OK " if self.matched else "DIFF"
+        return f"[{status}] {self.query.describe()}"
+
+
+@dataclass
+class ABReport:
+    """Aggregate outcome of a random-corpus A/B run."""
+    compared: int = 0
+    matched: int = 0
+    needs_index: int = 0
+    mismatches: list[ABResult] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no query diverged."""
+        return not self.mismatches
+
+    def summary(self) -> str:
+        """Human-readable roll-up of the run."""
+        return (
+            f"{self.compared} queries compared, {self.matched} matched, "
+            f"{self.needs_index} needed indexes, "
+            f"{len(self.mismatches)} MISMATCHES"
+        )
+
+
+class QueryABHarness:
+    """Compares the index-based engine against the naive evaluator."""
+
+    def __init__(self, database: FirestoreDatabase):
+        self.database = database
+
+    def reference_run(self, query: Query, read_ts: int) -> list[Document]:
+        """Ground truth: scan the whole collection, filter and sort in
+        memory — exactly what the index engine must never diverge from."""
+        normalized = query.normalize()
+        everything = self.database.run_query(
+            Query(parent=query.parent), read_ts=read_ts
+        )
+        matching = []
+        for doc in everything.documents:
+            if all(matches_filter(doc.data, f) for f in query.filters):
+                if all(
+                    get_field(doc.data, o.field_path)[0]
+                    for o in normalized.core_orders
+                ):
+                    matching.append(doc)
+        key = query_order_key(normalized)
+        matching.sort(key=lambda doc: key((doc.path, doc.data)))
+        if query.offset:
+            matching = matching[query.offset :]
+        if query.limit is not None:
+            matching = matching[: query.limit]
+        return matching
+
+    def compare(self, query: Query) -> ABResult | None:
+        """Run one query both ways; None when the engine needs an index
+        the database does not define (not a correctness signal)."""
+        read_ts = self.database.layout.spanner.current_timestamp()
+        try:
+            engine = self.database.run_query(query, read_ts=read_ts)
+        except FailedPrecondition:
+            return None
+        reference = self.reference_run(query, read_ts)
+        engine_ids = [str(p) for p in engine.paths]
+        reference_ids = [str(d.path) for d in reference]
+        return ABResult(
+            query=query,
+            matched=engine_ids == reference_ids,
+            engine_ids=engine_ids,
+            reference_ids=reference_ids,
+        )
+
+    # -- corpus generation ---------------------------------------------------------
+
+    def run_random(
+        self, collection: str, count: int = 100, seed: int = 0
+    ) -> ABReport:
+        """Generate ``count`` random queries from the collection's own
+        data and A/B-compare each."""
+        rand = SimRandom(seed).fork("ab-queries")
+        parent = Path.parse(collection)
+        sample = self.database.run_query(Query(parent=parent))
+        field_values: dict[str, list] = {}
+        for doc in sample.documents:
+            from repro.core.values import iter_leaf_fields
+
+            for dotted, value in iter_leaf_fields(doc.data):
+                if not isinstance(value, list):
+                    field_values.setdefault(dotted, []).append(value)
+        report = ABReport()
+        if not field_values:
+            return report
+        fields = sorted(field_values)
+        for _ in range(count):
+            query = self._random_query(parent, fields, field_values, rand)
+            result = self.compare(query)
+            report.compared += 1
+            if result is None:
+                report.needs_index += 1
+            elif result.matched:
+                report.matched += 1
+            else:
+                report.mismatches.append(result)
+        return report
+
+    def _random_query(self, parent, fields, field_values, rand: SimRandom) -> Query:
+        query = Query(parent=parent)
+        used: set[str] = set()
+        for _ in range(rand.randint(0, 2)):  # equality filters
+            field_path = rand.choice(fields)
+            if field_path in used:
+                continue
+            used.add(field_path)
+            query = query.where(
+                field_path, "==", rand.choice(field_values[field_path])
+            )
+        remaining = [f for f in fields if f not in used]
+        if remaining and rand.bernoulli(0.5):  # one inequality
+            field_path = rand.choice(remaining)
+            op = rand.choice([">", ">=", "<", "<="])
+            query = query.where(field_path, op, rand.choice(field_values[field_path]))
+            if rand.bernoulli(0.5):
+                query = query.order_by(field_path, rand.choice(["asc", "desc"]))
+        elif remaining and rand.bernoulli(0.4):  # order only
+            query = query.order_by(
+                rand.choice(remaining), rand.choice(["asc", "desc"])
+            )
+        if rand.bernoulli(0.3):
+            query = query.limit_to(rand.randint(0, 5))
+        if rand.bernoulli(0.2):
+            query = query.offset_by(rand.randint(0, 3))
+        return query

@@ -1,0 +1,95 @@
+"""Documents and document snapshots.
+
+"Each document is identified by a string, and is essentially a set of
+key-value pairs that add up to at most 1MiB" (paper section III-A).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import InvalidArgument
+from repro.core.path import Path
+from repro.core.values import MAX_DOCUMENT_BYTES, get_field, validate_value
+
+
+@dataclass(frozen=True)
+class Document:
+    """A stored document: name, fields, and server-assigned times."""
+
+    path: Path
+    data: dict
+    create_time: int  # microseconds (Spanner commit timestamp)
+    update_time: int
+
+    def __post_init__(self) -> None:
+        if not self.path.is_document:
+            raise InvalidArgument(f"{self.path} is not a document path")
+
+    @property
+    def name(self) -> str:
+        """The document's full path string (its unique key)."""
+        return str(self.path)
+
+    def field(self, dotted_path: str) -> Any:
+        """The value at a dotted field path, or None if absent."""
+        _, value = get_field(self.data, dotted_path)
+        return value
+
+    def has_field(self, dotted_path: str) -> bool:
+        """Whether a dotted field path is present."""
+        present, _ = get_field(self.data, dotted_path)
+        return present
+
+
+@dataclass(frozen=True)
+class DocumentSnapshot:
+    """The result of reading a document name at a point in time.
+
+    ``document`` is None when the document did not exist at ``read_time``
+    — still a meaningful, strongly-consistent answer.
+    """
+
+    path: Path
+    document: Optional[Document]
+    read_time: int
+
+    @property
+    def exists(self) -> bool:
+        """Whether the document existed at the read time."""
+        return self.document is not None
+
+    @property
+    def data(self) -> Optional[dict]:
+        """The document's fields, or None when absent."""
+        return self.document.data if self.document is not None else None
+
+    def get(self, dotted_path: str) -> Any:
+        """The value at a dotted field path, or None."""
+        if self.document is None:
+            return None
+        return self.document.field(dotted_path)
+
+
+def validate_document_data(data: Any) -> None:
+    """Check that ``data`` is a legal document body (a map of fields)."""
+    if not isinstance(data, dict):
+        raise InvalidArgument("document data must be a map of fields")
+    validate_value(data)
+
+
+def check_document_size(path: Path, serialized: bytes) -> None:
+    """Enforce the 1 MiB document size limit."""
+    name_bytes = len(str(path).encode("utf-8"))
+    if name_bytes + len(serialized) > MAX_DOCUMENT_BYTES:
+        raise InvalidArgument(
+            f"document {path} is {name_bytes + len(serialized)} bytes; "
+            f"the maximum is {MAX_DOCUMENT_BYTES}"
+        )
+
+
+def deep_copy_data(data: dict) -> dict:
+    """Copy document data so callers cannot mutate stored state."""
+    return copy.deepcopy(data)

@@ -1,0 +1,203 @@
+"""A GQL-style textual query language.
+
+The paper writes its query examples in SQL syntax (section IV-D3)::
+
+    select * from restaurants
+    where city="SF" and type="BBQ"
+    order by avgRating desc
+
+Datastore has always offered GQL, a SQL-like syntax compiled to the same
+restricted query model; this module is that compiler for our Query
+objects. The language covers exactly the model of section III-C —
+projections, comparisons with constants, conjunctions, orders, limits,
+offsets — plus ``contains`` for array membership. Anything outside the
+model fails at :meth:`Query.normalize`, same as a built query.
+
+Grammar::
+
+    query    := SELECT (* | field ("," field)*) FROM path
+                (WHERE cond (AND cond)*)?
+                (ORDER BY field (ASC|DESC)? ("," field (ASC|DESC)?)*)?
+                (LIMIT int)? (OFFSET int)?
+    cond     := field op literal | field CONTAINS literal
+    op       := = | == | != is rejected | < | <= | > | >=
+    literal  := int | float | 'string' | "string" | true | false | null
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import InvalidArgument
+from repro.core.path import Path, collection_path
+from repro.core.query import Operator, Query
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<op><=|>=|==|=|<|>|\*|,)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_./]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "order", "by",
+    "asc", "desc", "limit", "offset", "contains",
+    "true", "false", "null",
+}
+
+
+def _tokenize(source: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise InvalidArgument(
+                f"GQL: unexpected character {source[position]!r} at {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "word" and value.lower() in _KEYWORDS:
+            tokens.append(("kw", value.lower()))
+        else:
+            tokens.append((match.lastgroup, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _GqlParser:
+    def __init__(self, source: str):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def advance(self) -> tuple[str, str]:
+        token = self.tokens[self.pos]
+        if token[0] != "eof":
+            self.pos += 1
+        return token
+
+    def expect_kw(self, word: str) -> None:
+        kind, value = self.advance()
+        if kind != "kw" or value != word:
+            raise InvalidArgument(f"GQL: expected {word!r}, got {value!r}")
+
+    def parse(self) -> Query:
+        self.expect_kw("select")
+        projection = self._parse_projection()
+        self.expect_kw("from")
+        kind, value = self.advance()
+        if kind != "word":
+            raise InvalidArgument(f"GQL: expected collection path, got {value!r}")
+        parent = collection_path(Path.parse(value.replace(".", "/")))
+        query = Query(parent=parent)
+        if projection is not None:
+            query = query.select(*projection)
+
+        if self._accept_kw("where"):
+            query = self._parse_condition(query)
+            while self._accept_kw("and"):
+                query = self._parse_condition(query)
+        if self._accept_kw("order"):
+            self.expect_kw("by")
+            query = self._parse_order(query)
+            while self._accept_op(","):
+                query = self._parse_order(query)
+        if self._accept_kw("limit"):
+            query = query.limit_to(self._parse_int("limit"))
+        if self._accept_kw("offset"):
+            query = query.offset_by(self._parse_int("offset"))
+        kind, value = self.peek()
+        if kind != "eof":
+            raise InvalidArgument(f"GQL: trailing input at {value!r}")
+        return query
+
+    # -- pieces --------------------------------------------------------------
+
+    def _parse_projection(self) -> list[str] | None:
+        if self._accept_op("*"):
+            return None
+        fields = [self._parse_field()]
+        while self._accept_op(","):
+            fields.append(self._parse_field())
+        return fields
+
+    def _parse_field(self) -> str:
+        kind, value = self.advance()
+        if kind != "word":
+            raise InvalidArgument(f"GQL: expected field name, got {value!r}")
+        return value
+
+    def _parse_condition(self, query: Query) -> Query:
+        field = self._parse_field()
+        kind, value = self.advance()
+        if kind == "kw" and value == "contains":
+            return query.where(field, Operator.ARRAY_CONTAINS, self._parse_literal())
+        if kind != "op" or value not in ("=", "==", "<", "<=", ">", ">="):
+            raise InvalidArgument(f"GQL: expected comparison operator, got {value!r}")
+        operator = Operator.EQ if value in ("=", "==") else Operator(value)
+        return query.where(field, operator, self._parse_literal())
+
+    def _parse_order(self, query: Query) -> Query:
+        field = self._parse_field()
+        direction = "asc"
+        kind, value = self.peek()
+        if kind == "kw" and value in ("asc", "desc"):
+            self.advance()
+            direction = value
+        return query.order_by(field, direction)
+
+    def _parse_literal(self) -> Any:
+        kind, value = self.advance()
+        if kind == "string":
+            return _unescape(value[1:-1])
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "kw":
+            if value == "true":
+                return True
+            if value == "false":
+                return False
+            if value == "null":
+                return None
+        raise InvalidArgument(f"GQL: expected literal, got {value!r}")
+
+    def _parse_int(self, label: str) -> int:
+        kind, value = self.advance()
+        if kind != "number" or "." in value:
+            raise InvalidArgument(f"GQL: {label} needs an integer, got {value!r}")
+        return int(value)
+
+    def _accept_kw(self, word: str) -> bool:
+        kind, value = self.peek()
+        if kind == "kw" and value == word:
+            self.advance()
+            return True
+        return False
+
+    def _accept_op(self, op: str) -> bool:
+        kind, value = self.peek()
+        if kind == "op" and value == op:
+            self.advance()
+            return True
+        return False
+
+
+def _unescape(raw: str) -> str:
+    return raw.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_gql(source: str) -> Query:
+    """Compile a GQL string into a :class:`~repro.core.query.Query`."""
+    if not isinstance(source, str) or not source.strip():
+        raise InvalidArgument("empty GQL query")
+    return _GqlParser(source).parse()

@@ -1,0 +1,269 @@
+"""Index definitions and the per-database index registry.
+
+"To reduce the burden of index management, Firestore automatically defines
+an ascending and descending index on each field across all documents"
+(paper section III-B). Customers can additionally:
+
+- exempt fields from automatic indexing (hotspot / cost mitigation), and
+- define composite indexes across multiple fields.
+
+Index definitions are cached by the Backend ("the (cached) index
+definitions", section IV-D2 step 4); the registry here plays both roles —
+source of truth and Metadata Cache.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import FailedPrecondition, InvalidArgument
+from repro.core.encoding import ASCENDING, DESCENDING
+
+
+class IndexKind(enum.Enum):
+    """Automatic single-field vs user-defined composite."""
+    AUTO = "auto"            # automatic single-field index
+    COMPOSITE = "composite"  # user-defined multi-field index
+
+
+class IndexMode(enum.Enum):
+    """How a field participates in an index."""
+
+    ORDERED = "ordered"      # sorted by value (asc or desc)
+    CONTAINS = "contains"    # one entry per array element
+
+
+class IndexState(enum.Enum):
+    """Lifecycle: CREATING (backfill) / READY / DELETING."""
+    CREATING = "creating"    # backfill in progress; unusable by queries
+    READY = "ready"
+    DELETING = "deleting"    # backremoval in progress; unusable
+
+
+@dataclass(frozen=True)
+class IndexField:
+    """One component of an index definition."""
+
+    field_path: str
+    direction: str = ASCENDING
+    mode: IndexMode = IndexMode.ORDERED
+
+    def __post_init__(self) -> None:
+        if self.direction not in (ASCENDING, DESCENDING):
+            raise InvalidArgument(f"bad direction {self.direction!r}")
+        if self.mode is IndexMode.CONTAINS and self.direction != ASCENDING:
+            raise InvalidArgument("contains fields are always ascending")
+        if not self.field_path:
+            raise InvalidArgument("empty field path")
+
+
+@dataclass(frozen=True)
+class IndexDefinition:
+    """An index over one collection group."""
+
+    index_id: int
+    collection_group: str
+    fields: tuple[IndexField, ...]
+    kind: IndexKind
+    state: IndexState = IndexState.READY
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise InvalidArgument("an index needs at least one field")
+        contains = [f for f in self.fields if f.mode is IndexMode.CONTAINS]
+        if len(contains) > 1:
+            raise InvalidArgument("at most one contains field per index")
+        paths = [f.field_path for f in self.fields]
+        if len(set(paths)) != len(paths):
+            raise InvalidArgument("duplicate field in index")
+
+    @property
+    def field_paths(self) -> tuple[str, ...]:
+        """The indexed field paths, in index order."""
+        return tuple(f.field_path for f in self.fields)
+
+    @property
+    def directions(self) -> tuple[str, ...]:
+        """The per-field directions, in index order."""
+        return tuple(f.direction for f in self.fields)
+
+    def describe(self) -> str:
+        """Console-style rendering, e.g. 'restaurants(city asc)'."""
+        parts = ", ".join(
+            f"{f.field_path} {'contains' if f.mode is IndexMode.CONTAINS else f.direction}"
+            for f in self.fields
+        )
+        return f"{self.collection_group}({parts})"
+
+    def with_state(self, state: IndexState) -> "IndexDefinition":
+        """A copy of this definition in another lifecycle state."""
+        return IndexDefinition(
+            self.index_id, self.collection_group, self.fields, self.kind, state
+        )
+
+
+class IndexRegistry:
+    """All index definitions and exemptions for one Firestore database.
+
+    Automatic single-field indexes are materialized lazily: the first
+    write (or query plan) touching ``(collection_group, field)`` allocates
+    ids for its ascending, descending, and array-contains variants. This
+    is safe without backfill because *every* document write emits entries
+    for every non-exempt field — the definitions are deterministic, so
+    entries written before the id was first used for a query are already
+    in place.
+    """
+
+    def __init__(self) -> None:
+        #: bumped on every mutation; lets callers know when to re-persist
+        self.version = 0
+        self._ids = itertools.count(1)
+        self._indexes: dict[int, IndexDefinition] = {}
+        # (collection_group, field_path, direction | "contains") -> index_id
+        self._auto: dict[tuple[str, str, str], int] = {}
+        # exempted (collection_group, field_path) pairs
+        self._exemptions: set[tuple[str, str]] = set()
+
+    # -- automatic single-field indexes --------------------------------------
+
+    def auto_index(
+        self, collection_group: str, field_path: str, direction: str
+    ) -> IndexDefinition:
+        """The automatic single-field index for a (field, direction)."""
+        key = (collection_group, field_path, direction)
+        index_id = self._auto.get(key)
+        if index_id is None:
+            index_id = next(self._ids)
+            self._auto[key] = index_id
+            self._indexes[index_id] = IndexDefinition(
+                index_id,
+                collection_group,
+                (IndexField(field_path, direction),),
+                IndexKind.AUTO,
+            )
+            self.version += 1
+        return self._indexes[index_id]
+
+    def auto_contains_index(
+        self, collection_group: str, field_path: str
+    ) -> IndexDefinition:
+        """The automatic array-contains index for a field."""
+        key = (collection_group, field_path, "contains")
+        index_id = self._auto.get(key)
+        if index_id is None:
+            index_id = next(self._ids)
+            self._auto[key] = index_id
+            self._indexes[index_id] = IndexDefinition(
+                index_id,
+                collection_group,
+                (IndexField(field_path, ASCENDING, IndexMode.CONTAINS),),
+                IndexKind.AUTO,
+            )
+            self.version += 1
+        return self._indexes[index_id]
+
+    # -- exemptions ------------------------------------------------------------
+
+    def add_exemption(self, collection_group: str, field_path: str) -> None:
+        """Exclude a field from automatic indexing (paper section III-B).
+
+        Existing entries are removed by the backfill service; new writes
+        stop producing entries immediately.
+        """
+        self._exemptions.add((collection_group, field_path))
+        self.version += 1
+
+    def remove_exemption(self, collection_group: str, field_path: str) -> None:
+        """Re-enable automatic indexing for a field."""
+        self._exemptions.discard((collection_group, field_path))
+        self.version += 1
+
+    def is_exempt(self, collection_group: str, field_path: str) -> bool:
+        """Whether a field is excluded from automatic indexing."""
+        return (collection_group, field_path) in self._exemptions
+
+    @property
+    def exemptions(self) -> set[tuple[str, str]]:
+        """All (collection group, field) exemption pairs."""
+        return set(self._exemptions)
+
+    # -- composite indexes --------------------------------------------------------
+
+    def create_composite(
+        self,
+        collection_group: str,
+        fields: list[IndexField] | list[tuple[str, str]],
+        state: IndexState = IndexState.CREATING,
+    ) -> IndexDefinition:
+        """Define a composite index; it starts in CREATING until backfilled."""
+        normalized = tuple(
+            f if isinstance(f, IndexField) else IndexField(f[0], f[1])
+            for f in fields
+        )
+        if len(normalized) < 2:
+            raise InvalidArgument("composite indexes need at least two fields")
+        for existing in self._indexes.values():
+            if (
+                existing.kind is IndexKind.COMPOSITE
+                and existing.collection_group == collection_group
+                and existing.fields == normalized
+                and existing.state is not IndexState.DELETING
+            ):
+                raise InvalidArgument(
+                    f"index already exists: {existing.describe()}"
+                )
+        index_id = next(self._ids)
+        definition = IndexDefinition(
+            index_id, collection_group, normalized, IndexKind.COMPOSITE, state
+        )
+        self._indexes[index_id] = definition
+        self.version += 1
+        return definition
+
+    def set_state(self, index_id: int, state: IndexState) -> IndexDefinition:
+        """Move an index to a new lifecycle state."""
+        definition = self._indexes[index_id].with_state(state)
+        self._indexes[index_id] = definition
+        self.version += 1
+        return definition
+
+    def drop(self, index_id: int) -> None:
+        """Remove a definition entirely (after backremoval completes)."""
+        definition = self._indexes.pop(index_id, None)
+        self.version += 1
+        if definition is not None and definition.kind is IndexKind.AUTO:
+            for key, value in list(self._auto.items()):
+                if value == index_id:
+                    del self._auto[key]
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(self, index_id: int) -> IndexDefinition:
+        """Look up a definition by id (raises if unknown)."""
+        definition = self._indexes.get(index_id)
+        if definition is None:
+            raise FailedPrecondition(f"no such index: {index_id}")
+        return definition
+
+    def composites_for(self, collection_group: str) -> list[IndexDefinition]:
+        """Every composite defined on a collection group."""
+        return [
+            d
+            for d in self._indexes.values()
+            if d.kind is IndexKind.COMPOSITE
+            and d.collection_group == collection_group
+        ]
+
+    def ready_composites_for(self, collection_group: str) -> list[IndexDefinition]:
+        """Composites usable by the planner (state READY)."""
+        return [
+            d
+            for d in self.composites_for(collection_group)
+            if d.state is IndexState.READY
+        ]
+
+    def all_indexes(self) -> list[IndexDefinition]:
+        """Every definition, automatic and composite."""
+        return list(self._indexes.values())

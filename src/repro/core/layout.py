@@ -1,0 +1,113 @@
+"""Multi-tenant Spanner layout for Firestore databases.
+
+"Firestore maps each database in a region to a specific directory within a
+small number of pre-initialized Spanner databases in that region. Each
+directory has two tables, Entities and IndexEntries" (paper section
+IV-D1). Storing every Firestore database in its own Spanner database
+would be prohibitively expensive; the directory layout is what makes
+millions of mostly-idle free-tier databases affordable.
+
+In our simulation the two tables are real tables of the shared
+:class:`~repro.spanner.database.SpannerDatabase` and the directory is a
+row-key prefix, so rows of one Firestore database are contiguous and
+Spanner's load-based splitting operates across tenants exactly as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.spanner.database import SpannerDatabase
+from repro.core.encoding import encode_doc_name, prefix_successor
+from repro.core.path import Path
+
+ENTITIES = "Entities"
+INDEX_ENTRIES = "IndexEntries"
+
+
+@dataclass
+class EntityRow:
+    """The Entities-table payload for one document.
+
+    ``create_ts`` is None when the document was created by the commit that
+    wrote this version (the commit timestamp is not known while the write
+    buffers); readers resolve it via the version's commit timestamp.
+
+    ``checksum`` is the end-to-end integrity check of paper section VI
+    ("mass-produced machines themselves are unreliable and may corrupt
+    in-memory data"): computed over the serialized contents at write time
+    and verified on every read.
+    """
+
+    data: bytes  # serialized document contents (protobuf-like)
+    create_ts: Optional[int]
+    checksum: int = -1
+
+    def __post_init__(self) -> None:
+        if self.checksum == -1:
+            self.checksum = zlib.crc32(self.data)
+
+    def verify_checksum(self) -> bool:
+        """Recompute and compare the end-to-end checksum."""
+        return zlib.crc32(self.data) == self.checksum
+
+    def resolve_create_ts(self, version_ts: int) -> int:
+        """The creation time, defaulting to this version's commit."""
+        return self.create_ts if self.create_ts is not None else version_ts
+
+
+def ensure_tables(spanner: SpannerDatabase) -> None:
+    """Create the two fixed-schema tables if this Spanner database is new."""
+    if ENTITIES not in spanner.tables:
+        spanner.create_table(ENTITIES)
+    if INDEX_ENTRIES not in spanner.tables:
+        spanner.create_table(INDEX_ENTRIES)
+
+
+class DatabaseLayout:
+    """Key construction for one Firestore database's directory."""
+
+    def __init__(self, spanner: SpannerDatabase, directory_number: int, database_id: str):
+        ensure_tables(spanner)
+        self.spanner = spanner
+        self.database_id = database_id
+        self.directory_prefix = struct.pack(">Q", directory_number)
+        spanner.create_directory(self.directory_prefix)
+
+    # -- Entities keys ---------------------------------------------------------
+
+    def entity_key(self, path: Path) -> bytes:
+        """The Entities row key for a document path."""
+        return self.directory_prefix + encode_doc_name(path.segments)
+
+    def collection_scan_range(self, parent: Path) -> tuple[bytes, bytes | None]:
+        """[start, end) of Entities keys under ``parent``.
+
+        The range also contains deeper descendants (sub-collection
+        documents share the prefix); the scanner filters by depth.
+        """
+        encoded = encode_doc_name(parent.segments)
+        # strip the trailing low sentinel: children extend the segment list
+        prefix = self.directory_prefix + encoded[:-2]
+        return prefix, prefix_successor(prefix)
+
+    # -- IndexEntries keys ---------------------------------------------------------
+
+    def index_key(self, relative_key: bytes) -> bytes:
+        """An IndexEntries row key from its database-relative form."""
+        return self.directory_prefix + relative_key
+
+    def index_scan_range(
+        self, relative_prefix: bytes
+    ) -> tuple[bytes, bytes | None]:
+        """[start, end) of IndexEntries keys under a relative prefix."""
+        prefix = self.directory_prefix + relative_prefix
+        return prefix, prefix_successor(prefix)
+
+    def directory_range(self) -> tuple[bytes, bytes | None]:
+        """The whole directory's key range (all rows of this database)."""
+        return self.directory_prefix, prefix_successor(self.directory_prefix)

@@ -1,0 +1,238 @@
+"""The Metadata Cache (the fourth rectangle of paper Figure 4).
+
+Database metadata — index definitions, automatic-index exemptions, the
+security-rules source — is durable state: it lives in a ``Metadata``
+table inside the database's Spanner directory, and the serving tasks read
+it through a TTL cache ("the (cached) index definitions", section IV-D2
+step 4; "the query planner then uses the (cached) index definitions",
+section IV-D3).
+
+:class:`MetadataStore` is the durable layer; :class:`MetadataCache` the
+task-local cache with time-based expiry and write-through invalidation.
+Because metadata is persisted, a database handle can be *reopened* (a
+simulated task restart) and recover its indexes, exemptions, and rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.clock import SimClock
+from repro.core.encoding import ASCENDING
+from repro.core.indexes import (
+    IndexDefinition,
+    IndexField,
+    IndexKind,
+    IndexMode,
+    IndexRegistry,
+    IndexState,
+)
+from repro.core.layout import DatabaseLayout
+from repro.core.serialization import deserialize_document, serialize_document
+
+METADATA_TABLE = "Metadata"
+
+_INDEXES_KEY = b"\x01indexes"
+_RULES_KEY = b"\x02rules"
+
+
+def ensure_metadata_table(spanner) -> None:
+    """Create the Metadata table if this Spanner database lacks it."""
+    if METADATA_TABLE not in spanner.tables:
+        spanner.create_table(METADATA_TABLE)
+
+
+class MetadataStore:
+    """Durable metadata in the database's Spanner directory."""
+
+    def __init__(self, layout: DatabaseLayout):
+        ensure_metadata_table(layout.spanner)
+        self.layout = layout
+
+    # -- index registry -------------------------------------------------------
+
+    def save_registry(self, registry: IndexRegistry) -> None:
+        """Persist index definitions and exemptions durably."""
+        payload = {
+            "indexes": [
+                _encode_definition(d) for d in registry.all_indexes()
+            ],
+            "exemptions": [
+                {"group": group, "field": field_path}
+                for group, field_path in sorted(registry.exemptions)
+            ],
+        }
+        self._put(_INDEXES_KEY, payload)
+
+    def load_registry(self) -> Optional[IndexRegistry]:
+        """Rebuild the registry from Spanner, or None if never saved."""
+        payload = self._get(_INDEXES_KEY)
+        if payload is None:
+            return None
+        registry = IndexRegistry()
+        max_id = 0
+        for wire in payload["indexes"]:
+            definition = _decode_definition(wire)
+            max_id = max(max_id, definition.index_id)
+            registry._indexes[definition.index_id] = definition
+            if definition.kind is IndexKind.AUTO:
+                index_field = definition.fields[0]
+                variant = (
+                    "contains"
+                    if index_field.mode is IndexMode.CONTAINS
+                    else index_field.direction
+                )
+                registry._auto[
+                    (definition.collection_group, index_field.field_path, variant)
+                ] = definition.index_id
+        for wire in payload["exemptions"]:
+            registry.add_exemption(wire["group"], wire["field"])
+        # resume id allocation past everything persisted
+        import itertools
+
+        registry._ids = itertools.count(max_id + 1)
+        return registry
+
+    # -- security rules ------------------------------------------------------------
+
+    def save_rules(self, source: Optional[str]) -> None:
+        """Persist (or clear, with None) the rules source."""
+        self._put(_RULES_KEY, {"source": source if source is not None else ""})
+
+    def load_rules(self) -> Optional[str]:
+        """The persisted rules source, or None."""
+        payload = self._get(_RULES_KEY)
+        if payload is None or not payload["source"]:
+            return None
+        return payload["source"]
+
+    # -- row access ------------------------------------------------------------------
+
+    def _put(self, key: bytes, payload: dict) -> None:
+        txn = self.layout.spanner.begin()
+        txn.put(
+            METADATA_TABLE,
+            self.layout.directory_prefix + key,
+            serialize_document(payload),
+        )
+        txn.commit()
+
+    def _get(self, key: bytes) -> Optional[dict]:
+        raw = self.layout.spanner.snapshot_read(
+            METADATA_TABLE,
+            self.layout.directory_prefix + key,
+            self.layout.spanner.current_timestamp(),
+        )
+        if raw is None:
+            return None
+        return deserialize_document(raw)
+
+
+class MetadataCache:
+    """Task-local TTL cache over the :class:`MetadataStore`.
+
+    Admin mutations write through and invalidate immediately (the task
+    performing the change sees it at once); other tasks see it within the
+    TTL — the consistency model production accepts for metadata.
+    """
+
+    DEFAULT_TTL_US = 60_000_000
+
+    def __init__(
+        self,
+        store: MetadataStore,
+        clock: SimClock,
+        ttl_us: int = DEFAULT_TTL_US,
+    ):
+        self.store = store
+        self.clock = clock
+        self.ttl_us = ttl_us
+        self._registry: Optional[IndexRegistry] = None
+        self._rules_source: Optional[str] = None
+        self._loaded_at: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+
+    def _fresh(self) -> bool:
+        return (
+            self._loaded_at is not None
+            and self.clock.now_us - self._loaded_at < self.ttl_us
+        )
+
+    def _refresh(self) -> None:
+        self.misses += 1
+        self._registry = self.store.load_registry() or IndexRegistry()
+        self._rules_source = self.store.load_rules()
+        self._loaded_at = self.clock.now_us
+
+    def registry(self) -> IndexRegistry:
+        """The cached registry, refreshed past the TTL."""
+        if not self._fresh():
+            self._refresh()
+        else:
+            self.hits += 1
+        assert self._registry is not None
+        return self._registry
+
+    def rules_source(self) -> Optional[str]:
+        """The cached rules source, refreshed past the TTL."""
+        if not self._fresh():
+            self._refresh()
+        else:
+            self.hits += 1
+        return self._rules_source
+
+    def invalidate(self) -> None:
+        """Drop the cached copy; the next read reloads."""
+        self._loaded_at = None
+
+    # -- write-through admin operations ----------------------------------------------
+
+    def persist_registry(self, registry: IndexRegistry) -> None:
+        """Write-through: save and refresh the cache."""
+        self.store.save_registry(registry)
+        self._registry = registry
+        self._rules_source = self.store.load_rules()
+        self._loaded_at = self.clock.now_us
+
+    def persist_rules(self, source: Optional[str]) -> None:
+        """Write-through: save the rules and refresh the cache."""
+        self.store.save_rules(source)
+        self._rules_source = source
+        if self._loaded_at is None:
+            self._loaded_at = self.clock.now_us
+
+
+def _encode_definition(definition: IndexDefinition) -> dict:
+    return {
+        "id": definition.index_id,
+        "group": definition.collection_group,
+        "kind": definition.kind.value,
+        "state": definition.state.value,
+        "fields": [
+            {
+                "path": index_field.field_path,
+                "direction": index_field.direction,
+                "mode": index_field.mode.value,
+            }
+            for index_field in definition.fields
+        ],
+    }
+
+
+def _decode_definition(wire: dict) -> IndexDefinition:
+    fields = tuple(
+        IndexField(
+            part["path"],
+            part["direction"] if part["mode"] != "contains" else ASCENDING,
+            IndexMode(part["mode"]),
+        )
+        for part in wire["fields"]
+    )
+    return IndexDefinition(
+        index_id=wire["id"],
+        collection_group=wire["group"],
+        fields=fields,
+        kind=IndexKind(wire["kind"]),
+        state=IndexState(wire["state"]),
+    )

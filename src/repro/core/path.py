@@ -1,0 +1,140 @@
+"""Resource paths: hierarchically-nested collections and documents.
+
+"Documents can be arranged in hierarchically-nested collections. The
+combination of the collection name and the identifying string forms the
+document's unique name (key)" (paper section III-A). A path is a sequence
+of segments alternating collection-id / document-id, e.g.::
+
+    restaurants/one                 -> a document
+    restaurants/one/ratings         -> a (sub)collection
+    restaurants/one/ratings/2       -> a document in the sub-collection
+
+Paths with an odd number of segments name collections; even, documents.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+from repro.errors import InvalidArgument
+
+MAX_PATH_SEGMENTS = 100
+MAX_SEGMENT_BYTES = 1500
+
+
+@total_ordering
+class Path:
+    """An immutable resource path relative to the database root."""
+
+    __slots__ = ("segments",)
+
+    def __init__(self, *segments: str):
+        if not segments:
+            raise InvalidArgument("a path needs at least one segment")
+        if len(segments) > MAX_PATH_SEGMENTS:
+            raise InvalidArgument("path too deep")
+        for segment in segments:
+            if not isinstance(segment, str) or not segment:
+                raise InvalidArgument(f"invalid path segment: {segment!r}")
+            if "/" in segment:
+                raise InvalidArgument(f"segment may not contain '/': {segment!r}")
+            if segment in (".", ".."):
+                raise InvalidArgument(f"segment may not be {segment!r}")
+            if len(segment.encode("utf-8")) > MAX_SEGMENT_BYTES:
+                raise InvalidArgument("path segment too long")
+        object.__setattr__(self, "segments", tuple(segments))
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("Path is immutable")
+
+    @classmethod
+    def parse(cls, path_string: str) -> "Path":
+        """Parse a slash-separated path like 'restaurants/one'."""
+        if not isinstance(path_string, str) or not path_string:
+            raise InvalidArgument(f"invalid path string: {path_string!r}")
+        return cls(*path_string.split("/"))
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def is_document(self) -> bool:
+        """Even segment count: this names a document."""
+        return len(self.segments) % 2 == 0
+
+    @property
+    def is_collection(self) -> bool:
+        """Odd segment count: this names a collection."""
+        return len(self.segments) % 2 == 1
+
+    @property
+    def depth(self) -> int:
+        """Number of segments."""
+        return len(self.segments)
+
+    # -- navigation -----------------------------------------------------------
+
+    @property
+    def id(self) -> str:
+        """The final segment (document id or collection id)."""
+        return self.segments[-1]
+
+    @property
+    def collection_id(self) -> str:
+        """The id of the collection this path belongs to."""
+        if self.is_collection:
+            return self.segments[-1]
+        return self.segments[-2]
+
+    def parent(self) -> "Path | None":
+        """The containing path, or None at the root collection level."""
+        if len(self.segments) == 1:
+            return None
+        return Path(*self.segments[:-1])
+
+    def child(self, segment: str) -> "Path":
+        """This path extended by one segment."""
+        return Path(*self.segments, segment)
+
+    def is_ancestor_of(self, other: "Path") -> bool:
+        """True if ``other`` is strictly beneath this path."""
+        if len(other.segments) <= len(self.segments):
+            return False
+        return other.segments[: len(self.segments)] == self.segments
+
+    # -- protocol --------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return "/".join(self.segments)
+
+    def __repr__(self) -> str:
+        return f"Path({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.segments == other.segments
+
+    def __lt__(self, other: "Path") -> bool:
+        return self.segments < other.segments
+
+    def __hash__(self) -> int:
+        return hash(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+
+def document_path(path: str | Path) -> Path:
+    """Coerce and validate a document path."""
+    parsed = path if isinstance(path, Path) else Path.parse(path)
+    if not parsed.is_document:
+        raise InvalidArgument(f"{parsed} is a collection path, expected a document")
+    return parsed
+
+
+def collection_path(path: str | Path) -> Path:
+    """Coerce and validate a collection path."""
+    parsed = path if isinstance(path, Path) else Path.parse(path)
+    if not parsed.is_collection:
+        raise InvalidArgument(f"{parsed} is a document path, expected a collection")
+    return parsed

@@ -1,0 +1,271 @@
+"""Query planning: greedy index-set selection.
+
+"Selecting the ideal set of indexes to join for a query is intractable, so
+Firestore's query engine uses a greedy index-set selection algorithm that
+optimizes for the number of selected indexes. If no such set exists,
+Firestore returns an error message that includes a link for adding the
+required index" (paper section IV-D3).
+
+A plan is either:
+
+- an **entities scan** (no filters/orders beyond document name): the
+  collection's documents are contiguous in the Entities table;
+- a **single index scan**: one index provides every equality field as a
+  key prefix and the query's order as its remaining fields; or
+- a **zig-zag join** of several index scans that share the same order
+  suffix and together cover every equality/contains filter, e.g. joining
+  ``(city asc, avgRating desc)`` with ``(type asc, avgRating desc)``.
+
+An index matches in the *direct* orientation (scan forward) or *reversed*
+(scan backward with every direction flipped); all members of a join must
+share one orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FailedPrecondition
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.indexes import (
+    IndexDefinition,
+    IndexMode,
+    IndexRegistry,
+    IndexState,
+)
+from repro.core.query import Filter, NormalizedQuery
+
+#: A coverage unit: an equality or array-contains filter that some chosen
+#: index must provide as part of its key prefix.
+Unit = tuple[str, str]  # (field_path, "eq" | "contains")
+
+
+@dataclass(frozen=True)
+class IndexScanSpec:
+    """One index chosen by the planner, with its prefix filters."""
+
+    index: IndexDefinition
+    #: the filter supplying the value for each prefix field, in index order
+    prefix_filters: tuple[Filter, ...]
+
+    @property
+    def prefix_len(self) -> int:
+        """How many index fields the equality prefix covers."""
+        return len(self.prefix_filters)
+
+    def covered_units(self) -> frozenset[Unit]:
+        """The equality/contains filters this scan satisfies."""
+        units = []
+        for index_field, flt in zip(self.index.fields, self.prefix_filters):
+            kind = "contains" if index_field.mode is IndexMode.CONTAINS else "eq"
+            units.append((index_field.field_path, kind))
+        return frozenset(units)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's output, consumed by the executor."""
+
+    kind: str  # "entities" | "single" | "join"
+    normalized: NormalizedQuery
+    scans: tuple[IndexScanSpec, ...]
+    reverse: bool
+
+    def describe(self) -> str:
+        """Human-readable plan summary for errors and logs."""
+        if self.kind == "entities":
+            direction = "reverse " if self.reverse else ""
+            return f"{direction}entities scan of {self.normalized.query.parent}"
+        names = " zig-zag ".join(s.index.describe() for s in self.scans)
+        direction = " (reversed)" if self.reverse else ""
+        return f"{self.kind} scan{direction}: {names}"
+
+
+class QueryPlanner:
+    """Plans queries against one database's index registry."""
+
+    def __init__(self, registry: IndexRegistry):
+        self.registry = registry
+
+    def plan(self, normalized: NormalizedQuery) -> QueryPlan:
+        """Choose the scan strategy, or raise needs-index."""
+        units = self._units(normalized)
+        if not units and not normalized.core_orders:
+            # pure name-ordered query: scan the Entities table directly
+            return QueryPlan(
+                kind="entities",
+                normalized=normalized,
+                scans=(),
+                reverse=normalized.name_direction == DESCENDING,
+            )
+        for reverse in (False, True):
+            plan = self._plan_oriented(normalized, units, reverse)
+            if plan is not None:
+                return plan
+        raise FailedPrecondition(
+            "The query requires an index. You can create it here: "
+            f"[console link] suggested index: {self._suggest(normalized)}"
+        )
+
+    # -- orientation-specific planning ----------------------------------------
+
+    def _plan_oriented(
+        self,
+        normalized: NormalizedQuery,
+        units: frozenset[Unit],
+        reverse: bool,
+    ) -> Optional[QueryPlan]:
+        candidates = [
+            spec
+            for index in self._candidate_indexes(normalized)
+            if (spec := self._match(index, normalized, reverse)) is not None
+        ]
+        if not units:
+            # order-only query: any matching index with an empty prefix
+            usable = [s for s in candidates if s.prefix_len == 0]
+            if not usable:
+                return None
+            best = min(usable, key=lambda s: (len(s.index.fields), s.index.index_id))
+            return QueryPlan("single", normalized, (best,), reverse)
+
+        chosen: list[IndexScanSpec] = []
+        uncovered = set(units)
+        pool = list(candidates)
+        while uncovered:
+            best = None
+            best_gain = 0
+            for spec in pool:
+                gain = len(spec.covered_units() & uncovered)
+                if gain > best_gain or (
+                    best is not None
+                    and gain == best_gain
+                    and gain > 0
+                    and (len(spec.index.fields), spec.index.index_id)
+                    < (len(best.index.fields), best.index.index_id)
+                ):
+                    best = spec
+                    best_gain = gain
+            if best is None or best_gain == 0:
+                return None
+            chosen.append(best)
+            uncovered -= best.covered_units()
+            pool.remove(best)
+        kind = "single" if len(chosen) == 1 else "join"
+        return QueryPlan(kind, normalized, tuple(chosen), reverse)
+
+    # -- candidate generation -----------------------------------------------------
+
+    def _units(self, normalized: NormalizedQuery) -> frozenset[Unit]:
+        units: set[Unit] = set()
+        for flt in normalized.equality:
+            units.add((flt.field_path, "eq"))
+        for flt in normalized.contains:
+            units.add((flt.field_path, "contains"))
+        return frozenset(units)
+
+    def _candidate_indexes(self, normalized: NormalizedQuery) -> list[IndexDefinition]:
+        group = normalized.query.collection_group
+        candidates: list[IndexDefinition] = []
+        for flt in normalized.equality:
+            candidates.append(self.registry.auto_index(group, flt.field_path, ASCENDING))
+            candidates.append(self.registry.auto_index(group, flt.field_path, DESCENDING))
+        for flt in normalized.contains:
+            candidates.append(self.registry.auto_contains_index(group, flt.field_path))
+        if normalized.core_orders:
+            first = normalized.core_orders[0]
+            candidates.append(
+                self.registry.auto_index(group, first.field_path, first.direction)
+            )
+            flipped = first.flipped()
+            candidates.append(
+                self.registry.auto_index(group, flipped.field_path, flipped.direction)
+            )
+        candidates.extend(self.registry.ready_composites_for(group))
+        # exempted fields have no automatic indexes
+        usable = [
+            c
+            for c in candidates
+            if not (
+                c.kind.value == "auto"
+                and self.registry.is_exempt(group, c.fields[0].field_path)
+            )
+        ]
+        # de-duplicate, preserving order
+        seen: set[int] = set()
+        out = []
+        for index in usable:
+            if index.index_id not in seen:
+                seen.add(index.index_id)
+                out.append(index)
+        return out
+
+    # -- matching -------------------------------------------------------------------
+
+    def _match(
+        self,
+        index: IndexDefinition,
+        normalized: NormalizedQuery,
+        reverse: bool,
+    ) -> Optional[IndexScanSpec]:
+        """Does ``index`` serve this query in the given orientation?
+
+        The index's trailing fields must equal the query's order suffix
+        (flipped when scanning in reverse), the implicit name direction
+        must line up, and every remaining (prefix) field must be supplied
+        by an equality or array-contains filter.
+        """
+        if index.state is not IndexState.READY:
+            return None
+        suffix = (
+            normalized.flipped_suffix() if reverse else normalized.order_suffix()
+        )
+        required_name = (
+            _flip(normalized.name_direction) if reverse else normalized.name_direction
+        )
+        fields = index.fields
+        if len(suffix) > len(fields):
+            return None
+        split = len(fields) - len(suffix)
+        for index_field, order in zip(fields[split:], suffix):
+            if index_field.mode is not IndexMode.ORDERED:
+                return None
+            if index_field.field_path != order.field_path:
+                return None
+            if index_field.direction != order.direction:
+                return None
+        # entries encode the document name with the last field's direction
+        if fields[-1].direction != required_name:
+            return None
+
+        by_eq = {f.field_path: f for f in normalized.equality}
+        by_contains = {f.field_path: f for f in normalized.contains}
+        prefix_filters = []
+        for index_field in fields[:split]:
+            if index_field.mode is IndexMode.CONTAINS:
+                flt = by_contains.get(index_field.field_path)
+            else:
+                flt = by_eq.get(index_field.field_path)
+            if flt is None:
+                return None
+            prefix_filters.append(flt)
+        return IndexScanSpec(index, tuple(prefix_filters))
+
+    # -- index suggestion -------------------------------------------------------------
+
+    def _suggest(self, normalized: NormalizedQuery) -> str:
+        group = normalized.query.collection_group
+        parts = []
+        suffix_fields = {o.field_path for o in normalized.core_orders}
+        for flt in normalized.equality:
+            if flt.field_path not in suffix_fields:
+                parts.append(f"{flt.field_path} asc")
+        for flt in normalized.contains:
+            parts.append(f"{flt.field_path} contains")
+        for order in normalized.core_orders:
+            parts.append(f"{order.field_path} {order.direction}")
+        return f"{group}({', '.join(parts)})"
+
+
+def _flip(direction: str) -> str:
+    return DESCENDING if direction == ASCENDING else ASCENDING

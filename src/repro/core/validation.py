@@ -1,0 +1,128 @@
+"""Periodic data-validation jobs.
+
+"Data integrity is a core requirement of any database. We rely both on
+Spanner's data integrity guarantees for data at rest, and periodic data
+validation jobs at both the Spanner and Firestore layers to verify the
+correctness of data and consistency of indexes." (paper section VI)
+
+:class:`DataValidator` is the Firestore-layer job: it scans one
+database's directory and checks
+
+- every Entities payload deserializes and passes its checksum,
+- every document's expected index entries exist (no missing entries),
+- no IndexEntries row is orphaned (no dangling entries), and
+- the index-entry payloads point back at real documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.encoding import decode_doc_name
+from repro.core.index_entries import compute_document_entries
+from repro.core.indexes import IndexRegistry, IndexState
+from repro.core.layout import ENTITIES, INDEX_ENTRIES, DatabaseLayout
+from repro.core.path import Path
+from repro.core.serialization import deserialize_document
+
+
+@dataclass
+class ValidationReport:
+    """What one validation run found."""
+    documents_checked: int = 0
+    index_entries_checked: int = 0
+    corrupt_documents: list[str] = field(default_factory=list)
+    missing_entries: list[bytes] = field(default_factory=list)
+    dangling_entries: list[bytes] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no integrity problem was found."""
+        return not (
+            self.corrupt_documents or self.missing_entries or self.dangling_entries
+        )
+
+    def summary(self) -> str:
+        """One-line clean/PROBLEMS roll-up."""
+        if self.is_clean:
+            return (
+                f"clean: {self.documents_checked} documents, "
+                f"{self.index_entries_checked} index entries"
+            )
+        return (
+            f"PROBLEMS: {len(self.corrupt_documents)} corrupt documents, "
+            f"{len(self.missing_entries)} missing index entries, "
+            f"{len(self.dangling_entries)} dangling index entries"
+        )
+
+
+class DataValidator:
+    """The Firestore-layer periodic validation job for one database."""
+
+    def __init__(self, layout: DatabaseLayout, registry: IndexRegistry):
+        self.layout = layout
+        self.registry = registry
+
+    def run(self) -> ValidationReport:
+        """Scan the directory and return a report."""
+        report = ValidationReport()
+        read_ts = self.layout.spanner.current_timestamp()
+        expected_entries = self._check_documents(report, read_ts)
+        self._check_index_entries(report, read_ts, expected_entries)
+        return report
+
+    def _check_documents(self, report: ValidationReport, read_ts: int) -> set[bytes]:
+        """Validate every document; returns the full expected entry set."""
+        start, end = self.layout.directory_range()
+        prefix_len = len(self.layout.directory_prefix)
+        expected: set[bytes] = set()
+        for key, row in self.layout.spanner.snapshot_scan(
+            ENTITIES, start, end, read_ts
+        ):
+            report.documents_checked += 1
+            segments, _ = decode_doc_name(key[prefix_len:])
+            path = Path(*segments)
+            if not row.verify_checksum():
+                report.corrupt_documents.append(str(path))
+                continue
+            try:
+                data = deserialize_document(row.data)
+            except Exception:
+                report.corrupt_documents.append(str(path))
+                continue
+            for entry_key in compute_document_entries(self.registry, path, data):
+                expected.add(self.layout.index_key(entry_key))
+        return expected
+
+    def _check_index_entries(
+        self, report: ValidationReport, read_ts: int, expected: set[bytes]
+    ) -> None:
+        start, end = self.layout.directory_range()
+        actual: set[bytes] = set()
+        for key, _payload in self.layout.spanner.snapshot_scan(
+            INDEX_ENTRIES, start, end, read_ts
+        ):
+            report.index_entries_checked += 1
+            actual.add(key)
+        # entries for DELETING indexes are allowed to linger mid-removal
+        deleting_ids = {
+            d.index_id
+            for d in self.registry.all_indexes()
+            if d.state is IndexState.DELETING
+        }
+        for key in actual - expected:
+            if self._index_id_of(key) not in deleting_ids:
+                report.dangling_entries.append(key)
+        # entries for CREATING indexes may not be backfilled yet
+        creating_ids = {
+            d.index_id
+            for d in self.registry.all_indexes()
+            if d.state is IndexState.CREATING
+        }
+        for key in expected - actual:
+            if self._index_id_of(key) not in creating_ids:
+                report.missing_entries.append(key)
+
+    def _index_id_of(self, absolute_key: bytes) -> int:
+        offset = len(self.layout.directory_prefix)
+        return int.from_bytes(absolute_key[offset : offset + 4], "big")

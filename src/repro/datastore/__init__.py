@@ -1,0 +1,20 @@
+"""The Datastore API: the older sibling over the same database.
+
+"Both Firestore and Datastore have a common data model, and provide
+similar access to the underlying data — Firestore calls them documents and
+Datastore calls them entities ... Additionally, both APIs can be used to
+read from and write to the same database" (paper section II).
+
+:class:`DatastoreClient` speaks entity/kind/key vocabulary against any
+:class:`~repro.core.firestore.FirestoreDatabase` — writes made through
+one API are visible through the other, as in production.
+"""
+
+from repro.datastore.api import (
+    DatastoreClient,
+    DatastoreQuery,
+    Entity,
+    Key,
+)
+
+__all__ = ["DatastoreClient", "DatastoreQuery", "Entity", "Key"]

@@ -1,0 +1,277 @@
+"""Datastore-API vocabulary over the shared document database.
+
+The mapping is mechanical — it has to be, since both APIs address the
+same Spanner rows (paper section II):
+
+================  ==========================
+Datastore         Firestore
+================  ==========================
+kind              collection id
+key path          document path
+entity            document
+ancestor          parent document
+================  ==========================
+
+Simplifications vs production Datastore, documented in DESIGN.md:
+ancestor queries return the *direct* child collection of the ancestor for
+the queried kind (the query model is single-collection), and kindless
+queries are not offered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Optional
+
+from repro.errors import InvalidArgument
+from repro.core.backend import delete_op, set_op
+from repro.core.firestore import FirestoreDatabase
+from repro.core.path import Path
+from repro.core.query import Operator, Query
+from repro.core.transaction import TransactionContext, run_transaction
+
+
+@dataclass(frozen=True)
+class Key:
+    """A Datastore key: alternating (kind, name-or-id) pairs."""
+
+    flat_path: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.flat_path or len(self.flat_path) % 2 != 0:
+            raise InvalidArgument(
+                "a key needs alternating kind/identifier pairs"
+            )
+
+    @classmethod
+    def of(cls, *flat: str | int) -> "Key":
+        """Build a key from alternating kind/identifier parts."""
+        return cls(tuple(str(part) for part in flat))
+
+    @property
+    def kind(self) -> str:
+        """The final kind."""
+        return self.flat_path[-2]
+
+    @property
+    def identifier(self) -> str:
+        """The final name or id (as a string)."""
+        return self.flat_path[-1]
+
+    @property
+    def parent(self) -> Optional["Key"]:
+        """The containing key, or None at the root."""
+        if len(self.flat_path) == 2:
+            return None
+        return Key(self.flat_path[:-2])
+
+    def child(self, kind: str, identifier: str | int) -> "Key":
+        """This key extended by one (kind, identifier) pair."""
+        return Key(self.flat_path + (kind, str(identifier)))
+
+    def to_document_path(self) -> Path:
+        """The equivalent Firestore document path."""
+        return Path(*self.flat_path)
+
+    @classmethod
+    def from_document_path(cls, path: Path) -> "Key":
+        """Build a key from a Firestore document path."""
+        return cls(path.segments)
+
+    def __str__(self) -> str:
+        return "/".join(self.flat_path)
+
+
+@dataclass
+class Entity:
+    """A Datastore entity: a key plus schemaless properties."""
+
+    key: Key
+    properties: dict = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.properties[name]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self.properties[name] = value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """A property value with a default."""
+        return self.properties.get(name, default)
+
+
+@dataclass(frozen=True)
+class DatastoreQuery:
+    """A query over one kind, optionally under an ancestor."""
+
+    kind: str
+    ancestor: Optional[Key] = None
+    filters: tuple[tuple[str, str, Any], ...] = ()
+    orders: tuple[tuple[str, str], ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    keys_only: bool = False
+    projection: tuple[str, ...] = ()
+
+    def filter(self, property_name: str, op: str, value: Any) -> "DatastoreQuery":
+        """Add a property predicate; returns a new query."""
+        return replace(self, filters=self.filters + ((property_name, op, value),))
+
+    def order(self, property_name: str) -> "DatastoreQuery":
+        """Ascending order; prefix the name with '-' for descending
+        (the classic Datastore convention)."""
+        direction = "asc"
+        if property_name.startswith("-"):
+            property_name = property_name[1:]
+            direction = "desc"
+        return replace(self, orders=self.orders + ((property_name, direction),))
+
+    def limit_to(self, count: int) -> "DatastoreQuery":
+        """Cap the result count."""
+        return replace(self, limit=count)
+
+    def offset_by(self, count: int) -> "DatastoreQuery":
+        """Skip leading results."""
+        return replace(self, offset=count)
+
+    def select_keys_only(self) -> "DatastoreQuery":
+        """Return keys instead of entities."""
+        return replace(self, keys_only=True)
+
+    def select(self, *property_names: str) -> "DatastoreQuery":
+        """Project to the given properties."""
+        return replace(self, projection=tuple(property_names))
+
+    def to_firestore_query(self) -> Query:
+        """Compile to the shared query model."""
+        if self.ancestor is not None:
+            parent = self.ancestor.to_document_path().child(self.kind)
+        else:
+            parent = Path(self.kind)
+        query = Query(parent=parent)
+        for property_name, op, value in self.filters:
+            operator = Operator.EQ if op in ("=", "==") else Operator(op)
+            query = query.where(property_name, operator, value)
+        for property_name, direction in self.orders:
+            query = query.order_by(property_name, direction)
+        if self.limit is not None:
+            query = query.limit_to(self.limit)
+        if self.offset:
+            query = query.offset_by(self.offset)
+        if self.projection:
+            query = query.select(*self.projection)
+        return query
+
+
+class DatastoreClient:
+    """The Datastore-flavoured client for a Firestore database."""
+
+    def __init__(self, database: FirestoreDatabase):
+        self.database = database
+        self._id_allocator = itertools.count(1)
+
+    # -- keys --------------------------------------------------------------------
+
+    def key(self, *flat: str | int) -> Key:
+        """Build a key from alternating kind/identifier parts."""
+        return Key.of(*flat)
+
+    def allocate_ids(self, parent_kind_key: Key | str, count: int) -> list[Key]:
+        """Reserve numeric identifiers under a kind (or partial key)."""
+        if count < 1:
+            raise InvalidArgument("allocate at least one id")
+        if isinstance(parent_kind_key, str):
+            prefix: tuple[str, ...] = (parent_kind_key,)
+        else:
+            raise InvalidArgument("pass the kind name to allocate under")
+        base = self.database.service.clock.now_us
+        return [
+            Key(prefix + (str(base * 1000 + next(self._id_allocator)),))
+            for _ in range(count)
+        ]
+
+    # -- entity CRUD ----------------------------------------------------------------
+
+    def put(self, entity: Entity) -> None:
+        """Upsert one entity."""
+        self.put_multi([entity])
+
+    def put_multi(self, entities: Iterable[Entity]) -> None:
+        """Upsert several entities atomically."""
+        writes = [
+            set_op(entity.key.to_document_path(), dict(entity.properties))
+            for entity in entities
+        ]
+        self.database.commit(writes)
+
+    def get(self, key: Key) -> Optional[Entity]:
+        """Fetch one entity, or None."""
+        snapshot = self.database.lookup(key.to_document_path())
+        if not snapshot.exists:
+            return None
+        return Entity(key, dict(snapshot.data))
+
+    def get_multi(self, keys: Iterable[Key]) -> list[Optional[Entity]]:
+        """Fetch several entities (None per miss)."""
+        return [self.get(key) for key in keys]
+
+    def delete(self, key: Key) -> None:
+        """Delete one entity."""
+        self.delete_multi([key])
+
+    def delete_multi(self, keys: Iterable[Key]) -> None:
+        """Delete several entities atomically."""
+        self.database.commit([delete_op(key.to_document_path()) for key in keys])
+
+    # -- queries -----------------------------------------------------------------------
+
+    def query(self, kind: str, ancestor: Optional[Key] = None) -> DatastoreQuery:
+        """Start a query over one kind (optionally under an ancestor)."""
+        if not kind:
+            raise InvalidArgument("kindless queries are not supported")
+        return DatastoreQuery(kind=kind, ancestor=ancestor)
+
+    def run_query(self, query: DatastoreQuery) -> list[Entity] | list[Key]:
+        """Execute; returns entities (or keys for keys-only)."""
+        result = self.database.run_query(query.to_firestore_query())
+        if query.keys_only:
+            return [Key.from_document_path(doc.path) for doc in result.documents]
+        return [
+            Entity(Key.from_document_path(doc.path), dict(doc.data))
+            for doc in result.documents
+        ]
+
+    def count(self, query: DatastoreQuery) -> int:
+        """COUNT the query without fetching entities."""
+        count, _ = self.database.run_count(query.to_firestore_query())
+        return count
+
+    # -- transactions ------------------------------------------------------------------
+
+    def transaction(self, fn, max_attempts: int = 5):
+        """Run ``fn(txn_client)`` transactionally with retries."""
+
+        def wrapped(ctx: TransactionContext):
+            return fn(_DatastoreTransaction(ctx))
+
+        return run_transaction(self.database.backend, wrapped, max_attempts)
+
+
+class _DatastoreTransaction:
+    """Entity-flavoured facade over a Firestore transaction context."""
+
+    def __init__(self, ctx: TransactionContext):
+        self._ctx = ctx
+
+    def get(self, key: Key) -> Optional[Entity]:
+        snapshot = self._ctx.get(key.to_document_path())
+        if not snapshot.exists:
+            return None
+        return Entity(key, dict(snapshot.data))
+
+    def put(self, entity: Entity) -> None:
+        self._ctx.set(entity.key.to_document_path(), dict(entity.properties))
+
+    def delete(self, key: Key) -> None:
+        self._ctx.delete(key.to_document_path())

@@ -1,0 +1,21 @@
+"""The standalone Firestore emulator.
+
+"a standalone emulator allows developers to safely experiment" (paper
+section I). This package speaks the Firestore REST API's wire format —
+JSON value encodings, ``documents`` resource names, ``:runQuery`` /
+``:commit`` RPCs — over an in-memory database, both as an in-process
+handler (:class:`FirestoreEmulator`) and as a real HTTP server
+(:func:`serve`, ``python -m repro.emulator``).
+"""
+
+from repro.emulator.values_json import decode_value, encode_value
+from repro.emulator.emulator import EmulatorResponse, FirestoreEmulator
+from repro.emulator.server import serve
+
+__all__ = [
+    "decode_value",
+    "encode_value",
+    "EmulatorResponse",
+    "FirestoreEmulator",
+    "serve",
+]

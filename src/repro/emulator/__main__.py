@@ -1,0 +1,3 @@
+from repro.emulator.server import main
+
+main()

@@ -1,0 +1,346 @@
+"""The in-process emulator: Firestore REST API over a local database.
+
+Resource names follow the production scheme::
+
+    projects/{project}/databases/{database}/documents/{document path}
+
+Supported endpoints (the surface the client libraries actually exercise):
+
+=======  ======================================== =========================
+method   path                                     semantics
+=======  ======================================== =========================
+GET      .../documents/{doc}                      read one document
+PATCH    .../documents/{doc} [?updateMask=...]    set / merge fields
+POST     .../documents/{collection} [?documentId] create (auto id default)
+DELETE   .../documents/{doc}                      delete
+POST     .../documents:runQuery                   structuredQuery execution
+POST     .../documents:commit                     atomic multi-write
+POST     .../documents:runAggregationQuery        COUNT
+=======  ======================================== =========================
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import FirestoreError, InvalidArgument, NotFound
+from repro.core.backend import WriteOp, delete_op, set_op, update_op
+from repro.core.document import Document
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.firestore import FirestoreService
+from repro.core.query import Operator, Query
+from repro.emulator.values_json import decode_fields, encode_fields
+
+_OPERATOR_NAMES = {
+    "EQUAL": Operator.EQ,
+    "LESS_THAN": Operator.LT,
+    "LESS_THAN_OR_EQUAL": Operator.LE,
+    "GREATER_THAN": Operator.GT,
+    "GREATER_THAN_OR_EQUAL": Operator.GE,
+    "ARRAY_CONTAINS": Operator.ARRAY_CONTAINS,
+}
+
+
+@dataclass
+class EmulatorResponse:
+    """Status code + JSON body of one REST call."""
+    status: int
+    body: Any
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+
+_STATUS_BY_CODE = {
+    "INVALID_ARGUMENT": 400,
+    "FAILED_PRECONDITION": 400,
+    "UNAUTHENTICATED": 401,
+    "PERMISSION_DENIED": 403,
+    "NOT_FOUND": 404,
+    "ALREADY_EXISTS": 409,
+    "ABORTED": 409,
+    "RESOURCE_EXHAUSTED": 429,
+    "DEADLINE_EXCEEDED": 504,
+    "UNAVAILABLE": 503,
+}
+
+
+class FirestoreEmulator:
+    """A standalone multi-project emulator."""
+
+    def __init__(self, service: Optional[FirestoreService] = None):
+        self.service = service if service is not None else FirestoreService()
+        self._auto_ids = itertools.count(1)
+
+    # -- request entry point --------------------------------------------------------
+
+    def handle(self, method: str, path: str, body: Optional[dict] = None) -> EmulatorResponse:
+        """Dispatch one REST request. ``path`` may carry a query string."""
+        try:
+            return self._route(method.upper(), path, body or {})
+        except FirestoreError as exc:
+            status = _STATUS_BY_CODE.get(exc.code, 500)
+            return EmulatorResponse(
+                status,
+                {"error": {"code": status, "status": exc.code, "message": str(exc)}},
+            )
+
+    def _route(self, method: str, raw_path: str, body: dict) -> EmulatorResponse:
+        path, _, query_string = raw_path.partition("?")
+        params = _parse_params(query_string)
+        project, database_id, remainder = _split_resource(path)
+        db = self._database(project, database_id)
+
+        if remainder == "documents:runQuery" and method == "POST":
+            return self._run_query(db, body)
+        if remainder == "documents:runAggregationQuery" and method == "POST":
+            return self._run_aggregation(db, body)
+        if remainder == "documents:commit" and method == "POST":
+            return self._commit(db, project, database_id, body)
+        if not remainder.startswith("documents/"):
+            raise InvalidArgument(f"unknown resource {remainder!r}")
+        doc_path = remainder[len("documents/") :]
+        if not doc_path:
+            raise InvalidArgument("missing document path")
+
+        if method == "GET":
+            return self._get(db, project, database_id, doc_path)
+        if method == "DELETE":
+            return self._delete(db, doc_path)
+        if method == "PATCH":
+            return self._patch(db, project, database_id, doc_path, body, params)
+        if method == "POST":
+            return self._create(db, project, database_id, doc_path, body, params)
+        raise InvalidArgument(f"unsupported method {method}")
+
+    # -- databases -------------------------------------------------------------------
+
+    def _database(self, project: str, database_id: str):
+        name = f"{project}/{database_id}"
+        try:
+            return self.service.database(name)
+        except NotFound:
+            # the emulator auto-creates databases on first touch, so a
+            # developer can experiment with zero setup
+            return self.service.create_database(name)
+
+    # -- document CRUD ------------------------------------------------------------------
+
+    def _get(self, db, project, database_id, doc_path) -> EmulatorResponse:
+        snapshot = db.lookup(doc_path)
+        if not snapshot.exists:
+            raise NotFound(f"document {doc_path} not found")
+        return EmulatorResponse(
+            200, _document_json(project, database_id, snapshot.document)
+        )
+
+    def _delete(self, db, doc_path) -> EmulatorResponse:
+        db.commit([delete_op(doc_path)])
+        return EmulatorResponse(200, {})
+
+    def _patch(self, db, project, database_id, doc_path, body, params) -> EmulatorResponse:
+        data = decode_fields(body.get("fields", {}))
+        mask = params.get("updateMask.fieldPaths")
+        if mask:
+            masked = {key: value for key, value in data.items() if key in mask}
+            deletions = tuple(f for f in mask if f not in data)
+            exists = db.lookup(doc_path).exists
+            if exists:
+                db.commit([update_op(doc_path, masked, delete_fields=deletions)])
+            else:
+                db.commit([set_op(doc_path, masked)])
+        else:
+            db.commit([set_op(doc_path, data)])
+        snapshot = db.lookup(doc_path)
+        return EmulatorResponse(
+            200, _document_json(project, database_id, snapshot.document)
+        )
+
+    def _create(self, db, project, database_id, collection_path, body, params) -> EmulatorResponse:
+        document_id = params.get("documentId", [None])[0] or f"auto{next(self._auto_ids):08d}"
+        doc_path = f"{collection_path}/{document_id}"
+        from repro.core.backend import create_op
+
+        data = decode_fields(body.get("fields", {}))
+        db.commit([create_op(doc_path, data)])
+        snapshot = db.lookup(doc_path)
+        return EmulatorResponse(
+            200, _document_json(project, database_id, snapshot.document)
+        )
+
+    # -- commit ----------------------------------------------------------------------------
+
+    def _commit(self, db, project, database_id, body) -> EmulatorResponse:
+        writes = [self._decode_write(write) for write in body.get("writes", [])]
+        if not writes:
+            raise InvalidArgument("commit requires writes")
+        outcome = db.commit(writes)
+        from repro.emulator.values_json import _timestamp_to_rfc3339
+
+        commit_time = _timestamp_to_rfc3339(outcome.commit_ts)
+        return EmulatorResponse(
+            200,
+            {
+                "commitTime": commit_time,
+                "writeResults": [{"updateTime": commit_time}] * len(writes),
+            },
+        )
+
+    def _decode_write(self, wire: dict) -> WriteOp:
+        if "delete" in wire:
+            return delete_op(_strip_name(wire["delete"]))
+        if "update" not in wire:
+            raise InvalidArgument(f"unsupported write {sorted(wire)!r}")
+        doc = wire["update"]
+        path = _strip_name(doc["name"])
+        data = decode_fields(doc.get("fields", {}))
+        mask = wire.get("updateMask", {}).get("fieldPaths")
+        if mask is not None:
+            masked = {key: value for key, value in data.items() if key in mask}
+            deletions = tuple(f for f in mask if f not in data)
+            return update_op(path, masked, delete_fields=deletions)
+        return set_op(path, data)
+
+    # -- queries ------------------------------------------------------------------------------
+
+    def _structured_query(self, db, body: dict) -> Query:
+        structured = body.get("structuredQuery")
+        if not isinstance(structured, dict):
+            raise InvalidArgument("missing structuredQuery")
+        selections = structured.get("from", [])
+        if len(selections) != 1:
+            raise InvalidArgument("exactly one collection selector required")
+        collection_id = selections[0].get("collectionId")
+        parent_prefix = body.get("parent", "")
+        _, _, parent_doc = parent_prefix.partition("/documents")
+        parent_doc = parent_doc.strip("/")
+        collection = (
+            f"{parent_doc}/{collection_id}" if parent_doc else collection_id
+        )
+        query = db.query(collection)
+
+        where = structured.get("where")
+        if where is not None:
+            for flt in _flatten_where(where):
+                query = self._apply_filter(query, flt)
+        for order in structured.get("orderBy", []):
+            direction = (
+                DESCENDING if order.get("direction") == "DESCENDING" else ASCENDING
+            )
+            query = query.order_by(order["field"]["fieldPath"], direction)
+        if "limit" in structured:
+            query = query.limit_to(int(structured["limit"]))
+        if "offset" in structured:
+            query = query.offset_by(int(structured["offset"]))
+        select = structured.get("select")
+        if select is not None:
+            query = query.select(
+                *[f["fieldPath"] for f in select.get("fields", [])]
+            )
+        return query
+
+    def _apply_filter(self, query: Query, flt: dict) -> Query:
+        from repro.emulator.values_json import decode_value
+
+        operator = _OPERATOR_NAMES.get(flt.get("op"))
+        if operator is None:
+            raise InvalidArgument(f"unsupported filter op {flt.get('op')!r}")
+        return query.where(
+            flt["field"]["fieldPath"], operator, decode_value(flt["value"])
+        )
+
+    def _run_query(self, db, body: dict) -> EmulatorResponse:
+        query = self._structured_query(db, body)
+        project, database_id = _project_of(body.get("parent", ""))
+        result = db.run_query(query)
+        from repro.emulator.values_json import _timestamp_to_rfc3339
+
+        read_time = _timestamp_to_rfc3339(result.read_ts)
+        responses = [
+            {
+                "document": _document_json(project, database_id, doc),
+                "readTime": read_time,
+            }
+            for doc in result.documents
+        ]
+        if not responses:
+            responses = [{"readTime": read_time}]
+        return EmulatorResponse(200, responses)
+
+    def _run_aggregation(self, db, body: dict) -> EmulatorResponse:
+        structured = body.get("structuredAggregationQuery", {})
+        inner = {"structuredQuery": structured.get("structuredQuery"),
+                 "parent": body.get("parent", "")}
+        query = self._structured_query(db, inner)
+        count, _examined = db.run_count(query)
+        return EmulatorResponse(
+            200,
+            [{"result": {"aggregateFields": {"count": {"integerValue": str(count)}}}}],
+        )
+
+
+# -- helpers --------------------------------------------------------------------------
+
+
+def _split_resource(path: str) -> tuple[str, str, str]:
+    parts = path.strip("/").split("/")
+    if len(parts) < 5 or parts[0] != "v1" or parts[1] != "projects" or parts[3] != "databases":
+        raise InvalidArgument(f"bad resource path {path!r}")
+    project = parts[2]
+    database_id = parts[4]
+    remainder = "/".join(parts[5:])
+    return project, database_id, remainder
+
+
+def _project_of(parent: str) -> tuple[str, str]:
+    parts = parent.strip("/").split("/")
+    if len(parts) >= 4 and parts[0] == "projects":
+        return parts[1], parts[3]
+    return "demo", "(default)"
+
+
+def _strip_name(name: str) -> str:
+    _, _, doc = name.partition("/documents/")
+    return doc if doc else name
+
+
+def _parse_params(query_string: str) -> dict[str, list[str]]:
+    params: dict[str, list[str]] = {}
+    if not query_string:
+        return params
+    for pair in query_string.split("&"):
+        key, _, value = pair.partition("=")
+        params.setdefault(key, []).append(value)
+    return params
+
+
+def _flatten_where(where: dict) -> list[dict]:
+    if "compositeFilter" in where:
+        composite = where["compositeFilter"]
+        if composite.get("op") != "AND":
+            raise InvalidArgument("only AND composites are supported")
+        out: list[dict] = []
+        for sub in composite.get("filters", []):
+            out.extend(_flatten_where(sub))
+        return out
+    if "fieldFilter" in where:
+        return [where["fieldFilter"]]
+    raise InvalidArgument(f"unsupported filter {sorted(where)!r}")
+
+
+def _document_json(project: str, database_id: str, document: Document) -> dict:
+    from repro.emulator.values_json import _timestamp_to_rfc3339
+
+    return {
+        "name": (
+            f"projects/{project}/databases/{database_id}/"
+            f"documents/{document.name}"
+        ),
+        "fields": encode_fields(document.data),
+        "createTime": _timestamp_to_rfc3339(document.create_time),
+        "updateTime": _timestamp_to_rfc3339(document.update_time),
+    }

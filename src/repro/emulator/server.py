@@ -1,0 +1,78 @@
+"""A real HTTP front for the emulator (``python -m repro.emulator``).
+
+Wraps :class:`FirestoreEmulator` in the standard-library HTTP server so
+developers can point REST tooling (curl, httpie, client libraries with an
+emulator host override) at it — the "safely experiment" workflow the
+paper attributes to the standalone emulator.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.emulator.emulator import FirestoreEmulator
+
+
+def _make_handler(emulator: FirestoreEmulator):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args) -> None:  # quiet
+            pass
+
+        def _respond(self) -> None:
+            length = int(self.headers.get("Content-Length", 0))
+            body = None
+            if length:
+                try:
+                    body = json.loads(self.rfile.read(length))
+                except json.JSONDecodeError:
+                    self._write(400, {"error": {"message": "bad JSON"}})
+                    return
+            response = emulator.handle(self.command, self.path, body)
+            self._write(response.status, response.body)
+
+        def _write(self, status: int, payload) -> None:
+            raw = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        do_GET = _respond
+        do_POST = _respond
+        do_PATCH = _respond
+        do_DELETE = _respond
+
+    return Handler
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    emulator: Optional[FirestoreEmulator] = None,
+) -> ThreadingHTTPServer:
+    """Create (but do not start) the HTTP server; call serve_forever()."""
+    emulator = emulator if emulator is not None else FirestoreEmulator()
+    server = ThreadingHTTPServer((host, port), _make_handler(emulator))
+    return server
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    """CLI entry point: parse flags and serve forever."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Firestore emulator")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    args = parser.parse_args()
+    server = serve(args.host, args.port)
+    print(f"Firestore emulator listening on http://{args.host}:{args.port}")
+    server.serve_forever()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

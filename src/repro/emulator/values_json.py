@@ -1,0 +1,113 @@
+"""The Firestore REST API's JSON value encoding.
+
+Every field value travels as a single-key object naming its type, e.g.
+``{"stringValue": "SF"}`` or ``{"integerValue": "42"}`` (int64 as a
+string, exactly like the production API). This codec converts between
+that wire form and the library's Python value model.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+from repro.errors import InvalidArgument
+from repro.core.values import GeoPoint, Reference, Timestamp
+
+_MICROS = 1_000_000
+
+
+def _timestamp_to_rfc3339(micros: int) -> str:
+    import datetime
+
+    dt = datetime.datetime.fromtimestamp(
+        micros / _MICROS, tz=datetime.timezone.utc
+    )
+    return dt.strftime("%Y-%m-%dT%H:%M:%S.%f") + "Z"
+
+
+def _rfc3339_to_micros(text: str) -> int:
+    import datetime
+
+    cleaned = text.rstrip("Z")
+    if "." in cleaned:
+        base, frac = cleaned.split(".")
+        frac = (frac + "000000")[:6]
+    else:
+        base, frac = cleaned, "000000"
+    dt = datetime.datetime.strptime(base, "%Y-%m-%dT%H:%M:%S").replace(
+        tzinfo=datetime.timezone.utc
+    )
+    return int(dt.timestamp()) * _MICROS + int(frac)
+
+
+def encode_value(value: Any) -> dict:
+    """Python value -> REST JSON value object."""
+    if value is None:
+        return {"nullValue": None}
+    if isinstance(value, bool):
+        return {"booleanValue": value}
+    if isinstance(value, int):
+        return {"integerValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    if isinstance(value, Timestamp):
+        return {"timestampValue": _timestamp_to_rfc3339(value.micros)}
+    if isinstance(value, str):
+        return {"stringValue": value}
+    if isinstance(value, bytes):
+        return {"bytesValue": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, Reference):
+        return {"referenceValue": value.path}
+    if isinstance(value, GeoPoint):
+        return {
+            "geoPointValue": {
+                "latitude": value.latitude,
+                "longitude": value.longitude,
+            }
+        }
+    if isinstance(value, list):
+        return {"arrayValue": {"values": [encode_value(v) for v in value]}}
+    if isinstance(value, dict):
+        return {"mapValue": {"fields": encode_fields(value)}}
+    raise InvalidArgument(f"cannot encode {type(value).__name__} for the REST API")
+
+
+def decode_value(wire: dict) -> Any:
+    """REST JSON value object -> Python value."""
+    if not isinstance(wire, dict) or len(wire) != 1:
+        raise InvalidArgument(f"malformed value object: {wire!r}")
+    (kind, payload), = wire.items()
+    if kind == "nullValue":
+        return None
+    if kind == "booleanValue":
+        return bool(payload)
+    if kind == "integerValue":
+        return int(payload)
+    if kind == "doubleValue":
+        return float(payload)
+    if kind == "timestampValue":
+        return Timestamp(_rfc3339_to_micros(payload))
+    if kind == "stringValue":
+        return str(payload)
+    if kind == "bytesValue":
+        return base64.b64decode(payload)
+    if kind == "referenceValue":
+        return Reference(str(payload))
+    if kind == "geoPointValue":
+        return GeoPoint(payload.get("latitude", 0.0), payload.get("longitude", 0.0))
+    if kind == "arrayValue":
+        return [decode_value(v) for v in payload.get("values", [])]
+    if kind == "mapValue":
+        return decode_fields(payload.get("fields", {}))
+    raise InvalidArgument(f"unknown value kind {kind!r}")
+
+
+def encode_fields(data: dict) -> dict:
+    """Encode a whole field map to wire form."""
+    return {key: encode_value(value) for key, value in data.items()}
+
+
+def decode_fields(fields: dict) -> dict:
+    """Decode a whole wire field map."""
+    return {key: decode_value(value) for key, value in fields.items()}

@@ -1,0 +1,146 @@
+"""Exception hierarchy for the Firestore reproduction.
+
+The error taxonomy mirrors the gRPC canonical status codes that the real
+Firestore API surfaces, plus a few internal conditions (lock conflicts,
+tablet splits) that never escape the public API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class FirestoreError(ReproError):
+    """Base class for errors surfaced through the Firestore public API."""
+
+    #: canonical gRPC-style status code name
+    code = "UNKNOWN"
+
+
+class InvalidArgument(FirestoreError):
+    """The request is malformed (bad path, bad query, oversized document)."""
+
+    code = "INVALID_ARGUMENT"
+
+
+class FailedPrecondition(FirestoreError):
+    """A precondition of the operation was violated.
+
+    Raised e.g. for a query that has no satisfying index set; the message
+    then includes the index definition that must be created, mimicking the
+    Cloud Console link the production service returns.
+    """
+
+    code = "FAILED_PRECONDITION"
+
+
+class NotFound(FirestoreError):
+    """The referenced document or database does not exist."""
+
+    code = "NOT_FOUND"
+
+
+class AlreadyExists(FirestoreError):
+    """A create targeted a document that already exists."""
+
+    code = "ALREADY_EXISTS"
+
+
+class PermissionDenied(FirestoreError):
+    """Security rules denied the request."""
+
+    code = "PERMISSION_DENIED"
+
+
+class Unauthenticated(FirestoreError):
+    """The request carries no (valid) authentication."""
+
+    code = "UNAUTHENTICATED"
+
+
+class Aborted(FirestoreError):
+    """The transaction was aborted (lock conflict or stale OCC read).
+
+    Clients are expected to retry with backoff; the server SDKs do this
+    automatically (paper section III-D).
+    """
+
+    code = "ABORTED"
+
+
+class DeadlineExceeded(FirestoreError):
+    """The operation timed out; its outcome may be unknown."""
+
+    code = "DEADLINE_EXCEEDED"
+
+
+class ResourceExhausted(FirestoreError):
+    """Admission control rejected the request (load shedding / quota)."""
+
+    code = "RESOURCE_EXHAUSTED"
+
+
+class Unavailable(FirestoreError):
+    """A required component could not be reached (e.g. Real-time Cache)."""
+
+    code = "UNAVAILABLE"
+
+
+class InternalError(FirestoreError):
+    """An invariant was violated inside the service."""
+
+    code = "INTERNAL"
+
+
+class CommitOutcomeUnknown(FirestoreError):
+    """A commit's outcome could not be determined (paper section IV-D2).
+
+    The write may or may not have been applied; the Real-time Cache is told
+    to discard its in-memory mutation sequence for the affected ranges.
+    """
+
+    code = "UNKNOWN"
+
+
+class RulesError(ReproError):
+    """Base class for security-rules compilation errors."""
+
+
+class RulesSyntaxError(RulesError):
+    """The rules source failed to lex or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class RulesEvaluationError(RulesError):
+    """A rule expression failed at evaluation time.
+
+    Per the production semantics, an evaluation error in an ``allow``
+    condition denies that condition rather than failing the request; the
+    evaluator catches this internally.
+    """
+
+
+class LockConflict(ReproError):
+    """Internal: a lock request conflicted with another transaction.
+
+    Never escapes the Spanner layer; it is converted to :class:`Aborted`
+    so that callers retry, matching the paper's "failing and retrying such
+    transactions" remediation for contention.
+    """
+
+    def __init__(self, key: bytes, holder: int, requester: int):
+        self.key = key
+        self.holder = holder
+        self.requester = requester
+        super().__init__(
+            f"lock conflict on {key!r}: held by txn {holder}, "
+            f"wanted by txn {requester}"
+        )

@@ -1,0 +1,36 @@
+"""The Real-time Cache: change notification for real-time queries.
+
+Comprises the In-memory Changelog and the Query Matcher (paper Fig. 5),
+plus the Frontend-side snapshot assembly. The Backend performs a
+two-phase commit with the Changelog around every Spanner commit so the
+cache observes a complete, timestamp-ordered sequence of mutations per
+document-name range.
+"""
+
+from repro.realtime.protocol import (
+    DocumentChange,
+    NullRealtimeCache,
+    PrepareHandle,
+    RealtimeCacheInterface,
+    WriteOutcome,
+)
+from repro.realtime.ranges import RangeOwnership
+from repro.realtime.changelog import Changelog
+from repro.realtime.matcher import QueryMatcher
+from repro.realtime.frontend import Frontend, RealtimeConnection, SnapshotDelta
+from repro.realtime.cache import RealtimeCache
+
+__all__ = [
+    "DocumentChange",
+    "NullRealtimeCache",
+    "PrepareHandle",
+    "RealtimeCacheInterface",
+    "WriteOutcome",
+    "RangeOwnership",
+    "Changelog",
+    "QueryMatcher",
+    "Frontend",
+    "RealtimeConnection",
+    "SnapshotDelta",
+    "RealtimeCache",
+]

@@ -1,0 +1,335 @@
+"""Frontend tasks: long-lived connections and consistent snapshots.
+
+The Frontend (paper section IV-D4):
+
+- serves each new real-time query's initial snapshot through the Backend,
+- subscribes to the Query Matcher tasks owning the covering ranges,
+- "is responsible for tracking when it has received all the updates
+  necessary to reach a consistent timestamp" across those ranges, and
+  only then ships the accumulated delta as an incremental snapshot,
+- keeps the *multiple* queries multiplexed on one connection mutually
+  consistent: "queries on the same connection are only updated to a
+  timestamp t once all queries' max-commit-version has reached at least
+  t",
+- and on an out-of-sync signal "aborts all accumulated state for that
+  query and redoes the steps starting with the initial query request".
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.core.document import Document
+from repro.core.path import Path
+from repro.core.query import NormalizedQuery, Query
+from repro.core.values import compare_values, get_field
+from repro.realtime.matcher import QueryMatcher, Subscription, document_matches_query
+from repro.realtime.protocol import DocumentChange
+
+if TYPE_CHECKING:  # circular at runtime: the Backend drives this module
+    from repro.core.backend import Backend
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """One incremental snapshot for one query."""
+
+    query_tag: Any
+    read_ts: int
+    added: tuple[Document, ...]
+    modified: tuple[Document, ...]
+    removed: tuple[Path, ...]
+    #: the full result, in query order, at read_ts
+    documents: tuple[Document, ...]
+    #: True for the first snapshot and after each reset
+    is_initial: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing changed in this snapshot."""
+        return not (self.added or self.modified or self.removed)
+
+
+def query_order_key(normalized: NormalizedQuery):
+    """A sort key over (path, data) pairs matching the query's order."""
+
+    def cmp(a: tuple[Path, dict], b: tuple[Path, dict]) -> int:
+        for order in normalized.core_orders:
+            _, va = get_field(a[1], order.field_path)
+            _, vb = get_field(b[1], order.field_path)
+            result = compare_values(va, vb)
+            if result:
+                return result if order.direction == "asc" else -result
+        if a[0] == b[0]:
+            return 0
+        result = -1 if a[0] < b[0] else 1
+        return result if normalized.name_direction == "asc" else -result
+
+    return functools.cmp_to_key(cmp)
+
+
+class _QueryState:
+    """Frontend-side state for one registered real-time query."""
+
+    def __init__(self, tag: Any, query: Query, on_snapshot: Callable[[SnapshotDelta], None]):
+        self.tag = tag
+        self.query = query
+        self.normalized = query.normalize()
+        self.on_snapshot = on_snapshot
+        self.subscription: Optional[Subscription] = None
+        #: current result contents: path -> (data, update_ts, create_ts)
+        self.result: dict[Path, tuple[dict, int, int]] = {}
+        self.max_commit_version = 0
+        self.pending: list[tuple[int, DocumentChange]] = []
+        self.range_watermarks: dict[int, int] = {}
+        self.needs_reset = False
+
+    def consistent_ts(self) -> int:
+        if not self.range_watermarks:
+            return self.max_commit_version
+        return min(self.range_watermarks.values())
+
+
+class RealtimeConnection:
+    """One client's long-lived connection, multiplexing its queries."""
+
+    _tags = itertools.count(1)
+
+    def __init__(self, frontend: "Frontend"):
+        self._frontend = frontend
+        self._states: dict[Any, _QueryState] = {}
+        self._emitted_ts = 0
+        self.closed = False
+
+    # -- client API ----------------------------------------------------------------
+
+    def listen(
+        self,
+        query: Query,
+        on_snapshot: Callable[[SnapshotDelta], None],
+        tag: Any = None,
+    ) -> Any:
+        """Register a real-time query; the initial snapshot is delivered
+        synchronously, subsequent deltas on :meth:`Frontend.pump`."""
+        if tag is None:
+            tag = next(self._tags)
+        state = _QueryState(tag, query, on_snapshot)
+        self._states[tag] = state
+        self._frontend._start_query(state, is_initial=True)
+        return tag
+
+    def unlisten(self, tag: Any) -> None:
+        """Deregister one query from this connection."""
+        state = self._states.pop(tag, None)
+        if state is not None and state.subscription is not None:
+            self._frontend.matcher.unsubscribe(state.subscription.subscription_id)
+
+    def close(self) -> None:
+        """Tear the connection down, dropping all queries."""
+        for tag in list(self._states):
+            self.unlisten(tag)
+        self.closed = True
+        self._frontend._connections.discard(self)
+
+    @property
+    def query_count(self) -> int:
+        """Queries multiplexed on this connection."""
+        return len(self._states)
+
+    # -- consistency-tracked emission --------------------------------------------------
+
+    def _pump(self) -> int:
+        """Handle resets, then emit consistent snapshots. Returns count."""
+        emitted = 0
+        for state in list(self._states.values()):
+            if state.needs_reset:
+                self._frontend._reset_query(state)
+                emitted += 1
+        if not self._states:
+            return emitted
+        target = min(s.consistent_ts() for s in self._states.values())
+        if target <= self._emitted_ts:
+            return emitted
+        self._emitted_ts = target
+        for state in self._states.values():
+            if target > state.max_commit_version:
+                delta = self._frontend._apply_pending(state, target)
+                if delta is not None and not delta.is_empty:
+                    state.on_snapshot(delta)
+                    emitted += 1
+        return emitted
+
+
+class Frontend:
+    """One Frontend task serving real-time connections for a database."""
+
+    def __init__(self, backend: Backend, matcher: QueryMatcher):
+        self.backend = backend
+        self.matcher = matcher
+        self._connections: set[RealtimeConnection] = set()
+        # observability
+        self.snapshots_sent = 0
+        self.resets = 0
+
+    def connect(self) -> RealtimeConnection:
+        """Open a new long-lived client connection."""
+        connection = RealtimeConnection(self)
+        self._connections.add(connection)
+        return connection
+
+    @property
+    def connection_count(self) -> int:
+        """Open connections on this task."""
+        return len(self._connections)
+
+    @property
+    def active_queries(self) -> int:
+        """Registered queries across all connections."""
+        return sum(c.query_count for c in self._connections)
+
+    def pump(self) -> int:
+        """Deliver any snapshots that have become consistent."""
+        emitted = 0
+        for connection in list(self._connections):
+            emitted += connection._pump()
+        self.snapshots_sent += emitted
+        return emitted
+
+    # -- query lifecycle --------------------------------------------------------------
+
+    def _start_query(self, state: _QueryState, is_initial: bool) -> None:
+        """Steps 2-4: initial snapshot via the Backend, then Subscribe."""
+        previous = dict(state.result)
+        result = self.backend.run_query(state.query)
+        state.result = {
+            doc.path: (doc.data, doc.update_time, doc.create_time)
+            for doc in result.documents
+        }
+        state.max_commit_version = result.read_ts
+        state.pending.clear()
+        state.needs_reset = False
+
+        subscription = self.matcher.subscribe(
+            state.normalized,
+            resume_ts=result.read_ts,
+            deliver=lambda _sid, change: state.pending.append(
+                (change.commit_ts, change)
+            ),
+            notify_watermark=self._make_watermark_cb(state),
+            notify_reset=lambda _sid: setattr(state, "needs_reset", True),
+        )
+        state.subscription = subscription
+        state.range_watermarks = {
+            range_id: result.read_ts for range_id in subscription.range_ids
+        }
+        delta = self._diff_snapshots(state, previous, result.read_ts, is_initial=True)
+        state.on_snapshot(delta)
+        self.snapshots_sent += 1
+
+    def _make_watermark_cb(self, state: _QueryState):
+        def callback(_sid: int, range_id: int, watermark: int) -> None:
+            current = state.range_watermarks.get(range_id, 0)
+            if watermark > current:
+                state.range_watermarks[range_id] = watermark
+
+        return callback
+
+    def _reset_query(self, state: _QueryState) -> None:
+        """The fail-safe: abort accumulated state and redo from scratch.
+
+        "This reset is fast, and is mostly transparent to the end-user"
+        — the client receives one snapshot containing the net difference.
+        """
+        self.resets += 1
+        if state.subscription is not None:
+            self.matcher.unsubscribe(state.subscription.subscription_id)
+        self._start_query(state, is_initial=False)
+
+    # -- applying buffered changes --------------------------------------------------------
+
+    def _apply_pending(self, state: _QueryState, target_ts: int) -> Optional[SnapshotDelta]:
+        """Apply buffered changes with commit_ts <= target, build a delta."""
+        ready = sorted(
+            (item for item in state.pending if item[0] <= target_ts),
+            key=lambda item: item[0],
+        )
+        state.pending = [item for item in state.pending if item[0] > target_ts]
+        previous = dict(state.result)
+        limit = state.normalized.query.limit
+        at_capacity = limit is not None and len(state.result) >= limit
+
+        for commit_ts, change in ready:
+            matches_now = document_matches_query(
+                state.normalized, change.path, change.new_data
+            )
+            if matches_now:
+                create_ts = self._create_ts(state, change, commit_ts)
+                state.result[change.path] = (change.new_data, commit_ts, create_ts)
+            elif change.path in state.result:
+                del state.result[change.path]
+                if limit is not None and at_capacity:
+                    # a member left a full limited result set: the next
+                    # entrant is outside our view; re-run the query
+                    state.needs_reset = True
+                    self._reset_query(state)
+                    return None
+
+        if limit is not None:
+            self._trim_to_limit(state, limit)
+        state.max_commit_version = target_ts
+        return self._diff_snapshots(state, previous, target_ts, is_initial=False)
+
+    def _create_ts(self, state: _QueryState, change: DocumentChange, commit_ts: int) -> int:
+        if change.is_create:
+            return commit_ts
+        existing = state.result.get(change.path)
+        return existing[2] if existing is not None else commit_ts
+
+    def _trim_to_limit(self, state: _QueryState, limit: int) -> None:
+        if len(state.result) <= limit:
+            return
+        key = query_order_key(state.normalized)
+        ordered = sorted(
+            ((path, data) for path, (data, _, _) in state.result.items()), key=key
+        )
+        for path, _ in ordered[limit:]:
+            del state.result[path]
+
+    def _diff_snapshots(
+        self,
+        state: _QueryState,
+        previous: dict[Path, tuple[dict, int, int]],
+        read_ts: int,
+        is_initial: bool,
+    ) -> SnapshotDelta:
+        key = query_order_key(state.normalized)
+        ordered = sorted(
+            ((path, data) for path, (data, _, _) in state.result.items()), key=key
+        )
+        documents = tuple(
+            Document(path, data, state.result[path][2], state.result[path][1])
+            for path, data in ordered
+        )
+        added = []
+        modified = []
+        for doc in documents:
+            old = previous.get(doc.path)
+            if old is None:
+                added.append(doc)
+            elif old[0] != doc.data:
+                modified.append(doc)
+        removed = tuple(path for path in previous if path not in state.result)
+        return SnapshotDelta(
+            query_tag=state.tag,
+            read_ts=read_ts,
+            added=tuple(added),
+            modified=tuple(modified),
+            removed=removed,
+            documents=documents,
+            is_initial=is_initial,
+        )

@@ -1,0 +1,121 @@
+"""Document-name range ownership (the Slicer-like sharding).
+
+"A separate mechanism establishes and shares consistent ownership of
+document-name ranges to specific Changelog and Query Matcher tasks"
+(paper section IV-D4); "Load-balancing is achieved by dynamically changing
+the document-name range ownership ... by leveraging the Slicer
+auto-sharding framework".
+
+Keys here are order-preserving encodings of document names
+(:func:`repro.core.encoding.encode_doc_name`), so a collection's possible
+result documents occupy a contiguous key range.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.encoding import encode_doc_name, prefix_successor
+from repro.core.path import Path
+
+
+@dataclass(frozen=True)
+class NameRange:
+    """One owned range [start, end) of encoded document names."""
+
+    range_id: int
+    start: bytes
+    end: Optional[bytes]  # None = unbounded
+
+    def covers(self, key: bytes) -> bool:
+        """Whether the key falls inside this range."""
+        if key < self.start:
+            return False
+        return self.end is None or key < self.end
+
+    def overlaps(self, start: bytes, end: Optional[bytes]) -> bool:
+        """Whether [start, end) intersects this range."""
+        if self.end is not None and self.end <= start:
+            return False
+        if end is not None and self.start >= end:
+            return False
+        return True
+
+
+class RangeOwnership:
+    """The authoritative range -> task assignment for one database."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._ranges: list[NameRange] = [NameRange(next(self._ids), b"", None)]
+        #: called with (old_range, new_ranges) on every reassignment
+        self.on_reassign: Optional[Callable[[NameRange, list[NameRange]], None]] = None
+
+    @property
+    def ranges(self) -> list[NameRange]:
+        """The current ranges, in key order."""
+        return list(self._ranges)
+
+    @staticmethod
+    def key_for(path: Path) -> bytes:
+        """The encoded-name key of a document path."""
+        return encode_doc_name(path.segments)
+
+    @staticmethod
+    def collection_span(parent: Path) -> tuple[bytes, Optional[bytes]]:
+        """The encoded-name span containing every document in a collection
+        (including sub-collection documents, which share the prefix)."""
+        encoded = encode_doc_name(parent.segments)
+        prefix = encoded[:-2]  # strip the low sentinel; children extend it
+        return prefix, prefix_successor(prefix)
+
+    def owner_of(self, path: Path) -> NameRange:
+        """The range owning a document path."""
+        return self._owner_of_key(self.key_for(path))
+
+    def _owner_of_key(self, key: bytes) -> NameRange:
+        lo, hi = 0, len(self._ranges) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            candidate = self._ranges[mid]
+            if key < candidate.start:
+                hi = mid - 1
+            elif candidate.end is not None and key >= candidate.end:
+                lo = mid + 1
+            else:
+                return candidate
+        raise AssertionError("ownership must cover the whole keyspace")
+
+    def ranges_for_paths(self, paths: list[Path]) -> list[NameRange]:
+        """The distinct ranges owning the given paths."""
+        seen: dict[int, NameRange] = {}
+        for path in paths:
+            owner = self.owner_of(path)
+            seen[owner.range_id] = owner
+        return list(seen.values())
+
+    def ranges_for_collection(self, parent: Path) -> list[NameRange]:
+        """Every range that may own a document of this collection."""
+        start, end = self.collection_span(parent)
+        return [r for r in self._ranges if r.overlaps(start, end)]
+
+    def split(self, path: Path) -> list[NameRange]:
+        """Re-shard: split the range owning ``path`` at that document.
+
+        Returns the new ranges. Listeners on the old range are reset (the
+        fail-safe recovery path), matching the paper's observation that
+        ownership changes are handled by the generic reset machinery.
+        """
+        key = self.key_for(path)
+        old = self._owner_of_key(key)
+        if key == old.start:
+            return [old]
+        left = NameRange(next(self._ids), old.start, key)
+        right = NameRange(next(self._ids), key, old.end)
+        position = self._ranges.index(old)
+        self._ranges[position : position + 1] = [left, right]
+        if self.on_reassign is not None:
+            self.on_reassign(old, [left, right])
+        return [left, right]

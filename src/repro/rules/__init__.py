@@ -1,0 +1,23 @@
+"""Firebase Security Rules: the fine-grained access-control language.
+
+"In a system that allows direct third-party access, data needs to be
+secured at a finer granularity than the whole database ... These
+restrictions are expressed by the customer using Firestore security
+rules" (paper section III-E). The grammar supports nested ``match``
+statements, ``{wildcard}`` and ``{glob=**}`` captures, and ``if``
+conditions that can inspect the request, the resource, and — via
+``get()``/``exists()`` — other documents, read transactionally with the
+operation being authorized.
+"""
+
+from repro.rules.lexer import tokenize, Token, TokenType
+from repro.rules.parser import parse_rules
+from repro.rules.evaluator import RulesEngine
+from repro.rules import ast
+
+__all__ = ["tokenize", "Token", "TokenType", "parse_rules", "RulesEngine", "ast", "compile_rules"]
+
+
+def compile_rules(source: str) -> RulesEngine:
+    """Compile rules source into an engine ready to authorize requests."""
+    return RulesEngine(parse_rules(source))

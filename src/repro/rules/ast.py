@@ -1,0 +1,124 @@
+"""AST node definitions for the security rules language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: string, number, bool, or null."""
+    value: Any  # str | int | float | bool | None
+
+
+@dataclass(frozen=True)
+class ListLiteral:
+    """A [a, b, ...] list expression."""
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable reference."""
+    name: str
+
+
+@dataclass(frozen=True)
+class Member:
+    """Dotted member access: obj.name."""
+    obj: "Expr"
+    name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """Subscript access: obj[expr]."""
+    obj: "Expr"
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    """A function or method invocation."""
+    func: "Expr"  # Var or Member (method call)
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Unary:
+    """! or unary minus."""
+    op: str  # "!" | "-"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """A binary operator application."""
+    op: str  # && || == != < <= > >= in is + - * / %
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class PathLiteral:
+    """A /path/with/$(interpolated)/parts literal (argument of get/exists)."""
+
+    parts: tuple[Union[str, "Expr"], ...]  # str segments or $(expr) nodes
+
+
+Expr = Union[Literal, ListLiteral, Var, Member, Index, Call, Unary, Binary, PathLiteral]
+
+
+# -- structure -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One segment of a match pattern."""
+
+    kind: str  # "literal" | "capture" | "glob"
+    value: str  # literal text or capture variable name
+
+
+@dataclass(frozen=True)
+class Allow:
+    """``allow <methods>: if <condition>;`` (condition None = allow)."""
+
+    methods: tuple[str, ...]
+    condition: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    """``function name(args) { return expr; }``"""
+
+    name: str
+    params: tuple[str, ...]
+    body: Expr
+
+
+@dataclass
+class MatchBlock:
+    """One match statement: pattern, allows, nested matches."""
+    pattern: tuple[Segment, ...]
+    allows: list[Allow] = field(default_factory=list)
+    children: list["MatchBlock"] = field(default_factory=list)
+    functions: dict[str, FunctionDecl] = field(default_factory=dict)
+
+
+@dataclass
+class Service:
+    """A service block and its top-level matches/functions."""
+    name: str
+    matches: list[MatchBlock]
+    functions: dict[str, FunctionDecl] = field(default_factory=dict)
+
+
+@dataclass
+class Ruleset:
+    """A parsed rules file."""
+    services: list[Service]

@@ -1,0 +1,545 @@
+"""Evaluation of security rules against requests.
+
+Authorization semantics (matching production):
+
+- the full document name is matched against every ``match`` chain; the
+  request is allowed iff *any* applicable ``allow`` with a matching
+  method has a condition that evaluates to true;
+- a runtime error inside a condition (missing field, type mismatch)
+  makes that condition false — errors never grant access;
+- ``get()``/``exists()`` lookups go through a reader that is
+  transactionally consistent with the operation being authorized
+  (paper section III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import PermissionDenied, RulesEvaluationError
+from repro.core.document import Document
+from repro.core.path import Path
+from repro.rules import ast
+
+#: expansion of the composite methods
+_METHOD_GROUPS = {
+    "get": {"get", "read"},
+    "list": {"list", "read"},
+    "create": {"create", "write"},
+    "update": {"update", "write"},
+    "delete": {"delete", "write"},
+}
+
+
+class _EvalError(RulesEvaluationError):
+    """Internal: an expression failed; the condition evaluates to false."""
+
+
+@dataclass
+class _Scope:
+    """Variable bindings + visible functions for one condition."""
+
+    variables: dict[str, Any]
+    functions: dict[str, ast.FunctionDecl]
+    reader: Any  # get(Path) -> Document|None, exists(Path) -> bool
+    depth: int = 0
+
+    def child(self, variables: dict[str, Any]) -> "_Scope":
+        merged = dict(self.variables)
+        merged.update(variables)
+        return _Scope(merged, self.functions, self.reader, self.depth + 1)
+
+
+class RulesEngine:
+    """A compiled ruleset, ready to authorize requests."""
+
+    MAX_CALL_DEPTH = 20
+
+    def __init__(self, ruleset: ast.Ruleset):
+        self.ruleset = ruleset
+
+    # -- the Backend-facing API ---------------------------------------------------
+
+    def authorize(
+        self,
+        method: str,
+        path: Path,
+        auth,
+        resource: Optional[Document],
+        new_resource: Optional[Document],
+        reader,
+        database_id: str = "(default)",
+        now_us: int = 0,
+    ) -> None:
+        """Raise :class:`PermissionDenied` unless some rule allows this.
+
+        ``auth`` is the AuthContext (uid None = anonymous third party);
+        ``resource`` the existing document, ``new_resource`` the
+        post-write state for create/update; ``now_us`` binds
+        ``request.time``.
+        """
+        if not self.allows(
+            method, path, auth, resource, new_resource, reader, database_id, now_us
+        ):
+            raise PermissionDenied(
+                f"security rules deny {method} on {path}"
+            )
+
+    def allows(
+        self,
+        method: str,
+        path: Path,
+        auth,
+        resource: Optional[Document],
+        new_resource: Optional[Document],
+        reader,
+        database_id: str = "(default)",
+        now_us: int = 0,
+    ) -> bool:
+        """Whether any rule grants this request (no exception)."""
+        full = ("databases", database_id, "documents") + path.segments
+        request = self._request_value(method, auth, new_resource, path, now_us)
+        resource_value = self._resource_value(resource, path)
+        for service in self.ruleset.services:
+            if service.name != "cloud.firestore":
+                continue
+            for match in service.matches:
+                if self._match_allows(
+                    match,
+                    full,
+                    0,
+                    {},
+                    service.functions,
+                    method,
+                    request,
+                    resource_value,
+                    reader,
+                ):
+                    return True
+        return False
+
+    # -- request/resource shaping ------------------------------------------------------
+
+    def _request_value(
+        self, method, auth, new_resource, path: Path, now_us: int = 0
+    ) -> dict:
+        from repro.core.values import Timestamp
+
+        auth_value = None
+        if auth is not None and auth.uid is not None:
+            auth_value = {"uid": auth.uid, "token": dict(auth.token)}
+        request: dict[str, Any] = {
+            "auth": auth_value,
+            "method": method,
+            "time": Timestamp(now_us),
+        }
+        if new_resource is not None:
+            request["resource"] = self._resource_value(new_resource, path)
+        return request
+
+    def _resource_value(self, doc: Optional[Document], path: Path):
+        if doc is None:
+            return None
+        return {
+            "data": doc.data,
+            "id": path.id,
+            "__name__": str(doc.path),
+        }
+
+    # -- match walking -------------------------------------------------------------------
+
+    def _match_allows(
+        self,
+        block: ast.MatchBlock,
+        segments: tuple[str, ...],
+        offset: int,
+        bindings: dict[str, str],
+        functions: dict[str, ast.FunctionDecl],
+        method: str,
+        request: dict,
+        resource_value,
+        reader,
+    ) -> bool:
+        outcomes = _match_pattern(block.pattern, segments, offset)
+        visible_functions = dict(functions)
+        visible_functions.update(block.functions)
+        for consumed, new_bindings in outcomes:
+            merged = dict(bindings)
+            merged.update(new_bindings)
+            if offset + consumed == len(segments):
+                if self._allows_here(
+                    block, merged, visible_functions, method, request,
+                    resource_value, reader,
+                ):
+                    return True
+            for child in block.children:
+                if self._match_allows(
+                    child,
+                    segments,
+                    offset + consumed,
+                    merged,
+                    visible_functions,
+                    method,
+                    request,
+                    resource_value,
+                    reader,
+                ):
+                    return True
+        return False
+
+    def _allows_here(
+        self, block, bindings, functions, method, request, resource_value, reader
+    ) -> bool:
+        groups = _METHOD_GROUPS.get(method, {method})
+        applicable = [
+            allow for allow in block.allows if set(allow.methods) & groups
+        ]
+        if not applicable:
+            return False
+        variables: dict[str, Any] = dict(bindings)
+        variables["request"] = request
+        variables["resource"] = resource_value
+        scope = _Scope(variables, functions, reader)
+        for allow in applicable:
+            if allow.condition is None:
+                return True
+            try:
+                if _truthy(_evaluate(allow.condition, scope)):
+                    return True
+            except _EvalError:
+                continue  # errors deny, they never grant
+        return False
+
+
+def _match_pattern(
+    pattern: tuple[ast.Segment, ...], segments: tuple[str, ...], offset: int
+) -> list[tuple[int, dict[str, str]]]:
+    """Ways ``pattern`` can consume ``segments[offset:]`` from the front.
+
+    Returns (consumed_count, bindings) alternatives — a trailing glob
+    produces one alternative per possible extent (one or more segments).
+    """
+    bindings: dict[str, str] = {}
+    position = offset
+    for index, segment in enumerate(pattern):
+        if segment.kind == "glob":
+            if index != len(pattern) - 1:
+                return []  # glob must be last
+            remaining = len(segments) - position
+            out = []
+            for take in range(1, remaining + 1):
+                glob_bindings = dict(bindings)
+                glob_bindings[segment.value] = "/".join(
+                    segments[position : position + take]
+                )
+                out.append((position + take - offset, glob_bindings))
+            return out
+        if position >= len(segments):
+            return []
+        actual = segments[position]
+        if segment.kind == "literal":
+            if actual != segment.value:
+                return []
+        else:  # capture
+            bindings[segment.value] = actual
+        position += 1
+    return [(position - offset, bindings)]
+
+
+# -- expression evaluation ------------------------------------------------------------
+
+
+def _truthy(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise _EvalError(f"condition evaluated to non-boolean {value!r}")
+    return value
+
+
+def _evaluate(expr: ast.Expr, scope: _Scope) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ListLiteral):
+        return [_evaluate(item, scope) for item in expr.items]
+    if isinstance(expr, ast.Var):
+        if expr.name in scope.variables:
+            return scope.variables[expr.name]
+        raise _EvalError(f"undefined variable {expr.name!r}")
+    if isinstance(expr, ast.Member):
+        return _member(_evaluate(expr.obj, scope), expr.name)
+    if isinstance(expr, ast.Index):
+        return _index(_evaluate(expr.obj, scope), _evaluate(expr.index, scope))
+    if isinstance(expr, ast.Unary):
+        return _unary(expr, scope)
+    if isinstance(expr, ast.Binary):
+        return _binary(expr, scope)
+    if isinstance(expr, ast.Call):
+        return _call(expr, scope)
+    if isinstance(expr, ast.PathLiteral):
+        return _path_string(expr, scope)
+    raise _EvalError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _member(obj: Any, name: str) -> Any:
+    if isinstance(obj, dict):
+        if name in obj:
+            return obj[name]
+        raise _EvalError(f"no such field {name!r}")
+    if obj is None:
+        raise _EvalError(f"member access {name!r} on null")
+    # method references are resolved in _call; bare access is an error
+    raise _EvalError(f"cannot access {name!r} on {type(obj).__name__}")
+
+
+def _index(obj: Any, index: Any) -> Any:
+    if isinstance(obj, dict):
+        if index in obj:
+            return obj[index]
+        raise _EvalError(f"no such key {index!r}")
+    if isinstance(obj, (list, str)):
+        if isinstance(index, bool) or not isinstance(index, int):
+            raise _EvalError("list index must be an integer")
+        try:
+            return obj[index]
+        except IndexError as exc:
+            raise _EvalError("index out of range") from exc
+    raise _EvalError(f"cannot index {type(obj).__name__}")
+
+
+def _unary(expr: ast.Unary, scope: _Scope) -> Any:
+    value = _evaluate(expr.operand, scope)
+    if expr.op == "!":
+        return not _truthy(value)
+    if expr.op == "-":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _EvalError("unary minus needs a number")
+        return -value
+    raise _EvalError(f"unknown unary {expr.op}")
+
+
+def _binary(expr: ast.Binary, scope: _Scope) -> Any:
+    op = expr.op
+    # CEL-style error absorption: `error || true` is true and
+    # `error && false` is false, so an error in one operand cannot mask a
+    # determinate result from the other — but errors still never grant.
+    if op == "&&":
+        try:
+            left = _truthy(_evaluate(expr.left, scope))
+        except _EvalError:
+            if not _truthy(_evaluate(expr.right, scope)):
+                return False
+            raise
+        return left and _truthy(_evaluate(expr.right, scope))
+    if op == "||":
+        try:
+            left = _truthy(_evaluate(expr.left, scope))
+        except _EvalError:
+            if _truthy(_evaluate(expr.right, scope)):
+                return True
+            raise
+        return left or _truthy(_evaluate(expr.right, scope))
+    left = _evaluate(expr.left, scope)
+    right = _evaluate(expr.right, scope)
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "in":
+        if isinstance(right, dict):
+            return left in right
+        if isinstance(right, (list, str)):
+            return left in right
+        raise _EvalError("'in' needs a list, map, or string")
+    if op == "is":
+        return _type_check(left, right)
+    if op in ("<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    if op in ("+", "-", "*", "/", "%"):
+        return _arithmetic(op, left, right)
+    raise _EvalError(f"unknown operator {op}")
+
+
+def _type_check(value: Any, type_name: Any) -> bool:
+    if not isinstance(type_name, str):
+        raise _EvalError("'is' needs a type name string")
+    checks = {
+        "string": lambda v: isinstance(v, str),
+        "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "float": lambda v: isinstance(v, float),
+        "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "bool": lambda v: isinstance(v, bool),
+        "list": lambda v: isinstance(v, list),
+        "map": lambda v: isinstance(v, dict),
+        "null": lambda v: v is None,
+    }
+    check = checks.get(type_name)
+    if check is None:
+        raise _EvalError(f"unknown type {type_name!r}")
+    return check(value)
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    from repro.core.values import Timestamp
+
+    if isinstance(left, Timestamp) and isinstance(right, Timestamp):
+        left, right = left.micros, right.micros
+    comparable = (
+        isinstance(left, (int, float))
+        and isinstance(right, (int, float))
+        and not isinstance(left, bool)
+        and not isinstance(right, bool)
+    ) or (isinstance(left, str) and isinstance(right, str))
+    if not comparable:
+        raise _EvalError(f"cannot compare {left!r} with {right!r}")
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _arithmetic(op: str, left: Any, right: Any) -> Any:
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    numbers = (
+        isinstance(left, (int, float))
+        and isinstance(right, (int, float))
+        and not isinstance(left, bool)
+        and not isinstance(right, bool)
+    )
+    if not numbers:
+        raise _EvalError(f"arithmetic needs numbers, got {left!r}, {right!r}")
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        return left % right
+    except ZeroDivisionError as exc:
+        raise _EvalError("division by zero") from exc
+
+
+def _call(expr: ast.Call, scope: _Scope) -> Any:
+    # method calls: obj.method(args)
+    if isinstance(expr.func, ast.Member):
+        obj = _evaluate(expr.func.obj, scope)
+        args = [_evaluate(a, scope) for a in expr.args]
+        return _method_call(obj, expr.func.name, args)
+    if not isinstance(expr.func, ast.Var):
+        raise _EvalError("cannot call this expression")
+    name = expr.func.name
+    if name in ("get", "exists"):
+        return _lookup_call(name, expr.args, scope)
+    decl = scope.functions.get(name)
+    if decl is None:
+        raise _EvalError(f"unknown function {name!r}")
+    if len(expr.args) != len(decl.params):
+        raise _EvalError(f"{name}() takes {len(decl.params)} arguments")
+    if scope.depth >= RulesEngine.MAX_CALL_DEPTH:
+        raise _EvalError("function call depth exceeded")
+    bound = {
+        param: _evaluate(arg, scope)
+        for param, arg in zip(decl.params, expr.args)
+    }
+    return _evaluate(decl.body, scope.child(bound))
+
+
+def _method_call(obj: Any, name: str, args: list) -> Any:
+    if name == "size":
+        if isinstance(obj, (str, list, dict)):
+            return len(obj)
+        raise _EvalError("size() needs a string, list, or map")
+    if name == "keys" and isinstance(obj, dict):
+        return sorted(obj.keys())
+    if name == "values" and isinstance(obj, dict):
+        return list(obj.values())
+    if name == "hasAll" and isinstance(obj, (list, dict)):
+        (required,) = args
+        container = obj.keys() if isinstance(obj, dict) else obj
+        return all(item in container for item in required)
+    if name == "hasAny" and isinstance(obj, (list, dict)):
+        (candidates,) = args
+        container = obj.keys() if isinstance(obj, dict) else obj
+        return any(item in container for item in candidates)
+    from repro.core.values import Timestamp
+
+    if isinstance(obj, Timestamp):
+        if name == "toMillis":
+            return obj.micros // 1000
+        if name == "seconds":
+            return obj.micros // 1_000_000
+    if isinstance(obj, str):
+        if name == "lower":
+            return obj.lower()
+        if name == "upper":
+            return obj.upper()
+        if name == "matches":
+            import re
+
+            (pattern,) = args
+            return re.fullmatch(pattern, obj) is not None
+        if name == "split":
+            (separator,) = args
+            return obj.split(separator)
+    raise _EvalError(f"unknown method {name!r} on {type(obj).__name__}")
+
+
+def _lookup_call(name: str, args: tuple, scope: _Scope) -> Any:
+    """get(/databases/$(db)/documents/...) and exists(...)."""
+    if len(args) != 1:
+        raise _EvalError(f"{name}() takes one path argument")
+    path = _document_path(args[0], scope)
+    if scope.reader is None:
+        raise _EvalError(f"{name}() unavailable in this context")
+    if name == "exists":
+        return scope.reader.exists(path)
+    doc = scope.reader.get(path)
+    if doc is None:
+        raise _EvalError(f"get() of missing document {path}")
+    return {"data": doc.data, "id": path.id, "__name__": str(path)}
+
+
+def _document_path(arg: ast.Expr, scope: _Scope) -> Path:
+    if isinstance(arg, ast.PathLiteral):
+        segments = []
+        for part in arg.parts:
+            if isinstance(part, str):
+                segments.append(part)
+            else:
+                value = _evaluate(part, scope)
+                if not isinstance(value, str):
+                    raise _EvalError("path interpolation must be a string")
+                segments.extend(value.split("/"))
+    else:
+        value = _evaluate(arg, scope)
+        if not isinstance(value, str):
+            raise _EvalError("path must be a string or path literal")
+        segments = [s for s in value.split("/") if s]
+    # strip the /databases/{db}/documents prefix when present
+    if len(segments) >= 3 and segments[0] == "databases" and segments[2] == "documents":
+        segments = segments[3:]
+    if not segments:
+        raise _EvalError("empty document path")
+    try:
+        return Path(*segments)
+    except Exception as exc:
+        raise _EvalError(f"bad document path: {exc}") from exc
+
+
+def _path_string(expr: ast.PathLiteral, scope: _Scope) -> str:
+    parts = []
+    for part in expr.parts:
+        if isinstance(part, str):
+            parts.append(part)
+        else:
+            value = _evaluate(part, scope)
+            if not isinstance(value, str):
+                raise _EvalError("path interpolation must be a string")
+            parts.append(value)
+    return "/" + "/".join(parts)

@@ -1,0 +1,176 @@
+"""Tokenizer for the security rules language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import RulesSyntaxError
+
+KEYWORDS = {
+    "service",
+    "match",
+    "allow",
+    "if",
+    "true",
+    "false",
+    "null",
+    "in",
+    "is",
+    "function",
+    "return",
+    "let",
+}
+
+# multi-character operators first so maximal munch works
+_OPERATORS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "=",
+    "<",
+    ">",
+    "!",
+    "+",
+    "-",
+    "*",
+    "%",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ":",
+    ";",
+    ",",
+    ".",
+    "/",
+    "$",
+]
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    STRING = "string"
+    NUMBER = "number"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_op(self, op: str) -> bool:
+        """True if this is the given operator token."""
+        return self.type is TokenType.OP and self.value == op
+
+    def is_keyword(self, word: str) -> bool:
+        """True if this is the given keyword token."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert rules source into a token list (ending with EOF)."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str):
+        return RulesSyntaxError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[index : end + 2]:
+                if c == "\n":
+                    line += 1
+                    column = 1
+                else:
+                    column += 1
+            index = end + 2
+            continue
+        if char in "'\"":
+            quote = char
+            start_line, start_col = line, column
+            index += 1
+            column += 1
+            raw = []
+            while index < length and source[index] != quote:
+                c = source[index]
+                if c == "\n":
+                    raise error("unterminated string literal")
+                if c == "\\" and index + 1 < length:
+                    raw.append(source[index + 1])
+                    index += 2
+                    column += 2
+                else:
+                    raw.append(c)
+                    index += 1
+                    column += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            index += 1  # closing quote
+            column += 1
+            tokens.append(Token(TokenType.STRING, "".join(raw), start_line, start_col))
+            continue
+        if char.isdigit():
+            start_line, start_col = line, column
+            start = index
+            while index < length and (source[index].isdigit() or source[index] == "."):
+                index += 1
+                column += 1
+            tokens.append(
+                Token(TokenType.NUMBER, source[start:index], start_line, start_col)
+            )
+            continue
+        if char.isalpha() or char == "_":
+            start_line, start_col = line, column
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+                column += 1
+            word = source[start:index]
+            token_type = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(token_type, word, start_line, start_col))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, index):
+                tokens.append(Token(TokenType.OP, op, line, column))
+                index += len(op)
+                column += len(op)
+                matched = True
+                break
+        if not matched:
+            raise error(f"unexpected character {char!r}")
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,337 @@
+"""Recursive-descent parser for the security rules language.
+
+Grammar sketch::
+
+    ruleset   := service+
+    service   := 'service' dotted_name '{' (match | function)* '}'
+    match     := 'match' pattern '{' (allow | match | function)* '}'
+    pattern   := ('/' segment)+
+    segment   := IDENT | '{' IDENT ('=' '*' '*')? '}'
+    allow     := 'allow' method (',' method)* (':' 'if' expr)? ';'?
+    function  := 'function' IDENT '(' params ')' '{' 'return' expr ';'? '}'
+    expr      := or ;  or := and ('||' and)* ; and := not ('&&' not)*
+    not       := '!' not | comparison
+    comparison:= additive (('=='|'!='|'<'|'<='|'>'|'>='|'in'|'is') additive)?
+    additive  := term (('+'|'-') term)* ; term := unary (('*'|'/'|'%') unary)*
+    unary     := '-' unary | postfix
+    postfix   := primary ('.' IDENT | '[' expr ']' | '(' args ')')*
+    primary   := literal | list | IDENT | '(' expr ')' | pathliteral
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RulesSyntaxError
+from repro.rules import ast
+from repro.rules.lexer import Token, TokenType, tokenize
+
+VALID_METHODS = {"read", "write", "get", "list", "create", "update", "delete"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> RulesSyntaxError:
+        token = token if token is not None else self.peek()
+        return RulesSyntaxError(message, token.line, token.column)
+
+    def expect_op(self, op: str) -> Token:
+        token = self.advance()
+        if not token.is_op(op):
+            raise self.error(f"expected {op!r}, got {token.value!r}", token)
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.advance()
+        if not token.is_keyword(word):
+            raise self.error(f"expected {word!r}, got {token.value!r}", token)
+        return token
+
+    def expect_ident(self) -> Token:
+        token = self.advance()
+        if token.type is not TokenType.IDENT:
+            raise self.error(f"expected identifier, got {token.value!r}", token)
+        return token
+
+    # -- structure -----------------------------------------------------------------
+
+    def parse_ruleset(self) -> ast.Ruleset:
+        services = []
+        # tolerate a leading rules_version = '2'; line
+        if (
+            self.peek().type is TokenType.IDENT
+            and self.peek().value == "rules_version"
+        ):
+            self.advance()
+            self.expect_op("=")
+            self.advance()  # the version string
+            if self.peek().is_op(";"):
+                self.advance()
+        while not self.peek().type is TokenType.EOF:
+            services.append(self.parse_service())
+        if not services:
+            raise self.error("rules must declare at least one service")
+        return ast.Ruleset(services)
+
+    def parse_service(self) -> ast.Service:
+        self.expect_keyword("service")
+        name_parts = [self.expect_ident().value]
+        while self.peek().is_op("."):
+            self.advance()
+            name_parts.append(self.expect_ident().value)
+        self.expect_op("{")
+        matches: list[ast.MatchBlock] = []
+        functions: dict[str, ast.FunctionDecl] = {}
+        while not self.peek().is_op("}"):
+            if self.peek().is_keyword("match"):
+                matches.append(self.parse_match())
+            elif self.peek().is_keyword("function"):
+                fn = self.parse_function()
+                functions[fn.name] = fn
+            else:
+                raise self.error("expected 'match' or 'function'")
+        self.expect_op("}")
+        return ast.Service(".".join(name_parts), matches, functions)
+
+    def parse_match(self) -> ast.MatchBlock:
+        self.expect_keyword("match")
+        pattern = self.parse_pattern()
+        self.expect_op("{")
+        block = ast.MatchBlock(pattern)
+        while not self.peek().is_op("}"):
+            if self.peek().is_keyword("allow"):
+                block.allows.append(self.parse_allow())
+            elif self.peek().is_keyword("match"):
+                block.children.append(self.parse_match())
+            elif self.peek().is_keyword("function"):
+                fn = self.parse_function()
+                block.functions[fn.name] = fn
+            else:
+                raise self.error("expected 'allow', 'match' or 'function'")
+        self.expect_op("}")
+        return block
+
+    def parse_pattern(self) -> tuple[ast.Segment, ...]:
+        segments: list[ast.Segment] = []
+        if not self.peek().is_op("/"):
+            raise self.error("match pattern must start with '/'")
+        while self.peek().is_op("/"):
+            self.advance()
+            token = self.advance()
+            if token.is_op("{"):
+                name = self.expect_ident().value
+                kind = "capture"
+                if self.peek().is_op("="):
+                    self.advance()
+                    self.expect_op("*")
+                    self.expect_op("*")
+                    kind = "glob"
+                self.expect_op("}")
+                segments.append(ast.Segment(kind, name))
+            elif token.type in (TokenType.IDENT, TokenType.KEYWORD):
+                segments.append(ast.Segment("literal", token.value))
+            else:
+                raise self.error(f"bad path segment {token.value!r}", token)
+        if not segments:
+            raise self.error("empty match pattern")
+        return tuple(segments)
+
+    def parse_allow(self) -> ast.Allow:
+        self.expect_keyword("allow")
+        methods = [self._parse_method()]
+        while self.peek().is_op(","):
+            self.advance()
+            methods.append(self._parse_method())
+        condition: Optional[ast.Expr] = None
+        if self.peek().is_op(":"):
+            self.advance()
+            self.expect_keyword("if")
+            condition = self.parse_expr()
+        if self.peek().is_op(";"):
+            self.advance()
+        return ast.Allow(tuple(methods), condition)
+
+    def _parse_method(self) -> str:
+        token = self.advance()
+        if token.value not in VALID_METHODS:
+            raise self.error(f"unknown method {token.value!r}", token)
+        return token.value
+
+    def parse_function(self) -> ast.FunctionDecl:
+        self.expect_keyword("function")
+        name = self.expect_ident().value
+        self.expect_op("(")
+        params: list[str] = []
+        if not self.peek().is_op(")"):
+            params.append(self.expect_ident().value)
+            while self.peek().is_op(","):
+                self.advance()
+                params.append(self.expect_ident().value)
+        self.expect_op(")")
+        self.expect_op("{")
+        self.expect_keyword("return")
+        body = self.parse_expr()
+        if self.peek().is_op(";"):
+            self.advance()
+        self.expect_op("}")
+        return ast.FunctionDecl(name, tuple(params), body)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.peek().is_op("||"):
+            self.advance()
+            left = ast.Binary("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.peek().is_op("&&"):
+            self.advance()
+            left = ast.Binary("&&", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.peek().is_op("!"):
+            self.advance()
+            return ast.Unary("!", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        token = self.peek()
+        comparison_ops = ("==", "!=", "<", "<=", ">", ">=")
+        if token.type is TokenType.OP and token.value in comparison_ops:
+            self.advance()
+            return ast.Binary(token.value, left, self._parse_additive())
+        if token.is_keyword("in") or token.is_keyword("is"):
+            self.advance()
+            return ast.Binary(token.value, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_term()
+        while self.peek().type is TokenType.OP and self.peek().value in ("+", "-"):
+            op = self.advance().value
+            left = ast.Binary(op, left, self._parse_term())
+        return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.peek().type is TokenType.OP and self.peek().value in ("*", "/", "%"):
+            op = self.advance().value
+            left = ast.Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.peek().is_op("-"):
+            self.advance()
+            return ast.Unary("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.peek().is_op("."):
+                self.advance()
+                name = self.advance()
+                if name.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                    raise self.error("expected member name", name)
+                expr = ast.Member(expr, name.value)
+            elif self.peek().is_op("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = ast.Index(expr, index)
+            elif self.peek().is_op("("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.peek().is_op(")"):
+                    args.append(self._parse_argument())
+                    while self.peek().is_op(","):
+                        self.advance()
+                        args.append(self._parse_argument())
+                self.expect_op(")")
+                expr = ast.Call(expr, tuple(args))
+            else:
+                return expr
+
+    def _parse_argument(self) -> ast.Expr:
+        """Arguments may be path literals: get(/databases/$(db)/...)."""
+        if self.peek().is_op("/"):
+            return self._parse_path_literal()
+        return self.parse_expr()
+
+    def _parse_path_literal(self) -> ast.PathLiteral:
+        parts: list = []
+        while self.peek().is_op("/"):
+            self.advance()
+            token = self.peek()
+            if token.is_op("$"):
+                self.advance()
+                self.expect_op("(")
+                parts.append(self.parse_expr())
+                self.expect_op(")")
+            elif token.type in (TokenType.IDENT, TokenType.KEYWORD, TokenType.NUMBER):
+                self.advance()
+                parts.append(token.value)
+            else:
+                raise self.error("bad path literal segment", token)
+        return ast.PathLiteral(tuple(parts))
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.advance()
+        if token.type is TokenType.STRING:
+            return ast.Literal(token.value)
+        if token.type is TokenType.NUMBER:
+            if "." in token.value:
+                return ast.Literal(float(token.value))
+            return ast.Literal(int(token.value))
+        if token.is_keyword("true"):
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            return ast.Literal(False)
+        if token.is_keyword("null"):
+            return ast.Literal(None)
+        if token.is_op("["):
+            items: list[ast.Expr] = []
+            if not self.peek().is_op("]"):
+                items.append(self.parse_expr())
+                while self.peek().is_op(","):
+                    self.advance()
+                    items.append(self.parse_expr())
+            self.expect_op("]")
+            return ast.ListLiteral(tuple(items))
+        if token.is_op("("):
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if token.is_op("/"):
+            self.pos -= 1
+            return self._parse_path_literal()
+        if token.type is TokenType.IDENT:
+            return ast.Var(token.value)
+        raise self.error(f"unexpected token {token.value!r}", token)
+
+
+def parse_rules(source: str) -> ast.Ruleset:
+    """Parse rules source into a :class:`~repro.rules.ast.Ruleset`."""
+    return _Parser(tokenize(source)).parse_ruleset()

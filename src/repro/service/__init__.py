@@ -1,0 +1,38 @@
+"""Multi-tenant serving infrastructure (discrete-event simulation).
+
+Models the parts of Firestore's serving path that shape the paper's
+latency and isolation results (sections IV-B, IV-C, V-B, V-C): task
+pools with CPU capacity, fair-CPU-share scheduling keyed by database ID,
+delayed auto-scaling, admission control (in-flight limits, load shedding,
+the conforming-traffic ramp rule), global routing, operation-based
+billing with the free quota, and latency percentile recorders.
+"""
+
+from repro.service.metrics import LatencyRecorder, WindowedPercentiles
+from repro.service.rpc import Rpc, RpcKind
+from repro.service.scheduler import FairShareScheduler
+from repro.service.pool import TaskPool
+from repro.service.autoscaler import Autoscaler, AutoscalerConfig
+from repro.service.admission import AdmissionController, AdmissionConfig
+from repro.service.billing import BillingLedger, FreeQuota, PriceSheet
+from repro.service.routing import GlobalRouter
+from repro.service.cluster import ServingCluster, ClusterConfig
+
+__all__ = [
+    "LatencyRecorder",
+    "WindowedPercentiles",
+    "Rpc",
+    "RpcKind",
+    "FairShareScheduler",
+    "TaskPool",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "AdmissionController",
+    "AdmissionConfig",
+    "BillingLedger",
+    "FreeQuota",
+    "PriceSheet",
+    "GlobalRouter",
+    "ServingCluster",
+    "ClusterConfig",
+]

@@ -1,0 +1,157 @@
+"""Admission control: in-flight limits, load shedding, traffic conformance.
+
+Paper section IV-C: "some components do targeted load-shedding to drop
+excess work before auto-scaling can take effect", and section VI: "a
+low-tech manual tool that limits the number of per-task in-flight RPCs
+for a given database has been one of our more effective mechanisms".
+
+The conforming-traffic rule — "increase at most 50% every 5 minutes,
+starting from a 500 QPS base" — is tracked per database; Firestore "will
+still accept traffic that violates this rule as long as it can maintain
+isolation", so non-conformance is reported, not enforced, unless a limit
+is configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.clock import SimClock
+
+CONFORMING_BASE_QPS = 500.0
+CONFORMING_GROWTH = 1.5
+CONFORMING_WINDOW_US = 300_000_000  # 5 minutes
+
+
+@dataclass
+class AdmissionConfig:
+    #: global queue depth beyond which excess work is shed
+    """Knobs for load shedding, in-flight limits, memory pressure."""
+    shed_queue_depth: int = 5_000
+    #: optional per-database in-flight RPC cap (the manual emergency tool)
+    per_database_inflight_limit: Optional[int] = None
+    #: databases the limit applies to (empty = all, when limit set)
+    limited_databases: set[str] = field(default_factory=set)
+    #: total in-flight query memory before pressure-based rejection kicks
+    #: in (paper section VIII: "selective slowdown or rejection of traffic
+    #: of a given database when under memory pressure, based on the memory
+    #: consumed by in-flight queries to that database"). None = disabled.
+    memory_pressure_bytes: Optional[int] = None
+
+
+class AdmissionController:
+    """Decides whether each arriving RPC is admitted."""
+
+    def __init__(self, clock: SimClock, config: AdmissionConfig | None = None):
+        self.clock = clock
+        self.config = config if config is not None else AdmissionConfig()
+        self._inflight: dict[str, int] = {}
+        self._inflight_memory: dict[str, int] = {}
+        # conformance tracking: per database, (window_start, count, allowance)
+        self._windows: dict[str, tuple[int, int, float]] = {}
+        self.admitted = 0
+        self.shed = 0
+        self.limited = 0
+        self.memory_rejected = 0
+
+    # -- admission ---------------------------------------------------------------
+
+    def try_admit(
+        self, database_id: str, queue_depth: int, memory_bytes: int = 0
+    ) -> tuple[bool, str]:
+        """(admitted, reason). Also counts the request toward conformance.
+
+        ``memory_bytes`` is the request's estimated in-flight memory; when
+        the component is under memory pressure, rejection targets the
+        database holding the most in-flight memory — selective pressure,
+        not collective punishment (section VIII).
+        """
+        self._track(database_id)
+        config = self.config
+        if config.per_database_inflight_limit is not None and (
+            not config.limited_databases or database_id in config.limited_databases
+        ):
+            if self._inflight.get(database_id, 0) >= config.per_database_inflight_limit:
+                self.limited += 1
+                return False, "per-database in-flight limit"
+        if queue_depth >= config.shed_queue_depth:
+            self.shed += 1
+            return False, "load shed"
+        if (
+            config.memory_pressure_bytes is not None
+            and self.total_inflight_memory() + memory_bytes
+            > config.memory_pressure_bytes
+            and database_id == self._top_memory_consumer(database_id, memory_bytes)
+        ):
+            self.memory_rejected += 1
+            return False, "memory pressure"
+        self._inflight[database_id] = self._inflight.get(database_id, 0) + 1
+        if memory_bytes:
+            self._inflight_memory[database_id] = (
+                self._inflight_memory.get(database_id, 0) + memory_bytes
+            )
+        self.admitted += 1
+        return True, ""
+
+    def release(self, database_id: str, memory_bytes: int = 0) -> None:
+        """Mark one admitted request finished."""
+        count = self._inflight.get(database_id, 0)
+        if count > 0:
+            self._inflight[database_id] = count - 1
+        if memory_bytes:
+            current = self._inflight_memory.get(database_id, 0)
+            self._inflight_memory[database_id] = max(0, current - memory_bytes)
+
+    def inflight(self, database_id: str) -> int:
+        """Admitted-but-unfinished requests for a database."""
+        return self._inflight.get(database_id, 0)
+
+    def inflight_memory(self, database_id: str) -> int:
+        """In-flight query memory held by a database."""
+        return self._inflight_memory.get(database_id, 0)
+
+    def total_inflight_memory(self) -> int:
+        """In-flight query memory across all databases."""
+        return sum(self._inflight_memory.values())
+
+    def _top_memory_consumer(self, candidate: str, candidate_extra: int) -> str:
+        """Which database would hold the most memory if this request were
+        admitted? Under pressure, only that one is rejected."""
+        totals = dict(self._inflight_memory)
+        totals[candidate] = totals.get(candidate, 0) + candidate_extra
+        return max(totals, key=lambda db: (totals[db], db))
+
+    # -- conforming-traffic tracking ------------------------------------------------
+
+    def _track(self, database_id: str) -> None:
+        now = self.clock.now_us
+        window = self._windows.get(database_id)
+        if window is None or now - window[0] >= CONFORMING_WINDOW_US:
+            previous_rate = 0.0
+            if window is not None:
+                previous_rate = window[1] / (CONFORMING_WINDOW_US / 1_000_000)
+            allowance = max(
+                CONFORMING_BASE_QPS,
+                previous_rate * CONFORMING_GROWTH,
+            )
+            self._windows[database_id] = (now, 1, allowance)
+        else:
+            start, count, allowance = window
+            self._windows[database_id] = (start, count + 1, allowance)
+
+    def is_conforming(self, database_id: str) -> bool:
+        """Does the database's current window respect the ramp rule?"""
+        window = self._windows.get(database_id)
+        if window is None:
+            return True
+        start, count, allowance = window
+        elapsed_s = max(1e-6, (self.clock.now_us - start) / 1_000_000)
+        return count / elapsed_s <= allowance
+
+    def conforming_allowance_qps(self, database_id: str) -> float:
+        """The ramp rule's current QPS allowance for a database."""
+        window = self._windows.get(database_id)
+        if window is None:
+            return CONFORMING_BASE_QPS
+        return window[2]

@@ -1,0 +1,280 @@
+"""The serving cluster: Frontend + Backend pools over the event kernel.
+
+Wires together routing, admission control, fair scheduling, auto-scaling,
+the Spanner latency model, and billing — the environment the paper's
+latency experiments (sections V-B and V-C) run in. Requests flow::
+
+    client --hop--> Frontend task --hop--> Backend task --> Spanner
+                                                        (storage latency)
+
+Queueing delay emerges at each pool from offered load vs capacity;
+notification fan-out (Figure 9) runs as NOTIFY work on the Frontend pool,
+which auto-scales "independently of the rest of the system".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.events import EventKernel
+from repro.sim.latency import LatencyModel, MultiRegionalLatency, RegionalLatency
+from repro.sim.rand import SimRandom
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.autoscaler import Autoscaler, AutoscalerConfig
+from repro.service.billing import BillingLedger
+from repro.service.pool import TaskPool
+from repro.service.rpc import DEFAULT_CPU_COST_US, Rpc, RpcKind
+from repro.service.scheduler import FairShareScheduler
+
+
+@dataclass
+class ClusterConfig:
+    """Sizing, scheduling, and policy knobs for a serving cluster."""
+    multi_region: bool = True
+    frontend_tasks: int = 4
+    backend_tasks: int = 4
+    fair_scheduling: bool = True
+    autoscale_frontend: bool = True
+    autoscale_backend: bool = True
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    seed: int = 0
+
+
+class ServingCluster:
+    """One region's serving plane for the benchmarks."""
+
+    def __init__(
+        self,
+        kernel: Optional[EventKernel] = None,
+        config: Optional[ClusterConfig] = None,
+    ):
+        self.kernel = kernel if kernel is not None else EventKernel()
+        self.config = config if config is not None else ClusterConfig()
+        self.rand = SimRandom(self.config.seed).fork("cluster-latency")
+        self.latency: LatencyModel = (
+            MultiRegionalLatency() if self.config.multi_region else RegionalLatency()
+        )
+        self.frontend_pool = TaskPool(
+            "frontend",
+            self.kernel,
+            FairShareScheduler(fair=True),
+            initial_tasks=self.config.frontend_tasks,
+        )
+        self.backend_pool = TaskPool(
+            "backend",
+            self.kernel,
+            FairShareScheduler(fair=self.config.fair_scheduling),
+            initial_tasks=self.config.backend_tasks,
+        )
+        self.active_connections = 0
+        self.frontend_autoscaler = Autoscaler(
+            self.frontend_pool,
+            self.kernel,
+            self.config.autoscaler,
+            enabled=self.config.autoscale_frontend,
+            size_floor_fn=self._frontend_floor,
+        )
+        self.backend_autoscaler = Autoscaler(
+            self.backend_pool,
+            self.kernel,
+            self.config.autoscaler,
+            enabled=self.config.autoscale_backend,
+        )
+        self.admission = AdmissionController(self.kernel.clock, self.config.admission)
+        self.billing = BillingLedger(self.kernel.clock)
+        from repro.service.routing import GlobalRouter
+
+        #: global routing: register databases' home regions to price the
+        #: client -> region network hop per request (section IV-A)
+        self.router = GlobalRouter()
+        # the section-VI emergency tool: databases routed to their own pool
+        self._isolated_pools: dict[str, TaskPool] = {}
+        self._isolated_autoscalers: dict[str, Autoscaler] = {}
+        self.completed = 0
+        self.rejected = 0
+
+    # -- long-lived connections --------------------------------------------------
+
+    #: how many Listen connections one Frontend task sustains
+    CONNECTIONS_PER_TASK = 100
+
+    def set_active_connections(self, count: int) -> None:
+        """Tell the Frontend autoscaler how many Listen connections exist.
+
+        Frontend capacity scales with connection count — "the increase in
+        active real-time queries increases the load on Frontend tasks,
+        which leads autoscaling to quickly scale up the number of
+        Frontend tasks, independently of the rest of the system".
+        """
+        if count < 0:
+            raise ValueError("connection count cannot be negative")
+        self.active_connections = count
+
+    def _frontend_floor(self) -> int:
+        needed = -(-self.active_connections // self.CONNECTIONS_PER_TASK)
+        return max(self.config.frontend_tasks, needed)
+
+    # -- request entry point --------------------------------------------------------
+
+    def submit(
+        self,
+        database_id: str,
+        kind: RpcKind,
+        on_complete: Callable[[int], None],
+        cpu_cost_us: Optional[int] = None,
+        commit_participants: int = 1,
+        latency_sensitive: bool = True,
+        on_reject: Optional[Callable[[str], None]] = None,
+        memory_bytes: int = 0,
+        client_region: Optional[str] = None,
+    ) -> bool:
+        """Inject one request; ``on_complete`` receives end-to-end latency.
+
+        Returns False if admission control rejected it immediately.
+        ``memory_bytes`` estimates the query's in-flight RAM, feeding the
+        memory-pressure rejection of section VIII. ``client_region``
+        (with the database registered on :attr:`router`) prices the
+        client's network hop to the database's home region.
+        """
+        arrival = self.kernel.now_us
+        admitted, reason = self.admission.try_admit(
+            database_id, self.backend_pool.queue_depth(), memory_bytes
+        )
+        if not admitted:
+            self.rejected += 1
+            if on_reject is not None:
+                on_reject(reason)
+            return False
+
+        cost = cpu_cost_us if cpu_cost_us is not None else DEFAULT_CPU_COST_US[kind]
+        storage_us = self._storage_latency(kind, commit_participants)
+        if client_region is not None:
+            network_us = 2 * self.router.network_latency_us(client_region, database_id)
+        else:
+            network_us = 2 * self.latency.rpc_us(self.rand)  # same-region client
+
+        def backend_done(rpc: Rpc, latency_us: int) -> None:
+            self.admission.release(database_id, memory_bytes)
+            self.completed += 1
+            self._bill(database_id, kind)
+            on_complete(network_us + frontend_cost + latency_us)
+
+        def frontend_done(rpc: Rpc, frontend_latency_us: int) -> None:
+            backend_rpc = Rpc(
+                database_id=database_id,
+                kind=kind,
+                cpu_cost_us=cost,
+                arrival_us=self.kernel.now_us,
+                storage_latency_us=storage_us,
+                latency_sensitive=latency_sensitive,
+                on_complete=backend_done,
+            )
+            pool = self._isolated_pools.get(database_id, self.backend_pool)
+            pool.submit(backend_rpc)
+
+        frontend_cost = 50  # routing + session bookkeeping
+        frontend_rpc = Rpc(
+            database_id=database_id,
+            kind=kind,
+            cpu_cost_us=frontend_cost,
+            arrival_us=arrival,
+            latency_sensitive=latency_sensitive,
+            on_complete=frontend_done,
+        )
+        self.frontend_pool.submit(frontend_rpc)
+        return True
+
+    def submit_notification_fanout(
+        self,
+        database_id: str,
+        listeners: int,
+        on_all_delivered: Callable[[int], None],
+        per_listener_cost_us: int = DEFAULT_CPU_COST_US[RpcKind.NOTIFY],
+    ) -> None:
+        """Fan one document update out to ``listeners`` connections.
+
+        The work lands on the Frontend pool (one NOTIFY job per listener);
+        the callback receives the latency until the *last* client was
+        notified — the paper's notification-latency metric (Figure 9).
+        """
+        if listeners <= 0:
+            raise ValueError("fan-out needs at least one listener")
+        start = self.kernel.now_us
+        remaining = [listeners]
+
+        def one_done(rpc: Rpc, latency_us: int) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                on_all_delivered(self.kernel.now_us - start)
+
+        for _ in range(listeners):
+            self.frontend_pool.submit(
+                Rpc(
+                    database_id=database_id,
+                    kind=RpcKind.NOTIFY,
+                    cpu_cost_us=per_listener_cost_us,
+                    arrival_us=start,
+                    on_complete=one_done,
+                )
+            )
+
+    # -- emergency isolation (paper section VI) ----------------------------------------
+
+    def isolate_database(
+        self, database_id: str, tasks: int = 2, autoscale: bool = True
+    ) -> TaskPool:
+        """Route ALL of one database's backend traffic to a dedicated pool.
+
+        The paper's last-resort mitigation: "all traffic for that database
+        can be routed to a separate pool (of tasks) for the impacted
+        component, thereby isolating it completely. This pool can also be
+        configured to auto-scale to the database's traffic."
+        """
+        if database_id in self._isolated_pools:
+            return self._isolated_pools[database_id]
+        pool = TaskPool(
+            f"isolated-{database_id}",
+            self.kernel,
+            FairShareScheduler(fair=True),
+            initial_tasks=tasks,
+        )
+        self._isolated_pools[database_id] = pool
+        if autoscale:
+            self._isolated_autoscalers[database_id] = Autoscaler(
+                pool, self.kernel, self.config.autoscaler, enabled=True
+            )
+        return pool
+
+    def unisolate_database(self, database_id: str) -> None:
+        """Return an isolated database to the shared pool."""
+        self._isolated_pools.pop(database_id, None)
+        scaler = self._isolated_autoscalers.pop(database_id, None)
+        if scaler is not None:
+            scaler.enabled = False
+
+    def is_isolated(self, database_id: str) -> bool:
+        """Whether a database runs on its own dedicated pool."""
+        return database_id in self._isolated_pools
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _storage_latency(self, kind: RpcKind, participants: int) -> int:
+        if kind is RpcKind.COMMIT:
+            return self.latency.commit_us(self.rand, participants)
+        if kind in (RpcKind.GET, RpcKind.QUERY, RpcKind.LISTEN):
+            return self.latency.read_us(self.rand)
+        return 0
+
+    def _bill(self, database_id: str, kind: RpcKind) -> None:
+        if kind in (RpcKind.GET, RpcKind.QUERY, RpcKind.LISTEN):
+            self.billing.record_reads(database_id)
+        elif kind is RpcKind.COMMIT:
+            self.billing.record_writes(database_id)
+
+    # -- driving -----------------------------------------------------------------------
+
+    def run_for(self, duration_us: int) -> None:
+        """Advance the simulation by the given microseconds."""
+        self.kernel.run_for(duration_us)

@@ -1,0 +1,135 @@
+"""Task pools: the simulated serving capacity.
+
+Each component "comprises up to thousands of tasks" (paper section IV); a
+:class:`TaskPool` models N identical tasks, each executing one RPC at a
+time, drawing work from a shared :class:`FairShareScheduler`. Completion
+events run on the discrete-event kernel, so queueing delay emerges from
+offered load vs capacity exactly as in a real cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.events import EventKernel
+from repro.service.rpc import Rpc
+from repro.service.scheduler import FairShareScheduler
+
+
+class _Task:
+    __slots__ = ("task_id", "busy_until_us")
+
+    def __init__(self, task_id: int):
+        self.task_id = task_id
+        self.busy_until_us = 0
+
+
+class TaskPool:
+    """A pool of identical serving tasks over one scheduler."""
+
+    def __init__(
+        self,
+        name: str,
+        kernel: EventKernel,
+        scheduler: Optional[FairShareScheduler] = None,
+        initial_tasks: int = 4,
+        speedup: float = 1.0,
+    ):
+        if initial_tasks < 1:
+            raise ValueError("a pool needs at least one task")
+        self.name = name
+        self.kernel = kernel
+        self.scheduler = scheduler if scheduler is not None else FairShareScheduler()
+        self.speedup = speedup
+        self._tasks = [_Task(i) for i in range(initial_tasks)]
+        self._next_task_id = initial_tasks
+        # utilization accounting
+        self._busy_us_accum = 0.0
+        self._accounted_until = kernel.now_us
+        self.completed = 0
+
+    # -- sizing ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current number of tasks."""
+        return len(self._tasks)
+
+    def add_tasks(self, count: int) -> None:
+        """Grow the pool and drain queued work onto the new tasks."""
+        for _ in range(count):
+            self._tasks.append(_Task(self._next_task_id))
+            self._next_task_id += 1
+        self._dispatch()
+
+    def remove_tasks(self, count: int) -> int:
+        """Shrink (never below one task). In-flight work finishes first
+        because busy tasks are removed lazily at their completion."""
+        removable = min(count, len(self._tasks) - 1)
+        now = self.kernel.now_us
+        idle = [t for t in self._tasks if t.busy_until_us <= now]
+        victims = idle[:removable]
+        for task in victims:
+            self._tasks.remove(task)
+        return len(victims)
+
+    # -- work flow -----------------------------------------------------------------
+
+    def submit(self, rpc: Rpc) -> None:
+        """Enqueue one RPC and dispatch if a task is free."""
+        self.scheduler.enqueue(rpc)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        now = self.kernel.now_us
+        while True:
+            task = self._free_task(now)
+            if task is None:
+                return
+            rpc = self.scheduler.pick()
+            if rpc is None:
+                return
+            service_us = max(1, round(rpc.cpu_cost_us / self.speedup))
+            finish = now + service_us
+            task.busy_until_us = finish
+            self._busy_us_accum += service_us
+            self.kernel.at(finish, self._make_completion(rpc, finish))
+
+    def _free_task(self, now_us: int) -> Optional[_Task]:
+        for task in self._tasks:
+            if task.busy_until_us <= now_us:
+                return task
+        return None
+
+    def _make_completion(self, rpc: Rpc, finish_us: int):
+        def complete() -> None:
+            self.completed += 1
+            if rpc.storage_latency_us > 0:
+                self.kernel.after(
+                    rpc.storage_latency_us,
+                    lambda: rpc.complete(self.kernel.now_us),
+                )
+            else:
+                rpc.complete(finish_us)
+            self._dispatch()
+
+        return complete
+
+    # -- utilization -----------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Mean utilization since the last call (0..1); resets the window."""
+        now = self.kernel.now_us
+        elapsed = now - self._accounted_until
+        if elapsed <= 0:
+            return 0.0
+        capacity = elapsed * len(self._tasks)
+        # clamp: work scheduled into the future counts only up to now
+        busy = min(self._busy_us_accum, capacity)
+        self._busy_us_accum = 0.0
+        self._accounted_until = now
+        return busy / capacity
+
+    def queue_depth(self) -> int:
+        """RPCs waiting for a task."""
+        return self.scheduler.queued()

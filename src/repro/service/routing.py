@@ -1,0 +1,60 @@
+"""Global routing: requests find their database's region.
+
+"Firestore RPCs from the application get routed and distributed across
+the Frontend tasks in the region where the database is located" (paper
+section IV). The router knows each database's home region and adds the
+client->region network latency to every request — a regional client
+talking to its own region is fast; cross-continent access pays the WAN
+round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NotFound
+
+#: one-way network latency between region pairs, microseconds
+DEFAULT_INTER_REGION_US = {
+    ("us-central", "us-central"): 500,
+    ("us-central", "us-east"): 15_000,
+    ("us-central", "europe-west"): 50_000,
+    ("us-central", "asia-east"): 80_000,
+    ("us-east", "europe-west"): 40_000,
+    ("us-east", "asia-east"): 90_000,
+    ("europe-west", "asia-east"): 120_000,
+}
+
+
+@dataclass
+class GlobalRouter:
+    """Maps databases to regions and prices the network hop."""
+
+    latencies: dict[tuple[str, str], int] = field(
+        default_factory=lambda: dict(DEFAULT_INTER_REGION_US)
+    )
+    _homes: dict[str, str] = field(default_factory=dict)
+
+    def register_database(self, database_id: str, region: str) -> None:
+        """Record a database's home region."""
+        self._homes[database_id] = region
+
+    def home_region(self, database_id: str) -> str:
+        """The region a database lives in."""
+        region = self._homes.get(database_id)
+        if region is None:
+            raise NotFound(f"unrouted database {database_id!r}")
+        return region
+
+    def network_latency_us(self, client_region: str, database_id: str) -> int:
+        """One-way client-to-home-region network latency."""
+        home = self.home_region(database_id)
+        if client_region == home:
+            return self.latencies.get((home, home), 500)
+        key = (client_region, home)
+        if key in self.latencies:
+            return self.latencies[key]
+        reverse = (home, client_region)
+        if reverse in self.latencies:
+            return self.latencies[reverse]
+        return 100_000  # unknown pair: assume intercontinental

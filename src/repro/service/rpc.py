@@ -1,0 +1,69 @@
+"""RPC envelopes for the serving simulation.
+
+"An individual RPC is not a uniform work unit, as its cost can vary
+significantly — one RPC can cost a million times another" (paper section
+IV-C); the envelope therefore carries an explicit CPU cost. Batch and
+internal workloads "set custom tags on their RPCs, which allow schedulers
+to prioritize latency-sensitive workloads".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class RpcKind(enum.Enum):
+    """Request categories with distinct cost/latency profiles."""
+    GET = "get"
+    QUERY = "query"
+    COMMIT = "commit"
+    LISTEN = "listen"
+    NOTIFY = "notify"  # realtime fan-out work on Frontend tasks
+    BATCH = "batch"    # tagged background work, deprioritized
+
+
+#: Baseline CPU service costs per kind (microseconds of backend CPU).
+DEFAULT_CPU_COST_US = {
+    RpcKind.GET: 150,
+    RpcKind.QUERY: 400,
+    RpcKind.COMMIT: 500,
+    RpcKind.LISTEN: 250,
+    RpcKind.NOTIFY: 60,
+    RpcKind.BATCH: 2_000,
+}
+
+_rpc_ids = itertools.count(1)
+
+
+@dataclass
+class Rpc:
+    """One request moving through the serving path."""
+
+    database_id: str
+    kind: RpcKind
+    cpu_cost_us: int
+    arrival_us: int
+    #: commit-path extra (replication quorum etc.), added after CPU service
+    storage_latency_us: int = 0
+    #: latency-sensitive (user-facing) vs tagged batch/internal traffic
+    latency_sensitive: bool = True
+    on_complete: Optional[Callable[["Rpc", int], None]] = None
+    on_reject: Optional[Callable[["Rpc", str], None]] = None
+    rpc_id: int = field(default_factory=lambda: next(_rpc_ids))
+
+    def __post_init__(self) -> None:
+        if self.cpu_cost_us <= 0:
+            raise ValueError("rpc must have positive CPU cost")
+
+    def complete(self, finish_us: int) -> None:
+        """Invoke the completion callback with the measured latency."""
+        if self.on_complete is not None:
+            self.on_complete(self, finish_us - self.arrival_us)
+
+    def reject(self, reason: str) -> None:
+        """Invoke the rejection callback with a reason."""
+        if self.on_reject is not None:
+            self.on_reject(self, reason)

@@ -1,0 +1,25 @@
+"""Simulation substrate: clock, discrete-event kernel, TrueTime, latency.
+
+Everything in this package is deterministic: all randomness is drawn from
+seeded generators and the kernel is single-threaded, so a benchmark run
+with a fixed seed reproduces identical output.
+"""
+
+from repro.sim.clock import SimClock, MICROS_PER_SECOND
+from repro.sim.events import EventKernel, Event
+from repro.sim.truetime import TrueTime, TTInterval
+from repro.sim.latency import LatencyModel, RegionalLatency, MultiRegionalLatency
+from repro.sim.rand import SimRandom
+
+__all__ = [
+    "SimClock",
+    "MICROS_PER_SECOND",
+    "EventKernel",
+    "Event",
+    "TrueTime",
+    "TTInterval",
+    "LatencyModel",
+    "RegionalLatency",
+    "MultiRegionalLatency",
+    "SimRandom",
+]

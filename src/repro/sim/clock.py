@@ -1,0 +1,56 @@
+"""Simulated wall-clock time.
+
+All timestamps in the system are integers in *microseconds* since the
+simulation epoch, mirroring Spanner's microsecond-resolution TrueTime
+timestamps. The clock only moves when something advances it (the event
+kernel, a test, or a workload driver), which keeps every run deterministic.
+"""
+
+from __future__ import annotations
+
+MICROS_PER_SECOND = 1_000_000
+MICROS_PER_MILLI = 1_000
+
+
+class SimClock:
+    """A manually-advanced microsecond clock.
+
+    The clock is monotonic: :meth:`advance_to` ignores attempts to move
+    backwards rather than raising, because independent components may race
+    to advance it to slightly different targets.
+    """
+
+    def __init__(self, start_us: int = 0):
+        if start_us < 0:
+            raise ValueError("clock cannot start before the epoch")
+        self._now_us = start_us
+
+    @property
+    def now_us(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in (float) seconds."""
+        return self._now_us / MICROS_PER_SECOND
+
+    def advance(self, delta_us: int) -> int:
+        """Move the clock forward by ``delta_us`` and return the new time."""
+        if delta_us < 0:
+            raise ValueError(f"cannot advance clock by {delta_us}us")
+        self._now_us += delta_us
+        return self._now_us
+
+    def advance_seconds(self, delta_s: float) -> int:
+        """Move the clock forward by ``delta_s`` seconds."""
+        return self.advance(round(delta_s * MICROS_PER_SECOND))
+
+    def advance_to(self, target_us: int) -> int:
+        """Move the clock to ``target_us`` if that is in the future."""
+        if target_us > self._now_us:
+            self._now_us = target_us
+        return self._now_us
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_us={self._now_us})"

@@ -1,0 +1,129 @@
+"""A minimal discrete-event simulation kernel.
+
+Components schedule callbacks at absolute simulated times; :meth:`run_until`
+pops events in time order, advancing the shared :class:`SimClock` as it
+goes. Ties are broken by insertion order, so behaviour is deterministic.
+
+The kernel is intentionally tiny — callbacks, not coroutines — because the
+functional database layers are synchronous; only the serving-infrastructure
+simulation (queueing, autoscaling, heartbeats, workload arrivals) needs
+asynchrony.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, sequence number)."""
+
+    time_us: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventKernel:
+    """Priority-queue event loop over a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._executed = 0
+
+    @property
+    def now_us(self) -> int:
+        """Current simulated time in microseconds."""
+        return self.clock.now_us
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def executed(self) -> int:
+        """Total number of events executed so far."""
+        return self._executed
+
+    def at(self, time_us: int, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time_us``."""
+        if time_us < self.clock.now_us:
+            raise ValueError(
+                f"cannot schedule event at {time_us}us in the past "
+                f"(now={self.clock.now_us}us)"
+            )
+        event = Event(time_us, next(self._seq), callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay_us: int, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` ``delay_us`` microseconds from now."""
+        if delay_us < 0:
+            raise ValueError(f"negative delay {delay_us}us")
+        return self.at(self.clock.now_us + delay_us, callback, label=label)
+
+    def run_until(self, time_us: int) -> int:
+        """Execute events with time <= ``time_us``; returns events executed.
+
+        The clock ends at exactly ``time_us`` even if the last event fired
+        earlier, so wall-clock-driven components observe consistent time.
+        """
+        executed = 0
+        while self._heap and self._heap[0].time_us <= time_us:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time_us)
+            event.callback()
+            executed += 1
+            self._executed += 1
+        self.clock.advance_to(time_us)
+        return executed
+
+    def run_for(self, delta_us: int) -> int:
+        """Run events for the next ``delta_us`` microseconds."""
+        return self.run_until(self.clock.now_us + delta_us)
+
+    def drain(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain. Guards against runaway loops."""
+        executed = 0
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time_us)
+            event.callback()
+            executed += 1
+            self._executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    f"drain() executed more than {max_events} events; "
+                    "likely a self-rescheduling loop"
+                )
+        return executed
+
+    def step(self) -> bool:
+        """Execute the single next event. Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time_us)
+            event.callback()
+            self._executed += 1
+            return True
+        return False

@@ -1,0 +1,87 @@
+"""RPC and replication latency models.
+
+The paper's latency results (section V-B) come from a production
+multi-region (nam5) deployment. We model the pieces that shape those
+curves:
+
+- a base RPC network hop (client <-> Frontend <-> Backend <-> Spanner),
+- Spanner's replication quorum on commit: a regional deployment has
+  replicas within one metro (sub-millisecond to low-millisecond quorum),
+  a multi-regional one pays cross-metro round trips (paper section IV-D2:
+  "Network latency between replicas is higher for a multi-regional
+  deployment ... leading to higher Firestore write latency"),
+- per-participant two-phase-commit overhead when a transaction spans
+  multiple tablets (paper: more index entries -> more tablets -> higher
+  commit latency),
+- a lognormal tail on every sample, since production network latencies are
+  heavy-tailed.
+
+All times are microseconds. Draws come from a forked SimRandom stream so
+latency noise never perturbs workload key choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import MICROS_PER_MILLI
+from repro.sim.rand import SimRandom
+
+
+@dataclass
+class LatencyModel:
+    """Parametric latency model for one deployment flavour."""
+
+    #: one-way network hop between service components
+    rpc_hop_us: int
+    #: median replica-quorum round trip for a commit
+    quorum_us: int
+    #: extra cost per additional 2PC participant (tablet) in a commit
+    per_participant_us: int
+    #: lognormal sigma applied multiplicatively to each sample
+    jitter_sigma: float = 0.25
+
+    def _jitter(self, base_us: float, rand: SimRandom) -> int:
+        if base_us <= 0:
+            return 0
+        return max(1, round(base_us * rand.lognormal(0.0, self.jitter_sigma)))
+
+    def rpc_us(self, rand: SimRandom) -> int:
+        """One network hop."""
+        return self._jitter(self.rpc_hop_us, rand)
+
+    def read_us(self, rand: SimRandom) -> int:
+        """A strongly-consistent Spanner read (leader round trip)."""
+        return self._jitter(self.rpc_hop_us + self.quorum_us * 0.5, rand)
+
+    def commit_us(self, rand: SimRandom, participants: int = 1) -> int:
+        """A Spanner commit across ``participants`` tablets.
+
+        One quorum round for a single-participant commit; 2PC adds a
+        prepare round plus per-participant coordination cost.
+        """
+        if participants < 1:
+            raise ValueError("a commit has at least one participant")
+        base = self.quorum_us
+        if participants > 1:
+            base += self.quorum_us  # prepare phase
+            base += self.per_participant_us * (participants - 1)
+        return self._jitter(base, rand)
+
+
+def RegionalLatency() -> LatencyModel:
+    """Replicas within one region: fast quorums."""
+    return LatencyModel(
+        rpc_hop_us=300,
+        quorum_us=2 * MICROS_PER_MILLI,
+        per_participant_us=200,
+    )
+
+
+def MultiRegionalLatency() -> LatencyModel:
+    """nam5-style multi-region: cross-metro quorum round trips."""
+    return LatencyModel(
+        rpc_hop_us=300,
+        quorum_us=12 * MICROS_PER_MILLI,
+        per_participant_us=400,
+    )

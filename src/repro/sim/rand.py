@@ -1,0 +1,119 @@
+"""Seeded random distributions used by workloads and latency models.
+
+A thin wrapper over :mod:`random.Random` that adds the distributions the
+paper's workloads need (zipfian keys for YCSB, heavy tails for the
+production-fleet synthesis) while keeping all draws attributable to one
+seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+
+class SimRandom:
+    """Deterministic random source with workload-oriented distributions."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._zipf_cache: dict[tuple[int, float], list[float]] = {}
+
+    def fork(self, label: str) -> "SimRandom":
+        """Derive an independent stream named ``label``.
+
+        Forked streams let components draw randomness without perturbing
+        each other's sequences. The derivation uses a stable hash —
+        Python's built-in ``hash()`` of strings is randomized per process
+        and would silently break cross-run reproducibility.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode("utf-8")).digest()
+        return SimRandom(int.from_bytes(digest[:4], "big"))
+
+    # -- basic draws -------------------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def choice(self, seq):
+        """A uniformly chosen element."""
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._rng.shuffle(seq)
+
+    def sample(self, population, k: int):
+        """k distinct elements, uniformly."""
+        return self._rng.sample(population, k)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability p."""
+        return self._rng.random() < p
+
+    def bytes(self, n: int) -> bytes:
+        """n random bytes."""
+        return self._rng.randbytes(n)
+
+    # -- distributions -----------------------------------------------------
+
+    def exponential(self, mean: float) -> float:
+        """Exponential with the given mean (inter-arrival times)."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return self._rng.expovariate(1.0 / mean)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        """Log-normal draw with the given mu/sigma."""
+        return self._rng.lognormvariate(mu, sigma)
+
+    def pareto(self, alpha: float, scale: float = 1.0) -> float:
+        """Pareto with shape ``alpha`` and minimum value ``scale``."""
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        return scale * self._rng.paretovariate(alpha)
+
+    def normal(self, mu: float, sigma: float) -> float:
+        """Gaussian draw with the given mu/sigma."""
+        return self._rng.gauss(mu, sigma)
+
+    def zipf(self, n: int, theta: float = 0.99) -> int:
+        """Zipfian integer in [0, n), YCSB-style skew parameter ``theta``.
+
+        Uses the cumulative-probability inversion method with a cached
+        prefix table (O(n) setup, O(log n) per draw).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        key = (n, theta)
+        cdf = self._zipf_cache.get(key)
+        if cdf is None:
+            weights = [1.0 / math.pow(i + 1, theta) for i in range(n)]
+            total = sum(weights)
+            acc = 0.0
+            cdf = []
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            cdf[-1] = 1.0
+            self._zipf_cache[key] = cdf
+        u = self._rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,105 @@
+"""Simulated TrueTime.
+
+Spanner's TrueTime API exposes bounded clock uncertainty: ``now()`` returns
+an interval ``[earliest, latest]`` guaranteed to contain real time. Commit
+timestamps are chosen at or after ``latest`` and the transaction performs a
+*commit wait* until the timestamp is definitely in the past, which is what
+gives Spanner externally-consistent (causally ordered) timestamps — the
+property the Real-time Cache's watermark machinery relies on (paper
+section IV-D4).
+
+Here real time is the shared :class:`SimClock`; the uncertainty ε is a
+configurable constant (Google reports ~1-7ms). Because the simulation is
+single-threaded, causality is trivially respected; we still reproduce the
+interval API, the commit-wait accounting, and strict monotonicity of issued
+commit timestamps so that the layers above exercise the same logic they
+would against real TrueTime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock, MICROS_PER_MILLI
+
+
+@dataclass(frozen=True)
+class TTInterval:
+    """The ``[earliest, latest]`` bound returned by ``TrueTime.now()``."""
+
+    earliest: int
+    latest: int
+
+    def __post_init__(self) -> None:
+        if self.earliest > self.latest:
+            raise ValueError("TrueTime interval is inverted")
+
+    @property
+    def width(self) -> int:
+        """latest - earliest: the uncertainty span."""
+        return self.latest - self.earliest
+
+
+class TrueTime:
+    """Bounded-uncertainty clock with monotonic commit timestamp issuance."""
+
+    DEFAULT_EPSILON_US = 2 * MICROS_PER_MILLI  # 2ms, mid-range of prod values
+
+    def __init__(self, clock: SimClock, epsilon_us: int = DEFAULT_EPSILON_US):
+        if epsilon_us < 0:
+            raise ValueError("uncertainty cannot be negative")
+        self.clock = clock
+        self.epsilon_us = epsilon_us
+        self._last_issued = 0
+
+    def now(self) -> TTInterval:
+        """Return the uncertainty interval around the current instant."""
+        t = self.clock.now_us
+        return TTInterval(max(0, t - self.epsilon_us), t + self.epsilon_us)
+
+    def after(self, timestamp_us: int) -> bool:
+        """True iff ``timestamp_us`` is definitely in the past."""
+        return self.now().earliest > timestamp_us
+
+    def before(self, timestamp_us: int) -> bool:
+        """True iff ``timestamp_us`` is definitely in the future."""
+        return self.now().latest < timestamp_us
+
+    def issue_commit_timestamp(
+        self,
+        min_allowed_us: int = 0,
+        max_allowed_us: int | None = None,
+    ) -> int:
+        """Pick a commit timestamp within ``[min_allowed, max_allowed]``.
+
+        The timestamp is >= ``now().latest`` (so commit wait can complete)
+        and strictly greater than any previously issued timestamp, which is
+        how the simulation preserves the total order that real Spanner gets
+        from TrueTime + commit wait.
+
+        Raises ValueError if the window cannot be satisfied — callers map
+        this to a definitive commit failure (paper section IV-D2: "not
+        being able to respect the maximum timestamp").
+        """
+        candidate = max(self.now().latest, min_allowed_us, self._last_issued + 1)
+        if max_allowed_us is not None and candidate > max_allowed_us:
+            raise ValueError(
+                f"cannot issue commit timestamp: need >= {candidate}us "
+                f"but max allowed is {max_allowed_us}us"
+            )
+        self._last_issued = candidate
+        return candidate
+
+    def commit_wait_us(self, commit_ts_us: int) -> int:
+        """How long a committer must wait before acknowledging ``commit_ts``.
+
+        Commit wait ends once ``after(commit_ts)`` is true, i.e. when real
+        time passes ``commit_ts + ε``.
+        """
+        deadline = commit_ts_us + self.epsilon_us
+        return max(0, deadline - self.clock.now_us) + 1
+
+    @property
+    def last_issued(self) -> int:
+        """The most recent commit timestamp issued (0 if none)."""
+        return self._last_issued

@@ -1,0 +1,40 @@
+"""A simulated Spanner: the storage substrate under Firestore.
+
+This package reproduces the Spanner properties Firestore depends on
+(paper section IV-D1):
+
+- ordered key-value tables with efficient in-order range scans,
+- multi-version concurrency control with TrueTime commit timestamps,
+- lock-based read-write transactions with two-phase commit across tablets,
+- lock-free consistent snapshot (timestamp) reads,
+- load-based splitting of consecutive key ranges into tablets,
+- directories that guide placement (one Firestore database per directory),
+- a transactional messaging system (used for write triggers).
+
+It is an in-process simulation: "tablets" are shards of one Python
+process, and replication shows up only through the latency model — the
+*interfaces and guarantees* are the ones the paper describes.
+"""
+
+from repro.spanner.btree import BTreeMap
+from repro.spanner.database import SpannerDatabase, TableSchema
+from repro.spanner.transaction import ReadWriteTransaction, CommitResult
+from repro.spanner.locks import LockMode, LockTable
+from repro.spanner.tablet import Tablet
+from repro.spanner.messaging import TransactionalMessageQueue, Message
+from repro.spanner.splitting import LoadBasedSplitter, SplitPolicy
+
+__all__ = [
+    "LoadBasedSplitter",
+    "SplitPolicy",
+    "BTreeMap",
+    "SpannerDatabase",
+    "TableSchema",
+    "ReadWriteTransaction",
+    "CommitResult",
+    "LockMode",
+    "LockTable",
+    "Tablet",
+    "TransactionalMessageQueue",
+    "Message",
+]

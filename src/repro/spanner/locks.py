@@ -1,0 +1,141 @@
+"""Row-granular lock table for read-write transactions.
+
+Spanner read-write transactions are lock-based (paper section IV-D1);
+Firestore documents map to single rows, so "sub-document granular locking
+is not supported" and document-level locks suffice.
+
+Because this simulation is single-threaded, a conflicting request cannot
+block; it raises :class:`LockConflict` and the caller aborts and retries,
+exactly the remediation the paper describes for contention ("long-lived or
+large transactions may lead to lock contention and deadlocks that are
+resolved by failing and retrying such transactions"). This also makes
+deadlock impossible by construction while preserving the observable
+behaviour (aborted transactions under contention).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import LockConflict
+
+
+class LockMode(enum.Enum):
+    """Shared (read) vs exclusive (write) lock modes."""
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _LockState:
+    shared_holders: set[int] = field(default_factory=set)
+    exclusive_holder: int | None = None
+
+    def is_free(self) -> bool:
+        return not self.shared_holders and self.exclusive_holder is None
+
+
+class LockTable:
+    """Tracks shared/exclusive row locks per transaction id.
+
+    Also supports *shared range locks* covering a key interval: a
+    transactional scan locks the range it read, so a concurrent insert of
+    a new key inside that range conflicts — the range lock is what
+    excludes phantoms (Spanner locks scanned ranges, not just rows).
+    """
+
+    def __init__(self) -> None:
+        self._locks: dict[bytes, _LockState] = {}
+        self._held_by_txn: dict[int, set[bytes]] = {}
+        # txn_id -> list of (start, end_or_None) shared ranges
+        self._ranges: dict[int, list[tuple[bytes, bytes | None]]] = {}
+        self.conflicts = 0  # observability: count of refused acquisitions
+
+    def acquire(self, txn_id: int, key: bytes, mode: LockMode) -> None:
+        """Grant the lock or raise :class:`LockConflict`.
+
+        Re-entrant for the same transaction; a shared holder may upgrade
+        to exclusive iff it is the only holder.
+        """
+        state = self._locks.get(key)
+        if state is None:
+            state = _LockState()
+            self._locks[key] = state
+
+        if mode is LockMode.SHARED:
+            if state.exclusive_holder is not None and state.exclusive_holder != txn_id:
+                self.conflicts += 1
+                raise LockConflict(key, state.exclusive_holder, txn_id)
+            state.shared_holders.add(txn_id)
+        else:
+            if state.exclusive_holder is not None and state.exclusive_holder != txn_id:
+                self.conflicts += 1
+                raise LockConflict(key, state.exclusive_holder, txn_id)
+            others = state.shared_holders - {txn_id}
+            if others:
+                self.conflicts += 1
+                raise LockConflict(key, next(iter(others)), txn_id)
+            blocker = self._range_holder(key, exclude=txn_id)
+            if blocker is not None:
+                self.conflicts += 1
+                raise LockConflict(key, blocker, txn_id)
+            state.exclusive_holder = txn_id
+            state.shared_holders.discard(txn_id)
+
+        self._held_by_txn.setdefault(txn_id, set()).add(key)
+
+    def acquire_range(
+        self, txn_id: int, start: bytes, end: bytes | None
+    ) -> None:
+        """Take a shared lock over [start, end) — phantom protection.
+
+        Conflicts with any *other* transaction already holding an
+        exclusive row lock inside the range.
+        """
+        for key, state in self._locks.items():
+            if state.exclusive_holder is None or state.exclusive_holder == txn_id:
+                continue
+            if key >= start and (end is None or key < end):
+                self.conflicts += 1
+                raise LockConflict(key, state.exclusive_holder, txn_id)
+        self._ranges.setdefault(txn_id, []).append((start, end))
+
+    def _range_holder(self, key: bytes, exclude: int) -> int | None:
+        for holder, ranges in self._ranges.items():
+            if holder == exclude:
+                continue
+            for start, end in ranges:
+                if key >= start and (end is None or key < end):
+                    return holder
+        return None
+
+    def release_all(self, txn_id: int) -> int:
+        """Release every lock held by ``txn_id``; returns count released."""
+        self._ranges.pop(txn_id, None)
+        keys = self._held_by_txn.pop(txn_id, set())
+        for key in keys:
+            state = self._locks.get(key)
+            if state is None:
+                continue
+            state.shared_holders.discard(txn_id)
+            if state.exclusive_holder == txn_id:
+                state.exclusive_holder = None
+            if state.is_free():
+                del self._locks[key]
+        return len(keys)
+
+    def holders(self, key: bytes) -> tuple[set[int], int | None]:
+        """(shared holders, exclusive holder) for ``key`` — for tests."""
+        state = self._locks.get(key)
+        if state is None:
+            return (set(), None)
+        return (set(state.shared_holders), state.exclusive_holder)
+
+    def held_keys(self, txn_id: int) -> set[bytes]:
+        """Keys a transaction currently holds locks on."""
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    def active_lock_count(self) -> int:
+        """Row locks currently held by anyone."""
+        return len(self._locks)

@@ -1,0 +1,80 @@
+"""Spanner's transactional messaging system (simulated).
+
+"Spanner also has a transactional messaging system that allows its user to
+persist information that can be used to perform asynchronous work. This
+system is used by the Firestore Backend to implement write triggers"
+(paper section IV-D2). Messages enqueued inside a read-write transaction
+become visible atomically with the commit, and are later removed and
+delivered asynchronously.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class Message:
+    """A durably-enqueued message."""
+
+    message_id: int
+    topic: str
+    payload: Any
+    commit_ts: int
+
+
+class TransactionalMessageQueue:
+    """Per-topic FIFO queues populated atomically at transaction commit."""
+
+    def __init__(self) -> None:
+        self._queues: dict[str, list[Message]] = {}
+        self._ids = itertools.count(1)
+        self._subscribers: dict[str, list[Callable[[Message], None]]] = {}
+        self.delivered = 0
+
+    def commit_messages(self, pending: list[tuple[str, Any]], commit_ts: int) -> list[Message]:
+        """Make a transaction's buffered messages durable (called by the
+        transaction commit path, atomically with the data mutations)."""
+        out = []
+        for topic, payload in pending:
+            message = Message(next(self._ids), topic, payload, commit_ts)
+            self._queues.setdefault(topic, []).append(message)
+            out.append(message)
+        return out
+
+    def subscribe(self, topic: str, handler: Callable[[Message], None]) -> None:
+        """Register an async delivery handler for ``topic``."""
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def pending(self, topic: Optional[str] = None) -> int:
+        """Queued messages, optionally for one topic."""
+        if topic is not None:
+            return len(self._queues.get(topic, []))
+        return sum(len(q) for q in self._queues.values())
+
+    def poll(self, topic: str, max_messages: int = 100) -> list[Message]:
+        """Remove and return up to ``max_messages`` from ``topic``."""
+        queue = self._queues.get(topic, [])
+        taken, self._queues[topic] = queue[:max_messages], queue[max_messages:]
+        return taken
+
+    def deliver_all(self) -> int:
+        """Drain every topic to its subscribers; returns messages delivered.
+
+        Topics without subscribers retain their messages (they stay
+        persisted until someone polls), matching the at-least-once,
+        eventually-delivered contract of the real system.
+        """
+        count = 0
+        for topic in list(self._queues):
+            handlers = self._subscribers.get(topic)
+            if not handlers:
+                continue
+            for message in self.poll(topic, max_messages=len(self._queues[topic])):
+                for handler in handlers:
+                    handler(message)
+                count += 1
+                self.delivered += 1
+        return count

@@ -1,0 +1,119 @@
+"""Multi-version storage cells.
+
+Spanner stores every write at its commit timestamp and serves reads at any
+timestamp without locks (multi-version concurrency control, paper section
+IV-D1: "the serializability guarantee on timestamps allows Firestore to
+perform lock-free consistent (timestamp-based) reads across a database
+without blocking writes").
+
+A :class:`VersionChain` is the version history of one row: a list of
+``(commit_ts, value)`` pairs in descending timestamp order, where a value
+of :data:`TOMBSTONE` marks a deletion. Old versions are garbage-collected
+past a configurable horizon.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class _Tombstone:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<tombstone>"
+
+
+#: Sentinel marking a deleted version.
+TOMBSTONE = _Tombstone()
+
+
+class VersionChain:
+    """The timestamped version history of a single row."""
+
+    __slots__ = ("_ts", "_values")
+
+    def __init__(self) -> None:
+        # ascending commit timestamps; _values[i] pairs with _ts[i]
+        self._ts: list[int] = []
+        self._values: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def write(self, commit_ts: int, value: Any) -> None:
+        """Record ``value`` at ``commit_ts``.
+
+        Timestamps must strictly increase (TrueTime guarantees a total
+        order of commits); an equal or older timestamp is an invariant
+        violation.
+        """
+        if self._ts and commit_ts <= self._ts[-1]:
+            raise ValueError(
+                f"non-monotonic MVCC write: {commit_ts} <= {self._ts[-1]}"
+            )
+        self._ts.append(commit_ts)
+        self._values.append(value)
+
+    def read_at(self, read_ts: int) -> Any:
+        """Newest value with commit_ts <= read_ts, or TOMBSTONE if none.
+
+        A row that has never been written reads as deleted, which lets the
+        caller treat missing rows and deleted rows uniformly.
+        """
+        idx = bisect.bisect_right(self._ts, read_ts) - 1
+        if idx < 0:
+            return TOMBSTONE
+        return self._values[idx]
+
+    def read_versioned_at(self, read_ts: int) -> tuple[int, Any] | None:
+        """Newest (commit_ts, value) with commit_ts <= read_ts, or None."""
+        idx = bisect.bisect_right(self._ts, read_ts) - 1
+        if idx < 0:
+            return None
+        return (self._ts[idx], self._values[idx])
+
+    def latest(self) -> tuple[int, Any]:
+        """The newest (commit_ts, value) pair."""
+        if not self._ts:
+            return (0, TOMBSTONE)
+        return (self._ts[-1], self._values[-1])
+
+    def versions(self) -> Iterator[tuple[int, Any]]:
+        """All versions, newest first."""
+        for i in range(len(self._ts) - 1, -1, -1):
+            yield self._ts[i], self._values[i]
+
+    def gc(self, horizon_ts: int) -> int:
+        """Drop versions superseded before ``horizon_ts``.
+
+        Keeps the newest version at or before the horizon (it is still
+        readable by horizon-time reads) and everything after. Returns the
+        number of versions dropped. A chain whose only surviving version
+        is a tombstone older than the horizon empties completely.
+        """
+        keep_from = bisect.bisect_right(self._ts, horizon_ts) - 1
+        if keep_from <= 0:
+            return 0
+        dropped = keep_from
+        self._ts = self._ts[keep_from:]
+        self._values = self._values[keep_from:]
+        if (
+            len(self._ts) == 1
+            and self._values[0] is TOMBSTONE
+            and self._ts[0] <= horizon_ts
+        ):
+            dropped += 1
+            self._ts.clear()
+            self._values.clear()
+        return dropped
+
+    def is_empty(self) -> bool:
+        """True when no versions remain."""
+        return not self._ts
+
+
+def is_deleted(value: Any) -> bool:
+    """True if an MVCC read produced a tombstone (or never-written row)."""
+    return value is TOMBSTONE

@@ -1,0 +1,149 @@
+"""Load-based tablet splitting and merging.
+
+"Spanner's automatic load-based splitting and merging of rows into tablets
+... allows Firestore to scale to arbitrary read and write loads" (paper
+section IV-D1). Firestore's conforming-traffic rule (grow at most 50%
+every 5 minutes from a 500 QPS base) exists precisely to give this
+machinery time to react; the serving simulation uses the same policy knobs
+to reproduce the p99 ramp-up effects in Figures 7/8.
+
+The splitter is invoked periodically (or explicitly by tests). A tablet
+splits when it is hot or oversized; two adjacent tablets merge when both
+are cold and small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spanner.database import SpannerDatabase
+from repro.spanner.tablet import Tablet
+
+
+@dataclass
+class SplitPolicy:
+    """Thresholds for splitting and merging."""
+
+    #: decayed load units (reads + 2*writes) above which a tablet is hot
+    hot_load: float = 1500.0
+    #: row count above which a tablet splits regardless of load
+    max_rows: int = 50_000
+    #: both-neighbours load below which a merge is considered
+    cold_load: float = 50.0
+    #: merged tablet must stay under this many rows
+    merge_max_rows: int = 10_000
+    #: never exceed this many tablets (simulation guard)
+    max_tablets: int = 4096
+
+
+class LoadBasedSplitter:
+    """Applies a :class:`SplitPolicy` to a database's tablets."""
+
+    def __init__(self, db: SpannerDatabase, policy: SplitPolicy | None = None):
+        self.db = db
+        self.policy = policy if policy is not None else SplitPolicy()
+        self.splits = 0
+        self.merges = 0
+
+    def run_once(self) -> int:
+        """One maintenance pass; returns number of topology changes."""
+        changes = self._split_pass()
+        changes += self._merge_pass()
+        return changes
+
+    # -- splitting -----------------------------------------------------------
+
+    def _split_pass(self) -> int:
+        now = self.db.clock.now_us
+        changes = 0
+        index = 0
+        while index < len(self.db.tablets):
+            if len(self.db.tablets) >= self.policy.max_tablets:
+                break
+            tablet = self.db.tablets[index]
+            if self._should_split(tablet, now) and self.split_tablet(tablet):
+                changes += 1
+                # re-examine the left half in case it is still oversized
+                continue
+            index += 1
+        return changes
+
+    def _should_split(self, tablet: Tablet, now_us: int) -> bool:
+        if len(tablet.rows) >= self.policy.max_rows:
+            return True
+        return (
+            tablet.stats.load(now_us) >= self.policy.hot_load
+            and len(tablet.rows) >= 2
+        )
+
+    def split_tablet(self, tablet: Tablet, at_key: bytes | None = None) -> bool:
+        """Split ``tablet`` at ``at_key`` (or its median). Returns success."""
+        split_key = at_key if at_key is not None else tablet.split_key()
+        if split_key is None:
+            return False
+        if not (tablet.covers(split_key) and split_key > tablet.start_key):
+            return False
+        right = Tablet(split_key, tablet.end_key)
+        move = [
+            (key, chain)
+            for key, chain in tablet.rows.items(start=split_key)
+        ]
+        for key, chain in move:
+            right.rows.put(key, chain)
+            tablet.rows.delete(key)
+        tablet.end_key = split_key
+        # split the measured load between the halves
+        tablet.stats.reads /= 2
+        tablet.stats.writes /= 2
+        right.stats.reads = tablet.stats.reads
+        right.stats.writes = tablet.stats.writes
+        position = self.db.tablets.index(tablet)
+        self.db.tablets.insert(position + 1, right)
+        self.splits += 1
+        return True
+
+    def pre_split(self, boundaries: list[bytes]) -> int:
+        """Split at explicit boundaries (benchmark warm-up: the paper's
+        data-shape experiment pre-initializes the database 'to ensure that
+        commits spanned multiple tablets')."""
+        done = 0
+        for boundary in sorted(boundaries):
+            tablet = self.db.tablet_for(boundary)
+            if boundary == tablet.start_key:
+                continue
+            if self.split_tablet(tablet, at_key=boundary):
+                done += 1
+        return done
+
+    # -- merging -------------------------------------------------------------
+
+    def _merge_pass(self) -> int:
+        now = self.db.clock.now_us
+        changes = 0
+        index = 0
+        while index < len(self.db.tablets) - 1:
+            left = self.db.tablets[index]
+            right = self.db.tablets[index + 1]
+            if self._should_merge(left, right, now):
+                self._merge(left, right)
+                changes += 1
+            else:
+                index += 1
+        return changes
+
+    def _should_merge(self, left: Tablet, right: Tablet, now_us: int) -> bool:
+        if len(left.rows) + len(right.rows) > self.policy.merge_max_rows:
+            return False
+        return (
+            left.stats.load(now_us) < self.policy.cold_load
+            and right.stats.load(now_us) < self.policy.cold_load
+        )
+
+    def _merge(self, left: Tablet, right: Tablet) -> None:
+        for key, chain in right.rows.items():
+            left.rows.put(key, chain)
+        left.end_key = right.end_key
+        left.stats.reads += right.stats.reads
+        left.stats.writes += right.stats.writes
+        self.db.tablets.remove(right)
+        self.merges += 1

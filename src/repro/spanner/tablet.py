@@ -1,0 +1,157 @@
+"""Tablets: consecutive-key-range shards of a Spanner database.
+
+"Spanner's automatic load-based splitting and merging of rows into tablets
+... that hold data for a consecutive key-range allows Firestore to scale to
+arbitrary read and write loads" (paper section IV-D1). A tablet here is a
+B+tree of MVCC version chains covering ``[start_key, end_key)`` of the
+database's composite keyspace, plus the load statistics the splitter uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.spanner.btree import BTreeMap
+from repro.spanner.mvcc import TOMBSTONE, VersionChain
+
+
+class LoadStats:
+    """Exponentially-decayed read/write rates for split decisions."""
+
+    __slots__ = ("reads", "writes", "_last_decay_us", "half_life_us")
+
+    def __init__(self, half_life_us: int = 60_000_000):
+        self.reads = 0.0
+        self.writes = 0.0
+        self.half_life_us = half_life_us
+        self._last_decay_us = 0
+
+    def _decay(self, now_us: int) -> None:
+        if now_us <= self._last_decay_us:
+            return
+        elapsed = now_us - self._last_decay_us
+        factor = 0.5 ** (elapsed / self.half_life_us)
+        self.reads *= factor
+        self.writes *= factor
+        self._last_decay_us = now_us
+
+    def record_read(self, now_us: int, count: int = 1) -> None:
+        """Account reads at the given time."""
+        self._decay(now_us)
+        self.reads += count
+
+    def record_write(self, now_us: int, count: int = 1) -> None:
+        """Account writes at the given time."""
+        self._decay(now_us)
+        self.writes += count
+
+    def load(self, now_us: int) -> float:
+        """Decayed load units (reads + 2*writes) as of now."""
+        self._decay(now_us)
+        return self.reads + 2.0 * self.writes  # writes cost more
+
+
+class Tablet:
+    """One shard: MVCC rows for a consecutive composite-key range."""
+
+    _next_id = 0
+
+    def __init__(self, start_key: bytes, end_key: Optional[bytes]):
+        """``end_key`` of None means unbounded above."""
+        Tablet._next_id += 1
+        self.tablet_id = Tablet._next_id
+        self.start_key = start_key
+        self.end_key = end_key
+        self.rows = BTreeMap()
+        self.stats = LoadStats()
+
+    def covers(self, key: bytes) -> bool:
+        """Whether a composite key falls in this tablet's range."""
+        if key < self.start_key:
+            return False
+        return self.end_key is None or key < self.end_key
+
+    def chain(self, key: bytes, create: bool = False) -> Optional[VersionChain]:
+        """The version chain for a key (optionally created)."""
+        chain = self.rows.get(key)
+        if chain is None and create:
+            chain = VersionChain()
+            self.rows.put(key, chain)
+        return chain
+
+    def read_at(self, key: bytes, read_ts: int) -> Any:
+        """Snapshot read; returns TOMBSTONE for absent/deleted rows."""
+        chain = self.rows.get(key)
+        if chain is None:
+            return TOMBSTONE
+        return chain.read_at(read_ts)
+
+    def read_latest(self, key: bytes) -> tuple[int, Any]:
+        """The newest (commit_ts, value), TOMBSTONE if absent."""
+        chain = self.rows.get(key)
+        if chain is None:
+            return (0, TOMBSTONE)
+        return chain.latest()
+
+    def scan_at(
+        self,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        read_ts: int,
+        reverse: bool = False,
+    ) -> Iterator[tuple[bytes, Any]]:
+        """Yield live (key, value) pairs at ``read_ts`` within the range.
+
+        The scan range is intersected with the tablet's own bounds so
+        callers can pass the full logical range.
+        """
+        lo = start if start is not None and start > self.start_key else self.start_key
+        hi = end
+        if self.end_key is not None and (hi is None or hi > self.end_key):
+            hi = self.end_key
+        for key, chain in self.rows.items(start=lo, end=hi, reverse=reverse):
+            value = chain.read_at(read_ts)
+            if value is not TOMBSTONE:
+                yield key, value
+
+    def live_row_count(self, read_ts: int) -> int:
+        """Non-deleted rows visible at a timestamp."""
+        return sum(1 for _ in self.scan_at(None, None, read_ts))
+
+    def version_count(self) -> int:
+        """Total stored versions across all chains."""
+        return sum(len(chain) for chain in self.rows.values())
+
+    def gc(self, horizon_ts: int) -> int:
+        """Garbage-collect old versions; drops emptied chains."""
+        dropped = 0
+        empty_keys = []
+        for key, chain in self.rows.items():
+            dropped += chain.gc(horizon_ts)
+            if chain.is_empty():
+                empty_keys.append(key)
+        for key in empty_keys:
+            self.rows.delete(key)
+        return dropped
+
+    def split_key(self) -> Optional[bytes]:
+        """A key that divides this tablet roughly in half, or None."""
+        if len(self.rows) < 2:
+            return None
+        key = self.rows.key_at_fraction(0.5)
+        if key is None or key == self.start_key:
+            # ensure the left half is non-empty
+            keys = list(self.rows.keys())
+            if len(keys) < 2:
+                return None
+            key = keys[len(keys) // 2]
+            if key == self.start_key:
+                return None
+        return key
+
+    def __repr__(self) -> str:
+        end = self.end_key.hex() if self.end_key is not None else "+inf"
+        return (
+            f"Tablet(id={self.tablet_id}, range=[{self.start_key.hex()},{end}), "
+            f"rows={len(self.rows)})"
+        )

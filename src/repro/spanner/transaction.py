@@ -1,0 +1,348 @@
+"""Lock-based read-write transactions with two-phase commit across tablets.
+
+Mirrors the Spanner behaviour Firestore builds on (paper section IV-D1/2):
+
+- reads inside the transaction take row locks (shared by default,
+  exclusive when the caller will write the row, as the Backend does for
+  documents in step 2 of the write protocol),
+- writes are buffered and their exclusive locks are acquired at commit
+  (step 6: "Spanner acquires additional exclusive locks on the specific
+  IndexEntries rows"),
+- the commit timestamp is constrained to a ``[min, max]`` window so the
+  Real-time Cache's Prepare/Accept protocol can bound what it must wait
+  for,
+- a conflict aborts the transaction (callers retry with backoff).
+
+A fault injector on the database lets tests exercise the paper's failure
+matrix: definitive commit failure and unknown-outcome commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.errors import Aborted, CommitOutcomeUnknown, InternalError, LockConflict
+from repro.spanner.locks import LockMode
+from repro.spanner.mvcc import TOMBSTONE
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """Outcome of a successful commit."""
+
+    commit_ts: int
+    participant_tablets: tuple[int, ...]
+    mutation_count: int
+
+    @property
+    def participants(self) -> int:
+        """How many tablets the two-phase commit spanned."""
+        return len(self.participant_tablets)
+
+
+class _DefinitiveCommitFailure(Exception):
+    """Raised by fault injectors to force a known-failed commit."""
+
+
+class _UnknownOutcomeFailure(Exception):
+    """Raised by fault injectors to force an unknown-outcome commit.
+
+    ``applied`` says whether the injector wants the mutations applied
+    anyway (commit actually succeeded but the ack was lost)."""
+
+    def __init__(self, applied: bool):
+        self.applied = applied
+
+
+class ReadWriteTransaction:
+    """One Spanner read-write transaction."""
+
+    def __init__(self, db, txn_id: int):
+        self._db = db
+        self.txn_id = txn_id
+        self.start_ts = db.clock.now_us
+        # composite_key -> (value | TOMBSTONE)
+        self._writes: dict[bytes, Any] = {}
+        self._pending_messages: list[tuple[str, Any]] = []
+        self._state = "active"
+
+    # -- lifecycle helpers ----------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the transaction can still read/write/commit."""
+        return self._state == "active"
+
+    def _check_active(self) -> None:
+        if self._state != "active":
+            raise InternalError(
+                f"transaction {self.txn_id} is {self._state}, not active"
+            )
+
+    def _abort(self) -> None:
+        self._db.locks.release_all(self.txn_id)
+        self._state = "aborted"
+        self._db.aborts += 1
+
+    def rollback(self) -> None:
+        """Abort the transaction and release its locks."""
+        if self._state == "active":
+            self._abort()
+
+    # -- reads ------------------------------------------------------------------
+
+    def read(
+        self,
+        table: str,
+        row_key: bytes,
+        for_update: bool = False,
+    ) -> Any:
+        """Read the latest committed value of a row, under lock.
+
+        Returns None for absent/deleted rows. ``for_update=True`` takes an
+        exclusive lock immediately (used by the Backend for document rows
+        it will modify). Own buffered writes are visible.
+        """
+        self._check_active()
+        schema = self._db.table(table)
+        ckey = schema.composite_key(row_key)
+        if ckey in self._writes:
+            value = self._writes[ckey]
+            return None if value is TOMBSTONE else value
+        version = self.read_versioned(table, row_key, for_update=for_update)
+        return None if version is None else version[1]
+
+    def read_versioned(
+        self,
+        table: str,
+        row_key: bytes,
+        for_update: bool = False,
+    ) -> Any:
+        """Like :meth:`read` but returns (commit_ts, value) or None.
+
+        Buffered writes of this transaction read back with a commit_ts of
+        0 (their timestamp is not assigned until commit).
+        """
+        self._check_active()
+        schema = self._db.table(table)
+        ckey = schema.composite_key(row_key)
+        if ckey in self._writes:
+            value = self._writes[ckey]
+            return None if value is TOMBSTONE else (0, value)
+        mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
+        try:
+            self._db.locks.acquire(self.txn_id, ckey, mode)
+        except LockConflict as exc:
+            self._abort()
+            raise Aborted(str(exc)) from exc
+        tablet = self._db.tablet_for(ckey)
+        tablet.stats.record_read(self._db.clock.now_us)
+        ts, value = tablet.read_latest(ckey)
+        return None if value is TOMBSTONE else (ts, value)
+
+    def scan(
+        self,
+        table: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        reverse: bool = False,
+        limit: Optional[int] = None,
+    ) -> Iterator[tuple[bytes, Any]]:
+        """Range scan under a shared range lock plus per-row locks.
+
+        Buffered writes of this transaction are merged into the result.
+        The range lock covers the scanned interval, so a concurrent
+        insert of a *new* key inside it conflicts — phantom protection,
+        like Spanner's scanned-range locking.
+        """
+        self._check_active()
+        schema = self._db.table(table)
+        range_start = schema.composite_key(start if start is not None else b"")
+        if end is not None:
+            range_end: bytes | None = schema.composite_key(end)
+        elif schema.tag < 0xFF:
+            range_end = bytes([schema.tag + 1])
+        else:  # pragma: no cover - tag space is capped below 0xFF
+            range_end = None
+        try:
+            self._db.locks.acquire_range(self.txn_id, range_start, range_end)
+        except LockConflict as exc:
+            self._abort()
+            raise Aborted(str(exc)) from exc
+        merged = self._merged_scan(table, start, end, reverse)
+        count = 0
+        for row_key, value in merged:
+            schema = self._db.table(table)
+            ckey = schema.composite_key(row_key)
+            try:
+                self._db.locks.acquire(self.txn_id, ckey, LockMode.SHARED)
+            except LockConflict as exc:
+                self._abort()
+                raise Aborted(str(exc)) from exc
+            yield row_key, value
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+    def _merged_scan(
+        self,
+        table: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        reverse: bool,
+    ) -> Iterator[tuple[bytes, Any]]:
+        schema = self._db.table(table)
+        tag = schema.tag
+
+        def in_range(row_key: bytes) -> bool:
+            if start is not None and row_key < start:
+                return False
+            if end is not None and row_key >= end:
+                return False
+            return True
+
+        own: dict[bytes, Any] = {
+            ckey[1:]: value
+            for ckey, value in self._writes.items()
+            if ckey[0] == tag and in_range(ckey[1:])
+        }
+        # Latest committed data (no read_ts: RW txns read latest under lock).
+        latest_ts = self._db.truetime.last_issued or self._db.clock.now_us
+        committed = self._db.snapshot_scan(
+            table, start, end, read_ts=latest_ts, reverse=reverse
+        )
+        own_keys = sorted(own, reverse=reverse)
+        own_idx = 0
+
+        def own_ahead(committed_key: bytes) -> bool:
+            key = own_keys[own_idx]
+            return key < committed_key if not reverse else key > committed_key
+
+        for row_key, value in committed:
+            while own_idx < len(own_keys) and own_ahead(row_key):
+                okey = own_keys[own_idx]
+                own_idx += 1
+                if own[okey] is not TOMBSTONE:
+                    yield okey, own[okey]
+            if own_idx < len(own_keys) and own_keys[own_idx] == row_key:
+                okey = own_keys[own_idx]
+                own_idx += 1
+                if own[okey] is not TOMBSTONE:
+                    yield okey, own[okey]
+                continue
+            yield row_key, value
+        while own_idx < len(own_keys):
+            okey = own_keys[own_idx]
+            own_idx += 1
+            if own[okey] is not TOMBSTONE:
+                yield okey, own[okey]
+
+    # -- writes ------------------------------------------------------------------
+
+    def put(self, table: str, row_key: bytes, value: Any) -> None:
+        """Buffer an insert-or-update of a row."""
+        self._check_active()
+        if value is None:
+            raise InternalError("row values may not be None; use delete()")
+        schema = self._db.table(table)
+        self._writes[schema.composite_key(row_key)] = value
+
+    def delete(self, table: str, row_key: bytes) -> None:
+        """Buffer a deletion of a row."""
+        self._check_active()
+        schema = self._db.table(table)
+        self._writes[schema.composite_key(row_key)] = TOMBSTONE
+
+    def enqueue_message(self, topic: str, payload: Any) -> None:
+        """Buffer a transactional message, durable iff the commit succeeds."""
+        self._check_active()
+        self._pending_messages.append((topic, payload))
+
+    @property
+    def pending_writes(self) -> int:
+        """Buffered mutations awaiting commit."""
+        return len(self._writes)
+
+    # -- commit ------------------------------------------------------------------
+
+    def commit(
+        self,
+        min_commit_ts: int = 0,
+        max_commit_ts: Optional[int] = None,
+    ) -> CommitResult:
+        """Two-phase commit across every participant tablet.
+
+        Raises :class:`Aborted` on lock conflict or an unsatisfiable
+        timestamp window (definitive failures) and
+        :class:`CommitOutcomeUnknown` when a fault injector simulates a
+        lost acknowledgement.
+        """
+        self._check_active()
+
+        # Phase 1 (prepare): exclusive-lock every written row.
+        for ckey in self._writes:
+            try:
+                self._db.locks.acquire(self.txn_id, ckey, LockMode.EXCLUSIVE)
+            except LockConflict as exc:
+                self._abort()
+                raise Aborted(str(exc)) from exc
+
+        if self._db.commit_fault_injector is not None:
+            try:
+                self._db.commit_fault_injector(self.txn_id)
+            except _DefinitiveCommitFailure as exc:
+                self._abort()
+                raise Aborted("commit failed definitively (injected)") from exc
+            except _UnknownOutcomeFailure as exc:
+                # "unknown" is a *client-side* state: the server either
+                # committed or aborted, and in both cases it releases the
+                # transaction's locks — only the acknowledgement was lost
+                if exc.applied:
+                    self._apply(min_commit_ts, max_commit_ts)
+                    self._db.locks.release_all(self.txn_id)
+                    self._db.commits += 1
+                else:
+                    self._abort()
+                self._state = "unknown"
+                raise CommitOutcomeUnknown(
+                    "commit outcome unknown (injected)"
+                ) from exc
+
+        commit_ts = self._apply(min_commit_ts, max_commit_ts)
+        participants = tuple(
+            sorted({self._db.tablet_for(ckey).tablet_id for ckey in self._writes})
+        )
+        result = CommitResult(commit_ts, participants, len(self._writes))
+        self._db.locks.release_all(self.txn_id)
+        self._state = "committed"
+        self._db.commits += 1
+        return result
+
+    def _apply(self, min_commit_ts: int, max_commit_ts: Optional[int]) -> int:
+        try:
+            commit_ts = self._db.truetime.issue_commit_timestamp(
+                min_commit_ts, max_commit_ts
+            )
+        except ValueError as exc:
+            self._abort()
+            raise Aborted(str(exc)) from exc
+        now = self._db.clock.now_us
+        for ckey, value in self._writes.items():
+            tablet = self._db.tablet_for(ckey)
+            chain = tablet.chain(ckey, create=True)
+            chain.write(commit_ts, value)
+            tablet.stats.record_write(now)
+        if self._pending_messages:
+            self._db.message_queue.commit_messages(self._pending_messages, commit_ts)
+        return commit_ts
+
+
+def inject_definitive_failure() -> None:
+    """Helper for tests: raise inside a commit_fault_injector."""
+    raise _DefinitiveCommitFailure()
+
+
+def inject_unknown_outcome(applied: bool) -> None:
+    """Helper for tests: raise inside a commit_fault_injector."""
+    raise _UnknownOutcomeFailure(applied)

@@ -1,0 +1,33 @@
+"""Workload generators for the paper's evaluation (section V)."""
+
+from repro.workloads.ycsb import YcsbConfig, YcsbResult, YcsbRunner
+from repro.workloads.fanout import FanoutConfig, FanoutResult, run_fanout_experiment
+from repro.workloads.isolation import (
+    IsolationConfig,
+    IsolationResult,
+    run_isolation_experiment,
+)
+from repro.workloads.datashape import (
+    DataShapeResult,
+    run_doc_size_sweep,
+    run_field_count_sweep,
+)
+from repro.workloads.fleet import FleetConfig, FleetStats, synthesize_fleet
+
+__all__ = [
+    "YcsbConfig",
+    "YcsbResult",
+    "YcsbRunner",
+    "FanoutConfig",
+    "FanoutResult",
+    "run_fanout_experiment",
+    "IsolationConfig",
+    "IsolationResult",
+    "run_isolation_experiment",
+    "DataShapeResult",
+    "run_doc_size_sweep",
+    "run_field_count_sweep",
+    "FleetConfig",
+    "FleetStats",
+    "synthesize_fleet",
+]

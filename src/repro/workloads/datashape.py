@@ -1,0 +1,151 @@
+"""Data-shape experiments (Figure 10): document size and index fan-out.
+
+"Two obvious properties affecting latency of Firestore writes are the
+size of documents being committed as well as the number of indexes being
+updated. ... In the first experiment, each document comprises a single
+field with a varying length ..., from 10KB to almost 1MiB. ... In the
+second experiment, each document has a varying number of numeric-value
+fields from 1 to 500, which results in a linear increase in the number of
+index entries written per commit. The experiment was preceded by
+initializing the database with enough data to ensure that commits spanned
+multiple tablets." (paper section V-B2)
+
+Unlike the YCSB cost-model runs, these sweeps execute *real* commits on
+the functional database — the index-entry counts and the 2PC participant
+counts are measured, not assumed — and only the time axis comes from the
+latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rand import SimRandom
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+from repro.service.metrics import LatencyRecorder
+
+#: CPU/wire cost per KiB of document payload (serialization, checksums)
+PER_KIB_US = 18
+
+
+@dataclass
+class DataShapeResult:
+    """One point of a Figure 10 sweep."""
+    parameter: int  # document KB or field count
+    commit_p50_us: int
+    commit_p99_us: int
+    index_entries_per_commit: float
+    participants_per_commit: float
+
+
+def _prepare_database(service: FirestoreService, database_id: str, seed_docs: int):
+    """Create a database, pre-load it, and pre-split its tablets so that
+    "commits spanned multiple tablets and thus adding a single document
+    required a distributed Spanner commit" (paper section V-B2)."""
+    import struct
+
+    from repro.spanner.splitting import LoadBasedSplitter
+
+    db = service.create_database(database_id)
+    for i in range(seed_docs):
+        db.commit([set_op(f"warmup/doc{i:05d}", {"n": i, "payload": "x" * 100})])
+    spanner = db.layout.spanner
+    directory = db.layout.directory_prefix
+    entities_tag = spanner.table("Entities").prefix()
+    index_tag = spanner.table("IndexEntries").prefix()
+    boundaries = [entities_tag + directory, index_tag + directory]
+    # split the IndexEntries keyspace by index id so wide documents touch
+    # many tablets (the paper's linear participant growth)
+    for index_id in range(8, 1025, 8):
+        boundaries.append(index_tag + directory + struct.pack(">I", index_id))
+    LoadBasedSplitter(spanner).pre_split(boundaries)
+    return db
+
+
+def run_doc_size_sweep(
+    sizes_kb: tuple[int, ...] = (10, 50, 100, 250, 500, 1000),
+    commits_per_size: int = 60,
+    seed_docs: int = 300,
+    seed: int = 5,
+) -> list[DataShapeResult]:
+    """Commit latency vs document size (single field of N KB)."""
+    service = FirestoreService(region="nam5", multi_region=True)
+    rand = SimRandom(seed).fork("datashape-size")
+    results = []
+    for size_kb in sizes_kb:
+        db = _prepare_database(service, f"size-{size_kb}", seed_docs)
+        payload = "x" * (size_kb * 1000)
+        recorder = LatencyRecorder(f"size-{size_kb}")
+        entries = 0
+        participants = 0
+        for i in range(commits_per_size):
+            service.clock.advance(100_000)  # 10 QPS of commits
+            outcome = db.commit([set_op(f"docs/d{i}", {"blob": payload})])
+            entries += outcome.index_entries_written
+            participants += outcome.participants
+            latency = service.latency.commit_us(
+                rand, participants=max(1, outcome.participants)
+            )
+            latency += size_kb * PER_KIB_US
+            recorder.record(latency)
+        results.append(
+            DataShapeResult(
+                parameter=size_kb,
+                commit_p50_us=recorder.percentile(50),
+                commit_p99_us=recorder.percentile(99),
+                index_entries_per_commit=entries / commits_per_size,
+                participants_per_commit=participants / commits_per_size,
+            )
+        )
+    return results
+
+
+def run_field_count_sweep(
+    field_counts: tuple[int, ...] = (1, 10, 50, 100, 250, 500),
+    commits_per_count: int = 60,
+    seed_docs: int = 300,
+    seed: int = 6,
+    exempt_fields: bool = False,
+) -> list[DataShapeResult]:
+    """Commit latency vs number of (auto-indexed) numeric fields.
+
+    ``exempt_fields=True`` runs the ablation: every field is exempted
+    from automatic indexing, flattening the curve — the mitigation the
+    paper offers for index write amplification.
+    """
+    service = FirestoreService(region="nam5", multi_region=True)
+    rand = SimRandom(seed).fork("datashape-fields")
+    results = []
+    for count in field_counts:
+        db = _prepare_database(
+            service, f"fields-{count}{'-ex' if exempt_fields else ''}", seed_docs
+        )
+        if exempt_fields:
+            for f in range(count):
+                db.registry.add_exemption("docs", f"f{f}")
+        recorder = LatencyRecorder(f"fields-{count}")
+        entries = 0
+        participants = 0
+        for i in range(commits_per_count):
+            service.clock.advance(100_000)
+            data = {f"f{f}": f * 1.5 for f in range(count)}
+            outcome = db.commit([set_op(f"docs/d{i}", data)])
+            entries += outcome.index_entries_written
+            participants += outcome.participants
+            # each index entry adds lock/replication work at commit
+            latency = service.latency.commit_us(
+                rand, participants=max(1, outcome.participants)
+            )
+            latency += outcome.index_entries_written * 12
+            recorder.record(latency)
+        results.append(
+            DataShapeResult(
+                parameter=count,
+                commit_p50_us=recorder.percentile(50),
+                commit_p99_us=recorder.percentile(99),
+                index_entries_per_commit=entries / commits_per_count,
+                participants_per_commit=participants / commits_per_count,
+            )
+        )
+    return results

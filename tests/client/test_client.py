@@ -1,0 +1,268 @@
+"""MobileClient end-to-end tests: latency compensation, offline operation,
+reconnection reconciliation, OCC transactions, persistence (paper
+sections III-E and IV-E)."""
+
+import pytest
+
+from repro.errors import Aborted, PermissionDenied, Unavailable
+from repro.core.backend import AuthContext, set_op
+from repro.core.firestore import FirestoreService
+from repro.client import InMemoryPersistence, MobileClient
+
+
+@pytest.fixture
+def service():
+    return FirestoreService()
+
+
+@pytest.fixture
+def db(service):
+    return service.create_database("client-tests")
+
+
+def pump(db, times=2, advance_us=100_000):
+    for _ in range(times):
+        db.service.clock.advance(advance_us)
+        db.pump_realtime()
+
+
+class TestOnlineBasics:
+    def test_get_from_server(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        snap = client.get("notes/a")
+        assert snap.exists and snap.data == {"v": 1}
+        assert not snap.from_cache
+
+    def test_get_missing_doc(self, db):
+        client = MobileClient(db)
+        snap = client.get("notes/missing")
+        assert not snap.exists and snap.data is None
+
+    def test_set_is_visible_server_side(self, db):
+        client = MobileClient(db)
+        client.set("notes/a", {"v": 1})
+        assert db.lookup("notes/a").data == {"v": 1}
+        assert client.pending_writes == 0  # auto-flushed while online
+
+    def test_one_shot_query(self, db):
+        db.commit([set_op("notes/a", {"order": 2}), set_op("notes/b", {"order": 1})])
+        client = MobileClient(db)
+        snapshot = client.get_query(client.query("notes").order_by("order"))
+        assert [d.path.id for d in snapshot.documents] == ["b", "a"]
+        assert not snapshot.from_cache
+
+    def test_listener_sees_other_writers(self, db):
+        client = MobileClient(db)
+        snaps = []
+        client.on_snapshot(client.query("notes"), snaps.append)
+        db.commit([set_op("notes/x", {"v": 1})])  # another user
+        pump(db)
+        assert [d.path.id for d in snaps[-1].documents] == ["x"]
+
+    def test_latency_compensation_before_server_ack(self, db):
+        client = MobileClient(db)
+        snaps = []
+        client.on_snapshot(client.query("notes"), snaps.append)
+        client.set("notes/mine", {"v": 1})
+        # local emit happened before any realtime pump
+        compensated = snaps[1]
+        assert [d.path.id for d in compensated.documents] == ["mine"]
+        assert compensated.has_pending_writes or client.pending_writes == 0
+
+
+class TestOfflineOperation:
+    def test_offline_get_served_from_cache(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        client.get("notes/a")  # warm the cache
+        client.disconnect()
+        snap = client.get("notes/a")
+        assert snap.from_cache and snap.data == {"v": 1}
+        assert client.cache_reads == 1
+
+    def test_offline_get_of_uncached_doc_fails(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        client.disconnect()
+        with pytest.raises(Unavailable):
+            client.get("notes/a")
+
+    def test_offline_writes_queue_and_apply_locally(self, db):
+        client = MobileClient(db)
+        client.disconnect()
+        client.set("notes/a", {"v": 1})
+        assert client.pending_writes == 1
+        assert client.get("notes/a").data == {"v": 1}
+        assert client.get("notes/a").has_pending_writes
+        assert not db.lookup("notes/a").exists  # not yet on the server
+
+    def test_offline_query_from_cache_plus_mutations(self, db):
+        db.commit([set_op("notes/a", {"order": 1})])
+        client = MobileClient(db)
+        client.get_query(client.query("notes"))  # warm cache
+        client.disconnect()
+        client.set("notes/b", {"order": 0})
+        snapshot = client.get_query(client.query("notes").order_by("order"))
+        assert [d.path.id for d in snapshot.documents] == ["b", "a"]
+        assert snapshot.from_cache
+
+    def test_offline_listener_keeps_updating(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        snaps = []
+        client.on_snapshot(client.query("notes"), snaps.append)
+        client.disconnect()
+        client.delete("notes/a")
+        assert snaps[-1].documents == ()
+        assert snaps[-1].from_cache
+
+    def test_reconnect_flushes_and_reconciles(self, db):
+        client = MobileClient(db)
+        snaps = []
+        client.on_snapshot(client.query("notes"), snaps.append)
+        client.disconnect()
+        client.set("notes/offline", {"v": 1})
+        db.commit([set_op("notes/other", {"v": 2})])  # someone else writes
+        client.connect()
+        pump(db)
+        assert db.lookup("notes/offline").exists
+        ids = {d.path.id for d in snaps[-1].documents}
+        assert ids == {"offline", "other"}
+        assert not snaps[-1].has_pending_writes
+
+    def test_last_update_wins_on_conflict(self, db):
+        db.commit([set_op("notes/a", {"v": "original"})])
+        client = MobileClient(db)
+        client.get("notes/a")
+        client.disconnect()
+        client.set("notes/a", {"v": "from-client"})
+        db.commit([set_op("notes/a", {"v": "from-server"})])
+        client.connect()  # client's blind write lands later: it wins
+        assert db.lookup("notes/a").data == {"v": "from-client"}
+
+    def test_offline_update_of_server_deleted_doc_lost(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        client.get("notes/a")
+        client.disconnect()
+        client.update("notes/a", {"v": 2})
+        db.commit([__import__("repro.core.backend", fromlist=["delete_op"]).delete_op("notes/a")])
+        client.connect()
+        assert not db.lookup("notes/a").exists  # update silently dropped
+        assert client.flush_errors == []
+
+
+class TestRulesIntegration:
+    RULES = (
+        "service cloud.firestore { match /databases/{d}/documents {"
+        " match /notes/{id} {"
+        "   allow read: if true;"
+        "   allow write: if request.resource.data.owner == request.auth.uid;"
+        " } } }"
+    )
+
+    def test_rejected_flush_records_error(self, db):
+        db.set_rules(self.RULES)
+        client = MobileClient(db, auth=AuthContext(uid="alice"))
+        client.set("notes/mine", {"owner": "alice"})
+        assert db.lookup("notes/mine").exists
+        client.set("notes/spoof", {"owner": "bob"})
+        assert not db.lookup("notes/spoof").exists
+        assert len(client.flush_errors) == 1
+        assert isinstance(client.flush_errors[0], PermissionDenied)
+
+
+class TestTransactions:
+    def test_occ_transaction_commits(self, db):
+        db.commit([set_op("counters/c", {"n": 1})])
+        client = MobileClient(db)
+
+        def bump(tx):
+            snap = tx.get("counters/c")
+            tx.update("counters/c", {"n": snap.data["n"] + 1})
+
+        client.run_transaction(bump)
+        assert db.lookup("counters/c").data["n"] == 2
+
+    def test_occ_retries_on_stale_read(self, db):
+        db.commit([set_op("counters/c", {"n": 0})])
+        client = MobileClient(db)
+        attempts = []
+
+        def racy(tx):
+            snap = tx.get("counters/c")
+            attempts.append(snap.data["n"])
+            if len(attempts) == 1:
+                # somebody else commits between our read and our commit
+                db.commit([set_op("counters/c", {"n": 100})])
+            tx.update("counters/c", {"n": snap.data["n"] + 1})
+
+        client.run_transaction(racy)
+        assert len(attempts) == 2  # first attempt failed freshness check
+        assert db.lookup("counters/c").data["n"] == 101
+
+    def test_occ_gives_up_after_max_attempts(self, db):
+        db.commit([set_op("counters/c", {"n": 0})])
+        client = MobileClient(db)
+
+        def always_racy(tx):
+            tx.get("counters/c")
+            db.commit([set_op("counters/c", {"n": -1})])
+            tx.update("counters/c", {"n": 1})
+
+        with pytest.raises(Aborted):
+            client.run_transaction(always_racy, max_attempts=3)
+
+    def test_transactions_require_connectivity(self, db):
+        client = MobileClient(db)
+        client.disconnect()
+        with pytest.raises(Unavailable):
+            client.run_transaction(lambda tx: None)
+
+
+class TestPersistence:
+    def test_cache_survives_restart(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        disk = InMemoryPersistence()
+        client = MobileClient(db, persistence=disk)
+        client.get("notes/a")
+        client.disconnect()  # persists
+
+        restarted = MobileClient(db, persistence=disk, start_online=False)
+        snap = restarted.get("notes/a")
+        assert snap.data == {"v": 1}
+        assert snap.from_cache
+
+    def test_pending_mutations_survive_restart(self, db):
+        disk = InMemoryPersistence()
+        client = MobileClient(db, persistence=disk, start_online=False)
+        client.set("notes/offline", {"v": 1})
+        client.persist()
+
+        restarted = MobileClient(db, persistence=disk, start_online=False)
+        assert restarted.pending_writes == 1
+        restarted.connect()  # flushes the restored queue
+        assert db.lookup("notes/offline").data == {"v": 1}
+
+    def test_no_persistence_cold_start(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        client.get("notes/a")
+        client.disconnect()
+        fresh = MobileClient(db, start_online=False)
+        with pytest.raises(Unavailable):
+            fresh.get("notes/a")
+
+
+class TestBilling:
+    def test_cache_hits_not_billed_as_server_reads(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        client.get("notes/a")
+        server_reads_before = client.server_reads
+        client.disconnect()
+        client.get("notes/a")
+        client.get("notes/a")
+        assert client.server_reads == server_reads_before
+        assert client.cache_reads == 2

@@ -1,0 +1,74 @@
+"""Single-document listeners on the client SDK."""
+
+import pytest
+
+from repro.core.backend import delete_op, set_op, update_op
+from repro.core.firestore import FirestoreService
+from repro.client import MobileClient
+
+
+@pytest.fixture
+def db():
+    return FirestoreService().create_database("doc-listener-tests")
+
+
+def pump(db, times=2):
+    for _ in range(times):
+        db.service.clock.advance(100_000)
+        db.pump_realtime()
+
+
+def test_initial_snapshot_missing_doc(db):
+    client = MobileClient(db)
+    snaps = []
+    client.on_document_snapshot("notes/a", snaps.append)
+    assert len(snaps) == 1
+    assert not snaps[0].exists
+
+
+def test_create_update_delete_lifecycle(db):
+    client = MobileClient(db)
+    snaps = []
+    client.on_document_snapshot("notes/a", snaps.append)
+    db.commit([set_op("notes/a", {"v": 1})])
+    pump(db)
+    assert snaps[-1].exists and snaps[-1].data == {"v": 1}
+    db.commit([update_op("notes/a", {"v": 2})])
+    pump(db)
+    assert snaps[-1].data == {"v": 2}
+    db.commit([delete_op("notes/a")])
+    pump(db)
+    assert not snaps[-1].exists
+
+
+def test_sibling_documents_do_not_leak(db):
+    client = MobileClient(db)
+    snaps = []
+    client.on_document_snapshot("notes/target", snaps.append)
+    db.commit([set_op("notes/other", {"v": 1})])
+    pump(db)
+    # snapshots may fire for collection activity, but the view of the
+    # target document stays "missing"
+    assert all(not snap.exists for snap in snaps)
+
+
+def test_local_writes_compensated(db):
+    client = MobileClient(db)
+    snaps = []
+    client.on_document_snapshot("notes/a", snaps.append)
+    client.disconnect()
+    client.set("notes/a", {"v": 1})
+    assert snaps[-1].exists
+    assert snaps[-1].has_pending_writes
+    assert snaps[-1].from_cache
+
+
+def test_detach_by_tag(db):
+    client = MobileClient(db)
+    snaps = []
+    tag = client.on_document_snapshot("notes/a", snaps.append, tag="watch-a")
+    assert tag == "watch-a"
+    client.detach(tag)
+    db.commit([set_op("notes/a", {"v": 1})])
+    pump(db)
+    assert len(snaps) == 1  # only the initial snapshot

@@ -1,0 +1,101 @@
+from repro.core.path import Path
+from repro.core.values import SERVER_TIMESTAMP, Timestamp
+from repro.client.mutations import MutationKind, MutationQueue
+
+
+def overlay(queue, path="notes/a", server=None, now=1000):
+    data, pending = queue.overlay(Path.parse(path), server, now)
+    return data, pending
+
+
+def test_empty_queue_passthrough():
+    queue = MutationQueue()
+    data, pending = overlay(queue, server={"v": 1})
+    assert data == {"v": 1}
+    assert not pending
+    assert queue.is_empty
+
+
+def test_set_overlays_absent_doc():
+    queue = MutationQueue()
+    queue.enqueue(MutationKind.SET, Path.parse("notes/a"), {"v": 9})
+    data, pending = overlay(queue, server=None)
+    assert data == {"v": 9}
+    assert pending
+
+
+def test_update_merges_on_server_data():
+    queue = MutationQueue()
+    queue.enqueue(MutationKind.UPDATE, Path.parse("notes/a"), {"m": {"x": 2}})
+    data, _ = overlay(queue, server={"m": {"x": 1, "y": 0}, "keep": True})
+    assert data == {"m": {"x": 2, "y": 0}, "keep": True}
+
+
+def test_update_on_missing_doc_is_noop():
+    queue = MutationQueue()
+    queue.enqueue(MutationKind.UPDATE, Path.parse("notes/a"), {"v": 1})
+    data, pending = overlay(queue, server=None)
+    assert data is None
+    assert pending
+
+
+def test_update_delete_fields():
+    queue = MutationQueue()
+    queue.enqueue(
+        MutationKind.UPDATE, Path.parse("notes/a"), {}, delete_fields=("gone",)
+    )
+    data, _ = overlay(queue, server={"gone": 1, "stay": 2})
+    assert data == {"stay": 2}
+
+
+def test_delete_overlays_tombstone():
+    queue = MutationQueue()
+    queue.enqueue(MutationKind.DELETE, Path.parse("notes/a"))
+    data, pending = overlay(queue, server={"v": 1})
+    assert data is None and pending
+
+
+def test_mutations_apply_in_order():
+    queue = MutationQueue()
+    path = Path.parse("notes/a")
+    queue.enqueue(MutationKind.SET, path, {"v": 1})
+    queue.enqueue(MutationKind.UPDATE, path, {"v": 2})
+    queue.enqueue(MutationKind.DELETE, path)
+    queue.enqueue(MutationKind.SET, path, {"v": 4})
+    data, _ = overlay(queue, server=None)
+    assert data == {"v": 4}
+
+
+def test_server_timestamp_estimated_locally():
+    queue = MutationQueue()
+    queue.enqueue(MutationKind.SET, Path.parse("notes/a"), {"at": SERVER_TIMESTAMP})
+    data, _ = overlay(queue, server=None, now=777)
+    assert data["at"] == Timestamp(777)
+
+
+def test_overlay_only_affects_target_path():
+    queue = MutationQueue()
+    queue.enqueue(MutationKind.DELETE, Path.parse("notes/a"))
+    data, pending = overlay(queue, path="notes/b", server={"v": 1})
+    assert data == {"v": 1}
+    assert not pending
+
+
+def test_drain_and_requeue():
+    queue = MutationQueue()
+    path = Path.parse("notes/a")
+    queue.enqueue(MutationKind.SET, path, {"v": 1})
+    queue.enqueue(MutationKind.SET, path, {"v": 2})
+    drained = queue.drain()
+    assert len(drained) == 2 and queue.is_empty
+    queue.requeue_front(drained[1:])
+    assert len(queue) == 1
+    assert queue.mutations()[0].data == {"v": 2}
+
+
+def test_pending_paths_and_has_pending():
+    queue = MutationQueue()
+    queue.enqueue(MutationKind.SET, Path.parse("notes/a"), {})
+    assert queue.pending_paths() == {Path.parse("notes/a")}
+    assert queue.has_pending(Path.parse("notes/a"))
+    assert not queue.has_pending(Path.parse("notes/b"))

@@ -1,0 +1,161 @@
+import pytest
+
+from repro.core.path import Path
+from repro.core.query import Query
+from repro.core.values import SERVER_TIMESTAMP, GeoPoint, Timestamp
+from repro.client.local_cache import LocalCache
+from repro.client.mutations import MutationKind, MutationQueue
+from repro.client.persistence import (
+    FilePersistence,
+    InMemoryPersistence,
+    deserialize_state,
+    serialize_state,
+)
+from repro.client.view import QueryView
+
+
+class _Doc:
+    def __init__(self, path, data, update_time=1, create_time=1):
+        self.path = Path.parse(path)
+        self.data = data
+        self.update_time = update_time
+        self.create_time = create_time
+
+
+class TestQueryView:
+    def make_view(self, **query_kwargs):
+        q = Query(parent=Path.parse("notes"))
+        for field, direction in query_kwargs.get("orders", []):
+            q = q.order_by(field, direction)
+        if "limit" in query_kwargs:
+            q = q.limit_to(query_kwargs["limit"])
+        return QueryView(q.normalize())
+
+    def test_server_snapshot_plus_overlay(self):
+        view = self.make_view()
+        view.apply_server_snapshot([_Doc("notes/a", {"v": 1})])
+        queue = MutationQueue()
+        queue.enqueue(MutationKind.SET, Path.parse("notes/b"), {"v": 2})
+        snapshot = view.compute(queue, from_cache=False, local_now_us=0)
+        assert snapshot.paths == [Path.parse("notes/a"), Path.parse("notes/b")]
+        assert snapshot.has_pending_writes
+
+    def test_pending_delete_hides_server_doc(self):
+        view = self.make_view()
+        view.apply_server_snapshot([_Doc("notes/a", {"v": 1})])
+        queue = MutationQueue()
+        queue.enqueue(MutationKind.DELETE, Path.parse("notes/a"))
+        snapshot = view.compute(queue, from_cache=False, local_now_us=0)
+        assert snapshot.documents == ()
+
+    def test_mutation_can_move_doc_out_of_query(self):
+        q = Query(parent=Path.parse("notes")).where("live", "==", True)
+        view = QueryView(q.normalize())
+        view.apply_server_snapshot([_Doc("notes/a", {"live": True})])
+        queue = MutationQueue()
+        view.compute(queue, from_cache=False, local_now_us=0)  # baseline
+        queue.enqueue(MutationKind.UPDATE, Path.parse("notes/a"), {"live": False})
+        snapshot = view.compute(queue, from_cache=False, local_now_us=0)
+        assert snapshot.documents == ()
+        assert snapshot.removed == (Path.parse("notes/a"),)
+
+    def test_delta_tracking_across_computes(self):
+        view = self.make_view()
+        queue = MutationQueue()
+        view.apply_server_snapshot([_Doc("notes/a", {"v": 1})])
+        first = view.compute(queue, from_cache=False, local_now_us=0)
+        assert first.added == (Path.parse("notes/a"),)
+        view.apply_server_snapshot(
+            [_Doc("notes/a", {"v": 2}), _Doc("notes/b", {"v": 1})]
+        )
+        second = view.compute(queue, from_cache=False, local_now_us=0)
+        assert second.added == (Path.parse("notes/b"),)
+        assert second.modified == (Path.parse("notes/a"),)
+
+    def test_limit_applied_after_overlay(self):
+        view = self.make_view(orders=[("n", "asc")], limit=2)
+        view.apply_server_snapshot(
+            [_Doc("notes/a", {"n": 5}), _Doc("notes/b", {"n": 7})]
+        )
+        queue = MutationQueue()
+        queue.enqueue(MutationKind.SET, Path.parse("notes/c"), {"n": 1})
+        snapshot = view.compute(queue, from_cache=False, local_now_us=0)
+        assert [d.data["n"] for d in snapshot.documents] == [1, 5]
+
+    def test_extra_docs_serve_as_overlay_base(self):
+        view = self.make_view()
+        queue = MutationQueue()
+        queue.enqueue(MutationKind.UPDATE, Path.parse("notes/cached"), {"v": 2})
+        snapshot = view.compute(
+            queue,
+            from_cache=True,
+            local_now_us=0,
+            extra_docs={Path.parse("notes/cached"): {"v": 1, "keep": True}},
+        )
+        assert snapshot.documents[0].data == {"v": 2, "keep": True}
+
+    def test_data_by_id(self):
+        view = self.make_view()
+        view.apply_server_snapshot([_Doc("notes/a", {"v": 1})])
+        snapshot = view.compute(MutationQueue(), from_cache=False, local_now_us=0)
+        assert snapshot.data_by_id() == {"a": {"v": 1}}
+
+
+class TestPersistenceFormat:
+    def make_state(self):
+        cache = LocalCache()
+        cache.record_document(
+            Path.parse("notes/rich"),
+            {
+                "ts": Timestamp(123),
+                "geo": GeoPoint(1.5, -2.5),
+                "nested": {"arr": [1, "two"]},
+            },
+            version_ts=42,
+        )
+        cache.record_document(Path.parse("notes/gone"), None, 50)
+        queue = MutationQueue()
+        queue.enqueue(
+            MutationKind.SET, Path.parse("notes/new"), {"at": SERVER_TIMESTAMP}
+        )
+        queue.enqueue(
+            MutationKind.UPDATE, Path.parse("notes/rich"), {"v": 2}, ("nested.arr",)
+        )
+        queue.enqueue(MutationKind.DELETE, Path.parse("notes/gone"))
+        return cache, queue
+
+    def test_roundtrip(self):
+        cache, queue = self.make_state()
+        blob = serialize_state(cache, queue)
+        cache2, queue2 = deserialize_state(blob)
+        rich = cache2.get(Path.parse("notes/rich"))
+        assert rich.data["ts"] == Timestamp(123)
+        assert rich.version_ts == 42
+        gone = cache2.get(Path.parse("notes/gone"))
+        assert gone is not None and not gone.exists
+        mutations = queue2.mutations()
+        assert [m.kind for m in mutations] == [
+            MutationKind.SET,
+            MutationKind.UPDATE,
+            MutationKind.DELETE,
+        ]
+        assert mutations[0].data["at"] is SERVER_TIMESTAMP
+        assert mutations[1].delete_fields == ("nested.arr",)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_state(b"garbage")
+
+    def test_in_memory_persistence(self):
+        disk = InMemoryPersistence()
+        assert disk.load() is None
+        disk.save(b"blob")
+        assert disk.load() == b"blob"
+
+    def test_file_persistence(self, tmp_path):
+        disk = FilePersistence(tmp_path / "state.bin")
+        assert disk.load() is None
+        cache, queue = self.make_state()
+        disk.save(serialize_state(cache, queue))
+        restored_cache, restored_queue = deserialize_state(disk.load())
+        assert len(restored_queue) == 3

@@ -1,0 +1,116 @@
+"""Index backfill / backremoval tests (paper section IV-D1)."""
+
+import pytest
+
+from repro.errors import FailedPrecondition
+from repro.core.backend import set_op
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.firestore import FirestoreService
+from repro.core.index_entries import index_id_prefix
+from repro.core.indexes import IndexState
+
+
+@pytest.fixture
+def db():
+    return FirestoreService().create_database("backfill-tests")
+
+
+def index_rows(db, index_id):
+    start, end = db.layout.index_scan_range(index_id_prefix(index_id))
+    read_ts = db.layout.spanner.current_timestamp()
+    return list(db.layout.spanner.snapshot_scan("IndexEntries", start, end, read_ts))
+
+
+def test_backfill_covers_existing_documents(db):
+    for i in range(25):
+        db.commit([set_op(f"r/d{i}", {"a": i, "b": i % 3})])
+    definition = db.registry.create_composite("r", [("a", ASCENDING), ("b", DESCENDING)])
+    stats = db.backfill_service.backfill(definition.index_id)
+    assert stats.documents_scanned == 25
+    assert stats.entries_added == 25
+    assert db.registry.get(definition.index_id).state is IndexState.READY
+    assert len(index_rows(db, definition.index_id)) == 25
+
+
+def test_backfill_skips_docs_missing_fields(db):
+    db.commit([set_op("r/full", {"a": 1, "b": 2}), set_op("r/partial", {"a": 1})])
+    definition = db.registry.create_composite("r", [("a", ASCENDING), ("b", ASCENDING)])
+    db.backfill_service.backfill(definition.index_id)
+    rows = index_rows(db, definition.index_id)
+    assert [payload for _, payload in rows] == [("r", "full")]
+
+
+def test_backfill_only_touches_its_collection_group(db):
+    db.commit([set_op("r/x", {"a": 1, "b": 2}), set_op("other/y", {"a": 1, "b": 2})])
+    definition = db.registry.create_composite("r", [("a", ASCENDING), ("b", ASCENDING)])
+    stats = db.backfill_service.backfill(definition.index_id)
+    assert stats.entries_added == 1
+
+
+def test_writes_during_creating_state_conform(db):
+    """A doc written while the index is CREATING already has its entry, so
+    the backfill must not duplicate it."""
+    definition = db.registry.create_composite("r", [("a", ASCENDING), ("b", ASCENDING)])
+    db.commit([set_op("r/live", {"a": 1, "b": 2})])  # conforms to backfill
+    assert len(index_rows(db, definition.index_id)) == 1
+    stats = db.backfill_service.backfill(definition.index_id)
+    assert stats.entries_added == 0
+    assert len(index_rows(db, definition.index_id)) == 1
+
+
+def test_query_unusable_until_ready_then_usable(db):
+    db.commit([set_op("r/x", {"a": 1, "b": 2})])
+    query = db.query("r").where("a", "==", 1).order_by("b", DESCENDING)
+    definition = db.registry.create_composite("r", [("a", ASCENDING), ("b", DESCENDING)])
+    with pytest.raises(FailedPrecondition):
+        db.run_query(query)
+    db.backfill_service.backfill(definition.index_id)
+    assert [p.id for p in db.run_query(query).paths] == ["x"]
+
+
+def test_backremoval_deletes_rows_and_definition(db):
+    for i in range(10):
+        db.commit([set_op(f"r/d{i}", {"a": i, "b": i})])
+    definition = db.create_index("r", [("a", ASCENDING), ("b", ASCENDING)])
+    assert len(index_rows(db, definition.index_id)) == 10
+    stats = db.drop_index(definition.index_id)
+    assert stats.entries_removed == 10
+    assert index_rows(db, definition.index_id) == []
+    with pytest.raises(FailedPrecondition):
+        db.registry.get(definition.index_id)
+
+
+def test_writes_during_deleting_state_conform(db):
+    db.commit([set_op("r/a", {"a": 1, "b": 1})])
+    definition = db.create_index("r", [("a", ASCENDING), ("b", ASCENDING)])
+    db.registry.set_state(definition.index_id, IndexState.DELETING)
+    db.commit([set_op("r/b", {"a": 2, "b": 2})])  # must not add an entry
+    assert len(index_rows(db, definition.index_id)) == 1  # only the old row
+
+
+def test_exemption_backremoval(db):
+    for i in range(5):
+        db.commit([set_op(f"r/d{i}", {"hot": i, "cold": i})])
+    asc_id = db.registry.auto_index("r", "hot", ASCENDING).index_id
+    assert len(index_rows(db, asc_id)) == 5
+    stats = db.exempt_field("r", "hot")
+    assert stats.entries_removed == 10  # asc + desc
+    assert index_rows(db, asc_id) == []
+    # new writes produce no entries for the exempted field
+    db.commit([set_op("r/new", {"hot": 99, "cold": 99})])
+    assert index_rows(db, asc_id) == []
+    # queries on the exempted field now fail
+    with pytest.raises(FailedPrecondition):
+        db.run_query(db.query("r").where("hot", "==", 1))
+    # the other field is unaffected
+    assert len(db.run_query(db.query("r").where("cold", "==", 99)).documents) == 1
+
+
+def test_backfill_batching(db):
+    for i in range(25):
+        db.commit([set_op(f"r/d{i}", {"a": i, "b": i})])
+    db.backfill_service.batch_size = 10
+    definition = db.registry.create_composite("r", [("a", ASCENDING), ("b", ASCENDING)])
+    stats = db.backfill_service.backfill(definition.index_id)
+    assert stats.batches == 3
+    assert stats.entries_added == 25

@@ -1,0 +1,280 @@
+"""Query execution end-to-end tests, including model-based verification
+against a brute-force reference evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.firestore import FirestoreService
+from repro.core.backend import set_op
+from repro.core.path import Path
+from repro.core.query import Query
+from repro.core.values import SortKey, get_field
+from repro.realtime.matcher import document_matches_query
+
+RESTAURANTS = [
+    ("one", {"name": "Burger Palace", "city": "SF", "type": "BBQ", "avgRating": 4.5, "numRatings": 10}),
+    ("two", {"name": "Noodle Hut", "city": "SF", "type": "Noodles", "avgRating": 4.8, "numRatings": 3}),
+    ("three", {"name": "NY Grill", "city": "New York", "type": "BBQ", "avgRating": 3.9, "numRatings": 7}),
+    ("four", {"name": "Quiet Cafe", "city": "SF", "type": "Cafe", "avgRating": 4.5, "numRatings": 2}),
+    ("five", {"name": "Taco Stand", "city": "LA", "type": "Mexican", "avgRating": 4.1, "numRatings": 50}),
+    ("six", {"name": "Unrated", "city": "SF", "type": "BBQ"}),  # no ratings fields
+    ("seven", {"name": "Tagged", "city": "LA", "type": "BBQ", "avgRating": 2.0,
+               "numRatings": 1, "tags": ["cheap", "late-night"]}),
+]
+
+
+@pytest.fixture(scope="module")
+def db():
+    service = FirestoreService()
+    database = service.create_database("executor-tests")
+    for doc_id, data in RESTAURANTS:
+        database.commit([set_op(f"restaurants/{doc_id}", data)])
+    # sub-collection documents must never leak into parent queries
+    database.commit([set_op("restaurants/one/ratings/1", {"rating": 5, "city": "SF"})])
+    database.create_index(
+        "restaurants", [("city", ASCENDING), ("avgRating", DESCENDING)]
+    )
+    database.create_index(
+        "restaurants", [("type", ASCENDING), ("avgRating", DESCENDING)]
+    )
+    database.create_index(
+        "restaurants", [("city", ASCENDING), ("numRatings", ASCENDING)]
+    )
+    return database
+
+
+def ids(result):
+    return [path.id for path in result.paths]
+
+
+def query(db) -> Query:
+    return db.query("restaurants")
+
+
+class TestEntitiesScans:
+    def test_all_documents_name_order(self, db):
+        result = db.run_query(query(db))
+        assert ids(result) == ["five", "four", "one", "seven", "six", "three", "two"]
+
+    def test_subcollection_docs_excluded(self, db):
+        assert "1" not in ids(db.run_query(query(db)))
+
+    def test_name_desc(self, db):
+        result = db.run_query(query(db).order_by("__name__", DESCENDING))
+        assert ids(result) == ["two", "three", "six", "seven", "one", "four", "five"]
+
+    def test_limit_and_offset(self, db):
+        result = db.run_query(query(db).limit_to(2).offset_by(1))
+        assert ids(result) == ["four", "one"]
+
+    def test_subcollection_query(self, db):
+        result = db.run_query(db.query("restaurants/one/ratings"))
+        assert ids(result) == ["1"]
+
+
+class TestSingleFieldQueries:
+    def test_equality(self, db):
+        result = db.run_query(query(db).where("city", "==", "SF"))
+        assert ids(result) == ["four", "one", "six", "two"]
+
+    def test_equality_no_match(self, db):
+        assert ids(db.run_query(query(db).where("city", "==", "Tokyo"))) == []
+
+    def test_inequality_implied_order(self, db):
+        result = db.run_query(query(db).where("numRatings", ">", 2))
+        # ordered by numRatings ascending: three(7), one(10), five(50)... plus two(3)
+        assert ids(result) == ["two", "three", "one", "five"]
+
+    def test_inequality_excludes_docs_missing_field(self, db):
+        result = db.run_query(query(db).where("numRatings", ">", 0))
+        assert "six" not in ids(result)
+
+    def test_range_both_bounds(self, db):
+        result = db.run_query(
+            query(db).where("numRatings", ">=", 3).where("numRatings", "<", 10)
+        )
+        assert ids(result) == ["two", "three"]
+
+    def test_order_by_desc_with_limit(self, db):
+        result = db.run_query(query(db).order_by("avgRating", DESCENDING).limit_to(2))
+        assert ids(result) == ["two", "one"]
+
+    def test_equal_order_values_tiebreak_by_name(self, db):
+        result = db.run_query(query(db).where("avgRating", "==", 4.5))
+        assert ids(result) == ["four", "one"]
+
+    def test_array_contains(self, db):
+        result = db.run_query(query(db).where("tags", "array-contains", "cheap"))
+        assert ids(result) == ["seven"]
+
+
+class TestCompositeAndJoins:
+    def test_composite_eq_plus_order(self, db):
+        result = db.run_query(
+            query(db).where("city", "==", "SF").order_by("avgRating", DESCENDING)
+        )
+        assert ids(result) == ["two", "one", "four"]  # name tiebreak follows desc
+
+    def test_composite_reversed_scan(self, db):
+        result = db.run_query(
+            query(db).where("city", "==", "SF").order_by("avgRating", ASCENDING)
+        )
+        assert ids(result) == ["four", "one", "two"]  # asc order, asc name tiebreak
+
+    def test_zigzag_two_equalities(self, db):
+        result = db.run_query(
+            query(db).where("city", "==", "SF").where("type", "==", "BBQ")
+        )
+        assert ids(result) == ["one", "six"]
+
+    def test_paper_join_with_order(self, db):
+        result = db.run_query(
+            query(db)
+            .where("city", "==", "New York")
+            .where("type", "==", "BBQ")
+            .order_by("avgRating", DESCENDING)
+        )
+        assert ids(result) == ["three"]
+
+    def test_zigzag_empty_intersection(self, db):
+        result = db.run_query(
+            query(db).where("city", "==", "New York").where("type", "==", "Cafe")
+        )
+        assert ids(result) == []
+
+    def test_composite_eq_plus_inequality(self, db):
+        result = db.run_query(
+            query(db).where("city", "==", "SF").where("numRatings", ">", 2)
+        )
+        assert ids(result) == ["two", "one"]
+
+
+class TestProjectionsAndCursors:
+    def test_projection(self, db):
+        result = db.run_query(
+            query(db).where("city", "==", "SF").select("name", "avgRating")
+        )
+        for doc in result.documents:
+            assert set(doc.data) <= {"name", "avgRating"}
+        assert result.documents[0].data["name"]
+
+    def test_projection_of_missing_field(self, db):
+        result = db.run_query(query(db).where("city", "==", "SF").select("nope"))
+        assert all(doc.data == {} for doc in result.documents)
+
+    def test_start_after_cursor(self, db):
+        ordered = query(db).order_by("avgRating", DESCENDING)
+        result = db.run_query(ordered.start_after(4.5, "one"))
+        assert ids(result) == ["four", "five", "three", "seven"]
+
+    def test_start_at_cursor(self, db):
+        ordered = query(db).order_by("avgRating", DESCENDING)
+        result = db.run_query(ordered.start_at(4.5, "one"))
+        assert ids(result) == ["one", "four", "five", "three", "seven"]
+
+    def test_end_before_cursor(self, db):
+        ordered = query(db).order_by("avgRating", DESCENDING)
+        result = db.run_query(ordered.end_before(4.1))
+        assert ids(result) == ["two", "one", "four"]  # name tiebreak follows desc
+
+    def test_cursor_on_name_in_entities_scan(self, db):
+        result = db.run_query(query(db).start_after("four"))
+        assert ids(result)[0] == "one"
+
+
+class TestPartialResults:
+    def test_max_work_returns_partial_with_resume(self, db):
+        q = query(db)
+        first = db.run_query(q, max_work=3)
+        assert first.partial
+        assert first.resume_token is not None
+        assert 0 < len(first.documents) <= 3
+        rest = db.run_query(q, resume_token=first.resume_token)
+        combined = [p.id for p in first.paths] + [p.id for p in rest.paths]
+        assert combined == ids(db.run_query(q))
+
+    def test_unlimited_work_not_partial(self, db):
+        assert not db.run_query(query(db)).partial
+
+
+class TestConsistency:
+    def test_reads_at_old_timestamp_see_old_data(self, db):
+        before = db.layout.spanner.current_timestamp()
+        db.commit([set_op("restaurants/new", {"city": "SF", "avgRating": 5.0})])
+        old = db.run_query(query(db).where("city", "==", "SF"), read_ts=before)
+        now = db.run_query(query(db).where("city", "==", "SF"))
+        assert "new" not in ids(old)
+        assert "new" in ids(now)
+        db.commit([__import__("repro.core.backend", fromlist=["delete_op"]).delete_op("restaurants/new")])
+
+    def test_document_times_populated(self, db):
+        result = db.run_query(query(db).limit_to(1))
+        doc = result.documents[0]
+        assert doc.create_time > 0
+        assert doc.update_time >= doc.create_time
+
+
+# -- model-based verification ------------------------------------------------------
+
+
+def brute_force(db, q: Query):
+    """Reference evaluation: filter + sort every stored document."""
+    normalized = q.normalize()
+    everything = db.run_query(db.query("restaurants"))
+    matching = [
+        doc
+        for doc in everything.documents
+        if document_matches_query(normalized, doc.path, doc.data)
+    ]
+    from repro.realtime.frontend import query_order_key
+
+    key = query_order_key(normalized)
+    matching.sort(key=lambda doc: key((doc.path, doc.data)))
+    if q.offset:
+        matching = matching[q.offset :]
+    if q.limit is not None:
+        matching = matching[: q.limit]
+    return [doc.path.id for doc in matching]
+
+
+FIELDS = st.sampled_from(["city", "type", "avgRating", "numRatings"])
+VALUES = {
+    "city": st.sampled_from(["SF", "LA", "New York", "Tokyo"]),
+    "type": st.sampled_from(["BBQ", "Cafe", "Noodles"]),
+    "avgRating": st.sampled_from([2.0, 3.9, 4.1, 4.5, 4.8]),
+    "numRatings": st.sampled_from([1, 2, 3, 7, 10, 50]),
+}
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.data())
+def test_property_matches_brute_force(db, data):
+    q = query(db)
+    eq_fields = data.draw(
+        st.lists(FIELDS, unique=True, max_size=2), label="eq_fields"
+    )
+    for field in eq_fields:
+        q = q.where(field, "==", data.draw(VALUES[field], label=f"eq_{field}"))
+    remaining = [f for f in ("avgRating", "numRatings") if f not in eq_fields]
+    if remaining and data.draw(st.booleans(), label="use_ineq"):
+        field = data.draw(st.sampled_from(remaining), label="ineq_field")
+        op = data.draw(st.sampled_from([">", ">=", "<", "<="]), label="op")
+        q = q.where(field, op, data.draw(VALUES[field], label="ineq_value"))
+        if data.draw(st.booleans(), label="explicit_order"):
+            q = q.order_by(field, data.draw(st.sampled_from(["asc", "desc"]), label="dir"))
+    if data.draw(st.booleans(), label="use_limit"):
+        q = q.limit_to(data.draw(st.integers(0, 5), label="limit"))
+
+    try:
+        expected = brute_force(db, q)
+    except Exception:
+        return  # invalid query combination; planner errors are fine
+    from repro.errors import FailedPrecondition
+
+    try:
+        actual = ids(db.run_query(q))
+    except FailedPrecondition:
+        return  # legitimately needs an index we have not defined
+    assert actual == expected, q.describe()

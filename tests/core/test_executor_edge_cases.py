@@ -1,0 +1,148 @@
+"""Executor edge cases: reverse zig-zag joins, array equality,
+mixed-type ordering, empty collections, cursor + inequality interaction."""
+
+import pytest
+
+from repro.core.backend import set_op
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.firestore import FirestoreService
+from repro.core.values import GeoPoint, Timestamp
+
+
+@pytest.fixture
+def db():
+    return FirestoreService().create_database("executor-edge")
+
+
+def ids(result):
+    return [p.id for p in result.paths]
+
+
+class TestReverseZigZag:
+    def test_join_with_descending_order(self, db):
+        db.create_index("r", [("city", ASCENDING), ("n", ASCENDING)])
+        db.create_index("r", [("kind", ASCENDING), ("n", ASCENDING)])
+        rows = [
+            ("a", "SF", "x", 1),
+            ("b", "SF", "x", 5),
+            ("c", "SF", "y", 3),
+            ("d", "LA", "x", 4),
+            ("e", "SF", "x", 2),
+        ]
+        for doc_id, city, kind, n in rows:
+            db.commit([set_op(f"r/{doc_id}", {"city": city, "kind": kind, "n": n})])
+        # the asc composites serve a DESC order via reverse zig-zag
+        query = (
+            db.query("r")
+            .where("city", "==", "SF")
+            .where("kind", "==", "x")
+            .order_by("n", DESCENDING)
+        )
+        plan = db.backend.planner.plan(query.normalize())
+        assert plan.kind == "join" and plan.reverse
+        assert ids(db.run_query(query)) == ["b", "e", "a"]
+
+    def test_reverse_join_with_inequality(self, db):
+        db.create_index("r", [("city", ASCENDING), ("n", ASCENDING)])
+        db.create_index("r", [("kind", ASCENDING), ("n", ASCENDING)])
+        for i in range(10):
+            db.commit(
+                [set_op(f"r/d{i}", {"city": "SF", "kind": "x", "n": i})]
+            )
+        query = (
+            db.query("r")
+            .where("city", "==", "SF")
+            .where("kind", "==", "x")
+            .where("n", ">=", 4)
+            .where("n", "<", 8)
+            .order_by("n", DESCENDING)
+        )
+        assert ids(db.run_query(query)) == ["d7", "d6", "d5", "d4"]
+
+
+class TestValueEdgeCases:
+    def test_equality_on_whole_array(self, db):
+        db.commit([set_op("r/a", {"tags": ["x", "y"]})])
+        db.commit([set_op("r/b", {"tags": ["x"]})])
+        result = db.run_query(db.query("r").where("tags", "==", ["x", "y"]))
+        assert ids(result) == ["a"]
+
+    def test_equality_on_map_value(self, db):
+        db.commit([set_op("r/a", {"loc": {"city": "SF", "zip": "94"}})])
+        db.commit([set_op("r/b", {"loc": {"city": "LA"}})])
+        result = db.run_query(
+            db.query("r").where("loc", "==", {"zip": "94", "city": "SF"})
+        )
+        assert ids(result) == ["a"]
+
+    def test_order_across_mixed_types(self, db):
+        """Sorting across inconsistent types — one of the two reasons
+        Firestore cannot map its queries onto Spanner's (section IV-D1)."""
+        db.commit([set_op("r/str", {"v": "text"})])
+        db.commit([set_op("r/num", {"v": 7})])
+        db.commit([set_op("r/null", {"v": None})])
+        db.commit([set_op("r/arr", {"v": [1]})])
+        db.commit([set_op("r/bool", {"v": True})])
+        result = db.run_query(db.query("r").order_by("v"))
+        assert ids(result) == ["null", "bool", "num", "str", "arr"]
+
+    def test_timestamps_and_geopoints_ordered(self, db):
+        db.commit([set_op("r/t1", {"at": Timestamp(100)})])
+        db.commit([set_op("r/t2", {"at": Timestamp(50)})])
+        result = db.run_query(db.query("r").order_by("at"))
+        assert ids(result) == ["t2", "t1"]
+        db.commit([set_op("g/p1", {"where": GeoPoint(10, 0)})])
+        db.commit([set_op("g/p2", {"where": GeoPoint(-10, 0)})])
+        result = db.run_query(db.query("g").order_by("where", DESCENDING))
+        assert ids(result) == ["p1", "p2"]
+
+    def test_nan_equality_query(self, db):
+        nan = float("nan")
+        db.commit([set_op("r/weird", {"v": nan})])
+        result = db.run_query(db.query("r").where("v", "==", nan))
+        assert ids(result) == ["weird"]
+
+    def test_int_float_cross_match(self, db):
+        db.commit([set_op("r/i", {"v": 5})])
+        db.commit([set_op("r/f", {"v": 5.0})])
+        result = db.run_query(db.query("r").where("v", "==", 5))
+        assert set(ids(result)) == {"i", "f"}
+
+
+class TestEmptyAndBoundary:
+    def test_empty_collection(self, db):
+        assert ids(db.run_query(db.query("nothing"))) == []
+        count, _ = db.run_count(db.query("nothing"))
+        assert count == 0
+
+    def test_offset_past_end(self, db):
+        db.commit([set_op("r/a", {"n": 1})])
+        assert ids(db.run_query(db.query("r").offset_by(10))) == []
+
+    def test_inequality_empty_range(self, db):
+        db.commit([set_op("r/a", {"n": 5})])
+        query = db.query("r").where("n", ">", 10).where("n", "<", 3)
+        assert ids(db.run_query(query)) == []
+
+    def test_cursor_beyond_all_data(self, db):
+        for i in range(3):
+            db.commit([set_op(f"r/d{i}", {"n": i})])
+        query = db.query("r").order_by("n").start_after(99)
+        assert ids(db.run_query(query)) == []
+
+    def test_cursor_with_inequality_tightens(self, db):
+        for i in range(10):
+            db.commit([set_op(f"r/d{i}", {"n": i})])
+        query = db.query("r").where("n", ">=", 2).order_by("n").start_after(5)
+        assert ids(db.run_query(query)) == ["d6", "d7", "d8", "d9"]
+
+    def test_unicode_document_ids_and_values(self, db):
+        db.commit([set_op("r/日本", {"name": "すし"})])
+        result = db.run_query(db.query("r").where("name", "==", "すし"))
+        assert ids(result) == ["日本"]
+
+    def test_collection_with_single_huge_field_value(self, db):
+        big = "x" * 500_000
+        db.commit([set_op("r/big", {"payload": big})])
+        result = db.run_query(db.query("r").where("payload", "==", big))
+        assert ids(result) == ["big"]

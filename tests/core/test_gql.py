@@ -1,0 +1,139 @@
+"""GQL compiler tests, anchored on the paper's own query examples."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+from repro.core.gql import parse_gql
+from repro.core.query import Operator
+
+
+class TestParsing:
+    def test_select_star(self):
+        query = parse_gql("select * from restaurants")
+        assert str(query.parent) == "restaurants"
+        assert query.projection is None
+        assert query.filters == ()
+
+    def test_paper_example_one(self):
+        query = parse_gql(
+            'select * from restaurants where city="SF" and type="BBQ" '
+            "order by avgRating desc"
+        )
+        assert [f.describe() for f in query.filters] == [
+            "city == 'SF'",
+            "type == 'BBQ'",
+        ]
+        assert query.orders[0].field_path == "avgRating"
+        assert query.orders[0].direction == "desc"
+
+    def test_paper_example_limit(self):
+        query = parse_gql('select * from restaurants where city="SF" limit 10')
+        assert query.limit == 10
+
+    def test_paper_example_inequality(self):
+        query = parse_gql("select * from restaurants where numRatings > 2")
+        assert query.filters[0].op is Operator.GT
+        assert query.filters[0].value == 2
+
+    def test_projection_fields(self):
+        query = parse_gql("select name, avgRating from restaurants")
+        assert query.projection == ("name", "avgRating")
+
+    def test_all_literal_types(self):
+        query = parse_gql(
+            "select * from t where a = 1 and b = 1.5 and c = 'x' "
+            "and d = true and e = false and f = null"
+        )
+        values = [f.value for f in query.filters]
+        assert values == [1, 1.5, "x", True, False, None]
+
+    def test_double_quotes_and_escapes(self):
+        query = parse_gql("select * from t where a = \"it\\\"s\"")
+        assert query.filters[0].value == 'it"s'
+
+    def test_contains(self):
+        query = parse_gql("select * from t where tags contains 'bbq'")
+        assert query.filters[0].op is Operator.ARRAY_CONTAINS
+
+    def test_multiple_orders_and_offset(self):
+        query = parse_gql(
+            "select * from t order by a desc, b limit 5 offset 2"
+        )
+        assert [(o.field_path, o.direction) for o in query.orders] == [
+            ("a", "desc"),
+            ("b", "asc"),
+        ]
+        assert query.limit == 5 and query.offset == 2
+
+    def test_subcollection_path(self):
+        query = parse_gql("select * from restaurants/one/ratings")
+        assert str(query.parent) == "restaurants/one/ratings"
+
+    def test_dotted_field_paths(self):
+        query = parse_gql("select * from t where address.city = 'SF'")
+        assert query.filters[0].field_path == "address.city"
+
+    def test_case_insensitive_keywords(self):
+        query = parse_gql("SELECT * FROM t WHERE a = 1 ORDER BY a LIMIT 1")
+        assert query.limit == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "selct * from t",
+            "select * from",
+            "select * from t where",
+            "select * from t where a ~ 1",
+            "select * from t where a = ",
+            "select * from t limit 1.5",
+            "select * from t bogus trailing",
+            "select * from t where a != 1",
+            "select * from t/doc",  # document path, not a collection
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(InvalidArgument):
+            parse_gql(bad)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def db(self):
+        database = FirestoreService().create_database("gql-tests")
+        rows = [
+            ("one", {"city": "SF", "type": "BBQ", "avgRating": 4.5, "numRatings": 10}),
+            ("two", {"city": "SF", "type": "Noodles", "avgRating": 4.8, "numRatings": 3}),
+            ("three", {"city": "NY", "type": "BBQ", "avgRating": 3.9, "numRatings": 7}),
+        ]
+        for doc_id, data in rows:
+            database.commit([set_op(f"restaurants/{doc_id}", data)])
+        return database
+
+    def test_gql_equals_builder(self, db):
+        via_gql = db.run_query(db.gql('select * from restaurants where city="SF"'))
+        via_builder = db.run_query(db.query("restaurants").where("city", "==", "SF"))
+        assert [p.id for p in via_gql.paths] == [p.id for p in via_builder.paths]
+
+    def test_gql_zigzag(self, db):
+        result = db.run_query(
+            db.gql('select * from restaurants where city="SF" and type="BBQ"')
+        )
+        assert [p.id for p in result.paths] == ["one"]
+
+    def test_gql_inequality_with_order(self, db):
+        result = db.run_query(
+            db.gql("select * from restaurants where numRatings > 2 "
+                   "order by numRatings desc")
+        )
+        assert [p.id for p in result.paths] == ["one", "three", "two"]
+
+    def test_gql_projection(self, db):
+        result = db.run_query(
+            db.gql('select avgRating from restaurants where city="SF" limit 1')
+        )
+        assert set(result.documents[0].data) == {"avgRating"}

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.errors import FailedPrecondition, InvalidArgument
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.indexes import (
+    IndexField,
+    IndexKind,
+    IndexMode,
+    IndexRegistry,
+    IndexState,
+)
+
+
+@pytest.fixture
+def registry():
+    return IndexRegistry()
+
+
+class TestAutoIndexes:
+    def test_lazily_allocated_and_stable(self, registry):
+        first = registry.auto_index("restaurants", "city", ASCENDING)
+        again = registry.auto_index("restaurants", "city", ASCENDING)
+        assert first.index_id == again.index_id
+        assert first.kind is IndexKind.AUTO
+        assert first.state is IndexState.READY
+
+    def test_directions_are_distinct_indexes(self, registry):
+        asc = registry.auto_index("r", "city", ASCENDING)
+        desc = registry.auto_index("r", "city", DESCENDING)
+        assert asc.index_id != desc.index_id
+        assert desc.fields[0].direction == DESCENDING
+
+    def test_collection_groups_are_distinct(self, registry):
+        a = registry.auto_index("restaurants", "city", ASCENDING)
+        b = registry.auto_index("hotels", "city", ASCENDING)
+        assert a.index_id != b.index_id
+
+    def test_contains_index(self, registry):
+        contains = registry.auto_contains_index("r", "tags")
+        assert contains.fields[0].mode is IndexMode.CONTAINS
+        assert registry.auto_contains_index("r", "tags").index_id == contains.index_id
+
+
+class TestExemptions:
+    def test_add_and_remove(self, registry):
+        registry.add_exemption("r", "bigBlob")
+        assert registry.is_exempt("r", "bigBlob")
+        assert not registry.is_exempt("r", "other")
+        assert not registry.is_exempt("other", "bigBlob")
+        registry.remove_exemption("r", "bigBlob")
+        assert not registry.is_exempt("r", "bigBlob")
+
+
+class TestComposites:
+    def test_create_starts_creating(self, registry):
+        definition = registry.create_composite(
+            "restaurants", [("city", ASCENDING), ("avgRating", DESCENDING)]
+        )
+        assert definition.kind is IndexKind.COMPOSITE
+        assert definition.state is IndexState.CREATING
+        assert definition.field_paths == ("city", "avgRating")
+
+    def test_requires_two_fields(self, registry):
+        with pytest.raises(InvalidArgument):
+            registry.create_composite("r", [("city", ASCENDING)])
+
+    def test_duplicate_definition_rejected(self, registry):
+        fields = [("city", ASCENDING), ("rating", DESCENDING)]
+        registry.create_composite("r", fields)
+        with pytest.raises(InvalidArgument):
+            registry.create_composite("r", fields)
+
+    def test_duplicate_field_rejected(self, registry):
+        with pytest.raises(InvalidArgument):
+            registry.create_composite("r", [("a", ASCENDING), ("a", DESCENDING)])
+
+    def test_state_transitions(self, registry):
+        definition = registry.create_composite("r", [("a", ASCENDING), ("b", ASCENDING)])
+        ready = registry.set_state(definition.index_id, IndexState.READY)
+        assert ready.state is IndexState.READY
+        assert registry.get(definition.index_id).state is IndexState.READY
+        assert registry.ready_composites_for("r") == [ready]
+
+    def test_creating_not_in_ready_list(self, registry):
+        registry.create_composite("r", [("a", ASCENDING), ("b", ASCENDING)])
+        assert registry.ready_composites_for("r") == []
+        assert len(registry.composites_for("r")) == 1
+
+    def test_drop(self, registry):
+        definition = registry.create_composite("r", [("a", ASCENDING), ("b", ASCENDING)])
+        registry.drop(definition.index_id)
+        with pytest.raises(FailedPrecondition):
+            registry.get(definition.index_id)
+
+    def test_drop_auto_clears_cache(self, registry):
+        auto = registry.auto_index("r", "f", ASCENDING)
+        registry.drop(auto.index_id)
+        fresh = registry.auto_index("r", "f", ASCENDING)
+        assert fresh.index_id != auto.index_id
+
+
+class TestIndexField:
+    def test_contains_must_be_ascending(self):
+        with pytest.raises(InvalidArgument):
+            IndexField("tags", DESCENDING, IndexMode.CONTAINS)
+
+    def test_bad_direction(self):
+        with pytest.raises(InvalidArgument):
+            IndexField("f", "sideways")
+
+    def test_describe(self, registry):
+        definition = registry.create_composite(
+            "r", [IndexField("tags", ASCENDING, IndexMode.CONTAINS), IndexField("n", DESCENDING)]
+        )
+        assert "tags contains" in definition.describe()
+        assert "n desc" in definition.describe()
+
+    def test_at_most_one_contains(self, registry):
+        with pytest.raises(InvalidArgument):
+            registry.create_composite(
+                "r",
+                [
+                    IndexField("a", ASCENDING, IndexMode.CONTAINS),
+                    IndexField("b", ASCENDING, IndexMode.CONTAINS),
+                ],
+            )

@@ -1,0 +1,157 @@
+"""Metadata Cache tests: durable index definitions and rules, TTL
+caching, and recovery across simulated task restarts (paper Fig. 4)."""
+
+import pytest
+
+from repro.errors import PermissionDenied
+from repro.core.backend import AuthContext, set_op
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.firestore import FirestoreService
+from repro.core.indexes import IndexKind, IndexRegistry, IndexState
+from repro.core.metadata import MetadataCache, MetadataStore
+
+
+@pytest.fixture
+def service():
+    return FirestoreService()
+
+
+@pytest.fixture
+def db(service):
+    return service.create_database("meta-tests")
+
+
+class TestDurability:
+    def test_registry_roundtrip(self, db):
+        db.commit([set_op("r/a", {"city": "SF", "n": 1})])  # auto indexes
+        db.create_index("r", [("city", ASCENDING), ("n", DESCENDING)])
+        db.registry.add_exemption("r", "blob")
+
+        store = MetadataStore(db.layout)
+        store.save_registry(db.registry)
+        loaded = store.load_registry()
+
+        original = {d.index_id: d for d in db.registry.all_indexes()}
+        recovered = {d.index_id: d for d in loaded.all_indexes()}
+        assert recovered == original
+        assert loaded.is_exempt("r", "blob")
+
+    def test_auto_index_ids_stable_after_reload(self, db):
+        db.commit([set_op("r/a", {"city": "SF"})])
+        asc_id = db.registry.auto_index("r", "city", ASCENDING).index_id
+        store = MetadataStore(db.layout)
+        store.save_registry(db.registry)
+        loaded = store.load_registry()
+        assert loaded.auto_index("r", "city", ASCENDING).index_id == asc_id
+
+    def test_id_allocation_resumes_past_persisted(self, db):
+        db.commit([set_op("r/a", {"city": "SF"})])
+        store = MetadataStore(db.layout)
+        store.save_registry(db.registry)
+        loaded = store.load_registry()
+        existing = {d.index_id for d in loaded.all_indexes()}
+        fresh = loaded.auto_index("r", "newfield", ASCENDING)
+        assert fresh.index_id not in existing
+
+    def test_rules_roundtrip(self, db):
+        source = (
+            "service cloud.firestore { match /databases/{d}/documents {"
+            " match /r/{id} { allow read: if true; } } }"
+        )
+        db.set_rules(source)
+        assert MetadataStore(db.layout).load_rules() == source
+        db.clear_rules()
+        assert MetadataStore(db.layout).load_rules() is None
+
+    def test_empty_store_loads_none(self, db):
+        fresh = FirestoreService().create_database("empty")
+        store = MetadataStore(fresh.layout)
+        # a brand-new database has its (empty) registry persisted lazily
+        assert store.load_rules() is None
+
+
+class TestTaskRestart:
+    def test_reopen_recovers_indexes_and_queries(self, service, db):
+        db.commit([set_op("r/a", {"city": "SF", "n": 2})])
+        db.create_index("r", [("city", ASCENDING), ("n", DESCENDING)])
+        query = db.query("r").where("city", "==", "SF").order_by("n", DESCENDING)
+        assert len(db.run_query(query).documents) == 1
+
+        restarted = service.reopen_database("meta-tests")
+        assert restarted is not db
+        # the composite index survived the "restart"
+        assert len(restarted.run_query(query).documents) == 1
+        # so did the automatic indexes (ids must match existing entries)
+        assert len(
+            restarted.run_query(restarted.query("r").where("n", "==", 2)).documents
+        ) == 1
+
+    def test_reopen_recovers_exemptions(self, service, db):
+        db.commit([set_op("r/a", {"hot": 1})])
+        db.exempt_field("r", "hot")
+        restarted = service.reopen_database("meta-tests")
+        assert restarted.registry.is_exempt("r", "hot")
+        from repro.errors import FailedPrecondition
+
+        with pytest.raises(FailedPrecondition):
+            restarted.run_query(restarted.query("r").where("hot", "==", 1))
+
+    def test_reopen_recovers_rules(self, service, db):
+        db.set_rules(
+            "service cloud.firestore { match /databases/{d}/documents {"
+            " match /r/{id} { allow read: if true; } } }"
+        )
+        restarted = service.reopen_database("meta-tests")
+        restarted.commit([set_op("r/a", {"x": 1})])
+        # reads allowed, writes denied: the recovered ruleset is live
+        assert restarted.lookup("r/a", auth=AuthContext(uid="u")).exists
+        with pytest.raises(PermissionDenied):
+            restarted.commit(
+                [set_op("r/b", {"x": 1})], auth=AuthContext(uid="u")
+            )
+
+    def test_writes_after_reopen_extend_same_indexes(self, service, db):
+        db.commit([set_op("r/a", {"city": "SF"})])
+        restarted = service.reopen_database("meta-tests")
+        restarted.commit([set_op("r/b", {"city": "SF"})])
+        result = restarted.run_query(restarted.query("r").where("city", "==", "SF"))
+        assert [p.id for p in result.paths] == ["a", "b"]
+        # and the validator agrees everything is consistent
+        assert restarted.validate().is_clean
+
+
+class TestCacheBehaviour:
+    def test_ttl_expiry_refreshes(self, service, db):
+        store = MetadataStore(db.layout)
+        cache = MetadataCache(store, service.clock, ttl_us=1_000_000)
+        cache.registry()
+        misses = cache.misses
+        cache.registry()  # within TTL: served from cache
+        assert cache.misses == misses
+        assert cache.hits >= 1
+        service.clock.advance(2_000_000)
+        cache.registry()  # expired: reloaded
+        assert cache.misses == misses + 1
+
+    def test_invalidate_forces_reload(self, service, db):
+        store = MetadataStore(db.layout)
+        cache = MetadataCache(store, service.clock, ttl_us=10**12)
+        cache.registry()
+        misses = cache.misses
+        cache.invalidate()
+        cache.registry()
+        assert cache.misses == misses + 1
+
+    def test_stale_cache_converges_after_ttl(self, service, db):
+        """Another task's cache misses a new index until its TTL lapses —
+        the relaxed consistency production accepts for metadata."""
+        other_task = MetadataCache(
+            MetadataStore(db.layout), service.clock, ttl_us=5_000_000
+        )
+        other_task.registry()
+        db.create_index("r", [("a", ASCENDING), ("b", ASCENDING)])
+        stale = other_task.registry()
+        assert stale.composites_for("r") == []  # still cached
+        service.clock.advance(6_000_000)
+        fresh = other_task.registry()
+        assert len(fresh.composites_for("r")) == 1

@@ -1,0 +1,101 @@
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.core.path import Path, collection_path, document_path
+
+
+class TestConstruction:
+    def test_parse(self):
+        path = Path.parse("restaurants/one/ratings/2")
+        assert path.segments == ("restaurants", "one", "ratings", "2")
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidArgument):
+            Path.parse("")
+        with pytest.raises(InvalidArgument):
+            Path()
+
+    def test_rejects_empty_segments(self):
+        with pytest.raises(InvalidArgument):
+            Path.parse("a//b")
+
+    def test_rejects_slash_in_segment(self):
+        with pytest.raises(InvalidArgument):
+            Path("a/b")
+
+    def test_rejects_dots(self):
+        with pytest.raises(InvalidArgument):
+            Path("a", ".")
+        with pytest.raises(InvalidArgument):
+            Path("a", "..")
+
+    def test_rejects_oversized_segment(self):
+        with pytest.raises(InvalidArgument):
+            Path("x" * 1501)
+
+    def test_rejects_excessive_depth(self):
+        with pytest.raises(InvalidArgument):
+            Path(*[f"s{i}" for i in range(101)])
+
+    def test_immutable(self):
+        path = Path("a")
+        with pytest.raises(AttributeError):
+            path.segments = ("b",)
+
+
+class TestClassification:
+    def test_document_vs_collection(self):
+        assert Path.parse("restaurants/one").is_document
+        assert Path.parse("restaurants").is_collection
+        assert Path.parse("restaurants/one/ratings").is_collection
+        assert Path.parse("restaurants/one/ratings/2").is_document
+
+    def test_coercion_helpers(self):
+        assert document_path("a/b") == Path("a", "b")
+        assert collection_path("a") == Path("a")
+        with pytest.raises(InvalidArgument):
+            document_path("a")
+        with pytest.raises(InvalidArgument):
+            collection_path("a/b")
+
+
+class TestNavigation:
+    def test_ids(self):
+        path = Path.parse("restaurants/one/ratings/2")
+        assert path.id == "2"
+        assert path.collection_id == "ratings"
+        assert Path.parse("restaurants").collection_id == "restaurants"
+        assert Path.parse("restaurants/one").collection_id == "restaurants"
+
+    def test_parent_chain(self):
+        path = Path.parse("a/b/c/d")
+        assert path.parent() == Path.parse("a/b/c")
+        assert Path.parse("a").parent() is None
+
+    def test_child(self):
+        assert Path.parse("a").child("b") == Path.parse("a/b")
+
+    def test_ancestry(self):
+        parent = Path.parse("a/b")
+        assert parent.is_ancestor_of(Path.parse("a/b/c"))
+        assert parent.is_ancestor_of(Path.parse("a/b/c/d"))
+        assert not parent.is_ancestor_of(parent)
+        assert not parent.is_ancestor_of(Path.parse("a"))
+        assert not parent.is_ancestor_of(Path.parse("a/bb/c"))
+
+
+class TestProtocol:
+    def test_str_roundtrip(self):
+        assert str(Path.parse("a/b/c")) == "a/b/c"
+
+    def test_equality_and_hash(self):
+        assert Path.parse("a/b") == Path.parse("a/b")
+        assert len({Path.parse("a/b"), Path.parse("a/b")}) == 1
+
+    def test_ordering_is_segmentwise(self):
+        assert Path.parse("a/b") < Path.parse("ab")
+        assert Path.parse("a") < Path.parse("a/b")
+
+    def test_len_and_depth(self):
+        path = Path.parse("a/b/c")
+        assert len(path) == path.depth == 3

@@ -1,0 +1,205 @@
+import pytest
+
+from repro.errors import FailedPrecondition
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.indexes import IndexRegistry, IndexState
+from repro.core.path import Path
+from repro.core.planner import QueryPlanner
+from repro.core.query import Query
+
+
+@pytest.fixture
+def registry():
+    return IndexRegistry()
+
+
+@pytest.fixture
+def planner(registry):
+    return QueryPlanner(registry)
+
+
+def plan(planner, query):
+    return planner.plan(query.normalize())
+
+
+def restaurants() -> Query:
+    return Query(parent=Path.parse("restaurants"))
+
+
+class TestEntitiesPlans:
+    def test_bare_query_scans_entities(self, planner):
+        result = plan(planner, restaurants())
+        assert result.kind == "entities"
+        assert result.reverse is False
+
+    def test_name_desc_reverses(self, planner):
+        result = plan(planner, restaurants().order_by("__name__", "desc"))
+        assert result.kind == "entities"
+        assert result.reverse is True
+
+    def test_limit_offset_stay_entities(self, planner):
+        result = plan(planner, restaurants().limit_to(5).offset_by(2))
+        assert result.kind == "entities"
+
+
+class TestSingleIndexPlans:
+    def test_single_equality_uses_auto_index(self, planner):
+        result = plan(planner, restaurants().where("city", "==", "SF"))
+        assert result.kind == "single"
+        spec = result.scans[0]
+        assert spec.index.field_paths == ("city",)
+        assert spec.prefix_filters[0].value == "SF"
+
+    def test_single_inequality_uses_auto_index(self, planner):
+        result = plan(planner, restaurants().where("numRatings", ">", 2))
+        assert result.kind == "single"
+        assert result.scans[0].index.field_paths == ("numRatings",)
+        assert result.scans[0].prefix_len == 0
+
+    def test_order_only_asc_direct(self, planner):
+        result = plan(planner, restaurants().order_by("avgRating"))
+        assert result.kind == "single"
+        assert result.reverse is False
+        assert result.scans[0].index.directions == (ASCENDING,)
+
+    def test_order_desc_uses_desc_index_directly(self, planner):
+        result = plan(planner, restaurants().order_by("avgRating", DESCENDING))
+        assert result.kind == "single"
+        # either the desc auto index directly or the asc one reversed
+        spec = result.scans[0]
+        if result.reverse:
+            assert spec.index.directions == (ASCENDING,)
+        else:
+            assert spec.index.directions == (DESCENDING,)
+
+    def test_array_contains_uses_contains_index(self, planner):
+        result = plan(planner, restaurants().where("tags", "array-contains", "bbq"))
+        assert result.kind == "single"
+        assert result.scans[0].index.fields[0].mode.value == "contains"
+
+    def test_composite_preferred_for_eq_plus_order(self, planner, registry):
+        registry.create_composite(
+            "restaurants",
+            [("city", ASCENDING), ("avgRating", DESCENDING)],
+            state=IndexState.READY,
+        )
+        query = restaurants().where("city", "==", "SF").order_by("avgRating", DESCENDING)
+        result = plan(planner, query)
+        assert result.kind == "single"
+        assert result.scans[0].index.field_paths == ("city", "avgRating")
+
+    def test_creating_composite_unusable(self, planner, registry):
+        registry.create_composite(
+            "restaurants", [("city", ASCENDING), ("avgRating", DESCENDING)]
+        )  # stays CREATING
+        query = restaurants().where("city", "==", "SF").order_by("avgRating", DESCENDING)
+        with pytest.raises(FailedPrecondition):
+            plan(planner, query)
+
+    def test_composite_reversed_orientation(self, planner, registry):
+        registry.create_composite(
+            "restaurants",
+            [("city", ASCENDING), ("avgRating", DESCENDING)],
+            state=IndexState.READY,
+        )
+        # ascending order served by scanning the desc composite backwards
+        query = restaurants().where("city", "==", "SF").order_by("avgRating", ASCENDING)
+        result = plan(planner, query)
+        assert result.kind == "single"
+        assert result.reverse is True
+
+    def test_equality_plus_inequality_needs_composite(self, planner, registry):
+        query = restaurants().where("city", "==", "SF").where("numRatings", ">", 2)
+        with pytest.raises(FailedPrecondition):
+            plan(planner, query)
+        registry.create_composite(
+            "restaurants",
+            [("city", ASCENDING), ("numRatings", ASCENDING)],
+            state=IndexState.READY,
+        )
+        result = plan(planner, query)
+        assert result.kind == "single"
+
+
+class TestZigZagPlans:
+    def test_two_equalities_join_auto_indexes(self, planner):
+        query = restaurants().where("city", "==", "SF").where("type", "==", "BBQ")
+        result = plan(planner, query)
+        assert result.kind == "join"
+        assert len(result.scans) == 2
+        covered = set()
+        for spec in result.scans:
+            covered |= {f for f, _ in spec.covered_units()}
+        assert covered == {"city", "type"}
+
+    def test_paper_example_join_of_user_indexes(self, planner, registry):
+        """city="NY" and type="BBQ" order by avgRating desc via joining
+        (city asc, avgRating desc) and (type asc, avgRating desc)."""
+        registry.create_composite(
+            "restaurants",
+            [("city", ASCENDING), ("avgRating", DESCENDING)],
+            state=IndexState.READY,
+        )
+        registry.create_composite(
+            "restaurants",
+            [("type", ASCENDING), ("avgRating", DESCENDING)],
+            state=IndexState.READY,
+        )
+        query = (
+            restaurants()
+            .where("city", "==", "New York")
+            .where("type", "==", "BBQ")
+            .order_by("avgRating", DESCENDING)
+        )
+        result = plan(planner, query)
+        assert result.kind == "join"
+        assert {s.index.field_paths for s in result.scans} == {
+            ("city", "avgRating"),
+            ("type", "avgRating"),
+        }
+
+    def test_greedy_prefers_fewer_indexes(self, planner, registry):
+        registry.create_composite(
+            "restaurants",
+            [("a", ASCENDING), ("b", ASCENDING), ("c", ASCENDING)],
+            state=IndexState.READY,
+        )
+        query = (
+            restaurants().where("a", "==", 1).where("b", "==", 2).where("c", "==", 3)
+        )
+        result = plan(planner, query)
+        assert result.kind == "single"
+        assert result.scans[0].index.field_paths == ("a", "b", "c")
+
+    def test_join_plus_contains(self, planner):
+        query = (
+            restaurants()
+            .where("city", "==", "SF")
+            .where("tags", "array-contains", "bbq")
+        )
+        result = plan(planner, query)
+        assert result.kind == "join"
+        modes = {spec.index.fields[0].mode.value for spec in result.scans}
+        assert modes == {"ordered", "contains"}
+
+    def test_exempted_field_fails_with_suggestion(self, planner, registry):
+        registry.add_exemption("restaurants", "city")
+        with pytest.raises(FailedPrecondition) as excinfo:
+            plan(planner, restaurants().where("city", "==", "SF"))
+        assert "index" in str(excinfo.value)
+
+    def test_suggestion_lists_required_fields(self, planner):
+        query = restaurants().where("city", "==", "SF").where("n", ">", 2)
+        with pytest.raises(FailedPrecondition) as excinfo:
+            plan(planner, query)
+        message = str(excinfo.value)
+        assert "city asc" in message
+        assert "n asc" in message
+
+
+class TestDescribe:
+    def test_plans_have_descriptions(self, planner):
+        assert "entities" in plan(planner, restaurants()).describe()
+        assert "single" in plan(
+            planner, restaurants().where("city", "==", "SF")
+        ).describe()

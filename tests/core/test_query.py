@@ -1,0 +1,155 @@
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.core.encoding import ASCENDING, DESCENDING
+from repro.core.path import Path
+from repro.core.query import (
+    Filter,
+    NAME_FIELD,
+    Operator,
+    Order,
+    Query,
+    matches_filter,
+)
+
+
+def base_query() -> Query:
+    return Query(parent=Path.parse("restaurants"))
+
+
+class TestBuilder:
+    def test_where_accepts_string_ops(self):
+        q = base_query().where("city", "==", "SF").where("rating", ">", 3)
+        assert q.filters[0].op is Operator.EQ
+        assert q.filters[1].op is Operator.GT
+
+    def test_builder_is_immutable(self):
+        q = base_query()
+        q2 = q.where("city", "==", "SF")
+        assert q.filters == ()
+        assert len(q2.filters) == 1
+
+    def test_rejects_collection_parent_mismatch(self):
+        with pytest.raises(InvalidArgument):
+            Query(parent=Path.parse("restaurants/one"))
+
+    def test_rejects_negative_limit_offset(self):
+        with pytest.raises(InvalidArgument):
+            base_query().limit_to(-1)
+        with pytest.raises(InvalidArgument):
+            base_query().offset_by(-1)
+
+    def test_rejects_inequality_on_arrays(self):
+        with pytest.raises(InvalidArgument):
+            base_query().where("tags", ">", [1])
+
+
+class TestNormalization:
+    def test_single_inequality_field_enforced(self):
+        q = base_query().where("a", ">", 1).where("b", "<", 2)
+        with pytest.raises(InvalidArgument):
+            q.normalize()
+
+    def test_multiple_inequalities_same_field_ok(self):
+        q = base_query().where("a", ">", 1).where("a", "<", 10)
+        normalized = q.normalize()
+        assert len(normalized.inequalities) == 2
+        assert normalized.ineq_field == "a"
+
+    def test_inequality_must_match_first_order(self):
+        q = base_query().where("a", ">", 1).order_by("b")
+        with pytest.raises(InvalidArgument):
+            q.normalize()
+
+    def test_inequality_implies_order(self):
+        normalized = base_query().where("a", ">", 1).normalize()
+        assert normalized.core_orders == (Order("a", ASCENDING),)
+
+    def test_name_tiebreak_follows_last_order(self):
+        asc = base_query().order_by("r", ASCENDING).normalize()
+        assert asc.name_direction == ASCENDING
+        desc = base_query().order_by("r", DESCENDING).normalize()
+        assert desc.name_direction == DESCENDING
+
+    def test_no_orders_name_asc(self):
+        assert base_query().normalize().name_direction == ASCENDING
+
+    def test_explicit_name_order(self):
+        normalized = base_query().order_by(NAME_FIELD, DESCENDING).normalize()
+        assert normalized.core_orders == ()
+        assert normalized.name_direction == DESCENDING
+
+    def test_name_order_must_be_last(self):
+        q = base_query().order_by(NAME_FIELD).order_by("a")
+        with pytest.raises(InvalidArgument):
+            q.normalize()
+
+    def test_duplicate_equality_rejected(self):
+        q = base_query().where("a", "==", 1).where("a", "==", 2)
+        with pytest.raises(InvalidArgument):
+            q.normalize()
+
+    def test_duplicate_orders_rejected(self):
+        q = base_query().order_by("a").order_by("a", DESCENDING)
+        with pytest.raises(InvalidArgument):
+            q.normalize()
+
+    def test_at_most_one_array_contains(self):
+        q = (
+            base_query()
+            .where("tags", "array-contains", "x")
+            .where("more", "array-contains", "y")
+        )
+        with pytest.raises(InvalidArgument):
+            q.normalize()
+
+    def test_name_filters_rejected(self):
+        q = base_query().where(NAME_FIELD, "==", "x")
+        with pytest.raises(InvalidArgument):
+            q.normalize()
+
+    def test_flipped_suffix(self):
+        normalized = base_query().order_by("a").order_by("b", DESCENDING).normalize()
+        assert normalized.flipped_suffix() == (
+            Order("a", DESCENDING),
+            Order("b", ASCENDING),
+        )
+
+    def test_cursor_arity_checked(self):
+        q = base_query().order_by("a").start_at(1, "docid", "extra")
+        with pytest.raises(InvalidArgument):
+            q.normalize()
+
+
+class TestMatchesFilter:
+    def test_eq(self):
+        assert matches_filter({"a": 5}, Filter("a", Operator.EQ, 5.0))
+        assert not matches_filter({"a": 5}, Filter("a", Operator.EQ, 6))
+        assert not matches_filter({}, Filter("a", Operator.EQ, 5))
+
+    def test_inequalities_same_type_only(self):
+        assert matches_filter({"a": 5}, Filter("a", Operator.GT, 3))
+        # a string never matches a numeric inequality
+        assert not matches_filter({"a": "zzz"}, Filter("a", Operator.GT, 3))
+
+    def test_dotted_paths(self):
+        assert matches_filter({"m": {"x": 1}}, Filter("m.x", Operator.EQ, 1))
+
+    def test_array_contains(self):
+        flt = Filter("tags", Operator.ARRAY_CONTAINS, "bbq")
+        assert matches_filter({"tags": ["bbq", "cheap"]}, flt)
+        assert not matches_filter({"tags": ["fancy"]}, flt)
+        assert not matches_filter({"tags": "bbq"}, flt)
+
+    def test_all_inequality_ops(self):
+        data = {"n": 5}
+        assert matches_filter(data, Filter("n", Operator.GE, 5))
+        assert matches_filter(data, Filter("n", Operator.LE, 5))
+        assert not matches_filter(data, Filter("n", Operator.LT, 5))
+        assert not matches_filter(data, Filter("n", Operator.GT, 5))
+
+
+def test_describe_mentions_parts():
+    q = base_query().where("city", "==", "SF").order_by("r", DESCENDING).limit_to(3)
+    text = q.describe()
+    assert "city" in text and "limit 3" in text

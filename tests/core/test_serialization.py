@@ -1,0 +1,92 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidArgument
+from repro.core.serialization import deserialize_document, serialize_document
+from repro.core.values import GeoPoint, Reference, Timestamp
+
+from tests.core.test_values import firestore_values
+
+
+def roundtrip(data: dict) -> dict:
+    return deserialize_document(serialize_document(data))
+
+
+def test_roundtrip_all_types():
+    data = {
+        "null": None,
+        "bool_t": True,
+        "bool_f": False,
+        "int": -(2**62),
+        "double": 3.14159,
+        "ts": Timestamp(1234567),
+        "str": "hello δοκ",
+        "bytes": b"\x00\xff",
+        "ref": Reference("restaurants/one"),
+        "geo": GeoPoint(-45.5, 120.25),
+        "arr": [1, "two", None, [0]] if False else [1, "two", None],
+        "map": {"nested": {"deep": [True]}},
+        "empty_map": {},
+        "empty_arr": [],
+        "empty_str": "",
+    }
+    assert roundtrip(data) == data
+
+
+def test_roundtrip_preserves_int_float_distinction():
+    out = roundtrip({"i": 5, "f": 5.0})
+    assert isinstance(out["i"], int)
+    assert isinstance(out["f"], float)
+
+
+def test_roundtrip_special_floats():
+    out = roundtrip({"inf": float("inf"), "ninf": float("-inf"), "nan": float("nan")})
+    assert out["inf"] == float("inf")
+    assert out["ninf"] == float("-inf")
+    assert math.isnan(out["nan"])
+
+
+def test_roundtrip_negative_zero():
+    out = roundtrip({"z": -0.0})
+    assert math.copysign(1, out["z"]) == -1
+
+
+def test_rejects_non_map_document():
+    with pytest.raises(InvalidArgument):
+        serialize_document([1, 2])  # type: ignore[arg-type]
+
+
+def test_rejects_trailing_bytes():
+    raw = serialize_document({"a": 1}) + b"\x00"
+    with pytest.raises(InvalidArgument):
+        deserialize_document(raw)
+
+
+def test_rejects_truncation():
+    raw = serialize_document({"a": "hello"})
+    with pytest.raises(InvalidArgument):
+        deserialize_document(raw[:-2])
+
+
+def test_rejects_unknown_wire_type():
+    with pytest.raises(InvalidArgument):
+        deserialize_document(b"\xfa")
+
+
+def test_compactness():
+    """The binary format should be smaller than a debug repr."""
+    data = {"field": "x" * 100, "n": 12345}
+    assert len(serialize_document(data)) < len(repr(data).encode())
+
+
+@settings(max_examples=300, deadline=None)
+@given(value=firestore_values())
+def test_property_roundtrip(value):
+    data = {"v": value}
+    out = roundtrip(data)
+    # NaN breaks ==; compare through Firestore semantics
+    from repro.core.values import values_equal
+
+    assert values_equal(out["v"], value) or out == data

@@ -1,0 +1,142 @@
+"""Server-side transaction tests: locking, retries, read-before-write."""
+
+import pytest
+
+from repro.errors import Aborted, InvalidArgument
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+from repro.core.transaction import run_transaction
+
+
+@pytest.fixture
+def db():
+    return FirestoreService().create_database("txn-tests")
+
+
+def test_read_modify_write(db):
+    db.commit([set_op("counters/c", {"value": 1})])
+
+    def increment(tx):
+        snap = tx.get("counters/c")
+        tx.update("counters/c", {"value": snap.data["value"] + 1})
+        return snap.data["value"]
+
+    result = db.run_transaction(increment)
+    assert result == 1
+    assert db.lookup("counters/c").data["value"] == 2
+
+
+def test_paper_rating_example(db):
+    """The section IV-D2 example: insert a rating and update the parent
+    restaurant's aggregates in one transaction."""
+    db.commit([set_op("restaurants/one", {"avgRating": 4.0, "numRatings": 1})])
+
+    def add_rating(tx):
+        snap = tx.get("restaurants/one")
+        assert snap.exists
+        count = snap.data["numRatings"]
+        new_avg = (snap.data["avgRating"] * count + 5.0) / (count + 1)
+        tx.create("restaurants/one/ratings/2", {"rating": 5, "userId": "u1"})
+        tx.update("restaurants/one", {"avgRating": new_avg, "numRatings": count + 1})
+
+    db.run_transaction(add_rating)
+    restaurant = db.lookup("restaurants/one").data
+    assert restaurant == {"avgRating": 4.5, "numRatings": 2}
+    assert db.lookup("restaurants/one/ratings/2").exists
+
+
+def test_reads_must_precede_writes(db):
+    def bad(tx):
+        tx.set("r/a", {"x": 1})
+        tx.get("r/a")
+
+    with pytest.raises(InvalidArgument):
+        db.run_transaction(bad)
+
+
+def test_read_only_transaction(db):
+    db.commit([set_op("r/a", {"x": 1})])
+    value = db.run_transaction(lambda tx: tx.get("r/a").data["x"])
+    assert value == 1
+
+
+def test_queries_inside_transactions(db):
+    db.commit([set_op("r/a", {"city": "SF"}), set_op("r/b", {"city": "LA"})])
+
+    def count_sf(tx):
+        return len(tx.query(db.query("r").where("city", "==", "SF")).documents)
+
+    assert db.run_transaction(count_sf) == 1
+
+
+def test_retry_on_contention(db):
+    """A transaction aborted by a conflicting lock retries and succeeds."""
+    db.commit([set_op("r/a", {"v": 0})])
+    attempts = []
+    blocker = db.layout.spanner.begin()
+    blocker.read("Entities", db.layout.entity_key(db.lookup("r/a").path), for_update=True)
+
+    def contended(tx):
+        attempts.append(1)
+        if len(attempts) == 2:
+            blocker.rollback()  # free the lock for the retry
+        snap = tx.get("r/a")
+        tx.update("r/a", {"v": snap.data["v"] + 1})
+
+    db.run_transaction(contended)
+    assert len(attempts) >= 2
+    assert db.lookup("r/a").data["v"] == 1
+
+
+def test_exhausted_retries_raise_aborted(db):
+    db.commit([set_op("r/a", {"v": 0})])
+    blocker = db.layout.spanner.begin()
+    blocker.read("Entities", db.layout.entity_key(db.lookup("r/a").path), for_update=True)
+
+    def contended(tx):
+        tx.get("r/a")
+
+    with pytest.raises(Aborted):
+        db.run_transaction(contended, max_attempts=2)
+    blocker.rollback()
+
+
+def test_backoff_advances_clock(db):
+    db.commit([set_op("r/a", {"v": 0})])
+    blocker = db.layout.spanner.begin()
+    blocker.read("Entities", db.layout.entity_key(db.lookup("r/a").path), for_update=True)
+    before = db.service.clock.now_us
+    with pytest.raises(Aborted):
+        db.run_transaction(lambda tx: tx.get("r/a"), max_attempts=3)
+    blocker.rollback()
+    assert db.service.clock.now_us > before
+
+
+def test_user_exception_rolls_back(db):
+    db.commit([set_op("r/a", {"v": 0})])
+
+    def boom(tx):
+        tx.update("r/a", {"v": 99})
+        raise RuntimeError("user bug")
+
+    with pytest.raises(RuntimeError):
+        db.run_transaction(boom)
+    assert db.lookup("r/a").data["v"] == 0
+    assert db.layout.spanner.locks.active_lock_count() == 0
+
+
+def test_max_attempts_validation(db):
+    with pytest.raises(InvalidArgument):
+        db.run_transaction(lambda tx: None, max_attempts=0)
+
+
+def test_serializability_of_concurrent_increments(db):
+    """Interleaved transactions on one document never lose updates."""
+    db.commit([set_op("counters/c", {"value": 0})])
+    for _ in range(10):
+        db.run_transaction(
+            lambda tx: tx.update(
+                "counters/c", {"value": tx.get("counters/c").data["value"] + 1}
+            )
+        )
+    assert db.lookup("counters/c").data["value"] == 10

@@ -1,0 +1,136 @@
+"""Field transform tests: increment, array union/remove, server timestamp."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.core.backend import set_op, update_op
+from repro.core.firestore import FirestoreService
+from repro.core.values import (
+    SERVER_TIMESTAMP,
+    Timestamp,
+    apply_transform,
+    array_remove,
+    array_union,
+    increment,
+)
+from repro.client import MobileClient
+
+
+@pytest.fixture
+def db():
+    return FirestoreService().create_database("transform-tests")
+
+
+class TestTransformPrimitives:
+    def test_increment_on_number(self):
+        assert apply_transform(increment(5), 10) == 15
+        assert apply_transform(increment(-2.5), 1.0) == -1.5
+
+    def test_increment_on_missing_or_non_numeric(self):
+        assert apply_transform(increment(3), None) == 3
+        assert apply_transform(increment(3), "text") == 3
+        assert apply_transform(increment(3), True) == 3  # bools are not numbers
+
+    def test_increment_validation(self):
+        with pytest.raises(InvalidArgument):
+            increment("five")
+        with pytest.raises(InvalidArgument):
+            increment(True)
+
+    def test_array_union(self):
+        assert apply_transform(array_union(3, 4), [1, 2, 3]) == [1, 2, 3, 4]
+        assert apply_transform(array_union(1), None) == [1]
+        assert apply_transform(array_union(1), "not-an-array") == [1]
+
+    def test_array_union_firestore_equality(self):
+        # 5 and 5.0 are equal values; the union must not duplicate
+        assert apply_transform(array_union(5.0), [5]) == [5]
+
+    def test_array_remove(self):
+        assert apply_transform(array_remove(2, 9), [1, 2, 3, 2]) == [1, 3]
+        assert apply_transform(array_remove(1), None) == []
+
+    def test_unknown_kind_rejected(self):
+        from repro.core.values import FieldTransform
+
+        with pytest.raises(InvalidArgument):
+            FieldTransform("bogus", 1)
+
+
+class TestServerSideResolution:
+    def test_increment_in_update(self, db):
+        db.commit([set_op("counters/c", {"n": 10})])
+        db.commit([update_op("counters/c", {"n": increment(5)})])
+        assert db.lookup("counters/c").data["n"] == 15
+
+    def test_increment_creates_field(self, db):
+        db.commit([set_op("counters/c", {})])
+        db.commit([update_op("counters/c", {"n": increment(1)})])
+        assert db.lookup("counters/c").data["n"] == 1
+
+    def test_increment_in_set_uses_old_value(self, db):
+        db.commit([set_op("counters/c", {"n": 7})])
+        db.commit([set_op("counters/c", {"n": increment(1)})])
+        assert db.lookup("counters/c").data["n"] == 8
+
+    def test_array_transforms(self, db):
+        db.commit([set_op("docs/d", {"tags": ["a", "b"]})])
+        db.commit([update_op("docs/d", {"tags": array_union("b", "c")})])
+        assert db.lookup("docs/d").data["tags"] == ["a", "b", "c"]
+        db.commit([update_op("docs/d", {"tags": array_remove("a")})])
+        assert db.lookup("docs/d").data["tags"] == ["b", "c"]
+
+    def test_nested_transform(self, db):
+        db.commit([set_op("docs/d", {"stats": {"views": 1}})])
+        db.commit([update_op("docs/d", {"stats": {"views": increment(1)}})])
+        assert db.lookup("docs/d").data["stats"]["views"] == 2
+
+    def test_transformed_fields_are_indexed(self, db):
+        db.commit([set_op("docs/d", {"n": 0})])
+        db.commit([update_op("docs/d", {"n": increment(41)})])
+        result = db.run_query(db.query("docs").where("n", "==", 41))
+        assert len(result.documents) == 1
+
+    def test_repeated_increments_accumulate(self, db):
+        db.commit([set_op("counters/c", {"n": 0})])
+        for _ in range(5):
+            db.commit([update_op("counters/c", {"n": increment(1)})])
+        assert db.lookup("counters/c").data["n"] == 5
+
+
+class TestClientSideEstimation:
+    def test_offline_increment_estimated_and_reconciled(self, db):
+        db.commit([set_op("counters/c", {"n": 10})])
+        client = MobileClient(db)
+        client.get("counters/c")
+        client.disconnect()
+        client.update("counters/c", {"n": increment(5)})
+        assert client.get("counters/c").data["n"] == 15  # local estimate
+        client.connect()
+        assert db.lookup("counters/c").data["n"] == 15  # server agrees
+
+    def test_offline_array_union_estimated(self, db):
+        db.commit([set_op("docs/d", {"tags": ["a"]})])
+        client = MobileClient(db)
+        client.get("docs/d")
+        client.disconnect()
+        client.update("docs/d", {"tags": array_union("b")})
+        assert client.get("docs/d").data["tags"] == ["a", "b"]
+
+    def test_stacked_offline_increments(self, db):
+        db.commit([set_op("counters/c", {"n": 0})])
+        client = MobileClient(db)
+        client.get("counters/c")
+        client.disconnect()
+        for _ in range(3):
+            client.update("counters/c", {"n": increment(2)})
+        assert client.get("counters/c").data["n"] == 6
+        client.connect()
+        assert db.lookup("counters/c").data["n"] == 6
+
+    def test_server_timestamp_estimate_converges(self, db):
+        service = db.service
+        client = MobileClient(db)
+        client.set("docs/stamped", {"at": SERVER_TIMESTAMP})
+        stored = db.lookup("docs/stamped").data["at"]
+        assert isinstance(stored, Timestamp)

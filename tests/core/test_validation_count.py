@@ -1,0 +1,157 @@
+"""Data validation jobs (section VI) and COUNT queries (section VIII)."""
+
+import pytest
+
+from repro.errors import InternalError
+from repro.core.backend import delete_op, set_op
+from repro.core.firestore import FirestoreService
+from repro.core.layout import ENTITIES, INDEX_ENTRIES, EntityRow
+from repro.core.validation import DataValidator
+
+
+@pytest.fixture
+def db():
+    return FirestoreService().create_database("validation-tests")
+
+
+def seed(db, n=10):
+    for i in range(n):
+        db.commit([set_op(f"r/d{i}", {"n": i, "tag": "x" if i % 2 else "y"})])
+
+
+class TestChecksums:
+    def test_reads_verify_checksums(self, db):
+        db.commit([set_op("r/a", {"v": 1})])
+        assert db.lookup("r/a").exists  # clean read passes
+
+    def test_corrupted_payload_detected_on_lookup(self, db):
+        db.commit([set_op("r/a", {"v": 1})])
+        self._corrupt(db, "r/a")
+        with pytest.raises(InternalError, match="checksum"):
+            db.lookup("r/a")
+
+    def test_corrupted_payload_detected_in_query(self, db):
+        db.commit([set_op("r/a", {"v": 1})])
+        self._corrupt(db, "r/a")
+        with pytest.raises(InternalError, match="checksum"):
+            db.run_query(db.query("r").where("v", "==", 1))
+
+    def _corrupt(self, db, path_str):
+        """Flip a byte of the stored payload, keeping the old checksum."""
+        from repro.core.path import Path
+
+        key = db.layout.entity_key(Path.parse(path_str))
+        spanner = db.layout.spanner
+        ts, row = spanner.snapshot_read_versioned(
+            ENTITIES, key, spanner.current_timestamp()
+        )
+        corrupted = bytearray(row.data)
+        corrupted[-1] ^= 0xFF
+        bad = EntityRow(bytes(corrupted), row.create_ts, checksum=row.checksum)
+        txn = spanner.begin()
+        txn.put(ENTITIES, key, bad)
+        txn.commit()
+
+
+class TestDataValidator:
+    def test_clean_database(self, db):
+        seed(db)
+        report = DataValidator(db.layout, db.registry).run()
+        assert report.is_clean
+        assert report.documents_checked == 10
+        assert report.index_entries_checked == 40  # 2 fields x 2 dirs x 10
+        assert "clean" in report.summary()
+
+    def test_detects_corrupt_document(self, db):
+        seed(db, 3)
+        TestChecksums()._corrupt(db, "r/d1")
+        report = DataValidator(db.layout, db.registry).run()
+        assert report.corrupt_documents == ["r/d1"]
+        assert not report.is_clean
+        assert "PROBLEMS" in report.summary()
+
+    def test_detects_missing_index_entry(self, db):
+        seed(db, 3)
+        # surgically delete one index entry behind the system's back
+        read_ts = db.layout.spanner.current_timestamp()
+        start, end = db.layout.directory_range()
+        victim = next(
+            key
+            for key, _ in db.layout.spanner.snapshot_scan(
+                INDEX_ENTRIES, start, end, read_ts
+            )
+        )
+        txn = db.layout.spanner.begin()
+        txn.delete(INDEX_ENTRIES, victim)
+        txn.commit()
+        report = DataValidator(db.layout, db.registry).run()
+        assert len(report.missing_entries) == 1
+
+    def test_detects_dangling_index_entry(self, db):
+        seed(db, 3)
+        # inject a bogus entry pointing at a deleted document
+        db.commit([delete_op("r/d0")])
+        txn = db.layout.spanner.begin()
+        txn.put(INDEX_ENTRIES, db.layout.index_key(b"\x00\x00\x00\x01bogus"), ("r", "d0"))
+        txn.commit()
+        report = DataValidator(db.layout, db.registry).run()
+        assert len(report.dangling_entries) == 1
+
+    def test_tolerates_inflight_backfill(self, db):
+        seed(db, 5)
+        db.registry.create_composite("r", [("n", "asc"), ("tag", "asc")])
+        # CREATING and not yet backfilled: expected entries are missing
+        # but the validator knows that is legal mid-backfill
+        report = DataValidator(db.layout, db.registry).run()
+        assert report.is_clean
+
+
+class TestCount:
+    def test_count_whole_collection(self, db):
+        seed(db, 10)
+        count, examined = db.backend.run_count(db.query("r"))
+        assert count == 10
+        assert examined >= 10
+
+    def test_count_with_equality(self, db):
+        seed(db, 10)
+        count, _ = db.backend.run_count(db.query("r").where("tag", "==", "x"))
+        assert count == 5
+
+    def test_count_with_inequality(self, db):
+        seed(db, 10)
+        count, _ = db.backend.run_count(db.query("r").where("n", ">=", 7))
+        assert count == 3
+
+    def test_count_zigzag(self, db):
+        seed(db, 10)
+        count, _ = db.backend.run_count(
+            db.query("r").where("tag", "==", "x").where("n", "==", 3)
+        )
+        assert count == 1
+
+    def test_count_respects_limit_and_offset(self, db):
+        seed(db, 10)
+        count, _ = db.backend.run_count(db.query("r").limit_to(4))
+        assert count == 4
+        count, _ = db.backend.run_count(db.query("r").offset_by(8))
+        assert count == 2
+
+    def test_count_examines_without_fetching(self, db):
+        """The billing motivation: counting is index work, not reads."""
+        seed(db, 10)
+        reads_before = db.backend.docs_read
+        count, examined = db.backend.run_count(db.query("r").where("tag", "==", "x"))
+        assert db.backend.docs_read == reads_before  # zero document fetches
+        assert examined == count == 5
+
+    def test_count_empty_result(self, db):
+        seed(db, 3)
+        count, _ = db.backend.run_count(db.query("r").where("tag", "==", "zz"))
+        assert count == 0
+
+    def test_count_work_limit(self, db):
+        seed(db, 10)
+        count, examined = db.backend.run_count(db.query("r"), max_work=3)
+        assert examined <= 4
+        assert count <= 3

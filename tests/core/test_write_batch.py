@@ -1,0 +1,109 @@
+"""WriteBatch and client convenience-API tests."""
+
+import pytest
+
+from repro.errors import AlreadyExists, InvalidArgument, PermissionDenied, Unavailable
+from repro.core.backend import AuthContext, set_op
+from repro.core.firestore import FirestoreService
+from repro.client import MobileClient
+
+
+@pytest.fixture
+def db():
+    return FirestoreService().create_database("batch-tests")
+
+
+class TestWriteBatch:
+    def test_batch_commits_atomically(self, db):
+        outcome = (
+            db.batch()
+            .set("r/a", {"n": 1})
+            .set("r/b", {"n": 2})
+            .update("r/a", {"m": 3})
+            .commit()
+        )
+        assert outcome.write_count == 3
+        assert db.lookup("r/a").data == {"n": 1, "m": 3}
+
+    def test_batch_failure_applies_nothing(self, db):
+        db.commit([set_op("r/existing", {})])
+        batch = db.batch().set("r/new", {"n": 1}).create("r/existing", {})
+        with pytest.raises(AlreadyExists):
+            batch.commit()
+        assert not db.lookup("r/new").exists
+
+    def test_batch_delete(self, db):
+        db.commit([set_op("r/a", {})])
+        db.batch().delete("r/a").commit()
+        assert not db.lookup("r/a").exists
+
+    def test_double_commit_rejected(self, db):
+        batch = db.batch().set("r/a", {})
+        batch.commit()
+        with pytest.raises(InvalidArgument):
+            batch.commit()
+        with pytest.raises(InvalidArgument):
+            batch.set("r/b", {})
+
+    def test_size_cap(self, db):
+        batch = db.batch()
+        for i in range(500):
+            batch.set(f"r/d{i}", {"n": i})
+        with pytest.raises(InvalidArgument):
+            batch.set("r/overflow", {})
+        assert len(batch) == 500
+
+    def test_batch_respects_rules(self, db):
+        db.set_rules(
+            "service cloud.firestore { match /databases/{d}/documents {"
+            " match /r/{id} { allow write: if false; } } }"
+        )
+        with pytest.raises(PermissionDenied):
+            db.batch().set("r/a", {}).commit(auth=AuthContext(uid="alice"))
+
+
+class TestClientGetSource:
+    def test_source_cache_never_hits_server(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        client.get("notes/a")  # warm
+        reads_before = client.server_reads
+        snapshot = client.get("notes/a", source="cache")
+        assert snapshot.from_cache
+        assert client.server_reads == reads_before
+
+    def test_source_cache_miss_fails_even_online(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        with pytest.raises(Unavailable):
+            client.get("notes/a", source="cache")
+
+    def test_source_server_fails_offline(self, db):
+        db.commit([set_op("notes/a", {"v": 1})])
+        client = MobileClient(db)
+        client.get("notes/a")
+        client.disconnect()
+        with pytest.raises(Unavailable):
+            client.get("notes/a", source="server")
+        assert client.get("notes/a").from_cache  # default degrades
+
+    def test_unknown_source_rejected(self, db):
+        client = MobileClient(db)
+        with pytest.raises(InvalidArgument):
+            client.get("notes/a", source="psychic")
+
+
+class TestWaitForPendingWrites:
+    def test_online_waits_until_flushed(self, db):
+        client = MobileClient(db)
+        client.set("notes/a", {"v": 1})
+        assert client.wait_for_pending_writes() is True
+        assert db.lookup("notes/a").exists
+
+    def test_offline_reports_outstanding(self, db):
+        client = MobileClient(db)
+        client.disconnect()
+        client.set("notes/a", {"v": 1})
+        assert client.wait_for_pending_writes() is False
+        client.connect()
+        assert client.wait_for_pending_writes() is True

@@ -1,0 +1,180 @@
+"""Datastore API tests: entity vocabulary over the shared database,
+including cross-API visibility (paper section II)."""
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+from repro.datastore import DatastoreClient, Entity, Key
+
+
+@pytest.fixture
+def db():
+    return FirestoreService().create_database("datastore-tests")
+
+
+@pytest.fixture
+def client(db):
+    return DatastoreClient(db)
+
+
+class TestKeys:
+    def test_flat_path(self):
+        key = Key.of("Restaurant", "one", "Rating", 2)
+        assert key.kind == "Rating"
+        assert key.identifier == "2"
+        assert str(key) == "Restaurant/one/Rating/2"
+
+    def test_parent_chain(self):
+        key = Key.of("Restaurant", "one", "Rating", "2")
+        assert key.parent == Key.of("Restaurant", "one")
+        assert key.parent.parent is None
+
+    def test_child(self):
+        assert Key.of("A", "1").child("B", 2) == Key.of("A", "1", "B", "2")
+
+    def test_document_path_roundtrip(self):
+        key = Key.of("Restaurant", "one")
+        assert str(key.to_document_path()) == "Restaurant/one"
+        assert Key.from_document_path(key.to_document_path()) == key
+
+    def test_invalid_keys(self):
+        with pytest.raises(InvalidArgument):
+            Key(())
+        with pytest.raises(InvalidArgument):
+            Key(("OnlyKind",))
+
+
+class TestEntityCrud:
+    def test_put_get_delete(self, client):
+        entity = Entity(Key.of("Task", "t1"), {"done": False, "priority": 2})
+        client.put(entity)
+        fetched = client.get(entity.key)
+        assert fetched.properties == {"done": False, "priority": 2}
+        assert fetched["priority"] == 2
+        client.delete(entity.key)
+        assert client.get(entity.key) is None
+
+    def test_put_multi_get_multi(self, client):
+        entities = [Entity(Key.of("Task", f"t{i}"), {"n": i}) for i in range(3)]
+        client.put_multi(entities)
+        fetched = client.get_multi([e.key for e in entities] + [Key.of("Task", "nope")])
+        assert [e.properties["n"] for e in fetched[:3]] == [0, 1, 2]
+        assert fetched[3] is None
+
+    def test_entity_mapping_protocol(self):
+        entity = Entity(Key.of("Task", "t"))
+        entity["name"] = "laundry"
+        assert entity["name"] == "laundry"
+        assert entity.get("missing", 42) == 42
+
+    def test_allocate_ids_unique(self, client):
+        keys = client.allocate_ids("Task", 5)
+        assert len({k.identifier for k in keys}) == 5
+        assert all(k.kind == "Task" for k in keys)
+        with pytest.raises(InvalidArgument):
+            client.allocate_ids("Task", 0)
+
+
+class TestQueries:
+    @pytest.fixture(autouse=True)
+    def seed(self, client):
+        for i in range(6):
+            client.put(
+                Entity(
+                    Key.of("Task", f"t{i}"),
+                    {"done": i % 2 == 0, "priority": i},
+                )
+            )
+
+    def test_filter_and_order(self, client):
+        # like production Datastore, a filter + different-field order
+        # needs a composite index (historically via index.yaml)
+        client.database.create_index("Task", [("done", "asc"), ("priority", "desc")])
+        query = client.query("Task").filter("done", "=", True).order("-priority")
+        results = client.run_query(query)
+        assert [e["priority"] for e in results] == [4, 2, 0]
+
+    def test_inequality(self, client):
+        query = client.query("Task").filter("priority", ">=", 4)
+        results = client.run_query(query)
+        assert sorted(e["priority"] for e in results) == [4, 5]
+
+    def test_keys_only(self, client):
+        keys = client.run_query(client.query("Task").select_keys_only().limit_to(2))
+        assert all(isinstance(k, Key) for k in keys)
+        assert len(keys) == 2
+
+    def test_projection(self, client):
+        results = client.run_query(client.query("Task").select("priority").limit_to(1))
+        assert set(results[0].properties) == {"priority"}
+
+    def test_count(self, client):
+        assert client.count(client.query("Task")) == 6
+        assert client.count(client.query("Task").filter("done", "=", True)) == 3
+
+    def test_kindless_rejected(self, client):
+        with pytest.raises(InvalidArgument):
+            client.query("")
+
+
+class TestAncestorQueries:
+    def test_ancestor_scopes_results(self, client):
+        restaurant_one = Key.of("Restaurant", "one")
+        restaurant_two = Key.of("Restaurant", "two")
+        client.put(Entity(restaurant_one.child("Rating", 1), {"stars": 5}))
+        client.put(Entity(restaurant_one.child("Rating", 2), {"stars": 3}))
+        client.put(Entity(restaurant_two.child("Rating", 1), {"stars": 1}))
+        query = client.query("Rating", ancestor=restaurant_one).order("-stars")
+        results = client.run_query(query)
+        assert [e["stars"] for e in results] == [5, 3]
+        assert all(e.key.parent == restaurant_one for e in results)
+
+
+class TestTransactions:
+    def test_entity_transaction(self, client):
+        client.put(Entity(Key.of("Counter", "c"), {"value": 10}))
+
+        def bump(txn):
+            counter = txn.get(Key.of("Counter", "c"))
+            counter["value"] += 1
+            txn.put(counter)
+            return counter["value"]
+
+        assert client.transaction(bump) == 11
+        assert client.get(Key.of("Counter", "c"))["value"] == 11
+
+    def test_transaction_delete(self, client):
+        client.put(Entity(Key.of("Temp", "x"), {"v": 1}))
+        client.transaction(lambda txn: txn.delete(Key.of("Temp", "x")))
+        assert client.get(Key.of("Temp", "x")) is None
+
+
+class TestCrossApiAccess:
+    """The section II promise: one database, two APIs."""
+
+    def test_datastore_write_firestore_read(self, db, client):
+        client.put(Entity(Key.of("Task", "shared"), {"via": "datastore"}))
+        snapshot = db.lookup("Task/shared")
+        assert snapshot.data == {"via": "datastore"}
+
+    def test_firestore_write_datastore_read(self, db, client):
+        db.commit([set_op("Task/shared2", {"via": "firestore"})])
+        entity = client.get(Key.of("Task", "shared2"))
+        assert entity["via"] == "firestore"
+
+    def test_firestore_realtime_sees_datastore_writes(self, db, client):
+        """Real-time queries are exclusive to the Firestore API, but they
+        observe entities written through the Datastore API."""
+        snaps = []
+        db.connect().listen(db.query("Task"), snaps.append)
+        client.put(Entity(Key.of("Task", "live"), {"n": 1}))
+        db.service.clock.advance(100_000)
+        db.pump_realtime()
+        assert [d.path.id for d in snaps[-1].added] == ["live"]
+
+    def test_indexes_shared_across_apis(self, db, client):
+        client.put(Entity(Key.of("Task", "a"), {"priority": 9}))
+        result = db.run_query(db.query("Task").where("priority", "==", 9))
+        assert len(result.documents) == 1

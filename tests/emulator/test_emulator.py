@@ -1,0 +1,314 @@
+"""Emulator tests: the REST wire format over the in-memory database."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.values import GeoPoint, Reference, Timestamp
+from repro.emulator import FirestoreEmulator, decode_value, encode_value
+from repro.emulator.values_json import decode_fields, encode_fields
+
+from tests.core.test_values import firestore_values
+
+BASE = "/v1/projects/demo/databases/(default)/documents"
+
+
+@pytest.fixture
+def emulator():
+    return FirestoreEmulator()
+
+
+class TestValueCodec:
+    def test_scalar_encodings(self):
+        assert encode_value(None) == {"nullValue": None}
+        assert encode_value(True) == {"booleanValue": True}
+        assert encode_value(42) == {"integerValue": "42"}  # int64 as string
+        assert encode_value(2.5) == {"doubleValue": 2.5}
+        assert encode_value("x") == {"stringValue": "x"}
+        assert encode_value(b"\x01") == {"bytesValue": "AQ=="}
+
+    def test_complex_encodings(self):
+        wire = encode_value({"tags": ["a", 1]})
+        assert wire == {
+            "mapValue": {
+                "fields": {
+                    "tags": {
+                        "arrayValue": {
+                            "values": [{"stringValue": "a"}, {"integerValue": "1"}]
+                        }
+                    }
+                }
+            }
+        }
+        geo = encode_value(GeoPoint(1.5, -2.5))
+        assert geo == {"geoPointValue": {"latitude": 1.5, "longitude": -2.5}}
+        ref = encode_value(Reference("restaurants/one"))
+        assert ref == {"referenceValue": "restaurants/one"}
+
+    def test_timestamp_rfc3339_roundtrip(self):
+        ts = Timestamp(1_700_000_000_123_456)
+        wire = encode_value(ts)
+        assert wire["timestampValue"].endswith("Z")
+        assert decode_value(wire) == ts
+
+    def test_malformed_value_rejected(self):
+        from repro.errors import InvalidArgument
+
+        with pytest.raises(InvalidArgument):
+            decode_value({"a": 1, "b": 2})
+        with pytest.raises(InvalidArgument):
+            decode_value({"mysteryValue": 1})
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=firestore_values())
+    def test_property_roundtrip(self, value):
+        from repro.core.values import values_equal
+
+        decoded = decode_value(encode_value(value))
+        assert values_equal(decoded, value) or decoded == value
+
+
+class TestDocumentCrud:
+    def test_patch_then_get(self, emulator):
+        response = emulator.handle(
+            "PATCH",
+            f"{BASE}/restaurants/one",
+            {"fields": encode_fields({"name": "BP", "rating": 4.5})},
+        )
+        assert response.ok
+        assert response.body["name"].endswith("documents/restaurants/one")
+        got = emulator.handle("GET", f"{BASE}/restaurants/one")
+        assert got.ok
+        assert decode_fields(got.body["fields"]) == {"name": "BP", "rating": 4.5}
+        assert "createTime" in got.body and "updateTime" in got.body
+
+    def test_get_missing_404(self, emulator):
+        response = emulator.handle("GET", f"{BASE}/restaurants/ghost")
+        assert response.status == 404
+        assert response.body["error"]["status"] == "NOT_FOUND"
+
+    def test_patch_with_update_mask_merges(self, emulator):
+        emulator.handle(
+            "PATCH", f"{BASE}/r/a", {"fields": encode_fields({"x": 1, "y": 2})}
+        )
+        emulator.handle(
+            "PATCH",
+            f"{BASE}/r/a?updateMask.fieldPaths=x&updateMask.fieldPaths=gone",
+            {"fields": encode_fields({"x": 10})},
+        )
+        got = emulator.handle("GET", f"{BASE}/r/a")
+        assert decode_fields(got.body["fields"]) == {"x": 10, "y": 2}
+
+    def test_post_creates_with_auto_id(self, emulator):
+        response = emulator.handle(
+            "POST", f"{BASE}/notes", {"fields": encode_fields({"t": "hi"})}
+        )
+        assert response.ok
+        name = response.body["name"]
+        assert "/documents/notes/auto" in name
+
+    def test_post_with_explicit_id_conflicts(self, emulator):
+        emulator.handle(
+            "POST", f"{BASE}/notes?documentId=n1", {"fields": {}}
+        )
+        duplicate = emulator.handle(
+            "POST", f"{BASE}/notes?documentId=n1", {"fields": {}}
+        )
+        assert duplicate.status == 409
+
+    def test_delete(self, emulator):
+        emulator.handle("PATCH", f"{BASE}/r/a", {"fields": {}})
+        assert emulator.handle("DELETE", f"{BASE}/r/a").ok
+        assert emulator.handle("GET", f"{BASE}/r/a").status == 404
+
+    def test_databases_auto_created_and_isolated(self, emulator):
+        other = "/v1/projects/other/databases/(default)/documents"
+        emulator.handle("PATCH", f"{BASE}/r/a", {"fields": {}})
+        assert emulator.handle("GET", f"{other}/r/a").status == 404
+
+
+class TestCommit:
+    def test_atomic_multi_write(self, emulator):
+        prefix = "projects/demo/databases/(default)/documents"
+        response = emulator.handle(
+            "POST",
+            f"{BASE}:commit",
+            {
+                "writes": [
+                    {"update": {"name": f"{prefix}/r/a",
+                                "fields": encode_fields({"n": 1})}},
+                    {"update": {"name": f"{prefix}/r/b",
+                                "fields": encode_fields({"n": 2})}},
+                ]
+            },
+        )
+        assert response.ok
+        assert len(response.body["writeResults"]) == 2
+        assert emulator.handle("GET", f"{BASE}/r/b").ok
+
+    def test_commit_with_update_mask(self, emulator):
+        prefix = "projects/demo/databases/(default)/documents"
+        emulator.handle(
+            "PATCH", f"{BASE}/r/a", {"fields": encode_fields({"x": 1, "y": 2})}
+        )
+        emulator.handle(
+            "POST",
+            f"{BASE}:commit",
+            {
+                "writes": [
+                    {
+                        "update": {"name": f"{prefix}/r/a",
+                                   "fields": encode_fields({"x": 9})},
+                        "updateMask": {"fieldPaths": ["x"]},
+                    }
+                ]
+            },
+        )
+        got = emulator.handle("GET", f"{BASE}/r/a")
+        assert decode_fields(got.body["fields"]) == {"x": 9, "y": 2}
+
+    def test_commit_delete(self, emulator):
+        prefix = "projects/demo/databases/(default)/documents"
+        emulator.handle("PATCH", f"{BASE}/r/a", {"fields": {}})
+        emulator.handle(
+            "POST", f"{BASE}:commit", {"writes": [{"delete": f"{prefix}/r/a"}]}
+        )
+        assert emulator.handle("GET", f"{BASE}/r/a").status == 404
+
+
+class TestRunQuery:
+    @pytest.fixture
+    def seeded(self, emulator):
+        rows = [
+            ("one", {"city": "SF", "rating": 4.5}),
+            ("two", {"city": "SF", "rating": 4.8}),
+            ("three", {"city": "NY", "rating": 3.9}),
+        ]
+        for doc_id, data in rows:
+            emulator.handle(
+                "PATCH", f"{BASE}/restaurants/{doc_id}",
+                {"fields": encode_fields(data)},
+            )
+        return emulator
+
+    def _query(self, seeded, structured):
+        return seeded.handle(
+            "POST",
+            f"{BASE}:runQuery",
+            {
+                "parent": "projects/demo/databases/(default)/documents",
+                "structuredQuery": structured,
+            },
+        )
+
+    def test_filtered_query(self, seeded):
+        response = self._query(
+            seeded,
+            {
+                "from": [{"collectionId": "restaurants"}],
+                "where": {
+                    "fieldFilter": {
+                        "field": {"fieldPath": "city"},
+                        "op": "EQUAL",
+                        "value": {"stringValue": "SF"},
+                    }
+                },
+            },
+        )
+        assert response.ok
+        names = [r["document"]["name"].rsplit("/", 1)[1] for r in response.body]
+        assert names == ["one", "two"]
+
+    def test_composite_and_order(self, seeded):
+        response = self._query(
+            seeded,
+            {
+                "from": [{"collectionId": "restaurants"}],
+                "where": {
+                    "compositeFilter": {
+                        "op": "AND",
+                        "filters": [
+                            {
+                                "fieldFilter": {
+                                    "field": {"fieldPath": "rating"},
+                                    "op": "GREATER_THAN",
+                                    "value": {"doubleValue": 4.0},
+                                }
+                            }
+                        ],
+                    }
+                },
+                "orderBy": [
+                    {"field": {"fieldPath": "rating"}, "direction": "DESCENDING"}
+                ],
+                "limit": 1,
+            },
+        )
+        names = [r["document"]["name"].rsplit("/", 1)[1] for r in response.body]
+        assert names == ["two"]
+
+    def test_empty_result_still_reports_read_time(self, seeded):
+        response = self._query(
+            seeded,
+            {
+                "from": [{"collectionId": "restaurants"}],
+                "where": {
+                    "fieldFilter": {
+                        "field": {"fieldPath": "city"},
+                        "op": "EQUAL",
+                        "value": {"stringValue": "Tokyo"},
+                    }
+                },
+            },
+        )
+        assert response.ok
+        assert response.body == [{"readTime": response.body[0]["readTime"]}]
+
+    def test_aggregation_count(self, seeded):
+        response = seeded.handle(
+            "POST",
+            f"{BASE}:runAggregationQuery",
+            {
+                "parent": "projects/demo/databases/(default)/documents",
+                "structuredAggregationQuery": {
+                    "structuredQuery": {"from": [{"collectionId": "restaurants"}]}
+                },
+            },
+        )
+        assert response.ok
+        count = response.body[0]["result"]["aggregateFields"]["count"]["integerValue"]
+        assert count == "3"
+
+
+class TestHttpServer:
+    def test_real_http_roundtrip(self):
+        import json
+        import threading
+        import urllib.request
+
+        from repro.emulator import serve
+
+        server = serve(port=0)  # ephemeral port
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{port}{BASE}/notes/n1"
+            request = urllib.request.Request(
+                url,
+                data=json.dumps(
+                    {"fields": {"text": {"stringValue": "hello"}}}
+                ).encode(),
+                method="PATCH",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                body = json.loads(response.read())
+            assert body["fields"]["text"] == {"stringValue": "hello"}
+            with urllib.request.urlopen(url) as response:
+                fetched = json.loads(response.read())
+            assert fetched["fields"]["text"]["stringValue"] == "hello"
+        finally:
+            server.shutdown()
+            server.server_close()

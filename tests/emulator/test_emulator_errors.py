@@ -1,0 +1,100 @@
+"""Emulator error mapping and malformed-request handling."""
+
+import pytest
+
+from repro.emulator import FirestoreEmulator
+from repro.emulator.values_json import encode_fields
+
+BASE = "/v1/projects/demo/databases/(default)/documents"
+
+
+@pytest.fixture
+def emulator():
+    return FirestoreEmulator()
+
+
+def test_bad_resource_path_400(emulator):
+    response = emulator.handle("GET", "/v1/not/a/resource")
+    assert response.status == 400
+    assert response.body["error"]["status"] == "INVALID_ARGUMENT"
+
+
+def test_unsupported_method_400(emulator):
+    response = emulator.handle("PUT", f"{BASE}/r/a", {})
+    assert response.status == 400
+
+
+def test_missing_document_path_400(emulator):
+    response = emulator.handle("GET", f"{BASE}/")
+    assert response.status == 400
+
+
+def test_oversized_document_400(emulator):
+    response = emulator.handle(
+        "PATCH", f"{BASE}/r/big", {"fields": encode_fields({"b": "x" * (1 << 20)})}
+    )
+    assert response.status == 400
+
+
+def test_empty_commit_400(emulator):
+    response = emulator.handle("POST", f"{BASE}:commit", {"writes": []})
+    assert response.status == 400
+
+
+def test_unsupported_write_shape_400(emulator):
+    response = emulator.handle(
+        "POST", f"{BASE}:commit", {"writes": [{"transform": {}}]}
+    )
+    assert response.status == 400
+
+
+def test_run_query_requires_structured_query(emulator):
+    response = emulator.handle("POST", f"{BASE}:runQuery", {})
+    assert response.status == 400
+
+
+def test_run_query_rejects_or_composites(emulator):
+    response = emulator.handle(
+        "POST",
+        f"{BASE}:runQuery",
+        {
+            "parent": "projects/demo/databases/(default)/documents",
+            "structuredQuery": {
+                "from": [{"collectionId": "r"}],
+                "where": {"compositeFilter": {"op": "OR", "filters": []}},
+            },
+        },
+    )
+    assert response.status == 400
+
+
+def test_needs_index_maps_to_400(emulator):
+    emulator.handle("PATCH", f"{BASE}/r/a", {"fields": encode_fields({"a": 1, "b": 2})})
+    response = emulator.handle(
+        "POST",
+        f"{BASE}:runQuery",
+        {
+            "parent": "projects/demo/databases/(default)/documents",
+            "structuredQuery": {
+                "from": [{"collectionId": "r"}],
+                "where": {
+                    "fieldFilter": {
+                        "field": {"fieldPath": "a"},
+                        "op": "EQUAL",
+                        "value": {"integerValue": "1"},
+                    }
+                },
+                "orderBy": [{"field": {"fieldPath": "b"}}],
+            },
+        },
+    )
+    assert response.status == 400
+    assert response.body["error"]["status"] == "FAILED_PRECONDITION"
+    assert "index" in response.body["error"]["message"]
+
+
+def test_error_body_shape(emulator):
+    response = emulator.handle("GET", f"{BASE}/r/missing")
+    error = response.body["error"]
+    assert set(error) == {"code", "status", "message"}
+    assert error["code"] == 404

@@ -1,0 +1,140 @@
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.core.path import Path
+from repro.realtime.changelog import ACCEPT_TIMEOUT_MARGIN_US, Changelog
+from repro.realtime.protocol import DocumentChange, WriteOutcome
+from repro.realtime.ranges import RangeOwnership
+
+
+@pytest.fixture
+def clock():
+    return SimClock(1_000_000)
+
+
+@pytest.fixture
+def ownership():
+    return RangeOwnership()
+
+
+@pytest.fixture
+def changelog(ownership, clock):
+    return Changelog(ownership, clock)
+
+
+def change(path="docs/a", commit_ts=0):
+    return DocumentChange(Path.parse(path), None, {"v": 1}, commit_ts)
+
+
+def whole_range(ownership):
+    return ownership.ranges[0]
+
+
+class TestPrepareAccept:
+    def test_min_ts_above_watermark(self, changelog, ownership, clock):
+        handle = changelog.prepare([whole_range(ownership)], clock.now_us + 10_000)
+        assert handle.min_commit_ts > changelog.watermark_of(whole_range(ownership)) - 1
+
+    def test_committed_changes_flow_in_order(self, changelog, ownership, clock):
+        delivered = []
+        changelog.on_change = lambda r, c: delivered.append(c.commit_ts)
+        r = whole_range(ownership)
+        h1 = changelog.prepare([r], clock.now_us + 50_000)
+        h2 = changelog.prepare([r], clock.now_us + 50_000)
+        ts2 = clock.now_us + 20  # h2 commits first at a later ts
+        ts1 = clock.now_us + 10
+        changelog.accept([r], h2, WriteOutcome.COMMITTED, ts2, [change(commit_ts=ts2)])
+        assert delivered == []  # h1 still outstanding: prefix incomplete
+        changelog.accept([r], h1, WriteOutcome.COMMITTED, ts1, [change(commit_ts=ts1)])
+        assert delivered == [ts1, ts2]  # flushed in timestamp order
+
+    def test_watermark_advances_after_accepts(self, changelog, ownership, clock):
+        r = whole_range(ownership)
+        handle = changelog.prepare([r], clock.now_us + 50_000)
+        ts = clock.now_us + 10
+        changelog.accept([r], handle, WriteOutcome.COMMITTED, ts, [change(commit_ts=ts)])
+        assert changelog.watermark_of(r) >= ts
+
+    def test_failed_write_drops_changes(self, changelog, ownership, clock):
+        delivered = []
+        changelog.on_change = lambda r, c: delivered.append(c)
+        r = whole_range(ownership)
+        handle = changelog.prepare([r], clock.now_us + 50_000)
+        changelog.accept([r], handle, WriteOutcome.FAILED, 0, [])
+        assert delivered == []
+        assert not changelog.is_out_of_sync(r)
+
+    def test_unknown_outcome_marks_out_of_sync(self, changelog, ownership, clock):
+        resets = []
+        changelog.on_out_of_sync = resets.append
+        r = whole_range(ownership)
+        handle = changelog.prepare([r], clock.now_us + 50_000)
+        changelog.accept([r], handle, WriteOutcome.UNKNOWN, 0, [])
+        assert changelog.is_out_of_sync(r)
+        assert resets == [r]
+
+    def test_out_of_sync_discards_buffered_mutations(self, changelog, ownership, clock):
+        delivered = []
+        changelog.on_change = lambda r, c: delivered.append(c)
+        r = whole_range(ownership)
+        h1 = changelog.prepare([r], clock.now_us + 50_000)
+        h2 = changelog.prepare([r], clock.now_us + 50_000)
+        ts = clock.now_us + 20
+        changelog.accept([r], h2, WriteOutcome.COMMITTED, ts, [change(commit_ts=ts)])
+        changelog.accept([r], h1, WriteOutcome.UNKNOWN, 0, [])
+        assert delivered == []  # buffered change discarded, never delivered
+
+
+class TestHeartbeats:
+    def test_idle_range_heartbeats_advance_watermark(self, changelog, ownership, clock):
+        beats = []
+        changelog.on_heartbeat = lambda r, ts: beats.append(ts)
+        # ranges materialize lazily; touch one via a prepare+accept
+        r = whole_range(ownership)
+        h = changelog.prepare([r], clock.now_us + 1000)
+        changelog.accept([r], h, WriteOutcome.FAILED, 0, [])
+        clock.advance(5_000)
+        changelog.pump()
+        assert beats and beats[-1] == clock.now_us
+
+    def test_heartbeat_blocked_by_outstanding_prepare(self, changelog, ownership, clock):
+        r = whole_range(ownership)
+        handle = changelog.prepare([r], clock.now_us + 100_000)
+        clock.advance(50_000)
+        changelog.pump()
+        assert changelog.watermark_of(r) < handle.min_commit_ts
+
+    def test_expired_prepare_times_out_to_out_of_sync(self, changelog, ownership, clock):
+        r = whole_range(ownership)
+        changelog.prepare([r], clock.now_us + 10_000)
+        clock.advance(10_000 + ACCEPT_TIMEOUT_MARGIN_US + 1)
+        changelog.pump()
+        assert changelog.is_out_of_sync(r)
+        assert changelog.timeouts == 1
+
+
+class TestResync:
+    def test_resync_restores_flow(self, changelog, ownership, clock):
+        delivered = []
+        changelog.on_change = lambda r, c: delivered.append(c.commit_ts)
+        r = whole_range(ownership)
+        handle = changelog.prepare([r], clock.now_us + 50_000)
+        changelog.accept([r], handle, WriteOutcome.UNKNOWN, 0, [])
+        changelog.resync(r)
+        assert not changelog.is_out_of_sync(r)
+        clock.advance(10_000)
+        h2 = changelog.prepare([r], clock.now_us + 50_000)
+        ts = clock.now_us + 10
+        changelog.accept([r], h2, WriteOutcome.COMMITTED, ts, [change(commit_ts=ts)])
+        assert delivered == [ts]
+
+    def test_commits_while_out_of_sync_dropped(self, changelog, ownership, clock):
+        delivered = []
+        changelog.on_change = lambda r, c: delivered.append(c)
+        r = whole_range(ownership)
+        bad = changelog.prepare([r], clock.now_us + 50_000)
+        good = changelog.prepare([r], clock.now_us + 50_000)
+        changelog.accept([r], bad, WriteOutcome.UNKNOWN, 0, [])
+        ts = clock.now_us + 10
+        changelog.accept([r], good, WriteOutcome.COMMITTED, ts, [change(commit_ts=ts)])
+        assert delivered == []  # dropped: listeners will re-query

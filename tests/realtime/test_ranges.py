@@ -1,0 +1,79 @@
+from repro.core.path import Path
+from repro.realtime.ranges import NameRange, RangeOwnership
+
+
+def test_initial_single_range_covers_everything():
+    ownership = RangeOwnership()
+    assert len(ownership.ranges) == 1
+    assert ownership.owner_of(Path.parse("a/b")).range_id
+    assert ownership.owner_of(Path.parse("zzz/999")).range_id
+
+
+def test_split_partitions_ownership():
+    ownership = RangeOwnership()
+    ownership.split(Path.parse("m/doc"))
+    assert len(ownership.ranges) == 2
+    low = ownership.owner_of(Path.parse("a/a"))
+    high = ownership.owner_of(Path.parse("z/z"))
+    assert low.range_id != high.range_id
+    # the split point itself belongs to the right half
+    assert ownership.owner_of(Path.parse("m/doc")).range_id == high.range_id
+
+
+def test_split_notifies_reassignment():
+    ownership = RangeOwnership()
+    events = []
+    ownership.on_reassign = lambda old, new: events.append((old, new))
+    ownership.split(Path.parse("m/doc"))
+    assert len(events) == 1
+    old, new = events[0]
+    assert len(new) == 2
+    assert new[0].start == old.start
+    assert new[1].end == old.end
+
+
+def test_ranges_for_paths_deduplicates():
+    ownership = RangeOwnership()
+    ownership.split(Path.parse("m/doc"))
+    ranges = ownership.ranges_for_paths(
+        [Path.parse("a/1"), Path.parse("a/2"), Path.parse("z/1")]
+    )
+    assert len(ranges) == 2
+
+
+def test_collection_span_contains_only_collection_docs():
+    start, end = RangeOwnership.collection_span(Path.parse("restaurants"))
+    inside = RangeOwnership.key_for(Path.parse("restaurants/one"))
+    nested = RangeOwnership.key_for(Path.parse("restaurants/one/ratings/2"))
+    outside = RangeOwnership.key_for(Path.parse("zoo/one"))
+    assert start <= inside < end
+    assert start <= nested < end  # descendants share the span
+    assert not (start <= outside < end)
+
+
+def test_ranges_for_collection_after_splits():
+    ownership = RangeOwnership()
+    ownership.split(Path.parse("restaurants/m"))
+    ownership.split(Path.parse("zoo/a"))
+    covering = ownership.ranges_for_collection(Path.parse("restaurants"))
+    assert len(covering) == 2  # restaurant docs straddle the first split
+    keys = [RangeOwnership.key_for(Path.parse(f"restaurants/{c}")) for c in "az"]
+    for key in keys:
+        assert any(r.covers(key) for r in covering)
+
+
+def test_name_range_covers():
+    name_range = NameRange(1, b"b", b"m")
+    assert not name_range.covers(b"a")
+    assert name_range.covers(b"b")
+    assert not name_range.covers(b"m")
+    unbounded = NameRange(2, b"", None)
+    assert unbounded.covers(b"\xff\xff")
+
+
+def test_name_range_overlaps():
+    name_range = NameRange(1, b"b", b"m")
+    assert name_range.overlaps(b"a", b"c")
+    assert name_range.overlaps(b"l", None)
+    assert not name_range.overlaps(b"m", None)
+    assert not name_range.overlaps(b"", b"b")

@@ -1,0 +1,338 @@
+"""Rules evaluation semantics, including the paper's Figure 3 ruleset."""
+
+import pytest
+
+from repro.errors import PermissionDenied
+from repro.core.backend import AuthContext
+from repro.core.document import Document
+from repro.core.path import Path
+from repro.rules import compile_rules
+
+
+class FakeReader:
+    """In-memory document source for get()/exists()."""
+
+    def __init__(self, docs: dict[str, dict]):
+        self.docs = docs
+        self.lookups: list[str] = []
+
+    def get(self, path: Path):
+        self.lookups.append(str(path))
+        data = self.docs.get(str(path))
+        if data is None:
+            return None
+        return Document(path, data, 1, 1)
+
+    def exists(self, path: Path) -> bool:
+        return self.get(path) is not None
+
+
+def allows(engine, method, path, auth=None, resource=None, new_resource=None, reader=None):
+    doc_path = Path.parse(path)
+    resource_doc = (
+        Document(doc_path, resource, 1, 1) if resource is not None else None
+    )
+    new_doc = (
+        Document(doc_path, new_resource, 1, 1) if new_resource is not None else None
+    )
+    return engine.allows(
+        method, doc_path, auth, resource_doc, new_doc,
+        reader if reader is not None else FakeReader({}),
+    )
+
+
+ALICE = AuthContext(uid="alice")
+ANON = AuthContext(uid=None)
+
+
+FIG3_RULES = """
+service cloud.firestore {
+  match /databases/{database}/documents {
+    match /restaurants/{restaurantId} {
+      allow read: if true;
+      match /ratings/{ratingId} {
+        allow read: if request.auth != null;
+        allow create: if request.auth != null
+                      && request.resource.data.userId == request.auth.uid;
+      }
+    }
+  }
+}
+"""
+
+
+class TestFigure3:
+    @pytest.fixture
+    def engine(self):
+        return compile_rules(FIG3_RULES)
+
+    def test_anyone_reads_restaurants(self, engine):
+        assert allows(engine, "get", "restaurants/one", auth=ANON)
+        assert allows(engine, "list", "restaurants/one", auth=ALICE)
+
+    def test_nobody_writes_restaurants(self, engine):
+        assert not allows(engine, "create", "restaurants/one", auth=ALICE,
+                          new_resource={"x": 1})
+
+    def test_only_authenticated_read_ratings(self, engine):
+        assert allows(engine, "get", "restaurants/one/ratings/2", auth=ALICE)
+        assert not allows(engine, "get", "restaurants/one/ratings/2", auth=ANON)
+
+    def test_create_rating_requires_own_uid(self, engine):
+        assert allows(
+            engine, "create", "restaurants/one/ratings/2",
+            auth=ALICE, new_resource={"userId": "alice", "rating": 5},
+        )
+        assert not allows(
+            engine, "create", "restaurants/one/ratings/2",
+            auth=ALICE, new_resource={"userId": "bob", "rating": 1},
+        )
+
+    def test_updates_and_deletes_denied(self, engine):
+        assert not allows(
+            engine, "update", "restaurants/one/ratings/2",
+            auth=ALICE, resource={"userId": "alice"},
+            new_resource={"userId": "alice"},
+        )
+        assert not allows(
+            engine, "delete", "restaurants/one/ratings/2",
+            auth=ALICE, resource={"userId": "alice"},
+        )
+
+    def test_unmatched_paths_denied(self, engine):
+        assert not allows(engine, "get", "secrets/s1", auth=ALICE)
+
+    def test_authorize_raises(self, engine):
+        with pytest.raises(PermissionDenied):
+            engine.authorize(
+                "delete", Path.parse("restaurants/one"), ALICE, None, None, FakeReader({})
+            )
+
+
+class TestMatching:
+    def test_glob_matches_any_depth(self):
+        engine = compile_rules(
+            "service cloud.firestore { match /databases/{d}/documents {"
+            " match /{document=**} { allow read: if true; } } }"
+        )
+        assert allows(engine, "get", "a/b", auth=ANON)
+        assert allows(engine, "get", "a/b/c/d/e/f", auth=ANON)
+
+    def test_glob_binding_value(self):
+        engine = compile_rules(
+            "service cloud.firestore { match /databases/{d}/documents {"
+            " match /{path=**} { allow read: if path == 'a/b/c/d'; } } }"
+        )
+        assert allows(engine, "get", "a/b/c/d", auth=ANON)
+        assert not allows(engine, "get", "a/b", auth=ANON)
+
+    def test_capture_bindings_usable_in_conditions(self):
+        engine = compile_rules(
+            "service cloud.firestore { match /databases/{d}/documents {"
+            " match /users/{userId} { allow write: if userId == request.auth.uid; } } }"
+        )
+        assert allows(engine, "update", "users/alice", auth=ALICE,
+                      resource={}, new_resource={})
+        assert not allows(engine, "update", "users/bob", auth=ALICE,
+                          resource={}, new_resource={})
+
+    def test_multiple_match_chains_any_allows(self):
+        engine = compile_rules(
+            """
+            service cloud.firestore {
+              match /databases/{d}/documents {
+                match /docs/{id} { allow read: if false; }
+                match /docs/{id} { allow read: if true; }
+              }
+            }
+            """
+        )
+        assert allows(engine, "get", "docs/x", auth=ANON)
+
+    def test_rules_do_not_cascade_to_children(self):
+        engine = compile_rules(
+            "service cloud.firestore { match /databases/{d}/documents {"
+            " match /docs/{id} { allow read: if true; } } }"
+        )
+        assert not allows(engine, "get", "docs/x/sub/y", auth=ANON)
+
+    def test_wrong_service_ignored(self):
+        engine = compile_rules(
+            "service firebase.storage { match /{f=**} { allow read; } }"
+        )
+        assert not allows(engine, "get", "docs/x", auth=ANON)
+
+
+class TestExpressions:
+    def _engine(self, condition: str):
+        return compile_rules(
+            "service cloud.firestore { match /databases/{d}/documents {"
+            f" match /docs/{{id}} {{ allow write: if {condition}; }} }} }}"
+        )
+
+    def check(self, condition, auth=ALICE, new_resource=None, reader=None):
+        return allows(
+            self._engine(condition), "update", "docs/x",
+            auth=auth, resource={}, new_resource=new_resource or {}, reader=reader,
+        )
+
+    def test_comparisons(self):
+        assert self.check("request.resource.data.n > 3", new_resource={"n": 5})
+        assert not self.check("request.resource.data.n > 3", new_resource={"n": 2})
+        assert self.check("'abc' < 'abd'")
+
+    def test_missing_field_denies(self):
+        assert not self.check("request.resource.data.missing == 1", new_resource={})
+
+    def test_error_never_grants_via_or(self):
+        assert self.check("request.resource.data.missing == 1 || true", new_resource={})
+
+    def test_non_boolean_condition_denies(self):
+        assert not self.check("1 + 1")
+
+    def test_in_operator(self):
+        assert self.check("request.auth.uid in ['alice', 'bob']")
+        assert self.check("'k' in request.resource.data", new_resource={"k": 1})
+        assert not self.check("'z' in request.resource.data", new_resource={"k": 1})
+
+    def test_is_operator(self):
+        assert self.check("request.resource.data.n is 'int'", new_resource={"n": 1})
+        assert self.check("request.resource.data.n is 'number'", new_resource={"n": 1.5})
+        assert not self.check("request.resource.data.n is 'string'", new_resource={"n": 1})
+        assert self.check("request.resource.data.m is 'map'", new_resource={"m": {}})
+
+    def test_arithmetic(self):
+        assert self.check("1 + 2 * 3 == 7")
+        assert self.check("10 % 3 == 1")
+        assert self.check("7 / 2 == 3.5")
+        assert not self.check("1 / 0 == 0")  # division by zero denies
+
+    def test_string_methods(self):
+        assert self.check("request.resource.data.s.size() == 3", new_resource={"s": "abc"})
+        assert self.check("'ABC'.lower() == 'abc'")
+        assert self.check("'a-b'.split('-')[1] == 'b'")
+        assert self.check("'user123'.matches('user[0-9]+')")
+
+    def test_collection_methods(self):
+        assert self.check(
+            "request.resource.data.keys().hasAll(['a', 'b'])",
+            new_resource={"a": 1, "b": 2, "c": 3},
+        )
+        assert self.check(
+            "request.resource.data.tags.hasAny(['x'])", new_resource={"tags": ["x", "y"]}
+        )
+
+    def test_unary_and_not(self):
+        assert self.check("!(1 > 2)")
+        assert self.check("-request.resource.data.n == 5", new_resource={"n": -5})
+
+    def test_anonymous_auth_is_null(self):
+        assert self.check("request.auth == null", auth=ANON)
+        assert not self.check("request.auth == null", auth=ALICE)
+
+    def test_auth_token_claims(self):
+        admin = AuthContext(uid="root", token={"admin": True})
+        assert allows(
+            self._engine("request.auth.token.admin == true"),
+            "update", "docs/x", auth=admin, resource={}, new_resource={},
+        )
+
+
+class TestLookups:
+    def test_get_reads_other_documents(self):
+        engine = compile_rules(
+            """
+            service cloud.firestore {
+              match /databases/{database}/documents {
+                match /docs/{id} {
+                  allow write: if get(/databases/$(database)/documents/roles/$(request.auth.uid)).data.role == 'editor';
+                }
+              }
+            }
+            """
+        )
+        reader = FakeReader({"roles/alice": {"role": "editor"}})
+        assert allows(engine, "update", "docs/x", auth=ALICE,
+                      resource={}, new_resource={}, reader=reader)
+        assert reader.lookups == ["roles/alice"]
+        reader_bad = FakeReader({"roles/alice": {"role": "viewer"}})
+        assert not allows(engine, "update", "docs/x", auth=ALICE,
+                          resource={}, new_resource={}, reader=reader_bad)
+
+    def test_get_of_missing_document_denies(self):
+        engine = compile_rules(
+            """
+            service cloud.firestore {
+              match /databases/{d}/documents {
+                match /docs/{id} {
+                  allow write: if get(/databases/$(d)/documents/acl/x).data.ok == true;
+                }
+              }
+            }
+            """
+        )
+        assert not allows(engine, "update", "docs/x", auth=ALICE,
+                          resource={}, new_resource={}, reader=FakeReader({}))
+
+    def test_exists(self):
+        engine = compile_rules(
+            """
+            service cloud.firestore {
+              match /databases/{d}/documents {
+                match /docs/{id} {
+                  allow read: if exists(/databases/$(d)/documents/allow/$(request.auth.uid));
+                }
+              }
+            }
+            """
+        )
+        reader = FakeReader({"allow/alice": {}})
+        assert allows(engine, "get", "docs/x", auth=ALICE, reader=reader)
+        assert not allows(engine, "get", "docs/x", auth=AuthContext(uid="mallory"),
+                          reader=reader)
+
+
+class TestFunctions:
+    def test_user_defined_function(self):
+        engine = compile_rules(
+            """
+            service cloud.firestore {
+              match /databases/{d}/documents {
+                function isOwner(uid) { return request.auth.uid == uid; }
+                match /users/{userId} {
+                  allow write: if isOwner(userId);
+                }
+              }
+            }
+            """
+        )
+        assert allows(engine, "update", "users/alice", auth=ALICE,
+                      resource={}, new_resource={})
+        assert not allows(engine, "update", "users/bob", auth=ALICE,
+                          resource={}, new_resource={})
+
+    def test_recursion_depth_capped(self):
+        engine = compile_rules(
+            """
+            service cloud.firestore {
+              match /databases/{d}/documents {
+                function loop(x) { return loop(x); }
+                match /docs/{id} { allow read: if loop(1); }
+              }
+            }
+            """
+        )
+        assert not allows(engine, "get", "docs/x", auth=ALICE)
+
+    def test_wrong_arity_denies(self):
+        engine = compile_rules(
+            """
+            service cloud.firestore {
+              match /databases/{d}/documents {
+                function two(a, b) { return true; }
+                match /docs/{id} { allow read: if two(1); }
+              }
+            }
+            """
+        )
+        assert not allows(engine, "get", "docs/x", auth=ALICE)

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.errors import RulesSyntaxError
+from repro.rules.lexer import Token, TokenType, tokenize
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_keywords_vs_identifiers():
+    tokens = kinds("service match allow custom_name")
+    assert tokens == [
+        (TokenType.KEYWORD, "service"),
+        (TokenType.KEYWORD, "match"),
+        (TokenType.KEYWORD, "allow"),
+        (TokenType.IDENT, "custom_name"),
+    ]
+
+
+def test_string_literals_both_quotes():
+    assert kinds("'abc' \"def\"") == [
+        (TokenType.STRING, "abc"),
+        (TokenType.STRING, "def"),
+    ]
+
+
+def test_string_escapes():
+    assert kinds(r"'a\'b'") == [(TokenType.STRING, "a'b")]
+
+
+def test_unterminated_string():
+    with pytest.raises(RulesSyntaxError):
+        tokenize("'abc")
+    with pytest.raises(RulesSyntaxError):
+        tokenize("'abc\ndef'")
+
+
+def test_numbers():
+    assert kinds("42 3.14") == [
+        (TokenType.NUMBER, "42"),
+        (TokenType.NUMBER, "3.14"),
+    ]
+
+
+def test_operators_maximal_munch():
+    values = [t.value for t in tokenize("== != <= >= && || = < > !")[:-1]]
+    assert values == ["==", "!=", "<=", ">=", "&&", "||", "=", "<", ">", "!"]
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment here\nb") == [
+        (TokenType.IDENT, "a"),
+        (TokenType.IDENT, "b"),
+    ]
+
+
+def test_block_comments_skipped():
+    assert kinds("a /* multi\nline */ b") == [
+        (TokenType.IDENT, "a"),
+        (TokenType.IDENT, "b"),
+    ]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(RulesSyntaxError):
+        tokenize("/* oops")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1 and tokens[0].column == 1
+    assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+def test_unexpected_character():
+    with pytest.raises(RulesSyntaxError) as excinfo:
+        tokenize("a @ b")
+    assert "@" in str(excinfo.value)
+
+
+def test_path_tokens():
+    values = [t.value for t in tokenize("/databases/{db}/documents")[:-1]]
+    assert values == ["/", "databases", "/", "{", "db", "}", "/", "documents"]

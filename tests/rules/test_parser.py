@@ -1,0 +1,170 @@
+import pytest
+
+from repro.errors import RulesSyntaxError
+from repro.rules import ast
+from repro.rules.parser import parse_rules
+
+MINIMAL = """
+service cloud.firestore {
+  match /databases/{database}/documents {
+    match /users/{userId} {
+      allow read: if true;
+    }
+  }
+}
+"""
+
+
+def test_minimal_structure():
+    ruleset = parse_rules(MINIMAL)
+    assert len(ruleset.services) == 1
+    service = ruleset.services[0]
+    assert service.name == "cloud.firestore"
+    outer = service.matches[0]
+    assert [s.kind for s in outer.pattern] == ["literal", "capture", "literal"]
+    inner = outer.children[0]
+    assert inner.pattern[1] == ast.Segment("capture", "userId")
+    assert inner.allows[0].methods == ("read",)
+
+
+def test_rules_version_header_tolerated():
+    parse_rules("rules_version = '2';\n" + MINIMAL)
+
+
+def test_allow_without_condition():
+    ruleset = parse_rules(
+        "service cloud.firestore { match /a/{x} { allow read, write; } }"
+    )
+    allow = ruleset.services[0].matches[0].allows[0]
+    assert allow.methods == ("read", "write")
+    assert allow.condition is None
+
+
+def test_all_methods_accepted():
+    parse_rules(
+        "service cloud.firestore { match /a/{x} {"
+        " allow get, list, create, update, delete; } }"
+    )
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(RulesSyntaxError):
+        parse_rules("service cloud.firestore { match /a/{x} { allow destroy; } }")
+
+
+def test_glob_capture():
+    ruleset = parse_rules(
+        "service cloud.firestore { match /a/{rest=**} { allow read; } }"
+    )
+    segment = ruleset.services[0].matches[0].pattern[1]
+    assert segment == ast.Segment("glob", "rest")
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(RulesSyntaxError):
+        parse_rules("service cloud.firestore { match { allow read; } }")
+
+
+def test_expression_precedence():
+    ruleset = parse_rules(
+        "service cloud.firestore { match /a/{x} {"
+        " allow read: if a == 1 && b == 2 || !c; } }"
+    )
+    condition = ruleset.services[0].matches[0].allows[0].condition
+    assert isinstance(condition, ast.Binary)
+    assert condition.op == "||"
+    assert isinstance(condition.left, ast.Binary) and condition.left.op == "&&"
+    assert isinstance(condition.right, ast.Unary) and condition.right.op == "!"
+
+
+def test_member_and_index_access():
+    ruleset = parse_rules(
+        "service cloud.firestore { match /a/{x} {"
+        " allow read: if request.resource.data['key'].size() > 0; } }"
+    )
+    condition = ruleset.services[0].matches[0].allows[0].condition
+    assert isinstance(condition, ast.Binary)
+    call = condition.left
+    assert isinstance(call, ast.Call)
+    assert isinstance(call.func, ast.Member) and call.func.name == "size"
+
+
+def test_path_literal_with_interpolation():
+    ruleset = parse_rules(
+        "service cloud.firestore { match /a/{x} {"
+        " allow read: if exists(/databases/$(database)/documents/users/$(request.auth.uid)); } }"
+    )
+    condition = ruleset.services[0].matches[0].allows[0].condition
+    path_arg = condition.args[0]
+    assert isinstance(path_arg, ast.PathLiteral)
+    assert path_arg.parts[0] == "databases"
+    assert isinstance(path_arg.parts[1], ast.Var)
+
+
+def test_list_literals_and_in():
+    ruleset = parse_rules(
+        "service cloud.firestore { match /a/{x} {"
+        " allow read: if request.auth.uid in ['a', 'b']; } }"
+    )
+    condition = ruleset.services[0].matches[0].allows[0].condition
+    assert condition.op == "in"
+    assert isinstance(condition.right, ast.ListLiteral)
+
+
+def test_functions():
+    ruleset = parse_rules(
+        """
+        service cloud.firestore {
+          function isOwner(userId) { return request.auth.uid == userId; }
+          match /docs/{id} {
+            allow write: if isOwner(id);
+          }
+        }
+        """
+    )
+    service = ruleset.services[0]
+    assert "isOwner" in service.functions
+    assert service.functions["isOwner"].params == ("userId",)
+
+
+def test_nested_match_functions():
+    ruleset = parse_rules(
+        """
+        service cloud.firestore {
+          match /a/{x} {
+            function helper() { return true; }
+            allow read: if helper();
+          }
+        }
+        """
+    )
+    assert "helper" in ruleset.services[0].matches[0].functions
+
+
+def test_missing_service_rejected():
+    with pytest.raises(RulesSyntaxError):
+        parse_rules("")
+    with pytest.raises(RulesSyntaxError):
+        parse_rules("match /a/{x} { allow read; }")
+
+
+def test_garbage_in_match_block():
+    with pytest.raises(RulesSyntaxError):
+        parse_rules("service cloud.firestore { match /a/{x} { bogus; } }")
+
+
+def test_arithmetic_expressions():
+    ruleset = parse_rules(
+        "service cloud.firestore { match /a/{x} {"
+        " allow read: if 1 + 2 * 3 - 4 % 2 == 7; } }"
+    )
+    assert ruleset.services[0].matches[0].allows[0].condition is not None
+
+
+def test_is_type_check():
+    ruleset = parse_rules(
+        "service cloud.firestore { match /a/{x} {"
+        " allow read: if request.resource.data.age is 'int'; } }"
+    )
+    condition = ruleset.services[0].matches[0].allows[0].condition
+    assert condition.op == "is"

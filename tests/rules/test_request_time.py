@@ -1,0 +1,76 @@
+"""request.time in security rules (timestamp comparisons)."""
+
+import pytest
+
+from repro.core.backend import AuthContext, set_op
+from repro.core.firestore import FirestoreService
+from repro.core.values import Timestamp
+from repro.errors import PermissionDenied
+from repro.rules import compile_rules
+
+from tests.rules.test_evaluator import FakeReader
+
+
+def test_request_time_bound_and_comparable():
+    engine = compile_rules(
+        "service cloud.firestore { match /databases/{d}/documents {"
+        " match /docs/{id} { allow read: if request.time.seconds() >= 100; } } }"
+    )
+    from repro.core.path import Path
+
+    alice = AuthContext(uid="alice")
+    assert engine.allows(
+        "get", Path.parse("docs/x"), alice, None, None, FakeReader({}),
+        now_us=150_000_000,
+    )
+    assert not engine.allows(
+        "get", Path.parse("docs/x"), alice, None, None, FakeReader({}),
+        now_us=50_000_000,
+    )
+
+
+def test_timestamp_comparison_against_stored_field():
+    """The classic pattern: a document is readable until it expires."""
+    engine = compile_rules(
+        "service cloud.firestore { match /databases/{d}/documents {"
+        " match /docs/{id} { allow read: if resource.data.expiresAt > request.time; } } }"
+    )
+    from repro.core.document import Document
+    from repro.core.path import Path
+
+    path = Path.parse("docs/x")
+    doc = Document(path, {"expiresAt": Timestamp(1_000_000)}, 1, 1)
+    alice = AuthContext(uid="alice")
+    assert engine.allows("get", path, alice, doc, None, FakeReader({}), now_us=500_000)
+    assert not engine.allows(
+        "get", path, alice, doc, None, FakeReader({}), now_us=2_000_000
+    )
+
+
+def test_end_to_end_expiry_rule():
+    service = FirestoreService()
+    db = service.create_database("time-rules")
+    db.set_rules(
+        "service cloud.firestore { match /databases/{d}/documents {"
+        " match /offers/{id} { allow read: if resource.data.expiresAt > request.time; } } }"
+    )
+    future = Timestamp(service.clock.now_us + 60_000_000)
+    db.commit([set_op("offers/sale", {"expiresAt": future, "pct": 20})])
+    alice = AuthContext(uid="alice")
+    assert db.lookup("offers/sale", auth=alice).exists
+    service.clock.advance(120_000_000)  # the offer expires
+    with pytest.raises(PermissionDenied):
+        db.lookup("offers/sale", auth=alice)
+
+
+def test_to_millis():
+    engine = compile_rules(
+        "service cloud.firestore { match /databases/{d}/documents {"
+        " match /docs/{id} { allow read: if request.time.toMillis() == 5; } } }"
+    )
+    from repro.core.path import Path
+
+    assert engine.allows(
+        "get", Path.parse("docs/x"), AuthContext(uid="u"), None, None,
+        FakeReader({}), now_us=5_000,
+    )

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CONFORMING_BASE_QPS,
+)
+from repro.service.billing import MICROS_PER_DAY, BillingLedger, FreeQuota
+
+
+class TestAdmission:
+    def test_admits_normally(self):
+        controller = AdmissionController(SimClock())
+        admitted, reason = controller.try_admit("db", queue_depth=0)
+        assert admitted and reason == ""
+        assert controller.inflight("db") == 1
+        controller.release("db")
+        assert controller.inflight("db") == 0
+
+    def test_load_shedding_at_queue_depth(self):
+        controller = AdmissionController(
+            SimClock(), AdmissionConfig(shed_queue_depth=10)
+        )
+        admitted, reason = controller.try_admit("db", queue_depth=10)
+        assert not admitted and reason == "load shed"
+        assert controller.shed == 1
+
+    def test_per_database_inflight_limit(self):
+        controller = AdmissionController(
+            SimClock(),
+            AdmissionConfig(per_database_inflight_limit=2, limited_databases={"bad"}),
+        )
+        assert controller.try_admit("bad", 0)[0]
+        assert controller.try_admit("bad", 0)[0]
+        admitted, reason = controller.try_admit("bad", 0)
+        assert not admitted and "in-flight" in reason
+        # unlimited databases are unaffected
+        assert controller.try_admit("good", 0)[0]
+
+    def test_limit_applies_to_all_when_unscoped(self):
+        controller = AdmissionController(
+            SimClock(), AdmissionConfig(per_database_inflight_limit=1)
+        )
+        assert controller.try_admit("any", 0)[0]
+        assert not controller.try_admit("any", 0)[0]
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController(SimClock())
+        controller.release("db")
+        assert controller.inflight("db") == 0
+
+    def test_conformance_within_base_qps(self):
+        clock = SimClock()
+        controller = AdmissionController(clock)
+        for _ in range(100):
+            clock.advance(10_000)  # 100 QPS
+            controller.try_admit("db", 0)
+        assert controller.is_conforming("db")
+
+    def test_nonconforming_spike_detected(self):
+        clock = SimClock()
+        controller = AdmissionController(clock)
+        for _ in range(5000):
+            clock.advance(100)  # 10,000 QPS burst
+            controller.try_admit("db", 0)
+        assert not controller.is_conforming("db")
+        # but the traffic was still accepted (the paper: Firestore "will
+        # still accept traffic that violates this rule")
+        assert controller.admitted == 5000
+
+    def test_allowance_grows_50_percent_per_window(self):
+        clock = SimClock()
+        controller = AdmissionController(clock)
+        # sustain ~1000 QPS for just over one full window
+        for _ in range(302_000):
+            clock.advance(1000)
+            controller._track("db")
+        allowance = controller.conforming_allowance_qps("db")
+        assert allowance >= CONFORMING_BASE_QPS
+        assert allowance == pytest.approx(1000 * 1.5, rel=0.05)
+
+
+class TestBilling:
+    def test_free_quota_costs_nothing(self):
+        ledger = BillingLedger(SimClock())
+        ledger.record_reads("db", 50_000)
+        ledger.record_writes("db", 20_000)
+        assert ledger.charge_today_usd("db") == 0.0
+
+    def test_overage_is_billed(self):
+        ledger = BillingLedger(SimClock())
+        ledger.record_reads("db", 150_000)  # 100k over
+        charge = ledger.charge_today_usd("db")
+        assert charge == pytest.approx(0.06)
+
+    def test_writes_cost_more_than_reads(self):
+        ledger = BillingLedger(SimClock())
+        ledger.record_reads("r", ledger.quota.reads_per_day + 100_000)
+        ledger.record_writes("w", ledger.quota.writes_per_day + 100_000)
+        assert ledger.charge_today_usd("w") > ledger.charge_today_usd("r")
+
+    def test_quota_resets_daily(self):
+        clock = SimClock()
+        ledger = BillingLedger(clock)
+        ledger.record_reads("db", 60_000)
+        assert ledger.billable_today("db")["reads"] == 10_000
+        clock.advance(MICROS_PER_DAY)
+        assert ledger.billable_today("db")["reads"] == 0
+        # yesterday's usage is still recorded
+        assert ledger.day_usage("db", day=0).reads == 60_000
+
+    def test_storage_overage(self):
+        ledger = BillingLedger(SimClock())
+        ledger.set_storage_bytes("db", 2 << 30)  # 1 GiB over the free GiB
+        assert ledger.charge_today_usd("db") > 0
+
+    def test_databases_are_independent(self):
+        ledger = BillingLedger(SimClock())
+        ledger.record_reads("a", 100_000)
+        assert ledger.day_usage("b").reads == 0
+
+    def test_custom_quota(self):
+        ledger = BillingLedger(SimClock(), quota=FreeQuota(reads_per_day=10))
+        ledger.record_reads("db", 20)
+        assert ledger.billable_today("db")["reads"] == 10

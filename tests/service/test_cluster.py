@@ -1,0 +1,122 @@
+from repro.service.cluster import ClusterConfig, ServingCluster
+from repro.service.metrics import LatencyRecorder
+from repro.service.rpc import RpcKind
+
+
+def make_cluster(**overrides):
+    config = ClusterConfig(
+        multi_region=False,
+        autoscale_frontend=False,
+        autoscale_backend=False,
+        **overrides,
+    )
+    return ServingCluster(config=config)
+
+
+def run_requests(cluster, count, kind=RpcKind.GET, db="db", **kwargs):
+    recorder = LatencyRecorder()
+    for _ in range(count):
+        cluster.submit(db, kind, recorder.record, **kwargs)
+    cluster.kernel.run_for(60_000_000)
+    return recorder
+
+
+def test_request_completes_with_positive_latency():
+    cluster = make_cluster()
+    recorder = run_requests(cluster, 10)
+    assert len(recorder) == 10
+    assert recorder.p50 > 0
+    assert cluster.completed == 10
+
+
+def test_commits_slower_than_gets():
+    cluster = make_cluster()
+    gets = run_requests(cluster, 50, RpcKind.GET)
+    commits = run_requests(cluster, 50, RpcKind.COMMIT)
+    assert commits.p50 > gets.p50
+
+
+def test_multi_region_commits_slower_than_regional():
+    regional = make_cluster()
+    multi = ServingCluster(
+        config=ClusterConfig(
+            multi_region=True, autoscale_frontend=False, autoscale_backend=False
+        )
+    )
+    r = run_requests(regional, 50, RpcKind.COMMIT)
+    m = run_requests(multi, 50, RpcKind.COMMIT)
+    assert m.p50 > 2 * r.p50
+
+
+def test_more_commit_participants_cost_more():
+    cluster = make_cluster()
+    few = run_requests(cluster, 50, RpcKind.COMMIT, commit_participants=1)
+    many = run_requests(cluster, 50, RpcKind.COMMIT, commit_participants=16)
+    assert many.p50 > few.p50
+
+
+def test_queueing_latency_under_overload():
+    cluster = make_cluster(backend_tasks=1)
+    # all arrive at t=0; each costs 150us CPU: deep queue builds
+    fast_recorder = run_requests(cluster, 200)
+    assert fast_recorder.percentile(99) > 10 * fast_recorder.percentile(1)
+
+
+def test_billing_integration():
+    cluster = make_cluster()
+    run_requests(cluster, 5, RpcKind.GET, db="tenant")
+    run_requests(cluster, 3, RpcKind.COMMIT, db="tenant")
+    usage = cluster.billing.day_usage("tenant")
+    assert usage.reads == 5
+    assert usage.writes == 3
+
+
+def test_rejection_callback():
+    cluster = make_cluster()
+    cluster.config.admission.shed_queue_depth = 0
+    reasons = []
+    ok = cluster.submit(
+        "db", RpcKind.GET, lambda latency: None, on_reject=reasons.append
+    )
+    # with shed depth 0 the first request still passes (queue empty),
+    # so force the in-flight limiter instead
+    cluster.admission.config.per_database_inflight_limit = 0
+    ok2 = cluster.submit(
+        "db", RpcKind.GET, lambda latency: None, on_reject=reasons.append
+    )
+    assert not ok2
+    assert reasons and cluster.rejected >= 1
+
+
+def test_notification_fanout_latency_scales_with_listeners():
+    cluster = make_cluster(frontend_tasks=2)
+    latencies = []
+    cluster.submit_notification_fanout("db", 10, latencies.append)
+    cluster.kernel.run_for(10_000_000)
+    small = latencies[-1]
+    cluster.submit_notification_fanout("db", 1000, latencies.append)
+    cluster.kernel.run_for(60_000_000)
+    large = latencies[-1]
+    assert large > small
+
+
+def test_frontend_floor_follows_connections():
+    cluster = ServingCluster(
+        config=ClusterConfig(multi_region=False, autoscale_frontend=True)
+    )
+    cluster.set_active_connections(1000)
+    cluster.kernel.run_until(20_000_000)  # a few autoscaler evaluations
+    assert cluster.frontend_pool.size >= 10
+
+
+def test_global_routing_prices_remote_clients():
+    cluster = make_cluster()
+    cluster.router.register_database("db", "us-central")
+    local = LatencyRecorder("local")
+    remote = LatencyRecorder("remote")
+    for _ in range(20):
+        cluster.submit("db", RpcKind.GET, local.record, client_region="us-central")
+        cluster.submit("db", RpcKind.GET, remote.record, client_region="europe-west")
+    cluster.kernel.run_for(30_000_000)
+    # the intercontinental client pays the WAN round trip on every call
+    assert remote.p50 > local.p50 + 80_000

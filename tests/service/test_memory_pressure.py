@@ -1,0 +1,101 @@
+"""Memory-pressure isolation (paper section VIII, future work):
+rejection targets the database consuming the most in-flight memory."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.cluster import ClusterConfig, ServingCluster
+from repro.service.rpc import RpcKind
+
+
+@pytest.fixture
+def controller():
+    return AdmissionController(
+        SimClock(), AdmissionConfig(memory_pressure_bytes=1000)
+    )
+
+
+class TestMemoryAccounting:
+    def test_memory_tracked_per_database(self, controller):
+        controller.try_admit("a", 0, memory_bytes=300)
+        controller.try_admit("b", 0, memory_bytes=100)
+        assert controller.inflight_memory("a") == 300
+        assert controller.total_inflight_memory() == 400
+        controller.release("a", memory_bytes=300)
+        assert controller.inflight_memory("a") == 0
+
+    def test_release_never_negative(self, controller):
+        controller.release("a", memory_bytes=500)
+        assert controller.inflight_memory("a") == 0
+
+
+class TestSelectiveRejection:
+    def test_below_threshold_everything_admitted(self, controller):
+        for _ in range(3):
+            admitted, _ = controller.try_admit("a", 0, memory_bytes=300)
+            assert admitted
+
+    def test_top_consumer_rejected_under_pressure(self, controller):
+        assert controller.try_admit("hog", 0, memory_bytes=900)[0]
+        # the hog's next request would breach the limit: rejected
+        admitted, reason = controller.try_admit("hog", 0, memory_bytes=300)
+        assert not admitted and reason == "memory pressure"
+        assert controller.memory_rejected == 1
+
+    def test_small_consumers_unaffected_under_pressure(self, controller):
+        """Selective: the bystander is admitted even while the component
+        is past its memory threshold, because it is not the top holder."""
+        controller.try_admit("hog", 0, memory_bytes=950)
+        admitted, _ = controller.try_admit("bystander", 0, memory_bytes=100)
+        assert admitted
+        # but the hog stays blocked
+        assert not controller.try_admit("hog", 0, memory_bytes=100)[0]
+
+    def test_pressure_clears_on_release(self, controller):
+        controller.try_admit("hog", 0, memory_bytes=900)
+        assert not controller.try_admit("hog", 0, memory_bytes=300)[0]
+        controller.release("hog", memory_bytes=900)
+        assert controller.try_admit("hog", 0, memory_bytes=300)[0]
+
+    def test_zero_memory_requests_unaffected(self, controller):
+        controller.try_admit("hog", 0, memory_bytes=1500)  # first is free
+        admitted, _ = controller.try_admit("other", 0)  # no memory estimate
+        assert admitted
+
+    def test_disabled_when_unconfigured(self):
+        controller = AdmissionController(SimClock())
+        for _ in range(10):
+            assert controller.try_admit("hog", 0, memory_bytes=10**9)[0]
+
+
+class TestClusterIntegration:
+    def test_memory_hungry_database_rejected_end_to_end(self):
+        cluster = ServingCluster(
+            config=ClusterConfig(
+                multi_region=False,
+                autoscale_backend=False,
+                autoscale_frontend=False,
+                admission=AdmissionConfig(memory_pressure_bytes=10_000_000),
+            )
+        )
+        reasons = []
+        admitted = 0
+        for _ in range(5):
+            ok = cluster.submit(
+                "ram-hog",
+                RpcKind.QUERY,
+                lambda latency: None,
+                cpu_cost_us=1_000_000,  # long-running: memory stays held
+                memory_bytes=4_000_000,
+                on_reject=reasons.append,
+            )
+            admitted += ok
+        assert admitted == 2  # third request would exceed 10MB
+        assert reasons.count("memory pressure") == 3
+        cluster.kernel.run_for(10_000_000)
+        # after the queries finish, memory is released and traffic flows
+        assert cluster.submit(
+            "ram-hog", RpcKind.QUERY, lambda latency: None,
+            memory_bytes=4_000_000,
+        )

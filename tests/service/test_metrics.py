@@ -1,0 +1,71 @@
+import pytest
+
+from repro.service.metrics import LatencyRecorder, WindowedPercentiles
+
+
+class TestLatencyRecorder:
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        for v in range(1, 101):
+            recorder.record(v)
+        assert recorder.p50 == 50
+        assert recorder.p99 == 99
+        assert recorder.percentile(100) == 100
+        assert recorder.percentile(1) == 1
+
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(42)
+        assert recorder.p50 == recorder.p99 == 42
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("x").p50
+
+    def test_invalid_percentile(self):
+        recorder = LatencyRecorder()
+        recorder.record(1)
+        with pytest.raises(ValueError):
+            recorder.percentile(0)
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_mean_and_len(self):
+        recorder = LatencyRecorder()
+        for v in (10, 20, 30):
+            recorder.record(v)
+        assert recorder.mean() == 20
+        assert len(recorder) == 3
+
+    def test_record_after_percentile_query(self):
+        recorder = LatencyRecorder()
+        recorder.record(5)
+        assert recorder.p50 == 5
+        recorder.record(1)
+        assert recorder.p50 == 1  # re-sorts correctly
+
+    def test_reset(self):
+        recorder = LatencyRecorder()
+        recorder.record(5)
+        recorder.reset()
+        assert len(recorder) == 0
+
+
+class TestWindowedPercentiles:
+    def test_series_by_window(self):
+        windows = WindowedPercentiles(window_us=1000)
+        windows.record(100, 10)
+        windows.record(900, 20)
+        windows.record(1500, 100)
+        series = windows.series(50)
+        assert series == [(0, 10), (1000, 100)]
+
+    def test_window_lookup(self):
+        windows = WindowedPercentiles(window_us=1000)
+        windows.record(2500, 7)
+        assert windows.window(2999).p50 == 7
+        assert windows.window(0) is None

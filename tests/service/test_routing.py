@@ -1,0 +1,43 @@
+import pytest
+
+from repro.errors import NotFound
+from repro.service.routing import GlobalRouter
+
+
+@pytest.fixture
+def router():
+    r = GlobalRouter()
+    r.register_database("us-app", "us-central")
+    r.register_database("eu-app", "europe-west")
+    return r
+
+
+def test_home_region(router):
+    assert router.home_region("us-app") == "us-central"
+
+
+def test_unrouted_database(router):
+    with pytest.raises(NotFound):
+        router.home_region("ghost")
+
+
+def test_same_region_is_fast(router):
+    assert router.network_latency_us("us-central", "us-app") < 1000
+
+
+def test_cross_region_pays_wan(router):
+    local = router.network_latency_us("us-central", "us-app")
+    remote = router.network_latency_us("us-central", "eu-app")
+    assert remote > 10 * local
+
+
+def test_latency_is_symmetric(router):
+    ab = router.network_latency_us("us-central", "eu-app")
+    router.register_database("us-app2", "us-central")
+    ba = router.network_latency_us("europe-west", "us-app2")
+    assert ab == ba
+
+
+def test_unknown_pair_assumed_intercontinental(router):
+    router.register_database("mars-app", "mars-base")
+    assert router.network_latency_us("us-central", "mars-app") >= 100_000

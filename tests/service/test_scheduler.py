@@ -1,0 +1,106 @@
+import pytest
+
+from repro.service.rpc import Rpc, RpcKind
+from repro.service.scheduler import FairShareScheduler
+
+
+def rpc(db="db", cost=100, sensitive=True):
+    return Rpc(db, RpcKind.GET, cost, 0, latency_sensitive=sensitive)
+
+
+class TestFairMode:
+    def test_empty_pick_returns_none(self):
+        assert FairShareScheduler().pick() is None
+
+    def test_single_database_fifo(self):
+        scheduler = FairShareScheduler()
+        first, second = rpc(), rpc()
+        scheduler.enqueue(first)
+        scheduler.enqueue(second)
+        assert scheduler.pick() is first
+        assert scheduler.pick() is second
+
+    def test_fair_interleaving_despite_flood(self):
+        """A database with 100 queued RPCs cannot starve one with 1."""
+        scheduler = FairShareScheduler()
+        for _ in range(100):
+            scheduler.enqueue(rpc("culprit", cost=100))
+        scheduler.enqueue(rpc("bystander", cost=100))
+        picks = [scheduler.pick().database_id for _ in range(3)]
+        assert "bystander" in picks
+
+    def test_cpu_share_proportional_to_cost(self):
+        """Expensive RPCs consume more virtual time, so a cheap-RPC
+        database gets picked more often."""
+        scheduler = FairShareScheduler()
+        for _ in range(50):
+            scheduler.enqueue(rpc("heavy", cost=1000))
+            scheduler.enqueue(rpc("light", cost=10))
+        first_20 = [scheduler.pick().database_id for _ in range(20)]
+        assert first_20.count("light") > first_20.count("heavy")
+
+    def test_latency_sensitive_before_batch_within_database(self):
+        scheduler = FairShareScheduler()
+        batch = rpc("db", sensitive=False)
+        interactive = rpc("db", sensitive=True)
+        scheduler.enqueue(batch)
+        scheduler.enqueue(interactive)
+        assert scheduler.pick() is interactive
+        assert scheduler.pick() is batch
+
+    def test_idle_database_cannot_bank_credit(self):
+        scheduler = FairShareScheduler()
+        # hog runs alone for a while, building virtual time
+        for _ in range(10):
+            scheduler.enqueue(rpc("hog", cost=1000))
+        for _ in range(10):
+            scheduler.pick()
+        # a newcomer starts at the global virtual floor, not zero
+        scheduler.enqueue(rpc("hog", cost=1000))
+        for _ in range(5):
+            scheduler.enqueue(rpc("newcomer", cost=10))
+        picks = [scheduler.pick().database_id for _ in range(6)]
+        # the newcomer is served but the hog is not starved forever
+        assert "newcomer" in picks
+
+    def test_queued_counts(self):
+        scheduler = FairShareScheduler()
+        scheduler.enqueue(rpc("a"))
+        scheduler.enqueue(rpc("a"))
+        scheduler.enqueue(rpc("b"))
+        assert scheduler.queued() == 3
+        assert scheduler.queued("a") == 2
+        assert scheduler.queued("missing") == 0
+
+
+class TestFifoMode:
+    def test_global_fifo_ignores_database(self):
+        scheduler = FairShareScheduler(fair=False)
+        order = [rpc("a"), rpc("b", cost=10_000), rpc("a")]
+        for r in order:
+            scheduler.enqueue(r)
+        assert [scheduler.pick() for _ in range(3)] == order
+
+    def test_flood_starves_bystander(self):
+        """The Figure 11 failure mode: FIFO lets the culprit starve."""
+        scheduler = FairShareScheduler(fair=False)
+        for _ in range(50):
+            scheduler.enqueue(rpc("culprit", cost=10_000))
+        scheduler.enqueue(rpc("bystander"))
+        first_50 = [scheduler.pick().database_id for _ in range(50)]
+        assert "bystander" not in first_50
+
+    def test_queued_in_fifo_mode(self):
+        scheduler = FairShareScheduler(fair=False)
+        scheduler.enqueue(rpc("a"))
+        scheduler.enqueue(rpc("b"))
+        assert scheduler.queued() == 2
+        assert scheduler.queued("a") == 1
+
+
+def test_dispatch_counters():
+    scheduler = FairShareScheduler()
+    scheduler.enqueue(rpc())
+    scheduler.pick()
+    assert scheduler.enqueued == 1
+    assert scheduler.dispatched == 1

@@ -1,0 +1,50 @@
+import pytest
+
+from repro.sim.clock import MICROS_PER_SECOND, SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now_us == 0
+
+
+def test_starts_at_given_time():
+    assert SimClock(42).now_us == 42
+
+
+def test_rejects_negative_start():
+    with pytest.raises(ValueError):
+        SimClock(-1)
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    assert clock.advance(10) == 10
+    assert clock.now_us == 10
+
+
+def test_advance_rejects_negative_delta():
+    with pytest.raises(ValueError):
+        SimClock().advance(-5)
+
+
+def test_advance_seconds_converts_to_micros():
+    clock = SimClock()
+    clock.advance_seconds(1.5)
+    assert clock.now_us == 1_500_000
+
+
+def test_now_seconds():
+    clock = SimClock(2 * MICROS_PER_SECOND)
+    assert clock.now_seconds == 2.0
+
+
+def test_advance_to_is_monotonic():
+    clock = SimClock(100)
+    clock.advance_to(50)  # ignored, not an error
+    assert clock.now_us == 100
+    clock.advance_to(200)
+    assert clock.now_us == 200
+
+
+def test_repr_mentions_time():
+    assert "123" in repr(SimClock(123))

@@ -1,0 +1,127 @@
+import pytest
+
+from repro.sim.events import EventKernel
+
+
+def test_events_fire_in_time_order():
+    kernel = EventKernel()
+    fired = []
+    kernel.at(30, lambda: fired.append("c"))
+    kernel.at(10, lambda: fired.append("a"))
+    kernel.at(20, lambda: fired.append("b"))
+    kernel.run_until(100)
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    kernel = EventKernel()
+    fired = []
+    kernel.at(10, lambda: fired.append("first"))
+    kernel.at(10, lambda: fired.append("second"))
+    kernel.run_until(10)
+    assert fired == ["first", "second"]
+
+
+def test_clock_advances_to_each_event_time():
+    kernel = EventKernel()
+    seen = []
+    kernel.at(5, lambda: seen.append(kernel.now_us))
+    kernel.at(9, lambda: seen.append(kernel.now_us))
+    kernel.run_until(20)
+    assert seen == [5, 9]
+    assert kernel.now_us == 20  # ends at the run boundary
+
+
+def test_run_until_leaves_future_events():
+    kernel = EventKernel()
+    fired = []
+    kernel.at(10, lambda: fired.append(1))
+    kernel.at(50, lambda: fired.append(2))
+    kernel.run_until(20)
+    assert fired == [1]
+    assert kernel.pending == 1
+
+
+def test_cannot_schedule_in_the_past():
+    kernel = EventKernel()
+    kernel.run_until(100)
+    with pytest.raises(ValueError):
+        kernel.at(50, lambda: None)
+
+
+def test_after_schedules_relative():
+    kernel = EventKernel()
+    kernel.run_until(100)
+    fired = []
+    kernel.after(25, lambda: fired.append(kernel.now_us))
+    kernel.run_until(200)
+    assert fired == [125]
+
+
+def test_after_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        EventKernel().after(-1, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    kernel = EventKernel()
+    fired = []
+    event = kernel.at(10, lambda: fired.append(1))
+    event.cancel()
+    kernel.run_until(100)
+    assert fired == []
+    assert kernel.pending == 0
+
+
+def test_events_can_schedule_more_events():
+    kernel = EventKernel()
+    fired = []
+
+    def chain():
+        fired.append(kernel.now_us)
+        if len(fired) < 3:
+            kernel.after(10, chain)
+
+    kernel.at(0, chain)
+    kernel.run_until(100)
+    assert fired == [0, 10, 20]
+
+
+def test_drain_runs_everything():
+    kernel = EventKernel()
+    fired = []
+    for t in (5, 15, 25):
+        kernel.at(t, lambda t=t: fired.append(t))
+    executed = kernel.drain()
+    assert executed == 3
+    assert fired == [5, 15, 25]
+
+
+def test_drain_guards_against_runaway():
+    kernel = EventKernel()
+
+    def forever():
+        kernel.after(1, forever)
+
+    kernel.at(0, forever)
+    with pytest.raises(RuntimeError):
+        kernel.drain(max_events=100)
+
+
+def test_step_executes_one_event():
+    kernel = EventKernel()
+    fired = []
+    kernel.at(1, lambda: fired.append(1))
+    kernel.at(2, lambda: fired.append(2))
+    assert kernel.step() is True
+    assert fired == [1]
+    assert kernel.step() is True
+    assert kernel.step() is False
+
+
+def test_executed_counter():
+    kernel = EventKernel()
+    kernel.at(1, lambda: None)
+    kernel.at(2, lambda: None)
+    kernel.run_until(10)
+    assert kernel.executed == 2

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.sim.latency import LatencyModel, MultiRegionalLatency, RegionalLatency
+from repro.sim.rand import SimRandom
+
+
+@pytest.fixture
+def rand():
+    return SimRandom(1)
+
+
+def _median(samples):
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def test_multiregional_commits_slower_than_regional(rand):
+    regional = RegionalLatency()
+    multi = MultiRegionalLatency()
+    r = _median([regional.commit_us(rand) for _ in range(500)])
+    m = _median([multi.commit_us(rand) for _ in range(500)])
+    assert m > 3 * r  # the paper: quorum across metros is much slower
+
+
+def test_more_participants_cost_more(rand):
+    model = RegionalLatency()
+    single = _median([model.commit_us(rand, participants=1) for _ in range(500)])
+    many = _median([model.commit_us(rand, participants=8) for _ in range(500)])
+    assert many > single
+
+
+def test_participants_must_be_positive(rand):
+    with pytest.raises(ValueError):
+        RegionalLatency().commit_us(rand, participants=0)
+
+
+def test_reads_cheaper_than_commits(rand):
+    model = MultiRegionalLatency()
+    read = _median([model.read_us(rand) for _ in range(500)])
+    commit = _median([model.commit_us(rand) for _ in range(500)])
+    assert read < commit
+
+
+def test_samples_are_positive_and_jittered(rand):
+    model = RegionalLatency()
+    samples = {model.rpc_us(rand) for _ in range(50)}
+    assert all(s >= 1 for s in samples)
+    assert len(samples) > 1  # jitter produces variety
+
+
+def test_zero_base_has_zero_latency(rand):
+    model = LatencyModel(rpc_hop_us=0, quorum_us=0, per_participant_us=0)
+    assert model.rpc_us(rand) == 0

@@ -1,0 +1,102 @@
+import math
+
+import pytest
+
+from repro.sim.rand import SimRandom
+
+
+def test_same_seed_same_sequence():
+    a = SimRandom(7)
+    b = SimRandom(7)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = SimRandom(1)
+    b = SimRandom(2)
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_fork_is_deterministic_and_independent():
+    parent1 = SimRandom(7)
+    parent2 = SimRandom(7)
+    fork1 = parent1.fork("workload")
+    fork2 = parent2.fork("workload")
+    assert [fork1.random() for _ in range(5)] == [fork2.random() for _ in range(5)]
+    # forking does not perturb the parent stream
+    assert parent1.random() == parent2.random()
+
+
+def test_fork_labels_give_distinct_streams():
+    parent = SimRandom(7)
+    a = parent.fork("a")
+    b = parent.fork("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_randint_inclusive_bounds():
+    rng = SimRandom(0)
+    draws = {rng.randint(1, 3) for _ in range(200)}
+    assert draws == {1, 2, 3}
+
+
+def test_exponential_mean_roughly_right():
+    rng = SimRandom(3)
+    samples = [rng.exponential(10.0) for _ in range(5000)]
+    mean = sum(samples) / len(samples)
+    assert 9.0 < mean < 11.0
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        SimRandom(0).exponential(0)
+
+
+def test_pareto_minimum_scale():
+    rng = SimRandom(4)
+    samples = [rng.pareto(1.5, scale=2.0) for _ in range(1000)]
+    assert min(samples) >= 2.0
+
+
+def test_pareto_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        SimRandom(0).pareto(0)
+
+
+def test_zipf_range_and_skew():
+    rng = SimRandom(5)
+    n = 100
+    draws = [rng.zipf(n, theta=0.99) for _ in range(20_000)]
+    assert min(draws) >= 0 and max(draws) < n
+    # rank 0 should be drawn far more often than rank n-1
+    count0 = draws.count(0)
+    count_last = draws.count(n - 1)
+    assert count0 > 10 * max(1, count_last)
+
+
+def test_zipf_theta_zero_is_roughly_uniform():
+    rng = SimRandom(6)
+    n = 10
+    draws = [rng.zipf(n, theta=0.0) for _ in range(20_000)]
+    counts = [draws.count(i) for i in range(n)]
+    assert max(counts) < 2 * min(counts)
+
+
+def test_zipf_rejects_empty_domain():
+    with pytest.raises(ValueError):
+        SimRandom(0).zipf(0)
+
+
+def test_bernoulli_probability():
+    rng = SimRandom(8)
+    hits = sum(rng.bernoulli(0.25) for _ in range(10_000))
+    assert 2200 < hits < 2800
+
+
+def test_lognormal_positive():
+    rng = SimRandom(9)
+    assert all(rng.lognormal(0, 0.5) > 0 for _ in range(100))
+
+
+def test_bytes_length():
+    assert len(SimRandom(0).bytes(16)) == 16

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.truetime import TrueTime, TTInterval
+
+
+@pytest.fixture
+def tt():
+    clock = SimClock(1_000_000)
+    return TrueTime(clock, epsilon_us=1000)
+
+
+def test_interval_brackets_now(tt):
+    interval = tt.now()
+    assert interval.earliest == 999_000
+    assert interval.latest == 1_001_000
+    assert interval.width == 2000
+
+
+def test_interval_clamps_at_epoch():
+    tt = TrueTime(SimClock(10), epsilon_us=100)
+    assert tt.now().earliest == 0
+
+
+def test_inverted_interval_rejected():
+    with pytest.raises(ValueError):
+        TTInterval(10, 5)
+
+
+def test_negative_epsilon_rejected():
+    with pytest.raises(ValueError):
+        TrueTime(SimClock(), epsilon_us=-1)
+
+
+def test_after_and_before(tt):
+    assert tt.after(990_000) is True            # definitely past
+    assert tt.after(1_000_500) is False         # inside uncertainty
+    assert tt.before(1_002_000) is True         # definitely future
+    assert tt.before(1_000_500) is False
+
+
+def test_commit_timestamps_at_or_after_latest(tt):
+    ts = tt.issue_commit_timestamp()
+    assert ts >= tt.now().latest
+
+
+def test_commit_timestamps_strictly_monotonic(tt):
+    first = tt.issue_commit_timestamp()
+    second = tt.issue_commit_timestamp()
+    assert second > first
+
+
+def test_commit_timestamp_respects_min(tt):
+    ts = tt.issue_commit_timestamp(min_allowed_us=5_000_000)
+    assert ts == 5_000_000
+
+
+def test_commit_timestamp_rejects_unsatisfiable_max(tt):
+    # now().latest is 1_001_000 so a max of 1_000_000 cannot be met
+    with pytest.raises(ValueError):
+        tt.issue_commit_timestamp(max_allowed_us=1_000_000)
+
+
+def test_commit_timestamp_within_valid_window(tt):
+    ts = tt.issue_commit_timestamp(min_allowed_us=0, max_allowed_us=2_000_000)
+    assert ts <= 2_000_000
+
+
+def test_commit_wait_positive_until_uncertainty_passes(tt):
+    ts = tt.issue_commit_timestamp()
+    wait = tt.commit_wait_us(ts)
+    assert wait > 0
+    tt.clock.advance(wait)
+    assert tt.after(ts)
+
+
+def test_commit_wait_zeroish_for_old_timestamps(tt):
+    assert tt.commit_wait_us(1) == 1  # already safely past
+
+
+def test_last_issued_tracks(tt):
+    assert tt.last_issued == 0
+    ts = tt.issue_commit_timestamp()
+    assert tt.last_issued == ts
+
+
+def test_monotonicity_across_clock_stall():
+    """Even if the clock does not move, issued timestamps advance."""
+    tt = TrueTime(SimClock(100), epsilon_us=0)
+    stamps = [tt.issue_commit_timestamp() for _ in range(5)]
+    assert stamps == sorted(set(stamps))

@@ -1,0 +1,65 @@
+"""Cross-cutting sim-layer checks used by the higher layers' guarantees."""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventKernel
+from repro.sim.latency import MultiRegionalLatency, RegionalLatency
+from repro.sim.rand import SimRandom
+from repro.sim.truetime import TrueTime
+
+
+def test_commit_timestamps_totally_ordered_across_interleaving():
+    """The Real-time Cache watermarks rely on a global total order of
+    commit timestamps, whatever order commits interleave in."""
+    clock = SimClock()
+    tt = TrueTime(clock)
+    stamps = []
+    rand = SimRandom(3)
+    for _ in range(200):
+        if rand.bernoulli(0.5):
+            clock.advance(rand.randint(0, 5000))
+        stamps.append(tt.issue_commit_timestamp())
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == len(stamps)
+
+
+def test_commit_wait_preserves_external_consistency():
+    """After commit-wait elapses, a later transaction's timestamp is
+    strictly greater — the causality TrueTime buys."""
+    clock = SimClock(1_000_000)
+    tt = TrueTime(clock)
+    first = tt.issue_commit_timestamp()
+    clock.advance(tt.commit_wait_us(first))
+    assert tt.after(first)
+    second = tt.issue_commit_timestamp()
+    assert second > first
+
+
+def test_latency_model_deterministic_given_stream():
+    a = MultiRegionalLatency()
+    s1, s2 = SimRandom(9).fork("lat"), SimRandom(9).fork("lat")
+    assert [a.commit_us(s1) for _ in range(20)] == [
+        a.commit_us(s2) for _ in range(20)
+    ]
+
+
+def test_kernel_time_monotonic_under_mixed_scheduling():
+    kernel = EventKernel()
+    seen = []
+
+    def record():
+        seen.append(kernel.now_us)
+        if len(seen) < 50:
+            kernel.after(len(seen) % 7, record)
+
+    kernel.at(0, record)
+    kernel.run_until(1_000)
+    assert seen == sorted(seen)
+
+
+def test_regional_read_fraction_of_multiregional():
+    rand = SimRandom(4)
+    regional = RegionalLatency()
+    multi = MultiRegionalLatency()
+    r = sorted(regional.read_us(rand) for _ in range(300))[150]
+    m = sorted(multi.read_us(rand) for _ in range(300))[150]
+    assert m > 2 * r

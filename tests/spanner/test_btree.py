@@ -1,0 +1,199 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spanner.btree import BTreeMap
+
+
+def make_tree(items, order=8):
+    tree = BTreeMap(order=order)
+    for key, value in items:
+        tree.put(key, value)
+    return tree
+
+
+def test_empty_tree():
+    tree = BTreeMap()
+    assert len(tree) == 0
+    assert tree.get(b"x") is None
+    assert list(tree.items()) == []
+    assert tree.first_key() is None
+    assert tree.last_key() is None
+
+
+def test_put_get_single():
+    tree = BTreeMap()
+    assert tree.put(b"a", 1) is True
+    assert tree.get(b"a") == 1
+    assert b"a" in tree
+    assert len(tree) == 1
+
+
+def test_put_replaces():
+    tree = BTreeMap()
+    tree.put(b"a", 1)
+    assert tree.put(b"a", 2) is False
+    assert tree.get(b"a") == 2
+    assert len(tree) == 1
+
+
+def test_rejects_non_bytes_keys():
+    with pytest.raises(TypeError):
+        BTreeMap().put("str", 1)
+
+
+def test_getitem_and_keyerror():
+    tree = make_tree([(b"a", 1)])
+    assert tree[b"a"] == 1
+    with pytest.raises(KeyError):
+        tree[b"missing"]
+
+
+def test_delitem():
+    tree = make_tree([(b"a", 1)])
+    del tree[b"a"]
+    assert len(tree) == 0
+    with pytest.raises(KeyError):
+        del tree[b"a"]
+
+
+def test_many_inserts_stay_sorted():
+    keys = [f"k{i:05d}".encode() for i in range(1000)]
+    import random
+
+    shuffled = keys[:]
+    random.Random(0).shuffle(shuffled)
+    tree = make_tree([(k, k) for k in shuffled], order=8)
+    assert len(tree) == 1000
+    assert [k for k, _ in tree.items()] == keys
+
+
+def test_range_scan_default_half_open():
+    tree = make_tree([(bytes([i]), i) for i in range(10)])
+    got = [k for k, _ in tree.items(start=bytes([3]), end=bytes([7]))]
+    assert got == [bytes([3]), bytes([4]), bytes([5]), bytes([6])]
+
+
+def test_range_scan_inclusive_end():
+    tree = make_tree([(bytes([i]), i) for i in range(10)])
+    got = [k for k, _ in tree.items(start=bytes([3]), end=bytes([7]), end_inclusive=True)]
+    assert got[-1] == bytes([7])
+
+
+def test_range_scan_exclusive_start():
+    tree = make_tree([(bytes([i]), i) for i in range(10)])
+    got = [k for k, _ in tree.items(start=bytes([3]), start_inclusive=False)]
+    assert got[0] == bytes([4])
+
+
+def test_reverse_scan():
+    tree = make_tree([(bytes([i]), i) for i in range(10)])
+    got = [k for k, _ in tree.items(start=bytes([3]), end=bytes([7]), reverse=True)]
+    assert got == [bytes([6]), bytes([5]), bytes([4]), bytes([3])]
+
+
+def test_reverse_scan_unbounded():
+    tree = make_tree([(bytes([i]), i) for i in range(5)])
+    got = [k for k, _ in tree.items(reverse=True)]
+    assert got == [bytes([4]), bytes([3]), bytes([2]), bytes([1]), bytes([0])]
+
+
+def test_scan_with_missing_bounds_keys():
+    """Bounds need not be present in the tree."""
+    tree = make_tree([(bytes([i]), i) for i in (2, 4, 6, 8)])
+    got = [k for k, _ in tree.items(start=bytes([3]), end=bytes([7]))]
+    assert got == [bytes([4]), bytes([6])]
+
+
+def test_delete_then_scan():
+    tree = make_tree([(f"{i:03d}".encode(), i) for i in range(100)], order=4)
+    for i in range(0, 100, 2):
+        assert tree.delete(f"{i:03d}".encode()) is True
+    assert len(tree) == 50
+    remaining = [k for k, _ in tree.items()]
+    assert remaining == [f"{i:03d}".encode() for i in range(1, 100, 2)]
+
+
+def test_delete_missing_returns_false():
+    tree = make_tree([(b"a", 1)])
+    assert tree.delete(b"zz") is False
+
+
+def test_delete_everything_then_reuse():
+    keys = [f"{i:04d}".encode() for i in range(200)]
+    tree = make_tree([(k, 1) for k in keys], order=4)
+    for k in keys:
+        assert tree.delete(k)
+    assert len(tree) == 0
+    assert list(tree.items()) == []
+    tree.put(b"new", 5)
+    assert tree.get(b"new") == 5
+
+
+def test_first_and_last_key():
+    tree = make_tree([(b"m", 1), (b"a", 2), (b"z", 3)])
+    assert tree.first_key() == b"a"
+    assert tree.last_key() == b"z"
+
+
+def test_key_at_fraction():
+    tree = make_tree([(bytes([i]), i) for i in range(100)], order=8)
+    mid = tree.key_at_fraction(0.5)
+    assert mid is not None
+    assert bytes([40]) <= mid <= bytes([60])
+    assert tree.key_at_fraction(0.0) == bytes([0])
+
+
+def test_key_at_fraction_empty():
+    assert BTreeMap().key_at_fraction(0.5) is None
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BTreeMap(order=2)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete", "get"]),
+            st.binary(min_size=0, max_size=6),
+            st.integers(),
+        ),
+        max_size=200,
+    )
+)
+def test_property_matches_dict_model(ops):
+    """The B+tree behaves exactly like a dict + sorted() reference model."""
+    tree = BTreeMap(order=4)
+    model: dict[bytes, int] = {}
+    for op, key, value in ops:
+        if op == "put":
+            tree.put(key, value)
+            model[key] = value
+        elif op == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.get(key) == model.get(key)
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    assert list(tree.items(reverse=True)) == sorted(model.items(), reverse=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    keys=st.sets(st.binary(min_size=1, max_size=5), max_size=60),
+    start=st.binary(max_size=5),
+    end=st.binary(max_size=5),
+)
+def test_property_range_scans_match_model(keys, start, end):
+    tree = BTreeMap(order=4)
+    for key in keys:
+        tree.put(key, None)
+    expected = sorted(k for k in keys if start <= k < end)
+    assert [k for k, _ in tree.items(start=start, end=end)] == expected
+    assert [k for k, _ in tree.items(start=start, end=end, reverse=True)] == list(
+        reversed(expected)
+    )

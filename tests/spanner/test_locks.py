@@ -1,0 +1,90 @@
+import pytest
+
+from repro.errors import LockConflict
+from repro.spanner.locks import LockMode, LockTable
+
+
+@pytest.fixture
+def table():
+    return LockTable()
+
+
+def test_shared_locks_coexist(table):
+    table.acquire(1, b"k", LockMode.SHARED)
+    table.acquire(2, b"k", LockMode.SHARED)
+    shared, exclusive = table.holders(b"k")
+    assert shared == {1, 2}
+    assert exclusive is None
+
+
+def test_exclusive_blocks_shared(table):
+    table.acquire(1, b"k", LockMode.EXCLUSIVE)
+    with pytest.raises(LockConflict):
+        table.acquire(2, b"k", LockMode.SHARED)
+    assert table.conflicts == 1
+
+
+def test_shared_blocks_exclusive(table):
+    table.acquire(1, b"k", LockMode.SHARED)
+    with pytest.raises(LockConflict):
+        table.acquire(2, b"k", LockMode.EXCLUSIVE)
+
+
+def test_exclusive_blocks_exclusive(table):
+    table.acquire(1, b"k", LockMode.EXCLUSIVE)
+    with pytest.raises(LockConflict):
+        table.acquire(2, b"k", LockMode.EXCLUSIVE)
+
+
+def test_reentrant_for_same_txn(table):
+    table.acquire(1, b"k", LockMode.SHARED)
+    table.acquire(1, b"k", LockMode.SHARED)
+    table.acquire(1, b"k", LockMode.EXCLUSIVE)  # upgrade, sole holder
+    table.acquire(1, b"k", LockMode.EXCLUSIVE)
+    table.acquire(1, b"k", LockMode.SHARED)  # already exclusive, fine
+    shared, exclusive = table.holders(b"k")
+    assert exclusive == 1
+
+
+def test_upgrade_denied_with_other_shared_holder(table):
+    table.acquire(1, b"k", LockMode.SHARED)
+    table.acquire(2, b"k", LockMode.SHARED)
+    with pytest.raises(LockConflict):
+        table.acquire(1, b"k", LockMode.EXCLUSIVE)
+
+
+def test_release_all_frees_locks(table):
+    table.acquire(1, b"a", LockMode.SHARED)
+    table.acquire(1, b"b", LockMode.EXCLUSIVE)
+    assert table.release_all(1) == 2
+    assert table.active_lock_count() == 0
+    # others can now acquire
+    table.acquire(2, b"b", LockMode.EXCLUSIVE)
+
+
+def test_release_keeps_other_holders(table):
+    table.acquire(1, b"k", LockMode.SHARED)
+    table.acquire(2, b"k", LockMode.SHARED)
+    table.release_all(1)
+    shared, _ = table.holders(b"k")
+    assert shared == {2}
+
+
+def test_release_all_for_unknown_txn(table):
+    assert table.release_all(99) == 0
+
+
+def test_held_keys(table):
+    table.acquire(1, b"a", LockMode.SHARED)
+    table.acquire(1, b"b", LockMode.EXCLUSIVE)
+    assert table.held_keys(1) == {b"a", b"b"}
+    assert table.held_keys(2) == set()
+
+
+def test_conflict_error_carries_details(table):
+    table.acquire(1, b"key", LockMode.EXCLUSIVE)
+    with pytest.raises(LockConflict) as excinfo:
+        table.acquire(2, b"key", LockMode.EXCLUSIVE)
+    assert excinfo.value.holder == 1
+    assert excinfo.value.requester == 2
+    assert excinfo.value.key == b"key"

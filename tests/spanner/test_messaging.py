@@ -1,0 +1,54 @@
+from repro.spanner.messaging import TransactionalMessageQueue
+
+
+def test_commit_messages_assigns_ids_and_ts():
+    queue = TransactionalMessageQueue()
+    messages = queue.commit_messages([("t", "a"), ("t", "b")], commit_ts=42)
+    assert [m.payload for m in messages] == ["a", "b"]
+    assert all(m.commit_ts == 42 for m in messages)
+    assert messages[0].message_id != messages[1].message_id
+
+
+def test_poll_is_fifo_and_removes():
+    queue = TransactionalMessageQueue()
+    queue.commit_messages([("t", i) for i in range(5)], commit_ts=1)
+    first = queue.poll("t", max_messages=2)
+    assert [m.payload for m in first] == [0, 1]
+    assert queue.pending("t") == 3
+    rest = queue.poll("t", max_messages=10)
+    assert [m.payload for m in rest] == [2, 3, 4]
+    assert queue.pending() == 0
+
+
+def test_poll_empty_topic():
+    assert TransactionalMessageQueue().poll("nope") == []
+
+
+def test_subscribe_and_deliver_all():
+    queue = TransactionalMessageQueue()
+    received = []
+    queue.subscribe("triggers", received.append)
+    queue.commit_messages([("triggers", "x"), ("other", "y")], commit_ts=1)
+    delivered = queue.deliver_all()
+    assert delivered == 1
+    assert [m.payload for m in received] == ["x"]
+    # unsubscribed topic retains its message
+    assert queue.pending("other") == 1
+
+
+def test_multiple_subscribers_all_called():
+    queue = TransactionalMessageQueue()
+    a, b = [], []
+    queue.subscribe("t", a.append)
+    queue.subscribe("t", b.append)
+    queue.commit_messages([("t", 1)], commit_ts=1)
+    queue.deliver_all()
+    assert len(a) == len(b) == 1
+
+
+def test_delivered_counter():
+    queue = TransactionalMessageQueue()
+    queue.subscribe("t", lambda m: None)
+    queue.commit_messages([("t", 1), ("t", 2)], commit_ts=1)
+    queue.deliver_all()
+    assert queue.delivered == 2

@@ -1,0 +1,98 @@
+import pytest
+
+from repro.spanner.mvcc import TOMBSTONE, VersionChain, is_deleted
+
+
+def test_empty_chain_reads_as_deleted():
+    chain = VersionChain()
+    assert chain.read_at(100) is TOMBSTONE
+    assert is_deleted(chain.read_at(100))
+    assert chain.latest() == (0, TOMBSTONE)
+    assert chain.is_empty()
+
+
+def test_read_at_picks_newest_at_or_before():
+    chain = VersionChain()
+    chain.write(10, "v10")
+    chain.write(20, "v20")
+    chain.write(30, "v30")
+    assert chain.read_at(5) is TOMBSTONE
+    assert chain.read_at(10) == "v10"
+    assert chain.read_at(15) == "v10"
+    assert chain.read_at(20) == "v20"
+    assert chain.read_at(1000) == "v30"
+
+
+def test_write_rejects_non_monotonic_timestamps():
+    chain = VersionChain()
+    chain.write(10, "a")
+    with pytest.raises(ValueError):
+        chain.write(10, "b")
+    with pytest.raises(ValueError):
+        chain.write(5, "c")
+
+
+def test_tombstone_versions():
+    chain = VersionChain()
+    chain.write(10, "alive")
+    chain.write(20, TOMBSTONE)
+    chain.write(30, "reborn")
+    assert chain.read_at(15) == "alive"
+    assert is_deleted(chain.read_at(25))
+    assert chain.read_at(35) == "reborn"
+
+
+def test_latest():
+    chain = VersionChain()
+    chain.write(10, "a")
+    chain.write(20, "b")
+    assert chain.latest() == (20, "b")
+
+
+def test_versions_newest_first():
+    chain = VersionChain()
+    chain.write(10, "a")
+    chain.write(20, "b")
+    assert list(chain.versions()) == [(20, "b"), (10, "a")]
+
+
+def test_gc_keeps_version_readable_at_horizon():
+    chain = VersionChain()
+    chain.write(10, "a")
+    chain.write(20, "b")
+    chain.write(30, "c")
+    dropped = chain.gc(horizon_ts=25)
+    assert dropped == 1  # only v10 superseded before the horizon
+    assert chain.read_at(25) == "b"
+    assert chain.read_at(30) == "c"
+
+
+def test_gc_noop_when_single_version():
+    chain = VersionChain()
+    chain.write(10, "a")
+    assert chain.gc(horizon_ts=100) == 0
+    assert chain.read_at(100) == "a"
+
+
+def test_gc_drops_lone_old_tombstone():
+    chain = VersionChain()
+    chain.write(10, "a")
+    chain.write(20, TOMBSTONE)
+    dropped = chain.gc(horizon_ts=50)
+    assert dropped == 2
+    assert chain.is_empty()
+
+
+def test_gc_keeps_recent_tombstone():
+    chain = VersionChain()
+    chain.write(10, "a")
+    chain.write(20, TOMBSTONE)
+    chain.gc(horizon_ts=15)
+    assert is_deleted(chain.read_at(25))
+
+
+def test_len_counts_versions():
+    chain = VersionChain()
+    chain.write(1, "a")
+    chain.write(2, "b")
+    assert len(chain) == 2

@@ -1,0 +1,121 @@
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.spanner.database import SpannerDatabase
+from repro.spanner.splitting import LoadBasedSplitter, SplitPolicy
+
+
+@pytest.fixture
+def db():
+    database = SpannerDatabase(clock=SimClock(1_000_000))
+    database.create_table("Entities")
+    return database
+
+
+def fill(db, n):
+    for i in range(n):
+        txn = db.begin()
+        txn.put("Entities", f"{i:06d}".encode(), i)
+        txn.commit()
+
+
+def test_oversized_tablet_splits(db):
+    policy = SplitPolicy(max_rows=100, hot_load=1e12)
+    splitter = LoadBasedSplitter(db, policy)
+    fill(db, 500)
+    changes = splitter.run_once()
+    assert changes > 0
+    assert len(db.tablets) > 1
+    assert all(len(t.rows) <= 300 for t in db.tablets)
+
+
+def test_hot_tablet_splits(db):
+    policy = SplitPolicy(hot_load=10.0, max_rows=10**9, cold_load=0.0)
+    splitter = LoadBasedSplitter(db, policy)
+    fill(db, 50)  # 50 writes -> load 100 > 10
+    assert splitter.run_once() > 0
+
+
+def test_tablet_ranges_stay_contiguous(db):
+    splitter = LoadBasedSplitter(db, SplitPolicy(max_rows=50, hot_load=1e12))
+    fill(db, 400)
+    splitter.run_once()
+    tablets = db.tablets
+    assert tablets[0].start_key == b""
+    assert tablets[-1].end_key is None
+    for left, right in zip(tablets, tablets[1:]):
+        assert left.end_key == right.start_key
+
+
+def test_data_preserved_across_splits(db):
+    splitter = LoadBasedSplitter(db, SplitPolicy(max_rows=50, hot_load=1e12))
+    fill(db, 300)
+    splitter.run_once()
+    ts = 10_000_000_000
+    rows = list(db.snapshot_scan("Entities", None, None, ts))
+    assert len(rows) == 300
+    assert [k for k, _ in rows] == sorted(k for k, _ in rows)
+
+
+def test_cold_small_tablets_merge(db):
+    splitter = LoadBasedSplitter(
+        db, SplitPolicy(max_rows=50, hot_load=1e12, cold_load=10.0, merge_max_rows=10_000)
+    )
+    fill(db, 300)
+    splitter.run_once()
+    split_count = len(db.tablets)
+    assert split_count > 1
+    # let the load decay to cold
+    db.clock.advance(3_600_000_000)
+    splitter.run_once()
+    assert len(db.tablets) < split_count
+
+
+def test_pre_split_at_boundaries(db):
+    fill(db, 100)
+    splitter = LoadBasedSplitter(db)
+    tag = db.table("Entities").tag
+    boundaries = [bytes([tag]) + f"{i:06d}".encode() for i in (25, 50, 75)]
+    done = splitter.pre_split(boundaries)
+    assert done == 3
+    assert len(db.tablets) == 4
+    ts = 10_000_000_000
+    assert len(list(db.snapshot_scan("Entities", None, None, ts))) == 100
+
+
+def test_pre_split_idempotent(db):
+    fill(db, 100)
+    splitter = LoadBasedSplitter(db)
+    tag = db.table("Entities").tag
+    boundary = [bytes([tag]) + b"000050"]
+    assert splitter.pre_split(boundary) == 1
+    assert splitter.pre_split(boundary) == 0
+    assert len(db.tablets) == 2
+
+
+def test_max_tablets_guard(db):
+    splitter = LoadBasedSplitter(db, SplitPolicy(max_rows=2, hot_load=1e12, max_tablets=5))
+    fill(db, 100)
+    splitter.run_once()
+    assert len(db.tablets) <= 5
+
+
+def test_split_counters(db):
+    splitter = LoadBasedSplitter(db, SplitPolicy(max_rows=50, hot_load=1e12))
+    fill(db, 200)
+    splitter.run_once()
+    # net tablet count reflects splits minus any merges of the same pass
+    assert splitter.splits - splitter.merges == len(db.tablets) - 1
+    assert splitter.splits > 0
+
+
+def test_writes_after_split_land_in_right_tablet(db):
+    fill(db, 100)
+    splitter = LoadBasedSplitter(db)
+    tag = db.table("Entities").tag
+    splitter.pre_split([bytes([tag]) + b"000050"])
+    txn = db.begin()
+    txn.put("Entities", b"000049", "left")
+    txn.put("Entities", b"000051", "right")
+    result = txn.commit()
+    assert result.participants == 2  # true 2PC across both tablets

@@ -1,0 +1,100 @@
+from repro.spanner.mvcc import TOMBSTONE, VersionChain
+from repro.spanner.tablet import LoadStats, Tablet
+
+
+def make_tablet(rows, start=b"", end=None):
+    tablet = Tablet(start, end)
+    for key, ts, value in rows:
+        tablet.chain(key, create=True).write(ts, value)
+    return tablet
+
+
+def test_covers():
+    tablet = Tablet(b"b", b"m")
+    assert not tablet.covers(b"a")
+    assert tablet.covers(b"b")
+    assert tablet.covers(b"l")
+    assert not tablet.covers(b"m")
+
+
+def test_unbounded_tablet_covers_everything():
+    tablet = Tablet(b"", None)
+    assert tablet.covers(b"")
+    assert tablet.covers(b"\xff\xff")
+
+
+def test_read_at():
+    tablet = make_tablet([(b"k", 10, "v")])
+    assert tablet.read_at(b"k", 10) == "v"
+    assert tablet.read_at(b"k", 5) is TOMBSTONE
+    assert tablet.read_at(b"missing", 10) is TOMBSTONE
+
+
+def test_scan_at_respects_timestamps_and_tombstones():
+    tablet = make_tablet(
+        [(b"a", 10, "a1"), (b"b", 20, "b1"), (b"c", 10, "c1")]
+    )
+    tablet.chain(b"c").write(30, TOMBSTONE)
+    assert dict(tablet.scan_at(None, None, 15)) == {b"a": "a1", b"c": "c1"}
+    assert dict(tablet.scan_at(None, None, 30)) == {b"a": "a1", b"b": "b1"}
+
+
+def test_scan_intersects_with_tablet_bounds():
+    tablet = make_tablet(
+        [(b"c", 10, 1), (b"f", 10, 2), (b"j", 10, 3)], start=b"c", end=b"k"
+    )
+    got = [k for k, _ in tablet.scan_at(b"a", b"z", 100)]
+    assert got == [b"c", b"f", b"j"]
+    got = [k for k, _ in tablet.scan_at(b"d", b"g", 100)]
+    assert got == [b"f"]
+
+
+def test_reverse_scan():
+    tablet = make_tablet([(bytes([i]), 10, i) for i in range(5)])
+    got = [k for k, _ in tablet.scan_at(None, None, 100, reverse=True)]
+    assert got == [bytes([4]), bytes([3]), bytes([2]), bytes([1]), bytes([0])]
+
+
+def test_live_row_count_and_versions():
+    tablet = make_tablet([(b"a", 10, 1), (b"b", 10, 2)])
+    tablet.chain(b"a").write(20, TOMBSTONE)
+    assert tablet.live_row_count(30) == 1
+    assert tablet.version_count() == 3
+
+
+def test_gc_drops_emptied_chains():
+    tablet = make_tablet([(b"a", 10, 1)])
+    tablet.chain(b"a").write(20, TOMBSTONE)
+    tablet.gc(horizon_ts=100)
+    assert len(tablet.rows) == 0
+
+
+def test_split_key_roughly_median():
+    tablet = make_tablet([(bytes([i]), 10, i) for i in range(100)])
+    key = tablet.split_key()
+    assert key is not None
+    assert bytes([30]) < key < bytes([70])
+
+
+def test_split_key_needs_two_rows():
+    assert make_tablet([(b"a", 10, 1)]).split_key() is None
+    assert Tablet(b"", None).split_key() is None
+
+
+def test_load_stats_decay():
+    stats = LoadStats(half_life_us=1000)
+    stats.record_read(0, count=100)
+    assert stats.load(0) == 100.0
+    assert abs(stats.load(1000) - 50.0) < 1e-6
+    assert stats.load(3000) < 15.0
+
+
+def test_load_stats_writes_weighted():
+    stats = LoadStats()
+    stats.record_write(0, count=10)
+    assert stats.load(0) == 20.0
+
+
+def test_tablet_ids_unique():
+    a, b = Tablet(b"", None), Tablet(b"", None)
+    assert a.tablet_id != b.tablet_id

@@ -1,0 +1,96 @@
+"""Failure-injection property tests: whatever commits fail, the database's
+invariants hold — indexes stay consistent with documents, checksums stay
+valid, the A/B harness finds no divergence, and realtime listeners
+converge after recovery."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ab_testing import QueryABHarness
+from repro.core.backend import delete_op, set_op
+from repro.core.firestore import FirestoreService
+from repro.errors import Aborted, DeadlineExceeded, NotFound
+from repro.spanner.transaction import (
+    inject_definitive_failure,
+    inject_unknown_outcome,
+)
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "delete"]),
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(0, 5),
+        # fault: None | "fail" | "unknown-applied" | "unknown-lost"
+        st.sampled_from([None, None, None, "fail", "unknown-applied", "unknown-lost"]),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def run_sequence(db, ops):
+    """Apply ops with injected faults; returns the surviving expectation."""
+    expected: dict[str, dict | None] = {}
+    spanner = db.layout.spanner
+    for op, doc_id, n, fault in ops:
+        path = f"docs/{doc_id}"
+        write = set_op(path, {"n": n, "tag": doc_id}) if op == "set" else delete_op(path)
+        if fault == "fail":
+            spanner.commit_fault_injector = lambda t: inject_definitive_failure()
+        elif fault == "unknown-applied":
+            spanner.commit_fault_injector = lambda t: inject_unknown_outcome(True)
+        elif fault == "unknown-lost":
+            spanner.commit_fault_injector = lambda t: inject_unknown_outcome(False)
+        try:
+            db.commit([write])
+            applied = True
+        except (Aborted, DeadlineExceeded):
+            applied = fault == "unknown-applied"
+        except NotFound:
+            applied = False
+        finally:
+            spanner.commit_fault_injector = None
+        if applied:
+            expected[path] = {"n": n, "tag": doc_id} if op == "set" else None
+    return {k: v for k, v in expected.items() if v is not None}
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_property_invariants_survive_faults(ops):
+    service = FirestoreService()
+    db = service.create_database("faulty")
+    expected = run_sequence(db, ops)
+
+    # 1. the surviving documents are exactly the ones whose commits applied
+    survivors = {
+        str(d.path): d.data for d in db.run_query(db.query("docs")).documents
+    }
+    assert survivors == expected
+
+    # 2. indexes are consistent with the documents (validator clean)
+    report = db.validate()
+    assert report.is_clean, report.summary()
+
+    # 3. the index engine agrees with brute force on a query corpus
+    ab = QueryABHarness(db).run_random("docs", count=30, seed=1)
+    assert ab.is_clean, [r.describe() for r in ab.mismatches]
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_property_listeners_recover_from_faults(ops):
+    """Every unknown-outcome commit triggers the reset path; after
+    recovery the listener's view equals a fresh query."""
+    service = FirestoreService()
+    db = service.create_database("faulty-rt")
+    snaps = []
+    db.connect().listen(db.query("docs"), snaps.append)
+    run_sequence(db, ops)
+    for _ in range(3):
+        service.clock.advance(100_000)
+        db.pump_realtime()
+    fresh = {str(d.path): d.data for d in db.run_query(db.query("docs")).documents}
+    listener = {str(d.path): d.data for d in snaps[-1].documents}
+    assert listener == fresh
