@@ -11,7 +11,7 @@ result) against the same query served by one composite index, measured in
 index rows examined (the simulator's work unit).
 """
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench_json, print_table
 from repro.core.backend import set_op
 from repro.core.firestore import FirestoreService
 from repro.sim.rand import SimRandom
@@ -61,6 +61,14 @@ def test_ablation_zigzag_vs_composite(benchmark):
             ("composite index", comp_count, comp_examined,
              f"{comp_examined / max(1, comp_count):.1f}"),
         ],
+    )
+
+    emit_bench_json(
+        "ablation_zigzag_vs_composite",
+        {
+            "zigzag": {"results": zz_count, "rows_examined": zz_examined},
+            "composite": {"results": comp_count, "rows_examined": comp_examined},
+        },
     )
 
     assert zz_count == comp_count  # identical semantics

@@ -10,7 +10,7 @@ plus micro-benchmarks of the core developer-facing operations.
 
 import pathlib
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench_json, print_table
 from repro import FirestoreService, set_op
 from repro.client import MobileClient
 
@@ -51,6 +51,8 @@ def test_ease_of_use_loc(benchmark):
         ["concern", "LoC"],
         list(sections.items()),
     )
+    emit_bench_json("ease_of_use_loc", sections)
+
     # the paper's qualitative claim: each concern is tiny
     assert sections["real-time UI (onSnapshot + render)"] < 15
     assert sections["add-review transaction"] < 20

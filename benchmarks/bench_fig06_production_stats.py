@@ -8,7 +8,7 @@ the same normalized boxplot statistics.
 
 import math
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench_json, print_table
 from repro.workloads import FleetConfig, synthesize_fleet
 
 
@@ -38,6 +38,18 @@ def test_fig06_production_stats(benchmark):
         "Fig 6: per-database variance, normalized to median",
         ["metric", "min", "p25", "median", "p75", "p99", "max", "decades"],
         rows,
+    )
+    emit_bench_json(
+        "fig06_production_stats",
+        {
+            name: {
+                "p75_over_median": metric.normalized().p75,
+                "p99_over_median": metric.normalized().p99,
+                "max_over_median": metric.normalized().maximum,
+                "decades": round(metric.normalized().orders_of_magnitude, 2),
+            }
+            for name, metric in stats.items()
+        },
     )
 
     storage = stats["storage_bytes"].normalized()

@@ -6,7 +6,7 @@ A; p99 improves in the second half of the run as auto-scaling catches up
 with YCSB's rapid ramp.
 """
 
-from benchmarks.conftest import ms, print_table
+from benchmarks.conftest import emit_bench_json, ms, print_table
 
 
 def test_fig07_ycsb_read_latency(benchmark, ycsb_matrix):
@@ -32,6 +32,20 @@ def test_fig07_ycsb_read_latency(benchmark, ycsb_matrix):
         "Fig 7: YCSB read latency vs target QPS",
         ["workload", "qps", "p50", "p99", "p99 (1st half)", "p99 (2nd half)"],
         rows,
+    )
+    emit_bench_json(
+        "fig07_ycsb_read_latency",
+        {
+            f"{workload}@{qps}": {
+                "read_p50_us": r.read_p50_us,
+                "read_p99_us": r.read_p99_us,
+                "read_p99_first_half_us": r.read_p99_first_half_us,
+                "read_p99_second_half_us": r.read_p99_second_half_us,
+                "achieved_qps": round(r.achieved_qps, 1),
+                "rejected": r.rejected,
+            }
+            for (workload, qps), r in results.items()
+        },
     )
 
     for workload in ("A", "B"):

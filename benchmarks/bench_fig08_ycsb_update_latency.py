@@ -5,7 +5,7 @@ Paper shapes: update p50 roughly constant; updates slower than reads
 the write-heavy workload A, recovering as auto-scaling reacts.
 """
 
-from benchmarks.conftest import ms, print_table
+from benchmarks.conftest import emit_bench_json, ms, print_table
 
 
 def test_fig08_ycsb_update_latency(benchmark, ycsb_matrix):
@@ -31,6 +31,19 @@ def test_fig08_ycsb_update_latency(benchmark, ycsb_matrix):
         "Fig 8: YCSB update latency vs target QPS",
         ["workload", "qps", "p50", "p99", "p99 (1st half)", "p99 (2nd half)"],
         rows,
+    )
+    emit_bench_json(
+        "fig08_ycsb_update_latency",
+        {
+            f"{workload}@{qps}": {
+                "update_p50_us": r.update_p50_us,
+                "update_p99_us": r.update_p99_us,
+                "update_p99_first_half_us": r.update_p99_first_half_us,
+                "update_p99_second_half_us": r.update_p99_second_half_us,
+                "achieved_qps": round(r.achieved_qps, 1),
+            }
+            for (workload, qps), r in results.items()
+        },
     )
 
     for workload in ("A", "B"):

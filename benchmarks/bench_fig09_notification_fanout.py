@@ -8,7 +8,7 @@ Frontend pool auto-scales with connection count, independently of the
 rest of the system.
 """
 
-from benchmarks.conftest import ms, print_table
+from benchmarks.conftest import emit_bench_json, ms, print_table
 from repro.workloads import FanoutConfig, run_fanout_experiment
 
 
@@ -29,6 +29,17 @@ def test_fig09_notification_fanout(benchmark):
             (r.listeners, ms(r.notify_p50_us), ms(r.notify_p99_us), r.frontend_tasks_at_end)
             for r in results
         ],
+    )
+    emit_bench_json(
+        "fig09_notification_fanout",
+        {
+            str(r.listeners): {
+                "notify_p50_us": r.notify_p50_us,
+                "notify_p99_us": r.notify_p99_us,
+                "frontend_tasks_at_end": r.frontend_tasks_at_end,
+            }
+            for r in results
+        },
     )
 
     by_listeners = {r.listeners: r for r in results}

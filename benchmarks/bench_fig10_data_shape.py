@@ -13,7 +13,7 @@ Includes the exemption ablation the paper offers as mitigation: excluding
 fields from automatic indexing flattens the field-count curve.
 """
 
-from benchmarks.conftest import ms, print_table
+from benchmarks.conftest import emit_bench_json, ms, print_table
 from repro.workloads import run_doc_size_sweep, run_field_count_sweep
 
 
@@ -40,6 +40,18 @@ def test_fig10a_document_size(benchmark):
             )
             for r in results
         ],
+    )
+    emit_bench_json(
+        "fig10a_document_size",
+        {
+            str(r.parameter): {
+                "commit_p50_us": r.commit_p50_us,
+                "commit_p99_us": r.commit_p99_us,
+                "index_entries_per_commit": r.index_entries_per_commit,
+                "participants_per_commit": round(r.participants_per_commit, 2),
+            }
+            for r in results
+        },
     )
     by_size = {r.parameter: r for r in results}
     # latency grows with document size ...
@@ -93,6 +105,24 @@ def test_fig10b_indexed_field_count(benchmark):
         rows,
     )
 
+    emit_bench_json(
+        "fig10b_indexed_field_count",
+        {
+            **{
+                str(r.parameter): {
+                    "commit_p50_us": r.commit_p50_us,
+                    "commit_p99_us": r.commit_p99_us,
+                    "index_entries_per_commit": r.index_entries_per_commit,
+                }
+                for r in indexed
+            },
+            "500_exempt": {
+                "commit_p50_us": exempted[0].commit_p50_us,
+                "commit_p99_us": exempted[0].commit_p99_us,
+                "index_entries_per_commit": exempted[0].index_entries_per_commit,
+            },
+        },
+    )
     by_count = {r.parameter: r for r in indexed}
     # index entries grow linearly with field count (asc + desc per field)
     assert by_count[500].index_entries_per_commit == 1000

@@ -10,7 +10,7 @@ minimum, leaving only a small increase in p99 latency (note the log
 scale)."
 """
 
-from benchmarks.conftest import ms, print_table
+from benchmarks.conftest import emit_bench_json, ms, print_table
 from repro.workloads import IsolationConfig, run_isolation_experiment
 
 
@@ -46,6 +46,18 @@ def test_fig11_isolation(benchmark):
             ("fifo", ms(unfair.bystander_p50_saturated_us),
              ms(unfair.bystander_p99_saturated_us), unfair.bystander_completed),
         ],
+    )
+
+    emit_bench_json(
+        "fig11_isolation",
+        {
+            label: {
+                "bystander_p50_saturated_us": result.bystander_p50_saturated_us,
+                "bystander_p99_saturated_us": result.bystander_p99_saturated_us,
+                "bystander_completed": result.bystander_completed,
+            }
+            for label, result in (("fair", fair), ("fifo", unfair))
+        },
     )
 
     # the headline result: an order of magnitude (log-scale) difference

@@ -12,7 +12,7 @@ tracks the *busy* traffic, not the tenant count, and (c) the busy tenant
 within the free quota still pays nothing.
 """
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import emit_bench_json, print_table
 from repro.sim.clock import MICROS_PER_SECOND
 from repro.service.cluster import ClusterConfig, ServingCluster
 from repro.service.rpc import RpcKind
@@ -64,6 +64,17 @@ def test_idle_database_cost(benchmark):
              cluster.billing.charge_today_usd("busy")),
             ("backend pool size", cluster.backend_pool.size),
         ],
+    )
+
+    emit_bench_json(
+        "idle_cost",
+        {
+            "idle_tenants": len(idle_tenants),
+            "idle_billable_reads": idle_reads,
+            "busy_requests_completed": busy_completed,
+            "busy_reads_recorded": busy_usage.reads,
+            "backend_pool_size": cluster.backend_pool.size,
+        },
     )
 
     # idle databases cost nothing: no operations, no charge

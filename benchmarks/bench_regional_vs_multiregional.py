@@ -7,7 +7,7 @@ multi-regional deployments than in regional ones." Reads pay less of the
 difference (a single leader round vs a full commit quorum).
 """
 
-from benchmarks.conftest import ms, print_table
+from benchmarks.conftest import emit_bench_json, ms, print_table
 from repro.service.cluster import ClusterConfig, ServingCluster
 from repro.service.metrics import LatencyRecorder
 from repro.service.rpc import RpcKind
@@ -53,6 +53,24 @@ def test_regional_vs_multiregional(benchmark):
              ms(m_writes.p50), ms(m_writes.p99)),
         ],
     )
+    emit_bench_json(
+        "regional_vs_multiregional",
+        {
+            "regional": {
+                "read_p50_us": r_reads.p50,
+                "read_p99_us": r_reads.p99,
+                "commit_p50_us": r_writes.p50,
+                "commit_p99_us": r_writes.p99,
+            },
+            "multi_region": {
+                "read_p50_us": m_reads.p50,
+                "read_p99_us": m_reads.p99,
+                "commit_p50_us": m_writes.p50,
+                "commit_p99_us": m_writes.p99,
+            },
+        },
+    )
+
     # the paper's claim: multi-regional writes are substantially slower
     assert m_writes.p50 > 3 * r_writes.p50
     # and the penalty is write-skewed: reads pay proportionally less

@@ -6,11 +6,74 @@ rows/series the paper plots, asserts the qualitative *shape* (who wins,
 by roughly what factor, where the knees are), and reports the simulation
 through pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` gives
 a timing inventory.
+
+Every benchmark also drops a machine-readable ``BENCH_<name>.json``
+summary (p50/p99/throughput per figure) via :func:`emit_bench_json`, so
+the perf trajectory is trackable across PRs. Summaries land in
+``benchmarks/out/`` (override with ``REPRO_BENCH_DIR``).
+
+Observability is opt-in per run: ``pytest benchmarks/ --obs-trace``
+additionally exports Chrome trace-event JSON (``TRACE_<name>.json``,
+loadable in Perfetto) and plain-text reports (``REPORT_<name>.txt``) for
+the benchmarks that own a tracer/metrics registry (see ``repro.obs``).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-trace",
+        action="store_true",
+        default=False,
+        help="export repro.obs Chrome traces + text reports for benchmarks "
+        "that support tracing (written next to BENCH_*.json)",
+    )
+
+
+@pytest.fixture(scope="session")
+def obs_trace_enabled(request) -> bool:
+    """Whether ``--obs-trace`` was passed for this benchmark run."""
+    return request.config.getoption("--obs-trace")
+
+
+def bench_output_dir() -> pathlib.Path:
+    """Where benchmark artifacts go (``REPRO_BENCH_DIR`` overrides)."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    path = (
+        pathlib.Path(override)
+        if override
+        else pathlib.Path(__file__).parent / "out"
+    )
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def emit_bench_json(name: str, summary: dict) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` with one figure's summary numbers."""
+    path = bench_output_dir() / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def export_obs(name: str, tracer=None, metrics=None) -> None:
+    """Export a benchmark's trace + report artifacts (obs opt-in)."""
+    from repro.obs import write_chrome_trace, write_text_report
+
+    out = bench_output_dir()
+    if tracer is not None:
+        write_chrome_trace(tracer, str(out / f"TRACE_{name}.json"))
+    write_text_report(
+        str(out / f"REPORT_{name}.txt"), tracer, metrics, title=name
+    )
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
@@ -33,12 +96,15 @@ def ms(us: int | float) -> str:
 
 
 @pytest.fixture(scope="session")
-def ycsb_matrix():
+def ycsb_matrix(request):
     """Figures 7 and 8 come from the same YCSB runs; do them once.
 
     Workloads A (50/50) and B (95/5), uniform keys, 900-byte documents,
     multiple target QPS levels — scaled to 2 minutes per cell (the paper
     uses 10) with the last half measured.
+
+    With ``--obs-trace``, one additional (smaller) workload-A cell runs
+    fully traced and its span tree + metrics are exported.
     """
     from repro.workloads import YcsbConfig, YcsbRunner
 
@@ -54,4 +120,19 @@ def ycsb_matrix():
                 seed=42,
             )
             results[(workload, qps)] = YcsbRunner(config).run()
+
+    if request.config.getoption("--obs-trace"):
+        traced = YcsbRunner(
+            YcsbConfig(
+                workload="A",
+                target_qps=500,
+                duration_s=30,
+                measure_last_s=15,
+                seed=42,
+                trace=True,
+            )
+        )
+        traced.run()
+        export_obs("ycsb_a_traced", traced.tracer, traced.metrics)
+
     return qps_levels, results

@@ -76,6 +76,7 @@ class MobileClient:
         self.database = database
         self.auth = auth
         self.persistence = persistence
+        self.tracer = database.service.tracer
         self.cache = LocalCache()
         self.mutation_queue = MutationQueue()
         self._listeners: dict[Any, _Listener] = {}
@@ -145,6 +146,21 @@ class MobileClient:
         doc_path = document_path(path if isinstance(path, Path) else Path.parse(path))
         if source == "server" and not self._online:
             raise Unavailable("source='server' requires connectivity")
+        if self.tracer:
+            return self._traced_get(doc_path, source)
+        return self._get(doc_path, source)
+
+    def _traced_get(self, doc_path: Path, source: str) -> ClientDocumentSnapshot:
+        with self.tracer.span(
+            "client.get",
+            component="client",
+            attributes={"path": str(doc_path), "source": source},
+        ) as span:
+            snapshot = self._get(doc_path, source)
+            span.set_attribute("from_cache", snapshot.from_cache)
+            return snapshot
+
+    def _get(self, doc_path: Path, source: str) -> ClientDocumentSnapshot:
         if source == "cache":
             cached = self.cache.get(doc_path)
             if cached is None and not self.mutation_queue.has_pending(doc_path):
@@ -343,6 +359,18 @@ class MobileClient:
         if not self._online:
             return 0
         mutations = self.mutation_queue.drain()
+        if not mutations:
+            return 0
+        with self.tracer.span(
+            "client.flush",
+            component="client",
+            attributes={"pending": len(mutations)},
+        ) as span:
+            flushed = self._flush_mutations(mutations)
+            span.set_attribute("flushed", flushed)
+        return flushed
+
+    def _flush_mutations(self, mutations) -> int:
         flushed = 0
         for index, mutation in enumerate(mutations):
             op = self._to_write_op(mutation)
@@ -392,16 +420,23 @@ class MobileClient:
             self.flush()
         clock = self.database.service.clock
         last: Optional[Aborted] = None
-        for _ in range(max_attempts):
-            txn = ClientTransaction(self)
-            try:
-                result = fn(txn)
-                txn._commit()
-                return result
-            except Aborted as exc:
-                last = exc
-                clock.advance(_OCC_BACKOFF_US)
-        raise Aborted(f"transaction failed after {max_attempts} attempts: {last}")
+        with self.tracer.span(
+            "client.transaction", component="client"
+        ) as span:
+            for attempt in range(max_attempts):
+                txn = ClientTransaction(self)
+                try:
+                    result = fn(txn)
+                    txn._commit()
+                    span.set_attribute("attempts", attempt + 1)
+                    return result
+                except Aborted as exc:
+                    last = exc
+                    clock.advance(_OCC_BACKOFF_US)
+            span.set_attribute("attempts", max_attempts)
+            raise Aborted(
+                f"transaction failed after {max_attempts} attempts: {last}"
+            )
 
     # -- persistence --------------------------------------------------------------------------------
 

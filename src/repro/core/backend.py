@@ -38,6 +38,7 @@ from repro.core.planner import QueryPlanner
 from repro.core.query import Query
 from repro.core.serialization import deserialize_document, serialize_document
 from repro.core.values import delete_field, get_field, set_field
+from repro.obs.tracer import NULL_TRACER
 from repro.realtime.protocol import (
     DocumentChange,
     NullRealtimeCache,
@@ -168,6 +169,7 @@ class Backend:
         registry: Optional[IndexRegistry] = None,
         realtime: Optional[RealtimeCacheInterface] = None,
         rules=None,
+        tracer=NULL_TRACER,
     ):
         self.layout = layout
         self.registry = registry if registry is not None else IndexRegistry()
@@ -176,9 +178,10 @@ class Backend:
         )
         self.rules = rules  # None = allow privileged only; see _check_rules
         self.planner = QueryPlanner(self.registry)
-        self.executor = QueryExecutor(layout)
+        self.executor = QueryExecutor(layout, tracer=tracer)
         self.triggers: list[TriggerRegistration] = []
         # observability
+        self.tracer = tracer
         self.committed_writes = 0
         self.docs_read = 0
 
@@ -238,17 +241,28 @@ class Backend:
         static query-constraint analysis, documented in DESIGN.md).
         """
         normalized = query.normalize()
-        plan = self.planner.plan(normalized)
-        if read_ts is None:
-            read_ts = self.layout.spanner.current_timestamp()
-        result = self.executor.execute(
-            plan, read_ts, txn=txn, max_work=max_work, resume_token=resume_token
-        )
-        self.docs_read += len(result.documents)
-        if auth is not None:
-            for doc in result.documents:
-                self._check_rules("list", doc.path, auth, doc, None, txn, read_ts)
-        return result
+        with self.tracer.span(
+            "backend.run_query",
+            attributes={
+                "database_id": self.layout.database_id,
+                "operation": "query",
+            },
+        ) as span:
+            plan = self.planner.plan(normalized)
+            if read_ts is None:
+                read_ts = self.layout.spanner.current_timestamp()
+            result = self.executor.execute(
+                plan, read_ts, txn=txn, max_work=max_work, resume_token=resume_token
+            )
+            self.docs_read += len(result.documents)
+            if auth is not None:
+                for doc in result.documents:
+                    self._check_rules(
+                        "list", doc.path, auth, doc, None, txn, read_ts
+                    )
+            span.set_attribute("documents", len(result.documents))
+            span.set_attribute("plan", plan.kind)
+            return result
 
     def run_count(
         self,
@@ -289,60 +303,97 @@ class Backend:
             raise InvalidArgument("commit requires at least one write")
         paths = [w.path for w in writes]
 
-        own_txn = txn is None
-        spanner = self.layout.spanner
-        if own_txn:
-            txn = spanner.begin()  # step 1
-        try:
-            changes = self._stage_writes(txn, writes, auth)  # steps 2-4
-        except BaseException:
+        with self.tracer.span(
+            "backend.commit",
+            attributes={
+                "database_id": self.layout.database_id,
+                "operation": "commit",
+                "writes": len(writes),
+            },
+        ) as commit_span:
+            own_txn = txn is None
+            spanner = self.layout.spanner
             if own_txn:
-                txn.rollback()
-            raise
+                txn = spanner.begin()  # step 1
+                commit_span.add_event("txn.begin", {"step": 1})
+            try:
+                with self.tracer.span(
+                    "backend.stage_writes", attributes={"steps": "2-4"}
+                ):
+                    changes = self._stage_writes(txn, writes, auth)  # steps 2-4
+            except BaseException:
+                if own_txn:
+                    txn.rollback()
+                raise
 
-        # step 5: Prepare with the Real-time Cache
-        max_ts = spanner.truetime.now().latest + MAX_COMMIT_HORIZON_US
-        try:
-            handle = self.realtime.prepare(self.layout.database_id, paths, max_ts)
-        except Unavailable:
-            if own_txn or txn.is_active:
-                txn.rollback()
-            raise
+            # step 5: Prepare with the Real-time Cache
+            max_ts = spanner.truetime.now().latest + MAX_COMMIT_HORIZON_US
+            try:
+                with self.tracer.span(
+                    "rtc.prepare", component="realtime", attributes={"step": 5}
+                ):
+                    handle = self.realtime.prepare(
+                        self.layout.database_id, paths, max_ts
+                    )
+            except Unavailable:
+                if own_txn or txn.is_active:
+                    txn.rollback()
+                raise
 
-        # step 6: Spanner commit within [m, M]
-        try:
-            result = txn.commit(
-                min_commit_ts=handle.min_commit_ts, max_commit_ts=max_ts
-            )
-        except Aborted:
-            self.realtime.accept(
-                self.layout.database_id, handle, WriteOutcome.FAILED, 0, []
-            )
-            raise
-        except CommitOutcomeUnknown:
-            self.realtime.accept(
-                self.layout.database_id, handle, WriteOutcome.UNKNOWN, 0, []
-            )
-            raise DeadlineExceeded(
-                "commit outcome unknown; the write may or may not be applied"
-            )
+            # step 6: Spanner commit within [m, M]
+            try:
+                with self.tracer.span(
+                    "spanner.commit", component="spanner", attributes={"step": 6}
+                ):
+                    result = txn.commit(
+                        min_commit_ts=handle.min_commit_ts, max_commit_ts=max_ts
+                    )
+            except Aborted:
+                with self.tracer.span(
+                    "rtc.accept",
+                    component="realtime",
+                    attributes={"step": 7, "outcome": "failed"},
+                ):
+                    self.realtime.accept(
+                        self.layout.database_id, handle, WriteOutcome.FAILED, 0, []
+                    )
+                raise
+            except CommitOutcomeUnknown:
+                with self.tracer.span(
+                    "rtc.accept",
+                    component="realtime",
+                    attributes={"step": 7, "outcome": "unknown"},
+                ):
+                    self.realtime.accept(
+                        self.layout.database_id, handle, WriteOutcome.UNKNOWN, 0, []
+                    )
+                raise DeadlineExceeded(
+                    "commit outcome unknown; the write may or may not be applied"
+                )
 
-        # step 7: Accept with the committed mutations
-        stamped = [c.with_commit_ts(result.commit_ts) for c in changes]
-        self.realtime.accept(
-            self.layout.database_id,
-            handle,
-            WriteOutcome.COMMITTED,
-            result.commit_ts,
-            stamped,
-        )
-        self.committed_writes += len(writes)
-        return CommitOutcomeResult(
-            commit_ts=result.commit_ts,
-            write_count=len(writes),
-            index_entries_written=result.mutation_count - len(writes),
-            participants=result.participants,
-        )
+            # step 7: Accept with the committed mutations
+            stamped = [c.with_commit_ts(result.commit_ts) for c in changes]
+            with self.tracer.span(
+                "rtc.accept",
+                component="realtime",
+                attributes={"step": 7, "outcome": "committed"},
+            ):
+                self.realtime.accept(
+                    self.layout.database_id,
+                    handle,
+                    WriteOutcome.COMMITTED,
+                    result.commit_ts,
+                    stamped,
+                )
+            self.committed_writes += len(writes)
+            commit_span.set_attribute("commit_ts", result.commit_ts)
+            commit_span.set_attribute("participants", result.participants)
+            return CommitOutcomeResult(
+                commit_ts=result.commit_ts,
+                write_count=len(writes),
+                index_entries_written=result.mutation_count - len(writes),
+                participants=result.participants,
+            )
 
     def _stage_writes(
         self, txn, writes: list[WriteOp], auth: Optional[AuthContext]

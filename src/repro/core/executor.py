@@ -76,8 +76,11 @@ class _ByteRange:
 class QueryExecutor:
     """Executes query plans against one database's layout."""
 
-    def __init__(self, layout: DatabaseLayout):
+    def __init__(self, layout: DatabaseLayout, tracer=None):
+        from repro.obs.tracer import NULL_TRACER
+
         self.layout = layout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- public entry point -----------------------------------------------------
 
@@ -97,45 +100,55 @@ class QueryExecutor:
         """
         normalized = plan.normalized
         budget = _WorkBudget(max_work)
-        if plan.kind == "entities":
-            rows = self._entities_rows(plan, read_ts, txn, budget, resume_token)
-        elif plan.kind == "single":
-            rows = self._single_index_rows(plan, read_ts, txn, budget, resume_token)
-        elif plan.kind == "join":
-            rows = self._zigzag_rows(plan, read_ts, txn, budget)
-        else:  # pragma: no cover - planner only emits the three kinds
-            raise InternalError(f"unknown plan kind {plan.kind}")
+        with self.tracer.span(
+            "executor.execute",
+            component="backend",
+            attributes={"plan": plan.kind, "read_ts": read_ts},
+        ) as span:
+            if plan.kind == "entities":
+                rows = self._entities_rows(plan, read_ts, txn, budget, resume_token)
+            elif plan.kind == "single":
+                rows = self._single_index_rows(
+                    plan, read_ts, txn, budget, resume_token
+                )
+            elif plan.kind == "join":
+                rows = self._zigzag_rows(plan, read_ts, txn, budget)
+            else:  # pragma: no cover - planner only emits the three kinds
+                raise InternalError(f"unknown plan kind {plan.kind}")
 
-        documents: list[Document] = []
-        skipped = 0
-        limit = normalized.query.limit
-        offset = normalized.query.offset
-        partial = False
-        last_processed: Optional[bytes] = None
-        for doc, resume in rows:
-            if budget.exhausted:
-                # the current row is NOT processed; the resume token names
-                # the last row that was, so a continuation re-examines this
-                # one rather than skipping it
-                partial = True
-                break
-            last_processed = resume
-            if not self._residual_match(doc, normalized):
-                continue
-            if skipped < offset:
-                skipped += 1
-                continue
-            if limit is not None and len(documents) >= limit:
-                break
-            documents.append(self._project(doc, normalized))
-            if limit is not None and len(documents) >= limit:
-                break
-        return QueryResult(
-            documents,
-            read_ts,
-            partial=partial,
-            resume_token=last_processed if partial else None,
-        )
+            documents: list[Document] = []
+            skipped = 0
+            limit = normalized.query.limit
+            offset = normalized.query.offset
+            partial = False
+            last_processed: Optional[bytes] = None
+            for doc, resume in rows:
+                if budget.exhausted:
+                    # the current row is NOT processed; the resume token
+                    # names the last row that was, so a continuation
+                    # re-examines this one rather than skipping it
+                    partial = True
+                    break
+                last_processed = resume
+                if not self._residual_match(doc, normalized):
+                    continue
+                if skipped < offset:
+                    skipped += 1
+                    continue
+                if limit is not None and len(documents) >= limit:
+                    break
+                documents.append(self._project(doc, normalized))
+                if limit is not None and len(documents) >= limit:
+                    break
+            span.set_attribute("rows_examined", budget.spent)
+            span.set_attribute("documents", len(documents))
+            span.set_attribute("partial", partial)
+            return QueryResult(
+                documents,
+                read_ts,
+                partial=partial,
+                resume_token=last_processed if partial else None,
+            )
 
     def count(
         self,

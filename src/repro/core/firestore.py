@@ -53,11 +53,17 @@ class FirestoreService:
         region: str = "nam5",
         multi_region: bool = True,
         clock: Optional[SimClock] = None,
+        tracer=None,
+        metrics=None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         self.region = region
         self.multi_region = multi_region
         self.clock = clock if clock is not None else SimClock()
         self.truetime = TrueTime(self.clock)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.latency: LatencyModel = (
             MultiRegionalLatency() if multi_region else RegionalLatency()
         )
@@ -67,8 +73,11 @@ class FirestoreService:
             )
             for i in range(SPANNER_DATABASES_PER_REGION)
         ]
+        for spanner in self.spanner_databases:
+            spanner.tracer = self.tracer
         self.splitters = [
-            LoadBasedSplitter(db) for db in self.spanner_databases
+            LoadBasedSplitter(db, metrics=metrics)
+            for db in self.spanner_databases
         ]
         self._databases: dict[str, FirestoreDatabase] = {}
         self._placements: dict[str, tuple[SpannerDatabase, int]] = {}
@@ -196,8 +205,15 @@ class FirestoreDatabase:
         self.metadata = MetadataCache(MetadataStore(self.layout), service.clock)
         recovered = self.metadata.store.load_registry()
         self.registry = recovered if recovered is not None else IndexRegistry()
-        self.realtime = RealtimeCache(service.clock)
-        self.backend = Backend(self.layout, self.registry, realtime=self.realtime)
+        self.realtime = RealtimeCache(
+            service.clock, tracer=service.tracer, metrics=service.metrics
+        )
+        self.backend = Backend(
+            self.layout,
+            self.registry,
+            realtime=self.realtime,
+            tracer=service.tracer,
+        )
         rules_source = self.metadata.store.load_rules()
         if rules_source is not None:
             from repro.rules import compile_rules

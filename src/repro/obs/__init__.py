@@ -1,0 +1,56 @@
+"""repro.obs — end-to-end tracing and metrics observability.
+
+The paper's operations story (section VI) is built on production
+monitoring; this package gives the reproduction the same visibility:
+
+- :class:`Tracer` / :class:`Span`: Dapper-style span trees over the
+  simulated clock, with deterministic ids from seeded random streams.
+- :data:`NULL_TRACER`: the zero-overhead disabled singleton every
+  component defaults to.
+- :class:`MetricsRegistry`: labeled counters/gauges/histograms keyed by
+  ``database_id``/``operation``.
+- Exporters: Chrome trace-event JSON (open in Perfetto) and a plain-text
+  per-run report.
+- :func:`trace_full_commit`: run one fully-traced commit through the
+  functional stack — Frontend RPC, the Backend's seven-step write,
+  Spanner 2PC, Real-time Prepare/Accept, listener delivery.
+"""
+
+from repro.obs.export import (
+    chrome_trace_json,
+    dump_report,
+    render_text_report,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_text_report,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sampling import trace_full_commit
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "chrome_trace_json",
+    "dump_report",
+    "render_text_report",
+    "to_chrome_trace",
+    "trace_full_commit",
+    "write_chrome_trace",
+    "write_text_report",
+]

@@ -1,0 +1,180 @@
+"""A labeled metrics registry: counters, gauges, histograms.
+
+Subsumes and extends the bare percentile recorders of
+``repro.service.metrics``: every metric carries a name plus a label set
+(typically ``database_id`` and/or ``operation``), mirroring the paper's
+per-tenant production monitoring (section VI) and the per-tenant
+instrumentation the FoundationDB Record Layer describes. Histograms are
+built on :class:`repro.service.metrics.LatencyRecorder`, so percentile
+semantics stay identical to the existing benchmarks.
+
+All iteration in exports is sorted by (name, labels), which keeps reports
+byte-stable across runs with identical seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.service.metrics import LatencyRecorder
+
+LabelKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (pool sizes, queue depths)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the value upward."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the value downward."""
+        self.value -= amount
+
+
+class Histogram:
+    """A distribution of observations with percentile reporting."""
+
+    __slots__ = ("name", "labels", "_recorder", "total")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self._recorder = LatencyRecorder(name)
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        """Record one sample (non-negative integer units)."""
+        self._recorder.record(value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self._recorder)
+
+    def percentile(self, p: float) -> int:
+        """The p-th percentile (nearest-rank), 0 when empty."""
+        return self._recorder.percentile(p) if len(self._recorder) else 0
+
+    @property
+    def p50(self) -> int:
+        """Median sample (0 when empty)."""
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> int:
+        """99th percentile sample (0 when empty)."""
+        return self.percentile(99)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        return self._recorder.mean() if len(self._recorder) else 0.0
+
+
+def _label_key(name: str, labels: dict) -> LabelKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create home for every labeled metric in one simulation."""
+
+    def __init__(self):
+        self._metrics: dict[LabelKey, Any] = {}
+
+    def _get_or_create(self, cls, name: str, labels: dict):
+        key = _label_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1])
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter with this name+labels, created on first use."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge with this name+labels, created on first use."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram with this name+labels, created on first use."""
+        return self._get_or_create(Histogram, name, labels)
+
+    # -- read side ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def collect(self) -> Iterable[Any]:
+        """All metrics sorted by (name, labels) — stable across runs."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def get(self, name: str, **labels) -> Optional[Any]:
+        """Look up a metric without creating it."""
+        return self._metrics.get(_label_key(name, labels))
+
+    def with_name(self, name: str) -> list[Any]:
+        """Every labeled instance of one metric name, sorted by labels."""
+        return [
+            self._metrics[key] for key in sorted(self._metrics) if key[0] == name
+        ]
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets."""
+        return sum(m.value for m in self.with_name(name))
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly snapshot of every metric (sorted, stable)."""
+        out: dict[str, list] = {}
+        for metric in self.collect():
+            entry: dict[str, Any] = {"labels": dict(metric.labels)}
+            if isinstance(metric, Histogram):
+                entry.update(
+                    type="histogram",
+                    count=metric.count,
+                    total=metric.total,
+                    p50=metric.p50,
+                    p99=metric.p99,
+                )
+            elif isinstance(metric, Gauge):
+                entry.update(type="gauge", value=metric.value)
+            else:
+                entry.update(type="counter", value=metric.value)
+            out.setdefault(metric.name, []).append(entry)
+        return out

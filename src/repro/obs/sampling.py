@@ -1,0 +1,72 @@
+"""Sampled full-stack traced commits.
+
+The serving simulation (`repro.service`) models RPC *cost and queueing*;
+the functional stack (`repro.core` + `repro.spanner` + `repro.realtime`)
+models RPC *semantics*. A sampled trace stitches the two views together:
+for one commit, run the real seven-step write protocol under a root
+"frontend rpc" span and pump the Real-time Cache so listener delivery
+appears in the same trace — producing the full tree of paper section
+IV-D2/D4 (Frontend RPC -> Backend write -> Spanner 2PC + Real-time
+Prepare/Accept -> listener notification).
+"""
+
+from __future__ import annotations
+
+
+def trace_full_commit(
+    database,
+    path: str,
+    data: dict,
+    listen: bool = True,
+    close_after: bool = True,
+    tracer=None,
+):
+    """Commit one document with the full span tree recorded.
+
+    ``database`` is a :class:`repro.core.firestore.FirestoreDatabase`
+    whose service was built with a real tracer (or pass ``tracer``
+    explicitly). When ``listen`` is true, a real-time listener on the
+    document's parent collection is registered first, so the trace also
+    contains the listener-notification fan-out. Returns the list of
+    snapshot deltas the listener received.
+    """
+    # imported lazily: repro.core.backend itself imports repro.obs
+    from repro.core.backend import set_op
+    from repro.core.path import Path
+    from repro.core.query import Query
+
+    if tracer is None:
+        tracer = database.service.tracer
+    doc_path = Path.parse(path)
+    parent = doc_path.parent()
+    if parent is None:
+        raise ValueError(f"{path!r} is not a document path")
+
+    delivered: list = []
+    connection = None
+    if listen:
+        # listener setup is deliberately outside the sampled trace: the
+        # paper's span of interest starts at the commit RPC's arrival
+        connection = database.connect()
+        connection.listen(Query(parent=parent), delivered.append)
+
+    with tracer.span(
+        "frontend.rpc",
+        component="frontend",
+        attributes={
+            "database_id": database.database_id,
+            "operation": "commit",
+            "path": str(doc_path),
+            "sampled": True,
+        },
+    ):
+        database.commit([set_op(doc_path, data)])
+        if listen:
+            # drive one Changelog heartbeat so the committed mutation
+            # flushes through Matcher -> Frontend -> listener within the
+            # same trace
+            database.pump_realtime()
+
+    if connection is not None and close_after:
+        connection.close()
+    return delivered

@@ -31,11 +31,21 @@ if TYPE_CHECKING:  # circular at runtime: the Backend drives this module
 class RealtimeCache:
     """One database's Real-time Cache (Changelog + Query Matcher)."""
 
-    def __init__(self, clock: SimClock, auto_resync: bool = True):
+    def __init__(
+        self,
+        clock: SimClock,
+        auto_resync: bool = True,
+        tracer=None,
+        metrics=None,
+    ):
         self.clock = clock
+        self.tracer = tracer
+        self.metrics = metrics
         self.ownership = RangeOwnership()
-        self.changelog = Changelog(self.ownership, clock)
-        self.matcher = QueryMatcher(self.ownership)
+        self.changelog = Changelog(
+            self.ownership, clock, tracer=tracer, metrics=metrics
+        )
+        self.matcher = QueryMatcher(self.ownership, tracer=tracer, metrics=metrics)
         self.frontends: list[Frontend] = []
         self._handles: dict[int, list[NameRange]] = {}
         self.available = True
@@ -78,7 +88,7 @@ class RealtimeCache:
 
     def create_frontend(self, backend: Backend) -> Frontend:
         """Register a new Frontend task over this cache."""
-        frontend = Frontend(backend, self.matcher)
+        frontend = Frontend(backend, self.matcher, tracer=self.tracer)
         self.frontends.append(frontend)
         return frontend
 

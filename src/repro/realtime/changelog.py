@@ -51,7 +51,15 @@ class _RangeLog:
 class Changelog:
     """Changelog tasks for one database's ranges."""
 
-    def __init__(self, ownership: RangeOwnership, clock: SimClock):
+    def __init__(
+        self,
+        ownership: RangeOwnership,
+        clock: SimClock,
+        tracer=None,
+        metrics=None,
+    ):
+        from repro.obs.tracer import NULL_TRACER
+
         self.ownership = ownership
         self.clock = clock
         self._prepare_ids = itertools.count(1)
@@ -61,6 +69,8 @@ class Changelog:
         self.on_heartbeat: Optional[Callable[[NameRange, int], None]] = None
         self.on_out_of_sync: Optional[Callable[[NameRange], None]] = None
         # observability
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.prepares = 0
         self.timeouts = 0
 
@@ -82,17 +92,25 @@ class Changelog:
         """
         prepare_id = next(self._prepare_ids)
         self.prepares += 1
+        if self.metrics is not None:
+            self.metrics.counter("rtc_prepares").inc()
         min_ts = 0
         deadline = max_commit_ts + ACCEPT_TIMEOUT_MARGIN_US
-        for name_range in ranges:
-            log = self._log_for(name_range)
-            min_ts = max(min_ts, log.watermark + 1)
-        for name_range in ranges:
-            log = self._log_for(name_range)
-            log.outstanding[prepare_id] = _OutstandingPrepare(
-                prepare_id, min_ts, deadline
-            )
-        return PrepareHandle(prepare_id, min_ts, max_commit_ts)
+        with self.tracer.span(
+            "rtc.changelog.prepare",
+            component="realtime",
+            attributes={"prepare_id": prepare_id, "ranges": len(ranges)},
+        ) as span:
+            for name_range in ranges:
+                log = self._log_for(name_range)
+                min_ts = max(min_ts, log.watermark + 1)
+            for name_range in ranges:
+                log = self._log_for(name_range)
+                log.outstanding[prepare_id] = _OutstandingPrepare(
+                    prepare_id, min_ts, deadline
+                )
+            span.set_attribute("min_commit_ts", min_ts)
+            return PrepareHandle(prepare_id, min_ts, max_commit_ts)
 
     def accept(
         self,
@@ -103,20 +121,33 @@ class Changelog:
         changes: list[DocumentChange],
     ) -> None:
         """Step 7: resolve an outstanding prepare."""
-        for name_range in ranges:
-            log = self._log_for(name_range)
-            log.outstanding.pop(handle.prepare_id, None)
-            if outcome is WriteOutcome.UNKNOWN:
-                self._mark_out_of_sync(log)
-            elif outcome is WriteOutcome.COMMITTED and not log.out_of_sync:
-                # while out-of-sync, committed changes are dropped: every
-                # listener on the range re-queries at a timestamp at or
-                # after this commit, so nothing is lost
-                for change in changes:
-                    if name_range.covers(RangeOwnership.key_for(change.path)):
-                        log.buffer.append((commit_ts, change))
-            # FAILED: nothing buffered, the prepare simply resolves
-            self._advance(log)
+        with self.tracer.span(
+            "rtc.changelog.accept",
+            component="realtime",
+            attributes={
+                "prepare_id": handle.prepare_id,
+                "outcome": outcome.name.lower(),
+                "changes": len(changes),
+            },
+        ):
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "rtc_accepts", outcome=outcome.name.lower()
+                ).inc()
+            for name_range in ranges:
+                log = self._log_for(name_range)
+                log.outstanding.pop(handle.prepare_id, None)
+                if outcome is WriteOutcome.UNKNOWN:
+                    self._mark_out_of_sync(log)
+                elif outcome is WriteOutcome.COMMITTED and not log.out_of_sync:
+                    # while out-of-sync, committed changes are dropped:
+                    # every listener on the range re-queries at a timestamp
+                    # at or after this commit, so nothing is lost
+                    for change in changes:
+                        if name_range.covers(RangeOwnership.key_for(change.path)):
+                            log.buffer.append((commit_ts, change))
+                # FAILED: nothing buffered, the prepare simply resolves
+                self._advance(log)
 
     # -- heartbeats and timeouts ------------------------------------------------------
 
@@ -139,6 +170,8 @@ class Changelog:
             for prepare in expired:
                 del log.outstanding[prepare.prepare_id]
                 self.timeouts += 1
+                if self.metrics is not None:
+                    self.metrics.counter("rtc_accept_timeouts").inc()
                 self._mark_out_of_sync(log)
             self._advance(log, idle_floor=now)
 
@@ -174,6 +207,8 @@ class Changelog:
         """The fail-safe: discard buffered mutations and signal upward."""
         log.out_of_sync = True
         log.buffer.clear()
+        if self.metrics is not None:
+            self.metrics.counter("rtc_out_of_sync").inc()
         if self.on_out_of_sync is not None:
             self.on_out_of_sync(log.name_range)
 

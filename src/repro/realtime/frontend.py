@@ -156,11 +156,24 @@ class RealtimeConnection:
         if target <= self._emitted_ts:
             return emitted
         self._emitted_ts = target
+        tracer = self._frontend.tracer
         for state in self._states.values():
             if target > state.max_commit_version:
                 delta = self._frontend._apply_pending(state, target)
                 if delta is not None and not delta.is_empty:
-                    state.on_snapshot(delta)
+                    with tracer.span(
+                        "listener.notify",
+                        component="frontend",
+                        attributes={
+                            "read_ts": delta.read_ts,
+                            "added": len(delta.added),
+                            "modified": len(delta.modified),
+                            "removed": len(delta.removed),
+                        }
+                        if tracer
+                        else None,
+                    ):
+                        state.on_snapshot(delta)
                     emitted += 1
         return emitted
 
@@ -168,11 +181,14 @@ class RealtimeConnection:
 class Frontend:
     """One Frontend task serving real-time connections for a database."""
 
-    def __init__(self, backend: Backend, matcher: QueryMatcher):
+    def __init__(self, backend: Backend, matcher: QueryMatcher, tracer=None):
+        from repro.obs.tracer import NULL_TRACER
+
         self.backend = backend
         self.matcher = matcher
         self._connections: set[RealtimeConnection] = set()
         # observability
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.snapshots_sent = 0
         self.resets = 0
 
@@ -195,8 +211,10 @@ class Frontend:
     def pump(self) -> int:
         """Deliver any snapshots that have become consistent."""
         emitted = 0
-        for connection in list(self._connections):
-            emitted += connection._pump()
+        with self.tracer.span("frontend.pump", component="frontend") as span:
+            for connection in list(self._connections):
+                emitted += connection._pump()
+            span.set_attribute("snapshots", emitted)
         self.snapshots_sent += emitted
         return emitted
 
@@ -228,7 +246,14 @@ class Frontend:
             range_id: result.read_ts for range_id in subscription.range_ids
         }
         delta = self._diff_snapshots(state, previous, result.read_ts, is_initial=True)
-        state.on_snapshot(delta)
+        with self.tracer.span(
+            "listener.notify",
+            component="frontend",
+            attributes={"read_ts": delta.read_ts, "initial": True}
+            if self.tracer
+            else None,
+        ):
+            state.on_snapshot(delta)
         self.snapshots_sent += 1
 
     def _make_watermark_cb(self, state: _QueryState):

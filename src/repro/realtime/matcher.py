@@ -64,13 +64,17 @@ class Subscription:
 class QueryMatcher:
     """Matcher tasks for one database's ranges."""
 
-    def __init__(self, ownership: RangeOwnership):
+    def __init__(self, ownership: RangeOwnership, tracer=None, metrics=None):
+        from repro.obs.tracer import NULL_TRACER
+
         self.ownership = ownership
         self._ids = itertools.count(1)
         # range_id -> {subscription_id -> Subscription}
         self._by_range: dict[int, dict[int, Subscription]] = {}
         self._subs: dict[int, Subscription] = {}
         # observability
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.changes_examined = 0
         self.changes_forwarded = 0
 
@@ -118,18 +122,37 @@ class QueryMatcher:
 
     def on_change(self, name_range: NameRange, change: DocumentChange) -> None:
         """Changelog fan-in: match one mutation against subscribers."""
-        for subscription in list(self._by_range.get(name_range.range_id, {}).values()):
-            self.changes_examined += 1
-            if change.commit_ts <= subscription.resume_ts:
-                continue
-            relevant = document_matches_query(
-                subscription.normalized, change.path, change.old_data
-            ) or document_matches_query(
-                subscription.normalized, change.path, change.new_data
-            )
-            if relevant:
-                self.changes_forwarded += 1
-                subscription.deliver(subscription.subscription_id, change)
+        examined = 0
+        forwarded = 0
+        attrs = (
+            {"range_id": name_range.range_id, "path": str(change.path)}
+            if self.tracer
+            else None
+        )
+        with self.tracer.span(
+            "matcher.match", component="realtime", attributes=attrs
+        ) as span:
+            for subscription in list(
+                self._by_range.get(name_range.range_id, {}).values()
+            ):
+                examined += 1
+                if change.commit_ts <= subscription.resume_ts:
+                    continue
+                relevant = document_matches_query(
+                    subscription.normalized, change.path, change.old_data
+                ) or document_matches_query(
+                    subscription.normalized, change.path, change.new_data
+                )
+                if relevant:
+                    forwarded += 1
+                    subscription.deliver(subscription.subscription_id, change)
+            span.set_attribute("examined", examined)
+            span.set_attribute("forwarded", forwarded)
+        self.changes_examined += examined
+        self.changes_forwarded += forwarded
+        if self.metrics is not None:
+            self.metrics.counter("matcher_changes_examined").inc(examined)
+            self.metrics.counter("matcher_changes_forwarded").inc(forwarded)
 
     def on_heartbeat(self, name_range: NameRange, watermark: int) -> None:
         """Changelog fan-in: forward a range watermark."""

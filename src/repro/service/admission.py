@@ -43,9 +43,15 @@ class AdmissionConfig:
 class AdmissionController:
     """Decides whether each arriving RPC is admitted."""
 
-    def __init__(self, clock: SimClock, config: AdmissionConfig | None = None):
+    def __init__(
+        self,
+        clock: SimClock,
+        config: AdmissionConfig | None = None,
+        metrics=None,
+    ):
         self.clock = clock
         self.config = config if config is not None else AdmissionConfig()
+        self.metrics = metrics
         self._inflight: dict[str, int] = {}
         self._inflight_memory: dict[str, int] = {}
         # conformance tracking: per database, (window_start, count, allowance)
@@ -74,9 +80,11 @@ class AdmissionController:
         ):
             if self._inflight.get(database_id, 0) >= config.per_database_inflight_limit:
                 self.limited += 1
+                self._record(database_id, "inflight_limit")
                 return False, "per-database in-flight limit"
         if queue_depth >= config.shed_queue_depth:
             self.shed += 1
+            self._record(database_id, "load_shed")
             return False, "load shed"
         if (
             config.memory_pressure_bytes is not None
@@ -85,6 +93,7 @@ class AdmissionController:
             and database_id == self._top_memory_consumer(database_id, memory_bytes)
         ):
             self.memory_rejected += 1
+            self._record(database_id, "memory_pressure")
             return False, "memory pressure"
         self._inflight[database_id] = self._inflight.get(database_id, 0) + 1
         if memory_bytes:
@@ -92,7 +101,14 @@ class AdmissionController:
                 self._inflight_memory.get(database_id, 0) + memory_bytes
             )
         self.admitted += 1
+        self._record(database_id, "admitted")
         return True, ""
+
+    def _record(self, database_id: str, outcome: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "admission_decisions", database_id=database_id, outcome=outcome
+            ).inc()
 
     def release(self, database_id: str, memory_bytes: int = 0) -> None:
         """Mark one admitted request finished."""

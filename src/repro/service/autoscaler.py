@@ -44,11 +44,13 @@ class Autoscaler:
         config: AutoscalerConfig | None = None,
         enabled: bool = True,
         size_floor_fn=None,
+        metrics=None,
     ):
         self.pool = pool
         self.kernel = kernel
         self.config = config if config is not None else AutoscalerConfig()
         self.enabled = enabled
+        self.metrics = metrics
         #: optional callable giving a minimum pool size — used by the
         #: Frontend pool, which scales with the number of long-lived
         #: Listen connections rather than instantaneous CPU (section
@@ -64,14 +66,28 @@ class Autoscaler:
     def _schedule(self) -> None:
         self.kernel.after(self.config.evaluation_interval_us, self._evaluate)
 
+    def _record(self, event: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"autoscaler_{event}", pool=self.pool.name
+            ).inc()
+            self.metrics.gauge("pool_tasks", pool=self.pool.name).set(
+                self.pool.size
+            )
+
     def _evaluate(self) -> None:
         utilization = self.pool.utilization()
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "pool_utilization_permille", pool=self.pool.name
+            ).observe(int(utilization * 1000))
         if self.enabled:
             if self.size_floor_fn is not None:
                 floor = min(self.config.max_tasks, self.size_floor_fn())
                 if self.pool.size < floor:
                     self.pool.add_tasks(floor - self.pool.size)
                     self.scale_ups += 1
+                    self._record("scale_ups")
             self._react(utilization)
         self._schedule()
 
@@ -88,6 +104,7 @@ class Autoscaler:
                 if target > current:
                     self.pool.add_tasks(target - current)
                     self.scale_ups += 1
+                    self._record("scale_ups")
                 self._hot_evals = 0
         elif utilization <= config.low_watermark:
             self._cold_evals += 1
@@ -100,6 +117,7 @@ class Autoscaler:
                 if self.pool.size - shrink >= floor:
                     self.pool.remove_tasks(shrink)
                     self.scale_downs += 1
+                    self._record("scale_downs")
                 self._cold_evals = 0
         else:
             self._hot_evals = 0

@@ -49,9 +49,15 @@ class ServingCluster:
         self,
         kernel: Optional[EventKernel] = None,
         config: Optional[ClusterConfig] = None,
+        tracer=None,
+        metrics=None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         self.kernel = kernel if kernel is not None else EventKernel()
         self.config = config if config is not None else ClusterConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.rand = SimRandom(self.config.seed).fork("cluster-latency")
         self.latency: LatencyModel = (
             MultiRegionalLatency() if self.config.multi_region else RegionalLatency()
@@ -59,14 +65,18 @@ class ServingCluster:
         self.frontend_pool = TaskPool(
             "frontend",
             self.kernel,
-            FairShareScheduler(fair=True),
+            FairShareScheduler(fair=True, metrics=metrics),
             initial_tasks=self.config.frontend_tasks,
+            tracer=self.tracer,
+            metrics=metrics,
         )
         self.backend_pool = TaskPool(
             "backend",
             self.kernel,
-            FairShareScheduler(fair=self.config.fair_scheduling),
+            FairShareScheduler(fair=self.config.fair_scheduling, metrics=metrics),
             initial_tasks=self.config.backend_tasks,
+            tracer=self.tracer,
+            metrics=metrics,
         )
         self.active_connections = 0
         self.frontend_autoscaler = Autoscaler(
@@ -75,14 +85,18 @@ class ServingCluster:
             self.config.autoscaler,
             enabled=self.config.autoscale_frontend,
             size_floor_fn=self._frontend_floor,
+            metrics=metrics,
         )
         self.backend_autoscaler = Autoscaler(
             self.backend_pool,
             self.kernel,
             self.config.autoscaler,
             enabled=self.config.autoscale_backend,
+            metrics=metrics,
         )
-        self.admission = AdmissionController(self.kernel.clock, self.config.admission)
+        self.admission = AdmissionController(
+            self.kernel.clock, self.config.admission, metrics=metrics
+        )
         self.billing = BillingLedger(self.kernel.clock)
         from repro.service.routing import GlobalRouter
 
@@ -139,11 +153,28 @@ class ServingCluster:
         client's network hop to the database's home region.
         """
         arrival = self.kernel.now_us
+        operation = kind.name.lower()
+        root = None
+        if self.tracer:
+            root = self.tracer.start_span(
+                "cluster.rpc",
+                component="cluster",
+                attributes={"database_id": database_id, "operation": operation},
+            )
         admitted, reason = self.admission.try_admit(
             database_id, self.backend_pool.queue_depth(), memory_bytes
         )
         if not admitted:
             self.rejected += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "requests_rejected",
+                    database_id=database_id,
+                    operation=operation,
+                ).inc()
+            if root is not None:
+                root.set_attribute("rejected", reason)
+                root.end()
             if on_reject is not None:
                 on_reject(reason)
             return False
@@ -154,12 +185,34 @@ class ServingCluster:
             network_us = 2 * self.router.network_latency_us(client_region, database_id)
         else:
             network_us = 2 * self.latency.rpc_us(self.rand)  # same-region client
+        trace_ctx = root.context if root is not None else None
 
         def backend_done(rpc: Rpc, latency_us: int) -> None:
             self.admission.release(database_id, memory_bytes)
             self.completed += 1
             self._bill(database_id, kind)
-            on_complete(network_us + frontend_cost + latency_us)
+            total_us = network_us + frontend_cost + latency_us
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "requests_completed",
+                    database_id=database_id,
+                    operation=operation,
+                ).inc()
+                self.metrics.histogram(
+                    "request_latency_us",
+                    database_id=database_id,
+                    operation=operation,
+                ).observe(total_us)
+            if root is not None:
+                root.set_attributes(
+                    {
+                        "latency_us": total_us,
+                        "network_us": network_us,
+                        "storage_us": storage_us,
+                    }
+                )
+                root.end()
+            on_complete(total_us)
 
         def frontend_done(rpc: Rpc, frontend_latency_us: int) -> None:
             backend_rpc = Rpc(
@@ -170,6 +223,7 @@ class ServingCluster:
                 storage_latency_us=storage_us,
                 latency_sensitive=latency_sensitive,
                 on_complete=backend_done,
+                trace_ctx=trace_ctx,
             )
             pool = self._isolated_pools.get(database_id, self.backend_pool)
             pool.submit(backend_rpc)
@@ -182,6 +236,7 @@ class ServingCluster:
             arrival_us=arrival,
             latency_sensitive=latency_sensitive,
             on_complete=frontend_done,
+            trace_ctx=trace_ctx,
         )
         self.frontend_pool.submit(frontend_rpc)
         return True
@@ -203,11 +258,26 @@ class ServingCluster:
             raise ValueError("fan-out needs at least one listener")
         start = self.kernel.now_us
         remaining = [listeners]
+        root = None
+        if self.tracer:
+            root = self.tracer.start_span(
+                "cluster.notify_fanout",
+                component="cluster",
+                attributes={"database_id": database_id, "listeners": listeners},
+            )
+        trace_ctx = root.context if root is not None else None
 
         def one_done(rpc: Rpc, latency_us: int) -> None:
             remaining[0] -= 1
             if remaining[0] == 0:
-                on_all_delivered(self.kernel.now_us - start)
+                elapsed = self.kernel.now_us - start
+                if self.metrics is not None:
+                    self.metrics.histogram(
+                        "notify_fanout_latency_us", database_id=database_id
+                    ).observe(elapsed)
+                if root is not None:
+                    root.end()
+                on_all_delivered(elapsed)
 
         for _ in range(listeners):
             self.frontend_pool.submit(
@@ -217,6 +287,7 @@ class ServingCluster:
                     cpu_cost_us=per_listener_cost_us,
                     arrival_us=start,
                     on_complete=one_done,
+                    trace_ctx=trace_ctx,
                 )
             )
 
@@ -237,13 +308,19 @@ class ServingCluster:
         pool = TaskPool(
             f"isolated-{database_id}",
             self.kernel,
-            FairShareScheduler(fair=True),
+            FairShareScheduler(fair=True, metrics=self.metrics),
             initial_tasks=tasks,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self._isolated_pools[database_id] = pool
         if autoscale:
             self._isolated_autoscalers[database_id] = Autoscaler(
-                pool, self.kernel, self.config.autoscaler, enabled=True
+                pool,
+                self.kernel,
+                self.config.autoscaler,
+                enabled=True,
+                metrics=self.metrics,
             )
         return pool
 
@@ -278,3 +355,23 @@ class ServingCluster:
     def run_for(self, duration_us: int) -> None:
         """Advance the simulation by the given microseconds."""
         self.kernel.run_for(duration_us)
+
+    # -- observability exports -----------------------------------------------------------
+
+    def export_trace(self, path: str) -> str:
+        """Write this run's spans as Chrome trace-event JSON (Perfetto)."""
+        from repro.obs.export import write_chrome_trace
+
+        return write_chrome_trace(self.tracer, path)
+
+    def report(self, title: str = "cluster run") -> str:
+        """The plain-text per-run report of spans and metrics."""
+        from repro.obs.export import render_text_report
+
+        return render_text_report(self.tracer, self.metrics, title)
+
+    def export_report(self, path: str, title: str = "cluster run") -> str:
+        """Write the plain-text report to ``path``; returns the path."""
+        from repro.obs.export import write_text_report
+
+        return write_text_report(path, self.tracer, self.metrics, title)

@@ -34,13 +34,19 @@ class TaskPool:
         scheduler: Optional[FairShareScheduler] = None,
         initial_tasks: int = 4,
         speedup: float = 1.0,
+        tracer=None,
+        metrics=None,
     ):
         if initial_tasks < 1:
             raise ValueError("a pool needs at least one task")
+        from repro.obs.tracer import NULL_TRACER
+
         self.name = name
         self.kernel = kernel
         self.scheduler = scheduler if scheduler is not None else FairShareScheduler()
         self.speedup = speedup
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._tasks = [_Task(i) for i in range(initial_tasks)]
         self._next_task_id = initial_tasks
         # utilization accounting
@@ -60,6 +66,7 @@ class TaskPool:
         for _ in range(count):
             self._tasks.append(_Task(self._next_task_id))
             self._next_task_id += 1
+        self._record_size()
         self._dispatch()
 
     def remove_tasks(self, count: int) -> int:
@@ -71,7 +78,12 @@ class TaskPool:
         victims = idle[:removable]
         for task in victims:
             self._tasks.remove(task)
+        self._record_size()
         return len(victims)
+
+    def _record_size(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("pool_tasks", pool=self.name).set(len(self._tasks))
 
     # -- work flow -----------------------------------------------------------------
 
@@ -93,6 +105,18 @@ class TaskPool:
             finish = now + service_us
             task.busy_until_us = finish
             self._busy_us_accum += service_us
+            if self.tracer and rpc.trace_ctx is not None:
+                self.tracer.start_span(
+                    f"{self.name}.exec",
+                    parent=rpc.trace_ctx,
+                    component=self.name,
+                    attributes={
+                        "database_id": rpc.database_id,
+                        "kind": rpc.kind.name.lower(),
+                        "queue_wait_us": now - rpc.arrival_us,
+                        "task": task.task_id,
+                    },
+                ).end(finish)
             self.kernel.at(finish, self._make_completion(rpc, finish))
 
     def _free_task(self, now_us: int) -> Optional[_Task]:
@@ -104,6 +128,8 @@ class TaskPool:
     def _make_completion(self, rpc: Rpc, finish_us: int):
         def complete() -> None:
             self.completed += 1
+            if self.metrics is not None:
+                self.metrics.counter("pool_completed", pool=self.name).inc()
             if rpc.storage_latency_us > 0:
                 self.kernel.after(
                     rpc.storage_latency_us,

@@ -12,7 +12,10 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # import cycle: repro.obs has no runtime dependency here
+    from repro.obs.tracer import SpanContext
 
 
 class RpcKind(enum.Enum):
@@ -52,6 +55,9 @@ class Rpc:
     latency_sensitive: bool = True
     on_complete: Optional[Callable[["Rpc", int], None]] = None
     on_reject: Optional[Callable[["Rpc", str], None]] = None
+    #: trace context propagated across the serving hops (repro.obs); None
+    #: on untraced requests, so tracing stays zero-cost when off
+    trace_ctx: Optional["SpanContext"] = None
     rpc_id: int = field(default_factory=lambda: next(_rpc_ids))
 
     def __post_init__(self) -> None:

@@ -38,8 +38,9 @@ class _DatabaseQueue:
 class FairShareScheduler:
     """Per-database fair queueing of backend CPU."""
 
-    def __init__(self, fair: bool = True):
+    def __init__(self, fair: bool = True, metrics=None):
         self.fair = fair
+        self.metrics = metrics
         self._queues: dict[str, _DatabaseQueue] = {}
         self._fifo: deque[Rpc] = deque()
         #: floor for virtual time of newly-active databases, so an idle
@@ -51,6 +52,10 @@ class FairShareScheduler:
     def enqueue(self, rpc: Rpc) -> None:
         """Queue one RPC under its database's share."""
         self.enqueued += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "scheduler_enqueued", database_id=rpc.database_id
+            ).inc()
         if not self.fair:
             self._fifo.append(rpc)
             return
@@ -74,7 +79,9 @@ class FairShareScheduler:
             if not self._fifo:
                 return None
             self.dispatched += 1
-            return self._fifo.popleft()
+            rpc = self._fifo.popleft()
+            self._record_dispatch(rpc)
+            return rpc
         best_id: Optional[str] = None
         best_queue: Optional[_DatabaseQueue] = None
         for database_id, queue in self._queues.items():
@@ -95,7 +102,14 @@ class FairShareScheduler:
             ),
         )
         self.dispatched += 1
+        self._record_dispatch(rpc)
         return rpc
+
+    def _record_dispatch(self, rpc: Rpc) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "scheduler_dispatched", database_id=rpc.database_id
+            ).inc()
 
     def queued(self, database_id: Optional[str] = None) -> int:
         """Queued RPCs, optionally for one database."""

@@ -67,9 +67,14 @@ class SpannerDatabase:
         self._next_txn_id = 1
         self._directories: set[bytes] = set()
         # test hook: called before applying a commit; may raise to inject
-        # failures (unknown outcomes, definitive aborts)
+        # failures (unknown outcomes, definitive aborts). One-shot: the
+        # injector is cleared before it fires, so a stale injector cannot
+        # leak into subsequent commits.
         self.commit_fault_injector: Optional[Callable[[int], None]] = None
         # observability
+        from repro.obs.tracer import NULL_TRACER
+
+        self.tracer = NULL_TRACER
         self.commits = 0
         self.aborts = 0
 

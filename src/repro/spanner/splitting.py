@@ -39,9 +39,15 @@ class SplitPolicy:
 class LoadBasedSplitter:
     """Applies a :class:`SplitPolicy` to a database's tablets."""
 
-    def __init__(self, db: SpannerDatabase, policy: SplitPolicy | None = None):
+    def __init__(
+        self,
+        db: SpannerDatabase,
+        policy: SplitPolicy | None = None,
+        metrics=None,
+    ):
         self.db = db
         self.policy = policy if policy is not None else SplitPolicy()
+        self.metrics = metrics
         self.splits = 0
         self.merges = 0
 
@@ -49,6 +55,10 @@ class LoadBasedSplitter:
         """One maintenance pass; returns number of topology changes."""
         changes = self._split_pass()
         changes += self._merge_pass()
+        if self.metrics is not None:
+            self.metrics.gauge("tablets", spanner=self.db.name).set(
+                len(self.db.tablets)
+            )
         return changes
 
     # -- splitting -----------------------------------------------------------
@@ -100,6 +110,8 @@ class LoadBasedSplitter:
         position = self.db.tablets.index(tablet)
         self.db.tablets.insert(position + 1, right)
         self.splits += 1
+        if self.metrics is not None:
+            self.metrics.counter("tablet_splits", spanner=self.db.name).inc()
         return True
 
     def pre_split(self, boundaries: list[bytes]) -> int:
@@ -147,3 +159,5 @@ class LoadBasedSplitter:
         left.stats.writes += right.stats.writes
         self.db.tablets.remove(right)
         self.merges += 1
+        if self.metrics is not None:
+            self.metrics.counter("tablet_merges", spanner=self.db.name).inc()

@@ -279,18 +279,28 @@ class ReadWriteTransaction:
         lost acknowledgement.
         """
         self._check_active()
+        tracer = self._db.tracer
 
         # Phase 1 (prepare): exclusive-lock every written row.
-        for ckey in self._writes:
-            try:
-                self._db.locks.acquire(self.txn_id, ckey, LockMode.EXCLUSIVE)
-            except LockConflict as exc:
-                self._abort()
-                raise Aborted(str(exc)) from exc
+        with tracer.span(
+            "spanner.locks",
+            component="spanner",
+            attributes={"phase": "prepare", "rows": len(self._writes)},
+        ):
+            for ckey in self._writes:
+                try:
+                    self._db.locks.acquire(self.txn_id, ckey, LockMode.EXCLUSIVE)
+                except LockConflict as exc:
+                    self._abort()
+                    raise Aborted(str(exc)) from exc
 
-        if self._db.commit_fault_injector is not None:
+        injector = self._db.commit_fault_injector
+        if injector is not None:
+            # one-shot: clear before firing so a failure path cannot leave
+            # the injector armed for an unrelated later commit
+            self._db.commit_fault_injector = None
             try:
-                self._db.commit_fault_injector(self.txn_id)
+                injector(self.txn_id)
             except _DefinitiveCommitFailure as exc:
                 self._abort()
                 raise Aborted("commit failed definitively (injected)") from exc
@@ -309,15 +319,22 @@ class ReadWriteTransaction:
                     "commit outcome unknown (injected)"
                 ) from exc
 
-        commit_ts = self._apply(min_commit_ts, max_commit_ts)
-        participants = tuple(
-            sorted({self._db.tablet_for(ckey).tablet_id for ckey in self._writes})
-        )
-        result = CommitResult(commit_ts, participants, len(self._writes))
-        self._db.locks.release_all(self.txn_id)
-        self._state = "committed"
-        self._db.commits += 1
-        return result
+        with tracer.span(
+            "spanner.2pc", component="spanner", attributes={"phase": "commit"}
+        ) as span:
+            commit_ts = self._apply(min_commit_ts, max_commit_ts)
+            participants = tuple(
+                sorted(
+                    {self._db.tablet_for(ckey).tablet_id for ckey in self._writes}
+                )
+            )
+            span.set_attribute("participants", len(participants))
+            span.set_attribute("commit_ts", commit_ts)
+            result = CommitResult(commit_ts, participants, len(self._writes))
+            self._db.locks.release_all(self.txn_id)
+            self._state = "committed"
+            self._db.commits += 1
+            return result
 
     def _apply(self, min_commit_ts: int, max_commit_ts: Optional[int]) -> int:
         try:

@@ -45,6 +45,10 @@ class YcsbConfig:
     record_count: int = 10_000
     seed: int = 42
     cluster: Optional[ClusterConfig] = None
+    #: opt-in observability: record spans + metrics for the whole run and
+    #: stitch one sampled full-stack commit (repro.obs.trace_full_commit)
+    #: into the same trace at the start of the measurement window
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_READ_FRACTION:
@@ -95,7 +99,22 @@ class YcsbRunner:
                     scale_up_after_evals=2,
                 ),
             )
-        self.cluster = ServingCluster(config=cluster_config)
+        self.tracer = None
+        self.metrics = None
+        if config.trace:
+            from repro.obs import MetricsRegistry, Tracer
+            from repro.sim.events import EventKernel
+
+            kernel = EventKernel()
+            self.tracer = Tracer(
+                kernel.clock, SimRandom(config.seed).fork("tracer")
+            )
+            self.metrics = MetricsRegistry()
+            self.cluster = ServingCluster(
+                kernel, cluster_config, tracer=self.tracer, metrics=self.metrics
+            )
+        else:
+            self.cluster = ServingCluster(config=cluster_config)
         self.rand = SimRandom(config.seed).fork("ycsb-ops")
         self.arrivals = SimRandom(config.seed).fork("ycsb-arrivals")
 
@@ -150,6 +169,25 @@ class YcsbRunner:
                 )
             gap = self.arrivals.exponential(MICROS_PER_SECOND / config.target_qps)
             kernel.after(max(1, round(gap)), issue)
+
+        if self.tracer is not None:
+            # one sampled commit through the *functional* stack (Backend
+            # seven-step write, Spanner 2PC, Real-time Prepare/Accept,
+            # listener delivery), stitched into the same trace at the
+            # start of the measurement window
+            from repro.core.firestore import FirestoreService
+            from repro.obs import trace_full_commit
+
+            service = FirestoreService(
+                clock=kernel.clock, tracer=self.tracer, metrics=self.metrics
+            )
+            sampled = service.create_database("ycsb")
+            kernel.at(
+                measure_from,
+                lambda: trace_full_commit(
+                    sampled, "usertable/sample", {"field0": "x" * YCSB_DOC_BYTES}
+                ),
+            )
 
         kernel.at(0, issue)
         kernel.run_until(duration_us + 5 * MICROS_PER_SECOND)

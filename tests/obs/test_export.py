@@ -1,0 +1,93 @@
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    chrome_trace_json,
+    render_text_report,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_text_report,
+)
+from repro.sim.clock import SimClock
+from repro.sim.rand import SimRandom
+
+
+def build_tracer(seed: int = 7) -> tuple[SimClock, Tracer]:
+    clock = SimClock()
+    tracer = Tracer(clock, SimRandom(seed).fork("tracer"))
+    with tracer.span("frontend.rpc", attributes={"database_id": "db1"}) as root:
+        clock.advance(20)
+        with tracer.span("backend.commit") as commit:
+            commit.add_event("locks-acquired", {"rows": 2})
+            clock.advance(100)
+        clock.advance(5)
+    assert root.duration_us == 125
+    return clock, tracer
+
+
+def test_chrome_trace_structure():
+    _, tracer = build_tracer()
+    trace = to_chrome_trace(tracer)
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    events = trace["traceEvents"]
+
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in metadata} == {"frontend", "backend"}
+
+    complete = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert set(complete) == {"frontend.rpc", "backend.commit"}
+    root = complete["frontend.rpc"]
+    child = complete["backend.commit"]
+    assert root["ts"] == 0 and root["dur"] == 125
+    assert child["ts"] == 20 and child["dur"] == 100
+    assert child["args"]["parent_id"] == root["args"]["span_id"]
+    assert child["args"]["trace_id"] == root["args"]["trace_id"]
+    assert root["args"]["database_id"] == "db1"
+
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == 1
+    assert instants[0]["name"] == "locks-acquired"
+    assert instants[0]["args"] == {"rows": 2}
+
+
+def test_chrome_trace_json_is_valid_and_byte_stable():
+    first = chrome_trace_json(build_tracer(seed=5)[1])
+    second = chrome_trace_json(build_tracer(seed=5)[1])
+    assert first == second
+    assert json.loads(first)["displayTimeUnit"] == "ms"
+
+    different_seed = chrome_trace_json(build_tracer(seed=6)[1])
+    assert different_seed != first
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    _, tracer = build_tracer()
+    path = write_chrome_trace(tracer, str(tmp_path / "trace.json"))
+    loaded = json.loads(open(path, encoding="utf-8").read())
+    assert len(loaded["traceEvents"]) == len(to_chrome_trace(tracer)["traceEvents"])
+
+
+def test_text_report_contents(tmp_path):
+    _, tracer = build_tracer()
+    metrics = MetricsRegistry()
+    metrics.counter("requests_completed", database_id="db1").inc(3)
+    hist = metrics.histogram("request_latency_us", operation="commit")
+    hist.observe(125)
+
+    report = render_text_report(tracer, metrics, title="unit test")
+    assert "=== unit test ===" in report
+    assert "frontend.rpc" in report
+    assert "backend.commit" in report
+    assert "requests_completed{database_id=db1}  value=3" in report
+    assert "request_latency_us{operation=commit}" in report
+
+    path = write_text_report(str(tmp_path / "report.txt"), tracer, metrics)
+    assert "frontend.rpc" in open(path, encoding="utf-8").read()
+
+
+def test_text_report_with_no_spans():
+    clock = SimClock()
+    report = render_text_report(Tracer(clock), None)
+    assert "spans: none recorded" in report

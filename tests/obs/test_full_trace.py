@@ -1,0 +1,116 @@
+"""The acceptance-criterion trace: one commit's full span tree.
+
+A sampled commit through the functional stack must produce the section
+IV-D2/D4 tree — frontend RPC -> Backend seven-step write -> Spanner
+locks + 2PC and Real-time Cache Prepare/Accept -> matcher -> listener
+notification — and two same-seed runs must export byte-identical JSON.
+"""
+
+import pytest
+
+from repro.core.firestore import FirestoreService
+from repro.obs import MetricsRegistry, Tracer, trace_full_commit
+from repro.obs.export import chrome_trace_json
+from repro.sim.clock import SimClock
+from repro.sim.rand import SimRandom
+
+
+def traced_commit(seed: int = 11):
+    clock = SimClock()
+    tracer = Tracer(clock, SimRandom(seed).fork("tracer"))
+    metrics = MetricsRegistry()
+    service = FirestoreService(clock=clock, tracer=tracer, metrics=metrics)
+    db = service.create_database("traced")
+    delivered = trace_full_commit(db, "rooms/r1", {"topic": "obs"})
+    return tracer, metrics, delivered
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return traced_commit()
+
+
+def test_commit_yields_sampled_root(traced):
+    tracer, _, delivered = traced
+    roots = tracer.find("frontend.rpc")
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.parent_id is None
+    assert root.attributes["database_id"] == "traced"
+    assert root.attributes["operation"] == "commit"
+    assert root.attributes["sampled"] is True
+    # listener setup happens before sampling starts: its initial snapshot
+    # spans live in their own traces, not under the sampled root
+    initial = [s for s in tracer.find("listener.notify")
+               if s.attributes.get("initial")]
+    assert all(s.trace_id != root.trace_id for s in initial)
+    # the listener really saw the write inside the trace window
+    assert delivered and any(d.documents for d in delivered)
+
+
+def test_span_tree_covers_every_layer(traced):
+    tracer, _, _ = traced
+    names = {s.name for s in tracer.finished}
+    # Backend write protocol + Real-time Cache 2PC + Spanner
+    assert {
+        "frontend.rpc",
+        "backend.commit",
+        "backend.stage_writes",
+        "rtc.prepare",
+        "spanner.commit",
+        "spanner.locks",
+        "spanner.2pc",
+        "rtc.accept",
+        "matcher.match",
+        "listener.notify",
+    } <= names
+
+
+def test_parent_child_relationships(traced):
+    tracer, _, _ = traced
+    root = tracer.find("frontend.rpc")[0]
+    commit = next(
+        s for s in tracer.find("backend.commit")
+        if s.parent_id == root.span_id
+    )
+    commit_children = {s.name for s in tracer.children_of(commit)}
+    assert {
+        "backend.stage_writes", "rtc.prepare", "spanner.commit", "rtc.accept"
+    } <= commit_children
+
+    spanner_commit = next(
+        s for s in tracer.find("spanner.commit")
+        if s.parent_id == commit.span_id
+    )
+    assert {"spanner.locks", "spanner.2pc"} <= {
+        s.name for s in tracer.children_of(spanner_commit)
+    }
+
+    # listener fan-out for the committed write is part of the same trace
+    notify = [s for s in tracer.find("listener.notify")
+              if s.trace_id == root.trace_id]
+    assert notify and not notify[0].attributes.get("initial")
+
+
+def test_metrics_fed_by_realtime_layer(traced):
+    _, metrics, _ = traced
+    assert metrics.total("rtc_prepares") >= 1
+    accepts = metrics.get("rtc_accepts", outcome="committed")
+    assert accepts is not None and accepts.value >= 1
+    assert metrics.total("matcher_changes_forwarded") >= 1
+
+
+def test_same_seed_exports_are_byte_identical():
+    first = chrome_trace_json(traced_commit(seed=3)[0])
+    second = chrome_trace_json(traced_commit(seed=3)[0])
+    assert first == second
+    assert chrome_trace_json(traced_commit(seed=4)[0]) != first
+
+
+def test_untraced_service_records_nothing():
+    service = FirestoreService(clock=SimClock())
+    db = service.create_database("plain")
+    delivered = trace_full_commit(db, "rooms/r1", {"topic": "obs"})
+    # NULL_TRACER swallowed every span but the commit still worked
+    assert service.tracer.span_count == 0
+    assert delivered and any(d.documents for d in delivered)

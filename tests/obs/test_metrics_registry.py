@@ -1,0 +1,111 @@
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_get_or_create_identity(registry):
+    a = registry.counter("requests", database_id="db1")
+    b = registry.counter("requests", database_id="db1")
+    assert a is b
+    a.inc()
+    a.inc(4)
+    assert b.value == 5
+
+
+def test_counter_rejects_negative_increment(registry):
+    counter = registry.counter("requests")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 0
+
+
+def test_label_order_does_not_matter(registry):
+    a = registry.counter("ops", database_id="db1", operation="get")
+    b = registry.counter("ops", operation="get", database_id="db1")
+    assert a is b
+
+
+def test_distinct_labels_are_distinct_metrics(registry):
+    registry.counter("ops", database_id="db1").inc()
+    registry.counter("ops", database_id="db2").inc(2)
+    assert registry.total("ops") == 3
+    assert len(registry.with_name("ops")) == 2
+
+
+def test_gauge_set_inc_dec(registry):
+    gauge = registry.gauge("pool_tasks", pool="backend")
+    gauge.set(6)
+    gauge.inc(2)
+    gauge.dec()
+    assert gauge.value == 7
+
+
+def test_histogram_percentiles_match_latency_recorder(registry):
+    hist = registry.histogram("latency_us", operation="get")
+    for value in range(1, 101):
+        hist.observe(value)
+    assert hist.count == 100
+    assert hist.total == 5050
+    assert hist.p50 == 50
+    assert hist.p99 == 99
+    assert hist.percentile(100) == 100
+    assert hist.mean() == pytest.approx(50.5)
+
+
+def test_empty_histogram_reads_zero(registry):
+    hist = registry.histogram("latency_us")
+    assert hist.count == 0
+    assert hist.p50 == 0
+    assert hist.p99 == 0
+    assert hist.mean() == 0.0
+
+
+def test_type_conflict_raises(registry):
+    registry.counter("x", a="1")
+    with pytest.raises(TypeError):
+        registry.gauge("x", a="1")
+    # the guard is per (name, labels) key, not per name
+    registry.counter("x", a="2")
+
+
+def test_get_does_not_create(registry):
+    assert registry.get("missing") is None
+    assert len(registry) == 0
+    registry.gauge("present")
+    assert registry.get("present") is not None
+    assert len(registry) == 1
+
+
+def test_collect_is_sorted_and_stable(registry):
+    registry.counter("b")
+    registry.counter("a", z="2")
+    registry.counter("a", z="1")
+    names = [(m.name, m.labels) for m in registry.collect()]
+    assert names == [
+        ("a", (("z", "1"),)),
+        ("a", (("z", "2"),)),
+        ("b", ()),
+    ]
+
+
+def test_to_dict_snapshot(registry):
+    registry.counter("requests", database_id="db1").inc(3)
+    registry.gauge("pool_tasks", pool="backend").set(8)
+    hist = registry.histogram("latency_us", operation="get")
+    hist.observe(10)
+    hist.observe(30)
+    snapshot = registry.to_dict()
+    assert snapshot["requests"] == [
+        {"labels": {"database_id": "db1"}, "type": "counter", "value": 3}
+    ]
+    assert snapshot["pool_tasks"][0]["type"] == "gauge"
+    assert snapshot["pool_tasks"][0]["value"] == 8
+    entry = snapshot["latency_us"][0]
+    assert entry["type"] == "histogram"
+    assert entry["count"] == 2
+    assert entry["total"] == 40

@@ -1,0 +1,133 @@
+"""Tracing and metrics through the discrete-event serving cluster.
+
+Context propagates through the RPC envelope (``Rpc.trace_ctx``), so each
+request's cluster.rpc root span collects the frontend and backend task
+executions that served it; the scheduler, admission controller, and
+autoscaler feed the shared metrics registry.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.service.cluster import ClusterConfig, ServingCluster
+from repro.service.rpc import RpcKind
+from repro.sim.clock import MICROS_PER_SECOND
+from repro.sim.events import EventKernel
+from repro.sim.rand import SimRandom
+
+
+def traced_cluster(seed: int = 9):
+    kernel = EventKernel()
+    tracer = Tracer(kernel.clock, SimRandom(seed).fork("tracer"))
+    metrics = MetricsRegistry()
+    cluster = ServingCluster(
+        kernel=kernel,
+        config=ClusterConfig(autoscale_frontend=False, autoscale_backend=False),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return kernel, cluster, tracer, metrics
+
+
+def run_requests(kernel, cluster, count=20):
+    latencies = []
+    for i in range(count):
+        kind = RpcKind.COMMIT if i % 2 else RpcKind.GET
+        kernel.at(i * 1_000, lambda k=kind: cluster.submit(
+            "db1", k, latencies.append
+        ))
+    kernel.run_until(5 * MICROS_PER_SECOND)
+    return latencies
+
+
+def test_request_span_tree():
+    kernel, cluster, tracer, _ = traced_cluster()
+    latencies = run_requests(kernel, cluster)
+    assert len(latencies) == 20
+
+    roots = tracer.find("cluster.rpc")
+    assert len(roots) == 20
+    for root in roots:
+        assert root.parent_id is None
+        assert root.attributes["database_id"] == "db1"
+        assert root.attributes["operation"] in ("get", "commit")
+        assert "latency_us" in root.attributes
+        children = {s.name for s in tracer.children_of(root)}
+        # context flowed through both hops of the serving path
+        assert "frontend.exec" in children
+        assert "backend.exec" in children
+
+    execs = tracer.find("backend.exec")
+    assert all("queue_wait_us" in s.attributes for s in execs)
+
+
+def test_metrics_from_serving_components():
+    kernel, cluster, _, metrics = traced_cluster()
+    run_requests(kernel, cluster)
+
+    assert metrics.total("requests_completed") == 20
+    assert metrics.total("scheduler_enqueued") >= 40  # frontend + backend hops
+    assert metrics.total("scheduler_dispatched") >= 40
+    admitted = metrics.get("admission_decisions",
+                           database_id="db1", outcome="admitted")
+    assert admitted is not None and admitted.value == 20
+
+    get_hist = metrics.get("request_latency_us",
+                           database_id="db1", operation="get")
+    commit_hist = metrics.get("request_latency_us",
+                              database_id="db1", operation="commit")
+    assert get_hist.count == 10 and commit_hist.count == 10
+    assert commit_hist.p50 > get_hist.p50  # commits pay the quorum round
+
+
+def test_cluster_trace_export(tmp_path):
+    kernel, cluster, tracer, _ = traced_cluster()
+    run_requests(kernel, cluster, count=4)
+    path = cluster.export_trace(str(tmp_path / "trace.json"))
+    trace = json.loads(open(path, encoding="utf-8").read())
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert {"cluster.rpc", "frontend.exec", "backend.exec"} <= names
+
+    report = cluster.report(title="serving test")
+    assert "cluster.rpc" in report
+    assert "requests_completed" in report
+
+
+def test_same_seed_serving_runs_are_identical():
+    from repro.obs.export import chrome_trace_json
+
+    def run(seed):
+        kernel, cluster, tracer, _ = traced_cluster(seed)
+        run_requests(kernel, cluster, count=10)
+        return chrome_trace_json(tracer)
+
+    assert run(3) == run(3)
+
+
+def test_untraced_cluster_records_nothing():
+    kernel = EventKernel()
+    cluster = ServingCluster(kernel=kernel)
+    latencies = run_requests(kernel, cluster, count=4)
+    assert len(latencies) == 4
+    assert cluster.tracer.span_count == 0
+    assert cluster.metrics is None
+
+
+def test_rejection_is_visible_in_trace_and_metrics():
+    kernel, cluster, tracer, metrics = traced_cluster()
+    cluster.admission.config.per_database_inflight_limit = 1
+    rejected = []
+    done = []
+    for _ in range(12):
+        kernel.at(0, lambda: cluster.submit(
+            "db1", RpcKind.GET, done.append, on_reject=rejected.append
+        ))
+    kernel.run_until(MICROS_PER_SECOND)
+    assert rejected
+    assert metrics.total("requests_rejected") == len(rejected)
+    rejected_roots = [
+        s for s in tracer.find("cluster.rpc") if "rejected" in s.attributes
+    ]
+    assert len(rejected_roots) == len(rejected)

@@ -1,0 +1,143 @@
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, SpanContext, Tracer
+from repro.sim.clock import SimClock
+from repro.sim.rand import SimRandom
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock, SimRandom(42).fork("tracer"))
+
+
+def test_span_ids_are_deterministic(clock):
+    def ids():
+        tracer = Tracer(clock, SimRandom(42).fork("tracer"))
+        a = tracer.start_span("a")
+        b = tracer.start_span("b", parent=a)
+        a.end()
+        b.end()
+        return [(s.trace_id, s.span_id, s.parent_id) for s in tracer.finished]
+
+    assert ids() == ids()
+
+
+def test_different_seeds_produce_different_ids(clock):
+    first = Tracer(clock, SimRandom(1).fork("tracer")).start_span("a")
+    second = Tracer(clock, SimRandom(2).fork("tracer")).start_span("a")
+    assert first.trace_id != second.trace_id
+
+
+def test_span_timestamps_come_from_sim_clock(clock, tracer):
+    clock.advance(100)
+    span = tracer.start_span("op")
+    clock.advance(250)
+    span.end()
+    assert span.start_us == 100
+    assert span.end_us == 350
+    assert span.duration_us == 250
+
+
+def test_context_manager_nesting(clock, tracer):
+    with tracer.span("outer") as outer:
+        assert tracer.current_context() == outer.context
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+    assert tracer.current_context() is None
+    assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+
+def test_explicit_parent_context_propagation(tracer):
+    root = tracer.start_span("rpc")
+    ctx = root.context
+    assert isinstance(ctx, SpanContext)
+    # the serving sim hands the context through the Rpc envelope; a span
+    # started later (no stack nesting) still lands in the same trace
+    child = tracer.start_span("pool.exec", parent=ctx)
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    child.end()
+    root.end()
+    assert tracer.children_of(root) == [child]
+
+
+def test_start_span_without_parent_roots_new_trace(tracer):
+    a = tracer.start_span("a")
+    b = tracer.start_span("b")
+    assert a.trace_id != b.trace_id
+    assert a.parent_id is None and b.parent_id is None
+
+
+def test_events_and_attributes(clock, tracer):
+    with tracer.span("op", attributes={"database_id": "db1"}) as span:
+        clock.advance(10)
+        span.add_event("lock-acquired", {"rows": 3})
+        span.set_attribute("step", 4)
+    assert span.attributes == {"database_id": "db1", "step": 4}
+    assert span.events == [(10, "lock-acquired", {"rows": 3})]
+
+
+def test_exception_marks_span_as_error(tracer):
+    with pytest.raises(ValueError):
+        with tracer.span("op") as span:
+            raise ValueError("boom")
+    assert span.attributes["error"] == "ValueError"
+    assert span.end_us is not None
+    assert tracer.current_context() is None
+
+
+def test_end_is_idempotent(clock, tracer):
+    span = tracer.start_span("op")
+    span.end()
+    first_end = span.end_us
+    clock.advance(50)
+    span.end()
+    assert span.end_us == first_end
+    assert tracer.span_count == 1
+
+
+def test_component_defaults_to_name_prefix(tracer):
+    assert tracer.start_span("spanner.2pc").component == "spanner"
+    assert tracer.start_span("exec", component="pool").component == "pool"
+
+
+def test_max_spans_cap_counts_drops(clock):
+    tracer = Tracer(clock, max_spans=2)
+    for i in range(5):
+        tracer.start_span(f"s{i}").end()
+    assert tracer.span_count == 2
+    assert tracer.dropped == 3
+    tracer.clear()
+    assert tracer.span_count == 0
+    assert tracer.dropped == 0
+
+
+def test_traces_grouping_and_find(tracer):
+    with tracer.span("root"):
+        tracer.start_span("leaf").end()
+    tracer.start_span("leaf").end()
+    assert len(tracer.traces()) == 2
+    assert len(tracer.find("leaf")) == 2
+
+
+def test_null_tracer_is_falsy_and_free(clock):
+    assert not NULL_TRACER
+    assert Tracer(clock)  # a real tracer is truthy
+    span = NULL_TRACER.start_span("anything", attributes={"k": "v"})
+    assert span is NULL_SPAN
+    assert not span
+    # every recording call is a no-op that keeps chaining
+    span.set_attribute("a", 1).set_attributes({"b": 2}).add_event("e").end()
+    with NULL_TRACER.span("ctx") as s:
+        assert s is NULL_SPAN
+        assert s.context is None
+    assert NULL_TRACER.current_context() is None
+    assert NULL_TRACER.span_count == 0
+    assert NULL_TRACER.traces() == {}
+    assert NULL_TRACER.find("anything") == []

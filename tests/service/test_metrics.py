@@ -54,6 +54,33 @@ class TestLatencyRecorder:
         recorder.reset()
         assert len(recorder) == 0
 
+    def test_reset_is_reusable(self):
+        recorder = LatencyRecorder()
+        recorder.record(100)
+        assert recorder.p50 == 100
+        recorder.reset()
+        with pytest.raises(ValueError):
+            recorder.p50
+        recorder.record(7)
+        assert recorder.p50 == recorder.p99 == 7
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()
+
+    def test_two_samples_nearest_rank(self):
+        recorder = LatencyRecorder()
+        recorder.record(10)
+        recorder.record(20)
+        # nearest-rank: p50 is the 1st of 2 samples, p99 the 2nd
+        assert recorder.p50 == 10
+        assert recorder.p99 == 20
+
+    def test_zero_latency_is_valid(self):
+        recorder = LatencyRecorder()
+        recorder.record(0)
+        assert recorder.p50 == 0
+
 
 class TestWindowedPercentiles:
     def test_series_by_window(self):
@@ -69,3 +96,21 @@ class TestWindowedPercentiles:
         windows.record(2500, 7)
         assert windows.window(2999).p50 == 7
         assert windows.window(0) is None
+
+    def test_window_boundary_belongs_to_next_window(self):
+        windows = WindowedPercentiles(window_us=1000)
+        windows.record(999, 1)
+        windows.record(1000, 2)
+        assert windows.window(999).p50 == 1
+        assert windows.window(1000).p50 == 2
+        assert windows.series(50) == [(0, 1), (1000, 2)]
+
+    def test_series_skips_empty_windows(self):
+        windows = WindowedPercentiles(window_us=1000)
+        windows.record(100, 5)
+        windows.record(5100, 9)
+        # windows 1..4 received nothing and do not appear
+        assert windows.series(50) == [(0, 5), (5000, 9)]
+
+    def test_empty_series(self):
+        assert WindowedPercentiles(window_us=1000).series(99) == []

@@ -182,6 +182,39 @@ def test_injected_unknown_outcome(db, applied):
         txn.commit()
 
 
+def test_fault_injector_is_one_shot(db):
+    fired = []
+
+    def injector(txn_id):
+        fired.append(txn_id)
+        inject_definitive_failure()
+
+    db.commit_fault_injector = injector
+    txn = db.begin()
+    txn.put("Entities", b"k", "v")
+    with pytest.raises(Aborted):
+        txn.commit()
+    # the injector cleared itself before firing — no manual reset needed
+    assert db.commit_fault_injector is None
+    assert len(fired) == 1
+
+    result = commit_row(db, "Entities", b"k", "v2")
+    assert len(fired) == 1
+    assert db.snapshot_read("Entities", b"k", result.commit_ts) == "v2"
+
+
+def test_fault_injector_clears_even_for_unknown_outcome(db):
+    db.commit_fault_injector = lambda txn_id: inject_unknown_outcome(True)
+    txn = db.begin()
+    txn.put("Entities", b"k", "v")
+    with pytest.raises(CommitOutcomeUnknown):
+        txn.commit()
+    assert db.commit_fault_injector is None
+    # a retry of the same logical write goes through untouched
+    result = commit_row(db, "Entities", b"k", "v-retry")
+    assert db.snapshot_read("Entities", b"k", result.commit_ts) == "v-retry"
+
+
 def test_transactional_messages_only_on_commit(db):
     txn = db.begin()
     txn.put("Entities", b"k", "v")
