@@ -1,0 +1,30 @@
+"""Repo-level pytest wiring for the dynamic sanitizers.
+
+``pytest --sanitize`` runs the whole suite with the consistency
+sanitizers installed on every SpannerDatabase (equivalent to exporting
+``REPRO_SANITIZE=1``): 2PL lock discipline, MVCC history, and TrueTime
+checks all become hard errors instead of silent assumptions.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="install the repro.analysis consistency sanitizers "
+        "(lock discipline, MVCC history, TrueTime) for the whole run",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--sanitize"):
+        os.environ["REPRO_SANITIZE"] = "1"
+
+
+def pytest_report_header(config):
+    if os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false", "no"):
+        return "repro sanitizers: ENABLED (REPRO_SANITIZE)"
+    return None

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run reprolint over the package tree."""
+
+import sys
+
+from repro.analysis.reprolint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,578 @@
+"""The repo-specific lint checks.
+
+Each check is a function ``check(module: ParsedModule) -> list[Diagnostic]``
+registered in :data:`CHECKS` under its stable id. Ids are what inline
+pragmas (``# reprolint: disable=<id> -- reason``) and ``--check`` refer
+to, so they are part of the tool's public interface.
+
+Checks
+------
+
+``wallclock``
+    Bans nondeterministic time/entropy calls (``time.time``,
+    ``datetime.now``, ``os.urandom``, ``uuid.uuid4``, ``secrets.*``)
+    outside the allowlisted ``sim/`` core. All time must come from
+    :class:`repro.sim.clock.SimClock`, all randomness from
+    :class:`repro.sim.rand.SimRandom` — that is what makes every run
+    replayable from a seed.
+
+``banned-import``
+    Bans importing the ``random``, ``secrets`` and ``time`` modules
+    outside ``sim/`` — the only sanctioned randomness/time boundary.
+
+``set-iteration``
+    Flags iteration over set expressions (literals, ``set()``/
+    ``frozenset()`` calls, and locals bound to them). Set iteration
+    order depends on hash randomization for str/bytes keys, so it leaks
+    cross-process nondeterminism; wrap with ``sorted(...)``.
+
+``layering``
+    Enforces :data:`LAYER_CONTRACT`, the sanctioned import graph between
+    subsystems (client → core → spanner, realtime must never import
+    client, ``sim`` sits at the bottom, …). Growing a new edge means
+    editing the contract here — a reviewed, deliberate act.
+
+``bare-except``
+    Bans ``except:`` handlers (they swallow SanitizerViolation,
+    KeyboardInterrupt and genuine bugs alike).
+
+``error-boundary``
+    Only :mod:`repro.errors` exceptions may cross subsystem boundaries:
+    exception classes defined elsewhere must be module-private
+    (``_``-prefixed) or subclass a ``repro.errors`` class, raising a
+    bare ``Exception`` is banned, and raising an exception class
+    imported from another subsystem (not ``repro.errors``) is banned.
+
+``trace-span-context``
+    Spans must be opened via context manager (``with tracer.span(...)``)
+    so they always close, nest correctly and record errors; explicit
+    ``start_span``/``end`` lifetimes are reserved for the event-driven
+    serving simulation (``service/``) and ``obs/`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.reprolint import Diagnostic, ParsedModule
+
+# -- the architecture contract ------------------------------------------------
+
+#: Which repro subsystems each subsystem may import. Absence of an edge is a
+#: violation: the graph is the reviewed architecture, not a suggestion. The
+#: intended layering (top of the list may import toward the bottom):
+#:
+#:   client / emulator / datastore / workloads        (outermost consumers)
+#:     -> core (Firestore backend)  -> rules, realtime
+#:       -> spanner (storage)       -> obs (cross-cutting telemetry)
+#:         -> sim (clock/randomness kernel) -> errors (leaf)
+#:
+#: ``analysis`` is the cross-cutting guardrail package: ``spanner`` may
+#: lazily import its sanitizers, and ``analysis`` may observe the layers
+#: it checks.
+LAYER_CONTRACT: dict[str, frozenset[str]] = {
+    "errors": frozenset(),
+    "sim": frozenset({"errors"}),
+    "obs": frozenset({"core", "errors", "service", "sim"}),
+    "analysis": frozenset({"errors", "obs", "sim", "spanner"}),
+    "spanner": frozenset({"analysis", "errors", "obs", "sim"}),
+    "service": frozenset({"errors", "obs", "sim"}),
+    "realtime": frozenset({"core", "errors", "obs", "sim"}),
+    "rules": frozenset({"core", "errors"}),
+    "core": frozenset({"errors", "obs", "realtime", "rules", "sim", "spanner"}),
+    "datastore": frozenset({"core", "errors"}),
+    "client": frozenset({"core", "errors", "realtime"}),
+    "emulator": frozenset({"core", "errors"}),
+    "workloads": frozenset(
+        {"core", "errors", "obs", "service", "sim", "spanner"}
+    ),
+    "__init__": frozenset({"core"}),
+}
+
+#: Modules under these rel-path prefixes may touch wall clocks and real
+#: randomness: they are the deterministic-simulation boundary itself.
+DETERMINISM_ALLOWLIST = ("sim/",)
+
+#: Explicit-lifetime spans (start_span + end) are the pattern for the
+#: event-driven serving sim, where a span outlives any lexical scope.
+START_SPAN_ALLOWLIST = ("service/", "obs/")
+
+BANNED_CALLS: dict[str, str] = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "time.process_time": "wall-clock read",
+    "time.process_time_ns": "wall-clock read",
+    "time.localtime": "wall-clock read",
+    "time.gmtime": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived id",
+    "uuid.uuid4": "OS entropy",
+}
+
+BANNED_CALL_PREFIXES: dict[str, str] = {"secrets.": "OS entropy"}
+
+BANNED_MODULES = {"random", "secrets", "time"}
+
+#: stdlib members that `from X import Y` may alias; maps the bare name back
+#: to its qualified form so `from datetime import datetime; datetime.now()`
+#: still resolves to "datetime.datetime.now".
+_FROM_IMPORT_CANON = {
+    ("datetime", "datetime"): "datetime.datetime",
+    ("datetime", "date"): "datetime.date",
+}
+
+
+def _diag(
+    module: ParsedModule, node: ast.AST, check: str, message: str
+) -> Diagnostic:
+    return Diagnostic(
+        module.rel_path,
+        getattr(node, "lineno", 1),
+        getattr(node, "col_offset", 0),
+        check,
+        message,
+    )
+
+
+# -- import resolution helpers ------------------------------------------------
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted path they were imported as."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                aliases[local] = name.name if name.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                canon = _FROM_IMPORT_CANON.get(
+                    (node.module, name.name), f"{node.module}.{name.name}"
+                )
+                aliases[local] = canon
+    return aliases
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _resolve(dotted: str, aliases: dict[str, str]) -> str:
+    root, _, rest = dotted.partition(".")
+    base = aliases.get(root, root)
+    return f"{base}.{rest}" if rest else base
+
+
+# -- determinism checks -------------------------------------------------------
+
+
+def check_wallclock(module: ParsedModule) -> list[Diagnostic]:
+    """Nondeterministic time/entropy call outside the sim core."""
+    if module.in_subtree(*DETERMINISM_ALLOWLIST):
+        return []
+    aliases = _import_aliases(module.tree)
+    out = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            continue
+        resolved = _resolve(dotted, aliases)
+        why = BANNED_CALLS.get(resolved)
+        if why is None:
+            for prefix, prefix_why in BANNED_CALL_PREFIXES.items():
+                if resolved.startswith(prefix):
+                    why = prefix_why
+                    break
+        if why is not None:
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "wallclock",
+                    f"{resolved}() is a {why}: use the SimClock/SimRandom "
+                    "plumbed through the component (determinism)",
+                )
+            )
+    return out
+
+
+def check_banned_import(module: ParsedModule) -> list[Diagnostic]:
+    """random/secrets/time imported outside the sim core."""
+    if module.in_subtree(*DETERMINISM_ALLOWLIST):
+        return []
+    out = []
+    for node in ast.walk(module.tree):
+        names: list[str] = []
+        if isinstance(node, ast.Import):
+            names = [alias.name.split(".")[0] for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            names = [node.module.split(".")[0]]
+        for name in names:
+            if name in BANNED_MODULES:
+                out.append(
+                    _diag(
+                        module,
+                        node,
+                        "banned-import",
+                        f"module {name!r} may only be imported inside "
+                        "repro/sim (the deterministic-simulation boundary); "
+                        "use SimClock/SimRandom instead",
+                    )
+                )
+    return out
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _scope_bodies(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _set_bound_names(body: list[ast.stmt]) -> set[str]:
+    """Names assigned exactly once in this scope, to a set expression."""
+    assigned: dict[str, int] = {}
+    set_bound: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            targets: list[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.AugAssign, ast.For)):
+                targets = [node.target]
+            for target in targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        assigned[name_node.id] = assigned.get(name_node.id, 0) + 1
+                        if value is not None and _is_set_expr(value):
+                            set_bound.add(name_node.id)
+    return {n for n in sorted(set_bound) if assigned.get(n) == 1}
+
+
+def check_set_iteration(module: ParsedModule) -> list[Diagnostic]:
+    """Order-nondeterministic iteration over a set."""
+    out = []
+    message = (
+        "iterating a set is order-nondeterministic under hash "
+        "randomization; iterate sorted(...) or keep a list"
+    )
+
+    def flag_iter(iter_node: ast.expr, known_sets: set[str]) -> None:
+        if _is_set_expr(iter_node) or (
+            isinstance(iter_node, ast.Name) and iter_node.id in known_sets
+        ):
+            out.append(_diag(module, iter_node, "set-iteration", message))
+
+    for body in _scope_bodies(module.tree):
+        known = _set_bound_names(body)
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    flag_iter(node.iter, known)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                ):
+                    for gen in node.generators:
+                        flag_iter(gen.iter, known)
+    return out
+
+
+# -- architecture checks ------------------------------------------------------
+
+
+def check_layering(module: ParsedModule) -> list[Diagnostic]:
+    """Import edge not in the sanctioned subsystem contract."""
+    allowed = LAYER_CONTRACT.get(module.package)
+    out = []
+    if allowed is None:
+        first = module.tree.body[0] if module.tree.body else module.tree
+        return [
+            _diag(
+                module,
+                first,
+                "layering",
+                f"package {module.package!r} is not in the layering "
+                "contract; add it to repro.analysis.checks.LAYER_CONTRACT "
+                "with its sanctioned imports",
+            )
+        ]
+    for node in ast.walk(module.tree):
+        targets: list[tuple[ast.AST, str]] = []
+        if isinstance(node, ast.Import):
+            targets = [(node, alias.name) for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            targets = [(node, node.module)]
+        elif isinstance(node, ast.ImportFrom) and node.level > 0:
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "layering",
+                    "relative imports hide the subsystem edge from the "
+                    "contract; use absolute 'repro.<package>' imports",
+                )
+            )
+        for imp_node, target in targets:
+            if target == "repro" or target.startswith("repro."):
+                parts = target.split(".")
+                dep = parts[1] if len(parts) > 1 else "__init__"
+                if dep == module.package or dep == "__init__" and len(parts) == 1:
+                    if target == "repro":
+                        out.append(
+                            _diag(
+                                module,
+                                imp_node,
+                                "layering",
+                                "internal modules must import concrete "
+                                "subpackages, not the repro root package",
+                            )
+                        )
+                    continue
+                if dep not in allowed:
+                    out.append(
+                        _diag(
+                            module,
+                            imp_node,
+                            "layering",
+                            f"{module.package!r} may not import "
+                            f"'repro.{dep}' (sanctioned imports: "
+                            f"{', '.join(sorted(allowed)) or 'none'})",
+                        )
+                    )
+    return out
+
+
+def check_bare_except(module: ParsedModule) -> list[Diagnostic]:
+    """``except:`` swallows everything, including sanitizer violations."""
+    out = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "bare-except",
+                    "bare 'except:' swallows SanitizerViolation and "
+                    "KeyboardInterrupt; catch a concrete repro.errors type",
+                )
+            )
+    return out
+
+
+def _errors_class_names() -> frozenset[str]:
+    import repro.errors as errors_mod
+
+    return frozenset(
+        name
+        for name, obj in vars(errors_mod).items()
+        if isinstance(obj, type) and issubclass(obj, BaseException)
+    )
+
+
+def check_error_boundary(module: ParsedModule) -> list[Diagnostic]:
+    """Exception crossing a subsystem boundary without repro.errors."""
+    if module.rel_path == "errors.py":
+        return []
+    errors_names = _errors_class_names()
+    aliases = _import_aliases(module.tree)
+    out = []
+
+    # classes in this module that (transitively, within the module) derive
+    # from a repro.errors class
+    local_ok: set[str] = set()
+    local_exception_defs: list[ast.ClassDef] = [
+        node for node in ast.walk(module.tree) if isinstance(node, ast.ClassDef)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for cls in local_exception_defs:
+            if cls.name in local_ok:
+                continue
+            for base in cls.bases:
+                base_name = _dotted_name(base)
+                if base_name is None:
+                    continue
+                resolved = _resolve(base_name, aliases)
+                last = resolved.split(".")[-1]
+                if (
+                    resolved.startswith("repro.errors.")
+                    or last in errors_names
+                    and (
+                        aliases.get(base_name, "").startswith("repro.errors.")
+                        or base_name in local_ok
+                    )
+                    or base_name in local_ok
+                ):
+                    local_ok.add(cls.name)
+                    changed = True
+                    break
+
+    def is_exceptionish(cls: ast.ClassDef) -> bool:
+        for base in cls.bases:
+            base_name = _dotted_name(base)
+            if base_name is None:
+                continue
+            last = base_name.split(".")[-1]
+            if (
+                last in ("Exception", "BaseException")
+                or last in errors_names
+                or base_name in local_ok
+                or last.endswith(("Error", "Failure", "Violation", "Conflict"))
+            ):
+                return True
+        return False
+
+    for cls in local_exception_defs:
+        if not is_exceptionish(cls):
+            continue
+        if cls.name.startswith("_") or cls.name in local_ok:
+            continue
+        out.append(
+            _diag(
+                module,
+                cls,
+                "error-boundary",
+                f"public exception {cls.name!r} defined outside repro.errors "
+                "must subclass a repro.errors class (or be module-private "
+                "with a leading underscore)",
+            )
+        )
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        callee = exc.func if isinstance(exc, ast.Call) else exc
+        dotted = _dotted_name(callee)
+        if dotted is None:
+            continue
+        resolved = _resolve(dotted, aliases)
+        if resolved in ("Exception", "BaseException"):
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "error-boundary",
+                    f"raise a specific repro.errors type, not {resolved}",
+                )
+            )
+        elif resolved.startswith("repro.") and not resolved.startswith(
+            "repro.errors."
+        ):
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "error-boundary",
+                    f"{resolved} is another subsystem's exception; only "
+                    "repro.errors types may cross subsystem boundaries",
+                )
+            )
+    return out
+
+
+# -- trace hygiene ------------------------------------------------------------
+
+
+def _is_tracer_receiver(func: ast.Attribute) -> bool:
+    receiver = _dotted_name(func.value)
+    if receiver is None:
+        return False
+    last = receiver.split(".")[-1]
+    return last in ("tracer", "_tracer")
+
+
+def check_trace_span_context(module: ParsedModule) -> list[Diagnostic]:
+    """Span opened outside a ``with`` block (or start_span outside sim)."""
+    with_contexts: set[int] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                with_contexts.add(id(item.context_expr))
+    out = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if not _is_tracer_receiver(node.func):
+            continue
+        if node.func.attr == "span" and id(node) not in with_contexts:
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "trace-span-context",
+                    "tracer.span(...) must be used as a context manager "
+                    "('with tracer.span(...)') so the span always closes",
+                )
+            )
+        elif node.func.attr == "start_span" and not module.in_subtree(
+            *START_SPAN_ALLOWLIST
+        ):
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "trace-span-context",
+                    "explicit start_span lifetimes are reserved for the "
+                    "event-driven serving sim (service/, obs/); use "
+                    "'with tracer.span(...)' here",
+                )
+            )
+    return out
+
+
+CHECKS = {
+    "wallclock": check_wallclock,
+    "banned-import": check_banned_import,
+    "set-iteration": check_set_iteration,
+    "layering": check_layering,
+    "bare-except": check_bare_except,
+    "error-boundary": check_error_boundary,
+    "trace-span-context": check_trace_span_context,
+}

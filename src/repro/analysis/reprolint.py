@@ -1,0 +1,267 @@
+"""reprolint: the repo-specific static linter engine.
+
+The engine walks every ``*.py`` file under the ``repro`` package root,
+parses it once, and hands the parsed module to each registered check
+(:mod:`repro.analysis.checks`). Checks yield :class:`Diagnostic` records
+with precise ``file:line:col`` positions; the engine filters diagnostics
+through inline suppression pragmas and renders the survivors.
+
+Suppression pragma syntax (the reason string is mandatory)::
+
+    risky_call()  # reprolint: disable=wallclock -- bridging real time at the sim boundary
+
+A pragma on a comment-only line suppresses the *next* line, so long
+statements can carry their justification above them. A pragma without a
+reason, or naming an unknown check, is itself reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+?)\s*(?:--\s*(.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, anchored to a source position."""
+
+    path: str  # path relative to the linted root (posix separators)
+    line: int
+    col: int
+    check: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: check: message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.check}: {self.message}"
+
+
+@dataclass(frozen=True)
+class _Pragma:
+    checks: frozenset[str]
+    reason: Optional[str]
+    own_line: bool  # the comment is the only thing on its line
+
+
+class ParsedModule:
+    """One source file, parsed and annotated for the checks."""
+
+    def __init__(self, abs_path: Path, rel_path: str, source: str):
+        self.abs_path = abs_path
+        self.rel_path = rel_path  # e.g. "spanner/locks.py"
+        self.source = source
+        self.tree = ast.parse(source, filename=str(abs_path))
+        # first path segment is the subsystem; top-level modules (errors.py,
+        # __init__.py) are their own one-module "package"
+        parts = rel_path.split("/")
+        self.package = parts[0][:-3] if len(parts) == 1 else parts[0]
+        self.pragmas: dict[int, _Pragma] = {}
+        self.pragma_errors: list[Diagnostic] = []
+        self._collect_pragmas()
+
+    def in_subtree(self, *prefixes: str) -> bool:
+        """Whether this module lives under any of the given rel prefixes."""
+        return any(self.rel_path.startswith(p) for p in prefixes)
+
+    # -- pragmas ----------------------------------------------------------
+
+    def _collect_pragmas(self) -> None:
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except tokenize.TokenError:  # unterminated constructs: parse caught it
+            return
+        code_lines: set[int] = set()
+        comments: list[tuple[int, str]] = []
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.string))
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                for line in range(tok.start[0], tok.end[0] + 1):
+                    code_lines.add(line)
+        for line, text in comments:
+            if "reprolint" not in text:
+                continue
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                self.pragma_errors.append(
+                    Diagnostic(
+                        self.rel_path,
+                        line,
+                        0,
+                        "pragma",
+                        "malformed reprolint pragma; expected "
+                        "'# reprolint: disable=<check> -- <reason>'",
+                    )
+                )
+                continue
+            checks = frozenset(
+                c.strip() for c in match.group(1).split(",") if c.strip()
+            )
+            reason = match.group(2)
+            if not reason:
+                self.pragma_errors.append(
+                    Diagnostic(
+                        self.rel_path,
+                        line,
+                        0,
+                        "pragma",
+                        "reprolint pragma requires a reason: "
+                        "'# reprolint: disable=<check> -- <why this is safe>'",
+                    )
+                )
+                continue
+            self.pragmas[line] = _Pragma(checks, reason, line not in code_lines)
+
+    def suppressed(self, diag: Diagnostic) -> bool:
+        """Whether an inline pragma covers this diagnostic."""
+        pragma = self.pragmas.get(diag.line)
+        if pragma is not None and diag.check in pragma.checks:
+            return True
+        above = self.pragmas.get(diag.line - 1)
+        return above is not None and above.own_line and diag.check in above.checks
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def _default_root() -> Path:
+    # reprolint: disable=layering -- locating the installed package, not a subsystem dependency
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _iter_sources(root: Path) -> Iterable[Path]:
+    return sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+
+
+def _parse(abs_path: Path, root: Path) -> ParsedModule:
+    rel = abs_path.relative_to(root).as_posix()
+    return ParsedModule(abs_path, rel, abs_path.read_text(encoding="utf-8"))
+
+
+def _run_checks(
+    modules: list[ParsedModule], only: Optional[set[str]] = None
+) -> list[Diagnostic]:
+    from repro.analysis.checks import CHECKS
+
+    unknown_pragma: list[Diagnostic] = []
+    diagnostics: list[Diagnostic] = []
+    for module in modules:
+        diagnostics.extend(module.pragma_errors)
+        for line, pragma in module.pragmas.items():
+            for check in sorted(pragma.checks - set(CHECKS)):
+                unknown_pragma.append(
+                    Diagnostic(
+                        module.rel_path,
+                        line,
+                        0,
+                        "pragma",
+                        f"pragma disables unknown check {check!r} "
+                        f"(known: {', '.join(sorted(CHECKS))})",
+                    )
+                )
+        for check_id, check in CHECKS.items():
+            if only is not None and check_id not in only:
+                continue
+            for diag in check(module):
+                if not module.suppressed(diag):
+                    diagnostics.append(diag)
+    diagnostics.extend(unknown_pragma)
+    return sorted(set(diagnostics))
+
+
+def lint_tree(
+    root: Optional[Path] = None, only: Optional[set[str]] = None
+) -> list[Diagnostic]:
+    """Lint every python file under ``root`` (default: the repro package)."""
+    root = Path(root) if root is not None else _default_root()
+    modules = [_parse(p, root) for p in _iter_sources(root)]
+    return _run_checks(modules, only)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    only: Optional[set[str]] = None,
+) -> list[Diagnostic]:
+    """Lint specific files; ``root`` anchors relative paths and packages."""
+    root = Path(root) if root is not None else _default_root()
+    modules = [_parse(Path(p).resolve(), root.resolve()) for p in paths]
+    return _run_checks(modules, only)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.analysis [paths...]``."""
+    from repro.analysis.checks import CHECKS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: determinism, layering, error-boundary and "
+        "trace-hygiene checks for the Firestore reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files to lint (default: the whole repro package)",
+    )
+    parser.add_argument(
+        "--root", help="package root the relative paths/layering are computed from"
+    )
+    parser.add_argument(
+        "--check",
+        action="append",
+        dest="checks",
+        metavar="ID",
+        help="run only this check (repeatable)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="list check ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check_id, check in sorted(CHECKS.items()):
+            doc = (check.__doc__ or "").strip().splitlines()
+            print(f"{check_id:18s} {doc[0] if doc else ''}")
+        return 0
+
+    only = set(args.checks) if args.checks else None
+    if only is not None and only - set(CHECKS):
+        bad = ", ".join(sorted(only - set(CHECKS)))
+        print(f"unknown check(s): {bad}", file=sys.stderr)
+        return 2
+    root = Path(args.root) if args.root else None
+    if args.paths:
+        diagnostics = lint_paths([Path(p) for p in args.paths], root, only)
+    else:
+        diagnostics = lint_tree(root, only)
+    for diag in diagnostics:
+        print(diag.render())
+    if diagnostics:
+        print(
+            f"reprolint: {len(diagnostics)} violation(s) in "
+            f"{len({d.path for d in diagnostics})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

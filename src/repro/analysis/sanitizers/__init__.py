@@ -1,0 +1,139 @@
+"""Dynamic sanitizers: always-on invariant checkers for the Spanner layer.
+
+Enable with ``REPRO_SANITIZE=1`` in the environment (or ``pytest
+--sanitize``, which sets it): every :class:`~repro.spanner.database.
+SpannerDatabase` then installs a :class:`StackSanitizer` on itself at
+construction. The sanitizer wraps the lock table and TrueTime with
+checking proxies and receives hook callbacks from the transaction and
+snapshot-read paths. Checks:
+
+- **2PL lock discipline** (:mod:`.locks`): no lock acquisition after a
+  transaction released its locks, every lock freed at commit/abort, and
+  every transactional scan covered by a range lock (phantom protection).
+- **MVCC history** (:mod:`.mvcc`): snapshot reads return exactly the
+  newest version at or before the read timestamp, version chains stay
+  strictly timestamp-ordered, and per-key/global commit timestamps are
+  strictly monotone.
+- **TrueTime** (:mod:`.truetime`): ``now()`` intervals never regress,
+  issued commit timestamps are strictly monotone, inside the caller's
+  ``[min, max]`` window, and never already definitely-past at issuance
+  (the simulation's stand-in for "commit-wait honored before ack": a
+  backdated timestamp is one no real committer could have waited out).
+
+A violation raises :class:`repro.errors.SanitizerViolation` and bumps a
+``sanitizer.violations{check=...}`` counter in the database's metrics
+registry (when one is attached), so sanitized fleet runs surface
+violations in the same dashboards as every other signal.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import SanitizerViolation
+from repro.analysis.sanitizers.locks import LockDisciplineChecker, SanitizedLockTable
+from repro.analysis.sanitizers.mvcc import MVCCChecker
+from repro.analysis.sanitizers.truetime import SanitizedTrueTime
+
+_FORCED: Optional[bool] = None
+
+
+def sanitizers_enabled() -> bool:
+    """Whether new SpannerDatabases should install sanitizers."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_SANITIZE", "").lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )
+
+
+def set_enabled(on: Optional[bool]) -> None:
+    """Force sanitizers on/off for this process (None = follow the env)."""
+    global _FORCED
+    _FORCED = on
+
+
+class StackSanitizer:
+    """The per-database bundle of dynamic checkers.
+
+    Lives at ``db.sanitizer``; the instrumented code paths call its
+    ``on_*`` hooks, all of which are no-ops to reason about: they only
+    *verify*, never mutate simulation state, so a sanitized run takes
+    the same path (and produces the same trace) as an unsanitized one.
+    """
+
+    def __init__(self, db):
+        self.db = db
+        self.violations = 0
+        self.lock_checker = LockDisciplineChecker(self)
+        self.mvcc_checker = MVCCChecker(self)
+
+    # -- violation reporting ----------------------------------------------
+
+    def violation(self, check: str, message: str) -> None:
+        """Record and raise one violation."""
+        self.violations += 1
+        metrics = getattr(self.db, "metrics", None)
+        if metrics is not None:
+            metrics.counter(
+                "sanitizer.violations", check=check, database=self.db.name
+            ).inc()
+        raise SanitizerViolation(check, message)
+
+    # -- hooks called from the instrumented stack -------------------------
+
+    def on_txn_finished(self, txn_id: int, outcome: str, **commit_info) -> None:
+        """Transaction reached a terminal state (committed/aborted/unknown)."""
+        self.lock_checker.on_txn_finished(txn_id, outcome)
+        if "commit_ts" in commit_info:
+            truetime = self.db.truetime
+            if isinstance(truetime, SanitizedTrueTime):
+                truetime.on_commit_ack(txn_id, **commit_info)
+
+    def on_transactional_scan(
+        self, txn_id: int, start: bytes, end: Optional[bytes]
+    ) -> None:
+        """A RW-transaction range scan is about to stream rows."""
+        self.lock_checker.on_transactional_scan(txn_id, start, end)
+
+    def on_commit_applied(self, keys, commit_ts: int) -> None:
+        """A commit's mutations were applied at ``commit_ts``."""
+        self.mvcc_checker.on_commit_applied(keys, commit_ts)
+
+    def on_snapshot_read(self, key: bytes, chain, read_ts: int, version) -> None:
+        """A snapshot read returned ``version`` for ``key`` at ``read_ts``."""
+        self.mvcc_checker.on_snapshot_read(key, chain, read_ts, version)
+
+
+def install(db) -> StackSanitizer:
+    """Install the sanitizer bundle onto a SpannerDatabase instance."""
+    sanitizer = StackSanitizer(db)
+    db.locks = SanitizedLockTable(db.locks, sanitizer)
+    db.truetime = SanitizedTrueTime(db.truetime, sanitizer)
+    db.sanitizer = sanitizer
+    return sanitizer
+
+
+def maybe_install(db) -> Optional[StackSanitizer]:
+    """Install sanitizers iff enabled and not already installed."""
+    if sanitizers_enabled() and getattr(db, "sanitizer", None) is None:
+        return install(db)
+    return None
+
+
+__all__ = [
+    "LockDisciplineChecker",
+    "MVCCChecker",
+    "SanitizedLockTable",
+    "SanitizedTrueTime",
+    "SanitizerViolation",
+    "StackSanitizer",
+    "install",
+    "maybe_install",
+    "sanitizers_enabled",
+    "set_enabled",
+]

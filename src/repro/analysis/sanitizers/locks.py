@@ -1,0 +1,117 @@
+"""2PL lock-discipline sanitizer.
+
+Spanner read-write transactions are strict two-phase: a transaction
+acquires locks while active and releases everything exactly once, at
+commit or abort (paper section IV-D1). The checker wraps the live
+:class:`repro.spanner.locks.LockTable` and verifies:
+
+- **no acquire-after-release**: once a transaction's locks were released
+  (its shrinking phase), any further acquisition is a 2PL violation;
+- **all locks freed at commit/abort**: when the transaction layer reports
+  a terminal state, the table must hold nothing for that transaction;
+- **range locks cover every transactional scan**: a RW-transaction scan
+  without a covering range lock would admit phantoms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SanitizedLockTable:
+    """Checking proxy around a LockTable; delegates all real work."""
+
+    _OWN_ATTRS = frozenset({"_inner", "_checker"})
+
+    def __init__(self, inner, sanitizer):
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_checker", sanitizer.lock_checker)
+        self._checker.bind(inner)
+
+    def acquire(self, txn_id: int, key: bytes, mode) -> None:
+        self._checker.on_acquire(txn_id, f"row lock on {key!r}")
+        self._inner.acquire(txn_id, key, mode)
+
+    def acquire_range(
+        self, txn_id: int, start: bytes, end: Optional[bytes]
+    ) -> None:
+        self._checker.on_acquire(txn_id, f"range lock on [{start!r}, {end!r})")
+        self._inner.acquire_range(txn_id, start, end)
+
+    def release_all(self, txn_id: int) -> int:
+        self._checker.on_release_all(txn_id)
+        return self._inner.release_all(txn_id)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __setattr__(self, name, value) -> None:
+        # configuration writes (metrics wiring etc.) land on the real table
+        if name in self._OWN_ATTRS:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._inner, name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizedLockTable({self._inner!r})"
+
+
+class LockDisciplineChecker:
+    """The state machine tracking per-transaction lock phases."""
+
+    def __init__(self, sanitizer):
+        self._sanitizer = sanitizer
+        self._table = None
+        # txn_id -> how its locks went away ("released"/"committed"/...)
+        self._finished: dict[int, str] = {}
+
+    def bind(self, table) -> None:
+        """Attach the raw (unwrapped) lock table used for verification."""
+        self._table = table
+
+    # -- events from the proxy --------------------------------------------
+
+    def on_acquire(self, txn_id: int, what: str) -> None:
+        done = self._finished.get(txn_id)
+        if done is not None:
+            self._sanitizer.violation(
+                "lock-acquire-after-release",
+                f"txn {txn_id} requested a {what} after its locks were "
+                f"released ({done}); 2PL forbids re-entering the growing "
+                "phase",
+            )
+
+    def on_release_all(self, txn_id: int) -> None:
+        self._finished[txn_id] = "released"
+
+    # -- events from the transaction layer --------------------------------
+
+    def on_txn_finished(self, txn_id: int, outcome: str) -> None:
+        held = self._table.held_keys(txn_id) if self._table is not None else set()
+        ranges = (
+            self._table.held_ranges(txn_id) if self._table is not None else []
+        )
+        if held or ranges:
+            self._sanitizer.violation(
+                "lock-leak",
+                f"txn {txn_id} reached terminal state {outcome!r} still "
+                f"holding {len(held)} row lock(s) and {len(ranges)} range "
+                "lock(s); commit/abort must free everything",
+            )
+        self._finished[txn_id] = outcome
+
+    def on_transactional_scan(
+        self, txn_id: int, start: bytes, end: Optional[bytes]
+    ) -> None:
+        if self._table is None:
+            return
+        for held_start, held_end in self._table.held_ranges(txn_id):
+            covers_low = held_start <= start
+            covers_high = held_end is None or (end is not None and end <= held_end)
+            if covers_low and covers_high:
+                return
+        self._sanitizer.violation(
+            "scan-without-range-lock",
+            f"txn {txn_id} scanned [{start!r}, {end!r}) without a covering "
+            "range lock; concurrent inserts in the range would be phantoms",
+        )

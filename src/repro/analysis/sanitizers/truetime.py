@@ -1,0 +1,127 @@
+"""TrueTime sanitizer.
+
+External consistency in Spanner rests on TrueTime's contract (paper
+section IV-D1): uncertainty intervals always contain real time and only
+move forward, and a commit timestamp is acknowledged only after commit
+wait guarantees it is in the past for every observer. The simulation is
+single-threaded, so the checkable shadow of that contract is:
+
+- ``now()`` intervals never regress (``earliest``/``latest`` are both
+  non-decreasing) and are never inverted;
+- issued commit timestamps strictly increase (the total order every
+  layer above — MVCC, the Real-time Cache's commit-timestamp-ordered
+  feed — relies on);
+- an issued timestamp honors the caller's ``[min, max]`` window and is
+  never *already definitely past* at issuance: ``ts >= now().earliest``.
+  A backdated timestamp is one no real committer could have commit-waited
+  on before acking, so this is the sim's enforcement of "commit-wait
+  honored before ack".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SanitizedTrueTime:
+    """Checking proxy around :class:`repro.sim.truetime.TrueTime`."""
+
+    _OWN_ATTRS = frozenset(
+        {"_inner", "_sanitizer", "_last_earliest", "_last_latest", "_last_issued_seen"}
+    )
+
+    def __init__(self, inner, sanitizer):
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_sanitizer", sanitizer)
+        object.__setattr__(self, "_last_earliest", 0)
+        object.__setattr__(self, "_last_latest", 0)
+        object.__setattr__(self, "_last_issued_seen", inner.last_issued)
+
+    # -- checked API -------------------------------------------------------
+
+    def now(self):
+        interval = self._inner.now()
+        if interval.earliest > interval.latest:
+            self._sanitizer.violation(
+                "truetime-interval",
+                f"inverted uncertainty interval "
+                f"[{interval.earliest}, {interval.latest}]",
+            )
+        if (
+            interval.earliest < self._last_earliest
+            or interval.latest < self._last_latest
+        ):
+            self._sanitizer.violation(
+                "truetime-regress",
+                f"now() interval [{interval.earliest}, {interval.latest}] "
+                f"regressed below the previous "
+                f"[{self._last_earliest}, {self._last_latest}]",
+            )
+        object.__setattr__(self, "_last_earliest", interval.earliest)
+        object.__setattr__(self, "_last_latest", interval.latest)
+        return interval
+
+    def issue_commit_timestamp(
+        self, min_allowed_us: int = 0, max_allowed_us: Optional[int] = None
+    ) -> int:
+        ts = self._inner.issue_commit_timestamp(min_allowed_us, max_allowed_us)
+        if ts <= self._last_issued_seen:
+            self._sanitizer.violation(
+                "truetime-issue-monotonic",
+                f"commit ts {ts} <= previously issued {self._last_issued_seen}",
+            )
+        interval = self._inner.now()
+        if ts < interval.earliest:
+            self._sanitizer.violation(
+                "truetime-commit-wait",
+                f"commit ts {ts} is already definitely past (now().earliest "
+                f"= {interval.earliest}) at issuance; commit-wait before ack "
+                "is impossible for a backdated timestamp",
+            )
+        if ts < min_allowed_us or (
+            max_allowed_us is not None and ts > max_allowed_us
+        ):
+            self._sanitizer.violation(
+                "truetime-window",
+                f"commit ts {ts} violates the caller's window "
+                f"[{min_allowed_us}, {max_allowed_us}]",
+            )
+        object.__setattr__(self, "_last_issued_seen", ts)
+        return ts
+
+    # -- hook from the transaction layer -----------------------------------
+
+    def on_commit_ack(
+        self,
+        txn_id: int,
+        commit_ts: int,
+        min_ts: int = 0,
+        max_ts: Optional[int] = None,
+    ) -> None:
+        """A commit is being acknowledged to the caller at ``commit_ts``."""
+        if commit_ts < min_ts or (max_ts is not None and commit_ts > max_ts):
+            self._sanitizer.violation(
+                "truetime-window",
+                f"txn {txn_id} acked commit ts {commit_ts} outside its "
+                f"requested window [{min_ts}, {max_ts}]",
+            )
+        if commit_ts > self._last_issued_seen:
+            self._sanitizer.violation(
+                "truetime-issue-monotonic",
+                f"txn {txn_id} acked commit ts {commit_ts} that TrueTime "
+                f"never issued (last issued: {self._last_issued_seen})",
+            )
+
+    # -- passthrough -------------------------------------------------------
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __setattr__(self, name, value) -> None:
+        if name in self._OWN_ATTRS:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._inner, name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizedTrueTime({self._inner!r})"

@@ -83,7 +83,9 @@ class QueryView:
         """
         extra_docs = extra_docs or {}
         effective: dict[Path, tuple[dict, bool]] = {}
-        candidates = (
+        # sorted: the union is a set, and ties under the query order key
+        # must not depend on hash-randomized set iteration order
+        candidates = sorted(
             set(self.server_docs) | mutation_queue.pending_paths() | set(extra_docs)
         )
         for path in candidates:

@@ -75,6 +75,7 @@ class FirestoreService:
         ]
         for spanner in self.spanner_databases:
             spanner.tracer = self.tracer
+            spanner.metrics = metrics
         self.splitters = [
             LoadBasedSplitter(db, metrics=metrics)
             for db in self.spanner_databases

@@ -104,6 +104,21 @@ class CommitOutcomeUnknown(FirestoreError):
     code = "UNKNOWN"
 
 
+class SanitizerViolation(ReproError):
+    """A dynamic sanitizer (``repro.analysis.sanitizers``) caught an
+    invariant violation: 2PL lock discipline, MVCC read/commit-timestamp
+    consistency, TrueTime monotonicity, or same-seed replay divergence.
+
+    These are *bugs in the reproduction itself*, never user errors, so
+    they deliberately do not subclass :class:`FirestoreError` — nothing
+    should catch and retry them.
+    """
+
+    def __init__(self, check: str, message: str):
+        self.check = check
+        super().__init__(f"[{check}] {message}")
+
+
 class RulesError(ReproError):
     """Base class for security-rules compilation errors."""
 

@@ -75,8 +75,27 @@ class SpannerDatabase:
         from repro.obs.tracer import NULL_TRACER
 
         self.tracer = NULL_TRACER
+        self._metrics = None
         self.commits = 0
         self.aborts = 0
+        # dynamic sanitizers (repro.analysis): installed when
+        # REPRO_SANITIZE=1 / pytest --sanitize; wraps locks+truetime with
+        # checking proxies and receives on_* hooks from the hot paths
+        self.sanitizer = None
+        from repro.analysis.sanitizers import maybe_install
+
+        maybe_install(self)
+
+    @property
+    def metrics(self):
+        """The optional repro.obs MetricsRegistry this database reports to."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        self.locks.metrics = registry
+        self.locks.owner = self.name
 
     # -- schema and directories ---------------------------------------------
 
@@ -160,6 +179,8 @@ class SpannerDatabase:
         if chain is None:
             return None
         version = chain.read_versioned_at(read_ts)
+        if self.sanitizer is not None:
+            self.sanitizer.on_snapshot_read(ckey, chain, read_ts, version)
         if version is None or version[1] is TOMBSTONE:
             return None
         return version

@@ -51,6 +51,17 @@ class LockTable:
         # txn_id -> list of (start, end_or_None) shared ranges
         self._ranges: dict[int, list[tuple[bytes, bytes | None]]] = {}
         self.conflicts = 0  # observability: count of refused acquisitions
+        # optional repro.obs wiring (set by the owning SpannerDatabase):
+        # every refused acquisition also increments a labeled counter
+        self.metrics = None
+        self.owner = ""
+
+    def _record_conflict(self) -> None:
+        self.conflicts += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "spanner.lock_conflicts", database=self.owner
+            ).inc()
 
     def acquire(self, txn_id: int, key: bytes, mode: LockMode) -> None:
         """Grant the lock or raise :class:`LockConflict`.
@@ -65,20 +76,20 @@ class LockTable:
 
         if mode is LockMode.SHARED:
             if state.exclusive_holder is not None and state.exclusive_holder != txn_id:
-                self.conflicts += 1
+                self._record_conflict()
                 raise LockConflict(key, state.exclusive_holder, txn_id)
             state.shared_holders.add(txn_id)
         else:
             if state.exclusive_holder is not None and state.exclusive_holder != txn_id:
-                self.conflicts += 1
+                self._record_conflict()
                 raise LockConflict(key, state.exclusive_holder, txn_id)
             others = state.shared_holders - {txn_id}
             if others:
-                self.conflicts += 1
+                self._record_conflict()
                 raise LockConflict(key, next(iter(others)), txn_id)
             blocker = self._range_holder(key, exclude=txn_id)
             if blocker is not None:
-                self.conflicts += 1
+                self._record_conflict()
                 raise LockConflict(key, blocker, txn_id)
             state.exclusive_holder = txn_id
             state.shared_holders.discard(txn_id)
@@ -97,7 +108,7 @@ class LockTable:
             if state.exclusive_holder is None or state.exclusive_holder == txn_id:
                 continue
             if key >= start and (end is None or key < end):
-                self.conflicts += 1
+                self._record_conflict()
                 raise LockConflict(key, state.exclusive_holder, txn_id)
         self._ranges.setdefault(txn_id, []).append((start, end))
 
@@ -114,7 +125,9 @@ class LockTable:
         """Release every lock held by ``txn_id``; returns count released."""
         self._ranges.pop(txn_id, None)
         keys = self._held_by_txn.pop(txn_id, set())
-        for key in keys:
+        # sorted: set order depends on hash randomization, and release
+        # order must not (determinism across processes)
+        for key in sorted(keys):
             state = self._locks.get(key)
             if state is None:
                 continue
@@ -135,6 +148,10 @@ class LockTable:
     def held_keys(self, txn_id: int) -> set[bytes]:
         """Keys a transaction currently holds locks on."""
         return set(self._held_by_txn.get(txn_id, set()))
+
+    def held_ranges(self, txn_id: int) -> list[tuple[bytes, bytes | None]]:
+        """Range locks a transaction currently holds (start, end) pairs."""
+        return list(self._ranges.get(txn_id, ()))
 
     def active_lock_count(self) -> int:
         """Row locks currently held by anyone."""

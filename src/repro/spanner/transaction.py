@@ -84,6 +84,8 @@ class ReadWriteTransaction:
         self._db.locks.release_all(self.txn_id)
         self._state = "aborted"
         self._db.aborts += 1
+        if self._db.sanitizer is not None:
+            self._db.sanitizer.on_txn_finished(self.txn_id, "aborted")
 
     def rollback(self) -> None:
         """Abort the transaction and release its locks."""
@@ -170,6 +172,10 @@ class ReadWriteTransaction:
         except LockConflict as exc:
             self._abort()
             raise Aborted(str(exc)) from exc
+        if self._db.sanitizer is not None:
+            self._db.sanitizer.on_transactional_scan(
+                self.txn_id, range_start, range_end
+            )
         merged = self._merged_scan(table, start, end, reverse)
         count = 0
         for row_key, value in merged:
@@ -312,6 +318,10 @@ class ReadWriteTransaction:
                     self._apply(min_commit_ts, max_commit_ts)
                     self._db.locks.release_all(self.txn_id)
                     self._db.commits += 1
+                    if self._db.sanitizer is not None:
+                        self._db.sanitizer.on_txn_finished(
+                            self.txn_id, "unknown-applied"
+                        )
                 else:
                     self._abort()
                 self._state = "unknown"
@@ -334,6 +344,14 @@ class ReadWriteTransaction:
             self._db.locks.release_all(self.txn_id)
             self._state = "committed"
             self._db.commits += 1
+            if self._db.sanitizer is not None:
+                self._db.sanitizer.on_txn_finished(
+                    self.txn_id,
+                    "committed",
+                    commit_ts=commit_ts,
+                    min_ts=min_commit_ts,
+                    max_ts=max_commit_ts,
+                )
             return result
 
     def _apply(self, min_commit_ts: int, max_commit_ts: Optional[int]) -> int:
@@ -352,6 +370,8 @@ class ReadWriteTransaction:
             tablet.stats.record_write(now)
         if self._pending_messages:
             self._db.message_queue.commit_messages(self._pending_messages, commit_ts)
+        if self._db.sanitizer is not None:
+            self._db.sanitizer.on_commit_applied(list(self._writes), commit_ts)
         return commit_ts
 
 

@@ -1,0 +1,22 @@
+"""Bad fixture: exception-boundary violations plus a bare except."""
+
+from repro.spanner.transaction import inject_definitive_failure
+
+
+class HomegrownError(Exception):
+    """Public exception defined outside repro.errors."""
+
+
+def fail():
+    raise Exception("too generic to act on")
+
+
+def cross_boundary():
+    raise inject_definitive_failure
+
+
+def swallow():
+    try:
+        fail()
+    except:  # noqa: E722
+        pass

@@ -1,0 +1,9 @@
+"""Bad fixture: stdlib randomness imported outside the sim core."""
+
+import random
+from random import choice
+
+
+def pick(items):
+    random.shuffle(items)
+    return choice(items)

@@ -1,0 +1,5 @@
+"""Bad fixture: suppression pragmas that don't meet the bar."""
+
+import random  # reprolint: disable=banned-import
+
+x = 1  # reprolint: disable=no-such-check -- the check id does not exist

@@ -1,0 +1,11 @@
+"""Bad fixture: spans opened outside a context manager."""
+
+
+def leaky(tracer):
+    span = tracer.span("backend.work")
+    span.set_attribute("leaked", True)
+    return span
+
+
+def explicit(tracer):
+    return tracer.start_span("backend.work")

@@ -1,0 +1,22 @@
+"""Bad fixture: every flavour of nondeterministic time/entropy call."""
+
+import os
+import uuid
+import secrets
+import datetime as dt
+from datetime import datetime
+
+
+def stamp():
+    import time
+
+    a = time.time()
+    b = time.monotonic()
+    c = dt.datetime.now()
+    d = datetime.utcnow()
+    e = dt.date.today()
+    return a, b, c, d, e
+
+
+def entropy():
+    return os.urandom(8), uuid.uuid4(), secrets.token_hex(4)

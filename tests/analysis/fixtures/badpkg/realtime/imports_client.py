@@ -1,0 +1,8 @@
+"""Bad fixture: the Real-time Cache layer reaching up into the client."""
+
+from repro.client.client import FirestoreClient  # noqa: F401
+from repro.service.pool import TaskPool  # noqa: F401
+
+
+def peek(client):
+    return client

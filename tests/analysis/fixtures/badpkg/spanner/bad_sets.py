@@ -1,0 +1,20 @@
+"""Bad fixture: order-nondeterministic set iteration, three ways."""
+
+
+def literal():
+    out = []
+    for name in {"b", "a", "c"}:
+        out.append(name)
+    return out
+
+
+def constructed(keys):
+    return [k for k in set(keys)]
+
+
+def local_binding(keys):
+    pending = set(keys)
+    total = 0
+    for key in pending:
+        total += len(key)
+    return total

@@ -1,0 +1,10 @@
+"""Good fixture: the sim core is the sanctioned randomness/time boundary."""
+
+import random
+import time
+
+
+def bridge(seed):
+    rng = random.Random(seed)
+    _ = time.time()  # the one place wall clocks may be read
+    return rng.random()

@@ -1,0 +1,129 @@
+"""reprolint: every check catches its bad fixture and passes the good one.
+
+The fixtures under ``fixtures/badpkg`` and ``fixtures/goodpkg`` are mini
+package trees whose directory names reuse the real subsystem names, so
+the path-sensitive checks (layering, determinism allowlist, start_span
+allowlist) exercise exactly the logic they apply to ``src/repro``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reprolint import lint_tree, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "badpkg"
+GOOD = FIXTURES / "goodpkg"
+
+
+@pytest.fixture(scope="module")
+def bad_diagnostics():
+    return lint_tree(root=BAD)
+
+
+def by_check(diagnostics, check):
+    return [d for d in diagnostics if d.check == check]
+
+
+def test_bad_tree_fails_and_good_tree_passes():
+    assert lint_tree(root=BAD)
+    assert lint_tree(root=GOOD) == []
+
+
+def test_wallclock_catches_every_flavour(bad_diagnostics):
+    found = by_check(bad_diagnostics, "wallclock")
+    assert {d.path for d in found} == {"core/uses_wallclock.py"}
+    rendered = "\n".join(d.message for d in found)
+    for banned in (
+        "time.time",
+        "time.monotonic",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid4",
+        "secrets.token_hex",
+    ):
+        assert banned in rendered, banned
+
+
+def test_banned_import_catches_random(bad_diagnostics):
+    found = by_check(bad_diagnostics, "banned-import")
+    paths = {d.path for d in found}
+    assert "core/bad_imports.py" in paths
+    # time imported inside a function body is still an import
+    assert "core/uses_wallclock.py" in paths
+    # the pragma without a reason does NOT suppress
+    assert "core/bad_pragma.py" in paths
+
+
+def test_set_iteration_catches_three_shapes(bad_diagnostics):
+    found = by_check(bad_diagnostics, "set-iteration")
+    assert [d.path for d in found] == ["spanner/bad_sets.py"] * 3
+    lines = sorted(d.line for d in found)
+    assert len(lines) == 3  # literal, set() comprehension, local binding
+
+
+def test_layering_catches_realtime_to_client(bad_diagnostics):
+    found = by_check(bad_diagnostics, "layering")
+    messages = "\n".join(d.message for d in found)
+    assert "'realtime' may not import 'repro.client'" in messages
+    assert "'realtime' may not import 'repro.service'" in messages
+
+
+def test_error_boundary_and_bare_except(bad_diagnostics):
+    boundary = by_check(bad_diagnostics, "error-boundary")
+    messages = "\n".join(d.message for d in boundary)
+    assert "HomegrownError" in messages
+    assert "not Exception" in messages
+    assert "another subsystem's exception" in messages
+    bare = by_check(bad_diagnostics, "bare-except")
+    assert [d.path for d in bare] == ["core/bad_errors.py"]
+
+
+def test_trace_span_context(bad_diagnostics):
+    found = by_check(bad_diagnostics, "trace-span-context")
+    assert {d.path for d in found} == {"core/bad_trace.py"}
+    messages = "\n".join(d.message for d in found)
+    assert "context manager" in messages
+    assert "start_span" in messages
+
+
+def test_pragma_requires_reason_and_known_check(bad_diagnostics):
+    found = by_check(bad_diagnostics, "pragma")
+    messages = "\n".join(d.message for d in found)
+    assert "requires a reason" in messages
+    assert "unknown check" in messages
+
+
+def test_diagnostics_have_positions_and_render(bad_diagnostics):
+    for diag in bad_diagnostics:
+        assert diag.line >= 1
+        assert ":" in diag.render()
+        assert diag.render().startswith(diag.path)
+
+
+def test_cli_exit_codes(capsys):
+    assert main(["--root", str(BAD)]) == 1
+    out = capsys.readouterr()
+    assert "core/uses_wallclock.py" in out.out
+    assert "violation(s)" in out.err
+    assert main(["--root", str(GOOD)]) == 0
+    assert main(["--list-checks"]) == 0
+    assert main(["--root", str(BAD), "--check", "no-such"]) == 2
+
+
+def test_cli_single_check_filter():
+    assert main(["--root", str(BAD), "--check", "bare-except"]) == 1
+    assert main(["--root", str(GOOD), "--check", "bare-except"]) == 0
+
+
+def test_cli_explicit_paths():
+    target = BAD / "core" / "bad_imports.py"
+    assert main(["--root", str(BAD), str(target)]) == 1
+
+
+def test_self_clean():
+    """The acceptance criterion: the real tree lints clean."""
+    assert main([]) == 0
