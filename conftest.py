@@ -1,12 +1,20 @@
-"""Repo-level pytest wiring for the dynamic sanitizers.
+"""Repo-level pytest wiring for the dynamic sanitizers and the checker.
 
 ``pytest --sanitize`` runs the whole suite with the consistency
 sanitizers installed on every SpannerDatabase (equivalent to exporting
 ``REPRO_SANITIZE=1``): 2PL lock discipline, MVCC history, and TrueTime
 checks all become hard errors instead of silent assumptions.
+
+``pytest --check`` runs the whole suite with history recording on
+(equivalent to ``REPRO_CHECK=1``): every SpannerDatabase created by a
+test records its execution history, and after each test the histories
+are run through the repro.check consistency checker — any violation
+fails that test with a :class:`repro.errors.CheckerViolation`.
 """
 
 import os
+
+import pytest
 
 
 def pytest_addoption(parser):
@@ -17,14 +25,48 @@ def pytest_addoption(parser):
         help="install the repro.analysis consistency sanitizers "
         "(lock discipline, MVCC history, TrueTime) for the whole run",
     )
+    parser.addoption(
+        "--check",
+        action="store_true",
+        default=False,
+        help="record execution histories on every SpannerDatabase and "
+        "run the repro.check consistency checker after each test",
+    )
 
 
 def pytest_configure(config):
     if config.getoption("--sanitize"):
         os.environ["REPRO_SANITIZE"] = "1"
+    if config.getoption("--check"):
+        os.environ["REPRO_CHECK"] = "1"
+
+
+def _flag(name):
+    return os.environ.get(name, "") not in ("", "0", "false", "no")
 
 
 def pytest_report_header(config):
-    if os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false", "no"):
-        return "repro sanitizers: ENABLED (REPRO_SANITIZE)"
-    return None
+    lines = []
+    if _flag("REPRO_SANITIZE"):
+        lines.append("repro sanitizers: ENABLED (REPRO_SANITIZE)")
+    if _flag("REPRO_CHECK"):
+        lines.append("repro history checker: ENABLED (REPRO_CHECK)")
+    return lines or None
+
+
+@pytest.fixture(autouse=True)
+def _check_recorded_histories(request):
+    """With --check: drain each test's recorders and check their histories."""
+    if not _flag("REPRO_CHECK"):
+        yield
+        return
+    from repro.check.checker import assert_clean, check_history
+    from repro.check.history import drain_recorders
+
+    drain_recorders()  # start the test with a clean slate
+    yield
+    for recorder in drain_recorders():
+        if not recorder.events:
+            continue
+        context = f"{request.node.nodeid} [{recorder.name}]"
+        assert_clean(check_history(recorder.events), context=context)

@@ -76,7 +76,10 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "sim": frozenset({"errors"}),
     "obs": frozenset({"core", "errors", "service", "sim"}),
     "analysis": frozenset({"errors", "obs", "sim", "spanner"}),
-    "spanner": frozenset({"analysis", "errors", "obs", "sim"}),
+    "check": frozenset(
+        {"core", "errors", "obs", "sim", "spanner", "workloads"}
+    ),
+    "spanner": frozenset({"analysis", "check", "errors", "obs", "sim"}),
     "service": frozenset({"errors", "obs", "sim"}),
     "realtime": frozenset({"core", "errors", "obs", "sim"}),
     "rules": frozenset({"core", "errors"}),
@@ -453,7 +456,9 @@ def check_error_boundary(module: ParsedModule) -> list[Diagnostic]:
                     changed = True
                     break
 
-    def is_exceptionish(cls: ast.ClassDef) -> bool:
+    local_defs = {cls.name: cls for cls in local_exception_defs}
+
+    def is_exceptionish(cls: ast.ClassDef, seen: tuple = ()) -> bool:
         for base in cls.bases:
             base_name = _dotted_name(base)
             if base_name is None:
@@ -463,8 +468,16 @@ def check_error_boundary(module: ParsedModule) -> list[Diagnostic]:
                 last in ("Exception", "BaseException")
                 or last in errors_names
                 or base_name in local_ok
-                or last.endswith(("Error", "Failure", "Violation", "Conflict"))
             ):
+                return True
+            if base_name in local_defs and base_name not in seen:
+                # a locally-defined base settles the question: recurse
+                # into it instead of guessing from its name (a plain
+                # dataclass called FooViolation is not an exception)
+                if is_exceptionish(local_defs[base_name], seen + (base_name,)):
+                    return True
+                continue
+            if last.endswith(("Error", "Failure", "Violation", "Conflict")):
                 return True
         return False
 
@@ -514,6 +527,95 @@ def check_error_boundary(module: ParsedModule) -> list[Diagnostic]:
                     "repro.errors types may cross subsystem boundaries",
                 )
             )
+    return out
+
+
+# -- history-recorder coverage ------------------------------------------------
+
+#: The hot-path methods that must feed the repro.check history recorder.
+#: A future refactor that rewrites one of these without re-plumbing the
+#: tap would silently blind the consistency checker — this check makes
+#: the omission a lint failure instead. Keys are module rel-paths, values
+#: are ``Class.method`` names that must reference ``recorder``.
+REQUIRED_HISTORY_TAPS: dict[str, frozenset[str]] = {
+    "spanner/transaction.py": frozenset(
+        {
+            "ReadWriteTransaction.__init__",
+            "ReadWriteTransaction.read_versioned",
+            "ReadWriteTransaction.scan",
+            "ReadWriteTransaction.commit",
+            "ReadWriteTransaction._apply",
+            "ReadWriteTransaction._abort",
+        }
+    ),
+    "spanner/database.py": frozenset(
+        {"SpannerDatabase.snapshot_read_versioned"}
+    ),
+    "core/backend.py": frozenset({"Backend.commit", "Backend.run_query"}),
+    "realtime/changelog.py": frozenset(
+        {
+            "Changelog.accept",
+            "Changelog._advance",
+            "Changelog._mark_out_of_sync",
+            "Changelog.resync",
+        }
+    ),
+    "realtime/frontend.py": frozenset(
+        {"Frontend._start_query", "RealtimeConnection._pump"}
+    ),
+}
+
+
+def _references_recorder(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr == "recorder":
+            return True
+        if isinstance(node, ast.Name) and node.id == "recorder":
+            return True
+    return False
+
+
+def check_history_tap(module: ParsedModule) -> list[Diagnostic]:
+    """Instrumented hot path lost its history-recorder tap."""
+    required = REQUIRED_HISTORY_TAPS.get(module.rel_path)
+    if not required:
+        return []
+    out = []
+    found: set[str] = set()
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            qualname = f"{cls.name}.{fn.name}"
+            if qualname not in required:
+                continue
+            found.add(qualname)
+            if not _references_recorder(fn):
+                out.append(
+                    _diag(
+                        module,
+                        fn,
+                        "history-tap",
+                        f"{qualname} must feed the repro.check history "
+                        "recorder (guard with 'if recorder is not None'); "
+                        "without the tap the consistency checker is blind "
+                        "to this path",
+                    )
+                )
+    for qualname in sorted(required - found):
+        first = module.tree.body[0] if module.tree.body else module.tree
+        out.append(
+            _diag(
+                module,
+                first,
+                "history-tap",
+                f"expected history-tapped method {qualname} was not "
+                "found; update REQUIRED_HISTORY_TAPS in "
+                "repro.analysis.checks if the hot path moved",
+            )
+        )
     return out
 
 
@@ -574,5 +676,6 @@ CHECKS = {
     "layering": check_layering,
     "bare-except": check_bare_except,
     "error-boundary": check_error_boundary,
+    "history-tap": check_history_tap,
     "trace-span-context": check_trace_span_context,
 }

@@ -13,12 +13,16 @@ A *scenario* is a zero-argument callable (bake the seed in with
 ``functools.partial`` or a closure) returning any of:
 
 - a dict with optional keys ``tracer``, ``metrics``, ``events``,
-  ``extra`` — the canonical form;
+  ``history``, ``extra`` — the canonical form;
 - a ``(tracer, metrics)`` tuple;
 - a bare :class:`repro.obs.tracer.Tracer`.
 
 ``events`` may be any JSON-serializable list (e.g. rendered event-kernel
-labels); ``extra`` any JSON-serializable value (e.g. benchmark numbers).
+labels); ``history`` a repro.check execution history (one event-dict
+list, or a list of them — one per recorder), fingerprinted in its
+canonical JSONL form so "same seed => byte-identical history log" is
+checked mechanically; ``extra`` any JSON-serializable value (e.g.
+benchmark numbers).
 """
 
 from __future__ import annotations
@@ -46,6 +50,8 @@ class ReplayRun:
     metrics_json: Optional[str]
     metrics_hash: Optional[str]
     events_hash: Optional[str]
+    history_json: Optional[str]
+    history_hash: Optional[str]
     extra_hash: Optional[str]
 
     def digest(self) -> tuple:
@@ -54,6 +60,7 @@ class ReplayRun:
             self.trace_hash,
             self.metrics_hash,
             self.events_hash,
+            self.history_hash,
             self.extra_hash,
         )
 
@@ -83,12 +90,26 @@ def _normalize(result: Any) -> dict:
     return {"tracer": result}
 
 
+def _history_jsonl(history: Any) -> str:
+    """Canonical JSONL for a repro.check history (or list of them)."""
+    if history and isinstance(history[0], dict):
+        histories = [history]
+    else:
+        histories = list(history)
+    return "".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        for events in histories
+        for event in events
+    )
+
+
 def fingerprint(result: Any) -> ReplayRun:
     """Hash every artifact of one scenario result."""
     parts = _normalize(result)
     tracer = parts.get("tracer")
     metrics = parts.get("metrics")
     events = parts.get("events")
+    history = parts.get("history")
     extra = parts.get("extra")
     trace_json = chrome_trace_json(tracer) if tracer is not None else None
     metrics_json = (
@@ -96,6 +117,7 @@ def fingerprint(result: Any) -> ReplayRun:
         if metrics is not None
         else None
     )
+    history_json = _history_jsonl(history) if history is not None else None
     return ReplayRun(
         trace_json=trace_json,
         trace_hash=_sha256(trace_json) if trace_json is not None else None,
@@ -106,6 +128,10 @@ def fingerprint(result: Any) -> ReplayRun:
             _sha256(json.dumps(events, sort_keys=True, default=str))
             if events is not None
             else None
+        ),
+        history_json=history_json,
+        history_hash=(
+            _sha256(history_json) if history_json is not None else None
         ),
         extra_hash=(
             _sha256(json.dumps(extra, sort_keys=True, default=str))
@@ -164,6 +190,13 @@ def run_replay(
                     other.metrics_hash,
                 ),
                 ("event log", None, None, first.events_hash, other.events_hash),
+                (
+                    "history log",
+                    first.history_json,
+                    other.history_json,
+                    first.history_hash,
+                    other.history_hash,
+                ),
                 ("extra artifact", None, None, first.extra_hash, other.extra_hash),
             ):
                 if a_hash != b_hash:

@@ -1,0 +1,491 @@
+"""The offline history checker.
+
+:func:`check_history` takes a recorded execution history (the event list
+of a :class:`repro.check.history.HistoryRecorder`, or a parsed JSONL
+log) and returns every consistency violation it can prove from the
+events alone. It verifies the paper's headline guarantees:
+
+- **Serializability** (section IV-D1): the wr/ww/rw dependency graph of
+  the committed transactions must be acyclic. Two-transaction cycles are
+  classified as the classic anomalies — :class:`LostUpdate` (both read
+  then overwrote the same key) and :class:`WriteSkew` (mutual rw on
+  disjoint write sets) — anything else is a
+  :class:`SerializabilityCycle`.
+- **External consistency** (TrueTime): commit timestamps are strictly
+  monotone in real (record) time, stay within the negotiated
+  ``[min, max]`` window, and a transaction that begins after another's
+  commit applied must receive a larger timestamp.
+- **Snapshot reads**: a lock-free read at ``read_ts`` must observe
+  exactly the latest recorded version at or below ``read_ts``.
+- **Index/document atomicity** (section IV-D2): query results must agree
+  with the entity table at the query's snapshot — no deleted documents,
+  no stale ``update_time``.
+- **Notification order and completeness** (section IV-D4): per range,
+  Changelog deliveries and watermarks are monotone; every committed
+  Accept's changes are delivered unless the range's out-of-sync
+  fail-safe fired or the log ends before the flush was due; per
+  listener, incremental snapshot timestamps strictly advance.
+
+Violations carry the indices of the implicated events (and their trace
+span ids when the run was traced) so a failure links back into the
+repro.obs timeline. :func:`assert_clean` raises
+:class:`repro.errors.CheckerViolation` — the same
+:class:`repro.errors.VerificationError` family the dynamic sanitizers
+use — so one ``except`` clause covers both kinds of checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Iterable, Optional
+
+from repro.errors import CheckerViolation
+from repro.check.graph import (
+    Edge,
+    Txn,
+    committed_txns,
+    cycles,
+    dependency_edges,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One proven consistency violation over a recorded history."""
+
+    check: ClassVar[str] = "violation"
+
+    message: str
+    #: indices into the checked event list of the implicated events
+    events: tuple[int, ...] = ()
+    #: trace span ids of the implicated events, when the run was traced
+    spans: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+class SerializabilityCycle(Violation):
+    """The dependency graph of committed transactions has a cycle."""
+
+    check = "serializability-cycle"
+
+
+class LostUpdate(SerializabilityCycle):
+    """Two transactions both read then overwrote the same key."""
+
+    check = "lost-update"
+
+
+class WriteSkew(SerializabilityCycle):
+    """Mutual read-overwrite on disjoint write sets (classic G2-item)."""
+
+    check = "write-skew"
+
+
+class NonMonotonicCommit(Violation):
+    """A commit timestamp did not exceed every earlier one."""
+
+    check = "non-monotonic-commit"
+
+
+class CommitWindowViolation(Violation):
+    """A commit timestamp landed outside its negotiated [min, max]."""
+
+    check = "commit-window"
+
+
+class ExternalConsistencyViolation(Violation):
+    """A transaction that began after another's commit got a smaller ts."""
+
+    check = "external-consistency"
+
+
+class StaleSnapshotRead(Violation):
+    """A snapshot read did not observe the latest version at its ts."""
+
+    check = "stale-snapshot-read"
+
+
+class IndexInconsistency(Violation):
+    """A query result disagreed with the entity table at its snapshot."""
+
+    check = "index-inconsistency"
+
+
+class NotificationOrderViolation(Violation):
+    """Changelog deliveries / watermarks / listener snapshots regressed."""
+
+    check = "notification-order"
+
+
+class NotificationLoss(Violation):
+    """A committed, in-sync change was never delivered downstream."""
+
+    check = "notification-loss"
+
+
+def _spans_of(events: list[dict], indices: Iterable[int]) -> tuple[int, ...]:
+    spans = []
+    for index in indices:
+        span = events[index].get("span")
+        if span is not None:
+            spans.append(span)
+    return tuple(spans)
+
+
+def _make(
+    cls,
+    events: list[dict],
+    message: str,
+    indices: Iterable[int],
+) -> Violation:
+    indices = tuple(indices)
+    return cls(message, indices, _spans_of(events, indices))
+
+
+# -- serializability ---------------------------------------------------------
+
+
+def _classify_cycle(
+    component: list[int],
+    txns: dict[int, Txn],
+    edges: list[Edge],
+) -> type:
+    if len(component) != 2:
+        return SerializabilityCycle
+    first, second = (txns[txn_id] for txn_id in component)
+    read_keys_first = {key for _, key, _ in first.reads}
+    read_keys_second = {key for _, key, _ in second.reads}
+    both_wrote = set(first.writes) & set(second.writes)
+    if both_wrote & read_keys_first & read_keys_second:
+        return LostUpdate
+    in_cycle = {
+        (edge.src, edge.dst): edge.kind
+        for edge in edges
+        if edge.src in component and edge.dst in component
+    }
+    mutual_rw = (
+        in_cycle.get((first.txn_id, second.txn_id)) == "rw"
+        and in_cycle.get((second.txn_id, first.txn_id)) == "rw"
+    )
+    if mutual_rw and not both_wrote:
+        return WriteSkew
+    return SerializabilityCycle
+
+
+def _check_serializability(events: list[dict]) -> list[Violation]:
+    txns = committed_txns(events)
+    edges = dependency_edges(txns)
+    violations: list[Violation] = []
+    for component in cycles(txns, edges):
+        cls = _classify_cycle(component, txns, edges)
+        involved = [
+            f"{edge.kind}({edge.src}->{edge.dst} on {edge.key[:16]})"
+            for edge in edges
+            if edge.src in component and edge.dst in component
+        ]
+        indices = []
+        for txn_id in component:
+            txn = txns[txn_id]
+            if txn.begin_index >= 0:
+                indices.append(txn.begin_index)
+            indices.append(txn.commit_index)
+        violations.append(
+            _make(
+                cls,
+                events,
+                f"transactions {component} form a dependency cycle: "
+                + "; ".join(involved),
+                sorted(indices),
+            )
+        )
+    return violations
+
+
+# -- external consistency ----------------------------------------------------
+
+
+def _check_external_consistency(events: list[dict]) -> list[Violation]:
+    violations: list[Violation] = []
+    last_commit: Optional[tuple[int, int, int]] = None  # (index, txn, ts)
+    commits: list[tuple[int, int, int]] = []  # (index, txn, ts)
+    for index, event in enumerate(events):
+        if event.get("k") != "commit":
+            continue
+        ts = event["ts"]
+        txn_id = event["txn"]
+        if last_commit is not None and ts <= last_commit[2]:
+            violations.append(
+                _make(
+                    NonMonotonicCommit,
+                    events,
+                    f"txn {txn_id} committed at {ts} after txn "
+                    f"{last_commit[1]} committed at {last_commit[2]}",
+                    (last_commit[0], index),
+                )
+            )
+        min_ts = event.get("min", 0)
+        max_ts = event.get("max")
+        if ts < min_ts or (max_ts is not None and ts > max_ts):
+            violations.append(
+                _make(
+                    CommitWindowViolation,
+                    events,
+                    f"txn {txn_id} committed at {ts} outside its window "
+                    f"[{min_ts}, {max_ts}]",
+                    (index,),
+                )
+            )
+        last_commit = (index, txn_id, ts)
+        commits.append(last_commit)
+    # real-time order implies timestamp order: a transaction beginning
+    # after a commit *applied* must commit strictly later
+    commit_position = 0
+    max_earlier_ts: Optional[tuple[int, int, int]] = None
+    txns = committed_txns(events)
+    begins = sorted(
+        (txn.begin_index, txn)
+        for txn in txns.values()
+        if txn.begin_index >= 0
+    )
+    for begin_index, txn in begins:
+        while (
+            commit_position < len(commits)
+            and commits[commit_position][0] < begin_index
+        ):
+            candidate = commits[commit_position]
+            if max_earlier_ts is None or candidate[2] > max_earlier_ts[2]:
+                max_earlier_ts = candidate
+            commit_position += 1
+        if max_earlier_ts is not None and txn.commit_ts <= max_earlier_ts[2]:
+            violations.append(
+                _make(
+                    ExternalConsistencyViolation,
+                    events,
+                    f"txn {txn.txn_id} began after txn "
+                    f"{max_earlier_ts[1]}'s commit at {max_earlier_ts[2]} "
+                    f"applied but committed at {txn.commit_ts}",
+                    (max_earlier_ts[0], begin_index, txn.commit_index),
+                )
+            )
+    return violations
+
+
+# -- snapshot reads and query results ----------------------------------------
+
+
+class _VersionIndex:
+    """Recorded versions per key, replayed in event order."""
+
+    def __init__(self) -> None:
+        #: key -> ascending [(commit_ts, "w"|"d")]
+        self.versions: dict[str, list[tuple[int, str]]] = {}
+
+    def apply_commit(self, event: dict) -> None:
+        ts = event["ts"]
+        for key, kind in event.get("writes", []):
+            self.versions.setdefault(key, []).append((ts, kind))
+
+    def latest_at(self, key: str, read_ts: int) -> Optional[tuple[int, str]]:
+        """The latest recorded version of ``key`` at or below ``read_ts``."""
+        best: Optional[tuple[int, str]] = None
+        for ts, kind in self.versions.get(key, []):
+            if ts <= read_ts:
+                best = (ts, kind)
+            else:
+                break
+        return best
+
+
+def _check_reads(events: list[dict]) -> list[Violation]:
+    violations: list[Violation] = []
+    index_by_key = _VersionIndex()
+    for index, event in enumerate(events):
+        kind = event.get("k")
+        if kind == "commit":
+            index_by_key.apply_commit(event)
+        elif kind == "snap_read":
+            expected = index_by_key.latest_at(event["key"], event["read_ts"])
+            if expected is None:
+                continue  # pre-recording state: cannot judge
+            expected_ts = -1 if expected[1] == "d" else expected[0]
+            if event["ts"] != expected_ts:
+                violations.append(
+                    _make(
+                        StaleSnapshotRead,
+                        events,
+                        f"snapshot read of {event['key'][:16]} at "
+                        f"{event['read_ts']} observed version "
+                        f"{event['ts']}, expected {expected_ts}",
+                        (index,),
+                    )
+                )
+        elif kind == "query":
+            for row_key, update_ts in event.get("rows", []):
+                expected = index_by_key.latest_at(row_key, event["read_ts"])
+                if expected is None:
+                    continue
+                if expected[1] == "d":
+                    violations.append(
+                        _make(
+                            IndexInconsistency,
+                            events,
+                            f"query at {event['read_ts']} returned "
+                            f"{row_key[:16]} which was deleted at "
+                            f"{expected[0]}",
+                            (index,),
+                        )
+                    )
+                elif update_ts != expected[0]:
+                    violations.append(
+                        _make(
+                            IndexInconsistency,
+                            events,
+                            f"query at {event['read_ts']} returned "
+                            f"{row_key[:16]} at version {update_ts}, "
+                            f"entity table says {expected[0]}",
+                            (index,),
+                        )
+                    )
+    return violations
+
+
+# -- notifications -----------------------------------------------------------
+
+
+def _check_notifications(events: list[dict]) -> list[Violation]:
+    violations: list[Violation] = []
+    last_delivery: dict[int, tuple[int, int]] = {}  # range -> (index, ts)
+    last_watermark: dict[int, tuple[int, int]] = {}  # range -> (index, wm)
+    #: committed accepts awaiting delivery:
+    #: range -> {(ts, path) -> accept index}
+    awaited: dict[int, dict[tuple[int, str], int]] = {}
+    max_watermark: dict[int, int] = {}
+
+    for index, event in enumerate(events):
+        kind = event.get("k")
+        if kind == "cl_accept":
+            if event["outcome"] == "committed":
+                pending = awaited.setdefault(event["range"], {})
+                for path in event.get("paths", []):
+                    pending[(event["ts"], path)] = index
+        elif kind == "cl_deliver":
+            range_id = event["range"]
+            previous = last_delivery.get(range_id)
+            if previous is not None and event["ts"] < previous[1]:
+                violations.append(
+                    _make(
+                        NotificationOrderViolation,
+                        events,
+                        f"range {range_id} delivered {event['path']} at "
+                        f"{event['ts']} after a delivery at {previous[1]}",
+                        (previous[0], index),
+                    )
+                )
+            last_delivery[range_id] = (index, event["ts"])
+            awaited.get(range_id, {}).pop(
+                (event["ts"], event["path"]), None
+            )
+        elif kind == "cl_watermark":
+            range_id = event["range"]
+            previous = last_watermark.get(range_id)
+            if previous is not None and event["wm"] < previous[1]:
+                violations.append(
+                    _make(
+                        NotificationOrderViolation,
+                        events,
+                        f"range {range_id} watermark regressed from "
+                        f"{previous[1]} to {event['wm']}",
+                        (previous[0], index),
+                    )
+                )
+            last_watermark[range_id] = (index, event["wm"])
+            max_watermark[range_id] = max(
+                max_watermark.get(range_id, 0), event["wm"]
+            )
+        elif kind == "cl_oos":
+            # the fail-safe: every listener resets, buffered and future
+            # changes up to the resync are legitimately not delivered
+            awaited.pop(event["range"], None)
+
+    for range_id, pending in awaited.items():
+        watermark = max_watermark.get(range_id, 0)
+        for (ts, path), accept_index in sorted(
+            pending.items(), key=lambda item: item[1]
+        ):
+            if ts > watermark:
+                continue  # not yet due when the log ended
+            violations.append(
+                _make(
+                    NotificationLoss,
+                    events,
+                    f"range {range_id} accepted {path} at {ts} but never "
+                    f"delivered it (watermark reached {watermark})",
+                    (accept_index,),
+                )
+            )
+
+    # per-listener snapshot timestamps strictly advance between resets
+    last_notify: dict[str, tuple[int, int]] = {}  # tag -> (index, read_ts)
+    for index, event in enumerate(events):
+        if event.get("k") != "notify":
+            continue
+        tag = event["tag"]
+        previous = last_notify.get(tag)
+        if (
+            not event.get("initial")
+            and previous is not None
+            and event["read_ts"] <= previous[1]
+        ):
+            violations.append(
+                _make(
+                    NotificationOrderViolation,
+                    events,
+                    f"listener {tag} got a snapshot at {event['read_ts']} "
+                    f"after one at {previous[1]}",
+                    (previous[0], index),
+                )
+            )
+        last_notify[tag] = (index, event["read_ts"])
+    return violations
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def check_history(
+    events: list[dict],
+    metrics=None,
+    database: str = "",
+) -> list[Violation]:
+    """Run every check over a recorded history; returns the violations.
+
+    ``metrics`` (a repro.obs MetricsRegistry) gets one
+    ``checker.violations`` counter increment per violation, labelled by
+    check id, so checked runs surface failures on dashboards too.
+    """
+    violations: list[Violation] = []
+    violations.extend(_check_serializability(events))
+    violations.extend(_check_external_consistency(events))
+    violations.extend(_check_reads(events))
+    violations.extend(_check_notifications(events))
+    if metrics is not None:
+        for violation in violations:
+            metrics.counter(
+                "checker.violations", check=violation.check
+            ).inc()
+    return violations
+
+
+def assert_clean(
+    violations: list[Violation], context: str = "history"
+) -> None:
+    """Raise :class:`CheckerViolation` unless the check came back clean."""
+    if not violations:
+        return
+    first = violations[0]
+    detail = first.message
+    if len(violations) > 1:
+        detail += f" (+{len(violations) - 1} more)"
+    raise CheckerViolation(first.check, f"{context}: {detail}")

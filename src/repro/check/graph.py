@@ -1,0 +1,206 @@
+"""The transaction dependency graph (Adya/Elle-style).
+
+Builds the direct-serialization graph over the committed transactions of
+a recorded history: one node per committed transaction, one edge per
+observed dependency —
+
+- **wr** (read-from): T1 committed a version of a key that T2's
+  transactional read observed,
+- **ww** (write-follows): T1 and T2 are consecutive committed writers of
+  the same key in commit-timestamp order,
+- **rw** (anti-dependency): T1 read a version of a key that T2 later
+  overwrote (T1 read *past* T2's write).
+
+A serializable execution admits a topological order of this graph; any
+cycle is a serializability violation. :func:`cycles` finds the strongly
+connected components with more than one node (Tarjan), which the checker
+classifies into the classic anomalies (lost update, write skew) or
+reports as generic cycles.
+
+Versions that predate the recording (a read observing a commit timestamp
+no recorded transaction produced, including ``-1`` = absent) contribute
+rw edges to the *first* recorded overwriter but no wr edge — the writer
+is outside the history, exactly like Elle's treatment of the initial
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Txn:
+    """One committed transaction reconstructed from the history."""
+
+    txn_id: int
+    begin_index: int = -1
+    commit_index: int = -1
+    commit_ts: int = -1
+    min_ts: int = 0
+    max_ts: int | None = None
+    tt_earliest: int = 0
+    tt_latest: int = 0
+    #: (event index, key hex, observed version commit_ts) per read
+    reads: list[tuple[int, str, int]] = field(default_factory=list)
+    #: key hex -> "w" | "d"
+    writes: dict[str, str] = field(default_factory=dict)
+    unknown: bool = False
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One dependency edge between committed transactions."""
+
+    src: int  # txn_id
+    dst: int  # txn_id
+    kind: str  # "wr" | "ww" | "rw"
+    key: str  # key hex
+
+
+def committed_txns(events: list[dict]) -> dict[int, Txn]:
+    """Reconstruct the committed (applied) transactions of a history.
+
+    A transaction counts as committed iff a ``commit`` event recorded its
+    application — which includes unknown-outcome commits whose mutations
+    were applied (the ack was lost but the data is durable).
+    """
+    txns: dict[int, Txn] = {}
+
+    def txn_for(txn_id: int) -> Txn:
+        txn = txns.get(txn_id)
+        if txn is None:
+            txn = Txn(txn_id)
+            txns[txn_id] = txn
+        return txn
+
+    for index, event in enumerate(events):
+        kind = event.get("k")
+        if kind == "begin":
+            txn_for(event["txn"]).begin_index = index
+        elif kind == "read":
+            txn_for(event["txn"]).reads.append(
+                (index, event["key"], event["ts"])
+            )
+        elif kind == "commit":
+            txn = txn_for(event["txn"])
+            txn.commit_index = index
+            txn.commit_ts = event["ts"]
+            txn.min_ts = event.get("min", 0)
+            txn.max_ts = event.get("max")
+            txn.tt_earliest = event.get("tt_e", 0)
+            txn.tt_latest = event.get("tt_l", 0)
+            for key, write_kind in event.get("writes", []):
+                txn.writes[key] = write_kind
+        elif kind == "unknown":
+            txn_for(event["txn"]).unknown = True
+    return {
+        txn_id: txn
+        for txn_id, txn in txns.items()
+        if txn.commit_index >= 0
+    }
+
+
+def dependency_edges(txns: dict[int, Txn]) -> list[Edge]:
+    """The wr/ww/rw edges over the committed transactions."""
+    # key -> committed writers sorted by commit_ts
+    writers: dict[str, list[Txn]] = {}
+    for txn in txns.values():
+        for key in txn.writes:
+            writers.setdefault(key, []).append(txn)
+    for key_writers in writers.values():
+        key_writers.sort(key=lambda t: t.commit_ts)
+    # commit_ts of a key's recorded versions, for read-from resolution
+    version_writer: dict[tuple[str, int], Txn] = {
+        (key, txn.commit_ts): txn
+        for key, key_writers in writers.items()
+        for txn in key_writers
+    }
+
+    edges: list[Edge] = []
+    seen: set[tuple[int, int, str, str]] = set()
+
+    def add(src: int, dst: int, kind: str, key: str) -> None:
+        if src == dst:
+            return
+        signature = (src, dst, kind, key)
+        if signature not in seen:
+            seen.add(signature)
+            edges.append(Edge(src, dst, kind, key))
+
+    # ww: consecutive writers of each key
+    for key, key_writers in writers.items():
+        for earlier, later in zip(key_writers, key_writers[1:]):
+            add(earlier.txn_id, later.txn_id, "ww", key)
+
+    for reader in txns.values():
+        for _, key, version_ts in reader.reads:
+            writer = version_writer.get((key, version_ts))
+            if writer is not None:
+                add(writer.txn_id, reader.txn_id, "wr", key)
+            # rw: the first recorded writer that overwrote what was read
+            for overwriter in writers.get(key, []):
+                if overwriter.commit_ts > version_ts:
+                    add(reader.txn_id, overwriter.txn_id, "rw", key)
+                    break
+    return edges
+
+
+def cycles(txns: dict[int, Txn], edges: list[Edge]) -> list[list[int]]:
+    """Strongly connected components with >1 transaction (Tarjan).
+
+    Each returned component is a list of txn_ids; its presence proves the
+    history is not serializable.
+    """
+    adjacency: dict[int, list[int]] = {txn_id: [] for txn_id in txns}
+    for edge in edges:
+        adjacency[edge.src].append(edge.dst)
+
+    index_of: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = [0]
+    components: list[list[int]] = []
+
+    def strongconnect(root: int) -> None:
+        # iterative Tarjan: (node, iterator position) work stack
+        work = [(root, 0)]
+        while work:
+            node, child_pos = work.pop()
+            if child_pos == 0:
+                index_of[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recursed = False
+            children = adjacency[node]
+            for position in range(child_pos, len(children)):
+                child = children[position]
+                if child not in index_of:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    recursed = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if recursed:
+                continue
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    for txn_id in txns:
+        if txn_id not in index_of:
+            strongconnect(txn_id)
+    return components

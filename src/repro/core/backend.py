@@ -260,6 +260,22 @@ class Backend:
                     self._check_rules(
                         "list", doc.path, auth, doc, None, txn, read_ts
                     )
+            recorder = self.layout.spanner.recorder
+            if recorder is not None:
+                entities = self.layout.spanner.table(ENTITIES)
+                recorder.query_result(
+                    self.layout.database_id,
+                    read_ts,
+                    [
+                        (
+                            entities.composite_key(
+                                self.layout.entity_key(doc.path)
+                            ).hex(),
+                            doc.update_time,
+                        )
+                        for doc in result.documents
+                    ],
+                )
             span.set_attribute("documents", len(result.documents))
             span.set_attribute("plan", plan.kind)
             return result
@@ -339,6 +355,15 @@ class Backend:
                 if own_txn or txn.is_active:
                     txn.rollback()
                 raise
+            recorder = spanner.recorder
+            if recorder is not None:
+                recorder.backend_prepare(
+                    self.layout.database_id,
+                    handle.prepare_id,
+                    handle.min_commit_ts,
+                    max_ts,
+                    [str(p) for p in paths],
+                )
 
             # step 6: Spanner commit within [m, M]
             try:
@@ -357,6 +382,10 @@ class Backend:
                     self.realtime.accept(
                         self.layout.database_id, handle, WriteOutcome.FAILED, 0, []
                     )
+                if recorder is not None:
+                    recorder.backend_accept(
+                        self.layout.database_id, handle.prepare_id, "failed", 0, []
+                    )
                 raise
             except CommitOutcomeUnknown:
                 with self.tracer.span(
@@ -366,6 +395,10 @@ class Backend:
                 ):
                     self.realtime.accept(
                         self.layout.database_id, handle, WriteOutcome.UNKNOWN, 0, []
+                    )
+                if recorder is not None:
+                    recorder.backend_accept(
+                        self.layout.database_id, handle.prepare_id, "unknown", 0, []
                     )
                 raise DeadlineExceeded(
                     "commit outcome unknown; the write may or may not be applied"
@@ -384,6 +417,14 @@ class Backend:
                     WriteOutcome.COMMITTED,
                     result.commit_ts,
                     stamped,
+                )
+            if recorder is not None:
+                recorder.backend_accept(
+                    self.layout.database_id,
+                    handle.prepare_id,
+                    "committed",
+                    result.commit_ts,
+                    [str(p) for p in paths],
                 )
             self.committed_writes += len(writes)
             commit_span.set_attribute("commit_ts", result.commit_ts)

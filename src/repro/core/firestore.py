@@ -209,6 +209,9 @@ class FirestoreDatabase:
         self.realtime = RealtimeCache(
             service.clock, tracer=service.tracer, metrics=service.metrics
         )
+        # the delivery path reports into the same execution history as
+        # the transactions it mirrors (repro.check; None when disabled)
+        self.realtime.changelog.recorder = spanner.recorder
         self.backend = Backend(
             self.layout,
             self.registry,

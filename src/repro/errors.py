@@ -104,19 +104,38 @@ class CommitOutcomeUnknown(FirestoreError):
     code = "UNKNOWN"
 
 
-class SanitizerViolation(ReproError):
-    """A dynamic sanitizer (``repro.analysis.sanitizers``) caught an
-    invariant violation: 2PL lock discipline, MVCC read/commit-timestamp
-    consistency, TrueTime monotonicity, or same-seed replay divergence.
+class VerificationError(ReproError):
+    """Base class for correctness-verification failures.
 
-    These are *bugs in the reproduction itself*, never user errors, so
-    they deliberately do not subclass :class:`FirestoreError` — nothing
-    should catch and retry them.
+    The common family for everything the guardrail subsystems raise: the
+    dynamic sanitizers (``repro.analysis.sanitizers``), the same-seed
+    replay harness, and the transactional history checker
+    (``repro.check``). These are *bugs in the reproduction itself*, never
+    user errors, so they deliberately do not subclass
+    :class:`FirestoreError` — nothing should catch and retry them, and
+    invariant tests can assert on this one family.
     """
 
     def __init__(self, check: str, message: str):
         self.check = check
         super().__init__(f"[{check}] {message}")
+
+
+class SanitizerViolation(VerificationError):
+    """A dynamic sanitizer (``repro.analysis.sanitizers``) caught an
+    invariant violation: 2PL lock discipline, MVCC read/commit-timestamp
+    consistency, TrueTime monotonicity, or same-seed replay divergence.
+    """
+
+
+class CheckerViolation(VerificationError):
+    """The offline history checker (``repro.check``) found a consistency
+    violation in a recorded execution history: a serializability cycle,
+    an external-consistency (TrueTime order) breach, a stale snapshot
+    read, an index/document mismatch, or a lost/misordered real-time
+    notification. ``check`` names the violated property (kebab-case, the
+    same id the named ``repro.check.checker`` violation classes carry).
+    """
 
 
 class RulesError(ReproError):

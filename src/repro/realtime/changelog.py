@@ -73,6 +73,9 @@ class Changelog:
         self.metrics = metrics
         self.prepares = 0
         self.timeouts = 0
+        # history recorder (repro.check): wired by FirestoreDatabase to
+        # the shared Spanner database's recorder when checking is enabled
+        self.recorder = None
 
     def _log_for(self, name_range: NameRange) -> _RangeLog:
         log = self._logs.get(name_range.range_id)
@@ -134,19 +137,37 @@ class Changelog:
                 self.metrics.counter(
                     "rtc_accepts", outcome=outcome.name.lower()
                 ).inc()
+            recorder = self.recorder
             for name_range in ranges:
                 log = self._log_for(name_range)
                 log.outstanding.pop(handle.prepare_id, None)
+                covered: list[DocumentChange] = []
                 if outcome is WriteOutcome.UNKNOWN:
                     self._mark_out_of_sync(log)
-                elif outcome is WriteOutcome.COMMITTED and not log.out_of_sync:
+                elif outcome is WriteOutcome.COMMITTED:
+                    covered = [
+                        change
+                        for change in changes
+                        if name_range.covers(RangeOwnership.key_for(change.path))
+                    ]
+                    if not log.out_of_sync:
+                        for change in covered:
+                            log.buffer.append((commit_ts, change))
                     # while out-of-sync, committed changes are dropped:
                     # every listener on the range re-queries at a timestamp
                     # at or after this commit, so nothing is lost
-                    for change in changes:
-                        if name_range.covers(RangeOwnership.key_for(change.path)):
-                            log.buffer.append((commit_ts, change))
                 # FAILED: nothing buffered, the prepare simply resolves
+                if recorder is not None:
+                    recorded_outcome = outcome.name.lower()
+                    if outcome is WriteOutcome.COMMITTED and log.out_of_sync:
+                        recorded_outcome = "dropped"
+                    recorder.changelog_accept(
+                        log.name_range.range_id,
+                        handle.prepare_id,
+                        recorded_outcome,
+                        commit_ts,
+                        [str(change.path) for change in covered],
+                    )
                 self._advance(log)
 
     # -- heartbeats and timeouts ------------------------------------------------------
@@ -191,12 +212,23 @@ class Changelog:
                 new_watermark = max(new_watermark, idle_floor)
         if new_watermark < log.watermark:
             return
+        recorder = self.recorder
+        advanced = new_watermark != log.watermark
         log.watermark = new_watermark
         ready = sorted(
             (item for item in log.buffer if item[0] <= new_watermark),
             key=lambda item: item[0],
         )
         log.buffer = [item for item in log.buffer if item[0] > new_watermark]
+        if recorder is not None:
+            for ts, change in ready:
+                recorder.changelog_deliver(
+                    log.name_range.range_id, ts, str(change.path)
+                )
+            if advanced:
+                recorder.changelog_watermark(
+                    log.name_range.range_id, new_watermark
+                )
         if self.on_change is not None:
             for _, change in ready:
                 self.on_change(log.name_range, change)
@@ -209,6 +241,9 @@ class Changelog:
         log.buffer.clear()
         if self.metrics is not None:
             self.metrics.counter("rtc_out_of_sync").inc()
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.changelog_out_of_sync(log.name_range.range_id)
         if self.on_out_of_sync is not None:
             self.on_out_of_sync(log.name_range)
 
@@ -222,6 +257,9 @@ class Changelog:
         log.out_of_sync = False
         log.buffer.clear()
         log.watermark = max(log.watermark, self.clock.now_us)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.changelog_resync(log.name_range.range_id)
 
     # -- introspection --------------------------------------------------------------------
 

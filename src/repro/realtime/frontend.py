@@ -55,6 +55,13 @@ class SnapshotDelta:
         return not (self.added or self.modified or self.removed)
 
 
+def _delta_paths(delta: SnapshotDelta) -> list[str]:
+    """Every document path a snapshot delta touched, for the history log."""
+    return [
+        str(doc.path) for doc in delta.added + delta.modified
+    ] + [str(path) for path in delta.removed]
+
+
 def query_order_key(normalized: NormalizedQuery):
     """A sort key over (path, data) pairs matching the query's order."""
 
@@ -78,6 +85,9 @@ class _QueryState:
 
     def __init__(self, tag: Any, query: Query, on_snapshot: Callable[[SnapshotDelta], None]):
         self.tag = tag
+        #: run-deterministic listener identity for recorded histories
+        #: ("<connection>.<tag>"); the API-visible tag is per-connection
+        self.record_tag = str(tag)
         self.query = query
         self.normalized = query.normalize()
         self.on_snapshot = on_snapshot
@@ -98,10 +108,13 @@ class _QueryState:
 class RealtimeConnection:
     """One client's long-lived connection, multiplexing its queries."""
 
-    _tags = itertools.count(1)
-
-    def __init__(self, frontend: "Frontend"):
+    def __init__(self, frontend: "Frontend", conn_id: int = 0):
         self._frontend = frontend
+        self._conn_id = conn_id
+        # per-connection, not process-global: auto-assigned tags must be
+        # a function of this run alone so recorded histories replay
+        # byte-identically from the same seed
+        self._tags = itertools.count(1)
         self._states: dict[Any, _QueryState] = {}
         self._emitted_ts = 0
         self.closed = False
@@ -119,6 +132,9 @@ class RealtimeConnection:
         if tag is None:
             tag = next(self._tags)
         state = _QueryState(tag, query, on_snapshot)
+        # tags are only unique per connection; histories need a
+        # run-deterministic identity unique per listener
+        state.record_tag = f"{self._conn_id}.{tag}"
         self._states[tag] = state
         self._frontend._start_query(state, is_initial=True)
         return tag
@@ -174,6 +190,14 @@ class RealtimeConnection:
                         else None,
                     ):
                         state.on_snapshot(delta)
+                    recorder = self._frontend.recorder
+                    if recorder is not None:
+                        recorder.notify(
+                            state.record_tag,
+                            delta.read_ts,
+                            False,
+                            _delta_paths(delta),
+                        )
                     emitted += 1
         return emitted
 
@@ -187,14 +211,20 @@ class Frontend:
         self.backend = backend
         self.matcher = matcher
         self._connections: set[RealtimeConnection] = set()
+        self._conn_ids = itertools.count(1)
         # observability
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.snapshots_sent = 0
         self.resets = 0
 
+    @property
+    def recorder(self):
+        """The shared execution-history recorder (None when disabled)."""
+        return self.backend.layout.spanner.recorder
+
     def connect(self) -> RealtimeConnection:
         """Open a new long-lived client connection."""
-        connection = RealtimeConnection(self)
+        connection = RealtimeConnection(self, next(self._conn_ids))
         self._connections.add(connection)
         return connection
 
@@ -254,6 +284,11 @@ class Frontend:
             else None,
         ):
             state.on_snapshot(delta)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.notify(
+                state.record_tag, delta.read_ts, True, _delta_paths(delta)
+            )
         self.snapshots_sent += 1
 
     def _make_watermark_cb(self, state: _QueryState):

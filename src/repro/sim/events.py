@@ -15,16 +15,23 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
 from repro.sim.clock import SimClock
 
 
 @dataclass(order=True)
 class Event:
-    """A scheduled callback. Ordered by (time, sequence number)."""
+    """A scheduled callback. Ordered by (time, priority, sequence number).
+
+    ``priority`` defaults to 0 and only matters between events scheduled
+    for the same instant: a schedule perturber (see
+    :class:`EventKernel.perturber`) may assign non-zero priorities to
+    explore alternative-but-legal orderings of concurrent events.
+    """
 
     time_us: int
+    priority: int
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
@@ -35,11 +42,32 @@ class Event:
         self.cancelled = True
 
 
+class SchedulePerturber(Protocol):
+    """Hook deciding where a newly scheduled event lands in the order.
+
+    ``perturb`` receives the requested absolute time, the event's label,
+    and the current time; it returns the (possibly adjusted) time and a
+    tie-break priority. Implementations must be deterministic functions
+    of their own seed — the schedule explorer (``repro.check.explorer``)
+    relies on (seed, mode) reproducing the exact same schedule.
+    """
+
+    def perturb(self, time_us: int, label: str, now_us: int) -> tuple[int, int]:
+        ...
+
+
 class EventKernel:
     """Priority-queue event loop over a :class:`SimClock`."""
 
-    def __init__(self, clock: Optional[SimClock] = None):
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        perturber: Optional[SchedulePerturber] = None,
+    ):
         self.clock = clock if clock is not None else SimClock()
+        #: optional schedule-exploration hook; None means the natural
+        #: (requested-time, insertion) order
+        self.perturber = perturber
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._executed = 0
@@ -66,7 +94,14 @@ class EventKernel:
                 f"cannot schedule event at {time_us}us in the past "
                 f"(now={self.clock.now_us}us)"
             )
-        event = Event(time_us, next(self._seq), callback, label=label)
+        priority = 0
+        if self.perturber is not None:
+            time_us, priority = self.perturber.perturb(
+                time_us, label, self.clock.now_us
+            )
+            # a perturbation may delay but never time-travel
+            time_us = max(time_us, self.clock.now_us)
+        event = Event(time_us, priority, next(self._seq), callback, label=label)
         heapq.heappush(self._heap, event)
         return event
 

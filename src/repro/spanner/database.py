@@ -85,6 +85,14 @@ class SpannerDatabase:
         from repro.analysis.sanitizers import maybe_install
 
         maybe_install(self)
+        # execution-history recorder (repro.check): installed when
+        # REPRO_CHECK=1 / pytest --check; the transaction, write-protocol
+        # and realtime-delivery paths feed it the events the offline
+        # consistency checker judges
+        self.recorder = None
+        from repro.check.history import maybe_install as maybe_record
+
+        maybe_record(self)
 
     @property
     def metrics(self):
@@ -176,13 +184,20 @@ class SpannerDatabase:
         tablet = self.tablet_for(ckey)
         tablet.stats.record_read(self.clock.now_us)
         chain = tablet.rows.get(ckey)
+        recorder = self.recorder
         if chain is None:
+            if recorder is not None:
+                recorder.snapshot_read(ckey, read_ts, -1)
             return None
         version = chain.read_versioned_at(read_ts)
         if self.sanitizer is not None:
             self.sanitizer.on_snapshot_read(ckey, chain, read_ts, version)
         if version is None or version[1] is TOMBSTONE:
+            if recorder is not None:
+                recorder.snapshot_read(ckey, read_ts, -1)
             return None
+        if recorder is not None:
+            recorder.snapshot_read(ckey, read_ts, version[0])
         return version
 
     def snapshot_scan(

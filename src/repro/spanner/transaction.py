@@ -66,6 +66,9 @@ class ReadWriteTransaction:
         self._writes: dict[bytes, Any] = {}
         self._pending_messages: list[tuple[str, Any]] = []
         self._state = "active"
+        recorder = db.recorder
+        if recorder is not None:
+            recorder.txn_begin(txn_id, self.start_ts)
 
     # -- lifecycle helpers ----------------------------------------------------
 
@@ -86,6 +89,9 @@ class ReadWriteTransaction:
         self._db.aborts += 1
         if self._db.sanitizer is not None:
             self._db.sanitizer.on_txn_finished(self.txn_id, "aborted")
+        recorder = self._db.recorder
+        if recorder is not None:
+            recorder.txn_abort(self.txn_id)
 
     def rollback(self) -> None:
         """Abort the transaction and release its locks."""
@@ -141,6 +147,17 @@ class ReadWriteTransaction:
         tablet = self._db.tablet_for(ckey)
         tablet.stats.record_read(self._db.clock.now_us)
         ts, value = tablet.read_latest(ckey)
+        recorder = self._db.recorder
+        if recorder is not None:
+            # record the version's identity, not its liveness: a read of
+            # a committed tombstone reads-from the deleting transaction
+            # (ts stays its commit_ts); -1 means no version ever existed
+            recorder.txn_read(
+                self.txn_id,
+                ckey,
+                -1 if value is TOMBSTONE and ts == 0 else ts,
+                for_update,
+            )
         return None if value is TOMBSTONE else (ts, value)
 
     def scan(
@@ -176,6 +193,9 @@ class ReadWriteTransaction:
             self._db.sanitizer.on_transactional_scan(
                 self.txn_id, range_start, range_end
             )
+        recorder = self._db.recorder
+        if recorder is not None:
+            recorder.txn_scan(self.txn_id, range_start, range_end)
         merged = self._merged_scan(table, start, end, reverse)
         count = 0
         for row_key, value in merged:
@@ -325,6 +345,9 @@ class ReadWriteTransaction:
                 else:
                     self._abort()
                 self._state = "unknown"
+                recorder = self._db.recorder
+                if recorder is not None:
+                    recorder.txn_unknown(self.txn_id, exc.applied)
                 raise CommitOutcomeUnknown(
                     "commit outcome unknown (injected)"
                 ) from exc
@@ -372,6 +395,21 @@ class ReadWriteTransaction:
             self._db.message_queue.commit_messages(self._pending_messages, commit_ts)
         if self._db.sanitizer is not None:
             self._db.sanitizer.on_commit_applied(list(self._writes), commit_ts)
+        recorder = self._db.recorder
+        if recorder is not None:
+            tt = self._db.truetime.now()
+            recorder.txn_commit(
+                self.txn_id,
+                commit_ts,
+                [
+                    (ckey, "d" if value is TOMBSTONE else "w")
+                    for ckey, value in self._writes.items()
+                ],
+                min_commit_ts,
+                max_commit_ts,
+                tt.earliest,
+                tt.latest,
+            )
         return commit_ts
 
 

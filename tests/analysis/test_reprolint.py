@@ -82,6 +82,19 @@ def test_error_boundary_and_bare_except(bad_diagnostics):
     assert [d.path for d in bare] == ["core/bad_errors.py"]
 
 
+def test_history_tap_catches_dropped_and_missing_taps(bad_diagnostics):
+    found = by_check(bad_diagnostics, "history-tap")
+    assert {d.path for d in found} == {"spanner/transaction.py"}
+    messages = "\n".join(d.message for d in found)
+    # commit kept its name but lost its recorder reference
+    assert "ReadWriteTransaction.commit" in messages
+    # _abort disappeared entirely
+    assert "ReadWriteTransaction._abort" in messages
+    # the still-tapped methods are not flagged
+    assert "read_versioned" not in messages
+    assert "txn_begin" not in messages
+
+
 def test_trace_span_context(bad_diagnostics):
     found = by_check(bad_diagnostics, "trace-span-context")
     assert {d.path for d in found} == {"core/bad_trace.py"}

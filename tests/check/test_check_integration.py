@@ -1,0 +1,174 @@
+"""End-to-end: real-system scenarios check clean, the CLI's exit codes,
+and the ``pytest --check`` per-test wiring."""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.check.__main__ import main
+from repro.check.checker import check_history
+from repro.check.history import HistoryRecorder
+from repro.check.scenarios import SCENARIOS, run_scenario
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.parametrize("scenario", ["commit", "isolation"])
+@pytest.mark.parametrize("seed", [0, 7])
+def test_real_scenarios_check_clean(scenario, seed):
+    result = run_scenario(scenario, seed)
+    assert result.event_count > 0
+    assert result.violations == []
+
+
+def test_acceptance_run_is_clean():
+    """The ISSUE acceptance criterion: traced YCSB checks clean."""
+    result = run_scenario("ycsb", 42)
+    assert result.event_count > 0
+    assert result.violations == []
+
+
+def test_isolation_scenario_survives_perturbation():
+    for mode in ("delay", "flip"):
+        result = run_scenario("isolation", 3, mode)
+        assert result.violations == [], mode
+
+
+def test_scenario_registry():
+    assert {"commit", "ycsb", "isolation"} <= set(SCENARIOS)
+    assert {name for name in SCENARIOS if name.startswith("anomaly-")} == {
+        "anomaly-lost-update",
+        "anomaly-write-skew",
+        "anomaly-stale-notification",
+        "anomaly-non-monotonic-ts",
+    }
+    with pytest.raises(ValueError):
+        run_scenario("no-such", 1)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert main(["--scenario", "commit", "--seed", "1"]) == 0
+    assert main(["--scenario", "anomaly-lost-update", "--seed", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "[lost-update]" in out
+    assert (
+        main(["--explore", "--scenario", "commit", "--modes", "chaos"]) == 2
+    )
+
+
+def test_cli_log_out_then_check_log(tmp_path, capsys):
+    log = tmp_path / "history.jsonl"
+    assert (
+        main(
+            [
+                "--scenario",
+                "anomaly-non-monotonic-ts",
+                "--seed",
+                "2",
+                "--log-out",
+                str(log),
+            ]
+        )
+        == 1
+    )
+    events = HistoryRecorder.parse_jsonl(log.read_text())
+    assert events and check_history(events)
+    assert main(["--check-log", str(log)]) == 1
+    capsys.readouterr()
+
+
+def test_cli_explore_prints_reproducers(capsys):
+    code = main(
+        [
+            "--explore",
+            "--scenario",
+            "anomaly-write-skew",
+            "--seeds",
+            "4",
+            "--modes",
+            "none",
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "python -m repro.check --scenario anomaly-write-skew" in out
+
+
+def test_pytest_check_flag_wires_the_teardown(tmp_path):
+    """--check records every test's databases and fails the test whose
+    history is broken (via a deliberately poisoned recorder)."""
+    shutil.copy(REPO / "conftest.py", tmp_path / "conftest.py")
+    (tmp_path / "test_checked.py").write_text(
+        """
+from types import SimpleNamespace
+
+from repro.check.history import install
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+
+
+def test_clean_commit():
+    import os
+
+    service = FirestoreService(multi_region=False)
+    db = service.create_database("ok")
+    db.commit([set_op("docs/a", {"n": 1})])
+    if os.environ.get("REPRO_CHECK") == "1":
+        assert db.layout.spanner.recorder is not None
+
+
+def test_poisoned_history():
+    recorder = install(SimpleNamespace(clock=None, name="bad", recorder=None))
+    recorder.txn_begin(1, 0)
+    recorder.txn_commit(1, 100, [(b"k", "w")], 0, None, 98, 102)
+    recorder.txn_begin(2, 0)
+    recorder.txn_commit(2, 90, [(b"j", "w")], 0, None, 88, 92)
+"""
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_CHECK", None)
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "--check",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            str(tmp_path / "test_checked.py"),
+        ],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    output = result.stdout + result.stderr
+    assert result.returncode != 0
+    assert "test_clean_commit" not in output or "1 passed" in output
+    assert "CheckerViolation" in output
+    assert "non-monotonic-commit" in output
+    # without --check the poisoned recorder is never drained or judged
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            str(tmp_path / "test_checked.py"),
+        ],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,306 @@
+"""Unit histories: every violation class fires on its minimal history
+and stays silent on the legal variant."""
+
+import pytest
+
+from repro.check.checker import (
+    CommitWindowViolation,
+    ExternalConsistencyViolation,
+    IndexInconsistency,
+    LostUpdate,
+    NonMonotonicCommit,
+    NotificationLoss,
+    NotificationOrderViolation,
+    SerializabilityCycle,
+    StaleSnapshotRead,
+    WriteSkew,
+    assert_clean,
+    check_history,
+)
+from repro.check.graph import committed_txns, dependency_edges
+from repro.errors import CheckerViolation
+
+K1, K2, K3 = "aa01", "aa02", "aa03"
+
+
+def begin(txn, start=0):
+    return {"k": "begin", "txn": txn, "start": start}
+
+
+def read(txn, key, ts, fu=False):
+    return {"k": "read", "txn": txn, "key": key, "ts": ts, "fu": fu}
+
+
+def commit(txn, ts, writes, min_ts=0, max_ts=None):
+    return {
+        "k": "commit",
+        "txn": txn,
+        "ts": ts,
+        "writes": writes,
+        "min": min_ts,
+        "max": max_ts,
+        "tt_e": ts - 2,
+        "tt_l": ts + 2,
+    }
+
+
+def checks_of(events):
+    return {v.check for v in check_history(events)}
+
+
+def test_clean_history_has_no_violations():
+    events = [
+        begin(1),
+        read(1, K1, -1),
+        commit(1, 10, [[K1, "w"]]),
+        begin(2),
+        read(2, K1, 10),
+        commit(2, 20, [[K1, "w"]]),
+    ]
+    assert check_history(events) == []
+
+
+def test_lost_update_cycle():
+    events = [
+        begin(1),
+        read(1, K1, -1),
+        begin(2),
+        read(2, K1, -1),
+        commit(1, 10, [[K1, "w"]]),
+        commit(2, 11, [[K1, "w"]]),
+    ]
+    violations = check_history(events)
+    assert any(isinstance(v, LostUpdate) for v in violations)
+    lost = next(v for v in violations if isinstance(v, LostUpdate))
+    # implicated events point at the two transactions' begins/commits
+    assert set(lost.events) == {0, 2, 4, 5}
+
+
+def test_write_skew_cycle():
+    events = [
+        begin(1),
+        read(1, K1, -1),
+        read(1, K2, -1),
+        begin(2),
+        read(2, K1, -1),
+        read(2, K2, -1),
+        commit(1, 10, [[K1, "w"]]),
+        commit(2, 11, [[K2, "w"]]),
+    ]
+    violations = check_history(events)
+    assert any(isinstance(v, WriteSkew) for v in violations)
+
+
+def test_three_txn_cycle_is_plain_serializability():
+    events = [
+        begin(1),
+        read(1, K3, -1),
+        begin(2),
+        read(2, K1, -1),
+        begin(3),
+        read(3, K2, -1),
+        commit(1, 10, [[K1, "w"]]),
+        commit(2, 11, [[K2, "w"]]),
+        commit(3, 12, [[K3, "w"]]),
+    ]
+    violations = check_history(events)
+    cycle = [v for v in violations if isinstance(v, SerializabilityCycle)]
+    assert cycle and type(cycle[0]) is SerializabilityCycle
+
+
+def test_tombstone_read_is_read_from_not_anti_dependency():
+    """Reading a committed tombstone reads-from the deleter: wr, no cycle."""
+    events = [
+        begin(1),
+        read(1, K1, -1),
+        commit(1, 10, [[K1, "d"]]),
+        begin(2),
+        read(2, K1, 10),  # reads txn 1's tombstone version
+        commit(2, 20, [[K1, "w"]]),
+    ]
+    assert check_history(events) == []
+    txns = committed_txns(events)
+    kinds = {(e.src, e.dst, e.kind) for e in dependency_edges(txns)}
+    assert (1, 2, "wr") in kinds
+    assert (1, 2, "ww") in kinds
+    assert (2, 1, "rw") not in kinds
+
+
+def test_non_monotonic_commit():
+    events = [
+        begin(1),
+        commit(1, 100, [[K1, "w"]]),
+        begin(2),
+        commit(2, 90, [[K2, "w"]]),
+    ]
+    assert "non-monotonic-commit" in checks_of(events)
+
+
+def test_commit_window_violation():
+    events = [begin(1), commit(1, 100, [[K1, "w"]], min_ts=200, max_ts=300)]
+    violations = check_history(events)
+    assert any(isinstance(v, CommitWindowViolation) for v in violations)
+    # inside the window is fine
+    assert check_history(
+        [begin(1), commit(1, 250, [[K1, "w"]], min_ts=200, max_ts=300)]
+    ) == []
+
+
+def test_external_consistency_violation():
+    events = [
+        begin(1),
+        commit(1, 100, [[K1, "w"]]),
+        begin(2),  # begins after txn 1's commit applied
+        commit(2, 50, [[K2, "w"]]),
+    ]
+    violations = check_history(events)
+    assert any(
+        isinstance(v, ExternalConsistencyViolation) for v in violations
+    )
+
+
+def test_unknown_applied_commit_counts():
+    """An unknown-outcome commit that applied is part of the history."""
+    events = [
+        begin(1),
+        {"k": "unknown", "txn": 1, "applied": True},
+        commit(1, 100, [[K1, "w"]]),
+        begin(2),
+        commit(2, 50, [[K2, "w"]]),
+    ]
+    assert 1 in committed_txns(events)
+    assert "non-monotonic-commit" in checks_of(events)
+
+
+def test_stale_snapshot_read():
+    events = [
+        begin(1),
+        commit(1, 10, [[K1, "w"]]),
+        {"k": "snap_read", "key": K1, "read_ts": 20, "ts": -1},
+    ]
+    violations = check_history(events)
+    assert any(isinstance(v, StaleSnapshotRead) for v in violations)
+    # observing the correct version is fine
+    assert check_history(
+        [
+            begin(1),
+            commit(1, 10, [[K1, "w"]]),
+            {"k": "snap_read", "key": K1, "read_ts": 20, "ts": 10},
+        ]
+    ) == []
+
+
+def test_snapshot_read_of_deleted_doc_expects_absent():
+    events = [
+        begin(1),
+        commit(1, 10, [[K1, "w"]]),
+        begin(2),
+        commit(2, 30, [[K1, "d"]]),
+        {"k": "snap_read", "key": K1, "read_ts": 40, "ts": 10},
+    ]
+    assert "stale-snapshot-read" in checks_of(events)
+
+
+def test_index_inconsistency_stale_and_deleted():
+    stale = [
+        begin(1),
+        commit(1, 10, [[K1, "w"]]),
+        {"k": "query", "db": "d", "read_ts": 20, "rows": [[K1, 5]]},
+    ]
+    assert any(
+        isinstance(v, IndexInconsistency) for v in check_history(stale)
+    )
+    deleted = [
+        begin(1),
+        commit(1, 10, [[K1, "w"]]),
+        begin(2),
+        commit(2, 30, [[K1, "d"]]),
+        {"k": "query", "db": "d", "read_ts": 40, "rows": [[K1, 10]]},
+    ]
+    assert any(
+        isinstance(v, IndexInconsistency) for v in check_history(deleted)
+    )
+    fresh = [
+        begin(1),
+        commit(1, 10, [[K1, "w"]]),
+        {"k": "query", "db": "d", "read_ts": 20, "rows": [[K1, 10]]},
+    ]
+    assert check_history(fresh) == []
+
+
+def test_notification_order_violations():
+    deliveries = [
+        {"k": "cl_deliver", "range": 1, "ts": 100, "path": "docs/a"},
+        {"k": "cl_deliver", "range": 1, "ts": 50, "path": "docs/b"},
+    ]
+    assert any(
+        isinstance(v, NotificationOrderViolation)
+        for v in check_history(deliveries)
+    )
+    watermarks = [
+        {"k": "cl_watermark", "range": 1, "wm": 100},
+        {"k": "cl_watermark", "range": 1, "wm": 50},
+    ]
+    assert "notification-order" in checks_of(watermarks)
+    snapshots = [
+        {"k": "notify", "tag": "q", "read_ts": 100, "initial": True, "paths": []},
+        {"k": "notify", "tag": "q", "read_ts": 100, "initial": False, "paths": []},
+    ]
+    assert "notification-order" in checks_of(snapshots)
+
+
+def test_notification_loss_and_its_excuses():
+    lost = [
+        {
+            "k": "cl_accept",
+            "range": 1,
+            "pid": 1,
+            "outcome": "committed",
+            "ts": 100,
+            "paths": ["docs/a"],
+        },
+        {"k": "cl_watermark", "range": 1, "wm": 200},
+    ]
+    assert any(
+        isinstance(v, NotificationLoss) for v in check_history(lost)
+    )
+    # delivered: clean
+    delivered = lost[:1] + [
+        {"k": "cl_deliver", "range": 1, "ts": 100, "path": "docs/a"},
+        lost[1],
+    ]
+    assert check_history(delivered) == []
+    # out-of-sync fail-safe excuses the loss
+    excused = lost[:1] + [{"k": "cl_oos", "range": 1}, lost[1]]
+    assert check_history(excused) == []
+    # watermark never reached it: not yet due
+    not_due = lost[:1] + [{"k": "cl_watermark", "range": 1, "wm": 50}]
+    assert check_history(not_due) == []
+
+
+def test_metrics_counter_increments():
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    events = [
+        begin(1),
+        commit(1, 100, [[K1, "w"]]),
+        begin(2),
+        commit(2, 90, [[K2, "w"]]),
+    ]
+    check_history(events, metrics=metrics)
+    counter = metrics.counter(
+        "checker.violations", check="non-monotonic-commit"
+    )
+    assert counter.value >= 1
+
+
+def test_assert_clean():
+    assert_clean([])  # no-op
+    violations = check_history(
+        [begin(1), commit(1, 100, [[K1, "w"]]), begin(2), commit(2, 90, [[K2, "w"]])]
+    )
+    with pytest.raises(CheckerViolation) as excinfo:
+        assert_clean(violations, context="unit")
+    assert excinfo.value.check == violations[0].check
+    assert "unit" in str(excinfo.value)

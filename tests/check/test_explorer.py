@@ -1,0 +1,105 @@
+"""The schedule explorer: perturber determinism, seed sweeps over the
+seeded anomalies, and shrinking to minimal named reproducers."""
+
+import pytest
+
+from repro.check.explorer import (
+    DelayPerturber,
+    FlipPerturber,
+    MODES,
+    Reproducer,
+    explore,
+    make_perturber,
+    shrink,
+)
+from repro.check.scenarios import default_ops, run_scenario
+
+
+def test_make_perturber():
+    assert make_perturber("none", 1) is None
+    assert isinstance(make_perturber("delay", 1), DelayPerturber)
+    assert isinstance(make_perturber("flip", 1), FlipPerturber)
+    with pytest.raises(ValueError):
+        make_perturber("chaos", 1)
+
+
+def test_perturbers_are_seed_deterministic_and_targeted():
+    sequence = [("txn-start", 100), ("idle", 100), ("commit-x", 200)]
+
+    def run(perturber):
+        return [perturber.perturb(t, label, 0) for label, t in sequence]
+
+    assert run(DelayPerturber(7)) == run(DelayPerturber(7))
+    assert run(FlipPerturber(7)) == run(FlipPerturber(7))
+    # untargeted labels pass through unchanged
+    delayed = run(DelayPerturber(7))
+    assert delayed[1] == (100, 0)
+    flipped = run(FlipPerturber(7))
+    assert flipped[1] == (100, 0)
+    # flip perturbs priority only, never the time
+    assert all(t == orig for (t, _), (_, orig) in zip(flipped, sequence))
+
+
+def test_reproducer_command():
+    reproducer = Reproducer("isolation", 3, "flip", 6, ("lost-update",))
+    assert reproducer.command() == (
+        "python -m repro.check --scenario isolation "
+        "--seed 3 --mode flip --ops 6"
+    )
+
+
+def test_explore_finds_and_shrinks_lost_update():
+    report = explore("anomaly-lost-update", seeds=range(4), modes=["none"])
+    assert report.found_violation
+    assert report.runs == 4
+    assert report.clean + len(report.reproducers) == 4
+    for reproducer in report.reproducers:
+        assert "lost-update" in reproducer.violations
+        assert reproducer.ops <= default_ops("anomaly-lost-update")
+        # the reproducer really reproduces
+        rerun = run_scenario(
+            reproducer.scenario,
+            reproducer.seed,
+            reproducer.mode,
+            reproducer.ops,
+        )
+        assert rerun.violations
+
+
+def test_explore_stop_at_caps_the_sweep():
+    report = explore(
+        "anomaly-non-monotonic-ts",
+        seeds=range(10),
+        modes=["none"],
+        stop_at=1,
+    )
+    assert len(report.reproducers) == 1
+    assert report.runs < 10
+
+
+def test_each_anomaly_yields_its_named_class():
+    expected = {
+        "anomaly-lost-update": "lost-update",
+        "anomaly-write-skew": "write-skew",
+        "anomaly-stale-notification": "notification-loss",
+        "anomaly-non-monotonic-ts": "non-monotonic-commit",
+    }
+    for scenario, check in expected.items():
+        report = explore(scenario, seeds=range(6), modes=["none", "delay"])
+        assert report.found_violation, scenario
+        found = {
+            violation
+            for reproducer in report.reproducers
+            for violation in reproducer.violations
+        }
+        assert check in found, (scenario, found)
+
+
+def test_shrink_requires_a_violating_run():
+    with pytest.raises(AssertionError):
+        shrink("commit", seed=1, mode="none", ops=2)
+
+
+def test_modes_constant_matches_make_perturber():
+    for mode in MODES:
+        make_perturber(mode, 1)  # no ValueError

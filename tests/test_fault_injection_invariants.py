@@ -1,16 +1,29 @@
 """Failure-injection property tests: whatever commits fail, the database's
 invariants hold — indexes stay consistent with documents, checksums stay
-valid, the A/B harness finds no divergence, and realtime listeners
-converge after recovery."""
+valid, the A/B harness finds no divergence, realtime listeners converge
+after recovery, and the recorded execution history checks clean.
+
+Every guardrail failure — dynamic sanitizer, replay divergence, history
+checker — surfaces through the one ``repro.errors.VerificationError``
+family, so these tests assert on that family alone."""
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.check.checker import assert_clean, check_history
+from repro.check.history import recording
 from repro.core.ab_testing import QueryABHarness
 from repro.core.backend import delete_op, set_op
 from repro.core.firestore import FirestoreService
-from repro.errors import Aborted, DeadlineExceeded, NotFound
+from repro.errors import (
+    Aborted,
+    CheckerViolation,
+    DeadlineExceeded,
+    NotFound,
+    SanitizerViolation,
+    VerificationError,
+)
 from repro.spanner.transaction import (
     inject_definitive_failure,
     inject_unknown_outcome,
@@ -94,3 +107,42 @@ def test_property_listeners_recover_from_faults(ops):
     fresh = {str(d.path): d.data for d in db.run_query(db.query("docs")).documents}
     listener = {str(d.path): d.data for d in snaps[-1].documents}
     assert listener == fresh
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_property_histories_check_clean_under_faults(ops):
+    """The recorded execution history of a faulty run has no consistency
+    violations: unknown outcomes are excused, everything else must hold.
+    A violation here raises CheckerViolation — the VerificationError
+    family these tests reserve for reproduction bugs."""
+    with recording() as recorders:
+        service = FirestoreService()
+        db = service.create_database("faulty-hist")
+        snaps = []
+        connection = db.connect()
+        connection.listen(db.query("docs"), snaps.append)
+        run_sequence(db, ops)
+        for _ in range(3):
+            service.clock.advance(100_000)
+            db.pump_realtime()
+        connection.close()
+    assert any(recorder.events for recorder in recorders)
+    for recorder in recorders:
+        assert_clean(check_history(recorder.events), context="fault run")
+
+
+def test_guardrail_violations_share_one_exception_family():
+    """Sanitizer and checker failures are the same assertable family."""
+    assert issubclass(SanitizerViolation, VerificationError)
+    assert issubclass(CheckerViolation, VerificationError)
+
+    # a deliberately broken history must surface as VerificationError
+    from repro.check.scenarios import run_scenario
+
+    result = run_scenario("anomaly-lost-update", seed=1)
+    assert result.violations
+    with pytest.raises(VerificationError) as excinfo:
+        assert_clean(result.violations, context="anomaly")
+    assert isinstance(excinfo.value, CheckerViolation)
+    assert excinfo.value.check == result.violations[0].check
