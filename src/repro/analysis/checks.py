@@ -48,6 +48,13 @@ Checks
     so they always close, nest correctly and record errors; explicit
     ``start_span``/``end`` lifetimes are reserved for the event-driven
     serving simulation (``service/``) and ``obs/`` itself.
+
+``fault-seeded``
+    Fault injection must be replayable: every ``FaultPlan(...)``
+    construction needs an explicit seed (positional or ``seed=``), and
+    inside ``faults/`` a bare ``SimRandom()`` (implicit default seed) is
+    banned — fault decisions must come from an explicitly seeded stream
+    or a fork of one, never ambient randomness.
 """
 
 from __future__ import annotations
@@ -85,8 +92,23 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "rules": frozenset({"core", "errors"}),
     "core": frozenset({"errors", "obs", "realtime", "rules", "sim", "spanner"}),
     "datastore": frozenset({"core", "errors"}),
-    "client": frozenset({"core", "errors", "realtime"}),
+    "client": frozenset({"core", "errors", "faults", "realtime"}),
     "emulator": frozenset({"core", "errors"}),
+    "faults": frozenset(
+        {
+            "analysis",
+            "check",
+            "client",
+            "core",
+            "errors",
+            "obs",
+            "realtime",
+            "service",
+            "sim",
+            "spanner",
+            "workloads",
+        }
+    ),
     "workloads": frozenset(
         {"core", "errors", "obs", "service", "sim", "spanner"}
     ),
@@ -543,7 +565,7 @@ REQUIRED_HISTORY_TAPS: dict[str, frozenset[str]] = {
             "ReadWriteTransaction.__init__",
             "ReadWriteTransaction.read_versioned",
             "ReadWriteTransaction.scan",
-            "ReadWriteTransaction.commit",
+            "ReadWriteTransaction._inject_commit_faults",
             "ReadWriteTransaction._apply",
             "ReadWriteTransaction._abort",
         }
@@ -669,6 +691,47 @@ def check_trace_span_context(module: ParsedModule) -> list[Diagnostic]:
     return out
 
 
+# -- fault-injection hygiene --------------------------------------------------
+
+
+def check_fault_seeded(module: ParsedModule) -> list[Diagnostic]:
+    """Fault plane built on ambient randomness instead of an explicit seed."""
+    in_faults = module.rel_path.startswith("faults/")
+    out = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if name is None:
+            continue
+        last = name.split(".")[-1]
+        has_seed = bool(node.args) or any(
+            kw.arg == "seed" for kw in node.keywords
+        )
+        if last == "FaultPlan" and not has_seed:
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "fault-seeded",
+                    "FaultPlan(...) requires an explicit seed so every "
+                    "fault schedule is replayable",
+                )
+            )
+        elif last == "SimRandom" and in_faults and not has_seed:
+            out.append(
+                _diag(
+                    module,
+                    node,
+                    "fault-seeded",
+                    "bare SimRandom() inside faults/ relies on the "
+                    "implicit default seed; pass one explicitly or fork "
+                    "an explicitly seeded stream",
+                )
+            )
+    return out
+
+
 CHECKS = {
     "wallclock": check_wallclock,
     "banned-import": check_banned_import,
@@ -678,4 +741,5 @@ CHECKS = {
     "error-boundary": check_error_boundary,
     "history-tap": check_history_tap,
     "trace-span-context": check_trace_span_context,
+    "fault-seeded": check_fault_seeded,
 }

@@ -17,10 +17,12 @@ from repro.errors import (
     FirestoreError,
     InvalidArgument,
     NotFound,
+    ResourceExhausted,
     Unavailable,
 )
 from repro.core.backend import AuthContext, WriteOp, delete_op, set_op, update_op
 from repro.core.firestore import FirestoreDatabase
+from repro.faults.retry import DEFAULT_POLICY, call_with_retry, retry_stream
 from repro.core.path import Path, collection_path, document_path
 from repro.core.query import Query
 from repro.client.local_cache import LocalCache
@@ -72,11 +74,18 @@ class MobileClient:
         auth: Optional[AuthContext] = None,
         persistence=None,
         start_online: bool = True,
+        client_id: Optional[str] = None,
     ):
         self.database = database
         self.auth = auth
         self.persistence = persistence
         self.tracer = database.service.tracer
+        #: stable device identity; prefixes flush idempotency tokens so a
+        #: retried commit dedups server-side (pass one explicitly to model
+        #: the same device reinstalling with persisted state)
+        self.client_id = (
+            client_id if client_id is not None else database.allocate_client_id()
+        )
         self.cache = LocalCache()
         self.mutation_queue = MutationQueue()
         self._listeners: dict[Any, _Listener] = {}
@@ -87,6 +96,12 @@ class MobileClient:
         # billing-relevant counters (cache hits are free, section IV-E)
         self.server_reads = 0
         self.cache_reads = 0
+        # graceful degradation: admission-shed flushes park the queue
+        # until this sim-clock time instead of failing user writes
+        self._retry_rand = retry_stream(self.client_id)
+        self._backoff_until_us = 0
+        self._shed_streak = 0
+        self.shed_requests = 0
 
         if persistence is not None:
             blob = persistence.load()
@@ -352,12 +367,18 @@ class MobileClient:
     def flush(self) -> int:
         """Push pending mutations to the service (blind, last-update-wins).
 
-        Mutations the server rejects (rules, missing documents) are
-        dropped and their errors recorded in ``flush_errors``; an
-        unavailable service re-queues everything.
+        Each mutation is committed with an idempotency token
+        (``<client_id>:<mutation_id>``) and retried with backoff on
+        transient failures, so a lost acknowledgement never double-applies
+        a write. Mutations the server rejects (rules, missing documents)
+        are dropped and their errors recorded in ``flush_errors``; an
+        unavailable or load-shedding service re-queues everything and the
+        queue stays parked until the backoff window passes.
         """
         if not self._online:
             return 0
+        if self._now_us() < self._backoff_until_us:
+            return 0  # still backing off after a shed
         mutations = self.mutation_queue.drain()
         if not mutations:
             return 0
@@ -374,9 +395,35 @@ class MobileClient:
         flushed = 0
         for index, mutation in enumerate(mutations):
             op = self._to_write_op(mutation)
+            token = f"{self.client_id}:{mutation.mutation_id}"
             try:
-                outcome = self.database.commit([op], auth=self.auth)
+                outcome = call_with_retry(
+                    lambda op=op, token=token: self.database.commit(
+                        [op], auth=self.auth, idempotency_token=token
+                    ),
+                    clock=self.database.service.clock,
+                    rand=self._retry_rand,
+                    idempotent=True,
+                    metrics=self.database.service.metrics,
+                )
                 flushed += 1
+                self._shed_streak = 0
+            except ResourceExhausted:
+                # the service shed us (admission control): requeue and
+                # back off — degradation, not a user-visible failure
+                self.mutation_queue.requeue_front(mutations[index:])
+                self.shed_requests += 1
+                pause = DEFAULT_POLICY.backoff_us(
+                    self._shed_streak, self._retry_rand
+                )
+                self._shed_streak += 1
+                self._backoff_until_us = self._now_us() + pause
+                metrics = self.database.service.metrics
+                if metrics is not None:
+                    metrics.counter(
+                        "faults_shed_backoff", client=self.client_id
+                    ).inc()
+                break
             except Unavailable:
                 self.mutation_queue.requeue_front(mutations[index:])
                 break

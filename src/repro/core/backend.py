@@ -32,7 +32,13 @@ from repro.core.document import (
 from repro.core.executor import QueryExecutor, QueryResult
 from repro.core.index_entries import compute_document_entries, diff_entries
 from repro.core.indexes import IndexRegistry
-from repro.core.layout import ENTITIES, INDEX_ENTRIES, DatabaseLayout, EntityRow
+from repro.core.layout import (
+    COMMIT_LEDGER,
+    ENTITIES,
+    INDEX_ENTRIES,
+    DatabaseLayout,
+    EntityRow,
+)
 from repro.core.path import Path, document_path
 from repro.core.planner import QueryPlanner
 from repro.core.query import Query
@@ -309,14 +315,33 @@ class Backend:
         writes: list[WriteOp],
         auth: Optional[AuthContext] = None,
         txn=None,
+        deadline_us: Optional[int] = None,
+        idempotency_token: Optional[str] = None,
     ) -> CommitOutcomeResult:
         """Commit a set of writes atomically (paper section IV-D2).
 
         When ``txn`` is given the writes join an ongoing Firestore
         transaction's Spanner transaction (its reads already hold locks).
+
+        ``deadline_us`` (absolute sim time) lets the commit expire at the
+        safe abandon points — before step 5 (Prepare) and before step 6
+        (the Spanner commit). Past step 6 an outcome exists and the
+        protocol *must* run step 7 (Accept), deadline or not, or the
+        Real-time Cache would be left waiting for a prepare forever.
+
+        ``idempotency_token`` makes the commit retry-safe: the token is
+        recorded in the directory's CommitLedger row inside the same
+        Spanner transaction, so a retry after an unknown outcome either
+        finds the row (first attempt applied — the recorded result is
+        replayed, nothing applies twice) or commits fresh.
         """
         if not writes:
             raise InvalidArgument("commit requires at least one write")
+        if (
+            deadline_us is not None
+            and self.layout.spanner.clock.now_us >= deadline_us
+        ):
+            raise DeadlineExceeded("deadline expired before commit began")
         paths = [w.path for w in writes]
 
         with self.tracer.span(
@@ -333,14 +358,41 @@ class Backend:
                 txn = spanner.begin()  # step 1
                 commit_span.add_event("txn.begin", {"step": 1})
             try:
+                if idempotency_token is not None:
+                    replayed = self._check_commit_ledger(
+                        txn, idempotency_token, writes
+                    )
+                    if replayed is not None:
+                        # this token already committed: return the
+                        # recorded outcome instead of applying twice
+                        if own_txn:
+                            txn.rollback()
+                        commit_span.set_attribute("replayed", True)
+                        return replayed
                 with self.tracer.span(
                     "backend.stage_writes", attributes={"steps": "2-4"}
                 ):
                     changes = self._stage_writes(txn, writes, auth)  # steps 2-4
+                if idempotency_token is not None:
+                    staged = txn.pending_writes
+                    txn.put(
+                        COMMIT_LEDGER,
+                        self.layout.ledger_key(idempotency_token),
+                        {"w": len(writes), "i": max(0, staged - len(writes))},
+                    )
             except BaseException:
                 if own_txn:
                     txn.rollback()
                 raise
+
+            # deadline: last safe abandon point before step 5 — nothing
+            # is visible yet, so an expired budget can just roll back
+            if deadline_us is not None and spanner.clock.now_us >= deadline_us:
+                if own_txn or txn.is_active:
+                    txn.rollback()
+                raise DeadlineExceeded(
+                    "deadline expired before prepare (step 5)"
+                )
 
             # step 5: Prepare with the Real-time Cache
             max_ts = spanner.truetime.now().latest + MAX_COMMIT_HORIZON_US
@@ -363,6 +415,28 @@ class Backend:
                     handle.min_commit_ts,
                     max_ts,
                     [str(p) for p in paths],
+                )
+
+            # deadline: last abandon point before step 6 — the prepare
+            # must be resolved (Accept FAILED) so the Changelog does not
+            # wait out its timeout and trip the out-of-sync fail-safe
+            if deadline_us is not None and spanner.clock.now_us >= deadline_us:
+                with self.tracer.span(
+                    "rtc.accept",
+                    component="realtime",
+                    attributes={"step": 7, "outcome": "failed"},
+                ):
+                    self.realtime.accept(
+                        self.layout.database_id, handle, WriteOutcome.FAILED, 0, []
+                    )
+                if recorder is not None:
+                    recorder.backend_accept(
+                        self.layout.database_id, handle.prepare_id, "failed", 0, []
+                    )
+                if own_txn or txn.is_active:
+                    txn.rollback()
+                raise DeadlineExceeded(
+                    "deadline expired before Spanner commit (step 6)"
                 )
 
             # step 6: Spanner commit within [m, M]
@@ -435,6 +509,31 @@ class Backend:
                 index_entries_written=result.mutation_count - len(writes),
                 participants=result.participants,
             )
+
+    def _check_commit_ledger(
+        self, txn, token: str, writes: list[WriteOp]
+    ) -> Optional[CommitOutcomeResult]:
+        """Idempotent-retry dedup: return the recorded outcome for
+        ``token`` if a previous attempt already committed, else None.
+
+        The ledger row is read under an exclusive lock, so two concurrent
+        retries of the same token serialize; the row's version timestamp
+        *is* the original commit timestamp because the row was written in
+        the same Spanner transaction as the data. Replayed results carry
+        the original commit_ts and write count; index/participant counts
+        are the staged approximations recorded at write time.
+        """
+        key = self.layout.ledger_key(token)
+        existing = txn.read_versioned(COMMIT_LEDGER, key, for_update=True)
+        if existing is None:
+            return None
+        commit_ts, row = existing
+        return CommitOutcomeResult(
+            commit_ts=commit_ts,
+            write_count=row.get("w", len(writes)),
+            index_entries_written=row.get("i", 0),
+            participants=row.get("p", 1),
+        )
 
     def _stage_writes(
         self, txn, writes: list[WriteOp], auth: Optional[AuthContext]

@@ -226,14 +226,40 @@ class FirestoreDatabase:
         self.backfill_service = IndexBackfillService(self.layout, self.registry)
         self.functions = CloudFunctionsRuntime(spanner.message_queue)
         self._frontend = self.realtime.create_frontend(self.backend)
+        self._next_client_id = 1
+
+    def allocate_client_id(self) -> str:
+        """A fresh device id, allocated in deterministic order.
+
+        Client SDK instances use this to mint idempotency tokens
+        (``<client_id>:<mutation_id>``) that are unique across devices of
+        the same database, so retried flushes dedup server-side.
+        """
+        client_id = f"client-{self._next_client_id}"
+        self._next_client_id += 1
+        return client_id
 
     # -- data plane ---------------------------------------------------------------
 
     def commit(
-        self, writes: list[WriteOp], auth: Optional[AuthContext] = None
+        self,
+        writes: list[WriteOp],
+        auth: Optional[AuthContext] = None,
+        deadline_us: Optional[int] = None,
+        idempotency_token: Optional[str] = None,
     ):
-        """Commit writes atomically; persists any new index metadata."""
-        outcome = self.backend.commit(writes, auth=auth)
+        """Commit writes atomically; persists any new index metadata.
+
+        ``deadline_us`` and ``idempotency_token`` pass through to the
+        Backend's write protocol (deadline-aware step boundaries, commit
+        dedup for safe retry — see :meth:`repro.core.backend.Backend.commit`).
+        """
+        outcome = self.backend.commit(
+            writes,
+            auth=auth,
+            deadline_us=deadline_us,
+            idempotency_token=idempotency_token,
+        )
         self._persist_metadata_if_changed()
         return outcome
 

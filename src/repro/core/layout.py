@@ -27,6 +27,11 @@ from repro.core.path import Path
 
 ENTITIES = "Entities"
 INDEX_ENTRIES = "IndexEntries"
+#: per-directory dedup ledger for idempotent commit retry: one row per
+#: idempotency token, written transactionally with the commit it guards,
+#: so a retried commit whose first attempt actually applied finds the row
+#: (at the original commit timestamp) instead of applying twice
+COMMIT_LEDGER = "CommitLedger"
 
 
 @dataclass
@@ -61,11 +66,13 @@ class EntityRow:
 
 
 def ensure_tables(spanner: SpannerDatabase) -> None:
-    """Create the two fixed-schema tables if this Spanner database is new."""
+    """Create the fixed-schema tables if this Spanner database is new."""
     if ENTITIES not in spanner.tables:
         spanner.create_table(ENTITIES)
     if INDEX_ENTRIES not in spanner.tables:
         spanner.create_table(INDEX_ENTRIES)
+    if COMMIT_LEDGER not in spanner.tables:
+        spanner.create_table(COMMIT_LEDGER)
 
 
 class DatabaseLayout:
@@ -94,6 +101,12 @@ class DatabaseLayout:
         # strip the trailing low sentinel: children extend the segment list
         prefix = self.directory_prefix + encoded[:-2]
         return prefix, prefix_successor(prefix)
+
+    # -- CommitLedger keys ---------------------------------------------------------
+
+    def ledger_key(self, token: str) -> bytes:
+        """The CommitLedger row key for one commit idempotency token."""
+        return self.directory_prefix + token.encode("utf-8")
 
     # -- IndexEntries keys ---------------------------------------------------------
 

@@ -1,0 +1,60 @@
+"""repro.faults — deterministic fault injection + recovery machinery.
+
+FoundationDB-style simulation testing for the reproduction: a seeded
+:class:`FaultPlan` decides when every layer breaks (Spanner commits and
+tablet reads, the serving fleet's RPC plane, the Real-time Cache's
+Accept/pump paths, the client's network), and the recovery half —
+:class:`RetryPolicy` backoff, deadline propagation, idempotent commit
+retry over the Backend's commit ledger — proves the system absorbs it.
+``python -m repro.faults`` sweeps seeds × fault mixes over checked chaos
+scenarios (:mod:`repro.faults.chaos`) and reports availability and tail
+latency.
+
+The hot paths never import this package: they consult a duck-typed
+``fault_plan`` attribute (``None`` = inert), mirroring the
+``sanitizer``/``recorder``/``tracer`` pattern.
+
+:mod:`repro.faults.chaos` is deliberately not re-exported here — it
+imports the client/workload layers, which themselves import this
+package's retry machinery; keeping it a leaf submodule avoids the cycle.
+"""
+
+from repro.faults.deadline import after, check, expired, per_hop, remaining_us
+from repro.faults.plan import (
+    ALL_SITES,
+    FAULT_MIXES,
+    FaultPlan,
+    install,
+    plan_for_mix,
+)
+from repro.faults.retry import (
+    DEFAULT_POLICY,
+    RETRYABLE_ALWAYS,
+    RETRYABLE_IF_IDEMPOTENT,
+    RetryPolicy,
+    call_with_retry,
+    commit_with_retry,
+    is_retryable,
+    retry_stream,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "DEFAULT_POLICY",
+    "FAULT_MIXES",
+    "FaultPlan",
+    "RETRYABLE_ALWAYS",
+    "RETRYABLE_IF_IDEMPOTENT",
+    "RetryPolicy",
+    "after",
+    "call_with_retry",
+    "check",
+    "commit_with_retry",
+    "expired",
+    "install",
+    "is_retryable",
+    "per_hop",
+    "plan_for_mix",
+    "remaining_us",
+    "retry_stream",
+]

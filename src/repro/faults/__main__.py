@@ -1,0 +1,193 @@
+"""``python -m repro.faults`` — the chaos sweep.
+
+Runs the chaos scenario matrix (scenarios × fault mixes × seeds) with
+history recording and checking on, then writes the availability /
+tail-latency / injected-fault summary to ``BENCH_faults.json``.
+
+::
+
+    python -m repro.faults                          # default sweep
+    python -m repro.faults --seeds 20 --mixes storage,network,chaos
+    python -m repro.faults --scenarios commit --seeds 5 --replay
+    python -m repro.faults --artifacts out/chaos    # dump failing runs
+
+Exit status: 0 = every run clean (no checker violations, exact
+accounting, converged recovery, byte-identical replay if requested),
+1 = at least one run failed, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.faults.chaos import CHAOS_SCENARIOS, ChaosRun, replay_digest, sweep
+from repro.faults.plan import FAULT_MIXES
+
+
+def _default_out() -> str:
+    base = os.environ.get("REPRO_BENCH_DIR", os.path.join("benchmarks", "out"))
+    return os.path.join(base, "BENCH_faults.json")
+
+
+def _write_artifacts(directory: str, failed: list[ChaosRun]) -> None:
+    """One fault-plan JSON + one history JSONL per failing run."""
+    os.makedirs(directory, exist_ok=True)
+    for run in failed:
+        stem = f"{run.scenario}-{run.mix}-seed{run.seed}"
+        plan_path = os.path.join(directory, f"{stem}.faultplan.json")
+        with open(plan_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "result": run.to_dict(),
+                    "fault_log": [
+                        {"site": site, "detail": detail}
+                        for site, detail in run.fault_log
+                    ],
+                },
+                handle,
+                sort_keys=True,
+                indent=2,
+            )
+        history_path = os.path.join(directory, f"{stem}.history.jsonl")
+        with open(history_path, "w", encoding="utf-8") as handle:
+            for history in run.histories:
+                for event in history:
+                    handle.write(
+                        json.dumps(event, sort_keys=True, separators=(",", ":"))
+                        + "\n"
+                    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="chaos sweep: scenarios x fault mixes x seeds, "
+        "history-checked, with availability/latency summaries",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=",".join(sorted(CHAOS_SCENARIOS)),
+        help="comma-separated chaos scenarios "
+        f"(default: {','.join(sorted(CHAOS_SCENARIOS))})",
+    )
+    parser.add_argument(
+        "--mixes",
+        default="storage,network,chaos",
+        help="comma-separated fault mixes (default: storage,network,chaos)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=20, help="seeds per cell (default: 20)"
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, help="first seed (default: 0)"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None, help="operations per run override"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="summary JSON path (default: benchmarks/out/BENCH_faults.json; "
+        "'-' skips writing)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for fault-plan + history artifacts of failing runs",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="also assert same-seed runs are byte-identical, one replay "
+        "per scenario x mix",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    mixes = [m.strip() for m in args.mixes.split(",") if m.strip()]
+    for scenario in scenarios:
+        if scenario not in CHAOS_SCENARIOS:
+            print(
+                f"unknown scenario {scenario!r}; "
+                f"pick from {sorted(CHAOS_SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+    for mix in mixes:
+        if mix not in FAULT_MIXES:
+            print(
+                f"unknown mix {mix!r}; pick from {sorted(FAULT_MIXES)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+
+    runs, summary = sweep(scenarios, seeds, mixes, args.ops)
+    for key, cell in summary["cells"].items():
+        print(
+            f"{key}: availability={cell['availability']:.4f} "
+            f"p50={cell['latency_p50_us']}us p99={cell['latency_p99_us']}us "
+            f"injected={cell['total_injected']} "
+            f"violations={cell['violations']}"
+        )
+    failed = [run for run in runs if not run.ok]
+    print(
+        f"{len(runs)} runs: {summary['violations']} violation(s), "
+        f"{summary['exactly_once_failures']} exactly-once failure(s), "
+        f"{summary['convergence_failures']} convergence failure(s)"
+    )
+    for run in failed:
+        why = []
+        if run.violations:
+            why.append(f"{len(run.violations)} violation(s)")
+        if not run.exactly_once:
+            why.append("exactly-once accounting broken")
+        if not run.converged:
+            why.append("recovery did not converge")
+        print(
+            f"FAILED {run.scenario}/{run.mix} seed={run.seed}: "
+            + "; ".join(why)
+        )
+    if args.artifacts and failed:
+        _write_artifacts(args.artifacts, failed)
+        print(f"artifacts for {len(failed)} failing run(s): {args.artifacts}")
+
+    replay_failures = 0
+    if args.replay:
+        from repro.errors import SanitizerViolation
+
+        for scenario in scenarios:
+            for mix in mixes:
+                try:
+                    replay_digest(scenario, seeds[0], mix, args.ops)
+                except SanitizerViolation as exc:
+                    replay_failures += 1
+                    print(
+                        f"REPLAY DIVERGED {scenario}/{mix} "
+                        f"seed={seeds[0]}: {exc}",
+                        file=sys.stderr,
+                    )
+        if not replay_failures:
+            print(
+                f"replay: {len(scenarios) * len(mixes)} scenario x mix "
+                "cell(s) byte-identical"
+            )
+
+    out = args.out if args.out is not None else _default_out()
+    if out != "-":
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        summary["replay_failures"] = replay_failures
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, sort_keys=True, indent=2)
+        print(f"summary written to {out}")
+    return 1 if failed or replay_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,526 @@
+"""The chaos scenario runner: seeds × fault mixes, checked end to end.
+
+Each chaos scenario is a seeded build function that drives a slice of
+the reproduction with a :class:`repro.faults.plan.FaultPlan` installed,
+then verifies the wreckage three ways:
+
+1. **History checking** — the run executes inside a
+   :class:`repro.check.history.recording` context and every recorded
+   history goes through the full :func:`repro.check.checker.check_history`
+   suite. Faults may slow the system down; they must never make it
+   inconsistent.
+2. **Exactly-once accounting** — every commit carries an idempotency
+   token, so the Backend's commit ledger is ground truth for which
+   commits applied. A counter document incremented by every commit must
+   equal the number of ledger entries: a retried commit that applied
+   twice (or a lost one counted as applied) is caught arithmetically.
+3. **Recovery convergence** — after the fault window the plan is
+   uninstalled and the run drains; listeners must converge to the server
+   state through the Changelog's out-of-sync/resync fail-safe.
+
+The sweep (:func:`sweep`, ``python -m repro.faults``) runs the scenario
+matrix and emits an availability / tail-latency / injected-fault summary
+suitable for ``BENCH_faults.json``. Same seed + same mix is byte-identical
+(:func:`replay_digest` asserts it via the replay harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Optional
+
+from repro.check.checker import Violation, check_history
+from repro.check.history import recording
+from repro.faults.plan import FAULT_MIXES, FaultPlan, install, plan_for_mix
+from repro.faults.retry import commit_with_retry, retry_stream
+from repro.sim.rand import SimRandom
+
+
+@dataclass
+class ChaosRun:
+    """One chaos scenario execution and everything it proved."""
+
+    scenario: str
+    seed: int
+    mix: str
+    ops: int
+    attempted: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    #: per-op sim-time latencies of successful operations (includes
+    #: retry backoff, which is the point)
+    latencies_us: list[int] = dataclass_field(default_factory=list)
+    #: site -> injected count, straight from the plan
+    injected: dict[str, int] = dataclass_field(default_factory=dict)
+    #: the ordered fault log — the CI artifact for failed runs
+    fault_log: list[tuple[str, dict]] = dataclass_field(default_factory=list)
+    histories: list[list[dict]] = dataclass_field(default_factory=list)
+    violations: list[Violation] = dataclass_field(default_factory=list)
+    #: ledger-vs-counter accounting held (no double/lost application)
+    exactly_once: bool = True
+    #: listeners converged to server state after the recovery drain
+    converged: bool = True
+    #: scenario-specific extras (resync counts, YCSB percentiles, ...)
+    extra: dict = dataclass_field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of attempted operations that succeeded."""
+        if self.attempted == 0:
+            return 1.0
+        return self.succeeded / self.attempted
+
+    @property
+    def ok(self) -> bool:
+        """Clean history, exact accounting, converged recovery."""
+        return not self.violations and self.exactly_once and self.converged
+
+    def latency_percentile(self, p: float) -> int:
+        """The p-th percentile of successful-op latency (0 if none)."""
+        if not self.latencies_us:
+            return 0
+        ordered = sorted(self.latencies_us)
+        index = min(
+            len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (stable key order for replay)."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "mix": self.mix,
+            "ops": self.ops,
+            "attempted": self.attempted,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "availability": round(self.availability, 6),
+            "latency_p50_us": self.latency_percentile(50),
+            "latency_p99_us": self.latency_percentile(99),
+            "injected": dict(sorted(self.injected.items())),
+            "total_injected": sum(self.injected.values()),
+            "violations": [str(v) for v in self.violations],
+            "exactly_once": self.exactly_once,
+            "converged": self.converged,
+            "extra": dict(sorted(self.extra.items())),
+        }
+
+
+# -- shared verification helpers ---------------------------------------------
+
+
+def _uninstall(database) -> None:
+    """End the fault window: the recovery drain runs fault-free."""
+    database.layout.spanner.fault_plan = None
+    database.realtime.fault_plan = None
+    database.fault_plan = None
+
+
+def _applied_tokens(database, tokens: list[str]) -> set[str]:
+    """Which idempotency tokens the commit ledger proves were applied."""
+    from repro.core.layout import COMMIT_LEDGER
+
+    spanner = database.layout.spanner
+    read_ts = spanner.current_timestamp()
+    applied = set()
+    for token in tokens:
+        row = spanner.snapshot_read(
+            COMMIT_LEDGER, database.layout.ledger_key(token), read_ts
+        )
+        if row is not None:
+            applied.add(token)
+    return applied
+
+
+def _drain(database, rand: SimRandom, pumps: int = 16) -> None:
+    """Advance past the Accept-timeout horizon, pumping the RTC.
+
+    A dropped Accept only surfaces once the prepare's commit window plus
+    the Changelog's timeout margin has passed (up to ~6s of sim time), so
+    recovery needs generous drains before convergence is judged.
+    """
+    clock = database.service.clock
+    for _ in range(pumps):
+        clock.advance(500_000 + rand.randint(0, 10_000))
+        database.pump_realtime()
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def _commit_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None:
+    """The seven-step write protocol under storage faults, exactly once.
+
+    Every op commits a document write plus an increment of one shared
+    counter through :func:`repro.faults.retry.commit_with_retry`. Because
+    increments are not idempotent, the counter arithmetically exposes any
+    duplicated replay; the commit ledger supplies ground truth for which
+    ops applied. A mobile client rides along, with ``client.flap`` faults
+    driving disconnect/reconnect cycles that queue writes offline and
+    replay them on reconnection.
+    """
+    from repro.client.client import MobileClient
+    from repro.core.backend import set_op
+    from repro.core.firestore import FirestoreService
+    from repro.core.values import increment
+    from repro.errors import FirestoreError
+
+    rand = SimRandom(seed).fork("chaos-commit")
+    jitter = retry_stream(f"chaos-commit:{seed}")
+    service = FirestoreService(multi_region=False)
+    database = service.create_database("chaos")
+    install(plan, database)
+    clock = service.clock
+
+    deltas: list = []
+    connection = database.connect()
+    connection.listen(database.query("docs"), deltas.append)
+    client = MobileClient(database, client_id="chaos-device")
+
+    tokens: list[str] = []
+    offline_until = -1
+    for op in range(ops):
+        clock.advance(rand.randint(1_000, 10_000))
+        # the device: flap-driven offline writes replayed on reconnect
+        if client.is_online and plan.decide("client.flap") is not None:
+            client.disconnect()
+            offline_until = op + rand.randint(1, 3)
+        client.set(f"flap/m{op}", {"op": op})
+        if not client.is_online and op >= offline_until:
+            client.connect()
+        # the server path: a doc write + a non-idempotent increment
+        token = f"chaos-commit:{seed}:{op}"
+        tokens.append(token)
+        writes = [
+            set_op(f"docs/d{rand.randint(0, 4)}", {"v": op}),
+            set_op("docs/counter", {"n": increment(1)}),
+        ]
+        run.attempted += 1
+        start = clock.now_us
+        try:
+            commit_with_retry(
+                database,
+                writes,
+                token=token,
+                rand=jitter,
+                metrics=plan.metrics,
+            )
+        except FirestoreError:
+            run.failed += 1
+        else:
+            run.succeeded += 1
+            run.latencies_us.append(clock.now_us - start)
+        clock.advance(rand.randint(1_000, 8_000))
+        database.pump_realtime()
+
+    # recovery window: faults stop, everything must settle
+    _uninstall(database)
+    if not client.is_online:
+        client.connect()
+    client.wait_for_pending_writes()
+    _drain(database, rand)
+    connection.close()
+
+    applied = _applied_tokens(database, tokens)
+    counter = database.lookup("docs/counter")
+    actual = (counter.data or {}).get("n", 0)
+    run.exactly_once = actual == len(applied)
+    # every acknowledged commit must be in the ledger
+    if run.succeeded > len(applied):
+        run.exactly_once = False
+    flap_docs = database.run_query(database.query("flap")).documents
+    run.converged = (
+        client.pending_writes == 0
+        and all(
+            (doc.data or {}).get("op") == int(str(doc.path).rsplit("/m", 1)[1])
+            for doc in flap_docs
+        )
+    )
+    run.extra = {
+        "counter": actual,
+        "ledger_applied": len(applied),
+        "client_flushed_docs": len(flap_docs),
+        "client_flush_errors": len(client.flush_errors),
+        "client_shed_requests": client.shed_requests,
+        "realtime_resets": database.realtime.total_resets,
+        "deltas": len(deltas),
+    }
+
+
+def _ycsb_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None:
+    """The serving fleet under network faults: drops, delays, duplicates,
+    reorders and task crashes against a traced YCSB run. Availability is
+    what survives admission + injected loss; the tail latencies show the
+    cost of the chaos."""
+    from repro.workloads.ycsb import YcsbConfig, YcsbRunner
+
+    config = YcsbConfig(
+        workload="A",
+        target_qps=max(10, ops),
+        duration_s=6,
+        measure_last_s=3,
+        record_count=200,
+        seed=seed,
+        trace=True,
+    )
+    runner = YcsbRunner(config)
+    runner.cluster.fault_plan = plan
+    plan.metrics = runner.metrics
+    plan.tracer = runner.tracer
+    result = runner.run()
+
+    completed = int(round(result.achieved_qps * config.measure_last_s))
+    snapshot = runner.metrics.to_dict()
+    dropped_rpcs = sum(
+        entry.get("value", 0) for entry in snapshot.get("requests_failed", [])
+    )
+    run.succeeded = completed
+    run.failed = result.rejected + dropped_rpcs
+    run.attempted = run.succeeded + run.failed
+    run.latencies_us = []  # percentiles come pre-aggregated from YCSB
+    crashes = sum(
+        entry.get("value", 0) for entry in snapshot.get("pool_task_crashes", [])
+    )
+    dropped = sum(
+        entry.get("value", 0)
+        for entry in snapshot.get("faults_deadline_expired", [])
+    )
+    run.extra = {
+        "read_p50_us": result.read_p50_us,
+        "read_p99_us": result.read_p99_us,
+        "update_p50_us": result.update_p50_us,
+        "update_p99_us": result.update_p99_us,
+        "achieved_qps": round(result.achieved_qps, 3),
+        "rejected": result.rejected,
+        "task_crashes": crashes,
+        "deadline_expired": dropped,
+    }
+
+
+def _fanout_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None:
+    """The Real-time Cache under loss: dropped Accepts force the
+    out-of-sync/resync fail-safe, Frontend crashes redo initial
+    snapshots — and after recovery every listener's materialized view
+    must equal the server state."""
+    from repro.core.backend import set_op
+    from repro.core.firestore import FirestoreService
+    from repro.errors import FirestoreError
+
+    rand = SimRandom(seed).fork("chaos-fanout")
+    jitter = retry_stream(f"chaos-fanout:{seed}")
+    service = FirestoreService(multi_region=False)
+    database = service.create_database("fanout")
+    install(plan, database)
+    clock = service.clock
+
+    listeners = 6
+    views: list[dict] = [{} for _ in range(listeners)]
+    connection = database.connect()
+
+    def make_apply(view: dict):
+        def apply(delta) -> None:
+            for doc in delta.documents:
+                view[str(doc.path)] = doc.data
+            for path in delta.removed:
+                view.pop(str(path), None)
+
+        return apply
+
+    for view in views:
+        connection.listen(database.query("feed"), make_apply(view))
+
+    tokens: list[str] = []
+    for op in range(ops):
+        clock.advance(rand.randint(1_000, 8_000))
+        token = f"chaos-fanout:{seed}:{op}"
+        tokens.append(token)
+        run.attempted += 1
+        start = clock.now_us
+        try:
+            commit_with_retry(
+                database,
+                [set_op(f"feed/p{rand.randint(0, 3)}", {"v": op})],
+                token=token,
+                rand=jitter,
+                metrics=plan.metrics,
+            )
+        except FirestoreError:
+            run.failed += 1
+        else:
+            run.succeeded += 1
+            run.latencies_us.append(clock.now_us - start)
+        clock.advance(rand.randint(1_000, 8_000))
+        database.pump_realtime()
+
+    _uninstall(database)
+    _drain(database, rand)
+    connection.close()
+
+    truth = {
+        str(doc.path): doc.data
+        for doc in database.run_query(database.query("feed")).documents
+    }
+    run.converged = all(view == truth for view in views)
+    applied = _applied_tokens(database, tokens)
+    run.exactly_once = run.succeeded <= len(applied)
+    run.extra = {
+        "documents": len(truth),
+        "ledger_applied": len(applied),
+        "realtime_resets": database.realtime.total_resets,
+    }
+
+
+#: scenario name -> (builder, default ops)
+CHAOS_SCENARIOS: dict[
+    str, tuple[Callable[[FaultPlan, int, int, ChaosRun], None], int]
+] = {
+    "commit": (_commit_chaos, 12),
+    "ycsb": (_ycsb_chaos, 40),
+    "realtime-fanout": (_fanout_chaos, 14),
+}
+
+
+def default_ops(scenario: str) -> int:
+    """The scenario's default operation count."""
+    return _lookup(scenario)[1]
+
+
+def _lookup(scenario: str):
+    entry = CHAOS_SCENARIOS.get(scenario)
+    if entry is None:
+        raise ValueError(
+            f"unknown chaos scenario {scenario!r}; "
+            f"pick from {sorted(CHAOS_SCENARIOS)}"
+        )
+    return entry
+
+
+def run_chaos(
+    scenario: str,
+    seed: int,
+    mix: str,
+    ops: Optional[int] = None,
+    metrics=None,
+    tracer=None,
+) -> ChaosRun:
+    """One chaos run: recorded, checked, accounted."""
+    builder, dflt = _lookup(scenario)
+    if ops is None:
+        ops = dflt
+    plan = plan_for_mix(seed, mix, metrics=metrics, tracer=tracer)
+    run = ChaosRun(scenario=scenario, seed=seed, mix=mix, ops=ops)
+    with recording() as recorders:
+        builder(plan, seed, ops, run)
+    for recorder in recorders:
+        history = list(recorder.events)
+        if not history:
+            continue
+        run.histories.append(history)
+        run.violations.extend(check_history(history))
+    run.injected = dict(sorted(plan.injected.items()))
+    run.fault_log = list(plan.log)
+    return run
+
+
+# -- the sweep ---------------------------------------------------------------
+
+
+def sweep(
+    scenarios: list[str],
+    seeds: list[int],
+    mixes: list[str],
+    ops: Optional[int] = None,
+) -> tuple[list[ChaosRun], dict]:
+    """Run the scenarios × mixes × seeds matrix; returns (runs, summary).
+
+    The summary is the ``BENCH_faults.json`` payload: per-cell
+    availability and tail latency, injected-fault counts by site, and
+    the three verification verdicts aggregated over the whole sweep.
+    """
+    for mix in mixes:
+        if mix not in FAULT_MIXES:
+            raise ValueError(
+                f"unknown fault mix {mix!r}; have {sorted(FAULT_MIXES)}"
+            )
+    runs: list[ChaosRun] = []
+    for scenario in scenarios:
+        for mix in mixes:
+            for seed in seeds:
+                runs.append(run_chaos(scenario, seed, mix, ops))
+    cells: dict[str, dict] = {}
+    injected_by_site: dict[str, int] = {}
+    for run in runs:
+        cell = cells.setdefault(
+            f"{run.scenario}/{run.mix}",
+            {
+                "runs": 0,
+                "attempted": 0,
+                "succeeded": 0,
+                "failed": 0,
+                "violations": 0,
+                "exactly_once_failures": 0,
+                "convergence_failures": 0,
+                "total_injected": 0,
+                "_latencies": [],
+            },
+        )
+        cell["runs"] += 1
+        cell["attempted"] += run.attempted
+        cell["succeeded"] += run.succeeded
+        cell["failed"] += run.failed
+        cell["violations"] += len(run.violations)
+        cell["exactly_once_failures"] += 0 if run.exactly_once else 1
+        cell["convergence_failures"] += 0 if run.converged else 1
+        cell["total_injected"] += sum(run.injected.values())
+        cell["_latencies"].extend(run.latencies_us)
+        for site, count in run.injected.items():
+            injected_by_site[site] = injected_by_site.get(site, 0) + count
+    for cell in cells.values():
+        latencies = sorted(cell.pop("_latencies"))
+        cell["availability"] = (
+            round(cell["succeeded"] / cell["attempted"], 6)
+            if cell["attempted"]
+            else 1.0
+        )
+        for p, key in ((50, "latency_p50_us"), (99, "latency_p99_us")):
+            if latencies:
+                index = min(
+                    len(latencies) - 1,
+                    int(round(p / 100.0 * (len(latencies) - 1))),
+                )
+                cell[key] = latencies[index]
+            else:
+                cell[key] = 0
+    summary = {
+        "sweep": {
+            "scenarios": list(scenarios),
+            "mixes": list(mixes),
+            "seeds": len(seeds),
+            "runs": len(runs),
+        },
+        "violations": sum(len(run.violations) for run in runs),
+        "exactly_once_failures": sum(1 for run in runs if not run.exactly_once),
+        "convergence_failures": sum(1 for run in runs if not run.converged),
+        "injected_by_site": dict(sorted(injected_by_site.items())),
+        "cells": {key: cells[key] for key in sorted(cells)},
+    }
+    return runs, summary
+
+
+def replay_digest(
+    scenario: str, seed: int, mix: str, ops: Optional[int] = None
+):
+    """Assert a chaos run is byte-identical on replay (same seed).
+
+    Runs the scenario twice through the replay harness, fingerprinting
+    the recorded histories and the full result summary; raises
+    ``SanitizerViolation`` on the first diverging byte.
+    """
+    from repro.analysis.replay import run_replay
+
+    def once():
+        run = run_chaos(scenario, seed, mix, ops)
+        return {"history": run.histories, "extra": run.to_dict()}
+
+    return run_replay(once, runs=2)

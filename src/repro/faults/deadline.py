@@ -1,0 +1,63 @@
+"""Deadline propagation helpers.
+
+A deadline is an *absolute* sim-clock time in microseconds, carried on
+the RPC envelope (``repro.service.rpc.Rpc.deadline_us``) and threaded
+through every hop — serving-fleet dispatch, the Backend's write-protocol
+step boundaries, Spanner's transactional messaging, the realtime
+notification fan-out — so work expires where it stands instead of
+completing after the caller gave up.
+
+Everything here operates on ``Optional[int]``: ``None`` means "no
+deadline", and every helper passes it through untouched, which keeps the
+hot paths branch-cheap for the common undeadlined case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DeadlineExceeded
+
+
+def after(clock, budget_us: int) -> int:
+    """The absolute deadline ``budget_us`` from now on ``clock``."""
+    return clock.now_us + budget_us
+
+
+def expired(deadline_us: Optional[int], now_us: int) -> bool:
+    """Whether the deadline (if any) has passed."""
+    return deadline_us is not None and now_us >= deadline_us
+
+
+def remaining_us(deadline_us: Optional[int], now_us: int) -> Optional[int]:
+    """Budget left before the deadline; ``None`` when undeadlined."""
+    if deadline_us is None:
+        return None
+    return max(0, deadline_us - now_us)
+
+
+def check(deadline_us: Optional[int], now_us: int, what: str) -> None:
+    """Raise :class:`DeadlineExceeded` if the deadline has passed.
+
+    ``what`` names the hop for the error message (e.g. ``"commit step 5
+    (prepare)"``) so an expired request says *where* its budget died.
+    """
+    if expired(deadline_us, now_us):
+        raise DeadlineExceeded(
+            f"deadline expired before {what} "
+            f"(deadline {deadline_us}us, now {now_us}us)"
+        )
+
+
+def per_hop(
+    deadline_us: Optional[int], now_us: int, hops: int
+) -> Optional[int]:
+    """A budget-aware per-hop deadline: split the remaining budget evenly
+    over ``hops`` sequential hops and return the absolute deadline for
+    the *first* of them. With one hop this is the full deadline."""
+    if deadline_us is None:
+        return None
+    if hops <= 1:
+        return deadline_us
+    budget = max(0, deadline_us - now_us)
+    return now_us + budget // hops

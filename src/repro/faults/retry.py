@@ -1,0 +1,183 @@
+"""Retry policy: exponential backoff + seeded jitter on the sim clock.
+
+The paper (section III-D) notes that the server SDKs automatically retry
+aborted transactions with backoff; production clients extend the same
+treatment to transient unavailability and load shedding. This module is
+that machinery for the reproduction, with the classification made
+explicit over the ``repro.errors`` taxonomy:
+
+==========================  ===============================================
+always retryable            ``Aborted``, ``Unavailable``,
+                            ``ResourceExhausted`` — the operation
+                            definitely did not apply (lock conflict,
+                            unreachable component, load shed), so a
+                            retry risks nothing.
+retryable iff idempotent    ``CommitOutcomeUnknown``, ``DeadlineExceeded``
+                            — the operation *may have applied*; retrying
+                            is only safe with an idempotency token that
+                            lets the Backend deduplicate the replay.
+terminal                    everything else (``InvalidArgument``,
+                            ``NotFound``, ``AlreadyExists``,
+                            ``FailedPrecondition``, ``PermissionDenied``,
+                            ``Unauthenticated``, ``InternalError``) —
+                            retrying reproduces the same failure.
+==========================  ===============================================
+
+All sleeps are ``clock.advance`` on the simulated clock and all jitter
+comes from a seeded ``repro.sim.rand`` stream, so a retried run is as
+deterministic as a clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DeadlineExceeded, FirestoreError
+from repro.sim.rand import SimRandom
+
+#: status codes where the operation certainly did not take effect
+RETRYABLE_ALWAYS = frozenset({"ABORTED", "UNAVAILABLE", "RESOURCE_EXHAUSTED"})
+
+#: status codes where the operation *may* have taken effect — retry only
+#: with an idempotency token (the Backend's commit ledger deduplicates)
+RETRYABLE_IF_IDEMPOTENT = frozenset({"UNKNOWN", "DEADLINE_EXCEEDED"})
+
+
+def is_retryable(error: Exception, idempotent: bool = False) -> bool:
+    """Whether ``error`` warrants another attempt.
+
+    ``idempotent`` widens the set to the may-have-applied codes; only
+    pass it when the retried request carries an idempotency token.
+    """
+    code = getattr(error, "code", None)
+    if code in RETRYABLE_ALWAYS:
+        return True
+    return idempotent and code in RETRYABLE_IF_IDEMPOTENT
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter.
+
+    Backoff for attempt *n* (0-based) is ``initial * multiplier**n``
+    capped at ``max_backoff_us``, then jittered multiplicatively into
+    ``[1 - jitter, 1]`` of itself — the classic decorrelated-enough
+    scheme, fully deterministic given the stream.
+    """
+
+    max_attempts: int = 5
+    initial_backoff_us: int = 10_000
+    multiplier: float = 2.0
+    max_backoff_us: int = 2_000_000
+    jitter: float = 0.5
+
+    def backoff_us(self, attempt: int, rand: SimRandom) -> int:
+        """The jittered pause before retry number ``attempt + 1``."""
+        base = min(
+            float(self.max_backoff_us),
+            self.initial_backoff_us * self.multiplier**attempt,
+        )
+        if self.jitter > 0.0:
+            base *= 1.0 - self.jitter * rand.uniform(0.0, 1.0)
+        return max(1, int(base))
+
+
+#: the default policy, matching the client SDKs' 5-attempt ladder
+DEFAULT_POLICY = RetryPolicy()
+
+
+def retry_stream(label: str) -> SimRandom:
+    """A deterministic per-caller jitter stream.
+
+    Callers that retry repeatedly (one SDK instance, one worker) should
+    hold one stream for their lifetime so successive backoffs draw fresh
+    jitter, rather than re-creating the default stream every call.
+    """
+    return SimRandom(0).fork(f"retry:{label}")
+
+
+def call_with_retry(
+    operation,
+    *,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    clock=None,
+    rand: Optional[SimRandom] = None,
+    idempotent: bool = False,
+    deadline_us: Optional[int] = None,
+    metrics=None,
+):
+    """Run ``operation()`` under ``policy``, backing off on retryables.
+
+    ``operation`` is a zero-argument callable. Retries stop when the
+    error is terminal, attempts run out, or the deadline would pass
+    before the next attempt (the pending backoff is charged against it).
+    Backoff advances ``clock`` (the sim clock) when one is given.
+    """
+    stream = rand if rand is not None else SimRandom(0).fork("retry")
+    last: Optional[FirestoreError] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return operation()
+        except FirestoreError as error:
+            last = error
+            if not is_retryable(error, idempotent=idempotent):
+                raise
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            pause = policy.backoff_us(attempt, stream)
+            if (
+                deadline_us is not None
+                and clock is not None
+                and clock.now_us + pause >= deadline_us
+            ):
+                raise DeadlineExceeded(
+                    "retry budget exhausted: backoff would overrun the "
+                    f"deadline (attempt {attempt + 1}, {type(error).__name__})"
+                ) from error
+            if metrics is not None:
+                metrics.counter("faults_retries").inc()
+                metrics.counter("faults_backoff_us").inc(pause)
+            if clock is not None:
+                clock.advance(pause)
+    raise last  # pragma: no cover - loop always returns or raises
+
+
+def commit_with_retry(
+    database,
+    writes,
+    *,
+    token: str,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    rand: Optional[SimRandom] = None,
+    deadline_us: Optional[int] = None,
+    metrics=None,
+    auth=None,
+):
+    """Commit ``writes`` with at-most-once semantics under retries.
+
+    The idempotency ``token`` rides the commit into the Backend's commit
+    ledger, so a retry after ``CommitOutcomeUnknown`` / a timeout either
+    finds the ledger row (first attempt applied — the replayed result is
+    returned, nothing is written twice) or commits fresh. This is the
+    paper's "the write may or may not be applied" case made safe.
+    """
+    clock = database.layout.spanner.clock
+
+    def attempt():
+        return database.commit(
+            writes,
+            auth=auth,
+            deadline_us=deadline_us,
+            idempotency_token=token,
+        )
+
+    return call_with_retry(
+        attempt,
+        policy=policy,
+        clock=clock,
+        rand=rand,
+        idempotent=True,
+        deadline_us=deadline_us,
+        metrics=metrics,
+    )

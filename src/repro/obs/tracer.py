@@ -262,6 +262,14 @@ class Tracer:
         """The innermost open stack span's context, if any."""
         return self._stack[-1].context if self._stack else None
 
+    def current_span(self) -> Optional[Span]:
+        """The innermost open stack span itself, if any.
+
+        Cross-cutting subsystems (e.g. the fault plane) use this to tag
+        whatever operation is in flight when they act.
+        """
+        return self._stack[-1] if self._stack else None
+
     # -- bookkeeping -------------------------------------------------------
 
     def _pop(self, span: Span) -> None:
@@ -325,6 +333,9 @@ class NullTracer:
         return NULL_SPAN
 
     def current_context(self) -> None:
+        return None
+
+    def current_span(self) -> None:
         return None
 
     @property

@@ -51,6 +51,9 @@ class RealtimeCache:
         self.available = True
         self.drop_accepts = False
         self._auto_resync = auto_resync
+        # deterministic fault plane (repro.faults.FaultPlan), duck-typed:
+        # None keeps the per-accept / per-pump injection hooks inert
+        self.fault_plan = None
 
         self.changelog.on_change = self.matcher.on_change
         self.changelog.on_heartbeat = self.matcher.on_heartbeat
@@ -82,6 +85,11 @@ class RealtimeCache:
         ranges = self._handles.pop(handle.prepare_id, [])
         if self.drop_accepts:
             return  # the Changelog will time the prepare out
+        plan = self.fault_plan
+        if plan is not None and plan.decide("realtime.drop_accept") is not None:
+            # a changelog gap: this Accept is lost, the prepare times out,
+            # the range goes out-of-sync and recovers via resync
+            return
         self.changelog.accept(ranges, handle, outcome, commit_ts, changes)
 
     # -- frontends --------------------------------------------------------------------
@@ -96,6 +104,12 @@ class RealtimeCache:
 
     def pump(self) -> int:
         """One heartbeat tick: advance watermarks, deliver snapshots."""
+        plan = self.fault_plan
+        if plan is not None and plan.decide("realtime.frontend_loss") is not None:
+            # a Frontend task died: its replacement redoes every query's
+            # initial snapshot (listeners see a fresh consistent state)
+            for frontend in self.frontends:
+                frontend.crash()
         self.changelog.pump()
         return sum(frontend.pump() for frontend in self.frontends)
 

@@ -248,6 +248,24 @@ class Frontend:
         self.snapshots_sent += emitted
         return emitted
 
+    def crash(self) -> int:
+        """Simulate losing this Frontend task (fault injection).
+
+        The task's in-memory query state — buffered pending changes and
+        watermarks — is gone; the replacement task redoes every query
+        from scratch on the next pump, the same fail-safe path an
+        out-of-sync range takes. Listeners then receive one snapshot with
+        the net difference, so nothing is missed or duplicated. Returns
+        the number of queries marked for reset.
+        """
+        marked = 0
+        for connection in self._connections:
+            for state in connection._states.values():
+                state.pending.clear()
+                state.needs_reset = True
+                marked += 1
+        return marked
+
     # -- query lifecycle --------------------------------------------------------------
 
     def _start_query(self, state: _QueryState, is_initial: bool) -> None:

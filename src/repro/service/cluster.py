@@ -98,6 +98,9 @@ class ServingCluster:
             self.kernel.clock, self.config.admission, metrics=metrics
         )
         self.billing = BillingLedger(self.kernel.clock)
+        # deterministic fault plane (repro.faults.FaultPlan), duck-typed:
+        # None keeps every injection hook on the request path inert
+        self.fault_plan = None
         from repro.service.routing import GlobalRouter
 
         #: global routing: register databases' home regions to price the
@@ -143,6 +146,7 @@ class ServingCluster:
         on_reject: Optional[Callable[[str], None]] = None,
         memory_bytes: int = 0,
         client_region: Optional[str] = None,
+        deadline_us: Optional[int] = None,
     ) -> bool:
         """Inject one request; ``on_complete`` receives end-to-end latency.
 
@@ -151,9 +155,17 @@ class ServingCluster:
         memory-pressure rejection of section VIII. ``client_region``
         (with the database registered on :attr:`router`) prices the
         client's network hop to the database's home region.
+        ``deadline_us`` is an absolute sim-clock deadline carried on the
+        RPC envelope through both hops: once it passes, whichever hop
+        holds the request expires it (``on_reject``) instead of finishing
+        work the caller has abandoned.
         """
         arrival = self.kernel.now_us
         operation = kind.name.lower()
+        plan = self.fault_plan
+        if plan is not None and plan.decide("service.task_crash") is not None:
+            # a backend task dies under load; its in-flight RPC requeues
+            self.backend_pool.crash_tasks(1)
         root = None
         if self.tracer:
             root = self.tracer.start_span(
@@ -187,6 +199,30 @@ class ServingCluster:
             network_us = 2 * self.latency.rpc_us(self.rand)  # same-region client
         trace_ctx = root.context if root is not None else None
 
+        def fail(reason: str) -> None:
+            # shared failure path for drops and expired deadlines: the
+            # admission slot is returned, the caller hears why
+            self.admission.release(database_id, memory_bytes)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "requests_failed",
+                    database_id=database_id,
+                    operation=operation,
+                ).inc()
+            if root is not None:
+                root.set_attribute("failed", reason)
+                root.end()
+            if on_reject is not None:
+                on_reject(reason)
+
+        def fail_rpc(rpc: Rpc, reason: str) -> None:
+            fail(reason)
+
+        if plan is not None and plan.decide("rpc.drop") is not None:
+            # the request vanishes on the wire after admission
+            fail("rpc dropped (injected)")
+            return False
+
         def backend_done(rpc: Rpc, latency_us: int) -> None:
             self.admission.release(database_id, memory_bytes)
             self.completed += 1
@@ -215,6 +251,9 @@ class ServingCluster:
             on_complete(total_us)
 
         def frontend_done(rpc: Rpc, frontend_latency_us: int) -> None:
+            if deadline_us is not None and self.kernel.now_us >= deadline_us:
+                fail("deadline exceeded after frontend hop")
+                return
             backend_rpc = Rpc(
                 database_id=database_id,
                 kind=kind,
@@ -222,7 +261,9 @@ class ServingCluster:
                 arrival_us=self.kernel.now_us,
                 storage_latency_us=storage_us,
                 latency_sensitive=latency_sensitive,
+                deadline_us=deadline_us,
                 on_complete=backend_done,
+                on_reject=fail_rpc,
                 trace_ctx=trace_ctx,
             )
             pool = self._isolated_pools.get(database_id, self.backend_pool)
@@ -235,9 +276,42 @@ class ServingCluster:
             cpu_cost_us=frontend_cost,
             arrival_us=arrival,
             latency_sensitive=latency_sensitive,
+            deadline_us=deadline_us,
             on_complete=frontend_done,
+            on_reject=fail_rpc,
             trace_ctx=trace_ctx,
         )
+        if plan is not None:
+            if plan.decide("rpc.duplicate") is not None:
+                # a retransmitted request arrives twice; the duplicate
+                # consumes serving capacity but its completion is swallowed
+                self.frontend_pool.submit(
+                    Rpc(
+                        database_id=database_id,
+                        kind=kind,
+                        cpu_cost_us=frontend_cost,
+                        arrival_us=arrival,
+                        latency_sensitive=latency_sensitive,
+                        deadline_us=deadline_us,
+                        trace_ctx=trace_ctx,
+                    )
+                )
+            delay_us = 0
+            if plan.decide("rpc.delay") is not None:
+                delay_us = plan.rand("rpc.delay").randint(1_000, 30_000)
+            elif plan.decide("rpc.reorder") is not None:
+                # a long enough delay that later arrivals overtake this one
+                delay_us = plan.rand("rpc.reorder").randint(30_000, 120_000)
+            if delay_us:
+                # the extra wire time is part of the latency the caller
+                # observes (backend_done reads network_us at call time)
+                network_us += delay_us
+                self.kernel.after(
+                    delay_us,
+                    lambda: self.frontend_pool.submit(frontend_rpc),
+                    label="rpc-delay",
+                )
+                return True
         self.frontend_pool.submit(frontend_rpc)
         return True
 
@@ -247,12 +321,16 @@ class ServingCluster:
         listeners: int,
         on_all_delivered: Callable[[int], None],
         per_listener_cost_us: int = DEFAULT_CPU_COST_US[RpcKind.NOTIFY],
+        deadline_us: Optional[int] = None,
     ) -> None:
         """Fan one document update out to ``listeners`` connections.
 
         The work lands on the Frontend pool (one NOTIFY job per listener);
         the callback receives the latency until the *last* client was
         notified — the paper's notification-latency metric (Figure 9).
+        With a ``deadline_us``, per-listener NOTIFY jobs still queued when
+        it passes are expired rather than delivered late; they count as
+        resolved for the completion callback.
         """
         if listeners <= 0:
             raise ValueError("fan-out needs at least one listener")
@@ -267,7 +345,7 @@ class ServingCluster:
             )
         trace_ctx = root.context if root is not None else None
 
-        def one_done(rpc: Rpc, latency_us: int) -> None:
+        def resolve_one() -> None:
             remaining[0] -= 1
             if remaining[0] == 0:
                 elapsed = self.kernel.now_us - start
@@ -279,6 +357,12 @@ class ServingCluster:
                     root.end()
                 on_all_delivered(elapsed)
 
+        def one_done(rpc: Rpc, latency_us: int) -> None:
+            resolve_one()
+
+        def one_expired(rpc: Rpc, reason: str) -> None:
+            resolve_one()
+
         for _ in range(listeners):
             self.frontend_pool.submit(
                 Rpc(
@@ -286,7 +370,9 @@ class ServingCluster:
                     kind=RpcKind.NOTIFY,
                     cpu_cost_us=per_listener_cost_us,
                     arrival_us=start,
+                    deadline_us=deadline_us,
                     on_complete=one_done,
+                    on_reject=one_expired,
                     trace_ctx=trace_ctx,
                 )
             )

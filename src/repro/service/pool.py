@@ -17,11 +17,14 @@ from repro.service.scheduler import FairShareScheduler
 
 
 class _Task:
-    __slots__ = ("task_id", "busy_until_us")
+    __slots__ = ("task_id", "busy_until_us", "current")
 
     def __init__(self, task_id: int):
         self.task_id = task_id
         self.busy_until_us = 0
+        # (rpc, completion event) while serving, None when idle — what a
+        # crash loses
+        self.current = None
 
 
 class TaskPool:
@@ -81,6 +84,47 @@ class TaskPool:
         self._record_size()
         return len(victims)
 
+    def crash_tasks(self, count: int = 1, requeue: bool = True) -> int:
+        """Crash ``count`` tasks mid-flight (fault injection).
+
+        A crash loses the task's in-flight RPC — its completion event is
+        cancelled and the RPC is re-queued (``requeue``, the default: the
+        load balancer retries on a sibling) or rejected. The crashed task
+        is replaced immediately, modeling the cluster scheduler's fast
+        restart; the autoscaler sees only the queueing backlog the crash
+        caused. Returns the number of tasks crashed.
+        """
+        crashed = 0
+        for _ in range(count):
+            victim = None
+            for task in self._tasks:
+                if task.current is not None:
+                    victim = task
+                    break
+            if victim is None and self._tasks:
+                victim = self._tasks[0]
+            if victim is None:
+                break
+            self._tasks.remove(victim)
+            if victim.current is not None:
+                rpc, event = victim.current
+                event.cancel()
+                if requeue:
+                    self.scheduler.enqueue(rpc)
+                else:
+                    rpc.reject("task crashed")
+            self._tasks.append(_Task(self._next_task_id))
+            self._next_task_id += 1
+            crashed += 1
+        if crashed:
+            if self.metrics is not None:
+                self.metrics.counter("pool_task_crashes", pool=self.name).inc(
+                    crashed
+                )
+            self._record_size()
+            self._dispatch()
+        return crashed
+
     def _record_size(self) -> None:
         if self.metrics is not None:
             self.metrics.gauge("pool_tasks", pool=self.name).set(len(self._tasks))
@@ -101,6 +145,15 @@ class TaskPool:
             rpc = self.scheduler.pick()
             if rpc is None:
                 return
+            if rpc.deadline_us is not None and now >= rpc.deadline_us:
+                # the caller gave up while this RPC sat in the queue:
+                # expire it here instead of burning a task on dead work
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "faults_deadline_expired", at=self.name
+                    ).inc()
+                rpc.reject("deadline exceeded in queue")
+                continue
             service_us = max(1, round(rpc.cpu_cost_us / self.speedup))
             finish = now + service_us
             task.busy_until_us = finish
@@ -117,7 +170,10 @@ class TaskPool:
                         "task": task.task_id,
                     },
                 ).end(finish)
-            self.kernel.at(finish, self._make_completion(rpc, finish))
+            event = self.kernel.at(
+                finish, self._make_completion(task, rpc, finish)
+            )
+            task.current = (rpc, event)
 
     def _free_task(self, now_us: int) -> Optional[_Task]:
         for task in self._tasks:
@@ -125,8 +181,9 @@ class TaskPool:
                 return task
         return None
 
-    def _make_completion(self, rpc: Rpc, finish_us: int):
+    def _make_completion(self, task: _Task, rpc: Rpc, finish_us: int):
         def complete() -> None:
+            task.current = None
             self.completed += 1
             if self.metrics is not None:
                 self.metrics.counter("pool_completed", pool=self.name).inc()

@@ -53,6 +53,9 @@ class Rpc:
     storage_latency_us: int = 0
     #: latency-sensitive (user-facing) vs tagged batch/internal traffic
     latency_sensitive: bool = True
+    #: absolute sim-clock deadline; every hop (queue, dispatch, messaging)
+    #: may expire the RPC once it passes instead of completing dead work
+    deadline_us: Optional[int] = None
     on_complete: Optional[Callable[["Rpc", int], None]] = None
     on_reject: Optional[Callable[["Rpc", str], None]] = None
     #: trace context propagated across the serving hops (repro.obs); None

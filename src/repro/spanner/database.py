@@ -63,7 +63,7 @@ class SpannerDatabase:
         self._next_tag = 1
         self.tablets: list[Tablet] = [Tablet(b"", None)]
         self.locks = LockTable()
-        self.message_queue = TransactionalMessageQueue()
+        self.message_queue = TransactionalMessageQueue(clock=self.clock)
         self._next_txn_id = 1
         self._directories: set[bytes] = set()
         # test hook: called before applying a commit; may raise to inject
@@ -71,6 +71,10 @@ class SpannerDatabase:
         # injector is cleared before it fires, so a stale injector cannot
         # leak into subsequent commits.
         self.commit_fault_injector: Optional[Callable[[int], None]] = None
+        # deterministic fault plane (repro.faults.FaultPlan): duck-typed
+        # like sanitizer/recorder so this layer needs no import — None
+        # means every injection hook is inert
+        self.fault_plan = None
         # observability
         from repro.obs.tracer import NULL_TRACER
 

@@ -23,26 +23,52 @@ class Message:
     topic: str
     payload: Any
     commit_ts: int
+    #: absolute sim-clock expiry; an expired message is dropped at
+    #: poll/deliver time instead of doing asynchronous work the producer
+    #: no longer wants (None = never expires)
+    deadline_us: Optional[int] = None
 
 
 class TransactionalMessageQueue:
     """Per-topic FIFO queues populated atomically at transaction commit."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock=None) -> None:
         self._queues: dict[str, list[Message]] = {}
         self._ids = itertools.count(1)
         self._subscribers: dict[str, list[Callable[[Message], None]]] = {}
         self.delivered = 0
+        self.expired = 0
+        #: optional sim clock; without one, message deadlines never expire
+        self.clock = clock
 
-    def commit_messages(self, pending: list[tuple[str, Any]], commit_ts: int) -> list[Message]:
+    def commit_messages(
+        self,
+        pending: list[tuple[str, Any]],
+        commit_ts: int,
+        deadline_us: Optional[int] = None,
+    ) -> list[Message]:
         """Make a transaction's buffered messages durable (called by the
         transaction commit path, atomically with the data mutations)."""
         out = []
         for topic, payload in pending:
-            message = Message(next(self._ids), topic, payload, commit_ts)
+            message = Message(
+                next(self._ids), topic, payload, commit_ts, deadline_us
+            )
             self._queues.setdefault(topic, []).append(message)
             out.append(message)
         return out
+
+    def _unexpired(self, messages: list[Message]) -> list[Message]:
+        if self.clock is None:
+            return messages
+        now = self.clock.now_us
+        live = [
+            m
+            for m in messages
+            if m.deadline_us is None or now < m.deadline_us
+        ]
+        self.expired += len(messages) - len(live)
+        return live
 
     def subscribe(self, topic: str, handler: Callable[[Message], None]) -> None:
         """Register an async delivery handler for ``topic``."""
@@ -55,8 +81,9 @@ class TransactionalMessageQueue:
         return sum(len(q) for q in self._queues.values())
 
     def poll(self, topic: str, max_messages: int = 100) -> list[Message]:
-        """Remove and return up to ``max_messages`` from ``topic``."""
-        queue = self._queues.get(topic, [])
+        """Remove and return up to ``max_messages`` live messages from
+        ``topic``; messages past their deadline are silently expired."""
+        queue = self._unexpired(self._queues.get(topic, []))
         taken, self._queues[topic] = queue[:max_messages], queue[max_messages:]
         return taken
 

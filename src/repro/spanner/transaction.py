@@ -13,8 +13,12 @@ Mirrors the Spanner behaviour Firestore builds on (paper section IV-D1/2):
   for,
 - a conflict aborts the transaction (callers retry with backoff).
 
-A fault injector on the database lets tests exercise the paper's failure
-matrix: definitive commit failure and unknown-outcome commits.
+Fault injection: the database's ``fault_plan`` (a ``repro.faults``
+FaultPlan, duck-typed) drives the failure matrix — definitive commit
+failure, unknown-outcome commits, lock-acquisition timeouts, unreachable
+or slow tablets, and splits racing the commit. The older one-shot
+``commit_fault_injector`` hook remains as a thin compat shim feeding the
+same code path.
 """
 
 from __future__ import annotations
@@ -22,7 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
-from repro.errors import Aborted, CommitOutcomeUnknown, InternalError, LockConflict
+from repro.errors import (
+    Aborted,
+    CommitOutcomeUnknown,
+    InternalError,
+    LockConflict,
+    Unavailable,
+)
 from repro.spanner.locks import LockMode
 from repro.spanner.mvcc import TOMBSTONE
 
@@ -139,11 +149,31 @@ class ReadWriteTransaction:
             value = self._writes[ckey]
             return None if value is TOMBSTONE else (0, value)
         mode = LockMode.EXCLUSIVE if for_update else LockMode.SHARED
+        plan = self._db.fault_plan
+        if plan is not None and plan.decide("spanner.lock_timeout") is not None:
+            self._abort()
+            raise Aborted(
+                f"lock acquisition timed out on {ckey!r} (injected)"
+            )
         try:
             self._db.locks.acquire(self.txn_id, ckey, mode)
         except LockConflict as exc:
             self._abort()
             raise Aborted(str(exc)) from exc
+        if plan is not None:
+            if plan.decide("spanner.tablet_unavailable") is not None:
+                self._abort()
+                raise Unavailable(
+                    f"tablet server for {ckey!r} unreachable (injected)"
+                )
+            slow = plan.decide("spanner.tablet_slow")
+            if slow is not None:
+                delay_us = slow.get("delay_us")
+                if delay_us is None:
+                    delay_us = plan.rand("spanner.tablet_slow").randint(
+                        1_000, 20_000
+                    )
+                self._db.clock.advance(delay_us)
         tablet = self._db.tablet_for(ckey)
         tablet.stats.record_read(self._db.clock.now_us)
         ts, value = tablet.read_latest(ckey)
@@ -320,37 +350,7 @@ class ReadWriteTransaction:
                     self._abort()
                     raise Aborted(str(exc)) from exc
 
-        injector = self._db.commit_fault_injector
-        if injector is not None:
-            # one-shot: clear before firing so a failure path cannot leave
-            # the injector armed for an unrelated later commit
-            self._db.commit_fault_injector = None
-            try:
-                injector(self.txn_id)
-            except _DefinitiveCommitFailure as exc:
-                self._abort()
-                raise Aborted("commit failed definitively (injected)") from exc
-            except _UnknownOutcomeFailure as exc:
-                # "unknown" is a *client-side* state: the server either
-                # committed or aborted, and in both cases it releases the
-                # transaction's locks — only the acknowledgement was lost
-                if exc.applied:
-                    self._apply(min_commit_ts, max_commit_ts)
-                    self._db.locks.release_all(self.txn_id)
-                    self._db.commits += 1
-                    if self._db.sanitizer is not None:
-                        self._db.sanitizer.on_txn_finished(
-                            self.txn_id, "unknown-applied"
-                        )
-                else:
-                    self._abort()
-                self._state = "unknown"
-                recorder = self._db.recorder
-                if recorder is not None:
-                    recorder.txn_unknown(self.txn_id, exc.applied)
-                raise CommitOutcomeUnknown(
-                    "commit outcome unknown (injected)"
-                ) from exc
+        self._inject_commit_faults(min_commit_ts, max_commit_ts)
 
         with tracer.span(
             "spanner.2pc", component="spanner", attributes={"phase": "commit"}
@@ -376,6 +376,84 @@ class ReadWriteTransaction:
                     max_ts=max_commit_ts,
                 )
             return result
+
+    def _inject_commit_faults(
+        self, min_commit_ts: int, max_commit_ts: Optional[int]
+    ) -> None:
+        """Fire any injected commit fault, from either source.
+
+        The legacy one-shot ``commit_fault_injector`` is consulted first
+        (and stays a supported compat shim); otherwise the database's
+        fault plan decides. Raises :class:`Aborted` for definitive
+        failures and :class:`CommitOutcomeUnknown` for lost
+        acknowledgements; returns normally when no fault fires.
+        """
+        db = self._db
+        cause: Optional[BaseException] = None
+        outcome: Optional[tuple[str, bool]] = None
+        injector = db.commit_fault_injector
+        if injector is not None:
+            # one-shot: clear before firing so a failure path cannot leave
+            # the injector armed for an unrelated later commit
+            db.commit_fault_injector = None
+            try:
+                injector(self.txn_id)
+            except _DefinitiveCommitFailure as exc:
+                outcome, cause = ("fail", False), exc
+            except _UnknownOutcomeFailure as exc:
+                outcome, cause = ("unknown", exc.applied), exc
+        plan = db.fault_plan
+        if outcome is None and plan is not None:
+            if plan.decide("spanner.split_during_commit") is not None:
+                # a topology change mid-commit: the 2PC must tolerate the
+                # tablet holding its writes splitting under it
+                self._split_written_tablet()
+            if plan.decide("spanner.commit_fail") is not None:
+                outcome = ("fail", False)
+            else:
+                detail = plan.decide("spanner.commit_unknown")
+                if detail is not None:
+                    applied = detail.get("applied")
+                    if applied is None:
+                        applied = plan.rand("spanner.commit_unknown").bernoulli(
+                            0.5
+                        )
+                    outcome = ("unknown", bool(applied))
+        if outcome is None:
+            return
+        kind, applied = outcome
+        if kind == "fail":
+            self._abort()
+            raise Aborted("commit failed definitively (injected)") from cause
+        # "unknown" is a *client-side* state: the server either committed
+        # or aborted, and in both cases it releases the transaction's
+        # locks — only the acknowledgement was lost
+        if applied:
+            self._apply(min_commit_ts, max_commit_ts)
+            db.locks.release_all(self.txn_id)
+            db.commits += 1
+            if db.sanitizer is not None:
+                db.sanitizer.on_txn_finished(self.txn_id, "unknown-applied")
+        else:
+            self._abort()
+        self._state = "unknown"
+        recorder = db.recorder
+        if recorder is not None:
+            recorder.txn_unknown(self.txn_id, applied)
+        raise CommitOutcomeUnknown(
+            "commit outcome unknown (injected)"
+        ) from cause
+
+    def _split_written_tablet(self) -> None:
+        """Split the tablet holding the first buffered write at that key."""
+        if not self._writes:
+            return
+        from repro.spanner.splitting import LoadBasedSplitter
+
+        ckey = next(iter(self._writes))
+        tablet = self._db.tablet_for(ckey)
+        if ckey > tablet.start_key:
+            LoadBasedSplitter(self._db).split_tablet(tablet, at_key=ckey)
 
     def _apply(self, min_commit_ts: int, max_commit_ts: Optional[int]) -> int:
         try:

@@ -1,0 +1,7 @@
+"""Fault machinery built on ambient randomness — both must be flagged."""
+
+
+def build():
+    plan = FaultPlan()  # missing the explicit seed
+    stream = SimRandom()  # bare default seed inside faults/
+    return plan, stream

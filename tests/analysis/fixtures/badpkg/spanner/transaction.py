@@ -1,8 +1,8 @@
 """A ReadWriteTransaction refactor that dropped its history taps.
 
-``commit`` lost its recorder reference, and ``_abort`` was renamed away
-entirely — both must be history-tap diagnostics. The other required
-methods keep their taps and must NOT be flagged.
+``_inject_commit_faults`` lost its recorder reference, and ``_abort``
+was renamed away entirely — both must be history-tap diagnostics. The
+other required methods keep their taps and must NOT be flagged.
 """
 
 
@@ -23,9 +23,9 @@ class ReadWriteTransaction:
         if recorder is not None:
             recorder.txn_scan(self.txn_id, b"", None)
 
-    def commit(self):
-        # the refactor forgot to re-plumb the tap here
-        self._state = "committed"
+    def _inject_commit_faults(self, min_commit_ts, max_commit_ts):
+        # the refactor forgot to re-plumb the unknown-outcome tap here
+        self._state = "unknown"
 
     def _apply(self, commit_ts):
         recorder = self._db.recorder

@@ -1,0 +1,8 @@
+"""Seeded fault machinery — nothing here may be flagged."""
+
+
+def build(seed):
+    plan = FaultPlan(seed)
+    keyed = FaultPlan(seed=seed, rates={})
+    stream = SimRandom(seed).fork("fault-plan")
+    return plan, keyed, stream

@@ -86,8 +86,8 @@ def test_history_tap_catches_dropped_and_missing_taps(bad_diagnostics):
     found = by_check(bad_diagnostics, "history-tap")
     assert {d.path for d in found} == {"spanner/transaction.py"}
     messages = "\n".join(d.message for d in found)
-    # commit kept its name but lost its recorder reference
-    assert "ReadWriteTransaction.commit" in messages
+    # the fault-injection path kept its name but lost its recorder tap
+    assert "ReadWriteTransaction._inject_commit_faults" in messages
     # _abort disappeared entirely
     assert "ReadWriteTransaction._abort" in messages
     # the still-tapped methods are not flagged
@@ -101,6 +101,15 @@ def test_trace_span_context(bad_diagnostics):
     messages = "\n".join(d.message for d in found)
     assert "context manager" in messages
     assert "start_span" in messages
+
+
+def test_fault_seeded_catches_unseeded_plan_and_stream(bad_diagnostics):
+    found = by_check(bad_diagnostics, "fault-seeded")
+    assert {d.path for d in found} == {"faults/bad_seed.py"}
+    assert len(found) == 2  # the unseeded FaultPlan and the bare SimRandom
+    messages = "\n".join(d.message for d in found)
+    assert "explicit seed" in messages
+    assert "SimRandom()" in messages
 
 
 def test_pragma_requires_reason_and_known_check(bad_diagnostics):

@@ -1,0 +1,167 @@
+"""Client disconnect/reconnect: offline mutations replay exactly once
+and listeners resume through resync without missed or duplicated
+notifications (the ISSUE's satellite coverage for ``client.flap``)."""
+
+import pytest
+
+from repro.check.checker import assert_clean, check_history
+from repro.check.history import recording
+from repro.client.client import MobileClient
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+from repro.core.values import increment
+from repro.faults.plan import FaultPlan, install
+
+
+def make_stack(name):
+    service = FirestoreService()
+    database = service.create_database(name)
+    plan = FaultPlan(seed=0)
+    install(plan, database)
+    return service, database, plan
+
+
+def drain(service, database, pumps=8):
+    """Advance past the Accept-timeout horizon so dropped Accepts
+    surface as out-of-sync and the resync fail-safe runs."""
+    for _ in range(pumps):
+        service.clock.advance(1_000_000)
+        database.pump_realtime()
+
+
+def test_offline_mutations_replay_exactly_once():
+    service, database, _plan = make_stack("flap-once")
+    client = MobileClient(database)
+    client.set("docs/a", {"n": increment(1)})  # online: flushed now
+    assert client.pending_writes == 0
+
+    client.disconnect()
+    client.set("docs/a", {"n": increment(1)})
+    client.set("docs/b", {"v": 1})
+    assert client.pending_writes == 2
+    # offline writes are invisible to the server ...
+    assert database.lookup("docs/a").data == {"n": 1}
+
+    client.connect()  # ... until reconnection replays them
+    assert client.pending_writes == 0
+    assert database.lookup("docs/a").data == {"n": 2}
+    assert database.lookup("docs/b").data == {"v": 1}
+
+    # a second flap with an empty queue replays nothing
+    client.disconnect()
+    client.connect()
+    assert database.lookup("docs/a").data == {"n": 2}
+
+
+def test_replay_with_unknown_outcome_applies_once():
+    """A flush interrupted by a lost commit ack retries through the
+    idempotency ledger: the non-idempotent increment lands exactly once."""
+    service, database, plan = make_stack("flap-unknown")
+    client = MobileClient(database)
+    database.commit([set_op("docs/c", {"n": 0})])
+
+    client.disconnect()
+    client.set("docs/c", {"n": increment(1)})
+    plan.arm("spanner.commit_unknown", applied=True)
+    client.connect()
+    assert client.pending_writes == 0
+    assert client.flush_errors == []
+    assert database.lookup("docs/c").data == {"n": 1}
+
+    client.disconnect()
+    client.set("docs/c", {"n": increment(1)})
+    plan.arm("spanner.commit_unknown", applied=False)
+    client.connect()
+    assert database.lookup("docs/c").data == {"n": 2}
+
+
+def test_interrupted_flush_resumes_without_duplicates():
+    """Unavailability mid-flush leaves the remainder queued; the next
+    reconnect finishes the replay without re-applying the first half."""
+    service, database, plan = make_stack("flap-interrupt")
+    client = MobileClient(database)
+    client.disconnect()
+    client.set("docs/a", {"n": increment(1)})
+    client.set("docs/b", {"n": increment(1)})
+
+    # every retry attempt for the first mutation finds the tablet down
+    policy_attempts = 5
+    for _ in range(policy_attempts):
+        plan.arm("spanner.tablet_unavailable")
+    client.connect()
+    assert client.pending_writes == 2  # nothing applied, nothing lost
+    assert database.run_query(database.query("docs")).documents == []
+
+    client.disconnect()
+    client.connect()
+    assert client.pending_writes == 0
+    assert database.lookup("docs/a").data == {"n": 1}
+    assert database.lookup("docs/b").data == {"n": 1}
+
+
+def test_listener_resumes_via_resync_without_missed_or_dup():
+    """A dropped Accept forces the out-of-sync path; after recovery the
+    listener view equals the server and the recorded history is clean
+    (no missed or duplicated notifications)."""
+    with recording() as recorders:
+        service, database, plan = make_stack("flap-listen")
+        client = MobileClient(database)
+        snaps = []
+        client.on_snapshot(client.query("docs"), snaps.append)
+
+        database.commit([set_op("docs/a", {"v": 1})])
+        drain(service, database, pumps=2)
+
+        plan.arm("realtime.drop_accept")
+        database.commit([set_op("docs/b", {"v": 2})])
+        database.commit([set_op("docs/c", {"v": 3})])
+        drain(service, database)  # resync fail-safe kicks in
+
+        server = {
+            str(d.path): d.data
+            for d in database.run_query(database.query("docs")).documents
+        }
+        view = {str(d.path): d.data for d in snaps[-1].documents}
+        assert view == server == {
+            "docs/a": {"v": 1},
+            "docs/b": {"v": 2},
+            "docs/c": {"v": 3},
+        }
+        assert database.realtime.total_resets >= 1
+        client.disconnect()
+    for recorder in recorders:
+        assert_clean(check_history(recorder.events), context="flap listen")
+
+
+def test_listener_survives_a_full_flap_cycle():
+    """Disconnect serves from cache; reconnect replays writes first and
+    then re-registers the listen, so the initial snapshot already
+    reflects this device's offline writes."""
+    with recording() as recorders:
+        service, database, _plan = make_stack("flap-cycle")
+        client = MobileClient(database)
+        snaps = []
+        client.on_snapshot(client.query("docs"), snaps.append)
+        client.set("docs/a", {"v": 1})
+        drain(service, database, pumps=2)
+
+        client.disconnect()
+        client.set("docs/b", {"v": 2})  # latency compensation, offline
+        assert snaps[-1].from_cache
+        offline_view = {str(d.path): d.data for d in snaps[-1].documents}
+        assert offline_view == {"docs/a": {"v": 1}, "docs/b": {"v": 2}}
+        # another writer commits while this device is away
+        database.commit([set_op("docs/remote", {"v": 3})])
+
+        client.connect()
+        drain(service, database, pumps=2)
+        server = {
+            str(d.path): d.data
+            for d in database.run_query(database.query("docs")).documents
+        }
+        view = {str(d.path): d.data for d in snaps[-1].documents}
+        assert view == server
+        assert "docs/remote" in view
+        client.disconnect()
+    for recorder in recorders:
+        assert_clean(check_history(recorder.events), context="flap cycle")

@@ -1,0 +1,65 @@
+"""Deadline helpers and their propagation into the write protocol."""
+
+import pytest
+
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+from repro.errors import DeadlineExceeded
+from repro.faults import deadline
+from repro.sim.clock import SimClock
+
+
+def test_after_is_absolute():
+    clock = SimClock()
+    clock.advance(1_000)
+    assert deadline.after(clock, 500) == 1_500
+
+
+def test_expired_inclusive_and_none_passthrough():
+    assert not deadline.expired(None, 10**9)
+    assert not deadline.expired(100, 99)
+    assert deadline.expired(100, 100)
+    assert deadline.expired(100, 101)
+
+
+def test_remaining_us_floors_at_zero():
+    assert deadline.remaining_us(None, 50) is None
+    assert deadline.remaining_us(100, 40) == 60
+    assert deadline.remaining_us(100, 200) == 0
+
+
+def test_check_names_the_hop():
+    deadline.check(None, 10**9, "anything")
+    deadline.check(100, 99, "step 5")
+    with pytest.raises(DeadlineExceeded, match="before step 5"):
+        deadline.check(100, 100, "step 5")
+
+
+def test_per_hop_splits_the_remaining_budget():
+    assert deadline.per_hop(None, 0, 3) is None
+    assert deadline.per_hop(1_000, 0, 1) == 1_000
+    assert deadline.per_hop(1_000, 0, 2) == 500
+    assert deadline.per_hop(1_000, 400, 2) == 700
+    # exhausted budget: the first hop's deadline is "now"
+    assert deadline.per_hop(1_000, 2_000, 2) == 2_000
+
+
+def test_expired_commit_deadline_applies_nothing():
+    service = FirestoreService()
+    db = service.create_database("dead")
+    service.clock.advance(1_000)
+    with pytest.raises(DeadlineExceeded):
+        db.commit(
+            [set_op("docs/a", {"n": 1})], deadline_us=service.clock.now_us
+        )
+    assert db.run_query(db.query("docs")).documents == []
+
+
+def test_live_commit_deadline_passes_through():
+    service = FirestoreService()
+    db = service.create_database("alive")
+    db.commit(
+        [set_op("docs/a", {"n": 1})],
+        deadline_us=service.clock.now_us + 60_000_000,
+    )
+    assert db.lookup("docs/a").data == {"n": 1}

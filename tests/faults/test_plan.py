@@ -1,0 +1,145 @@
+"""FaultPlan unit tests: seeded determinism, arming, accounting.
+
+The plan is the single source of injected faults, so these tests pin
+down the properties everything else leans on: same seed => same
+schedule, per-site stream independence, and armed one-shots that never
+perturb the rate-driven streams.
+"""
+
+import pytest
+
+from repro.faults.plan import (
+    ALL_SITES,
+    FAULT_MIXES,
+    FaultPlan,
+    install,
+    plan_for_mix,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.sim.clock import SimClock
+
+
+def decisions(plan, site, n):
+    return [plan.decide(site) is not None for _ in range(n)]
+
+
+def test_same_seed_same_schedule():
+    a = FaultPlan(7, rates={"x": 0.3, "y": 0.3})
+    b = FaultPlan(7, rates={"x": 0.3, "y": 0.3})
+    assert decisions(a, "x", 200) == decisions(b, "x", 200)
+    assert decisions(a, "y", 200) == decisions(b, "y", 200)
+
+
+def test_different_seeds_diverge():
+    a = FaultPlan(1, rates={"x": 0.5})
+    b = FaultPlan(2, rates={"x": 0.5})
+    assert decisions(a, "x", 200) != decisions(b, "x", 200)
+
+
+def test_sites_draw_from_independent_streams():
+    """Consulting one site never shifts another site's schedule."""
+    interleaved = FaultPlan(11, rates={"x": 0.5, "y": 0.5})
+    alone = FaultPlan(11, rates={"x": 0.5, "y": 0.5})
+    seq = []
+    for _ in range(100):
+        seq.append(interleaved.decide("x") is not None)
+        interleaved.decide("y")
+    assert decisions(alone, "x", 100) == seq
+
+
+def test_armed_faults_fire_fifo_with_detail():
+    plan = FaultPlan(0)
+    plan.arm("s", order=1)
+    plan.arm("s", order=2)
+    assert plan.armed("s") == 2
+    assert plan.decide("s") == {"order": 1}
+    assert plan.decide("s") == {"order": 2}
+    assert plan.decide("s") is None
+    assert plan.armed("s") == 0
+
+
+def test_armed_faults_do_not_consume_rate_draws():
+    """The deterministic-test mode leaves the chaos streams untouched."""
+    rates = {"s": 0.4}
+    control = FaultPlan(5, rates=rates)
+    baseline = decisions(control, "s", 50)
+    plan = FaultPlan(5, rates=rates)
+    plan.arm("s")
+    assert plan.decide("s") == {}
+    assert decisions(plan, "s", 50) == baseline
+
+
+def test_disarm_one_site_and_all_sites():
+    plan = FaultPlan(0)
+    plan.arm("a")
+    plan.arm("b")
+    plan.disarm("a")
+    assert plan.armed("a") == 0
+    assert plan.armed("b") == 1
+    plan.arm("a")
+    plan.disarm()
+    assert plan.armed("a") == 0
+    assert plan.armed("b") == 0
+
+
+def test_zero_rate_never_fires():
+    plan = FaultPlan(3)
+    assert decisions(plan, "quiet", 50) == [False] * 50
+    assert plan.total_injected == 0
+    assert plan.log == []
+
+
+def test_accounting_log_and_report():
+    plan = FaultPlan(9, rates={"x": 1.0})
+    plan.arm("y", applied=True)
+    assert plan.decide("y") == {"applied": True}
+    assert plan.decide("x") == {}
+    assert plan.injected == {"x": 1, "y": 1}
+    assert plan.total_injected == 2
+    assert plan.log == [("y", {"applied": True}), ("x", {})]
+    report = plan.report()
+    assert report["seed"] == 9
+    assert report["injected"] == {"x": 1, "y": 1}
+    assert report["total_injected"] == 2
+
+
+def test_metrics_counter_and_span_tagging():
+    clock = SimClock()
+    metrics = MetricsRegistry()
+    tracer = Tracer(clock)
+    plan = FaultPlan(0, metrics=metrics, tracer=tracer)
+    plan.arm("rpc.drop")
+    with tracer.span("op", component="test") as span:
+        assert plan.decide("rpc.drop") is not None
+    assert span.attributes["fault.injected"] == "rpc.drop"
+    assert any(name == "fault-injected" for _, name, _ in span.events)
+    entries = metrics.to_dict()["faults_injected"]
+    assert entries[0]["labels"] == {"site": "rpc.drop"}
+    assert entries[0]["value"] == 1
+
+
+def test_plan_for_mix_and_unknown_mix():
+    plan = plan_for_mix(4, "storage")
+    assert plan.rates == FAULT_MIXES["storage"]
+    assert plan_for_mix(4, "none").rates == {}
+    with pytest.raises(ValueError, match="unknown fault mix"):
+        plan_for_mix(4, "nope")
+
+
+def test_every_mix_rate_targets_a_declared_site():
+    for mix, rates in FAULT_MIXES.items():
+        for site in rates:
+            assert site in ALL_SITES, (mix, site)
+
+
+def test_install_threads_plan_through_every_layer():
+    from repro.core.firestore import FirestoreService
+
+    service = FirestoreService()
+    database = service.create_database("wired")
+    plan = FaultPlan(0)
+    assert install(plan, database) is plan
+    assert database.layout.spanner.fault_plan is plan
+    assert database.realtime.fault_plan is plan
+    assert database.fault_plan is plan

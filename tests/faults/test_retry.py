@@ -1,0 +1,218 @@
+"""Retry machinery: classification, backoff, deadlines, commit dedup."""
+
+import pytest
+
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+from repro.core.values import increment
+from repro.errors import (
+    Aborted,
+    CommitOutcomeUnknown,
+    DeadlineExceeded,
+    InvalidArgument,
+    NotFound,
+    ResourceExhausted,
+    Unavailable,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import (
+    DEFAULT_POLICY,
+    RetryPolicy,
+    call_with_retry,
+    commit_with_retry,
+    is_retryable,
+    retry_stream,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock import SimClock
+
+
+# -- classification ----------------------------------------------------------
+
+
+def test_always_retryable_codes():
+    for error in (Aborted("a"), Unavailable("u"), ResourceExhausted("r")):
+        assert is_retryable(error)
+        assert is_retryable(error, idempotent=True)
+
+
+def test_may_have_applied_codes_require_idempotency():
+    for error in (CommitOutcomeUnknown("?"), DeadlineExceeded("d")):
+        assert not is_retryable(error)
+        assert is_retryable(error, idempotent=True)
+
+
+def test_terminal_codes_never_retry():
+    for error in (InvalidArgument("bad"), NotFound("gone"), ValueError("x")):
+        assert not is_retryable(error)
+        assert not is_retryable(error, idempotent=True)
+
+
+# -- backoff -----------------------------------------------------------------
+
+
+def test_backoff_grows_exponentially_to_the_cap():
+    policy = RetryPolicy(
+        initial_backoff_us=1_000,
+        multiplier=2.0,
+        max_backoff_us=5_000,
+        jitter=0.0,
+    )
+    rand = retry_stream("growth")
+    assert [policy.backoff_us(n, rand) for n in range(4)] == [
+        1_000,
+        2_000,
+        4_000,
+        5_000,  # capped
+    ]
+
+
+def test_backoff_jitter_stays_in_band_and_is_seeded():
+    policy = RetryPolicy(initial_backoff_us=100_000, jitter=0.5)
+    first = policy.backoff_us(0, retry_stream("jit"))
+    pauses = [policy.backoff_us(0, retry_stream(f"jit{i}")) for i in range(30)]
+    assert all(50_000 <= p <= 100_000 for p in pauses)
+    assert len(set(pauses)) > 1  # jitter actually varies across streams
+    assert first == policy.backoff_us(0, retry_stream("jit"))  # and replays
+
+
+def test_backoff_never_returns_zero():
+    policy = RetryPolicy(initial_backoff_us=1, jitter=0.999)
+    rand = retry_stream("tiny")
+    assert all(policy.backoff_us(0, rand) >= 1 for _ in range(20))
+
+
+# -- call_with_retry ---------------------------------------------------------
+
+
+class Flaky:
+    """Fails ``failures`` times with ``error`` then returns ``value``."""
+
+    def __init__(self, failures, error, value="ok"):
+        self.failures = failures
+        self.error = error
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+def test_succeeds_after_transient_failures_and_advances_clock():
+    clock = SimClock()
+    metrics = MetricsRegistry()
+    op = Flaky(2, Unavailable("flap"))
+    result = call_with_retry(
+        op,
+        clock=clock,
+        rand=retry_stream("t"),
+        metrics=metrics,
+    )
+    assert result == "ok"
+    assert op.calls == 3
+    assert clock.now_us > 0  # both backoffs were slept on the sim clock
+    snapshot = metrics.to_dict()
+    assert snapshot["faults_retries"][0]["value"] == 2
+    assert snapshot["faults_backoff_us"][0]["value"] == clock.now_us
+
+
+def test_terminal_error_raises_immediately():
+    op = Flaky(5, NotFound("gone"))
+    with pytest.raises(NotFound):
+        call_with_retry(op, rand=retry_stream("t"))
+    assert op.calls == 1
+
+
+def test_unknown_outcome_is_terminal_unless_idempotent():
+    op = Flaky(1, CommitOutcomeUnknown("?"))
+    with pytest.raises(CommitOutcomeUnknown):
+        call_with_retry(op, rand=retry_stream("t"))
+    assert op.calls == 1
+    op = Flaky(1, CommitOutcomeUnknown("?"))
+    assert call_with_retry(op, rand=retry_stream("t"), idempotent=True) == "ok"
+    assert op.calls == 2
+
+
+def test_attempts_exhausted_raises_the_last_error():
+    op = Flaky(99, Aborted("conflict"))
+    with pytest.raises(Aborted):
+        call_with_retry(op, rand=retry_stream("t"))
+    assert op.calls == DEFAULT_POLICY.max_attempts
+
+
+def test_backoff_never_overruns_the_deadline():
+    clock = SimClock()
+    op = Flaky(99, Unavailable("down"))
+    with pytest.raises(DeadlineExceeded, match="retry budget exhausted"):
+        call_with_retry(
+            op,
+            clock=clock,
+            rand=retry_stream("t"),
+            deadline_us=clock.now_us + 5_000,  # < one default backoff
+        )
+    assert op.calls == 1
+    assert clock.now_us < 5_000  # gave up instead of sleeping past it
+
+
+# -- commit_with_retry: the ledger makes unknown outcomes safe ---------------
+
+
+def make_db(name):
+    service = FirestoreService()
+    db = service.create_database(name)
+    plan = FaultPlan(seed=0)
+    db.layout.spanner.fault_plan = plan
+    return db, plan
+
+
+def test_commit_unknown_applied_dedups_through_the_ledger():
+    db, plan = make_db("retry-applied")
+    db.commit([set_op("docs/c", {"n": 0})])
+    plan.arm("spanner.commit_unknown", applied=True)
+    outcome = commit_with_retry(
+        db,
+        [set_op("docs/c", {"n": increment(1)})],
+        token="t-applied",
+        rand=retry_stream("t"),
+    )
+    # first attempt applied, ack was lost; the retry replayed the ledger
+    # row instead of incrementing again
+    assert db.lookup("docs/c").data == {"n": 1}
+    assert outcome.commit_ts > 0
+
+
+def test_commit_unknown_lost_retries_fresh():
+    db, plan = make_db("retry-lost")
+    db.commit([set_op("docs/c", {"n": 0})])
+    plan.arm("spanner.commit_unknown", applied=False)
+    commit_with_retry(
+        db,
+        [set_op("docs/c", {"n": increment(1)})],
+        token="t-lost",
+        rand=retry_stream("t"),
+    )
+    # first attempt vanished entirely; the retry committed fresh — in
+    # both unknown flavours the increment lands exactly once
+    assert db.lookup("docs/c").data == {"n": 1}
+
+
+def test_replaying_a_token_returns_the_original_result():
+    db, _ = make_db("retry-replay")
+    first = db.commit(
+        [set_op("docs/a", {"n": increment(1)})], idempotency_token="tok"
+    )
+    second = db.commit(
+        [set_op("docs/a", {"n": increment(1)})], idempotency_token="tok"
+    )
+    assert second.commit_ts == first.commit_ts
+    assert db.lookup("docs/a").data == {"n": 1}
+
+
+def test_distinct_tokens_apply_independently():
+    db, _ = make_db("retry-distinct")
+    db.commit([set_op("docs/a", {"n": increment(1)})], idempotency_token="t1")
+    db.commit([set_op("docs/a", {"n": increment(1)})], idempotency_token="t2")
+    assert db.lookup("docs/a").data == {"n": 2}

@@ -1,0 +1,126 @@
+"""Serving-fleet fault hooks: RPC loss, delay, duplication, crashes,
+and deadline expiry inside the queues."""
+
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.service.cluster import ClusterConfig, ServingCluster
+from repro.service.rpc import RpcKind
+
+
+def make_cluster(metrics=None, **overrides):
+    config = ClusterConfig(
+        multi_region=False,
+        autoscale_frontend=False,
+        autoscale_backend=False,
+        **overrides,
+    )
+    return ServingCluster(config=config, metrics=metrics)
+
+
+def one_request(cluster, **kwargs):
+    """Submit one GET and return (latencies, reject_reasons) after a run."""
+    latencies, reasons = [], []
+    cluster.submit(
+        "db", RpcKind.GET, latencies.append, on_reject=reasons.append, **kwargs
+    )
+    cluster.kernel.run_for(60_000_000)
+    return latencies, reasons
+
+
+def test_rpc_drop_rejects_instead_of_completing():
+    metrics = MetricsRegistry()
+    cluster = make_cluster(metrics=metrics)
+    plan = FaultPlan(0)
+    cluster.fault_plan = plan
+    plan.arm("rpc.drop")
+    latencies, reasons = one_request(cluster)
+    assert latencies == []
+    assert reasons == ["rpc dropped (injected)"]
+    failed = metrics.to_dict()["requests_failed"]
+    assert sum(entry["value"] for entry in failed) == 1
+
+
+def test_rpc_delay_inflates_latency():
+    baseline_cluster = make_cluster()
+    baseline, _ = one_request(baseline_cluster)
+
+    cluster = make_cluster()
+    plan = FaultPlan(0)
+    cluster.fault_plan = plan
+    plan.arm("rpc.delay")
+    delayed, reasons = one_request(cluster)
+    assert reasons == []
+    assert len(delayed) == 1
+    # injected delay is >= 1ms, dwarfing the fault-free service time
+    assert delayed[0] >= baseline[0] + 1_000
+
+
+def test_rpc_reorder_lets_a_later_arrival_finish_first():
+    cluster = make_cluster()
+    plan = FaultPlan(0)
+    cluster.fault_plan = plan
+    order = []
+    plan.arm("rpc.reorder")
+    cluster.submit("db", RpcKind.GET, lambda _l: order.append("first"))
+    cluster.submit("db", RpcKind.GET, lambda _l: order.append("second"))
+    cluster.kernel.run_for(60_000_000)
+    assert order == ["second", "first"]
+
+
+def test_rpc_duplicate_swallows_the_extra_completion():
+    cluster = make_cluster()
+    plan = FaultPlan(0)
+    cluster.fault_plan = plan
+    plan.arm("rpc.duplicate")
+    latencies, reasons = one_request(cluster)
+    # the caller sees exactly one completion ...
+    assert len(latencies) == 1
+    assert reasons == []
+    # ... but both copies consumed serving capacity
+    assert cluster.frontend_pool.completed == 2
+
+
+def test_task_crash_requeues_inflight_work():
+    metrics = MetricsRegistry()
+    cluster = make_cluster(metrics=metrics)
+    plan = FaultPlan(0)
+    cluster.fault_plan = plan
+    size_before = cluster.backend_pool.size
+    plan.arm("service.task_crash")
+    latencies, reasons = one_request(cluster)
+    assert len(latencies) == 1  # the request survives the crash
+    assert reasons == []
+    assert cluster.backend_pool.size == size_before  # fast restart
+    crashes = metrics.to_dict()["pool_task_crashes"]
+    assert sum(entry["value"] for entry in crashes) == 1
+
+
+def test_crash_tasks_cancels_and_requeues_midflight():
+    cluster = make_cluster()
+    done = []
+    cluster.submit("db", RpcKind.COMMIT, done.append)
+    # the RPC is in flight on the frontend the moment submit dispatches
+    assert cluster.frontend_pool.crash_tasks(1) == 1
+    cluster.kernel.run_for(60_000_000)
+    assert len(done) == 1  # exactly one completion despite the crash
+
+
+def test_expired_deadline_is_shed_in_the_queue():
+    metrics = MetricsRegistry()
+    cluster = make_cluster(metrics=metrics)
+    latencies, reasons = one_request(
+        cluster, deadline_us=cluster.kernel.now_us
+    )
+    assert latencies == []
+    assert reasons == ["deadline exceeded in queue"]
+    expired = metrics.to_dict()["faults_deadline_expired"]
+    assert sum(entry["value"] for entry in expired) == 1
+
+
+def test_generous_deadline_completes_normally():
+    cluster = make_cluster()
+    latencies, reasons = one_request(
+        cluster, deadline_us=cluster.kernel.now_us + 60_000_000
+    )
+    assert len(latencies) == 1
+    assert reasons == []

@@ -24,10 +24,8 @@ from repro.errors import (
     SanitizerViolation,
     VerificationError,
 )
-from repro.spanner.transaction import (
-    inject_definitive_failure,
-    inject_unknown_outcome,
-)
+from repro.faults.plan import FaultPlan
+from repro.spanner.transaction import inject_definitive_failure
 
 OPS = st.lists(
     st.tuples(
@@ -43,18 +41,26 @@ OPS = st.lists(
 
 
 def run_sequence(db, ops):
-    """Apply ops with injected faults; returns the surviving expectation."""
+    """Apply ops with injected faults; returns the surviving expectation.
+
+    Faults are armed through the central fault plane (one-shot, FIFO per
+    site) — the deterministic-test mode of :class:`repro.faults.FaultPlan`.
+    """
     expected: dict[str, dict | None] = {}
     spanner = db.layout.spanner
+    plan = spanner.fault_plan
+    if plan is None:
+        plan = FaultPlan(seed=0)
+        spanner.fault_plan = plan
     for op, doc_id, n, fault in ops:
         path = f"docs/{doc_id}"
         write = set_op(path, {"n": n, "tag": doc_id}) if op == "set" else delete_op(path)
         if fault == "fail":
-            spanner.commit_fault_injector = lambda t: inject_definitive_failure()
+            plan.arm("spanner.commit_fail")
         elif fault == "unknown-applied":
-            spanner.commit_fault_injector = lambda t: inject_unknown_outcome(True)
+            plan.arm("spanner.commit_unknown", applied=True)
         elif fault == "unknown-lost":
-            spanner.commit_fault_injector = lambda t: inject_unknown_outcome(False)
+            plan.arm("spanner.commit_unknown", applied=False)
         try:
             db.commit([write])
             applied = True
@@ -63,7 +69,7 @@ def run_sequence(db, ops):
         except NotFound:
             applied = False
         finally:
-            spanner.commit_fault_injector = None
+            plan.disarm()
         if applied:
             expected[path] = {"n": n, "tag": doc_id} if op == "set" else None
     return {k: v for k, v in expected.items() if v is not None}
@@ -130,6 +136,20 @@ def test_property_histories_check_clean_under_faults(ops):
     assert any(recorder.events for recorder in recorders)
     for recorder in recorders:
         assert_clean(check_history(recorder.events), context="fault run")
+
+
+def test_legacy_commit_fault_injector_shim_still_works():
+    """The pre-fault-plane one-shot hook remains a supported compat shim:
+    it fires once, clears itself, and leaves later commits untouched."""
+    service = FirestoreService()
+    db = service.create_database("legacy-shim")
+    spanner = db.layout.spanner
+    spanner.commit_fault_injector = lambda txn_id: inject_definitive_failure()
+    with pytest.raises((Aborted, DeadlineExceeded)):
+        db.commit([set_op("docs/a", {"n": 1})])
+    assert spanner.commit_fault_injector is None
+    db.commit([set_op("docs/a", {"n": 2})])
+    assert db.lookup("docs/a").data == {"n": 2}
 
 
 def test_guardrail_violations_share_one_exception_family():
