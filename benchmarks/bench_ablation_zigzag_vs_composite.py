@@ -11,7 +11,7 @@ result) against the same query served by one composite index, measured in
 index rows examined (the simulator's work unit).
 """
 
-from benchmarks.conftest import emit_bench_json, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, print_table
 from repro.core.backend import set_op
 from repro.core.firestore import FirestoreService
 from repro.sim.rand import SimRandom
@@ -68,6 +68,15 @@ def test_ablation_zigzag_vs_composite(benchmark):
         {
             "zigzag": {"results": zz_count, "rows_examined": zz_examined},
             "composite": {"results": comp_count, "rows_examined": comp_examined},
+        },
+        metrics={
+            "zigzag_rows_examined": bench_metric(
+                zz_examined, "rows", kind="exact"
+            ),
+            "composite_rows_examined": bench_metric(
+                comp_examined, "rows", kind="exact"
+            ),
+            "results": bench_metric(comp_count, "docs", kind="exact"),
         },
     )
 

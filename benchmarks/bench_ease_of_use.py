@@ -10,7 +10,7 @@ plus micro-benchmarks of the core developer-facing operations.
 
 import pathlib
 
-from benchmarks.conftest import emit_bench_json, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, print_table
 from repro import FirestoreService, set_op
 from repro.client import MobileClient
 
@@ -51,7 +51,14 @@ def test_ease_of_use_loc(benchmark):
         ["concern", "LoC"],
         list(sections.items()),
     )
-    emit_bench_json("ease_of_use_loc", sections)
+    emit_bench_json(
+        "ease_of_use_loc",
+        sections,
+        metrics={
+            f"loc@{name}": bench_metric(count, "lines", kind="exact")
+            for name, count in sections.items()
+        },
+    )
 
     # the paper's qualitative claim: each concern is tiny
     assert sections["real-time UI (onSnapshot + render)"] < 15

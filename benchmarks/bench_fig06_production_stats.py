@@ -8,7 +8,7 @@ the same normalized boxplot statistics.
 
 import math
 
-from benchmarks.conftest import emit_bench_json, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, print_table
 from repro.workloads import FleetConfig, synthesize_fleet
 
 
@@ -48,6 +48,15 @@ def test_fig06_production_stats(benchmark):
                 "max_over_median": metric.normalized().maximum,
                 "decades": round(metric.normalized().orders_of_magnitude, 2),
             }
+            for name, metric in stats.items()
+        },
+        figure="fig06",
+        metrics={
+            f"decades@{name}": bench_metric(
+                round(metric.normalized().orders_of_magnitude, 2),
+                "decades",
+                tolerance=0.05,
+            )
             for name, metric in stats.items()
         },
     )

@@ -6,7 +6,7 @@ A; p99 improves in the second half of the run as auto-scaling catches up
 with YCSB's rapid ramp.
 """
 
-from benchmarks.conftest import emit_bench_json, ms, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, ms, print_table
 
 
 def test_fig07_ycsb_read_latency(benchmark, ycsb_matrix):
@@ -45,6 +45,17 @@ def test_fig07_ycsb_read_latency(benchmark, ycsb_matrix):
                 "rejected": r.rejected,
             }
             for (workload, qps), r in results.items()
+        },
+        figure="fig07",
+        metrics={
+            **{
+                f"read_p50_us@{workload}{qps}": bench_metric(r.read_p50_us, "us")
+                for (workload, qps), r in results.items()
+            },
+            **{
+                f"read_p99_us@{workload}{qps}": bench_metric(r.read_p99_us, "us")
+                for (workload, qps), r in results.items()
+            },
         },
     )
 

@@ -5,7 +5,7 @@ Paper shapes: update p50 roughly constant; updates slower than reads
 the write-heavy workload A, recovering as auto-scaling reacts.
 """
 
-from benchmarks.conftest import emit_bench_json, ms, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, ms, print_table
 
 
 def test_fig08_ycsb_update_latency(benchmark, ycsb_matrix):
@@ -43,6 +43,21 @@ def test_fig08_ycsb_update_latency(benchmark, ycsb_matrix):
                 "achieved_qps": round(r.achieved_qps, 1),
             }
             for (workload, qps), r in results.items()
+        },
+        figure="fig08",
+        metrics={
+            **{
+                f"update_p50_us@{workload}{qps}": bench_metric(
+                    r.update_p50_us, "us"
+                )
+                for (workload, qps), r in results.items()
+            },
+            **{
+                f"update_p99_us@{workload}{qps}": bench_metric(
+                    r.update_p99_us, "us"
+                )
+                for (workload, qps), r in results.items()
+            },
         },
     )
 

@@ -8,7 +8,7 @@ Frontend pool auto-scales with connection count, independently of the
 rest of the system.
 """
 
-from benchmarks.conftest import emit_bench_json, ms, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, ms, print_table
 from repro.workloads import FanoutConfig, run_fanout_experiment
 
 
@@ -39,6 +39,21 @@ def test_fig09_notification_fanout(benchmark):
                 "frontend_tasks_at_end": r.frontend_tasks_at_end,
             }
             for r in results
+        },
+        figure="fig09",
+        metrics={
+            **{
+                f"notify_p50_us@{r.listeners}": bench_metric(
+                    r.notify_p50_us, "us"
+                )
+                for r in results
+            },
+            **{
+                f"frontend_tasks@{r.listeners}": bench_metric(
+                    r.frontend_tasks_at_end, "tasks", kind="exact"
+                )
+                for r in results
+            },
         },
     )
 

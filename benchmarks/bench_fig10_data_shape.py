@@ -13,7 +13,7 @@ Includes the exemption ablation the paper offers as mitigation: excluding
 fields from automatic indexing flattens the field-count curve.
 """
 
-from benchmarks.conftest import emit_bench_json, ms, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, ms, print_table
 from repro.workloads import run_doc_size_sweep, run_field_count_sweep
 
 
@@ -51,6 +51,21 @@ def test_fig10a_document_size(benchmark):
                 "participants_per_commit": round(r.participants_per_commit, 2),
             }
             for r in results
+        },
+        figure="fig10a",
+        metrics={
+            **{
+                f"commit_p50_us@{r.parameter}kb": bench_metric(
+                    r.commit_p50_us, "us"
+                )
+                for r in results
+            },
+            **{
+                f"index_entries@{r.parameter}kb": bench_metric(
+                    r.index_entries_per_commit, "rows", kind="exact"
+                )
+                for r in results
+            },
         },
     )
     by_size = {r.parameter: r for r in results}
@@ -121,6 +136,18 @@ def test_fig10b_indexed_field_count(benchmark):
                 "commit_p99_us": exempted[0].commit_p99_us,
                 "index_entries_per_commit": exempted[0].index_entries_per_commit,
             },
+        },
+        figure="fig10b",
+        metrics={
+            **{
+                f"commit_p50_us@{r.parameter}f": bench_metric(
+                    r.commit_p50_us, "us"
+                )
+                for r in indexed
+            },
+            "commit_p50_us@500f_exempt": bench_metric(
+                exempted[0].commit_p50_us, "us"
+            ),
         },
     )
     by_count = {r.parameter: r for r in indexed}

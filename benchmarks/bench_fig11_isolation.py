@@ -10,7 +10,7 @@ minimum, leaving only a small increase in p99 latency (note the log
 scale)."
 """
 
-from benchmarks.conftest import emit_bench_json, ms, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, ms, print_table
 from repro.workloads import IsolationConfig, run_isolation_experiment
 
 
@@ -56,6 +56,13 @@ def test_fig11_isolation(benchmark):
                 "bystander_p99_saturated_us": result.bystander_p99_saturated_us,
                 "bystander_completed": result.bystander_completed,
             }
+            for label, result in (("fair", fair), ("fifo", unfair))
+        },
+        figure="fig11",
+        metrics={
+            f"bystander_p99_us@{label}": bench_metric(
+                result.bystander_p99_saturated_us, "us"
+            )
             for label, result in (("fair", fair), ("fifo", unfair))
         },
     )

@@ -12,7 +12,7 @@ tracks the *busy* traffic, not the tenant count, and (c) the busy tenant
 within the free quota still pays nothing.
 """
 
-from benchmarks.conftest import emit_bench_json, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, print_table
 from repro.sim.clock import MICROS_PER_SECOND
 from repro.service.cluster import ClusterConfig, ServingCluster
 from repro.service.rpc import RpcKind
@@ -74,6 +74,17 @@ def test_idle_database_cost(benchmark):
             "busy_requests_completed": busy_completed,
             "busy_reads_recorded": busy_usage.reads,
             "backend_pool_size": cluster.backend_pool.size,
+        },
+        metrics={
+            "idle_billable_reads": bench_metric(
+                idle_reads, "reads", kind="exact"
+            ),
+            "busy_requests_completed": bench_metric(
+                busy_completed, "requests", kind="exact"
+            ),
+            "backend_pool_size": bench_metric(
+                cluster.backend_pool.size, "tasks", kind="exact"
+            ),
         },
     )
 

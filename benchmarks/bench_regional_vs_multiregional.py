@@ -7,7 +7,7 @@ multi-regional deployments than in regional ones." Reads pay less of the
 difference (a single leader round vs a full commit quorum).
 """
 
-from benchmarks.conftest import emit_bench_json, ms, print_table
+from benchmarks.conftest import bench_metric, emit_bench_json, ms, print_table
 from repro.service.cluster import ClusterConfig, ServingCluster
 from repro.service.metrics import LatencyRecorder
 from repro.service.rpc import RpcKind
@@ -68,6 +68,12 @@ def test_regional_vs_multiregional(benchmark):
                 "commit_p50_us": m_writes.p50,
                 "commit_p99_us": m_writes.p99,
             },
+        },
+        metrics={
+            "regional_commit_p50_us": bench_metric(r_writes.p50, "us"),
+            "multiregion_commit_p50_us": bench_metric(m_writes.p50, "us"),
+            "regional_read_p50_us": bench_metric(r_reads.p50, "us"),
+            "multiregion_read_p50_us": bench_metric(m_reads.p50, "us"),
         },
     )
 

@@ -20,7 +20,6 @@ the benchmarks that own a tracer/metrics registry (see ``repro.obs``).
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 
@@ -55,13 +54,35 @@ def bench_output_dir() -> pathlib.Path:
     return path
 
 
-def emit_bench_json(name: str, summary: dict) -> pathlib.Path:
-    """Write ``BENCH_<name>.json`` with one figure's summary numbers."""
-    path = bench_output_dir() / f"BENCH_{name}.json"
-    path.write_text(
-        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+def emit_bench_json(
+    name: str,
+    raw: dict,
+    figure: str = "",
+    metrics: dict | None = None,
+    slos: dict | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` in the unified schema.
+
+    ``raw`` is the benchmark's full summary (never compared); ``metrics``
+    are the headline numbers the regression gate diffs against committed
+    baselines (build entries with :func:`bench_metric`); ``slos`` is an
+    optional :mod:`repro.obs.slo` verdict block.
+    """
+    from repro.obs.bench import bench_payload, write_payload
+
+    return write_payload(
+        bench_output_dir(),
+        bench_payload(
+            name=name, figure=figure, metrics=metrics, slos=slos, raw=raw
+        ),
     )
-    return path
+
+
+def bench_metric(value, unit: str = "", kind: str = "stat", tolerance: float = 0.30):
+    """One unified-schema metric entry (see :mod:`repro.obs.bench`)."""
+    from repro.obs.bench import metric
+
+    return metric(value, unit, kind=kind, tolerance=tolerance)
 
 
 def export_obs(name: str, tracer=None, metrics=None) -> None:

@@ -641,6 +641,82 @@ def check_history_tap(module: ParsedModule) -> list[Diagnostic]:
     return out
 
 
+# -- profiler coverage --------------------------------------------------------
+
+#: The subsystem entry points that must feed the repro.obs sim-time
+#: profiler. The profiler's ≥99% busy-time coverage guarantee only holds
+#: while every path that advances (or accounts) simulated time carries a
+#: tag; a refactor that drops one silently under-attributes a subsystem
+#: and the regression gate starts comparing partial profiles. Keys are
+#: module rel-paths, values are ``Class.method`` names that must
+#: reference ``profiler``.
+REQUIRED_PERF_TAPS: dict[str, frozenset[str]] = {
+    "service/pool.py": frozenset({"TaskPool._dispatch"}),
+    "service/scheduler.py": frozenset(
+        {"FairShareScheduler._record_dispatch"}
+    ),
+    "spanner/transaction.py": frozenset({"ReadWriteTransaction.commit"}),
+    "core/backend.py": frozenset({"Backend.commit"}),
+    "realtime/changelog.py": frozenset(
+        {"Changelog.accept", "Changelog._advance"}
+    ),
+    "client/client.py": frozenset({"MobileClient.flush"}),
+}
+
+
+def _references_profiler(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr == "profiler":
+            return True
+        if isinstance(node, ast.Name) and node.id == "profiler":
+            return True
+    return False
+
+
+def check_perf_attribution(module: ParsedModule) -> list[Diagnostic]:
+    """Subsystem entry point lost its sim-time profiler tag."""
+    required = REQUIRED_PERF_TAPS.get(module.rel_path)
+    if not required:
+        return []
+    out = []
+    found: set[str] = set()
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            qualname = f"{cls.name}.{fn.name}"
+            if qualname not in required:
+                continue
+            found.add(qualname)
+            if not _references_profiler(fn):
+                out.append(
+                    _diag(
+                        module,
+                        fn,
+                        "perf-attribution",
+                        f"{qualname} must carry a repro.obs profiler tag "
+                        "(account(...) or measure(...), guarded by "
+                        "'if profiler'); without it the profiler's busy-"
+                        "time coverage guarantee is broken for this path",
+                    )
+                )
+    for qualname in sorted(required - found):
+        first = module.tree.body[0] if module.tree.body else module.tree
+        out.append(
+            _diag(
+                module,
+                first,
+                "perf-attribution",
+                f"expected profiler-tagged entry point {qualname} was not "
+                "found; update REQUIRED_PERF_TAPS in "
+                "repro.analysis.checks if the entry point moved",
+            )
+        )
+    return out
+
+
 # -- trace hygiene ------------------------------------------------------------
 
 
@@ -740,6 +816,7 @@ CHECKS = {
     "bare-except": check_bare_except,
     "error-boundary": check_error_boundary,
     "history-tap": check_history_tap,
+    "perf-attribution": check_perf_attribution,
     "trace-span-context": check_trace_span_context,
     "fault-seeded": check_fault_seeded,
 }

@@ -8,6 +8,7 @@ optional persistence across "restarts" (paper sections III-E and IV-E).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
@@ -382,7 +383,18 @@ class MobileClient:
         mutations = self.mutation_queue.drain()
         if not mutations:
             return 0
-        with self.tracer.span(
+        service = self.database.service
+        # duck-typed: the client layer may not import repro.obs, so the
+        # profiler hook ships as an opaque context manager
+        profiler = service.profiler
+        measure = (
+            profiler.measure(
+                "client", "flush", service.clock, self.database.database_id
+            )
+            if profiler
+            else contextlib.nullcontext()
+        )
+        with measure, self.tracer.span(
             "client.flush",
             component="client",
             attributes={"pending": len(mutations)},

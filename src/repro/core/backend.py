@@ -43,6 +43,7 @@ from repro.core.path import Path, document_path
 from repro.core.planner import QueryPlanner
 from repro.core.query import Query
 from repro.core.serialization import deserialize_document, serialize_document
+from repro.obs.perf import NULL_PROFILER
 from repro.core.values import delete_field, get_field, set_field
 from repro.obs.tracer import NULL_TRACER
 from repro.realtime.protocol import (
@@ -344,7 +345,16 @@ class Backend:
             raise DeadlineExceeded("deadline expired before commit began")
         paths = [w.path for w in writes]
 
-        with self.tracer.span(
+        # duck-typed profiler (like recorder/fault_plan on the Spanner
+        # side): the whole seven-step protocol, fault stalls included,
+        # lands under core/backend.commit for this tenant
+        profiler = self.layout.spanner.profiler or NULL_PROFILER
+        with profiler.measure(
+            "core",
+            "backend.commit",
+            self.layout.spanner.clock,
+            self.layout.database_id,
+        ), self.tracer.span(
             "backend.commit",
             attributes={
                 "database_id": self.layout.database_id,

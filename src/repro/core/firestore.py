@@ -55,6 +55,7 @@ class FirestoreService:
         clock: Optional[SimClock] = None,
         tracer=None,
         metrics=None,
+        profiler=None,
     ):
         from repro.obs.tracer import NULL_TRACER
 
@@ -64,6 +65,9 @@ class FirestoreService:
         self.truetime = TrueTime(self.clock)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        #: optional repro.obs.perf.Profiler, propagated to every Spanner
+        #: database and (through them) the functional commit path
+        self.profiler = profiler
         self.latency: LatencyModel = (
             MultiRegionalLatency() if multi_region else RegionalLatency()
         )
@@ -76,6 +80,7 @@ class FirestoreService:
         for spanner in self.spanner_databases:
             spanner.tracer = self.tracer
             spanner.metrics = metrics
+            spanner.profiler = profiler
         self.splitters = [
             LoadBasedSplitter(db, metrics=metrics)
             for db in self.spanner_databases
@@ -212,6 +217,9 @@ class FirestoreDatabase:
         # the delivery path reports into the same execution history as
         # the transactions it mirrors (repro.check; None when disabled)
         self.realtime.changelog.recorder = spanner.recorder
+        # and into the same profiler ledger (repro.obs.perf; staleness
+        # SLO feeding is wired separately by the gate/bench runners)
+        self.realtime.changelog.profiler = spanner.profiler
         self.backend = Backend(
             self.layout,
             self.registry,

@@ -181,10 +181,36 @@ def main(argv=None) -> int:
 
     out = args.out if args.out is not None else _default_out()
     if out != "-":
+        from repro.obs.bench import bench_payload, metric
+
         os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
         summary["replay_failures"] = replay_failures
+        # the unified schema every BENCH_*.json shares (repro.obs.bench):
+        # the sweep's hard verdicts are exact metrics the gate can diff,
+        # and the pooled verification SLO block rides along
+        payload = bench_payload(
+            name="faults",
+            metrics={
+                "runs": metric(len(runs), "count", kind="exact"),
+                "violations": metric(
+                    summary["violations"], "count", kind="exact"
+                ),
+                "exactly_once_failures": metric(
+                    summary["exactly_once_failures"], "count", kind="exact"
+                ),
+                "convergence_failures": metric(
+                    summary["convergence_failures"], "count", kind="exact"
+                ),
+                "replay_failures": metric(
+                    replay_failures, "count", kind="exact"
+                ),
+            },
+            slos=summary["slo"],
+            raw=summary,
+        )
         with open(out, "w", encoding="utf-8") as handle:
-            json.dump(summary, handle, sort_keys=True, indent=2)
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
         print(f"summary written to {out}")
     return 1 if failed or replay_failures else 0
 

@@ -33,7 +33,14 @@ from repro.check.checker import Violation, check_history
 from repro.check.history import recording
 from repro.faults.plan import FAULT_MIXES, FaultPlan, install, plan_for_mix
 from repro.faults.retry import commit_with_retry, retry_stream
+from repro.obs.slo import SloEngine, SloSpec
+from repro.obs.stats import percentile_or
 from repro.sim.rand import SimRandom
+
+#: availability floor a chaos cell must clear under injected faults —
+#: deliberately loose (faults *should* fail some operations); the hard
+#: objectives (convergence, exactly-once, consistency) have no budget
+CHAOS_AVAILABILITY_TARGET = 0.5
 
 
 @dataclass
@@ -77,13 +84,58 @@ class ChaosRun:
 
     def latency_percentile(self, p: float) -> int:
         """The p-th percentile of successful-op latency (0 if none)."""
-        if not self.latencies_us:
-            return 0
-        ordered = sorted(self.latencies_us)
-        index = min(
-            len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1)))
-        )
-        return ordered[index]
+        return percentile_or(self.latencies_us, p)
+
+    def slo_verdicts(self, window_us: int = 60_000_000) -> dict:
+        """The run's three verification verdicts, judged as SLOs.
+
+        Convergence, exactly-once and history consistency are
+        ``convergence``-kind objectives — a single bad event in the
+        window fails them, there is no error budget. Availability is a
+        conventional ratio objective against the (deliberately loose)
+        :data:`CHAOS_AVAILABILITY_TARGET`.
+        """
+        specs = [
+            SloSpec(
+                name="chaos.availability",
+                kind="availability",
+                target=CHAOS_AVAILABILITY_TARGET,
+                window_us=window_us,
+                stream="chaos.request",
+            ),
+            SloSpec(
+                name="chaos.convergence",
+                kind="convergence",
+                target=1.0,
+                window_us=window_us,
+                stream="chaos.converged",
+            ),
+            SloSpec(
+                name="chaos.exactly_once",
+                kind="convergence",
+                target=1.0,
+                window_us=window_us,
+                stream="chaos.applied",
+            ),
+            SloSpec(
+                name="chaos.consistency",
+                kind="convergence",
+                target=1.0,
+                window_us=window_us,
+                stream="chaos.history",
+            ),
+        ]
+        engine = SloEngine(specs)
+        # the run is over; land every event in the window being judged
+        t = max(0, window_us - 1)
+        for _ in range(self.succeeded):
+            engine.record("chaos.request", t, True)
+        for _ in range(self.failed):
+            engine.record("chaos.request", t, False)
+        engine.record("chaos.converged", t, self.converged)
+        engine.record("chaos.applied", t, self.exactly_once)
+        engine.record("chaos.history", t, not self.violations)
+        return engine.verdict_block(window_us)
 
     def to_dict(self) -> dict:
         """JSON-serializable summary (stable key order for replay)."""
@@ -104,6 +156,7 @@ class ChaosRun:
             "exactly_once": self.exactly_once,
             "converged": self.converged,
             "extra": dict(sorted(self.extra.items())),
+            "slo": self.slo_verdicts(),
         }
 
 
@@ -484,14 +537,7 @@ def sweep(
             else 1.0
         )
         for p, key in ((50, "latency_p50_us"), (99, "latency_p99_us")):
-            if latencies:
-                index = min(
-                    len(latencies) - 1,
-                    int(round(p / 100.0 * (len(latencies) - 1))),
-                )
-                cell[key] = latencies[index]
-            else:
-                cell[key] = 0
+            cell[key] = percentile_or(latencies, p)
     summary = {
         "sweep": {
             "scenarios": list(scenarios),
@@ -504,8 +550,20 @@ def sweep(
         "convergence_failures": sum(1 for run in runs if not run.converged),
         "injected_by_site": dict(sorted(injected_by_site.items())),
         "cells": {key: cells[key] for key in sorted(cells)},
+        "slo": sweep_slo_verdicts(runs),
     }
     return runs, summary
+
+
+def sweep_slo_verdicts(runs: list[ChaosRun], window_us: int = 60_000_000) -> dict:
+    """The whole sweep judged as one SLO block (every run's events pooled)."""
+    merged = ChaosRun(scenario="sweep", seed=0, mix="*", ops=0)
+    merged.succeeded = sum(run.succeeded for run in runs)
+    merged.failed = sum(run.failed for run in runs)
+    merged.converged = all(run.converged for run in runs)
+    merged.exactly_once = all(run.exactly_once for run in runs)
+    merged.violations = [v for run in runs for v in run.violations]
+    return merged.slo_verdicts(window_us)
 
 
 def replay_digest(

@@ -14,6 +14,13 @@ monitoring; this package gives the reproduction the same visibility:
 - :func:`trace_full_commit`: run one fully-traced commit through the
   functional stack — Frontend RPC, the Backend's seven-step write,
   Spanner 2PC, Real-time Prepare/Accept, listener delivery.
+- :class:`Profiler` / :data:`NULL_PROFILER`: the deterministic sim-time
+  profiler attributing busy time to (subsystem, operation, database).
+- :class:`SloSpec` / :class:`SloEngine`: declarative objectives with
+  rolling-window burn-rate evaluation.
+- :mod:`repro.obs.stats`: the one home for percentile arithmetic.
+- ``repro.obs.bench`` (not imported here — it sits above the workload
+  layer): unified BENCH schema, regression gate, HTML dashboard.
 """
 
 from repro.obs.export import (
@@ -25,7 +32,10 @@ from repro.obs.export import (
     write_text_report,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.perf import NULL_PROFILER, Profiler, collapse_spans, flamegraph_svg
 from repro.obs.sampling import trace_full_commit
+from repro.obs.slo import DEFAULT_SLOS, SloEngine, SloSpec, SloVerdict
+from repro.obs.stats import boxplot, percentile, percentile_or, summarize
 from repro.obs.tracer import (
     NULL_SPAN,
     NULL_TRACER,
@@ -37,18 +47,30 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "Profiler",
+    "SloEngine",
+    "SloSpec",
+    "SloVerdict",
     "Span",
     "SpanContext",
     "Tracer",
+    "boxplot",
     "chrome_trace_json",
+    "collapse_spans",
     "dump_report",
+    "flamegraph_svg",
+    "percentile",
+    "percentile_or",
     "render_text_report",
+    "summarize",
     "to_chrome_trace",
     "trace_full_commit",
     "write_chrome_trace",

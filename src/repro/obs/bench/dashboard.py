@@ -1,0 +1,176 @@
+"""The static perf dashboard: one self-contained HTML file.
+
+Renders the gate run — metric tables with baseline deltas, per-figure
+trend lines (baseline → fresh, drawn as inline SVG), the SLO pass/fail
+grid, the regression list, and the sim-time flamegraph — with zero
+external assets or scripts, so CI can upload it as an artifact and the
+file opens anywhere. Rendering is pure and sorted throughout: the same
+payloads produce byte-identical HTML, which the replay tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["render_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #222; max-width: 1100px; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .2em; }
+h2 { margin-top: 1.6em; }
+table { border-collapse: collapse; margin: .8em 0; }
+th, td { border: 1px solid #bbb; padding: .3em .7em; text-align: right; }
+th { background: #eee; }
+td.name, th.name { text-align: left; }
+.pass { background: #d7f0d7; }
+.fail { background: #f6c6c6; font-weight: bold; }
+.delta-bad { color: #b00020; font-weight: bold; }
+.delta-ok { color: #2e7d32; }
+.muted { color: #777; }
+svg.trend { vertical-align: middle; }
+.flame { border: 1px solid #bbb; overflow-x: auto; margin: .8em 0; }
+"""
+
+
+def _escape(value) -> str:
+    return (
+        str(value)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _trend_svg(baseline: Optional[float], value: float) -> str:
+    """A two-point baseline→fresh trend line, 80x18 px."""
+    if baseline is None:
+        return '<span class="muted">new</span>'
+    try:
+        points = [float(baseline), float(value)]
+    except (TypeError, ValueError):
+        return ""
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    xs = (6, 74)
+    ys = [14 - round(8 * (p - lo) / span, 1) for p in points]
+    rising = points[1] > points[0]
+    color = "#b00020" if rising else "#2e7d32"
+    return (
+        '<svg class="trend" width="80" height="18">'
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+        f'points="{xs[0]},{ys[0]} {xs[1]},{ys[1]}"/>'
+        f'<circle cx="{xs[1]}" cy="{ys[1]}" r="2" fill="{color}"/>'
+        "</svg>"
+    )
+
+
+def _metric_rows(payload: dict, baseline: Optional[dict]) -> list[str]:
+    base_metrics = (baseline or {}).get("metrics", {})
+    rows = []
+    for key, entry in sorted(payload.get("metrics", {}).items()):
+        base_entry = base_metrics.get(key)
+        base_value = base_entry.get("value") if base_entry else None
+        value = entry.get("value")
+        if base_value is None:
+            delta = '<span class="muted">—</span>'
+        else:
+            try:
+                diff = float(value) - float(base_value)
+                pct = diff / max(abs(float(base_value)), 1.0) * 100
+                cls = "delta-bad" if diff > 0 else "delta-ok"
+                delta = f'<span class="{cls}">{pct:+.1f}%</span>'
+            except (TypeError, ValueError):
+                delta = ""
+        rows.append(
+            "<tr>"
+            f'<td class="name">{_escape(key)}</td>'
+            f"<td>{_escape(value)}</td>"
+            f"<td>{_escape(base_value if base_value is not None else '—')}</td>"
+            f"<td>{delta}</td>"
+            f"<td>{_trend_svg(base_value, value)}</td>"
+            f'<td class="name">{_escape(entry.get("unit", ""))}</td>'
+            f'<td class="name">{_escape(entry.get("kind", ""))}</td>'
+            "</tr>"
+        )
+    return rows
+
+
+def _slo_grid(payloads: dict[str, dict]) -> str:
+    names = sorted(
+        {slo for p in payloads.values() for slo in p.get("slos", {})}
+    )
+    if not names:
+        return "<p class='muted'>no SLOs evaluated</p>"
+    head = "".join(f"<th>{_escape(n)}</th>" for n in names)
+    body = []
+    for bench in sorted(payloads):
+        cells = []
+        for name in names:
+            verdict = payloads[bench].get("slos", {}).get(name)
+            if verdict is None:
+                cells.append('<td class="muted">—</td>')
+            elif verdict.get("ok"):
+                cells.append('<td class="pass">pass</td>')
+            else:
+                cells.append(
+                    f'<td class="fail">fail '
+                    f"({_escape(verdict.get('observed'))})</td>"
+                )
+        body.append(
+            f'<tr><td class="name">{_escape(bench)}</td>{"".join(cells)}</tr>'
+        )
+    return (
+        f'<table><tr><th class="name">benchmark</th>{head}</tr>'
+        f'{"".join(body)}</table>'
+    )
+
+
+def render_dashboard(
+    payloads: dict[str, dict],
+    baselines: Optional[dict[str, dict]] = None,
+    regressions: Optional[list] = None,
+    flamegraph: Optional[str] = None,
+    title: str = "repro perf gate",
+) -> str:
+    """Render the whole gate run as one static HTML page."""
+    baselines = baselines or {}
+    regressions = regressions or []
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_escape(title)}</h1>",
+    ]
+    if regressions:
+        parts.append(
+            f'<h2 class="delta-bad">{len(regressions)} regression(s)</h2><ul>'
+        )
+        for reg in regressions:
+            parts.append(f"<li>{_escape(str(reg))}</li>")
+        parts.append("</ul>")
+    else:
+        parts.append('<h2 class="delta-ok">gate passed — no regressions</h2>')
+    parts.append("<h2>SLO grid</h2>")
+    parts.append(_slo_grid(payloads))
+    for bench in sorted(payloads):
+        payload = payloads[bench]
+        figure = payload.get("figure") or ""
+        label = _escape(bench)
+        if figure:
+            label += f" <span class='muted'>({_escape(figure)})</span>"
+        parts.append(f"<h2>{label}</h2>")
+        parts.append(
+            '<table><tr><th class="name">metric</th><th>value</th>'
+            "<th>baseline</th><th>delta</th><th>trend</th>"
+            '<th class="name">unit</th><th class="name">kind</th></tr>'
+        )
+        parts.extend(_metric_rows(payload, baselines.get(bench)))
+        parts.append("</table>")
+    if flamegraph:
+        parts.append("<h2>sim-time flamegraph</h2>")
+        parts.append(f'<div class="flame">{flamegraph}</div>')
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

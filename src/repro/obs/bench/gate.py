@@ -1,0 +1,314 @@
+"""The perf-gate cells: small, deterministic, fully instrumented runs.
+
+Each cell drives one slice of the reproduction with the profiler and the
+SLO engine wired end to end, then reports through the unified schema
+(:mod:`repro.obs.bench`). Cells are sized for CI — seconds of wall
+clock, not the minutes the full figure benchmarks take — but cover the
+same paths: the serving cluster under YCSB, notification fan-out, the
+functional commit stack (Backend seven-step write, Spanner 2PC), the
+data-shape sweep, and one chaos smoke run.
+
+The ``canary`` hook exists to prove the gate *works*: installing
+``spanner.tablet_slow`` at rate 1.0 on the functional-commit cell must
+fail the comparison against clean baselines with a named metric and the
+observed factor. CI runs the canary after the real gate passes.
+
+This module sits *above* every subsystem it drives — it is the harness,
+not a layer — hence the sanctioned layering suppressions on its imports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.bench import bench_payload, metric
+from repro.obs.perf import Profiler, collapse_spans, flamegraph_svg
+from repro.obs.slo import DEFAULT_SLOS, SloEngine, SloSpec
+
+GATE_SEED = 42
+
+#: the one fault site the canary mode injects (rate 1.0): every tablet
+#: read inside a functional commit goes slow, which must trip the gate
+CANARY_SITE = "spanner.tablet_slow"
+
+
+def _slo_engine(metrics=None, tracer=None, extra=()) -> SloEngine:
+    specs = DEFAULT_SLOS(window_us=600_000_000) + list(extra)
+    return SloEngine(specs, metrics=metrics, tracer=tracer)
+
+
+def _coverage_spec() -> SloSpec:
+    """Profiler completeness as an objective: >= 99% of simulated busy
+    time must be attributed, judged as a no-budget convergence SLO."""
+    return SloSpec(
+        name="profiler.coverage",
+        kind="convergence",
+        target=1.0,
+        window_us=600_000_000,
+        stream="profiler.coverage",
+    )
+
+
+def gate_ycsb(seed: int = GATE_SEED) -> tuple[dict, dict]:
+    """Serving-cluster YCSB cell (tracks figures 7/8), traced end to end.
+
+    Returns ``(payload, artifacts)`` where artifacts carry the collapsed
+    flamegraph stacks and the rendered SVG for the dashboard.
+    """
+    # reprolint: disable=layering -- the gate harness drives workloads; it is above the obs layer, not inside it
+    from repro.workloads import YcsbConfig, YcsbRunner
+
+    profiler = Profiler()
+    slo = _slo_engine(extra=[_coverage_spec()])
+    runner = YcsbRunner(
+        YcsbConfig(
+            workload="A",
+            target_qps=300,
+            duration_s=30,
+            measure_last_s=15,
+            seed=seed,
+            trace=True,
+            profiler=profiler,
+            slo=slo,
+        )
+    )
+    result = runner.run()
+    now_us = runner.cluster.kernel.now_us
+    busy_us = runner.cluster.busy_us()
+    coverage = profiler.coverage(busy_us)
+    slo.record("profiler.coverage", now_us - 1, coverage >= 0.99)
+    payload = bench_payload(
+        name="gate_ycsb",
+        figure="fig07/fig08",
+        metrics={
+            "read_p50_us": metric(result.read_p50_us, "us"),
+            "read_p99_us": metric(result.read_p99_us, "us"),
+            "update_p50_us": metric(result.update_p50_us, "us"),
+            "update_p99_us": metric(result.update_p99_us, "us"),
+            "achieved_qps": metric(round(result.achieved_qps, 1), "qps"),
+            "rejected": metric(result.rejected, "count", kind="exact"),
+            "profiler_coverage": metric(
+                round(coverage, 4), "ratio", tolerance=0.01
+            ),
+            "busy_us": metric(busy_us, "us"),
+        },
+        slos=slo.verdict_block(now_us),
+        raw={"profile": profiler.to_dict()},
+    )
+    folded = collapse_spans(runner.tracer)
+    artifacts = {
+        "folded": "\n".join(folded) + ("\n" if folded else ""),
+        "flamegraph_svg": flamegraph_svg(
+            folded, title="gate_ycsb — sim-time flamegraph"
+        ),
+        "profile_table": profiler.text_table(),
+    }
+    return payload, artifacts
+
+
+def gate_fanout(seed: int = 7) -> tuple[dict, dict]:
+    """Notification fan-out cell (tracks figure 9)."""
+    # reprolint: disable=layering -- the gate harness drives workloads; it is above the obs layer, not inside it
+    from repro.workloads import FanoutConfig, run_fanout_experiment
+
+    profiler = Profiler()
+    slo = _slo_engine()
+    results = run_fanout_experiment(
+        FanoutConfig(
+            listener_counts=(1, 100, 10_000),
+            writes_per_level=15,
+            seed=seed,
+            profiler=profiler,
+            slo=slo,
+        )
+    )
+    metrics = {}
+    for r in results:
+        metrics[f"notify_p50_us@{r.listeners}"] = metric(r.notify_p50_us, "us")
+        metrics[f"notify_p99_us@{r.listeners}"] = metric(r.notify_p99_us, "us")
+        metrics[f"frontend_tasks@{r.listeners}"] = metric(
+            r.frontend_tasks_at_end, "tasks", kind="exact"
+        )
+    # staleness events land throughout the (per-level) runs; judge over a
+    # window that spans them all
+    payload = bench_payload(
+        name="gate_fanout",
+        figure="fig09",
+        metrics=metrics,
+        slos=slo.verdict_block(600_000_000),
+        raw={"profile": profiler.to_dict()},
+    )
+    return payload, {}
+
+
+def gate_commit(
+    seed: int = GATE_SEED, canary: Optional[str] = None, ops: int = 40
+) -> tuple[dict, dict]:
+    """Functional commit cell: the Backend seven-step write over Spanner.
+
+    Latency is the sim-clock delta across each commit — zero on the
+    clean path (nothing in the functional stack advances the clock), and
+    exactly the injected delays when a fault plan is installed. This is
+    the cell the ``spanner.tablet_slow`` canary inflates.
+    """
+    # reprolint: disable=layering -- the gate harness drives the functional stack; it is above the obs layer, not inside it
+    from repro.core.backend import set_op, update_op
+    # reprolint: disable=layering -- the gate harness drives the functional stack; it is above the obs layer, not inside it
+    from repro.core.firestore import FirestoreService
+    # reprolint: disable=layering -- the canary fault plan is how the gate proves it can fail
+    from repro.faults.plan import FaultPlan, install
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.stats import percentile_or
+    from repro.obs.tracer import Tracer
+    from repro.sim.clock import SimClock
+    from repro.sim.rand import SimRandom
+
+    sim_clock = SimClock()
+    metrics_registry = MetricsRegistry()
+    profiler = Profiler(metrics=metrics_registry)
+    slo = _slo_engine(metrics=metrics_registry)
+    service = FirestoreService(
+        clock=sim_clock,
+        tracer=Tracer(sim_clock, SimRandom(seed).fork("tracer")),
+        metrics=metrics_registry,
+        profiler=profiler,
+    )
+    database = service.create_database("gate")
+    if canary is not None:
+        install(FaultPlan(seed, rates={canary: 1.0}), database)
+    clock = service.clock
+    latencies: list[int] = []
+    committed = 0
+    for i in range(ops):
+        clock.advance(25_000)  # 40 commits/s of offered load
+        op = (
+            set_op(f"orders/o{i:04d}", {"total": i * 10, "status": "new"})
+            if i % 3 != 2
+            else update_op(f"orders/o{i - 2:04d}", {"status": "paid"})
+        )
+        start = clock.now_us
+        database.commit([op])
+        committed += 1
+        latencies.append(clock.now_us - start)
+        slo.record("request", clock.now_us, True)
+    lookups = 0
+    for i in range(0, ops, 5):
+        database.lookup(f"orders/o{i:04d}")
+        lookups += 1
+    query_result = database.run_query(database.query("orders"))
+    ledger = {
+        (row["subsystem"], row["operation"]): (row["sim_us"], row["calls"])
+        for row in profiler.rows()
+    }
+    commit_us, commit_calls = ledger.get(("spanner", "commit"), (0, 0))
+    slow_us, _ = ledger.get(("spanner", "read.tablet_slow"), (0, 0))
+    payload = bench_payload(
+        name="gate_commit",
+        figure="",
+        metrics={
+            "commits": metric(committed, "count", kind="exact"),
+            "commit_p50_us": metric(percentile_or(latencies, 50), "us"),
+            "commit_p99_us": metric(percentile_or(latencies, 99), "us"),
+            "documents": metric(
+                len(query_result.documents), "count", kind="exact"
+            ),
+            "lookups": metric(lookups, "count", kind="exact"),
+            "spanner_commit_calls": metric(
+                commit_calls, "count", kind="exact"
+            ),
+            "spanner_commit_us": metric(commit_us, "us"),
+            "spanner_tablet_slow_us": metric(slow_us, "us"),
+        },
+        slos=slo.verdict_block(clock.now_us),
+        raw={
+            "profile": profiler.to_dict(),
+            "canary": canary or "",
+            "seed": seed,
+        },
+    )
+    return payload, {}
+
+
+def gate_datashape(seed: int = 5) -> tuple[dict, dict]:
+    """Data-shape cell (tracks figure 10): commit latency vs doc size."""
+    # reprolint: disable=layering -- the gate harness drives workloads; it is above the obs layer, not inside it
+    from repro.workloads import run_doc_size_sweep
+
+    results = run_doc_size_sweep(
+        sizes_kb=(10, 100), commits_per_size=12, seed_docs=60, seed=seed
+    )
+    metrics = {}
+    for r in results:
+        metrics[f"commit_p50_us@{r.parameter}kb"] = metric(
+            r.commit_p50_us, "us"
+        )
+        metrics[f"participants@{r.parameter}kb"] = metric(
+            round(r.participants_per_commit, 2), "tablets", tolerance=0.1
+        )
+        metrics[f"index_entries@{r.parameter}kb"] = metric(
+            r.index_entries_per_commit, "rows", kind="exact"
+        )
+    payload = bench_payload(
+        name="gate_datashape", figure="fig10", metrics=metrics
+    )
+    return payload, {}
+
+
+def gate_chaos(seed: int = 11) -> tuple[dict, dict]:
+    """Chaos smoke cell: one checked run; convergence is an SLO."""
+    # reprolint: disable=layering -- the gate harness drives the chaos runner; it is above the obs layer, not inside it
+    from repro.faults.chaos import run_chaos
+
+    run = run_chaos("commit", seed=seed, mix="chaos")
+    payload = bench_payload(
+        name="gate_chaos",
+        figure="",
+        metrics={
+            "attempted": metric(run.attempted, "count", kind="exact"),
+            "succeeded": metric(run.succeeded, "count", kind="exact"),
+            "availability": metric(
+                round(run.availability, 6), "ratio", tolerance=0.1
+            ),
+            "violations": metric(len(run.violations), "count", kind="exact"),
+            "total_injected": metric(
+                sum(run.injected.values()), "count", kind="exact"
+            ),
+            "latency_p50_us": metric(run.latency_percentile(50), "us"),
+            "latency_p99_us": metric(run.latency_percentile(99), "us"),
+        },
+        slos=run.slo_verdicts(),
+        raw={"summary": run.to_dict()},
+    )
+    return payload, {}
+
+
+#: cell name -> builder; the CLI runs them in this (sorted-stable) order
+GATE_CELLS = {
+    "gate_ycsb": gate_ycsb,
+    "gate_fanout": gate_fanout,
+    "gate_commit": gate_commit,
+    "gate_datashape": gate_datashape,
+    "gate_chaos": gate_chaos,
+}
+
+
+def run_gate(
+    seed: int = GATE_SEED, canary: Optional[str] = None
+) -> tuple[dict[str, dict], dict[str, dict]]:
+    """Run every gate cell; returns (payloads, artifacts) keyed by cell.
+
+    ``canary`` (a fault site, normally :data:`CANARY_SITE`) is installed
+    on the functional-commit cell only — the other cells stay clean so a
+    canary run fails for exactly one attributable reason.
+    """
+    payloads: dict[str, dict] = {}
+    artifacts: dict[str, dict] = {}
+    for name, builder in GATE_CELLS.items():
+        if name == "gate_commit":
+            payload, extras = builder(canary=canary)
+        else:
+            payload, extras = builder()
+        payloads[name] = payload
+        if extras:
+            artifacts[name] = extras
+    return payloads, artifacts

@@ -22,6 +22,7 @@ import json
 from typing import Optional, TextIO, Union
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.stats import percentile
 from repro.obs.tracer import NullTracer, Span, Tracer
 
 TracerLike = Union[Tracer, NullTracer]
@@ -107,10 +108,24 @@ def write_chrome_trace(tracer: TracerLike, path: str) -> str:
 # -- plain-text report -------------------------------------------------------
 
 
+def _escape_label(value: str) -> str:
+    """Escape label text so ``{k=v,...}`` stays parseable and one-line."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace("{", "\\{")
+        .replace("}", "\\}")
+        .replace(",", "\\,")
+        .replace("=", "\\=")
+    )
+
+
 def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f"{k}={v}" for k, v in labels)
+    inner = ",".join(
+        f"{_escape_label(str(k))}={_escape_label(str(v))}" for k, v in labels
+    )
     return "{" + inner + "}"
 
 
@@ -118,8 +133,9 @@ def render_text_report(
     tracer: Optional[TracerLike] = None,
     metrics: Optional[MetricsRegistry] = None,
     title: str = "run report",
+    profiler=None,
 ) -> str:
-    """A human-readable per-run summary of spans and metrics."""
+    """A human-readable per-run summary of spans, metrics, and profile."""
     lines = [f"=== {title} ==="]
     if tracer is not None and tracer.finished:
         lines.append("")
@@ -133,7 +149,7 @@ def render_text_report(
             durations = sorted(by_name[name])
             count = len(durations)
             total = sum(durations)
-            p50 = durations[(count - 1) // 2]
+            p50 = percentile(durations, 50, presorted=True)
             worst = durations[-1]
             lines.append(
                 f"{name.ljust(width)}  count={count:<7d} "
@@ -154,6 +170,10 @@ def render_text_report(
                 )
             elif isinstance(metric, (Counter, Gauge)):
                 lines.append(f"{label}  value={metric.value}")
+    if profiler is not None and profiler:
+        lines.append("")
+        lines.append("-- profile --")
+        lines.append(profiler.text_table().rstrip("\n"))
     lines.append("")
     return "\n".join(lines)
 
@@ -163,10 +183,11 @@ def write_text_report(
     tracer: Optional[TracerLike] = None,
     metrics: Optional[MetricsRegistry] = None,
     title: str = "run report",
+    profiler=None,
 ) -> str:
     """Write the text report to ``path``; returns the path."""
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(render_text_report(tracer, metrics, title))
+        fh.write(render_text_report(tracer, metrics, title, profiler))
     return path
 
 
@@ -175,6 +196,7 @@ def dump_report(
     tracer: Optional[TracerLike] = None,
     metrics: Optional[MetricsRegistry] = None,
     title: str = "run report",
+    profiler=None,
 ) -> None:
     """Print the text report to an open stream."""
-    stream.write(render_text_report(tracer, metrics, title))
+    stream.write(render_text_report(tracer, metrics, title, profiler))

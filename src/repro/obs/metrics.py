@@ -4,9 +4,9 @@ Subsumes and extends the bare percentile recorders of
 ``repro.service.metrics``: every metric carries a name plus a label set
 (typically ``database_id`` and/or ``operation``), mirroring the paper's
 per-tenant production monitoring (section VI) and the per-tenant
-instrumentation the FoundationDB Record Layer describes. Histograms are
-built on :class:`repro.service.metrics.LatencyRecorder`, so percentile
-semantics stay identical to the existing benchmarks.
+instrumentation the FoundationDB Record Layer describes. Histograms use
+the shared nearest-rank arithmetic of :mod:`repro.obs.stats`, so
+percentile semantics stay identical to the existing benchmarks.
 
 All iteration in exports is sorted by (name, labels), which keeps reports
 byte-stable across runs with identical seeds.
@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
-from repro.service.metrics import LatencyRecorder
+from repro.obs.stats import percentile_or
 
 LabelKey = tuple[str, tuple[tuple[str, str], ...]]
 
@@ -64,27 +64,41 @@ class Gauge:
 class Histogram:
     """A distribution of observations with percentile reporting."""
 
-    __slots__ = ("name", "labels", "_recorder", "total")
+    __slots__ = ("name", "labels", "_samples", "_sorted", "total")
 
     def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
         self.name = name
         self.labels = labels
-        self._recorder = LatencyRecorder(name)
+        self._samples: list[int] = []
+        self._sorted = True
         self.total = 0
 
     def observe(self, value: int) -> None:
         """Record one sample (non-negative integer units)."""
-        self._recorder.record(value)
+        if value < 0:
+            raise ValueError("histogram samples cannot be negative")
+        self._samples.append(value)
+        self._sorted = False
         self.total += value
 
     @property
     def count(self) -> int:
         """Number of samples recorded."""
-        return len(self._recorder)
+        return len(self._samples)
+
+    def samples(self) -> list[int]:
+        """The recorded samples, sorted ascending (a fresh list)."""
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return list(self._samples)
 
     def percentile(self, p: float) -> int:
         """The p-th percentile (nearest-rank), 0 when empty."""
-        return self._recorder.percentile(p) if len(self._recorder) else 0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return percentile_or(self._samples, p)
 
     @property
     def p50(self) -> int:
@@ -98,7 +112,7 @@ class Histogram:
 
     def mean(self) -> float:
         """Arithmetic mean of the samples (0.0 when empty)."""
-        return self._recorder.mean() if len(self._recorder) else 0.0
+        return self.total / len(self._samples) if self._samples else 0.0
 
 
 def _label_key(name: str, labels: dict) -> LabelKey:

@@ -76,6 +76,10 @@ class Changelog:
         # history recorder (repro.check): wired by FirestoreDatabase to
         # the shared Spanner database's recorder when checking is enabled
         self.recorder = None
+        # sim-time profiler and SLO engine (repro.obs), duck-typed like
+        # the recorder; the delivery path feeds notification staleness
+        self.profiler = None
+        self.slo = None
 
     def _log_for(self, name_range: NameRange) -> _RangeLog:
         log = self._logs.get(name_range.range_id)
@@ -137,6 +141,10 @@ class Changelog:
                 self.metrics.counter(
                     "rtc_accepts", outcome=outcome.name.lower()
                 ).inc()
+            if self.profiler:
+                self.profiler.account(
+                    "realtime", f"changelog.accept.{outcome.name.lower()}", 0
+                )
             recorder = self.recorder
             for name_range in ranges:
                 log = self._log_for(name_range)
@@ -229,6 +237,20 @@ class Changelog:
                 recorder.changelog_watermark(
                     log.name_range.range_id, new_watermark
                 )
+        if ready and (self.profiler or self.slo):
+            now = self.clock.now_us
+            for ts, _ in ready:
+                # staleness: how long the committed mutation waited in the
+                # buffer before the watermark released it to listeners
+                staleness_us = max(0, now - ts)
+                if self.profiler:
+                    self.profiler.account(
+                        "realtime", "changelog.deliver", staleness_us
+                    )
+                if self.slo:
+                    self.slo.record_latency(
+                        "notify.staleness", now, staleness_us
+                    )
         if self.on_change is not None:
             for _, change in ready:
                 self.on_change(log.name_range, change)

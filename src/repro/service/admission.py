@@ -48,10 +48,13 @@ class AdmissionController:
         clock: SimClock,
         config: AdmissionConfig | None = None,
         metrics=None,
+        profiler=None,
     ):
         self.clock = clock
         self.config = config if config is not None else AdmissionConfig()
         self.metrics = metrics
+        #: optional repro.obs.perf.Profiler (duck-typed, may stay None)
+        self.profiler = profiler
         self._inflight: dict[str, int] = {}
         self._inflight_memory: dict[str, int] = {}
         # conformance tracking: per database, (window_start, count, allowance)
@@ -109,6 +112,11 @@ class AdmissionController:
             self.metrics.counter(
                 "admission_decisions", database_id=database_id, outcome=outcome
             ).inc()
+        if self.profiler:
+            # decisions are free in sim time; the ledger keeps the count
+            self.profiler.account(
+                "service", f"admission.{outcome}", 0, database_id
+            )
 
     def release(self, database_id: str, memory_bytes: int = 0) -> None:
         """Mark one admitted request finished."""

@@ -64,7 +64,11 @@ class Autoscaler:
         self._schedule()
 
     def _schedule(self) -> None:
-        self.kernel.after(self.config.evaluation_interval_us, self._evaluate)
+        self.kernel.after(
+            self.config.evaluation_interval_us,
+            self._evaluate,
+            label=f"autoscaler:{self.pool.name}",
+        )
 
     def _record(self, event: str) -> None:
         if self.metrics is not None:
@@ -77,6 +81,11 @@ class Autoscaler:
 
     def _evaluate(self) -> None:
         utilization = self.pool.utilization()
+        if self.pool.profiler:
+            # control-plane work: zero sim-cost, counted for attribution
+            self.pool.profiler.account(
+                "service", f"autoscaler.evaluate.{self.pool.name}", 0
+            )
         if self.metrics is not None:
             self.metrics.histogram(
                 "pool_utilization_permille", pool=self.pool.name

@@ -51,13 +51,23 @@ class ServingCluster:
         config: Optional[ClusterConfig] = None,
         tracer=None,
         metrics=None,
+        profiler=None,
+        slo=None,
     ):
+        from repro.obs.perf import NULL_PROFILER
         from repro.obs.tracer import NULL_TRACER
 
         self.kernel = kernel if kernel is not None else EventKernel()
         self.config = config if config is not None else ClusterConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: optional repro.obs.slo.SloEngine; every completion/failure and
+        #: fanout delivery feeds its request/staleness streams
+        self.slo = slo
+        if profiler is not None and self.kernel.profiler is None:
+            # wall-clock self-time per event label rides on the kernel
+            self.kernel.profiler = profiler
         self.rand = SimRandom(self.config.seed).fork("cluster-latency")
         self.latency: LatencyModel = (
             MultiRegionalLatency() if self.config.multi_region else RegionalLatency()
@@ -65,18 +75,20 @@ class ServingCluster:
         self.frontend_pool = TaskPool(
             "frontend",
             self.kernel,
-            FairShareScheduler(fair=True, metrics=metrics),
+            self._make_scheduler(fair=True),
             initial_tasks=self.config.frontend_tasks,
             tracer=self.tracer,
             metrics=metrics,
+            profiler=profiler,
         )
         self.backend_pool = TaskPool(
             "backend",
             self.kernel,
-            FairShareScheduler(fair=self.config.fair_scheduling, metrics=metrics),
+            self._make_scheduler(fair=self.config.fair_scheduling),
             initial_tasks=self.config.backend_tasks,
             tracer=self.tracer,
             metrics=metrics,
+            profiler=profiler,
         )
         self.active_connections = 0
         self.frontend_autoscaler = Autoscaler(
@@ -95,7 +107,10 @@ class ServingCluster:
             metrics=metrics,
         )
         self.admission = AdmissionController(
-            self.kernel.clock, self.config.admission, metrics=metrics
+            self.kernel.clock,
+            self.config.admission,
+            metrics=metrics,
+            profiler=profiler,
         )
         self.billing = BillingLedger(self.kernel.clock)
         # deterministic fault plane (repro.faults.FaultPlan), duck-typed:
@@ -111,6 +126,16 @@ class ServingCluster:
         self._isolated_autoscalers: dict[str, Autoscaler] = {}
         self.completed = 0
         self.rejected = 0
+
+    def _make_scheduler(self, fair: bool) -> FairShareScheduler:
+        scheduler = FairShareScheduler(
+            fair=fair,
+            metrics=self.metrics,
+            profiler=self.profiler if self.profiler else None,
+            slo=self.slo,
+        )
+        scheduler.clock = self.kernel.clock
+        return scheduler
 
     # -- long-lived connections --------------------------------------------------
 
@@ -184,6 +209,8 @@ class ServingCluster:
                     database_id=database_id,
                     operation=operation,
                 ).inc()
+            if self.slo:
+                self.slo.record("request", self.kernel.now_us, False)
             if root is not None:
                 root.set_attribute("rejected", reason)
                 root.end()
@@ -209,6 +236,8 @@ class ServingCluster:
                     database_id=database_id,
                     operation=operation,
                 ).inc()
+            if self.slo:
+                self.slo.record("request", self.kernel.now_us, False)
             if root is not None:
                 root.set_attribute("failed", reason)
                 root.end()
@@ -228,6 +257,20 @@ class ServingCluster:
             self.completed += 1
             self._bill(database_id, kind)
             total_us = network_us + frontend_cost + latency_us
+            now = self.kernel.now_us
+            if self.profiler:
+                # wire and storage time are busy time spent elsewhere on
+                # this request's behalf — attributed so the flame adds up
+                self.profiler.account(
+                    "network", f"wire.{operation}", network_us, database_id
+                )
+                if storage_us:
+                    self.profiler.account(
+                        "spanner", f"storage.{operation}", storage_us, database_id
+                    )
+            if self.slo:
+                self.slo.record("request", now, True)
+                self.slo.record_latency("request.latency", now, total_us)
             if self.metrics is not None:
                 self.metrics.counter(
                     "requests_completed",
@@ -353,6 +396,12 @@ class ServingCluster:
                     self.metrics.histogram(
                         "notify_fanout_latency_us", database_id=database_id
                     ).observe(elapsed)
+                if self.slo:
+                    # time-to-last-listener is the staleness the slowest
+                    # subscriber observed for this update
+                    self.slo.record_latency(
+                        "notify.staleness", self.kernel.now_us, elapsed
+                    )
                 if root is not None:
                     root.end()
                 on_all_delivered(elapsed)
@@ -394,10 +443,11 @@ class ServingCluster:
         pool = TaskPool(
             f"isolated-{database_id}",
             self.kernel,
-            FairShareScheduler(fair=True, metrics=self.metrics),
+            self._make_scheduler(fair=True),
             initial_tasks=tasks,
             tracer=self.tracer,
             metrics=self.metrics,
+            profiler=self.profiler if self.profiler else None,
         )
         self._isolated_pools[database_id] = pool
         if autoscale:
@@ -442,6 +492,18 @@ class ServingCluster:
         """Advance the simulation by the given microseconds."""
         self.kernel.run_for(duration_us)
 
+    def busy_us(self) -> int:
+        """Cumulative task-busy sim-time across every pool.
+
+        The denominator of the profiler's >= 99% coverage acceptance
+        check: every microsecond counted here must show up in the
+        profiler ledger under some (subsystem, operation, tenant).
+        """
+        total = self.frontend_pool.busy_us_total + self.backend_pool.busy_us_total
+        for pool in self._isolated_pools.values():
+            total += pool.busy_us_total
+        return total
+
     # -- observability exports -----------------------------------------------------------
 
     def export_trace(self, path: str) -> str:
@@ -451,13 +513,17 @@ class ServingCluster:
         return write_chrome_trace(self.tracer, path)
 
     def report(self, title: str = "cluster run") -> str:
-        """The plain-text per-run report of spans and metrics."""
+        """The plain-text per-run report of spans, metrics, and profile."""
         from repro.obs.export import render_text_report
 
-        return render_text_report(self.tracer, self.metrics, title)
+        return render_text_report(
+            self.tracer, self.metrics, title, profiler=self.profiler or None
+        )
 
     def export_report(self, path: str, title: str = "cluster run") -> str:
         """Write the plain-text report to ``path``; returns the path."""
         from repro.obs.export import write_text_report
 
-        return write_text_report(path, self.tracer, self.metrics, title)
+        return write_text_report(
+            path, self.tracer, self.metrics, title, profiler=self.profiler or None
+        )

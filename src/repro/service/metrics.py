@@ -1,9 +1,14 @@
-"""Latency percentile recorders."""
+"""Latency percentile recorders.
+
+Percentile arithmetic delegates to :mod:`repro.obs.stats` so the
+regression gate compares numbers computed identically everywhere.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+
+from repro.obs.stats import percentile as _percentile
 
 
 class LatencyRecorder:
@@ -28,13 +33,10 @@ class LatencyRecorder:
         """The p-th percentile (0 < p <= 100), nearest-rank."""
         if not self._samples:
             raise ValueError(f"no samples recorded in {self.name!r}")
-        if not 0 < p <= 100:
-            raise ValueError(f"percentile {p} out of range")
         if not self._sorted:
             self._samples.sort()
             self._sorted = True
-        rank = max(1, math.ceil(len(self._samples) * p / 100.0))
-        return self._samples[rank - 1]
+        return _percentile(self._samples, p, presorted=True)
 
     @property
     def p50(self) -> int:

@@ -39,9 +39,11 @@ class TaskPool:
         speedup: float = 1.0,
         tracer=None,
         metrics=None,
+        profiler=None,
     ):
         if initial_tasks < 1:
             raise ValueError("a pool needs at least one task")
+        from repro.obs.perf import NULL_PROFILER
         from repro.obs.tracer import NULL_TRACER
 
         self.name = name
@@ -50,11 +52,16 @@ class TaskPool:
         self.speedup = speedup
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._tasks = [_Task(i) for i in range(initial_tasks)]
         self._next_task_id = initial_tasks
         # utilization accounting
         self._busy_us_accum = 0.0
         self._accounted_until = kernel.now_us
+        #: cumulative task-busy microseconds, never reset (unlike the
+        #: windowed ``utilization`` accumulator) — the denominator of the
+        #: profiler's coverage check
+        self.busy_us_total = 0
         self.completed = 0
 
     # -- sizing ------------------------------------------------------------------
@@ -158,6 +165,14 @@ class TaskPool:
             finish = now + service_us
             task.busy_until_us = finish
             self._busy_us_accum += service_us
+            self.busy_us_total += service_us
+            if self.profiler:
+                self.profiler.account(
+                    "service",
+                    f"{self.name}.{rpc.kind.name.lower()}",
+                    service_us,
+                    rpc.database_id,
+                )
             if self.tracer and rpc.trace_ctx is not None:
                 self.tracer.start_span(
                     f"{self.name}.exec",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
@@ -68,9 +69,25 @@ class EventKernel:
         #: optional schedule-exploration hook; None means the natural
         #: (requested-time, insertion) order
         self.perturber = perturber
+        #: optional :class:`repro.obs.perf.Profiler`; when set, the kernel
+        #: feeds it wall-clock self-time per event label. Wall time is the
+        #: only non-deterministic signal the profiler carries, and it is
+        #: measured here — inside ``sim/`` — so nothing outside the
+        #: simulation layer ever reads a real clock.
+        self.profiler = None
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._executed = 0
+
+    def _execute(self, event: Event) -> None:
+        if self.profiler is not None:
+            start_ns = time.perf_counter_ns()
+            event.callback()
+            self.profiler.record_wall(
+                event.label or "event", time.perf_counter_ns() - start_ns
+            )
+        else:
+            event.callback()
 
     @property
     def now_us(self) -> int:
@@ -123,7 +140,7 @@ class EventKernel:
             if event.cancelled:
                 continue
             self.clock.advance_to(event.time_us)
-            event.callback()
+            self._execute(event)
             executed += 1
             self._executed += 1
         self.clock.advance_to(time_us)
@@ -141,7 +158,7 @@ class EventKernel:
             if event.cancelled:
                 continue
             self.clock.advance_to(event.time_us)
-            event.callback()
+            self._execute(event)
             executed += 1
             self._executed += 1
             if executed > max_events:
@@ -158,7 +175,7 @@ class EventKernel:
             if event.cancelled:
                 continue
             self.clock.advance_to(event.time_us)
-            event.callback()
+            self._execute(event)
             self._executed += 1
             return True
         return False

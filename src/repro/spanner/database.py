@@ -80,6 +80,10 @@ class SpannerDatabase:
 
         self.tracer = NULL_TRACER
         self._metrics = None
+        # sim-time profiler (repro.obs.perf.Profiler): duck-typed like
+        # fault_plan/recorder; the falsy default keeps the hot paths to a
+        # single truthiness check
+        self.profiler = None
         self.commits = 0
         self.aborts = 0
         # dynamic sanitizers (repro.analysis): installed when

@@ -33,6 +33,7 @@ from repro.errors import (
     LockConflict,
     Unavailable,
 )
+from repro.obs.perf import NULL_PROFILER
 from repro.spanner.locks import LockMode
 from repro.spanner.mvcc import TOMBSTONE
 
@@ -174,6 +175,11 @@ class ReadWriteTransaction:
                         1_000, 20_000
                     )
                 self._db.clock.advance(delay_us)
+                if self._db.profiler:
+                    # the stall is tablet time the transaction sat on
+                    self._db.profiler.account(
+                        "spanner", "read.tablet_slow", delay_us
+                    )
         tablet = self._db.tablet_for(ckey)
         tablet.stats.record_read(self._db.clock.now_us)
         ts, value = tablet.read_latest(ckey)
@@ -336,46 +342,56 @@ class ReadWriteTransaction:
         """
         self._check_active()
         tracer = self._db.tracer
+        # duck-typed like recorder/fault_plan: the sim-time the commit
+        # spends (fault delays advance the clock) lands in the profiler
+        # ledger under spanner/commit, even on the abort paths
+        profiler = self._db.profiler or NULL_PROFILER
 
-        # Phase 1 (prepare): exclusive-lock every written row.
-        with tracer.span(
-            "spanner.locks",
-            component="spanner",
-            attributes={"phase": "prepare", "rows": len(self._writes)},
-        ):
-            for ckey in self._writes:
-                try:
-                    self._db.locks.acquire(self.txn_id, ckey, LockMode.EXCLUSIVE)
-                except LockConflict as exc:
-                    self._abort()
-                    raise Aborted(str(exc)) from exc
+        with profiler.measure("spanner", "commit", self._db.clock):
+            # Phase 1 (prepare): exclusive-lock every written row.
+            with tracer.span(
+                "spanner.locks",
+                component="spanner",
+                attributes={"phase": "prepare", "rows": len(self._writes)},
+            ):
+                for ckey in self._writes:
+                    try:
+                        self._db.locks.acquire(
+                            self.txn_id, ckey, LockMode.EXCLUSIVE
+                        )
+                    except LockConflict as exc:
+                        self._abort()
+                        raise Aborted(str(exc)) from exc
 
-        self._inject_commit_faults(min_commit_ts, max_commit_ts)
+            self._inject_commit_faults(min_commit_ts, max_commit_ts)
 
-        with tracer.span(
-            "spanner.2pc", component="spanner", attributes={"phase": "commit"}
-        ) as span:
-            commit_ts = self._apply(min_commit_ts, max_commit_ts)
-            participants = tuple(
-                sorted(
-                    {self._db.tablet_for(ckey).tablet_id for ckey in self._writes}
+            with tracer.span(
+                "spanner.2pc", component="spanner", attributes={"phase": "commit"}
+            ) as span:
+                commit_ts = self._apply(min_commit_ts, max_commit_ts)
+                participants = tuple(
+                    sorted(
+                        {
+                            self._db.tablet_for(ckey).tablet_id
+                            for ckey in self._writes
+                        }
+                    )
                 )
-            )
-            span.set_attribute("participants", len(participants))
-            span.set_attribute("commit_ts", commit_ts)
-            result = CommitResult(commit_ts, participants, len(self._writes))
-            self._db.locks.release_all(self.txn_id)
-            self._state = "committed"
-            self._db.commits += 1
-            if self._db.sanitizer is not None:
-                self._db.sanitizer.on_txn_finished(
-                    self.txn_id,
-                    "committed",
-                    commit_ts=commit_ts,
-                    min_ts=min_commit_ts,
-                    max_ts=max_commit_ts,
-                )
-            return result
+                span.set_attribute("participants", len(participants))
+                span.set_attribute("commit_ts", commit_ts)
+                result = CommitResult(commit_ts, participants, len(self._writes))
+                self._db.locks.release_all(self.txn_id)
+                self._state = "committed"
+                self._db.commits += 1
+                if self._db.sanitizer is not None:
+                    self._db.sanitizer.on_txn_finished(
+                        self.txn_id,
+                        "committed",
+                        commit_ts=commit_ts,
+                        min_ts=min_commit_ts,
+                        max_ts=max_commit_ts,
+                    )
+                return result
 
     def _inject_commit_faults(
         self, min_commit_ts: int, max_commit_ts: Optional[int]

@@ -30,6 +30,10 @@ class FanoutConfig:
     writes_per_level: int = 60  # one write/second for a minute per level
     seed: int = 7
     cluster: Optional[ClusterConfig] = None
+    #: optional repro.obs hooks (perf.Profiler / slo.SloEngine) shared by
+    #: every per-level cluster; the regression gate wires both
+    profiler: Optional[object] = None
+    slo: Optional[object] = None
 
 
 @dataclass
@@ -49,7 +53,9 @@ def run_fanout_experiment(config: FanoutConfig | None = None) -> list[FanoutResu
         cluster_config = (
             config.cluster if config.cluster is not None else ClusterConfig(seed=config.seed)
         )
-        cluster = ServingCluster(config=cluster_config)
+        cluster = ServingCluster(
+            config=cluster_config, profiler=config.profiler, slo=config.slo
+        )
         cluster.set_active_connections(listeners)
         kernel = cluster.kernel
         recorder = LatencyRecorder(f"notify-{listeners}")

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs.stats import boxplot
 from repro.sim.rand import SimRandom
 
 
@@ -70,20 +71,15 @@ class FleetStats:
 
 
 def _boxplot(metric: str, samples: list[float]) -> FleetStats:
-    ordered = sorted(samples)
-    n = len(ordered)
-
-    def q(p: float) -> float:
-        return ordered[min(n - 1, int(n * p))]
-
+    box = boxplot(samples)
     return FleetStats(
         metric=metric,
-        minimum=ordered[0],
-        p25=q(0.25),
-        median=q(0.50),
-        p75=q(0.75),
-        p99=q(0.99),
-        maximum=ordered[-1],
+        minimum=box["min"],
+        p25=box["p25"],
+        median=box["p50"],
+        p75=box["p75"],
+        p99=box["p99"],
+        maximum=box["max"],
     )
 
 

@@ -49,6 +49,10 @@ class YcsbConfig:
     #: stitch one sampled full-stack commit (repro.obs.trace_full_commit)
     #: into the same trace at the start of the measurement window
     trace: bool = False
+    #: optional repro.obs hooks (perf.Profiler / slo.SloEngine), threaded
+    #: into the serving cluster; the regression gate wires both
+    profiler: Optional[object] = None
+    slo: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_READ_FRACTION:
@@ -111,10 +115,19 @@ class YcsbRunner:
             )
             self.metrics = MetricsRegistry()
             self.cluster = ServingCluster(
-                kernel, cluster_config, tracer=self.tracer, metrics=self.metrics
+                kernel,
+                cluster_config,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                profiler=config.profiler,
+                slo=config.slo,
             )
         else:
-            self.cluster = ServingCluster(config=cluster_config)
+            self.cluster = ServingCluster(
+                config=cluster_config,
+                profiler=config.profiler,
+                slo=config.slo,
+            )
         self.rand = SimRandom(config.seed).fork("ycsb-ops")
         self.arrivals = SimRandom(config.seed).fork("ycsb-arrivals")
 

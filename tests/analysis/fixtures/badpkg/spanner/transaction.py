@@ -3,6 +3,8 @@
 ``_inject_commit_faults`` lost its recorder reference, and ``_abort``
 was renamed away entirely — both must be history-tap diagnostics. The
 other required methods keep their taps and must NOT be flagged.
+``commit`` exists but lost its profiler tag — a perf-attribution
+diagnostic.
 """
 
 
@@ -22,6 +24,10 @@ class ReadWriteTransaction:
         recorder = self._db.recorder
         if recorder is not None:
             recorder.txn_scan(self.txn_id, b"", None)
+
+    def commit(self):
+        # the rewrite forgot the profiler.measure("spanner", "commit") tag
+        self._apply(0)
 
     def _inject_commit_faults(self, min_commit_ts, max_commit_ts):
         # the refactor forgot to re-plumb the unknown-outcome tap here

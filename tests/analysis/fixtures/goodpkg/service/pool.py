@@ -1,0 +1,14 @@
+"""A TaskPool dispatch loop that keeps its profiler tag — lints clean."""
+
+
+class TaskPool:
+    def __init__(self, kernel, profiler=None):
+        self.kernel = kernel
+        self.profiler = profiler
+        self.busy_us_total = 0
+
+    def _dispatch(self):
+        service_us = 10
+        self.busy_us_total += service_us
+        if self.profiler:
+            self.profiler.account("service", "pool.dispatch", service_us)

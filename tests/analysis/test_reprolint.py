@@ -95,6 +95,23 @@ def test_history_tap_catches_dropped_and_missing_taps(bad_diagnostics):
     assert "txn_begin" not in messages
 
 
+def test_perf_attribution_catches_untagged_and_missing(bad_diagnostics):
+    found = by_check(bad_diagnostics, "perf-attribution")
+    assert {d.path for d in found} == {
+        "spanner/transaction.py",
+        "service/pool.py",
+        "client/client.py",
+    }
+    messages = "\n".join(d.message for d in found)
+    # commit kept its name but lost its profiler tag
+    assert "ReadWriteTransaction.commit" in messages
+    # the dispatch loop burns service time without accounting it
+    assert "TaskPool._dispatch" in messages
+    # flush was renamed away entirely — the missing-method arm
+    assert "MobileClient.flush" in messages
+    assert "was not found" in messages
+
+
 def test_trace_span_context(bad_diagnostics):
     found = by_check(bad_diagnostics, "trace-span-context")
     assert {d.path for d in found} == {"core/bad_trace.py"}

@@ -123,9 +123,16 @@ def test_cli_writes_summary_and_exits_zero(tmp_path, capsys):
     )
     assert rc == 0
     payload = json.loads(out.read_text())
-    assert payload["violations"] == 0
-    assert "commit/storage" in payload["cells"]
-    assert "replay_failures" in payload
+    # the unified BENCH schema (repro.obs.bench): hard verdicts as exact
+    # metrics, pooled SLO verdicts, the full sweep summary under raw
+    assert payload["schema_version"] == 1
+    assert payload["name"] == "faults"
+    assert payload["metrics"]["violations"] == {
+        "value": 0, "unit": "count", "kind": "exact",
+    }
+    assert "replay_failures" in payload["metrics"]
+    assert payload["slos"]["chaos.convergence"]["ok"]
+    assert "commit/storage" in payload["raw"]["cells"]
     assert "commit/storage" in capsys.readouterr().out
 
 

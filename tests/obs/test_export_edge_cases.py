@@ -1,0 +1,99 @@
+"""Edge cases for the trace/metrics exporters (repro.obs.export).
+
+The happy paths live in test_export.py; this file pins the corners a
+refactor is most likely to break: empty inputs, zero-duration spans,
+and the label-escaping grammar the text report depends on to stay
+one-line-per-metric and parseable.
+"""
+
+import json
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    _escape_label,
+    chrome_trace_json,
+    render_text_report,
+    to_chrome_trace,
+)
+from repro.sim.clock import SimClock
+from repro.sim.rand import SimRandom
+
+
+def _tracer(seed: int = 3) -> tuple[SimClock, Tracer]:
+    clock = SimClock()
+    return clock, Tracer(clock, SimRandom(seed).fork("tracer"))
+
+
+def test_empty_tracer_exports_cleanly():
+    _, tracer = _tracer()
+    trace = to_chrome_trace(tracer)
+    assert trace["traceEvents"] == []
+    # the JSON is still canonical and loadable
+    assert json.loads(chrome_trace_json(tracer)) == {
+        "displayTimeUnit": "ms",
+        "traceEvents": [],
+    }
+
+
+def test_empty_tracer_text_report_says_none_recorded():
+    _, tracer = _tracer()
+    report = render_text_report(tracer=tracer, title="empty run")
+    assert "=== empty run ===" in report
+    assert "-- spans: none recorded --" in report
+
+
+def test_empty_metrics_registry_omits_metrics_section():
+    registry = MetricsRegistry()
+    report = render_text_report(metrics=registry)
+    assert "-- metrics" not in report
+    # a single counter flips the section on
+    registry.counter("requests").inc()
+    report = render_text_report(metrics=registry)
+    assert "-- metrics (1) --" in report
+    assert "requests  value=1" in report
+
+
+def test_zero_duration_span_exports_with_zero_dur():
+    _, tracer = _tracer()
+    with tracer.span("instant.op", component="core"):
+        pass  # no clock advance: start == end
+    events = to_chrome_trace(tracer)["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == 1
+    assert complete[0]["dur"] == 0
+    assert complete[0]["ts"] == 0
+
+
+def test_zero_duration_spans_keep_deterministic_order():
+    def build():
+        clock, tracer = _tracer(seed=9)
+        for name in ("a.op", "b.op", "c.op"):
+            with tracer.span(name, component="core"):
+                pass
+        clock.advance(10)
+        with tracer.span("d.op", component="core"):
+            pass
+        return chrome_trace_json(tracer)
+
+    assert build() == build()
+
+
+def test_escape_label_covers_every_special_character():
+    assert _escape_label("plain") == "plain"
+    assert _escape_label("a\\b") == "a\\\\b"
+    assert _escape_label("a\nb") == "a\\nb"
+    assert _escape_label("a{b}c") == "a\\{b\\}c"
+    assert _escape_label("k=v,w") == "k\\=v\\,w"
+    # escaping composes: backslash first, so escapes are unambiguous
+    assert _escape_label("\\{") == "\\\\\\{"
+
+
+def test_report_labels_stay_one_line_under_hostile_values():
+    registry = MetricsRegistry()
+    registry.counter("ops", database_id="db\n{1},a=b").inc(5)
+    report = render_text_report(metrics=registry)
+    metric_lines = [line for line in report.splitlines() if "ops{" in line]
+    assert len(metric_lines) == 1
+    line = metric_lines[0]
+    assert "\\n" in line and "\\{" in line and "\\=" in line
+    assert line.endswith("value=5")
