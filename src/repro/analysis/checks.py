@@ -90,7 +90,18 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "service": frozenset({"errors", "obs", "sim"}),
     "realtime": frozenset({"core", "errors", "obs", "sim"}),
     "rules": frozenset({"core", "errors"}),
-    "core": frozenset({"errors", "obs", "realtime", "rules", "sim", "spanner"}),
+    "core": frozenset(
+        {
+            "errors",
+            "obs",
+            "realtime",
+            "replication",
+            "rules",
+            "sim",
+            "spanner",
+        }
+    ),
+    "replication": frozenset({"errors", "sim"}),
     "datastore": frozenset({"core", "errors"}),
     "client": frozenset({"core", "errors", "faults", "realtime"}),
     "emulator": frozenset({"core", "errors"}),
@@ -585,6 +596,14 @@ REQUIRED_HISTORY_TAPS: dict[str, frozenset[str]] = {
     "realtime/frontend.py": frozenset(
         {"Frontend._start_query", "RealtimeConnection._pump"}
     ),
+    "replication/group.py": frozenset(
+        {
+            "ReplicaGroup.commit",
+            "ReplicaGroup.elect",
+            "ReplicaGroup.route_read",
+            "ReplicaGroup._apply_arrived",
+        }
+    ),
 }
 
 
@@ -661,6 +680,7 @@ REQUIRED_PERF_TAPS: dict[str, frozenset[str]] = {
         {"Changelog.accept", "Changelog._advance"}
     ),
     "client/client.py": frozenset({"MobileClient.flush"}),
+    "replication/group.py": frozenset({"ReplicaGroup.commit"}),
 }
 
 

@@ -25,6 +25,12 @@ events alone. It verifies the paper's headline guarantees:
   Accept's changes are delivered unless the range's out-of-sync
   fail-safe fired or the log ends before the flush was due; per
   listener, incremental snapshot timestamps strictly advance.
+- **Replication** (section III): per replica group, log commit
+  timestamps strictly advance and never dip below the floor a failover
+  published (external consistency across leader changes); per-replica
+  apply watermarks are monotone; election terms strictly increase; and
+  a bounded-staleness read is served within its bound and within the
+  serving replica's safe time.
 
 Violations carry the indices of the implicated events (and their trace
 span ids when the run was traced) so a failure links back into the
@@ -123,6 +129,25 @@ class NotificationLoss(Violation):
     """A committed, in-sync change was never delivered downstream."""
 
     check = "notification-loss"
+
+
+class FollowerStalenessViolation(Violation):
+    """A bounded-staleness read broke its bound or outran safe time."""
+
+    check = "follower-staleness"
+
+
+class ReplicaWatermarkViolation(Violation):
+    """A replica's apply watermark regressed (or re-applied an entry)."""
+
+    check = "replica-watermark"
+
+
+class FailoverConsistencyViolation(Violation):
+    """External consistency broke across a leader failover: a term or
+    log timestamp regressed, or a commit undercut the published floor."""
+
+    check = "failover-consistency"
 
 
 def _spans_of(events: list[dict], indices: Iterable[int]) -> tuple[int, ...]:
@@ -451,6 +476,98 @@ def _check_notifications(events: list[dict]) -> list[Violation]:
     return violations
 
 
+# -- replication -------------------------------------------------------------
+
+
+def _check_replication(events: list[dict]) -> list[Violation]:
+    violations: list[Violation] = []
+    last_commit: dict[str, tuple[int, int]] = {}  # grp -> (index, ts)
+    last_apply: dict[tuple[str, str], tuple[int, int]] = {}
+    last_term: dict[str, tuple[int, int]] = {}  # grp -> (index, term)
+    floor: dict[str, tuple[int, int]] = {}  # grp -> (elect index, min_ts)
+    for index, event in enumerate(events):
+        kind = event.get("k")
+        if kind == "repl_commit":
+            grp = event["grp"]
+            previous = last_commit.get(grp)
+            if previous is not None and event["ts"] <= previous[1]:
+                violations.append(
+                    _make(
+                        FailoverConsistencyViolation,
+                        events,
+                        f"group {grp} quorum-committed at {event['ts']} "
+                        f"after an entry at {previous[1]}",
+                        (previous[0], index),
+                    )
+                )
+            last_commit[grp] = (index, event["ts"])
+            published = floor.get(grp)
+            if published is not None and event["ts"] < published[1]:
+                violations.append(
+                    _make(
+                        FailoverConsistencyViolation,
+                        events,
+                        f"group {grp} committed at {event['ts']} below the "
+                        f"post-failover floor {published[1]}",
+                        (published[0], index),
+                    )
+                )
+        elif kind == "repl_apply":
+            key = (event["grp"], event["region"])
+            previous = last_apply.get(key)
+            if previous is not None and event["ts"] <= previous[1]:
+                violations.append(
+                    _make(
+                        ReplicaWatermarkViolation,
+                        events,
+                        f"replica {key[1]} of group {key[0]} applied "
+                        f"{event['ts']} after {previous[1]}",
+                        (previous[0], index),
+                    )
+                )
+            last_apply[key] = (index, event["ts"])
+        elif kind == "repl_elect":
+            grp = event["grp"]
+            previous = last_term.get(grp)
+            if previous is not None and event["term"] <= previous[1]:
+                violations.append(
+                    _make(
+                        FailoverConsistencyViolation,
+                        events,
+                        f"group {grp} elected term {event['term']} after "
+                        f"term {previous[1]}",
+                        (previous[0], index),
+                    )
+                )
+            last_term[grp] = (index, event["term"])
+            floor[grp] = (index, event["min_ts"])
+        elif kind == "repl_read":
+            now = event.get("t")
+            if now is not None and event["read_ts"] < now - event["bound"]:
+                violations.append(
+                    _make(
+                        FollowerStalenessViolation,
+                        events,
+                        f"group {event['grp']} served a bounded read from "
+                        f"{event['region']} at {event['read_ts']}, older "
+                        f"than the {event['bound']}us bound at {now}",
+                        (index,),
+                    )
+                )
+            if event["read_ts"] > event["safe"]:
+                violations.append(
+                    _make(
+                        FollowerStalenessViolation,
+                        events,
+                        f"group {event['grp']} served a bounded read at "
+                        f"{event['read_ts']} beyond replica "
+                        f"{event['region']}'s safe time {event['safe']}",
+                        (index,),
+                    )
+                )
+    return violations
+
+
 # -- entry points ------------------------------------------------------------
 
 
@@ -470,6 +587,7 @@ def check_history(
     violations.extend(_check_external_consistency(events))
     violations.extend(_check_reads(events))
     violations.extend(_check_notifications(events))
+    violations.extend(_check_replication(events))
     if metrics is not None:
         for violation in violations:
             metrics.counter(

@@ -53,6 +53,16 @@ form. Kinds:
 ``cl_resync``         range recovered (``range``)
 ``notify``            Frontend delivered a snapshot to a listener
                       (``tag``, ``read_ts``, ``initial``, ``paths``)
+``repl_commit``       a replica group quorum-committed a log entry
+                      (``grp``, ``term``, ``leader``, ``ts``, ``acks``)
+``repl_apply``        a follower applied a shipped entry (``grp``,
+                      ``region``, ``ts`` — the per-replica watermark)
+``repl_elect``        leader failover (``grp``, ``term``, ``leader`` =
+                      the new leader, ``min_ts`` = floor on later
+                      commit timestamps)
+``repl_read``         bounded-staleness read routed to a replica
+                      (``grp``, ``region``, ``read_ts``, ``safe``,
+                      ``bound``)
 ====================  ====================================================
 """
 
@@ -281,6 +291,44 @@ class HistoryRecorder:
             read_ts=read_ts,
             initial=initial,
             paths=list(paths),
+        )
+
+    # -- replication taps --------------------------------------------------
+
+    def repl_commit(
+        self, group: str, term: int, leader: str, commit_ts: int, acks: int
+    ) -> None:
+        """A replica group quorum-committed one log entry."""
+        self._record(
+            "repl_commit", grp=group, term=term, leader=leader, ts=commit_ts,
+            acks=acks,
+        )
+
+    def repl_apply(self, group: str, region: str, commit_ts: int) -> None:
+        """A follower applied a shipped entry (its watermark advanced)."""
+        self._record("repl_apply", grp=group, region=region, ts=commit_ts)
+
+    def repl_elect(
+        self, group: str, term: int, leader: str, min_next_commit_ts: int
+    ) -> None:
+        """A leader failover completed."""
+        self._record(
+            "repl_elect", grp=group, term=term, leader=leader,
+            min_ts=min_next_commit_ts,
+        )
+
+    def follower_read(
+        self,
+        group: str,
+        region: str,
+        read_ts: int,
+        safe_ts: int,
+        bound_us: int,
+    ) -> None:
+        """A bounded-staleness read was routed to a replica."""
+        self._record(
+            "repl_read", grp=group, region=region, read_ts=read_ts,
+            safe=safe_ts, bound=bound_us,
         )
 
     # -- serialization -----------------------------------------------------

@@ -14,6 +14,7 @@ import itertools
 from typing import Callable, Optional
 
 from repro.errors import AlreadyExists, InvalidArgument, NotFound
+from repro.replication import ReplicaGroup
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel, MultiRegionalLatency, RegionalLatency
 from repro.sim.truetime import TrueTime
@@ -77,10 +78,21 @@ class FirestoreService:
             )
             for i in range(SPANNER_DATABASES_PER_REGION)
         ]
-        for spanner in self.spanner_databases:
+        for i, spanner in enumerate(self.spanner_databases):
             spanner.tracer = self.tracer
             spanner.metrics = metrics
             spanner.profiler = profiler
+            # every Spanner database is a geo-replica group over the
+            # deployment's topology: quorum commit, leases, failover
+            if self.latency.topology is not None:
+                spanner.replication = ReplicaGroup(
+                    name=spanner.name,
+                    clock=self.clock,
+                    topology=self.latency.topology,
+                    seed=i,
+                    metrics=metrics,
+                    host=spanner,
+                )
         self.splitters = [
             LoadBasedSplitter(db, metrics=metrics)
             for db in self.spanner_databases

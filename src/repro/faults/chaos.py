@@ -168,6 +168,12 @@ def _uninstall(database) -> None:
     database.layout.spanner.fault_plan = None
     database.realtime.fault_plan = None
     database.fault_plan = None
+    replication = getattr(database.layout.spanner, "replication", None)
+    if replication is not None:
+        replication.fault_plan = None
+        # region outages/partitions end with the fault window; followers
+        # catch up during the recovery drain
+        replication.heal()
 
 
 def _applied_tokens(database, tokens: list[str]) -> set[str]:
@@ -424,6 +430,115 @@ def _fanout_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None:
     }
 
 
+def _failover_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None:
+    """Geo-replicated commits through region outages, partitions, and
+    slow replicas — with one guaranteed leader outage mid-run.
+
+    The replica group runs a deliberately short leader lease, so the
+    retry backoff of the ops that fail while the dead leader still holds
+    it advances the sim clock past expiry and a follower is elected.
+    Afterwards the usual chaos trio must hold (clean history — including
+    the replication checker's external-consistency-across-failover pass —
+    exactly-once counters, converged listeners), plus every follower must
+    have applied the full replicated log.
+    """
+    from repro.core.backend import set_op
+    from repro.core.firestore import FirestoreService
+    from repro.core.values import increment
+    from repro.errors import FirestoreError
+
+    rand = SimRandom(seed).fork("chaos-failover")
+    jitter = retry_stream(f"chaos-failover:{seed}")
+    service = FirestoreService(multi_region=True)
+    database = service.create_database("failover")
+    install(plan, database)
+    clock = service.clock
+    group = database.layout.spanner.replication
+    # short lease: one-to-two failed commits' worth of retry backoff
+    group.lease_us = 150_000 + rand.randint(0, 250_000)
+    group.lease_expiry_us = clock.now_us + group.lease_us
+
+    view: dict = {}
+    connection = database.connect()
+
+    def apply(delta) -> None:
+        for doc in delta.documents:
+            view[str(doc.path)] = doc.data
+        for path in delta.removed:
+            view.pop(str(path), None)
+
+    connection.listen(database.query("docs"), apply)
+
+    tokens: list[str] = []
+    lag_samples: list[int] = []
+    for op in range(ops):
+        clock.advance(rand.randint(1_000, 10_000))
+        if op == ops // 2:
+            # the guaranteed failover: kill whatever region leads now
+            # (armed faults consume no rate draws, so the mix's own
+            # decisions are unperturbed)
+            plan.arm(
+                "region.outage",
+                region=group.leader_region,
+                duration_us=1_500_000,
+            )
+        token = f"chaos-failover:{seed}:{op}"
+        tokens.append(token)
+        writes = [
+            set_op(f"docs/d{rand.randint(0, 4)}", {"v": op}),
+            set_op("docs/counter", {"n": increment(1)}),
+        ]
+        run.attempted += 1
+        start = clock.now_us
+        try:
+            commit_with_retry(
+                database,
+                writes,
+                token=token,
+                rand=jitter,
+                metrics=plan.metrics,
+            )
+        except FirestoreError:
+            run.failed += 1
+        else:
+            run.succeeded += 1
+            run.latencies_us.append(clock.now_us - start)
+        group.catch_up()
+        lag_samples.append(group.replication_lag_us())
+        clock.advance(rand.randint(1_000, 8_000))
+        database.pump_realtime()
+
+    _uninstall(database)
+    _drain(database, rand)
+    connection.close()
+    group.catch_up()
+
+    caught_up = all(
+        replica.applied_index == len(group.log)
+        for replica in group.replicas.values()
+    )
+    applied = _applied_tokens(database, tokens)
+    counter = database.lookup("docs/counter")
+    actual = (counter.data or {}).get("n", 0)
+    run.exactly_once = actual == len(applied) and run.succeeded <= len(applied)
+    truth = {
+        str(doc.path): doc.data
+        for doc in database.run_query(database.query("docs")).documents
+    }
+    run.converged = caught_up and view == truth
+    run.extra = {
+        "failovers": group.failovers,
+        "final_term": group.term,
+        "final_leader": group.leader_region,
+        "unavailability_us": group.unavailability_us,
+        "log_entries": len(group.log),
+        "ledger_applied": len(applied),
+        "counter": actual,
+        "replication_lag_p99_us": percentile_or(lag_samples, 99),
+        "lag_samples_us": lag_samples,
+    }
+
+
 #: scenario name -> (builder, default ops)
 CHAOS_SCENARIOS: dict[
     str, tuple[Callable[[FaultPlan, int, int, ChaosRun], None], int]
@@ -431,6 +546,7 @@ CHAOS_SCENARIOS: dict[
     "commit": (_commit_chaos, 12),
     "ycsb": (_ycsb_chaos, 40),
     "realtime-fanout": (_fanout_chaos, 14),
+    "failover": (_failover_chaos, 20),
 }
 
 

@@ -64,6 +64,15 @@ REALTIME_FRONTEND_LOSS = "realtime.frontend_loss"
 SERVICE_TASK_CRASH = "service.task_crash"
 #: the client's network flaps (disconnect now, reconnect later).
 CLIENT_FLAP = "client.flap"
+#: a whole replica region goes down (detail ``region``, ``duration_us``;
+#: drawn if absent). The replica loses its in-flight shipping stream.
+REGION_OUTAGE = "region.outage"
+#: a replica region is partitioned from the leader (up but unreachable;
+#: detail ``region``, ``duration_us``).
+REGION_PARTITION = "region.partition"
+#: a replica ships/acks slowly (detail ``region``, ``penalty_us``,
+#: ``duration_us``) — lag grows, bounded reads fail over to closer state.
+REPLICA_SLOW = "replica.slow"
 
 ALL_SITES = (
     SPANNER_COMMIT_FAIL,
@@ -80,6 +89,9 @@ ALL_SITES = (
     REALTIME_FRONTEND_LOSS,
     SERVICE_TASK_CRASH,
     CLIENT_FLAP,
+    REGION_OUTAGE,
+    REGION_PARTITION,
+    REPLICA_SLOW,
 )
 
 #: named per-site probability mixes for the chaos runner. ``none`` is the
@@ -117,6 +129,22 @@ FAULT_MIXES: dict[str, dict[str, float]] = {
         REALTIME_FRONTEND_LOSS: 0.02,
         SERVICE_TASK_CRASH: 0.02,
         CLIENT_FLAP: 0.02,
+    },
+    # replication-focused mixes for the failover sweep: each one keeps a
+    # light storage/commit background so region faults land mid-traffic
+    "region-outage": {
+        REGION_OUTAGE: 0.06,
+        SPANNER_COMMIT_UNKNOWN: 0.03,
+        CLIENT_FLAP: 0.02,
+    },
+    "region-partition": {
+        REGION_PARTITION: 0.08,
+        SPANNER_COMMIT_FAIL: 0.03,
+        CLIENT_FLAP: 0.02,
+    },
+    "replica-slow": {
+        REPLICA_SLOW: 0.15,
+        SPANNER_TABLET_SLOW: 0.04,
     },
 }
 
@@ -263,4 +291,7 @@ def install(plan: FaultPlan, database) -> FaultPlan:
     database.layout.spanner.fault_plan = plan
     database.realtime.fault_plan = plan
     database.fault_plan = plan
+    replication = getattr(database.layout.spanner, "replication", None)
+    if replication is not None:
+        replication.fault_plan = plan
     return plan

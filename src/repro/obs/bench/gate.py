@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.obs.bench import bench_payload, metric
 from repro.obs.perf import Profiler, collapse_spans, flamegraph_svg
-from repro.obs.slo import DEFAULT_SLOS, SloEngine, SloSpec
+from repro.obs.slo import DEFAULT_SLOS, REPLICATION_SLOS, SloEngine, SloSpec
 
 GATE_SEED = 42
 
@@ -282,6 +282,67 @@ def gate_chaos(seed: int = 11) -> tuple[dict, dict]:
     return payload, {}
 
 
+def gate_failover(seed: int = 3) -> tuple[dict, dict]:
+    """Failover cell: leader-region outage mid-traffic, checked end to end.
+
+    Runs the ``failover`` chaos scenario under the ``region-outage`` mix
+    (an armed leader outage at the halfway point plus rate-driven region
+    faults), then judges replication lag and post-recovery convergence
+    against :func:`REPLICATION_SLOS`. The two headline numbers the gate
+    pins are the replication-lag p99 and the failover unavailability
+    window (sim time between the leader going dark and a successor
+    winning the election).
+    """
+    # reprolint: disable=layering -- the gate harness drives the chaos runner; it is above the obs layer, not inside it
+    from repro.faults.chaos import run_chaos
+
+    run = run_chaos("failover", seed=seed, mix="region-outage")
+    extra = run.extra or {}
+    slo = SloEngine(REPLICATION_SLOS(window_us=600_000_000))
+    # lag samples are taken once per op on the scenario's sim clock; the
+    # engine only needs a replay-stable bucketing, so spread them one per
+    # 10ms of judged time rather than threading the raw timestamps out.
+    lag_samples = extra.get("lag_samples_us", [])
+    for i, lag_us in enumerate(lag_samples):
+        slo.record_latency("replication.lag", i * 10_000, lag_us)
+    slo.record(
+        "replication.convergence",
+        len(lag_samples) * 10_000,
+        bool(run.converged),
+    )
+    slos = dict(run.slo_verdicts())
+    slos.update(slo.verdict_block(600_000_000 - 1))
+    payload = bench_payload(
+        name="gate_failover",
+        figure="",
+        metrics={
+            "attempted": metric(run.attempted, "count", kind="exact"),
+            "succeeded": metric(run.succeeded, "count", kind="exact"),
+            "availability": metric(
+                round(run.availability, 6), "ratio", tolerance=0.1
+            ),
+            "violations": metric(len(run.violations), "count", kind="exact"),
+            "failovers": metric(
+                extra.get("failovers", 0), "count", kind="exact"
+            ),
+            "unavailability_us": metric(
+                extra.get("unavailability_us", 0), "us"
+            ),
+            "replication_lag_p99_us": metric(
+                extra.get("replication_lag_p99_us", 0), "us"
+            ),
+            "log_entries": metric(
+                extra.get("log_entries", 0), "count", kind="exact"
+            ),
+            "latency_p50_us": metric(run.latency_percentile(50), "us"),
+            "latency_p99_us": metric(run.latency_percentile(99), "us"),
+        },
+        slos=slos,
+        raw={"summary": run.to_dict()},
+    )
+    return payload, {}
+
+
 #: cell name -> builder; the CLI runs them in this (sorted-stable) order
 GATE_CELLS = {
     "gate_ycsb": gate_ycsb,
@@ -289,6 +350,7 @@ GATE_CELLS = {
     "gate_commit": gate_commit,
     "gate_datashape": gate_datashape,
     "gate_chaos": gate_chaos,
+    "gate_failover": gate_failover,
 }
 
 

@@ -36,7 +36,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["SloSpec", "SloVerdict", "SloEngine", "DEFAULT_SLOS"]
+__all__ = [
+    "SloSpec",
+    "SloVerdict",
+    "SloEngine",
+    "DEFAULT_SLOS",
+    "REPLICATION_SLOS",
+]
 
 #: bucket granularity for windowed accounting (1 simulated second)
 BUCKET_US = 1_000_000
@@ -342,5 +348,35 @@ def DEFAULT_SLOS(window_us: int = 60_000_000) -> list[SloSpec]:
             target=1.5,
             window_us=window_us,
             stream="tenant.cpu",
+        ),
+    ]
+
+
+def REPLICATION_SLOS(window_us: int = 60_000_000) -> list[SloSpec]:
+    """Geo-replication objectives for the failover gate cell.
+
+    Kept separate from :func:`DEFAULT_SLOS` so single-region cells are
+    not judged against streams they never feed.
+    """
+    return [
+        # 99% of replication-lag samples within 200ms of the leader: a
+        # follower further behind stops qualifying for bounded reads at
+        # the common staleness bounds, so lag *is* the staleness budget.
+        SloSpec(
+            name="replication.lag",
+            kind="staleness",
+            target=0.99,
+            threshold_us=200_000,
+            window_us=window_us,
+            stream="replication.lag",
+        ),
+        # every post-recovery convergence check must pass: all followers
+        # caught up to the leader's log after faults heal.
+        SloSpec(
+            name="replication.convergence",
+            kind="convergence",
+            target=1.0,
+            window_us=window_us,
+            stream="replication.convergence",
         ),
     ]

@@ -1,0 +1,25 @@
+"""repro.replication — first-class geo-replicas for the simulated Spanner.
+
+Each :class:`~repro.spanner.database.SpannerDatabase` owns a
+:class:`ReplicaGroup`: a leader plus followers across the named regions
+of its :class:`~repro.sim.latency.ReplicaTopology`, with quorum commit,
+leader leases, log shipping with per-replica apply watermarks, region
+failover, and bounded-staleness read routing — all deterministic on the
+sim clock. See DESIGN.md ("repro.replication") for the quorum, lease,
+and staleness-routing rules.
+"""
+
+from repro.replication.group import (
+    DEFAULT_LEASE_US,
+    Replica,
+    ReplicaGroup,
+)
+from repro.replication.log import LogEntry, ReplicationLog
+
+__all__ = [
+    "DEFAULT_LEASE_US",
+    "LogEntry",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicationLog",
+]

@@ -1,0 +1,519 @@
+"""Geo-replica groups: quorum commit, leases, log shipping, failover.
+
+Each simulated Spanner database owns one :class:`ReplicaGroup` — a
+leader plus followers across the regions of its
+:class:`~repro.sim.latency.ReplicaTopology`. The group is a deterministic
+state machine on the sim clock:
+
+- **Quorum commit.** Every transaction commit appends one log entry; the
+  commit's ack latency is the ``quorum_size - 1``-th fastest reachable
+  follower round trip, priced from the shared region matrix. The leader
+  applies immediately; followers apply when the shipped entry *arrives*
+  on the sim clock, giving each replica a per-replica apply watermark.
+- **Leader leases.** The leader renews a wall... sim-clock lease on every
+  precommit. While the lease is live a failed leader blocks commits
+  (``Unavailable`` — clients retry with backoff, which advances the
+  clock); once it expires, any quorum of reachable replicas elects a
+  new leader.
+- **Failover.** The new leader recovers the full log from the quorum
+  (every entry was quorum-acked, so a majority holds it), bumps the
+  term, and publishes ``min_next_commit_ts`` so no post-failover commit
+  can timestamp below the pre-failover tail — the external-consistency
+  guarantee the offline checker (``repro.check``) judges.
+- **Staleness routing.** A bounded-staleness read is served by the
+  nearest replica whose *safe time* (everything at or below it is
+  applied) has reached ``now - bound``; the leader always qualifies.
+
+Fault sites (``region.outage``, ``region.partition``, ``replica.slow``)
+are consulted through the duck-typed ``fault_plan`` attribute, like every
+other layer; recorder/profiler/metrics hooks follow the same pattern.
+All randomness comes from streams forked off the group seed, so runs
+replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import InternalError, Unavailable
+from repro.replication.log import ReplicationLog
+from repro.sim.latency import ReplicaTopology
+from repro.sim.rand import SimRandom
+
+#: default leader-lease duration (sim microseconds)
+DEFAULT_LEASE_US = 10_000_000
+
+#: injected region-outage duration bounds (sim microseconds)
+OUTAGE_DURATION_US = (1_000_000, 4_000_000)
+#: injected partition duration bounds
+PARTITION_DURATION_US = (500_000, 3_000_000)
+#: injected slow-replica shipping penalty bounds and duration bounds
+SLOW_PENALTY_US = (20_000, 200_000)
+SLOW_DURATION_US = (1_000_000, 5_000_000)
+
+
+class Replica:
+    """Per-region replica state: liveness, shipping, apply watermark."""
+
+    __slots__ = (
+        "region",
+        "down_until_us",
+        "partitioned_until_us",
+        "slow_until_us",
+        "slow_penalty_us",
+        "next_index",
+        "inflight",
+        "applied_index",
+        "applied_ts",
+    )
+
+    def __init__(self, region: str):
+        self.region = region
+        self.down_until_us = 0  # outage: replica process is gone
+        self.partitioned_until_us = 0  # partition: up but unreachable
+        self.slow_until_us = 0
+        self.slow_penalty_us = 0
+        self.next_index = 0  # first log index not yet shipped here
+        self.inflight: list[tuple[int, int]] = []  # (arrive_us, index)
+        self.applied_index = 0  # first log index not yet applied
+        self.applied_ts = 0  # commit_ts of the last applied entry
+
+    def reachable(self, now_us: int) -> bool:
+        """Whether the leader (and clients) can talk to this replica."""
+        return now_us >= self.down_until_us and now_us >= self.partitioned_until_us
+
+    def shipping_penalty_us(self, now_us: int) -> int:
+        """Extra one-way delay while the replica is injected-slow."""
+        return self.slow_penalty_us if now_us < self.slow_until_us else 0
+
+    def heal(self) -> None:
+        """Clear every injected fault effect."""
+        self.down_until_us = 0
+        self.partitioned_until_us = 0
+        self.slow_until_us = 0
+        self.slow_penalty_us = 0
+
+
+class ReplicaGroup:
+    """Leader + followers for one Spanner database, on the sim clock."""
+
+    def __init__(
+        self,
+        name: str,
+        clock,
+        topology: ReplicaTopology,
+        seed: int = 0,
+        lease_us: int = DEFAULT_LEASE_US,
+        metrics=None,
+        host=None,
+    ):
+        self.name = name
+        self.clock = clock
+        self.topology = topology
+        self.lease_us = lease_us
+        self.metrics = metrics
+        #: the owning SpannerDatabase; recorder/profiler hooks are read
+        #: through it dynamically (duck-typed, None-tolerant) so guardrail
+        #: installation after construction still reaches this group
+        self.host = host
+        self.rand = SimRandom(seed).fork(f"replication:{name}")
+        self.log = ReplicationLog()
+        self.replicas: dict[str, Replica] = {
+            region: Replica(region) for region in topology.regions
+        }
+        self.leader_region = topology.leader
+        self.term = 1
+        self.lease_expiry_us = clock.now_us + lease_us
+        #: no commit may be timestamped at or below this - 1 (bumped on
+        #: failover to the recovered log tail + 1)
+        self.min_next_commit_ts = 0
+        # deterministic fault plane, duck-typed like spanner's
+        self.fault_plan = None
+        # failover bookkeeping
+        self.failovers = 0
+        self.unavailability_us = 0
+        self._leader_down_at_us: Optional[int] = None
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def quorum_size(self) -> int:
+        """Votes needed to commit or elect (leader's own vote counts)."""
+        return self.topology.quorum_size
+
+    @property
+    def leader(self) -> Replica:
+        """The current leader replica."""
+        return self.replicas[self.leader_region]
+
+    def _recorder(self):
+        return self.host.recorder if self.host is not None else None
+
+    def _reachable_regions(self, now_us: int) -> list[str]:
+        return [
+            region
+            for region in sorted(self.replicas)
+            if self.replicas[region].reachable(now_us)
+        ]
+
+    def _one_way_us(self, a: str, b: str) -> int:
+        return self.topology.one_way_us(a, b)
+
+    # -- log shipping and apply watermarks -----------------------------------
+
+    def _ship(self, replica: Replica, now_us: int) -> None:
+        """Queue unshipped entries toward a reachable replica, FIFO."""
+        if replica.region == self.leader_region:
+            return
+        if not replica.reachable(now_us):
+            return
+        one_way = self._one_way_us(self.leader_region, replica.region)
+        penalty = replica.shipping_penalty_us(now_us)
+        last_arrival = replica.inflight[-1][0] if replica.inflight else 0
+        for entry in self.log.entries_from(replica.next_index):
+            arrive = max(now_us + one_way + penalty, last_arrival)
+            replica.inflight.append((arrive, entry.index))
+            last_arrival = arrive
+            replica.next_index = entry.index + 1
+
+    def _apply_arrived(self, replica: Replica, now_us: int) -> None:
+        """Apply every shipped entry whose arrival time has passed."""
+        recorder = self._recorder()
+        applied = 0
+        while replica.inflight and replica.inflight[0][0] <= now_us:
+            _, index = replica.inflight.pop(0)
+            entry = self.log[index]
+            replica.applied_index = index + 1
+            replica.applied_ts = entry.commit_ts
+            applied += 1
+            if recorder is not None:
+                recorder.repl_apply(self.name, replica.region, entry.commit_ts)
+        if applied and self.metrics is not None:
+            self.metrics.counter(
+                "replication.entries_applied",
+                group=self.name,
+                region=replica.region,
+            ).inc(applied)
+
+    def catch_up(self, now_us: Optional[int] = None) -> None:
+        """Ship and apply toward every reachable replica, up to ``now``."""
+        now = self.clock.now_us if now_us is None else now_us
+        for region in sorted(self.replicas):
+            replica = self.replicas[region]
+            if region == self.leader_region:
+                continue
+            self._ship(replica, now)
+            if replica.reachable(now):
+                self._apply_arrived(replica, now)
+
+    def safe_time_us(self, region: str, now_us: Optional[int] = None) -> int:
+        """Highest timestamp at which this replica can serve reads.
+
+        Every commit at or below the safe time is applied locally. The
+        leader's safe time is always ``now``; a follower's is ``now``
+        when fully caught up, else one microsecond before its earliest
+        pending (shipped-but-unapplied or unshipped) entry.
+        """
+        now = self.clock.now_us if now_us is None else now_us
+        if region == self.leader_region:
+            return now
+        replica = self.replicas[region]
+        if replica.applied_index >= len(self.log):
+            return now
+        return self.log[replica.applied_index].commit_ts - 1
+
+    def replication_lag_us(self, now_us: Optional[int] = None) -> int:
+        """Worst follower staleness: max over followers of now - safe."""
+        now = self.clock.now_us if now_us is None else now_us
+        # TrueTime may stamp a commit slightly ahead of the sim clock, so
+        # a fully pending entry can put safe time past now: clamp at 0
+        lags = [
+            max(0, now - self.safe_time_us(region, now))
+            for region in self.replicas
+            if region != self.leader_region
+        ]
+        return max(lags) if lags else 0
+
+    # -- fault plane ----------------------------------------------------------
+
+    def _victim_region(self, site: str, detail: dict) -> str:
+        region = detail.get("region")
+        if region is not None:
+            return region
+        return self.fault_plan.rand(site).choice(sorted(self.replicas))
+
+    def _duration_us(self, site: str, detail: dict, bounds: tuple[int, int]) -> int:
+        duration = detail.get("duration_us")
+        if duration is None:
+            duration = self.fault_plan.rand(site).randint(*bounds)
+        return duration
+
+    def _fire_faults(self, now_us: int) -> None:
+        """Consult the fault plan once for each replication site."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        outage = plan.decide("region.outage")
+        if outage is not None:
+            region = self._victim_region("region.outage", outage)
+            until = now_us + self._duration_us(
+                "region.outage", outage, OUTAGE_DURATION_US
+            )
+            replica = self.replicas[region]
+            replica.down_until_us = max(replica.down_until_us, until)
+            # an outage loses the replica's in-flight shipping stream;
+            # the leader re-ships from the apply watermark on recovery
+            replica.inflight.clear()
+            replica.next_index = replica.applied_index
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "replication.region_outage", group=self.name, region=region
+                ).inc()
+        partition = plan.decide("region.partition")
+        if partition is not None:
+            region = self._victim_region("region.partition", partition)
+            until = now_us + self._duration_us(
+                "region.partition", partition, PARTITION_DURATION_US
+            )
+            replica = self.replicas[region]
+            replica.partitioned_until_us = max(replica.partitioned_until_us, until)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "replication.region_partition", group=self.name, region=region
+                ).inc()
+        slow = plan.decide("replica.slow")
+        if slow is not None:
+            region = self._victim_region("replica.slow", slow)
+            replica = self.replicas[region]
+            penalty = slow.get("penalty_us")
+            if penalty is None:
+                penalty = plan.rand("replica.slow").randint(*SLOW_PENALTY_US)
+            replica.slow_penalty_us = penalty
+            replica.slow_until_us = now_us + self._duration_us(
+                "replica.slow", slow, SLOW_DURATION_US
+            )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "replication.replica_slow", group=self.name, region=region
+                ).inc()
+
+    # -- commit path -----------------------------------------------------------
+
+    def precommit(self) -> None:
+        """Admission check run before a transaction takes locks.
+
+        Fires pending region faults, advances shipping, renews the
+        leader lease — or, when the leader is unreachable, either waits
+        out the lease (``Unavailable``; the caller's retry backoff
+        advances the clock) or elects a new leader. Also ``Unavailable``
+        when no quorum of replicas is reachable.
+        """
+        now = self.clock.now_us
+        self._fire_faults(now)
+        self.catch_up(now)
+        if self.leader.reachable(now):
+            if self._leader_down_at_us is not None:
+                # leader came back before the lease ran out: no failover
+                self._leader_down_at_us = None
+            self.lease_expiry_us = now + self.lease_us
+            self._check_quorum(now)
+            return
+        if self._leader_down_at_us is None:
+            self._leader_down_at_us = now
+        if now < self.lease_expiry_us:
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "replication.lease_wait", group=self.name
+                ).inc()
+            raise Unavailable(
+                f"replica group {self.name!r}: leader "
+                f"{self.leader_region!r} unreachable, lease held for "
+                f"{self.lease_expiry_us - now}us more"
+            )
+        self.elect(now)
+        self._check_quorum(now)
+
+    def _check_quorum(self, now_us: int) -> None:
+        reachable = len(self._reachable_regions(now_us))
+        if reachable < self.quorum_size:
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "replication.no_quorum", group=self.name
+                ).inc()
+            raise Unavailable(
+                f"replica group {self.name!r}: {reachable}/"
+                f"{len(self.replicas)} replicas reachable, quorum is "
+                f"{self.quorum_size}"
+            )
+
+    def commit(self, commit_ts: int, mutations: int) -> int:
+        """Append a committed transaction and run its quorum round.
+
+        Returns the quorum ack latency (the ``quorum_size - 1``-th
+        fastest reachable-follower round trip) for attribution; the
+        caller's latency model prices the commit's end-to-end time, so
+        this never advances the clock.
+        """
+        now = self.clock.now_us
+        leader = self.leader
+        if not leader.reachable(now):
+            raise InternalError(
+                f"replica group {self.name!r}: commit through unreachable "
+                f"leader {self.leader_region!r} (precommit not run?)"
+            )
+        entry = self.log.append(commit_ts, mutations, self.term, now)
+        # the leader applies synchronously
+        leader.next_index = entry.index + 1
+        leader.applied_index = entry.index + 1
+        leader.applied_ts = commit_ts
+        # ship toward reachable followers; quorum ack latency is paced by
+        # the (quorum_size - 1)-th fastest of their round trips
+        ack_rtts = []
+        for region in sorted(self.replicas):
+            if region == self.leader_region:
+                continue
+            replica = self.replicas[region]
+            self._ship(replica, now)
+            if replica.reachable(now):
+                rtt = 2 * self._one_way_us(self.leader_region, region)
+                ack_rtts.append(rtt + 2 * replica.shipping_penalty_us(now))
+        needed = self.quorum_size - 1
+        ack_rtts.sort()
+        ack_us = ack_rtts[needed - 1] if needed and len(ack_rtts) >= needed else 0
+        profiler = self.host.profiler if self.host is not None else None
+        if profiler:
+            profiler.account("replication", "quorum.ack", ack_us)
+        recorder = self._recorder()
+        if recorder is not None:
+            recorder.repl_commit(
+                self.name, self.term, self.leader_region, commit_ts, len(ack_rtts)
+            )
+        if self.metrics is not None:
+            self.metrics.counter("replication.commits", group=self.name).inc()
+            self.metrics.histogram(
+                "replication.quorum_ack_us", group=self.name
+            ).observe(ack_us)
+        return ack_us
+
+    # -- failover ---------------------------------------------------------------
+
+    def elect(self, now_us: Optional[int] = None) -> str:
+        """Elect a new leader from the reachable quorum.
+
+        The winner is the most caught-up reachable replica (ties break
+        to the lexicographically smallest region). It recovers the full
+        log from the quorum — every entry was quorum-acked, so a
+        majority holds each one — and publishes ``min_next_commit_ts``
+        one past the recovered tail, preserving external consistency
+        across the failover.
+        """
+        now = self.clock.now_us if now_us is None else now_us
+        candidates = self._reachable_regions(now)
+        if len(candidates) < self.quorum_size:
+            raise Unavailable(
+                f"replica group {self.name!r}: cannot elect, "
+                f"{len(candidates)}/{len(self.replicas)} reachable, "
+                f"quorum is {self.quorum_size}"
+            )
+        for region in candidates:
+            self._apply_arrived(self.replicas[region], now)
+        winner = min(
+            candidates,
+            key=lambda region: (-self.replicas[region].applied_ts, region),
+        )
+        self.term += 1
+        self.leader_region = winner
+        leader = self.replicas[winner]
+        # log recovery: the new leader reconstructs the quorum-acked
+        # suffix it had not yet applied locally
+        leader.inflight.clear()
+        leader.next_index = len(self.log)
+        leader.applied_index = len(self.log)
+        leader.applied_ts = self.log.last_commit_ts
+        self.min_next_commit_ts = self.log.last_commit_ts + 1
+        self.lease_expiry_us = now + self.lease_us
+        self.failovers += 1
+        if self._leader_down_at_us is not None:
+            self.unavailability_us += now - self._leader_down_at_us
+            self._leader_down_at_us = None
+        recorder = self._recorder()
+        if recorder is not None:
+            recorder.repl_elect(
+                self.name, self.term, winner, self.min_next_commit_ts
+            )
+        if self.metrics is not None:
+            self.metrics.counter("replication.failovers", group=self.name).inc()
+        return winner
+
+    # -- staleness routing --------------------------------------------------------
+
+    def route_read(
+        self,
+        client_region: str,
+        staleness_bound_us: int,
+        now_us: Optional[int] = None,
+    ) -> tuple[str, int]:
+        """Pick the replica to serve a bounded-staleness read.
+
+        Returns ``(region, read_ts)`` with ``read_ts = now - bound``.
+        Eligible replicas are reachable and have a safe time at or past
+        ``read_ts`` (so the data they serve at ``read_ts`` is complete —
+        never older than the bound). The nearest eligible replica wins
+        (ties break to the smallest region name); the leader always
+        qualifies, so there is always a fallback.
+        """
+        if staleness_bound_us < 0:
+            raise InternalError("staleness bound must be non-negative")
+        now = self.clock.now_us if now_us is None else now_us
+        self.catch_up(now)
+        read_ts = max(0, now - staleness_bound_us)
+        best: Optional[str] = None
+        best_hop = 0
+        for region in sorted(self.replicas):
+            replica = self.replicas[region]
+            if region != self.leader_region:
+                if not replica.reachable(now):
+                    continue
+                if self.safe_time_us(region, now) < read_ts:
+                    continue
+            hop = 2 * self.topology.one_way_us(client_region, region)
+            if best is None or hop < best_hop:
+                best = region
+                best_hop = hop
+        if best is None:  # pragma: no cover - the leader always qualifies
+            best = self.leader_region
+        recorder = self._recorder()
+        if recorder is not None:
+            recorder.follower_read(
+                self.name,
+                best,
+                read_ts,
+                self.safe_time_us(best, now),
+                staleness_bound_us,
+            )
+        if self.metrics is not None:
+            stream = (
+                "replication.leader_reads"
+                if best == self.leader_region
+                else "replication.follower_reads"
+            )
+            self.metrics.counter(stream, group=self.name).inc()
+        return best, read_ts
+
+    # -- chaos support -------------------------------------------------------------
+
+    def heal(self, now_us: Optional[int] = None) -> None:
+        """Clear every injected fault and catch every replica up."""
+        for region in sorted(self.replicas):
+            self.replicas[region].heal()
+        self._leader_down_at_us = None
+        now = self.clock.now_us if now_us is None else now_us
+        self.lease_expiry_us = now + self.lease_us
+        self.catch_up(now)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaGroup({self.name!r}, leader={self.leader_region!r}, "
+            f"term={self.term}, log={len(self.log)}, "
+            f"replicas={len(self.replicas)})"
+        )

@@ -1,0 +1,57 @@
+"""The replicated commit log a :class:`ReplicaGroup` ships to followers.
+
+One entry per committed Spanner transaction: the commit timestamp plus
+the mutation count (the simulation replicates *ordering and watermarks*,
+not payload bytes — the MVCC store itself already holds the data, shared
+by every replica of the simulated group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed transaction in the group's log."""
+
+    index: int
+    commit_ts: int
+    mutations: int
+    term: int
+    appended_at_us: int
+
+
+class ReplicationLog:
+    """Append-only, totally ordered commit log for one replica group."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+
+    def append(
+        self, commit_ts: int, mutations: int, term: int, now_us: int
+    ) -> LogEntry:
+        """Append the next entry; commit timestamps must be increasing."""
+        if self._entries and commit_ts <= self._entries[-1].commit_ts:
+            raise ValueError(
+                f"log commit_ts must increase: {commit_ts} after "
+                f"{self._entries[-1].commit_ts}"
+            )
+        entry = LogEntry(len(self._entries), commit_ts, mutations, term, now_us)
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> LogEntry:
+        return self._entries[index]
+
+    @property
+    def last_commit_ts(self) -> int:
+        """Commit timestamp of the tail entry (0 when empty)."""
+        return self._entries[-1].commit_ts if self._entries else 0
+
+    def entries_from(self, index: int) -> list[LogEntry]:
+        """Entries at positions >= ``index`` (the unshipped suffix)."""
+        return self._entries[index:]

@@ -120,7 +120,7 @@ class ServingCluster:
 
         #: global routing: register databases' home regions to price the
         #: client -> region network hop per request (section IV-A)
-        self.router = GlobalRouter()
+        self.router = GlobalRouter(metrics=metrics)
         # the section-VI emergency tool: databases routed to their own pool
         self._isolated_pools: dict[str, TaskPool] = {}
         self._isolated_autoscalers: dict[str, Autoscaler] = {}
@@ -172,6 +172,7 @@ class ServingCluster:
         memory_bytes: int = 0,
         client_region: Optional[str] = None,
         deadline_us: Optional[int] = None,
+        staleness_bound_us: Optional[int] = None,
     ) -> bool:
         """Inject one request; ``on_complete`` receives end-to-end latency.
 
@@ -183,7 +184,11 @@ class ServingCluster:
         ``deadline_us`` is an absolute sim-clock deadline carried on the
         RPC envelope through both hops: once it passes, whichever hop
         holds the request expires it (``on_reject``) instead of finishing
-        work the caller has abandoned.
+        work the caller has abandoned. ``staleness_bound_us`` marks a
+        GET/QUERY as a bounded-staleness read: the router picks the
+        nearest sufficiently caught-up replica (leader fallback) and the
+        request pays that replica's hop plus a local read, instead of the
+        home region's leader round trip.
         """
         arrival = self.kernel.now_us
         operation = kind.name.lower()
@@ -219,10 +224,24 @@ class ServingCluster:
             return False
 
         cost = cpu_cost_us if cpu_cost_us is not None else DEFAULT_CPU_COST_US[kind]
-        storage_us = self._storage_latency(kind, commit_participants)
-        if client_region is not None:
+        if staleness_bound_us is not None and kind in (RpcKind.GET, RpcKind.QUERY):
+            # bounded-staleness read: the chosen replica serves it from
+            # local state — no leader quorum round trip on the read path
+            reader = (
+                client_region
+                if client_region is not None
+                else self.router.home_region(database_id)
+            )
+            serving_region, _read_ts = self.router.route_read(
+                database_id, reader, staleness_bound_us
+            )
+            storage_us = self.latency.local_read_us(self.rand)
+            network_us = 2 * self.router.pair_latency_us(reader, serving_region)
+        elif client_region is not None:
+            storage_us = self._storage_latency(kind, commit_participants)
             network_us = 2 * self.router.network_latency_us(client_region, database_id)
         else:
+            storage_us = self._storage_latency(kind, commit_participants)
             network_us = 2 * self.latency.rpc_us(self.rand)  # same-region client
         trace_ctx = root.context if root is not None else None
 

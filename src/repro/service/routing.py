@@ -1,4 +1,4 @@
-"""Global routing: requests find their database's region.
+"""Global routing: requests find their database's region (and replica).
 
 "Firestore RPCs from the application get routed and distributed across
 the Frontend tasks in the region where the database is located" (paper
@@ -6,55 +6,100 @@ section IV). The router knows each database's home region and adds the
 client->region network latency to every request — a regional client
 talking to its own region is fast; cross-continent access pays the WAN
 round trip.
+
+The latency table is the shared region matrix of
+:mod:`repro.sim.latency` — the same numbers that price replica-quorum
+commits — so client hops and replication always agree on the network
+topology. A database with an attached :class:`ReplicaGroup` can also
+serve *bounded-staleness* reads from the nearest sufficiently
+caught-up follower (:meth:`GlobalRouter.route_read`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import NotFound
+from repro.sim.latency import (
+    INTER_REGION_ONE_WAY_US,
+    pair_one_way_us,
+    region_matrix,
+)
 
-#: one-way network latency between region pairs, microseconds
-DEFAULT_INTER_REGION_US = {
-    ("us-central", "us-central"): 500,
-    ("us-central", "us-east"): 15_000,
-    ("us-central", "europe-west"): 50_000,
-    ("us-central", "asia-east"): 80_000,
-    ("us-east", "europe-west"): 40_000,
-    ("us-east", "asia-east"): 90_000,
-    ("europe-west", "asia-east"): 120_000,
-}
+#: one-way network latency between region pairs, microseconds — an alias
+#: of the shared matrix (kept for compatibility with older callers)
+DEFAULT_INTER_REGION_US = INTER_REGION_ONE_WAY_US
 
 
 @dataclass
 class GlobalRouter:
-    """Maps databases to regions and prices the network hop."""
+    """Maps databases to regions/replicas and prices the network hop."""
 
-    latencies: dict[tuple[str, str], int] = field(
-        default_factory=lambda: dict(DEFAULT_INTER_REGION_US)
-    )
+    latencies: dict[tuple[str, str], int] = field(default_factory=region_matrix)
+    metrics: Optional[object] = None
     _homes: dict[str, str] = field(default_factory=dict)
+    _replicas: dict[str, object] = field(default_factory=dict)
 
     def register_database(self, database_id: str, region: str) -> None:
         """Record a database's home region."""
         self._homes[database_id] = region
 
+    def attach_replicas(self, database_id: str, group) -> None:
+        """Attach a database's ReplicaGroup for staleness-aware routing.
+
+        Also registers the group's current leader region as the
+        database's home, so strong reads and commits route to the leader.
+        """
+        self._replicas[database_id] = group
+        self._homes.setdefault(database_id, group.leader_region)
+
     def home_region(self, database_id: str) -> str:
-        """The region a database lives in."""
+        """The region a database lives in.
+
+        Raises :class:`repro.errors.NotFound` for a database that was
+        never registered (and counts it: ``routing.unknown_database``) —
+        routing a request for an unknown database is a caller bug, not a
+        case to paper over with a default region.
+        """
         region = self._homes.get(database_id)
         if region is None:
+            if self.metrics is not None:
+                self.metrics.counter("routing.unknown_database").inc()
             raise NotFound(f"unrouted database {database_id!r}")
         return region
 
+    def pair_latency_us(self, a: str, b: str) -> int:
+        """One-way latency between two regions, from the shared matrix."""
+        return pair_one_way_us(a, b, self.latencies)
+
     def network_latency_us(self, client_region: str, database_id: str) -> int:
         """One-way client-to-home-region network latency."""
+        return self.pair_latency_us(client_region, self.home_region(database_id))
+
+    def route_read(
+        self,
+        database_id: str,
+        client_region: str,
+        staleness_bound_us: int,
+    ) -> tuple[str, Optional[int]]:
+        """The replica region serving a bounded-staleness read.
+
+        With a replica group attached, delegates to its staleness
+        routing: the nearest reachable replica whose safe time covers
+        ``now - bound`` (leader fallback), returning ``(region,
+        read_ts)``. Without one, the home region serves and the read
+        timestamp is the caller's to choose (returned as None).
+        """
         home = self.home_region(database_id)
-        if client_region == home:
-            return self.latencies.get((home, home), 500)
-        key = (client_region, home)
-        if key in self.latencies:
-            return self.latencies[key]
-        reverse = (home, client_region)
-        if reverse in self.latencies:
-            return self.latencies[reverse]
-        return 100_000  # unknown pair: assume intercontinental
+        group = self._replicas.get(database_id)
+        if group is None:
+            return home, None
+        region, read_ts = group.route_read(client_region, staleness_bound_us)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "routing.bounded_reads",
+                database_id=database_id,
+                region=region,
+            ).inc()
+        return region, read_ts

@@ -75,6 +75,10 @@ class SpannerDatabase:
         # like sanitizer/recorder so this layer needs no import — None
         # means every injection hook is inert
         self.fault_plan = None
+        # geo-replica group (repro.replication.ReplicaGroup): duck-typed
+        # like fault_plan; None means single-replica semantics (commits
+        # skip the quorum machinery, bounded reads serve locally)
+        self.replication = None
         # observability
         from repro.obs.tracer import NULL_TRACER
 
@@ -241,6 +245,31 @@ class SpannerDatabase:
                 yielded += 1
                 if limit is not None and yielded >= limit:
                     return
+
+    def bounded_staleness_read(
+        self,
+        table: str,
+        row_key: bytes,
+        staleness_bound_us: int,
+        client_region: str = "",
+    ) -> tuple[str, int, Any]:
+        """A bounded-staleness read, served by the nearest caught-up replica.
+
+        The read timestamp is ``now - staleness_bound_us``, so the result
+        is never staler than the bound. With a replica group installed the
+        group routes to the closest replica whose safe time covers the
+        read timestamp (leader fallback); without one the single replica
+        serves it. Returns ``(serving_region, read_ts, value)``.
+        """
+        group = self.replication
+        if group is not None:
+            region, read_ts = group.route_read(
+                client_region or group.leader_region, staleness_bound_us
+            )
+        else:
+            region = ""
+            read_ts = max(0, self.clock.now_us - staleness_bound_us)
+        return region, read_ts, self.snapshot_read(table, row_key, read_ts)
 
     def current_timestamp(self) -> int:
         """A safe timestamp for strong reads: every commit <= it is visible."""

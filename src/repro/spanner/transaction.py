@@ -348,6 +348,18 @@ class ReadWriteTransaction:
         profiler = self._db.profiler or NULL_PROFILER
 
         with profiler.measure("spanner", "commit", self._db.clock):
+            # Phase 0: the replica group admits the commit — the leader
+            # must be reachable with a live lease and a quorum up, else
+            # Unavailable (clients retry with backoff, which advances the
+            # clock toward lease expiry and failover)
+            replication = self._db.replication
+            if replication is not None:
+                try:
+                    replication.precommit()
+                except Unavailable:
+                    self._abort()
+                    raise
+
             # Phase 1 (prepare): exclusive-lock every written row.
             with tracer.span(
                 "spanner.locks",
@@ -472,6 +484,13 @@ class ReadWriteTransaction:
             LoadBasedSplitter(self._db).split_tablet(tablet, at_key=ckey)
 
     def _apply(self, min_commit_ts: int, max_commit_ts: Optional[int]) -> int:
+        replication = self._db.replication
+        if replication is not None:
+            # a post-failover leader must timestamp above the recovered
+            # log tail (external consistency across failover); TrueTime's
+            # global monotonicity already guarantees this, so the floor is
+            # belt-and-braces the offline checker can see enforced
+            min_commit_ts = max(min_commit_ts, replication.min_next_commit_ts)
         try:
             commit_ts = self._db.truetime.issue_commit_timestamp(
                 min_commit_ts, max_commit_ts
@@ -487,6 +506,11 @@ class ReadWriteTransaction:
             tablet.stats.record_write(now)
         if self._pending_messages:
             self._db.message_queue.commit_messages(self._pending_messages, commit_ts)
+        if replication is not None:
+            # quorum round: append to the replicated log and ship toward
+            # followers (pure bookkeeping on the sim clock — the latency
+            # model prices the commit's end-to-end time)
+            replication.commit(commit_ts, len(self._writes))
         if self._db.sanitizer is not None:
             self._db.sanitizer.on_commit_applied(list(self._writes), commit_ts)
         recorder = self._db.recorder

@@ -1,0 +1,100 @@
+"""Replication histories: each violation class fires on its minimal
+history and stays silent on the legal variant."""
+
+from repro.check.checker import (
+    FailoverConsistencyViolation,
+    FollowerStalenessViolation,
+    ReplicaWatermarkViolation,
+    check_history,
+)
+
+
+def repl_commit(ts, term=1, leader="a", grp="g", acks=1):
+    return {
+        "k": "repl_commit", "grp": grp, "term": term, "leader": leader,
+        "ts": ts, "acks": acks,
+    }
+
+
+def repl_apply(region, ts, grp="g"):
+    return {"k": "repl_apply", "grp": grp, "region": region, "ts": ts}
+
+
+def repl_elect(term, min_ts, leader="b", grp="g"):
+    return {
+        "k": "repl_elect", "grp": grp, "term": term, "leader": leader,
+        "min_ts": min_ts,
+    }
+
+
+def repl_read(read_ts, safe, bound=1_000, t=None, region="b", grp="g"):
+    event = {
+        "k": "repl_read", "grp": grp, "region": region,
+        "read_ts": read_ts, "safe": safe, "bound": bound,
+    }
+    if t is not None:
+        event["t"] = t
+    return event
+
+
+def checks_of(events):
+    return {type(v) for v in check_history(events)}
+
+
+def test_clean_replication_history():
+    events = [
+        repl_commit(10),
+        repl_apply("b", 10),
+        repl_commit(20),
+        repl_elect(2, 21),
+        repl_commit(30, term=2, leader="b"),
+        repl_apply("b", 20),
+        repl_read(read_ts=9_000, safe=9_500, bound=1_000, t=10_000),
+    ]
+    assert check_history(events) == []
+
+
+def test_commit_timestamp_regression_is_flagged():
+    events = [repl_commit(20), repl_commit(20)]
+    assert checks_of(events) == {FailoverConsistencyViolation}
+
+
+def test_commit_below_failover_floor_is_flagged():
+    events = [repl_commit(20), repl_elect(2, 21), repl_commit(25, term=2)]
+    assert check_history(events) == []
+    events = [repl_commit(30), repl_elect(2, 31), repl_commit(25, term=2)]
+    # ts went backwards *and* dipped below the published floor
+    assert checks_of(events) == {FailoverConsistencyViolation}
+    assert len(check_history(events)) == 2
+
+
+def test_term_regression_is_flagged():
+    events = [repl_elect(2, 1), repl_elect(2, 5)]
+    assert checks_of(events) == {FailoverConsistencyViolation}
+
+
+def test_apply_watermark_regression_is_flagged():
+    events = [repl_apply("b", 10), repl_apply("b", 9)]
+    assert checks_of(events) == {ReplicaWatermarkViolation}
+    # distinct replicas have independent watermarks
+    assert check_history([repl_apply("b", 10), repl_apply("c", 9)]) == []
+
+
+def test_read_beyond_safe_time_is_flagged():
+    events = [repl_read(read_ts=100, safe=99)]
+    assert checks_of(events) == {FollowerStalenessViolation}
+
+
+def test_read_older_than_the_bound_is_flagged():
+    events = [repl_read(read_ts=7_000, safe=9_999, bound=1_000, t=10_000)]
+    assert checks_of(events) == {FollowerStalenessViolation}
+
+
+def test_groups_are_independent():
+    events = [
+        repl_commit(20, grp="g1"),
+        repl_commit(10, grp="g2"),
+        repl_apply("b", 20, grp="g1"),
+        repl_apply("b", 10, grp="g2"),
+    ]
+    assert check_history(events) == []

@@ -148,3 +148,22 @@ def test_gate_commit_cell_byte_stable_and_canary_trips():
     assert "commit_p50_us" in names
     for regression in regressions:
         assert regression.factor >= 1.0
+
+
+def test_gate_failover_cell_byte_stable_and_clean():
+    from repro.obs.bench.gate import GATE_CELLS, gate_failover
+
+    assert GATE_CELLS["gate_failover"] is gate_failover
+    payload, _ = gate_failover()
+    again, _ = gate_failover()
+    assert json.dumps(payload, sort_keys=True) == json.dumps(
+        again, sort_keys=True
+    )
+    metrics = payload["metrics"]
+    assert metrics["violations"]["value"] == 0
+    assert metrics["failovers"]["value"] >= 1
+    assert metrics["unavailability_us"]["value"] > 0
+    slos = payload["slos"]
+    assert slos["replication.lag"]["ok"]
+    assert slos["replication.convergence"]["ok"]
+    assert compare_bench(payload, payload) == []

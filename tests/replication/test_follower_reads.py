@@ -1,0 +1,155 @@
+"""Bounded-staleness routing: the staleness bound is never violated.
+
+The contract under test (ISSUE satellite): a lagging follower must never
+serve data older than the requested bound — it either qualifies (its
+safe time covers ``now - bound``) or the read falls back toward the
+leader, which always qualifies.
+"""
+
+import pytest
+
+from repro.core.backend import set_op
+from repro.core.firestore import FirestoreService
+from repro.errors import InternalError, Unavailable
+from repro.faults.plan import FaultPlan
+from repro.replication import ReplicaGroup
+from repro.sim.clock import SimClock
+from repro.sim.latency import NAM5_TOPOLOGY, regional_topology
+
+
+def make_group(topology=None, seed=1):
+    clock = SimClock()
+    group = ReplicaGroup(
+        "g",
+        clock,
+        topology if topology is not None else regional_topology(),
+        seed=seed,
+    )
+    return clock, group
+
+
+def test_caught_up_follower_serves_nearby_client():
+    clock, group = make_group()
+    a, b, c = sorted(group.replicas)
+    group.commit(100, 1)
+    clock.advance(5_000)
+    region, read_ts = group.route_read(b, staleness_bound_us=1_000)
+    assert region == b  # self-hop beats the intra-metro hop to the leader
+    assert read_ts == clock.now_us - 1_000
+
+
+def test_lagging_follower_never_serves_older_than_bound():
+    clock, group = make_group()
+    clock.advance(10_000)
+    # entry stamped just behind now; followers have not applied it yet
+    group.commit(clock.now_us - 5, 1)
+    for client in sorted(group.replicas):
+        region, read_ts = group.route_read(client, staleness_bound_us=0)
+        # a zero bound demands read_ts == now; only the leader's safe
+        # time covers it while the entry is in flight
+        assert region == group.leader_region
+        assert group.safe_time_us(region) >= read_ts
+
+
+def test_leader_fallback_when_no_follower_qualifies():
+    clock, group = make_group(topology=NAM5_TOPOLOGY)
+    clock.advance(50_000)
+    group.commit(clock.now_us - 10, 1)
+    # nothing has arrived anywhere (min one-way is 3000us)
+    region, read_ts = group.route_read("us-east", staleness_bound_us=5)
+    assert region == group.leader_region == "us-central"
+
+
+def test_loose_bound_lets_a_lagging_follower_serve():
+    clock, group = make_group(topology=NAM5_TOPOLOGY)
+    clock.advance(50_000)
+    group.commit(clock.now_us - 10, 1)
+    # bound far wider than the pending entry's age: the nearest
+    # follower qualifies even though it is behind the leader
+    region, _ = group.route_read("us-east", staleness_bound_us=200_000)
+    assert region == "us-east"
+
+
+def test_unreachable_followers_are_skipped():
+    clock, group = make_group()
+    a, b, c = sorted(group.replicas)
+    group.commit(100, 1)
+    clock.advance(5_000)
+    group.replicas[b].partitioned_until_us = clock.now_us + 1_000_000
+    region, _ = group.route_read(b, staleness_bound_us=10_000)
+    assert region != b
+
+
+def test_negative_bound_is_rejected():
+    _, group = make_group()
+    with pytest.raises(InternalError):
+        group.route_read(group.leader_region, -1)
+
+
+def test_staleness_invariant_under_random_lag(seed=11):
+    """Property sweep: whatever the lag pattern, the served replica's
+    safe time always covers the read timestamp (deterministic, seeded)."""
+    clock, group = make_group(topology=NAM5_TOPOLOGY, seed=seed)
+    plan = FaultPlan(seed=seed, rates={"replica.slow": 0.3})
+    group.fault_plan = plan
+    ts = 0
+    rand = group.rand.fork("test")
+    for i in range(60):
+        clock.advance(rand.randint(1_000, 40_000))
+        try:
+            group.precommit()
+        except Unavailable:
+            continue
+        ts = max(ts + 1, clock.now_us - rand.randint(0, 8))
+        group.commit(ts, 1)
+        client = rand.choice(sorted(group.replicas))
+        bound = rand.randint(0, 300_000)
+        region, read_ts = group.route_read(client, bound)
+        now = clock.now_us
+        assert read_ts == max(0, now - bound)
+        assert group.safe_time_us(region, now) >= read_ts
+
+
+def test_bounded_read_through_the_service_stack():
+    service = FirestoreService(multi_region=True)
+    database = service.create_database("geo")
+    database.commit([set_op("cities/par", {"name": "Paris"})])
+    spanner = database.layout.spanner
+    group = spanner.replication
+    assert group is not None
+    service.clock.advance(30_000)
+    doc = database.lookup("cities/par")
+    assert doc is not None
+    # a bound wider than the replication lag routes to the us-east
+    # follower, and the entity row is visible at the read timestamp
+    entities = spanner.table("Entities")
+    composite = min(
+        key
+        for tablet in spanner.tablets
+        for key in tablet.rows
+        if key.startswith(entities.prefix())
+    )
+    row_key = composite[len(entities.prefix()):]
+    region, read_ts, value = spanner.bounded_staleness_read(
+        "Entities", row_key, staleness_bound_us=10_000,
+        client_region="us-east",
+    )
+    assert region == "us-east"
+    assert read_ts == service.clock.now_us - 10_000
+    assert value is not None
+
+
+def test_routing_is_deterministic():
+    def run():
+        clock, group = make_group(topology=NAM5_TOPOLOGY, seed=5)
+        out = []
+        ts = 0
+        rand = group.rand.fork("drive")
+        for i in range(40):
+            clock.advance(rand.randint(500, 20_000))
+            ts = max(ts + 1, clock.now_us - rand.randint(0, 1_000))
+            group.commit(ts, 1)
+            out.append(group.route_read("us-west", rand.randint(0, 50_000)))
+        return out
+
+    assert run() == run()

@@ -120,3 +120,53 @@ def test_global_routing_prices_remote_clients():
     cluster.kernel.run_for(30_000_000)
     # the intercontinental client pays the WAN round trip on every call
     assert remote.p50 > local.p50 + 80_000
+
+
+# -- bounded-staleness read routing ------------------------------------------
+
+
+class _StubGroup:
+    """Replica-group stand-in: always serves from a fixed region."""
+
+    leader_region = "us-central"
+
+    def __init__(self, region):
+        self.region = region
+
+    def route_read(self, client_region, staleness_bound_us):
+        return self.region, 0
+
+
+def make_multi_cluster():
+    config = ClusterConfig(
+        multi_region=True,
+        autoscale_frontend=False,
+        autoscale_backend=False,
+    )
+    return ServingCluster(config=config)
+
+
+def test_bounded_read_from_nearby_follower_beats_the_leader_hop():
+    far = make_multi_cluster()
+    far.router.register_database("db", "us-central")
+    far.router.attach_replicas("db", _StubGroup("us-central"))
+    near = make_multi_cluster()
+    near.router.register_database("db", "us-central")
+    near.router.attach_replicas("db", _StubGroup("us-east"))
+    kwargs = dict(client_region="us-east", staleness_bound_us=10_000)
+    leader_served = run_requests(far, 50, RpcKind.GET, **kwargs)
+    follower_served = run_requests(near, 50, RpcKind.GET, **kwargs)
+    # us-east client: leader hop is 2x15000us, the local follower ~2x500
+    assert follower_served.p50 < leader_served.p50 - 20_000
+
+
+def test_bounded_read_only_reprices_reads():
+    cluster = make_multi_cluster()
+    cluster.router.register_database("db", "us-central")
+    cluster.router.attach_replicas("db", _StubGroup("us-east"))
+    kwargs = dict(client_region="us-east", staleness_bound_us=10_000)
+    commits = run_requests(cluster, 50, RpcKind.COMMIT, **kwargs)
+    strong = run_requests(cluster, 50, RpcKind.COMMIT,
+                          client_region="us-east")
+    # commits ignore the staleness bound: same leader path either way
+    assert abs(commits.p50 - strong.p50) < 0.5 * max(strong.p50, 1)

@@ -41,3 +41,67 @@ def test_latency_is_symmetric(router):
 def test_unknown_pair_assumed_intercontinental(router):
     router.register_database("mars-app", "mars-base")
     assert router.network_latency_us("us-central", "mars-app") >= 100_000
+
+
+# -- unknown databases (typed error + counter) -------------------------------
+
+
+def test_unrouted_database_error_names_the_database():
+    router = GlobalRouter()
+    with pytest.raises(NotFound, match="ghost"):
+        router.home_region("ghost")
+
+
+def test_unrouted_database_bumps_the_counter():
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    router = GlobalRouter(metrics=metrics)
+    for _ in range(3):
+        with pytest.raises(NotFound):
+            router.home_region("ghost")
+    assert metrics.counter("routing.unknown_database").value == 3
+
+
+# -- replica-aware routing ---------------------------------------------------
+
+
+class _FakeGroup:
+    leader_region = "us-central"
+
+    def __init__(self):
+        self.calls = []
+
+    def route_read(self, client_region, staleness_bound_us):
+        self.calls.append((client_region, staleness_bound_us))
+        return "us-east", 1234
+
+
+def test_route_read_without_replicas_serves_from_home(router):
+    assert router.route_read("us-app", "europe-west", 5_000) == (
+        "us-central",
+        None,
+    )
+
+
+def test_route_read_delegates_to_the_replica_group():
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    router = GlobalRouter(metrics=metrics)
+    group = _FakeGroup()
+    router.attach_replicas("geo", group)
+    assert router.home_region("geo") == "us-central"  # from the group
+    assert router.route_read("geo", "us-east", 9_000) == ("us-east", 1234)
+    assert group.calls == [("us-east", 9_000)]
+    assert (
+        metrics.counter(
+            "routing.bounded_reads", database_id="geo", region="us-east"
+        ).value
+        == 1
+    )
+
+
+def test_pair_latency_uses_the_shared_matrix(router):
+    assert router.pair_latency_us("us-central", "us-east") == 15_000
+    assert router.pair_latency_us("nowhere", "elsewhere") == 100_000

@@ -51,3 +51,67 @@ def test_samples_are_positive_and_jittered(rand):
 def test_zero_base_has_zero_latency(rand):
     model = LatencyModel(rpc_hop_us=0, quorum_us=0, per_participant_us=0)
     assert model.rpc_us(rand) == 0
+
+
+# -- replica topologies ------------------------------------------------------
+
+
+def test_regional_topology_quorum_matches_legacy_scalar():
+    from repro.sim.latency import regional_topology
+
+    topo = regional_topology()
+    assert topo.quorum_size == 2
+    # quorum RTT = fastest follower round trip = 2 x intra-metro one-way
+    assert topo.quorum_rtt_us() == 2_000
+    assert RegionalLatency().quorum_us == 2_000
+
+
+def test_nam5_topology_quorum_matches_legacy_scalar():
+    from repro.sim.latency import NAM5_TOPOLOGY
+
+    assert NAM5_TOPOLOGY.quorum_size == 3
+    # 5 replicas: the quorum closes on the 2nd-fastest follower RTT
+    assert NAM5_TOPOLOGY.quorum_rtt_us() == 12_000
+    assert MultiRegionalLatency().quorum_us == 12_000
+
+
+def test_quorum_rtt_depends_on_the_leader():
+    from repro.sim.latency import NAM5_TOPOLOGY
+
+    central = NAM5_TOPOLOGY.quorum_rtt_us("us-central")
+    west = NAM5_TOPOLOGY.quorum_rtt_us("us-west")
+    assert west > central  # us-west is far from the other four
+
+
+def test_topology_rejects_bad_placements():
+    from repro.sim.latency import ReplicaTopology
+
+    with pytest.raises(ValueError):
+        ReplicaTopology(leader="x", regions=("a", "b"))
+    with pytest.raises(ValueError):
+        ReplicaTopology(leader="a", regions=("a", "a", "b"))
+
+
+def test_pair_lookup_fallback_chain():
+    from repro.sim.latency import pair_one_way_us
+
+    assert pair_one_way_us("r", "r") == 500  # self pair
+    assert pair_one_way_us("us-central", "us-east") == 15_000  # direct
+    assert pair_one_way_us("us-east", "us-central") == 15_000  # reverse
+    assert pair_one_way_us("m-a", "m-b") == 1_000  # same metro, zones
+    assert pair_one_way_us("foo", "bar") == 100_000  # unknown: assume WAN
+
+
+def test_explicit_table_overrides_the_shared_matrix():
+    from repro.sim.latency import pair_one_way_us
+
+    table = {("x", "y"): 42}
+    assert pair_one_way_us("x", "y", table) == 42
+    assert pair_one_way_us("y", "x", table) == 42
+
+
+def test_local_read_skips_the_quorum(rand):
+    model = MultiRegionalLatency()
+    local = _median([model.local_read_us(rand) for _ in range(200)])
+    replicated = _median([model.read_us(rand) for _ in range(200)])
+    assert local < replicated
