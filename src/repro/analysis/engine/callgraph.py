@@ -1,0 +1,268 @@
+"""The project call graph, duck-typed where static resolution ends.
+
+Resolution strategy, per call site inside a function:
+
+- ``name(...)`` — a local/module function of that name, else an
+  ``from repro.x import name`` alias into another project module, else
+  an external (stdlib/builtin) callee recorded by dotted name.
+- ``self.m(...)`` — the enclosing class's ``m`` if it defines one,
+  otherwise every project function named ``m`` (duck typing: the
+  receiver might be any implementation, e.g. a ``fault_plan`` hook).
+- ``obj.m(...)`` — duck-typed: every project function named ``m``. This
+  over-approximates, which is the safe direction for taint (no edge is
+  silently dropped) and is bounded in practice by the repo's naming.
+- ``module.func(...)`` through an import alias — the aliased project
+  module's function, else external by resolved dotted name.
+
+Cycles are fine: the graph is plain adjacency; closures over it
+(hot-path marking, taint propagation) use visited sets keyed by sorted
+worklists, so they terminate and stay deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine.symbols import FunctionInfo, SymbolTable
+
+#: methods so ubiquitous that duck-typed resolution to every same-named
+#: project function would drown the graph in false edges (dict.get vs a
+#: component's .get, list.append, ...). Calls to these resolve only
+#: through ``self``/the enclosing class, never by bare duck typing.
+_DUCK_STOPLIST = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "copy",
+        "count",
+        "extend",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "pop",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "split",
+        "startswith",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+
+class CallGraph:
+    """Adjacency over :class:`SymbolTable` qualnames."""
+
+    def __init__(self, table: SymbolTable):
+        self.table = table
+        #: caller qualname -> sorted tuple of project callee qualnames
+        self.callees: dict[str, tuple[str, ...]] = {}
+        #: callee qualname -> sorted tuple of project caller qualnames
+        self.callers: dict[str, tuple[str, ...]] = {}
+        #: caller qualname -> sorted tuple of resolved external dotted
+        #: names it calls (``time.perf_counter``, ``len``, ...)
+        self.external_calls: dict[str, tuple[str, ...]] = {}
+        #: caller qualname -> sorted tuple of project *class* qualnames
+        #: it instantiates (constructor calls)
+        self.instantiates: dict[str, tuple[str, ...]] = {}
+        #: caller qualname -> {project callee qualname -> first call line}
+        self.call_lines: dict[str, dict[str, int]] = {}
+
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        graph = cls(table)
+        callers_acc: dict[str, dict[str, None]] = {}
+        for qualname, info in table.functions.items():
+            project: dict[str, int] = {}
+            external: dict[str, int] = {}
+            classes: dict[str, int] = {}
+            for call in _own_calls(info):
+                graph._resolve_call(info, call, project, external, classes)
+            graph.callees[qualname] = tuple(sorted(project))
+            graph.external_calls[qualname] = tuple(sorted(external))
+            graph.instantiates[qualname] = tuple(sorted(classes))
+            graph.call_lines[qualname] = project
+            for callee in sorted(project):
+                callers_acc.setdefault(callee, {})[qualname] = None
+        for qualname in table.functions:
+            graph.callers[qualname] = tuple(
+                sorted(callers_acc.get(qualname, {}))
+            )
+        return graph
+
+    # -- resolution --------------------------------------------------------
+
+    def _resolve_call(
+        self,
+        caller: FunctionInfo,
+        call: ast.Call,
+        project: dict[str, int],
+        external: dict[str, int],
+        classes: dict[str, int],
+    ) -> None:
+        table = self.table
+        func = call.func
+        line = call.lineno
+
+        def record(target: dict[str, int], name: str) -> None:
+            if name not in target:
+                target[name] = line
+        aliases = table.module_aliases.get(caller.rel_path, {})
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = table.module_functions.get(caller.rel_path, {}).get(name)
+            if local is not None:
+                record(project, local)
+                return
+            # a sibling function nested in the same parent scope
+            sibling = table.function_at(caller.rel_path, name)
+            if sibling is not None:
+                record(project, sibling.qualname)
+                return
+            resolved = self._resolve_project_name(name, aliases)
+            if resolved is not None:
+                record(project, resolved)
+                return
+            cls_qual = self._resolve_project_class(
+                name, caller.rel_path, aliases
+            )
+            if cls_qual is not None:
+                record(classes, cls_qual)
+                init = table.classes[cls_qual].methods.get("__init__")
+                if init is not None:
+                    record(project, init)
+                return
+            record(external, aliases.get(name, name))
+            return
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                if caller.class_name is not None:
+                    for cls_qual in table.classes_by_name.get(
+                        caller.class_name, []
+                    ):
+                        target = table.classes[cls_qual].methods.get(method)
+                        if target is not None:
+                            record(project, target)
+                            return
+                self._duck(method, project, line)
+                return
+            # dotted module call through an import alias?
+            from repro.analysis.checks import _dotted_name
+
+            dotted = _dotted_name(func)
+            if dotted is not None:
+                resolved = self._resolve_project_name(dotted, aliases)
+                if resolved is not None:
+                    record(project, resolved)
+                    return
+                root = dotted.split(".")[0]
+                target = aliases.get(root)
+                if target is not None and not target.startswith("repro"):
+                    rest = dotted.split(".", 1)[1] if "." in dotted else ""
+                    record(external, f"{target}.{rest}" if rest else target)
+                    return
+            self._duck(method, project, line)
+            if dotted is not None and "." in dotted:
+                record(external, dotted)
+
+    def _resolve_project_name(
+        self, name: str, aliases: dict[str, str]
+    ) -> Optional[str]:
+        """``name`` (or dotted alias) as a project function qualname."""
+        target = aliases.get(name)
+        if target is None and "." in name:
+            root, _, rest = name.partition(".")
+            base = aliases.get(root)
+            target = f"{base}.{rest}" if base is not None else None
+        if target is None or not target.startswith("repro."):
+            return None
+        # repro.pkg.module.func -> functions defined at pkg/module.py
+        parts = target.split(".")[1:]
+        if not parts:
+            return None
+        func_name = parts[-1]
+        module_rel = "/".join(parts[:-1]) + ".py"
+        qual = self.table.module_functions.get(module_rel, {}).get(func_name)
+        if qual is not None:
+            return qual
+        # ``from repro.pkg import func`` re-exported through __init__
+        for rel in (
+            "/".join(parts[:-1] + ["__init__"]) + ".py",
+            "/".join(parts) + "/__init__.py",
+        ):
+            qual = self.table.module_functions.get(rel, {}).get(func_name)
+            if qual is not None:
+                return qual
+        candidates = self.table.functions_by_name.get(func_name, [])
+        prefix = "/".join(parts[:-1])
+        for cand in candidates:
+            if cand.startswith(prefix):
+                return cand
+        return None
+
+    def _resolve_project_class(
+        self, name: str, rel_path: str, aliases: dict[str, str]
+    ) -> Optional[str]:
+        """``Name(...)`` as a project class qualname (instantiation)."""
+        candidates = self.table.classes_by_name.get(name, [])
+        if not candidates:
+            return None
+        # same module first, then an import-resolved one, then unique
+        for cand in candidates:
+            if self.table.classes[cand].rel_path == rel_path:
+                return cand
+        target = aliases.get(name)
+        if target is not None and target.startswith("repro."):
+            parts = target.split(".")[1:]
+            module_prefix = "/".join(parts[:-1])
+            for cand in candidates:
+                if cand.startswith(module_prefix):
+                    return cand
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _duck(
+        self, method: str, project: dict[str, int], line: int
+    ) -> None:
+        """Duck-typed resolution: every project function of this name."""
+        # dunders would wire e.g. ``super().__init__`` to every class in
+        # the project and make the whole repo transitively hot;
+        # instantiation edges already resolve __init__ precisely.
+        if method in _DUCK_STOPLIST or (
+            method.startswith("__") and method.endswith("__")
+        ):
+            return
+        for qual in self.table.functions_by_name.get(method, []):
+            if qual not in project:
+                project[qual] = line
+
+
+def _own_calls(info: FunctionInfo) -> list[ast.Call]:
+    """Call nodes in this function, excluding nested def bodies (those
+    are their own graph nodes)."""
+    out: list[ast.Call] = []
+    stack: list[ast.AST] = [info.node]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        first = False
+        if isinstance(node, ast.Call):
+            out.append(node)
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+    return out

@@ -1,0 +1,182 @@
+"""Per-function control-flow graphs of basic blocks.
+
+The CFG is deliberately statement-grained: each block holds whole AST
+statements in source order, and edges capture branch/loop/exception
+structure well enough for the bit-vector analyses in
+:mod:`repro.analysis.engine.dataflow`. ``try`` bodies conservatively
+edge into their handlers (any statement may raise), which
+over-approximates flow — the safe direction for reaching definitions.
+
+Block ids are dense ints assigned in construction order, so every
+downstream worklist iterates them deterministically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+_FuncNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class Block:
+    """One basic block: straight-line statements plus out-edges."""
+
+    __slots__ = ("index", "stmts", "succs", "preds")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.stmts: list[ast.stmt] = []
+        self.succs: list[int] = []
+        self.preds: list[int] = []
+
+    def __repr__(self) -> str:  # debugging aid only
+        lines = [getattr(s, "lineno", "?") for s in self.stmts]
+        return f"Block({self.index}, lines={lines}, succs={self.succs})"
+
+
+class Cfg:
+    """A function's control-flow graph. ``blocks[0]`` is the entry;
+    ``blocks[exit_index]`` is the single synthetic exit."""
+
+    __slots__ = ("blocks", "exit_index")
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.exit_index = 0
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = Cfg()
+        self.entry = self.cfg.new_block()
+        self.exit = self.cfg.new_block()
+        self.cfg.exit_index = self.exit.index
+        #: (break target, continue target) per enclosing loop
+        self.loop_stack: list[tuple[int, int]] = []
+
+    def build(self, body: list[ast.stmt]) -> Cfg:
+        last = self._body(body, self.entry)
+        if last is not None:
+            self.cfg.edge(last.index, self.exit.index)
+        return self.cfg
+
+    def _body(
+        self, stmts: list[ast.stmt], current: Optional[Block]
+    ) -> Optional[Block]:
+        """Thread ``stmts`` from ``current``; returns the live end block
+        (None when every path returned/raised/broke)."""
+        for stmt in stmts:
+            if current is None:
+                # unreachable code still gets a block so its defs exist
+                current = self.cfg.new_block()
+            if isinstance(stmt, ast.If):
+                current.stmts.append(stmt)
+                then_block = self.cfg.new_block()
+                self.cfg.edge(current.index, then_block.index)
+                then_end = self._body(stmt.body, then_block)
+                if stmt.orelse:
+                    else_block = self.cfg.new_block()
+                    self.cfg.edge(current.index, else_block.index)
+                    else_end = self._body(stmt.orelse, else_block)
+                else:
+                    else_end = current
+                join = self.cfg.new_block()
+                live = False
+                for end in (then_end, else_end):
+                    if end is not None:
+                        self.cfg.edge(end.index, join.index)
+                        live = True
+                current = join if live else None
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                head = self.cfg.new_block()
+                head.stmts.append(stmt)
+                self.cfg.edge(current.index, head.index)
+                after = self.cfg.new_block()
+                body_block = self.cfg.new_block()
+                self.cfg.edge(head.index, body_block.index)
+                self.cfg.edge(head.index, after.index)
+                self.loop_stack.append((after.index, head.index))
+                body_end = self._body(stmt.body, body_block)
+                self.loop_stack.pop()
+                if body_end is not None:
+                    self.cfg.edge(body_end.index, head.index)
+                if stmt.orelse:
+                    # else runs on normal loop exit; fold into `after`
+                    after_end = self._body(stmt.orelse, after)
+                    current = after_end
+                else:
+                    current = after
+            elif isinstance(stmt, ast.Try):
+                current.stmts.append(stmt)
+                body_block = self.cfg.new_block()
+                self.cfg.edge(current.index, body_block.index)
+                body_end = self._body(stmt.body, body_block)
+                join = self.cfg.new_block()
+                ends: list[Optional[Block]] = []
+                if stmt.orelse:
+                    if body_end is not None:
+                        else_block = self.cfg.new_block()
+                        self.cfg.edge(body_end.index, else_block.index)
+                        ends.append(self._body(stmt.orelse, else_block))
+                else:
+                    ends.append(body_end)
+                for handler in stmt.handlers:
+                    handler_block = self.cfg.new_block()
+                    # any statement in the body may raise: edge from the
+                    # block that *starts* the body and from its end
+                    self.cfg.edge(body_block.index, handler_block.index)
+                    if body_end is not None:
+                        self.cfg.edge(body_end.index, handler_block.index)
+                    ends.append(self._body(handler.body, handler_block))
+                live = False
+                for end in ends:
+                    if end is not None:
+                        self.cfg.edge(end.index, join.index)
+                        live = True
+                if stmt.finalbody:
+                    final_start = join if live else self.cfg.new_block()
+                    current = self._body(stmt.finalbody, final_start)
+                else:
+                    current = join if live else None
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current.stmts.append(stmt)
+                inner = self.cfg.new_block()
+                self.cfg.edge(current.index, inner.index)
+                current = self._body(stmt.body, inner)
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                current.stmts.append(stmt)
+                self.cfg.edge(current.index, self.exit.index)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                current.stmts.append(stmt)
+                if self.loop_stack:
+                    self.cfg.edge(current.index, self.loop_stack[-1][0])
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                current.stmts.append(stmt)
+                if self.loop_stack:
+                    self.cfg.edge(current.index, self.loop_stack[-1][1])
+                current = None
+            else:
+                # simple statement (assignment, expression, nested def —
+                # whose body is its own CFG, not part of this one)
+                current.stmts.append(stmt)
+        return current
+
+
+def build_cfg(fn: ast.AST) -> Cfg:
+    """The CFG of one function definition's body."""
+    if not isinstance(fn, _FuncNode):
+        raise TypeError(f"build_cfg wants a function def, got {type(fn)!r}")
+    return _Builder().build(fn.body)

@@ -1,0 +1,233 @@
+"""Reaching definitions and liveness over a CFG.
+
+Both are classic iterate-to-fixpoint bit-vector analyses. Definitions
+are identified by ``(name, def_id)`` where ``def_id`` is the defining
+statement's position in a deterministic preorder numbering — never an
+``id()`` or a hash — so two runs over the same source produce identical
+results, byte for byte.
+
+The worklists are plain sorted lists of block indices; sets of facts are
+stored as dicts keyed in sorted order when rendered. The engine's
+determinism test diffs two independent runs of the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine.cfg import Cfg
+
+
+class Definition:
+    """One assignment of one name."""
+
+    __slots__ = ("name", "def_id", "node", "value", "lineno")
+
+    def __init__(
+        self,
+        name: str,
+        def_id: int,
+        node: ast.stmt,
+        value: Optional[ast.expr],
+    ):
+        self.name = name
+        self.def_id = def_id
+        self.node = node
+        #: the assigned expression when statically evident (Assign /
+        #: AnnAssign / simple for-target), else None (AugAssign, args,
+        #: with-targets, tuple unpacking, ...)
+        self.value = value
+        self.lineno = getattr(node, "lineno", 0)
+
+    def key(self) -> tuple[str, int]:
+        return (self.name, self.def_id)
+
+    def __repr__(self) -> str:  # debugging aid only
+        return f"Def({self.name}@{self.def_id}:L{self.lineno})"
+
+
+def _stmt_definitions(
+    stmt: ast.stmt, next_id: Iterator[int]
+) -> list[Definition]:
+    """Definitions a single statement generates (not descending into
+    nested function bodies — those are separate CFGs)."""
+    out: list[Definition] = []
+
+    def bind(target: ast.expr, value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            out.append(Definition(target.id, next(next_id), stmt, value))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind(elt, None)
+        elif isinstance(target, ast.Starred):
+            bind(target.value, None)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            bind(target, stmt.value)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        bind(stmt.target, stmt.value)
+    elif isinstance(stmt, ast.AugAssign):
+        bind(stmt.target, None)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        bind(stmt.target, None)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                bind(item.optional_vars, None)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        out.append(Definition(stmt.name, next(next_id), stmt, None))
+    elif isinstance(stmt, ast.ClassDef):
+        out.append(Definition(stmt.name, next(next_id), stmt, None))
+    # walrus targets anywhere in the statement's expressions
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.NamedExpr) and isinstance(
+            node.target, ast.Name
+        ):
+            out.append(
+                Definition(node.target.id, next(next_id), stmt, node.value)
+            )
+    return out
+
+
+class ReachingDefinitions:
+    """Fixpoint result: which definitions reach each block's entry."""
+
+    __slots__ = ("cfg", "block_defs", "reach_in", "reach_out", "all_defs")
+
+    def __init__(self, cfg: Cfg):
+        self.cfg = cfg
+        #: block index -> defs generated in that block, in stmt order
+        self.block_defs: list[list[Definition]] = []
+        #: block index -> {(name, def_id) -> Definition} reaching entry
+        self.reach_in: list[dict[tuple[str, int], Definition]] = []
+        self.reach_out: list[dict[tuple[str, int], Definition]] = []
+        self.all_defs: list[Definition] = []
+
+    def reaching(self, block_index: int, name: str) -> list[Definition]:
+        """Definitions of ``name`` reaching the entry of a block, in
+        deterministic (def_id) order."""
+        found = [
+            d
+            for key, d in sorted(self.reach_in[block_index].items())
+            if d.name == name
+        ]
+        return found
+
+
+def reaching_definitions(cfg: Cfg) -> ReachingDefinitions:
+    """Forward may-analysis: defs reaching each block entry."""
+    result = ReachingDefinitions(cfg)
+    counter = iter(range(1_000_000_000))
+    gen_kill: list[tuple[dict, dict]] = []
+    for block in cfg.blocks:
+        defs: list[Definition] = []
+        for stmt in block.stmts:
+            defs.extend(_stmt_definitions(stmt, counter))
+        result.block_defs.append(defs)
+        result.all_defs.extend(defs)
+        gen: dict[tuple[str, int], Definition] = {}
+        killed_names: dict[str, None] = {}
+        for definition in defs:
+            # later defs of the same name in the block kill earlier ones
+            for key in [
+                k for k in gen if k[0] == definition.name
+            ]:
+                del gen[key]
+            gen[definition.key()] = definition
+            killed_names[definition.name] = None
+        gen_kill.append((gen, killed_names))
+
+    n = len(cfg.blocks)
+    result.reach_in = [{} for _ in range(n)]
+    result.reach_out = [{} for _ in range(n)]
+    worklist = list(range(n))
+    while worklist:
+        index = worklist.pop(0)
+        block = cfg.blocks[index]
+        new_in: dict[tuple[str, int], Definition] = {}
+        for pred in sorted(block.preds):
+            new_in.update(result.reach_out[pred])
+        gen, killed = gen_kill[index]
+        new_out = {
+            key: d for key, d in new_in.items() if key[0] not in killed
+        }
+        new_out.update(gen)
+        changed = new_in.keys() != result.reach_in[index].keys() or (
+            new_out.keys() != result.reach_out[index].keys()
+        )
+        result.reach_in[index] = new_in
+        result.reach_out[index] = new_out
+        if changed:
+            for succ in sorted(block.succs):
+                if succ not in worklist:
+                    worklist.append(succ)
+    return result
+
+
+def _stmt_uses(stmt: ast.stmt) -> list[str]:
+    """Names loaded by a statement (nested defs excluded), sorted."""
+    used: dict[str, None] = {}
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested def's *free variables* are uses at the def site;
+            # approximate by counting every Load inside it
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Name) and isinstance(
+                    inner.ctx, ast.Load
+                ):
+                    used[inner.id] = None
+            continue
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            used[node.id] = None
+    return sorted(used)
+
+
+def liveness(cfg: Cfg) -> tuple[list[list[str]], list[list[str]]]:
+    """Backward may-analysis: (live_in, live_out) names per block,
+    each a sorted list."""
+    n = len(cfg.blocks)
+    use: list[dict[str, None]] = []
+    define: list[dict[str, None]] = []
+    counter = iter(range(1_000_000_000))
+    for block in cfg.blocks:
+        block_use: dict[str, None] = {}
+        block_def: dict[str, None] = {}
+        for stmt in block.stmts:
+            for name in _stmt_uses(stmt):
+                if name not in block_def:
+                    block_use[name] = None
+            for definition in _stmt_definitions(stmt, counter):
+                block_def[definition.name] = None
+        use.append(block_use)
+        define.append(block_def)
+
+    live_in: list[dict[str, None]] = [{} for _ in range(n)]
+    live_out: list[dict[str, None]] = [{} for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for index in range(n - 1, -1, -1):
+            block = cfg.blocks[index]
+            new_out: dict[str, None] = {}
+            for succ in sorted(block.succs):
+                for name in sorted(live_in[succ]):
+                    new_out[name] = None
+            new_in: dict[str, None] = dict(use[index])
+            for name in sorted(new_out):
+                if name not in define[index]:
+                    new_in[name] = None
+            if (
+                new_in.keys() != live_in[index].keys()
+                or new_out.keys() != live_out[index].keys()
+            ):
+                changed = True
+            live_in[index] = new_in
+            live_out[index] = new_out
+    return (
+        [sorted(d) for d in live_in],
+        [sorted(d) for d in live_out],
+    )

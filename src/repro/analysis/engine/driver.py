@@ -1,0 +1,171 @@
+"""Engine-mode driver: full pipeline + the static speed budget.
+
+``python -m repro.analysis --engine`` runs everything the per-file
+linter runs (minus the per-file set-iteration check, which the engine's
+dataflow version supersedes) plus the interprocedural passes, then
+meters the perf findings against ``benchmarks/speed_budget.toml``:
+
+.. code-block:: toml
+
+    ["sim/"]
+    max = 0          # the kernel must stay perflint-clean, no pragmas
+
+    ["service/"]
+    max = 3          # reviewed allowance; lowering it is the ratchet
+
+Budget keys are path prefixes relative to the package root; the longest
+matching prefix wins, and a path with no matching key has an allowance
+of zero. Only the perf checks (:data:`BUDGETED_CHECKS`) are budgeted —
+determinism, layering and taint findings are hard failures always.
+
+The report is deterministic byte for byte: sorted findings, sorted
+budget rows, no timestamps.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional, TextIO
+
+from repro.analysis.engine.hotpath import DEFAULT_LEDGER
+from repro.analysis.engine.perflint import BUDGETED_CHECKS, Engine
+from repro.analysis.reprolint import (
+    Diagnostic,
+    _default_root,
+    _iter_sources,
+    _parse,
+    _run_checks,
+)
+
+#: repo-relative default budget location
+DEFAULT_BUDGET = Path("benchmarks") / "speed_budget.toml"
+
+
+def load_budget(path: Path) -> dict[str, int]:
+    """Path-prefix -> allowed perflint finding count."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: the budget grammar is tiny
+        return _parse_budget_text(text)
+    data = tomllib.loads(text)
+    out: dict[str, int] = {}
+    for key in sorted(data):
+        entry = data[key]
+        if isinstance(entry, dict) and "max" in entry:
+            out[key] = int(entry["max"])
+    return out
+
+
+def _parse_budget_text(text: str) -> dict[str, int]:
+    out: dict[str, int] = {}
+    section: Optional[str] = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1].strip().strip('"')
+        elif section is not None:
+            key, _, value = line.partition("=")
+            if key.strip() == "max":
+                out[section] = int(value.split("#")[0].strip())
+    return dict(sorted(out.items()))
+
+
+def _budget_key(path: str, budget: dict[str, int]) -> str:
+    """Longest budget prefix covering ``path``; '' means no allowance."""
+    best = ""
+    for key in sorted(budget):
+        if path.startswith(key) and len(key) > len(best):
+            best = key
+    return best
+
+
+def run_engine(
+    root: Optional[Path] = None,
+    budget_path: Optional[Path] = None,
+    ledger_path: Optional[Path] = None,
+    out: TextIO = sys.stdout,
+) -> int:
+    """Run the full engine pipeline; returns the process exit code."""
+    root = Path(root) if root is not None else _default_root()
+    modules = [_parse(p, root) for p in _iter_sources(root)]
+
+    # the per-file passes (set-iteration superseded by the dataflow one)
+    from repro.analysis.checks import CHECKS
+
+    hard: list[Diagnostic] = _run_checks(
+        modules, only=set(CHECKS) - {"set-iteration"}
+    )
+
+    if ledger_path is None and DEFAULT_LEDGER.exists():
+        ledger_path = DEFAULT_LEDGER
+    engine = Engine.build(modules, ledger_path=ledger_path)
+    engine_diags: list[Diagnostic] = []
+    for diag in engine.run_perflint():
+        module = engine.modules_by_path.get(diag.path)
+        if module is not None and module.suppressed(diag):
+            continue
+        engine_diags.append(diag)
+
+    budgeted = [d for d in engine_diags if d.check in BUDGETED_CHECKS]
+    hard.extend(d for d in engine_diags if d.check not in BUDGETED_CHECKS)
+    hard = sorted(set(hard))
+
+    budget: dict[str, int] = {}
+    if budget_path is None and DEFAULT_BUDGET.exists():
+        budget_path = DEFAULT_BUDGET
+    if budget_path is not None:
+        budget = load_budget(Path(budget_path))
+
+    used: dict[str, list[Diagnostic]] = {key: [] for key in sorted(budget)}
+    over: list[Diagnostic] = []
+    for diag in sorted(set(budgeted)):
+        key = _budget_key(diag.path, budget)
+        if not key:
+            over.append(diag)
+            continue
+        used[key].append(diag)
+
+    failures = list(hard)
+    budget_rows: list[str] = []
+    for key in sorted(budget):
+        findings = used.get(key, [])
+        allowed = budget[key]
+        state = "ok" if len(findings) <= allowed else "OVER"
+        budget_rows.append(
+            f"  {key:<24s} {len(findings)}/{allowed} {state}"
+        )
+        if len(findings) > allowed:
+            failures.extend(findings)
+    failures.extend(over)
+    failures = sorted(set(failures))
+
+    for diag in failures:
+        print(diag.render(), file=out)
+    for diag in over:
+        print(
+            f"{diag.path}: no speed-budget entry covers this path "
+            "(add one to benchmarks/speed_budget.toml or fix the finding)",
+            file=out,
+        )
+    print(
+        f"engine: {len(engine.table.functions)} functions, "
+        f"{len(engine.hot)} hot ({engine.hot.source})",
+        file=out,
+    )
+    if budget:
+        print("speed budget (used/allowed):", file=out)
+        for row in budget_rows:
+            print(row, file=out)
+    if failures:
+        print(
+            f"engine: {len(failures)} violation(s) in "
+            f"{len({d.path for d in failures})} file(s)",
+            file=out,
+        )
+        return 1
+    print("engine: 0 findings", file=out)
+    return 0

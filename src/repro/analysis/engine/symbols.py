@@ -1,0 +1,232 @@
+"""Project-wide symbol table: functions, methods and classes by name.
+
+The table is the ground layer of the engine: every later pass (call
+graph, hot-path overlay, perflint) refers to functions by the stable
+qualified name minted here — ``rel/path.py::Class.method`` — which is
+also what findings print, so it must be human-greppable.
+
+Construction order is the sorted module list the linter already uses,
+and every index is a plain dict built in that order: iterating any of
+them is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.reprolint import ParsedModule
+
+_FuncNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class FunctionInfo:
+    """One function or method definition."""
+
+    __slots__ = (
+        "qualname",
+        "rel_path",
+        "name",
+        "class_name",
+        "node",
+        "lineno",
+        "package",
+    )
+
+    def __init__(
+        self,
+        qualname: str,
+        rel_path: str,
+        name: str,
+        class_name: Optional[str],
+        node: ast.AST,
+        package: str,
+    ):
+        self.qualname = qualname
+        self.rel_path = rel_path
+        self.name = name
+        self.class_name = class_name
+        self.node = node
+        self.lineno = node.lineno
+        self.package = package
+
+    def __repr__(self) -> str:  # debugging aid only
+        return f"FunctionInfo({self.qualname})"
+
+
+class ClassInfo:
+    """One class definition, with the facts perflint needs."""
+
+    __slots__ = (
+        "qualname",
+        "rel_path",
+        "name",
+        "node",
+        "lineno",
+        "has_slots",
+        "methods",
+        "package",
+    )
+
+    def __init__(
+        self, qualname: str, rel_path: str, node: ast.ClassDef, package: str
+    ):
+        self.qualname = qualname
+        self.rel_path = rel_path
+        self.name = node.name
+        self.node = node
+        self.lineno = node.lineno
+        self.has_slots = _class_has_slots(node)
+        #: method name -> FunctionInfo qualname
+        self.methods: dict[str, str] = {}
+        self.package = package
+
+
+def _class_has_slots(node: ast.ClassDef) -> bool:
+    """``__slots__`` assigned in the body, or ``@dataclass(slots=True)``."""
+    for stmt in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    for deco in node.decorator_list:
+        call = deco if isinstance(deco, ast.Call) else None
+        func = call.func if call is not None else deco
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name == "dataclass" and call is not None:
+            for kw in call.keywords:
+                if (
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+class SymbolTable:
+    """Every function and class in the linted tree, indexed for lookup."""
+
+    def __init__(self) -> None:
+        #: qualname -> FunctionInfo, in definition order of sorted modules
+        self.functions: dict[str, FunctionInfo] = {}
+        #: bare name -> list of qualnames (duck-typed resolution pool)
+        self.functions_by_name: dict[str, list[str]] = {}
+        #: (rel_path, bare name) -> list of qualnames (ledger matching)
+        self.functions_by_file_name: dict[tuple[str, str], list[str]] = {}
+        #: class qualname -> ClassInfo
+        self.classes: dict[str, ClassInfo] = {}
+        #: bare class name -> list of class qualnames
+        self.classes_by_name: dict[str, list[str]] = {}
+        #: module rel_path -> {local name -> dotted import target}
+        self.module_aliases: dict[str, dict[str, str]] = {}
+        #: module rel_path -> {module-level function name -> qualname}
+        self.module_functions: dict[str, dict[str, str]] = {}
+
+    @classmethod
+    def build(cls, modules: list[ParsedModule]) -> "SymbolTable":
+        from repro.analysis.checks import _import_aliases
+
+        table = cls()
+        for module in modules:
+            table.module_aliases[module.rel_path] = _import_aliases(
+                module.tree
+            )
+            table.module_functions[module.rel_path] = {}
+            table._index_body(
+                module, module.tree.body, prefix="", class_name=None
+            )
+        return table
+
+    # -- construction ------------------------------------------------------
+
+    def _index_body(
+        self,
+        module: ParsedModule,
+        body: list[ast.stmt],
+        prefix: str,
+        class_name: Optional[str],
+        class_info: Optional[ClassInfo] = None,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, _FuncNode):
+                qual = f"{prefix}{stmt.name}"
+                qualname = f"{module.rel_path}::{qual}"
+                info = FunctionInfo(
+                    qualname,
+                    module.rel_path,
+                    stmt.name,
+                    class_name,
+                    stmt,
+                    module.package,
+                )
+                self.functions[qualname] = info
+                self.functions_by_name.setdefault(stmt.name, []).append(
+                    qualname
+                )
+                self.functions_by_file_name.setdefault(
+                    (module.rel_path, stmt.name), []
+                ).append(qualname)
+                if class_info is not None:
+                    class_info.methods[stmt.name] = qualname
+                elif class_name is None and prefix.count(".") == 0:
+                    self.module_functions[module.rel_path][
+                        stmt.name
+                    ] = qualname
+                # nested defs (closures) are functions too
+                self._index_body(
+                    module, stmt.body, prefix=f"{qual}.", class_name=class_name
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}{stmt.name}"
+                qualname = f"{module.rel_path}::{qual}"
+                info = ClassInfo(qualname, module.rel_path, stmt, module.package)
+                self.classes[qualname] = info
+                self.classes_by_name.setdefault(stmt.name, []).append(
+                    qualname
+                )
+                self._index_body(
+                    module,
+                    stmt.body,
+                    prefix=f"{qual}.",
+                    class_name=stmt.name,
+                    class_info=info,
+                )
+            elif isinstance(
+                stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)
+            ):
+                # defs behind guards (TYPE_CHECKING, version gates) still
+                # exist at runtime on some path; index them where they are
+                for sub in ast.iter_child_nodes(stmt):
+                    if isinstance(sub, ast.stmt):
+                        self._index_body(
+                            module, [sub], prefix, class_name, class_info
+                        )
+
+    # -- lookups -----------------------------------------------------------
+
+    def function_at(
+        self, rel_path: str, name: str, lineno: Optional[int] = None
+    ) -> Optional[FunctionInfo]:
+        """The function named ``name`` in ``rel_path``, nearest ``lineno``.
+
+        The profiler ledger records cProfile's (file, funcname, line)
+        triples; funcname is the bare name, so same-named methods of
+        different classes in one file disambiguate by definition line.
+        """
+        candidates = self.functions_by_file_name.get((rel_path, name), [])
+        if not candidates:
+            return None
+        if lineno is None or len(candidates) == 1:
+            return self.functions[candidates[0]]
+        best = min(
+            candidates,
+            key=lambda q: (abs(self.functions[q].lineno - lineno), q),
+        )
+        return self.functions[best]

@@ -163,13 +163,15 @@ def _run_checks(
     modules: list[ParsedModule], only: Optional[set[str]] = None
 ) -> list[Diagnostic]:
     from repro.analysis.checks import CHECKS
+    from repro.analysis.engine.perflint import ENGINE_CHECK_IDS
 
+    known_checks = set(CHECKS) | set(ENGINE_CHECK_IDS)
     unknown_pragma: list[Diagnostic] = []
     diagnostics: list[Diagnostic] = []
     for module in modules:
         diagnostics.extend(module.pragma_errors)
         for line, pragma in module.pragmas.items():
-            for check in sorted(pragma.checks - set(CHECKS)):
+            for check in sorted(pragma.checks - known_checks):
                 unknown_pragma.append(
                     Diagnostic(
                         module.rel_path,
@@ -177,7 +179,7 @@ def _run_checks(
                         0,
                         "pragma",
                         f"pragma disables unknown check {check!r} "
-                        f"(known: {', '.join(sorted(CHECKS))})",
+                        f"(known: {', '.join(sorted(known_checks))})",
                     )
                 )
         for check_id, check in CHECKS.items():
@@ -237,7 +239,34 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--list-checks", action="store_true", help="list check ids and exit"
     )
+    parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="run the full static-analysis engine (call graph, dataflow, "
+        "hot-path perflint) and meter perf findings against the speed "
+        "budget",
+    )
+    parser.add_argument(
+        "--budget",
+        help="speed-budget TOML (default: benchmarks/speed_budget.toml "
+        "when present; engine mode only)",
+    )
+    parser.add_argument(
+        "--ledger",
+        help="hot-path profiler ledger JSON (default: "
+        "benchmarks/profiles/speed_ledger.json when present; engine "
+        "mode only)",
+    )
     args = parser.parse_args(argv)
+
+    if args.engine:
+        from repro.analysis.engine.driver import run_engine
+
+        return run_engine(
+            root=Path(args.root) if args.root else None,
+            budget_path=Path(args.budget) if args.budget else None,
+            ledger_path=Path(args.ledger) if args.ledger else None,
+        )
 
     if args.list_checks:
         for check_id, check in sorted(CHECKS.items()):

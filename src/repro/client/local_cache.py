@@ -18,7 +18,7 @@ from repro.realtime.frontend import query_order_key
 from repro.realtime.matcher import document_matches_query
 
 
-@dataclass
+@dataclass(slots=True)
 class CachedDocument:
     """One cached document (or a cached tombstone: data None)."""
 

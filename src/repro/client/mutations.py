@@ -36,7 +36,7 @@ class MutationKind(enum.Enum):
     DELETE = "delete"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Mutation:
     """One locally-buffered write."""
 

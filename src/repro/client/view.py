@@ -20,7 +20,7 @@ from repro.realtime.frontend import query_order_key
 from repro.realtime.matcher import document_matches_query
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewDocument:
     """One document in a view snapshot."""
 
@@ -29,7 +29,7 @@ class ViewDocument:
     has_pending_writes: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewSnapshot:
     """What a snapshot listener receives."""
 

@@ -66,7 +66,7 @@ class WriteKind(enum.Enum):
     DELETE = "delete"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Precondition:
     """An optional guard on a write."""
 
@@ -74,7 +74,7 @@ class Precondition:
     update_time: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteOp:
     """One document mutation in a commit request."""
 
@@ -145,7 +145,7 @@ class AuthContext:
         return self.uid is not None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitOutcomeResult:
     """What a successful commit reports back."""
     commit_ts: int
@@ -747,6 +747,8 @@ class _RulesReader:
     III-E): inside a write they read through the write's transaction;
     for reads they use the same snapshot timestamp.
     """
+
+    __slots__ = ("_backend", "_txn", "_read_ts")
 
     def __init__(self, backend: Backend, txn, read_ts: Optional[int]):
         self._backend = backend

@@ -15,7 +15,7 @@ from repro.core.path import Path
 from repro.core.values import MAX_DOCUMENT_BYTES, get_field, validate_value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Document:
     """A stored document: name, fields, and server-assigned times."""
 
@@ -44,7 +44,7 @@ class Document:
         return present
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DocumentSnapshot:
     """The result of reading a document name at a point in time.
 

@@ -42,7 +42,7 @@ class IndexState(enum.Enum):
     DELETING = "deleting"    # backremoval in progress; unusable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IndexField:
     """One component of an index definition."""
 
@@ -59,7 +59,7 @@ class IndexField:
             raise InvalidArgument("empty field path")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IndexDefinition:
     """An index over one collection group."""
 

@@ -34,7 +34,7 @@ INDEX_ENTRIES = "IndexEntries"
 COMMIT_LEDGER = "CommitLedger"
 
 
-@dataclass
+@dataclass(slots=True)
 class EntityRow:
     """The Entities-table payload for one document.
 

@@ -40,7 +40,7 @@ class Operator(enum.Enum):
 INEQUALITY_OPS = {Operator.LT, Operator.LE, Operator.GT, Operator.GE}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Filter:
     """One predicate: ``field op constant``."""
 
@@ -60,7 +60,7 @@ class Filter:
         return f"{self.field_path} {self.op.value} {self.value!r}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Order:
     """One sort component."""
 
@@ -89,7 +89,7 @@ class Cursor:
     before: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Query:
     """An immutable query over one collection."""
 

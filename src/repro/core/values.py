@@ -137,7 +137,7 @@ INT64_MIN = -(1 << 63)
 INT64_MAX = (1 << 63) - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 @total_ordering
 class Timestamp:
     """A microsecond-precision timestamp value."""
@@ -155,7 +155,7 @@ class Timestamp:
         return f"Timestamp({self.micros})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GeoPoint:
     """A latitude/longitude pair."""
 
@@ -169,7 +169,7 @@ class GeoPoint:
             raise InvalidArgument(f"longitude {self.longitude} out of range")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Reference:
     """A reference to another document, by its full path string."""
 

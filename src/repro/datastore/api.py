@@ -32,7 +32,7 @@ from repro.core.query import Operator, Query
 from repro.core.transaction import TransactionContext, run_transaction
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Key:
     """A Datastore key: alternating (kind, name-or-id) pairs."""
 

@@ -85,7 +85,30 @@ def main(argv=None) -> int:
         default=None,
         help="dashboard output path (default <out>/dashboard.html)",
     )
+    parser.add_argument(
+        "--record-speed-ledger",
+        nargs="?",
+        const="benchmarks/profiles/speed_ledger.json",
+        default=None,
+        metavar="PATH",
+        help="profile the fixed speed run under cProfile and write the "
+        "hot-path ledger consumed by 'python -m repro.analysis "
+        "--engine' (default path: benchmarks/profiles/speed_ledger.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.record_speed_ledger is not None:
+        from repro.obs.bench.gate import record_speed_ledger
+
+        ledger = record_speed_ledger(args.record_speed_ledger, seed=args.seed)
+        hot = [
+            f for f in ledger["functions"] if f["self_fraction"] >= 0.01
+        ]
+        print(
+            f"[gate] wrote {args.record_speed_ledger} "
+            f"({len(ledger['functions'])} functions, {len(hot)} >=1% self)"
+        )
+        return 0
 
     out_dir = args.out if args.out is not None else _default_out()
     out_dir.mkdir(parents=True, exist_ok=True)

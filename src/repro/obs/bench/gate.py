@@ -343,6 +343,163 @@ def gate_failover(seed: int = 3) -> tuple[dict, dict]:
     return payload, {}
 
 
+#: the fixed kernel run the speed cell times: YCSB A at 2000 QPS for 25
+#: simulated seconds executes exactly this many events at seed 42
+SPEED_RUN_EVENTS = 200_505
+SPEED_TRIALS = 3
+
+
+def gate_speed(seed: int = GATE_SEED) -> tuple[dict, dict]:
+    """Simulator speed cell: wall-clock throughput of the event kernel.
+
+    Times the fixed YCSB kernel run (workload A, 2000 QPS, 25 simulated
+    seconds, seed 42 — exactly :data:`SPEED_RUN_EVENTS` events) with no
+    observability attached: the bare configuration the kernel perf work
+    optimizes. Two kinds of metric share the payload deliberately. The
+    wall-clock numbers (events/sec, wall-us per sim-us) are ``stat`` with
+    a wide band — CI machines differ, so the committed baseline is a
+    floor against order-of-magnitude regressions, not a benchmark. The
+    event count and latency percentiles are ``exact``: making the
+    simulator faster must never change what it simulates.
+    """
+    from repro.sim.wallclock import best_of
+
+    # reprolint: disable=layering -- the gate harness drives workloads; it is above the obs layer, not inside it
+    from repro.workloads import YcsbConfig, YcsbRunner
+
+    def run_once():
+        runner = YcsbRunner(
+            YcsbConfig(
+                workload="A",
+                target_qps=2000,
+                duration_s=25,
+                measure_last_s=10,
+                seed=seed,
+            )
+        )
+        return runner, runner.run()
+
+    (runner, result), best_ns = best_of(SPEED_TRIALS, run_once)
+    kernel = runner.cluster.kernel
+    executed = kernel.executed
+    sim_us = kernel.now_us
+    events_per_sec = executed / (best_ns / 1e9)
+    wall_us_per_sim_us = (best_ns / 1000) / sim_us
+    payload = bench_payload(
+        name="gate_speed",
+        figure="",
+        metrics={
+            "events_executed": metric(executed, "events", kind="exact"),
+            "read_p50_us": metric(result.read_p50_us, "us", kind="exact"),
+            "read_p99_us": metric(result.read_p99_us, "us", kind="exact"),
+            "update_p50_us": metric(
+                result.update_p50_us, "us", kind="exact"
+            ),
+            "update_p99_us": metric(
+                result.update_p99_us, "us", kind="exact"
+            ),
+            "events_per_sec": metric(
+                round(events_per_sec), "events/s", tolerance=0.75
+            ),
+            "wall_us_per_sim_us": metric(
+                round(wall_us_per_sim_us, 6), "ratio", tolerance=0.75
+            ),
+        },
+        raw={
+            "best_wall_ns": best_ns,
+            "trials": SPEED_TRIALS,
+            "sim_us": sim_us,
+        },
+    )
+    return payload, {}
+
+
+def record_speed_ledger(out_path, seed: int = GATE_SEED) -> dict:
+    """Profile the fixed speed run and write the hot-path ledger.
+
+    The ledger is what ``python -m repro.analysis --engine`` seeds its
+    hot-path set from: every project function with its fraction of
+    cProfile self time on the same fixed kernel run ``gate_speed``
+    times. It is *committed* (``benchmarks/profiles/speed_ledger.json``)
+    so lint output is deterministic and reviewable — re-record it when
+    the hot profile shifts, and the diff shows up in review.
+    """
+    import cProfile
+    import json
+    import pathlib
+
+    # reprolint: disable=layering -- locating the installed package root to filter profile rows, not a subsystem dependency
+    import repro
+
+    # reprolint: disable=layering -- the gate harness drives workloads; it is above the obs layer, not inside it
+    from repro.workloads import YcsbConfig, YcsbRunner
+
+    package_root = pathlib.Path(repro.__file__).resolve().parent
+
+    def run() -> None:
+        YcsbRunner(
+            YcsbConfig(
+                workload="A",
+                target_qps=2000,
+                duration_s=25,
+                measure_last_s=10,
+                seed=seed,
+            )
+        ).run()
+
+    profile = cProfile.Profile()
+    profile.enable()
+    run()
+    profile.disable()
+    entries = profile.getstats()
+    total_self = sum(entry.inlinetime for entry in entries) or 1.0
+    functions = []
+    for entry in entries:
+        code = entry.code
+        if isinstance(code, str):  # builtins
+            continue
+        try:
+            rel = (
+                pathlib.Path(code.co_filename)
+                .resolve()
+                .relative_to(package_root)
+                .as_posix()
+            )
+        except ValueError:
+            continue
+        fraction = entry.inlinetime / total_self
+        if fraction < 0.001:
+            continue
+        functions.append(
+            {
+                "file": rel,
+                "function": code.co_name,
+                "qualname": getattr(code, "co_qualname", code.co_name),
+                "line": code.co_firstlineno,
+                "self_fraction": round(fraction, 6),
+                "self_s": round(entry.inlinetime, 6),
+                "calls": entry.callcount,
+            }
+        )
+    functions.sort(
+        key=lambda f: (-f["self_fraction"], f["file"], f["function"])
+    )
+    ledger = {
+        "run": "gate_speed kernel run (YCSB A, 2000 QPS, 25 sim-s, seed "
+        f"{seed})",
+        "note": "committed input for repro.analysis --engine hot paths; "
+        "re-record with: python -m repro.obs.bench --record-speed-ledger",
+        "functions": functions,
+    }
+    out = pathlib.Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(ledger, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return ledger
+
+
 #: cell name -> builder; the CLI runs them in this (sorted-stable) order
 GATE_CELLS = {
     "gate_ycsb": gate_ycsb,
@@ -351,6 +508,7 @@ GATE_CELLS = {
     "gate_datashape": gate_datashape,
     "gate_chaos": gate_chaos,
     "gate_failover": gate_failover,
+    "gate_speed": gate_speed,
 }
 
 

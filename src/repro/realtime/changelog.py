@@ -29,14 +29,14 @@ from repro.realtime.ranges import NameRange, RangeOwnership
 ACCEPT_TIMEOUT_MARGIN_US = 1_000_000
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutstandingPrepare:
     prepare_id: int
     min_commit_ts: int
     deadline_us: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _RangeLog:
     """Changelog state for one owned range."""
 

@@ -24,7 +24,7 @@ class WriteOutcome(enum.Enum):
     UNKNOWN = "unknown"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DocumentChange:
     """One document mutation, as delivered to the Real-time Cache.
 
@@ -54,7 +54,7 @@ class DocumentChange:
         return self.old_data is None and self.new_data is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class PrepareHandle:
     """The Backend's token for an in-flight two-phase commit."""
 

@@ -36,7 +36,7 @@ class _EvalError(RulesEvaluationError):
     """Internal: an expression failed; the condition evaluates to false."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _Scope:
     """Variable bindings + visible functions for one condition."""
 

@@ -43,6 +43,20 @@ class AdmissionConfig:
 class AdmissionController:
     """Decides whether each arriving RPC is admitted."""
 
+    __slots__ = (
+        "clock",
+        "config",
+        "metrics",
+        "profiler",
+        "_inflight",
+        "_inflight_memory",
+        "_windows",
+        "admitted",
+        "shed",
+        "limited",
+        "memory_rejected",
+    )
+
     def __init__(
         self,
         clock: SimClock,
@@ -57,8 +71,10 @@ class AdmissionController:
         self.profiler = profiler
         self._inflight: dict[str, int] = {}
         self._inflight_memory: dict[str, int] = {}
-        # conformance tracking: per database, (window_start, count, allowance)
-        self._windows: dict[str, tuple[int, int, float]] = {}
+        # conformance tracking, per database:
+        # [window_start, count, allowance] — a mutable record so the
+        # per-request count bump is an item store, not a tuple rebuild
+        self._windows: dict[str, list] = {}
         self.admitted = 0
         self.shed = 0
         self.limited = 0
@@ -76,7 +92,13 @@ class AdmissionController:
         database holding the most in-flight memory — selective pressure,
         not collective punishment (section VIII).
         """
-        self._track(database_id)
+        # conformance tracking, inlined from _track: this runs once per
+        # request and the common case is a single item-store
+        window = self._windows.get(database_id)
+        if window is not None and self.clock._now_us - window[0] < CONFORMING_WINDOW_US:
+            window[1] += 1
+        else:
+            self._track(database_id)
         config = self.config
         if config.per_database_inflight_limit is not None and (
             not config.limited_databases or database_id in config.limited_databases
@@ -104,7 +126,8 @@ class AdmissionController:
                 self._inflight_memory.get(database_id, 0) + memory_bytes
             )
         self.admitted += 1
-        self._record(database_id, "admitted")
+        if self.metrics is not None or self.profiler is not None:
+            self._record(database_id, "admitted")
         return True, ""
 
     def _record(self, database_id: str, outcome: str) -> None:
@@ -159,10 +182,9 @@ class AdmissionController:
                 CONFORMING_BASE_QPS,
                 previous_rate * CONFORMING_GROWTH,
             )
-            self._windows[database_id] = (now, 1, allowance)
+            self._windows[database_id] = [now, 1, allowance]
         else:
-            start, count, allowance = window
-            self._windows[database_id] = (start, count + 1, allowance)
+            window[1] += 1
 
     def is_conforming(self, database_id: str) -> bool:
         """Does the database's current window respect the ramp rule?"""

@@ -53,6 +53,8 @@ class _DatabaseAccount:
 class BillingLedger:
     """Per-database operation counters and charge computation."""
 
+    __slots__ = ("clock", "quota", "prices", "_accounts", "_last")
+
     def __init__(
         self,
         clock: SimClock,
@@ -63,13 +65,31 @@ class BillingLedger:
         self.quota = quota if quota is not None else FreeQuota()
         self.prices = prices if prices is not None else PriceSheet()
         self._accounts: dict[str, _DatabaseAccount] = {}
+        # (database_id, day, counters) of the last lookup: billable
+        # operations arrive in time order and mostly for the same
+        # database, so this hits nearly always
+        self._last: tuple[str | None, int, _DayCounters | None] = (None, -1, None)
 
     def _day(self) -> int:
         return self.clock.now_us // MICROS_PER_DAY
 
     def _counters(self, database_id: str) -> _DayCounters:
-        account = self._accounts.setdefault(database_id, _DatabaseAccount())
-        return account.days.setdefault(self._day(), _DayCounters())
+        day = self.clock._now_us // MICROS_PER_DAY
+        last = self._last
+        if last[1] == day and last[0] == database_id:
+            return last[2]
+        # .get over .setdefault: this runs per billable operation, and
+        # setdefault would construct a fresh default on every call
+        account = self._accounts.get(database_id)
+        if account is None:
+            account = _DatabaseAccount()
+            self._accounts[database_id] = account
+        counters = account.days.get(day)
+        if counters is None:
+            counters = _DayCounters()
+            account.days[day] = counters
+        self._last = (database_id, day, counters)
+        return counters
 
     # -- recording --------------------------------------------------------------
 

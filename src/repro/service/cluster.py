@@ -25,6 +25,13 @@ from repro.service.autoscaler import Autoscaler, AutoscalerConfig
 from repro.service.billing import BillingLedger
 from repro.service.pool import TaskPool
 from repro.service.rpc import DEFAULT_CPU_COST_US, Rpc, RpcKind
+
+#: RpcKind -> lowercase operation label; a dict hit per request beats an
+#: enum descriptor access plus a str.lower() allocation
+_OPERATION = {kind: kind.value for kind in RpcKind}
+
+#: kinds billed as document reads (section IV-B)
+_READ_KINDS = frozenset({RpcKind.GET, RpcKind.QUERY, RpcKind.LISTEN})
 from repro.service.scheduler import FairShareScheduler
 
 
@@ -62,6 +69,11 @@ class ServingCluster:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        # fast flags resolved once: the submit/complete path runs per
+        # request, and truthiness of the null singletons is a Python
+        # __bool__ call each time
+        self._tracer_on = bool(self.tracer)
+        self._profiler_on = bool(self.profiler)
         #: optional repro.obs.slo.SloEngine; every completion/failure and
         #: fanout delivery feeds its request/staleness streams
         self.slo = slo
@@ -190,21 +202,22 @@ class ServingCluster:
         request pays that replica's hop plus a local read, instead of the
         home region's leader round trip.
         """
-        arrival = self.kernel.now_us
-        operation = kind.name.lower()
+        clock = self.kernel.clock
+        arrival = clock._now_us
+        operation = _OPERATION[kind]
         plan = self.fault_plan
         if plan is not None and plan.decide("service.task_crash") is not None:
             # a backend task dies under load; its in-flight RPC requeues
             self.backend_pool.crash_tasks(1)
         root = None
-        if self.tracer:
+        if self._tracer_on:
             root = self.tracer.start_span(
                 "cluster.rpc",
                 component="cluster",
                 attributes={"database_id": database_id, "operation": operation},
             )
         admitted, reason = self.admission.try_admit(
-            database_id, self.backend_pool.queue_depth(), memory_bytes
+            database_id, self.backend_pool.scheduler.pending, memory_bytes
         )
         if not admitted:
             self.rejected += 1
@@ -271,13 +284,23 @@ class ServingCluster:
             fail("rpc dropped (injected)")
             return False
 
+        # resolve the billing operation once per request instead of
+        # re-branching on kind in every completion
+        if kind in _READ_KINDS:
+            bill_op = self.billing.record_reads
+        elif kind is RpcKind.COMMIT:
+            bill_op = self.billing.record_writes
+        else:
+            bill_op = None
+
         def backend_done(rpc: Rpc, latency_us: int) -> None:
             self.admission.release(database_id, memory_bytes)
             self.completed += 1
-            self._bill(database_id, kind)
+            if bill_op is not None:
+                bill_op(database_id)
             total_us = network_us + frontend_cost + latency_us
-            now = self.kernel.now_us
-            if self.profiler:
+            now = clock._now_us
+            if self._profiler_on:
                 # wire and storage time are busy time spent elsewhere on
                 # this request's behalf — attributed so the flame adds up
                 self.profiler.account(
@@ -313,14 +336,14 @@ class ServingCluster:
             on_complete(total_us)
 
         def frontend_done(rpc: Rpc, frontend_latency_us: int) -> None:
-            if deadline_us is not None and self.kernel.now_us >= deadline_us:
+            if deadline_us is not None and clock._now_us >= deadline_us:
                 fail("deadline exceeded after frontend hop")
                 return
             backend_rpc = Rpc(
                 database_id=database_id,
                 kind=kind,
                 cpu_cost_us=cost,
-                arrival_us=self.kernel.now_us,
+                arrival_us=clock._now_us,
                 storage_latency_us=storage_us,
                 latency_sensitive=latency_sensitive,
                 deadline_us=deadline_us,
@@ -329,7 +352,9 @@ class ServingCluster:
                 trace_ctx=trace_ctx,
             )
             pool = self._isolated_pools.get(database_id, self.backend_pool)
-            pool.submit(backend_rpc)
+            # inlined pool.submit: one fewer frame on the per-request path
+            pool.scheduler.enqueue(backend_rpc)
+            pool._dispatch()
 
         frontend_cost = 50  # routing + session bookkeeping
         frontend_rpc = Rpc(
@@ -374,7 +399,10 @@ class ServingCluster:
                     label="rpc-delay",
                 )
                 return True
-        self.frontend_pool.submit(frontend_rpc)
+        # inlined pool.submit: one fewer frame on the per-request path
+        frontend_pool = self.frontend_pool
+        frontend_pool.scheduler.enqueue(frontend_rpc)
+        frontend_pool._dispatch()
         return True
 
     def submit_notification_fanout(

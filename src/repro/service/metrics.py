@@ -14,6 +14,8 @@ from repro.obs.stats import percentile as _percentile
 class LatencyRecorder:
     """Accumulates latency samples and reports percentiles."""
 
+    __slots__ = ("name", "_samples", "_sorted")
+
     def __init__(self, name: str = ""):
         self.name = name
         self._samples: list[int] = []

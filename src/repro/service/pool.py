@@ -12,19 +12,21 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.sim.events import EventKernel
-from repro.service.rpc import Rpc
+from repro.service.rpc import Rpc, RpcKind
 from repro.service.scheduler import FairShareScheduler
 
 
 class _Task:
-    __slots__ = ("task_id", "busy_until_us", "current")
+    __slots__ = ("task_id", "busy_until_us", "current_rpc", "current_event")
 
     def __init__(self, task_id: int):
         self.task_id = task_id
         self.busy_until_us = 0
-        # (rpc, completion event) while serving, None when idle — what a
-        # crash loses
-        self.current = None
+        # the in-flight (rpc, completion event) pair while serving, None
+        # when idle — what a crash loses; two slots rather than a tuple
+        # so dispatch does not allocate per RPC
+        self.current_rpc = None
+        self.current_event = None
 
 
 class TaskPool:
@@ -53,6 +55,19 @@ class TaskPool:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        # fast flags resolved once: the dispatch loop runs per event, and
+        # truthiness of the null singletons is a Python __bool__ call
+        # (callers may hand us the null singletons directly, so test
+        # truthiness here rather than identity against None)
+        self._profiler_on = bool(self.profiler)
+        self._tracer_on = bool(self.tracer)
+        # per-kind strings synthesized once: the dispatch loop must not
+        # run .name.lower() or build f-strings per RPC
+        self._profile_labels = {
+            kind: f"{name}.{kind.name.lower()}" for kind in RpcKind
+        }
+        self._kind_labels = {kind: kind.name.lower() for kind in RpcKind}
+        self._exec_span_name = f"{name}.exec"
         self._tasks = [_Task(i) for i in range(initial_tasks)]
         self._next_task_id = initial_tasks
         # utilization accounting
@@ -102,25 +117,26 @@ class TaskPool:
         caused. Returns the number of tasks crashed.
         """
         crashed = 0
+        tasks = self._tasks
         for _ in range(count):
             victim = None
-            for task in self._tasks:
-                if task.current is not None:
+            for task in tasks:
+                if task.current_rpc is not None:
                     victim = task
                     break
-            if victim is None and self._tasks:
-                victim = self._tasks[0]
+            if victim is None and tasks:
+                victim = tasks[0]
             if victim is None:
                 break
-            self._tasks.remove(victim)
-            if victim.current is not None:
-                rpc, event = victim.current
-                event.cancel()
+            tasks.remove(victim)
+            rpc = victim.current_rpc
+            if rpc is not None:
+                victim.current_event.cancel()
                 if requeue:
                     self.scheduler.enqueue(rpc)
                 else:
                     rpc.reject("task crashed")
-            self._tasks.append(_Task(self._next_task_id))
+            tasks.append(_Task(self._next_task_id))
             self._next_task_id += 1
             crashed += 1
         if crashed:
@@ -144,51 +160,77 @@ class TaskPool:
         self._dispatch()
 
     def _dispatch(self) -> None:
-        now = self.kernel.now_us
+        scheduler = self.scheduler
+        if scheduler.pending == 0:
+            return
+        tasks = self._tasks
+        now = self.kernel.clock._now_us
+        # cheap exits first (nothing queued / every task busy) before
+        # binding the rest of the dispatch state
+        task = None
+        for candidate in tasks:
+            if candidate.busy_until_us <= now:
+                task = candidate
+                break
+        if task is None:
+            return
+        kernel = self.kernel
+        metrics = self.metrics
+        speedup = self.speedup
+        pick = scheduler.pick
         while True:
-            task = self._free_task(now)
-            if task is None:
-                return
-            rpc = self.scheduler.pick()
+            rpc = pick()
             if rpc is None:
                 return
             if rpc.deadline_us is not None and now >= rpc.deadline_us:
                 # the caller gave up while this RPC sat in the queue:
                 # expire it here instead of burning a task on dead work
-                if self.metrics is not None:
-                    self.metrics.counter(
+                if metrics is not None:
+                    metrics.counter(
                         "faults_deadline_expired", at=self.name
                     ).inc()
                 rpc.reject("deadline exceeded in queue")
                 continue
-            service_us = max(1, round(rpc.cpu_cost_us / self.speedup))
+            cost = rpc.cpu_cost_us
+            service_us = max(1, round(cost / speedup)) if speedup != 1.0 else cost
             finish = now + service_us
             task.busy_until_us = finish
             self._busy_us_accum += service_us
             self.busy_us_total += service_us
-            if self.profiler:
+            if self._profiler_on:
                 self.profiler.account(
                     "service",
-                    f"{self.name}.{rpc.kind.name.lower()}",
+                    self._profile_labels[rpc.kind],
                     service_us,
                     rpc.database_id,
                 )
-            if self.tracer and rpc.trace_ctx is not None:
+            if self._tracer_on and rpc.trace_ctx is not None:
                 self.tracer.start_span(
-                    f"{self.name}.exec",
+                    self._exec_span_name,
                     parent=rpc.trace_ctx,
                     component=self.name,
+                    # reprolint: disable=hot-loop-alloc -- span attributes are per-span values by nature; the tracer is off in perf runs
                     attributes={
                         "database_id": rpc.database_id,
-                        "kind": rpc.kind.name.lower(),
+                        "kind": self._kind_labels[rpc.kind],
                         "queue_wait_us": now - rpc.arrival_us,
                         "task": task.task_id,
                     },
                 ).end(finish)
-            event = self.kernel.at(
+            event = kernel.at(
                 finish, self._make_completion(task, rpc, finish)
             )
-            task.current = (rpc, event)
+            task.current_rpc = rpc
+            task.current_event = event
+            if scheduler.pending == 0:
+                return
+            task = None
+            for candidate in tasks:
+                if candidate.busy_until_us <= now:
+                    task = candidate
+                    break
+            if task is None:
+                return
 
     def _free_task(self, now_us: int) -> Optional[_Task]:
         for task in self._tasks:
@@ -198,18 +240,25 @@ class TaskPool:
 
     def _make_completion(self, task: _Task, rpc: Rpc, finish_us: int):
         def complete() -> None:
-            task.current = None
+            task.current_rpc = None
+            task.current_event = None
             self.completed += 1
             if self.metrics is not None:
                 self.metrics.counter("pool_completed", pool=self.name).inc()
-            if rpc.storage_latency_us > 0:
-                self.kernel.after(
-                    rpc.storage_latency_us,
-                    lambda: rpc.complete(self.kernel.now_us),
-                )
+            storage_us = rpc.storage_latency_us
+            if storage_us > 0:
+                # events never fire late, so the completion latency is
+                # known at schedule time: precompute it instead of
+                # re-reading the clock inside the deferred callback
+                fire_us = self.kernel.clock._now_us + storage_us
+                on_done = rpc.on_complete
+                if on_done is not None:
+                    latency_us = fire_us - rpc.arrival_us
+                    self.kernel.post(fire_us, lambda: on_done(rpc, latency_us))
             else:
                 rpc.complete(finish_us)
-            self._dispatch()
+            if self.scheduler.pending != 0:
+                self._dispatch()
 
         return complete
 

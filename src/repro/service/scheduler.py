@@ -14,17 +14,20 @@ arm of the Figure 11 experiment.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.service.rpc import Rpc
 
+_INF = float("inf")
 
-@dataclass
+
 class _DatabaseQueue:
-    interactive: deque = field(default_factory=deque)
-    batch: deque = field(default_factory=deque)
-    virtual_time_us: float = 0.0
+    __slots__ = ("interactive", "batch", "virtual_time_us")
+
+    def __init__(self) -> None:
+        self.interactive: deque = deque()
+        self.batch: deque = deque()
+        self.virtual_time_us = 0.0
 
     def __len__(self) -> int:
         return len(self.interactive) + len(self.batch)
@@ -38,6 +41,21 @@ class _DatabaseQueue:
 class FairShareScheduler:
     """Per-database fair queueing of backend CPU."""
 
+    __slots__ = (
+        "fair",
+        "metrics",
+        "profiler",
+        "slo",
+        "clock",
+        "_queues",
+        "_queue_view",
+        "_fifo",
+        "_global_virtual_us",
+        "enqueued",
+        "dispatched",
+        "pending",
+    )
+
     def __init__(self, fair: bool = True, metrics=None, profiler=None, slo=None):
         self.fair = fair
         self.metrics = metrics
@@ -48,16 +66,23 @@ class FairShareScheduler:
         self.slo = slo
         self.clock = None
         self._queues: dict[str, _DatabaseQueue] = {}
+        # a dict view is live, so build it once: pick() iterates it per
+        # dispatch and a fresh .values() call per pick adds up
+        self._queue_view = self._queues.values()
         self._fifo: deque[Rpc] = deque()
         #: floor for virtual time of newly-active databases, so an idle
         #: database cannot bank unbounded credit
         self._global_virtual_us = 0.0
         self.enqueued = 0
         self.dispatched = 0
+        #: RPCs currently queued (either mode); the pools read this to
+        #: skip a dispatch pass entirely when there is nothing to pick
+        self.pending = 0
 
     def enqueue(self, rpc: Rpc) -> None:
         """Queue one RPC under its database's share."""
         self.enqueued += 1
+        self.pending += 1
         if self.metrics is not None:
             self.metrics.counter(
                 "scheduler_enqueued", database_id=rpc.database_id
@@ -69,11 +94,10 @@ class FairShareScheduler:
         if queue is None:
             queue = _DatabaseQueue()
             self._queues[rpc.database_id] = queue
-        if len(queue) == 0:
+        if not queue.interactive and not queue.batch:
             # (re)activating: start from the current global virtual time
-            queue.virtual_time_us = max(
-                queue.virtual_time_us, self._global_virtual_us
-            )
+            if queue.virtual_time_us < self._global_virtual_us:
+                queue.virtual_time_us = self._global_virtual_us
         if rpc.latency_sensitive:
             queue.interactive.append(rpc)
         else:
@@ -85,30 +109,50 @@ class FairShareScheduler:
             if not self._fifo:
                 return None
             self.dispatched += 1
+            self.pending -= 1
             rpc = self._fifo.popleft()
             self._record_dispatch(rpc)
             return rpc
-        best_id: Optional[str] = None
+        # one pass tracking best and runner-up virtual times: the
+        # post-pop global floor is derived from these two, avoiding a
+        # second sweep (and a per-pick generator) over the queues
         best_queue: Optional[_DatabaseQueue] = None
-        for database_id, queue in self._queues.items():
-            if len(queue) == 0:
+        best_vt = 0.0
+        second_vt = _INF
+        for queue in self._queue_view:
+            if not queue.interactive and not queue.batch:
                 continue
-            if best_queue is None or queue.virtual_time_us < best_queue.virtual_time_us:
-                best_id = database_id
+            vt = queue.virtual_time_us
+            if best_queue is None:
                 best_queue = queue
+                best_vt = vt
+            elif vt < best_vt:
+                second_vt = best_vt
+                best_queue = queue
+                best_vt = vt
+            elif vt < second_vt:
+                second_vt = vt
         if best_queue is None:
             return None
         rpc = best_queue.pop()
-        best_queue.virtual_time_us += rpc.cpu_cost_us
-        self._global_virtual_us = max(
-            self._global_virtual_us,
-            min(
-                (q.virtual_time_us for q in self._queues.values() if len(q)),
-                default=best_queue.virtual_time_us,
-            ),
-        )
+        new_vt = best_vt + rpc.cpu_cost_us
+        best_queue.virtual_time_us = new_vt
+        # min virtual time over queues still runnable after this pop
+        # (the picked queue re-enters at its advanced time if non-empty)
+        if best_queue.interactive or best_queue.batch:
+            floor = new_vt if new_vt < second_vt else second_vt
+        else:
+            floor = second_vt if second_vt is not _INF else new_vt
+        if floor > self._global_virtual_us:
+            self._global_virtual_us = floor
         self.dispatched += 1
-        self._record_dispatch(rpc)
+        self.pending -= 1
+        if (
+            self.metrics is not None
+            or self.profiler is not None
+            or self.slo is not None
+        ):
+            self._record_dispatch(rpc)
         return rpc
 
     def _record_dispatch(self, rpc: Rpc) -> None:
@@ -137,11 +181,11 @@ class FairShareScheduler:
 
     def queued(self, database_id: Optional[str] = None) -> int:
         """Queued RPCs, optionally for one database."""
-        if not self.fair:
-            if database_id is None:
-                return len(self._fifo)
-            return sum(1 for r in self._fifo if r.database_id == database_id)
         if database_id is None:
-            return sum(len(q) for q in self._queues.values())
+            # the running counter equals the sum over queues in either
+            # mode; admission reads this per request, so no sweep here
+            return self.pending
+        if not self.fair:
+            return sum(1 for r in self._fifo if r.database_id == database_id)
         queue = self._queues.get(database_id)
         return len(queue) if queue is not None else 0

@@ -20,6 +20,8 @@ class SimClock:
     to advance it to slightly different targets.
     """
 
+    __slots__ = ("_now_us",)
+
     def __init__(self, start_us: int = 0):
         if start_us < 0:
             raise ValueError("clock cannot start before the epoch")

@@ -8,20 +8,27 @@ The kernel is intentionally tiny — callbacks, not coroutines — because the
 functional database layers are synchronous; only the serving-infrastructure
 simulation (queueing, autoscaling, heartbeats, workload arrivals) needs
 asynchrony.
+
+The kernel *is* our hardware (ROADMAP item 1): every simulated request is
+a handful of these events, so wall-clock events/sec bounds how many
+tenants a run can drive. The dispatch loop is therefore written for
+speed, and ``perflint`` (:mod:`repro.analysis.engine`) holds it to that:
+heap entries are plain ``(time_us, priority, seq, event)`` tuples so
+heap sift comparisons stay in C instead of calling a Python ``__lt__``,
+:class:`Event` is an allocation-lean ``__slots__`` record, and the loop
+binds its hot attribute chains (heap, clock, profiler) to locals once
+per run instead of re-resolving them per event.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import time
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Optional, Protocol
 
 from repro.sim.clock import SimClock
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback. Ordered by (time, priority, sequence number).
 
@@ -31,12 +38,32 @@ class Event:
     explore alternative-but-legal orderings of concurrent events.
     """
 
-    time_us: int
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time_us", "priority", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self,
+        time_us: int,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ):
+        self.time_us = time_us
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def __lt__(self, other: "Event") -> bool:
+        # int-only comparisons: no tuple built per compare (the heap
+        # itself orders tuples and never reaches this; kept so Events
+        # still sort sensibly for tests and debugging)
+        if self.time_us != other.time_us:
+            return self.time_us < other.time_us
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
@@ -58,7 +85,14 @@ class SchedulePerturber(Protocol):
 
 
 class EventKernel:
-    """Priority-queue event loop over a :class:`SimClock`."""
+    """Priority-queue event loop over a :class:`SimClock`.
+
+    The heap holds ``(time_us, priority, seq, event)`` tuples: sift
+    comparisons resolve on the leading ints in C, and ``seq`` is unique
+    so two entries never compare equal deep enough to reach the event.
+    """
+
+    __slots__ = ("clock", "perturber", "profiler", "_heap", "_seq", "_executed")
 
     def __init__(
         self,
@@ -73,21 +107,27 @@ class EventKernel:
         #: feeds it wall-clock self-time per event label. Wall time is the
         #: only non-deterministic signal the profiler carries, and it is
         #: measured here — inside ``sim/`` — so nothing outside the
-        #: simulation layer ever reads a real clock.
+        #: simulation layer ever reads a real clock. Install the hook
+        #: before running: the dispatch loop reads it once per run.
         self.profiler = None
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        # entry payload is an Event (at/after) or a bare callback (post)
+        self._heap: list[tuple[int, int, int, object]] = []
+        self._seq = 0
         self._executed = 0
 
-    def _execute(self, event: Event) -> None:
+    def _execute(self, item) -> None:
+        """Run one heap payload (an :class:`Event` or a bare callback)."""
+        if item.__class__ is Event:
+            label = item.label or "event"
+            item = item.callback
+        else:
+            label = "event"
         if self.profiler is not None:
             start_ns = time.perf_counter_ns()
-            event.callback()
-            self.profiler.record_wall(
-                event.label or "event", time.perf_counter_ns() - start_ns
-            )
+            item()
+            self.profiler.record_wall(label, time.perf_counter_ns() - start_ns)
         else:
-            event.callback()
+            item()
 
     @property
     def now_us(self) -> int:
@@ -97,7 +137,11 @@ class EventKernel:
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled scheduled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(
+            1
+            for entry in self._heap
+            if entry[3].__class__ is not Event or not entry[3].cancelled
+        )
 
     @property
     def executed(self) -> int:
@@ -106,27 +150,53 @@ class EventKernel:
 
     def at(self, time_us: int, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at absolute time ``time_us``."""
-        if time_us < self.clock.now_us:
+        now_us = self.clock._now_us
+        if time_us < now_us:
             raise ValueError(
                 f"cannot schedule event at {time_us}us in the past "
-                f"(now={self.clock.now_us}us)"
+                f"(now={now_us}us)"
             )
         priority = 0
-        if self.perturber is not None:
-            time_us, priority = self.perturber.perturb(
-                time_us, label, self.clock.now_us
-            )
+        perturber = self.perturber
+        if perturber is not None:
+            time_us, priority = perturber.perturb(time_us, label, now_us)
             # a perturbation may delay but never time-travel
-            time_us = max(time_us, self.clock.now_us)
-        event = Event(time_us, priority, next(self._seq), callback, label=label)
-        heapq.heappush(self._heap, event)
+            if time_us < now_us:
+                time_us = now_us
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time_us, priority, seq, callback, label)
+        heappush(self._heap, (time_us, priority, seq, event))
         return event
 
     def after(self, delay_us: int, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` ``delay_us`` microseconds from now."""
         if delay_us < 0:
             raise ValueError(f"negative delay {delay_us}us")
-        return self.at(self.clock.now_us + delay_us, callback, label=label)
+        return self.at(self.clock._now_us + delay_us, callback, label=label)
+
+    def post(self, time_us: int, callback: Callable[[], None]) -> None:
+        """Schedule a fire-and-forget callback at absolute ``time_us``.
+
+        Like :meth:`at` but returns no handle: no :class:`Event` record
+        is allocated, so the callback cannot be cancelled or labelled.
+        The dispatch loop recognises the bare-callable heap entry. Use
+        this for high-volume work (periodic timers, storage completions)
+        that never needs either — it skips one allocation and one Python
+        frame per event. Falls back to :meth:`at` under a perturber so
+        schedule exploration still sees every event.
+        """
+        if self.perturber is not None:
+            self.at(time_us, callback)
+            return
+        if time_us < self.clock._now_us:
+            raise ValueError(
+                f"cannot schedule event at {time_us}us in the past "
+                f"(now={self.clock._now_us}us)"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time_us, 0, seq, callback))
 
     def run_until(self, time_us: int) -> int:
         """Execute events with time <= ``time_us``; returns events executed.
@@ -134,48 +204,84 @@ class EventKernel:
         The clock ends at exactly ``time_us`` even if the last event fired
         earlier, so wall-clock-driven components observe consistent time.
         """
+        heap = self._heap
+        clock = self.clock
+        profiler = self.profiler
         executed = 0
-        while self._heap and self._heap[0].time_us <= time_us:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.time_us)
-            self._execute(event)
-            executed += 1
-            self._executed += 1
-        self.clock.advance_to(time_us)
+        if profiler is None:
+            while heap and heap[0][0] <= time_us:
+                etime, _priority, _seq, item = heappop(heap)
+                # a heap entry carries either an Event or, for the
+                # fire-and-forget post() path, the bare callback
+                if item.__class__ is Event:
+                    if item.cancelled:
+                        continue
+                    item = item.callback
+                # inlined clock.advance_to: one slot store beats a
+                # method call at 200k+ events per run
+                if etime > clock._now_us:
+                    clock._now_us = etime
+                item()
+                executed += 1
+        else:
+            perf_counter_ns = time.perf_counter_ns
+            record_wall = profiler.record_wall
+            while heap and heap[0][0] <= time_us:
+                etime, _priority, _seq, item = heappop(heap)
+                if item.__class__ is Event:
+                    if item.cancelled:
+                        continue
+                    label = item.label or "event"
+                    item = item.callback
+                else:
+                    label = "event"
+                if etime > clock._now_us:
+                    clock._now_us = etime
+                start_ns = perf_counter_ns()
+                item()
+                record_wall(label, perf_counter_ns() - start_ns)
+                executed += 1
+        self._executed += executed
+        clock.advance_to(time_us)
         return executed
 
     def run_for(self, delta_us: int) -> int:
         """Run events for the next ``delta_us`` microseconds."""
-        return self.run_until(self.clock.now_us + delta_us)
+        return self.run_until(self.clock._now_us + delta_us)
 
     def drain(self, max_events: int = 10_000_000) -> int:
         """Run until no events remain. Guards against runaway loops."""
+        heap = self._heap
+        advance_to = self.clock.advance_to
         executed = 0
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        while heap:
+            entry = heappop(heap)
+            item = entry[3]
+            if item.__class__ is Event and item.cancelled:
                 continue
-            self.clock.advance_to(event.time_us)
-            self._execute(event)
+            advance_to(entry[0])
+            self._execute(item)
             executed += 1
-            self._executed += 1
             if executed > max_events:
-                raise RuntimeError(
-                    f"drain() executed more than {max_events} events; "
-                    "likely a self-rescheduling loop"
-                )
+                break
+        self._executed += executed
+        if executed > max_events:
+            raise RuntimeError(
+                f"drain() executed more than {max_events} events; "
+                "likely a self-rescheduling loop"
+            )
         return executed
 
     def step(self) -> bool:
         """Execute the single next event. Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            item = entry[3]
+            if item.__class__ is Event and item.cancelled:
                 continue
-            self.clock.advance_to(event.time_us)
-            self._execute(event)
+            self.clock.advance_to(entry[0])
+            self._execute(item)
             self._executed += 1
             return True
         return False

@@ -182,7 +182,7 @@ NAM5_TOPOLOGY = ReplicaTopology(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyModel:
     """Parametric latency model for one deployment flavour.
 
@@ -208,22 +208,41 @@ class LatencyModel:
         if self.topology is not None and self.quorum_us == 0:
             self.quorum_us = self.topology.quorum_rtt_us()
 
+    # The sampling methods inline the jitter draw instead of sharing a
+    # helper: they run once or twice per simulated request, and the
+    # extra call frames measurably slow the kernel (see gate_speed).
+    # All of them draw rand.lognormal(0, jitter_sigma) exactly once so
+    # the random stream is identical to the historical helper-based code.
+
     def _jitter(self, base_us: float, rand: SimRandom) -> int:
         if base_us <= 0:
             return 0
-        return max(1, round(base_us * rand.lognormal(0.0, self.jitter_sigma)))
+        sample = base_us * rand._rng.lognormvariate(0.0, self.jitter_sigma)
+        return 1 if sample < 1 else round(sample)
 
     def rpc_us(self, rand: SimRandom) -> int:
         """One network hop."""
-        return self._jitter(self.rpc_hop_us, rand)
+        base = self.rpc_hop_us
+        if base <= 0:
+            return 0
+        sample = base * rand._rng.lognormvariate(0.0, self.jitter_sigma)
+        return 1 if sample < 1 else round(sample)
 
     def read_us(self, rand: SimRandom) -> int:
         """A strongly-consistent Spanner read (leader round trip)."""
-        return self._jitter(self.rpc_hop_us + self.quorum_us * 0.5, rand)
+        base = self.rpc_hop_us + self.quorum_us * 0.5
+        if base <= 0:
+            return 0
+        sample = base * rand._rng.lognormvariate(0.0, self.jitter_sigma)
+        return 1 if sample < 1 else round(sample)
 
     def local_read_us(self, rand: SimRandom) -> int:
         """A replica-local (follower) read: no quorum round trip."""
-        return self._jitter(self.rpc_hop_us, rand)
+        base = self.rpc_hop_us
+        if base <= 0:
+            return 0
+        sample = base * rand._rng.lognormvariate(0.0, self.jitter_sigma)
+        return 1 if sample < 1 else round(sample)
 
     def commit_us(self, rand: SimRandom, participants: int = 1) -> int:
         """A Spanner commit across ``participants`` tablets.
@@ -237,7 +256,10 @@ class LatencyModel:
         if participants > 1:
             base += self.quorum_us  # prepare phase
             base += self.per_participant_us * (participants - 1)
-        return self._jitter(base, rand)
+        if base <= 0:
+            return 0
+        sample = base * rand._rng.lognormvariate(0.0, self.jitter_sigma)
+        return 1 if sample < 1 else round(sample)
 
 
 def RegionalLatency(region: str = "us-east1") -> LatencyModel:

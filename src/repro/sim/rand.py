@@ -16,6 +16,8 @@ import random
 class SimRandom:
     """Deterministic random source with workload-oriented distributions."""
 
+    __slots__ = ("seed", "_rng", "_zipf_cache")
+
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._rng = random.Random(seed)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.sim.clock import SimClock, MICROS_PER_MILLI
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TTInterval:
     """The ``[earliest, latest]`` bound returned by ``TrueTime.now()``."""
 

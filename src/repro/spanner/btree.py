@@ -37,6 +37,8 @@ class _Interior:
 class BTreeMap:
     """Sorted map over ``bytes`` keys with linked-leaf range scans."""
 
+    __slots__ = ("_order", "_root", "_size")
+
     def __init__(self, order: int = 64):
         if order < 4:
             raise ValueError("B+tree order must be at least 4")
@@ -88,11 +90,15 @@ class BTreeMap:
         """Insert or replace. Returns True if the key was newly inserted."""
         if not isinstance(key, bytes):
             raise TypeError(f"keys must be bytes, got {type(key).__name__}")
-        path: list[tuple[_Interior, int]] = []
+        # parallel node/index stacks: one list append per level instead of
+        # a (node, idx) tuple allocation on the hot descent loop
+        path_nodes: list[_Interior] = []
+        path_idx: list[int] = []
         node = self._root
         while isinstance(node, _Interior):
             idx = bisect.bisect_right(node.keys, key)
-            path.append((node, idx))
+            path_nodes.append(node)
+            path_idx.append(idx)
             node = node.children[idx]
 
         idx = bisect.bisect_left(node.keys, key)
@@ -104,10 +110,12 @@ class BTreeMap:
         self._size += 1
 
         if len(node.keys) > self._order:
-            self._split_leaf(node, path)
+            self._split_leaf(node, path_nodes, path_idx)
         return True
 
-    def _split_leaf(self, leaf: _Leaf, path: list[tuple[_Interior, int]]) -> None:
+    def _split_leaf(
+        self, leaf: _Leaf, path_nodes: list[_Interior], path_idx: list[int]
+    ) -> None:
         mid = len(leaf.keys) // 2
         right = _Leaf()
         right.keys = leaf.keys[mid:]
@@ -119,28 +127,32 @@ class BTreeMap:
             right.next.prev = right
         right.prev = leaf
         leaf.next = right
-        self._insert_into_parent(leaf, right.keys[0], right, path)
+        self._insert_into_parent(leaf, right.keys[0], right, path_nodes, path_idx)
 
     def _insert_into_parent(
         self,
         left: Any,
         separator: bytes,
         right: Any,
-        path: list[tuple[_Interior, int]],
+        path_nodes: list[_Interior],
+        path_idx: list[int],
     ) -> None:
-        if not path:
+        if not path_nodes:
             new_root = _Interior()
             new_root.keys = [separator]
             new_root.children = [left, right]
             self._root = new_root
             return
-        parent, idx = path.pop()
+        parent = path_nodes.pop()
+        idx = path_idx.pop()
         parent.keys.insert(idx, separator)
         parent.children.insert(idx + 1, right)
         if len(parent.children) > self._order:
-            self._split_interior(parent, path)
+            self._split_interior(parent, path_nodes, path_idx)
 
-    def _split_interior(self, node: _Interior, path: list[tuple[_Interior, int]]) -> None:
+    def _split_interior(
+        self, node: _Interior, path_nodes: list[_Interior], path_idx: list[int]
+    ) -> None:
         mid = len(node.keys) // 2
         separator = node.keys[mid]
         right = _Interior()
@@ -148,7 +160,7 @@ class BTreeMap:
         right.children = node.children[mid + 1 :]
         node.keys = node.keys[:mid]
         node.children = node.children[: mid + 1]
-        self._insert_into_parent(node, separator, right, path)
+        self._insert_into_parent(node, separator, right, path_nodes, path_idx)
 
     def delete(self, key: bytes) -> bool:
         """Remove ``key``. Returns True if it was present.
@@ -158,11 +170,13 @@ class BTreeMap:
         ops O(log n); tablets in this simulation are rebuilt on split, so
         aggressive rebalancing buys nothing.
         """
-        path: list[tuple[_Interior, int]] = []
+        path_nodes: list[_Interior] = []
+        path_idx: list[int] = []
         node = self._root
         while isinstance(node, _Interior):
             idx = bisect.bisect_right(node.keys, key)
-            path.append((node, idx))
+            path_nodes.append(node)
+            path_idx.append(idx)
             node = node.children[idx]
         idx = bisect.bisect_left(node.keys, key)
         if idx >= len(node.keys) or node.keys[idx] != key:
@@ -170,16 +184,19 @@ class BTreeMap:
         node.keys.pop(idx)
         node.values.pop(idx)
         self._size -= 1
-        if not node.keys and path:
-            self._unlink_empty_leaf(node, path)
+        if not node.keys and path_nodes:
+            self._unlink_empty_leaf(node, path_nodes, path_idx)
         return True
 
-    def _unlink_empty_leaf(self, leaf: _Leaf, path: list[tuple[_Interior, int]]) -> None:
+    def _unlink_empty_leaf(
+        self, leaf: _Leaf, path_nodes: list[_Interior], path_idx: list[int]
+    ) -> None:
         if leaf.prev is not None:
             leaf.prev.next = leaf.next
         if leaf.next is not None:
             leaf.next.prev = leaf.prev
-        parent, idx = path[-1]
+        parent = path_nodes[-1]
+        idx = path_idx[-1]
         parent.children.pop(idx)
         if idx > 0:
             parent.keys.pop(idx - 1)
@@ -187,13 +204,15 @@ class BTreeMap:
             parent.keys.pop(0)
         # collapse chains of single-child interiors up the path
         node: Any = parent
-        for ancestor, aidx in reversed(path[:-1]):
+        for level in range(len(path_nodes) - 2, -1, -1):
             if len(node.children) == 0:
-                ancestor.children.pop(aidx)
-                if aidx > 0:
-                    ancestor.keys.pop(aidx - 1)
-                elif ancestor.keys:
-                    ancestor.keys.pop(0)
+                ancestor = path_nodes[level]
+                akeys = ancestor.keys
+                ancestor.children.pop(path_idx[level])
+                if path_idx[level] > 0:
+                    akeys.pop(path_idx[level] - 1)
+                elif akeys:
+                    akeys.pop(0)
                 node = ancestor
             else:
                 break

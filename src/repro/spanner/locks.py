@@ -16,7 +16,6 @@ behaviour (aborted transactions under contention).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 
 from repro.errors import LockConflict
 
@@ -27,10 +26,12 @@ class LockMode(enum.Enum):
     EXCLUSIVE = "exclusive"
 
 
-@dataclass
 class _LockState:
-    shared_holders: set[int] = field(default_factory=set)
-    exclusive_holder: int | None = None
+    __slots__ = ("shared_holders", "exclusive_holder")
+
+    def __init__(self) -> None:
+        self.shared_holders: set[int] = set()
+        self.exclusive_holder: int | None = None
 
     def is_free(self) -> bool:
         return not self.shared_holders and self.exclusive_holder is None
@@ -44,6 +45,15 @@ class LockTable:
     a new key inside that range conflicts — the range lock is what
     excludes phantoms (Spanner locks scanned ranges, not just rows).
     """
+
+    __slots__ = (
+        "_locks",
+        "_held_by_txn",
+        "_ranges",
+        "conflicts",
+        "metrics",
+        "owner",
+    )
 
     def __init__(self) -> None:
         self._locks: dict[bytes, _LockState] = {}

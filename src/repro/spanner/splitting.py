@@ -20,7 +20,7 @@ from repro.spanner.database import SpannerDatabase
 from repro.spanner.tablet import Tablet
 
 
-@dataclass
+@dataclass(slots=True)
 class SplitPolicy:
     """Thresholds for splitting and merging."""
 
@@ -38,6 +38,8 @@ class SplitPolicy:
 
 class LoadBasedSplitter:
     """Applies a :class:`SplitPolicy` to a database's tablets."""
+
+    __slots__ = ("db", "policy", "metrics", "splits", "merges")
 
     def __init__(
         self,

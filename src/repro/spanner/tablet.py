@@ -54,6 +54,8 @@ class LoadStats:
 class Tablet:
     """One shard: MVCC rows for a consecutive composite-key range."""
 
+    __slots__ = ("tablet_id", "start_key", "end_key", "rows", "stats")
+
     _next_id = 0
 
     def __init__(self, start_key: bytes, end_key: Optional[bytes]):

@@ -38,7 +38,7 @@ from repro.spanner.locks import LockMode
 from repro.spanner.mvcc import TOMBSTONE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitResult:
     """Outcome of a successful commit."""
 
@@ -68,6 +68,15 @@ class _UnknownOutcomeFailure(Exception):
 
 class ReadWriteTransaction:
     """One Spanner read-write transaction."""
+
+    __slots__ = (
+        "_db",
+        "txn_id",
+        "start_ts",
+        "_writes",
+        "_pending_messages",
+        "_state",
+    )
 
     def __init__(self, db, txn_id: int):
         self._db = db

@@ -146,42 +146,76 @@ class YcsbRunner:
         completed = [0]
 
         read_fraction = WORKLOAD_READ_FRACTION[config.workload]
+        # bound once outside the per-operation closure: issue() runs for
+        # every simulated request, so each saved lookup is paid back
+        # tens of thousands of times per run
+        clock = kernel.clock
+        post = kernel.post
+        # the raw random.Random methods, bypassing the SimRandom wrapper
+        # frames: random() < p IS bernoulli(p) and randint(0, k) consumes
+        # exactly one _randbelow(k + 1) draw, so the stream is unchanged
+        random_draw = self.rand._rng.random
+        randbelow = self.rand._rng._randbelow
+        expovariate = self.arrivals._rng.expovariate
+        submit = self.cluster.submit
+        mean_gap_us = MICROS_PER_SECOND / config.target_qps
+        arrival_rate = 1.0 / mean_gap_us
+        key_range = config.record_count
+
+        # one completion callback per (window, kind, half) combination,
+        # created once: the per-operation closure this replaces was a
+        # measurable slice of the kernel's events/sec budget. The
+        # in-window/half decision is made at issue time, as before.
+        def complete_outside(latency_us: int) -> None:
+            completed[0] += 1
+
+        def make_recorder(primary, half):
+            record_primary = primary.record
+            record_half = half.record
+
+            def complete(latency_us: int) -> None:
+                completed[0] += 1
+                record_primary(latency_us)
+                record_half(latency_us)
+
+            return complete
+
+        read_done = (
+            make_recorder(reads, read_halves[0]),
+            make_recorder(reads, read_halves[1]),
+        )
+        update_done = (
+            make_recorder(updates, update_halves[0]),
+            make_recorder(updates, update_halves[1]),
+        )
 
         def issue() -> None:
-            now = kernel.now_us
+            now = clock._now_us
             if now >= duration_us:
                 return
-            is_read = self.rand.bernoulli(read_fraction)
+            is_read = random_draw() < read_fraction
             # the key is drawn for workload fidelity (uniform distribution)
-            self.rand.randint(0, config.record_count - 1)
-            in_window = now >= measure_from
-            second_half = now >= halfway
-
-            def on_complete(latency_us: int) -> None:
-                completed[0] += 1
-                if not in_window:
-                    return
-                if is_read:
-                    reads.record(latency_us)
-                    read_halves[1 if second_half else 0].record(latency_us)
-                else:
-                    updates.record(latency_us)
-                    update_halves[1 if second_half else 0].record(latency_us)
+            randbelow(key_range)
+            if now >= measure_from:
+                half = 1 if now >= halfway else 0
+                on_complete = read_done[half] if is_read else update_done[half]
+            else:
+                on_complete = complete_outside
 
             if is_read:
-                self.cluster.submit(
-                    "ycsb", RpcKind.GET, on_complete, cpu_cost_us=READ_CPU_US
-                )
+                submit("ycsb", RpcKind.GET, on_complete, cpu_cost_us=READ_CPU_US)
             else:
-                self.cluster.submit(
+                submit(
                     "ycsb",
                     RpcKind.COMMIT,
                     on_complete,
                     cpu_cost_us=UPDATE_CPU_US,
                     commit_participants=2,  # Entities + IndexEntries tablets
                 )
-            gap = self.arrivals.exponential(MICROS_PER_SECOND / config.target_qps)
-            kernel.after(max(1, round(gap)), issue)
+            # submit() never advances the clock (it only schedules), so
+            # ``now`` is still the current time here
+            gap = expovariate(arrival_rate)
+            post(now + max(1, round(gap)), issue)
 
         if self.tracer is not None:
             # one sampled commit through the *functional* stack (Backend

@@ -1,0 +1,20 @@
+"""Taint fixture: a direct banned call plus two indirection hops.
+
+``raw_now`` is the seed (flagged by the per-file wallclock check);
+``now_ms`` and ``read_now`` are only reachable through the call graph —
+the engine's ``wallclock-indirect`` pass must flag both callers.
+"""
+
+import time
+
+
+def raw_now():
+    return time.time()
+
+
+def now_ms():
+    return raw_now() * 1000.0
+
+
+def read_now():
+    return now_ms()

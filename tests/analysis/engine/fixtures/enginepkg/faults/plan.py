@@ -1,0 +1,9 @@
+"""A duck-typed hook: callers hold ``plan.fault_plan(op)`` with no
+static type, so resolution must survive (and find) this method."""
+
+
+class ChaosPlan:
+    __slots__ = ()
+
+    def fault_plan(self, op):
+        return None

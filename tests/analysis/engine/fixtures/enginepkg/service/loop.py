@@ -1,0 +1,26 @@
+from repro.service.record import Record, Slotted
+from repro.sim.clock import wall_ns
+
+
+def spin_a(n):
+    if n:
+        return spin_b(n - 1)
+    return 0
+
+
+def spin_b(n):
+    return spin_a(n)
+
+
+def dispatch(plan, items):
+    total = 0
+    for op in items:
+        plan.fault_plan(op)
+        rec = Record(op)
+        srec = Slotted(op)
+        total += spin_a(3) + rec.key + srec.key
+    return total
+
+
+def sample():
+    return wall_ns()

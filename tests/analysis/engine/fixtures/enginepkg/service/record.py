@@ -1,0 +1,18 @@
+class Record:
+    def __init__(self, key):
+        self.key = key
+
+
+class Slotted:
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+
+class Tagged(Record):
+    # ``super().__init__`` must NOT duck-resolve: dunder receivers would
+    # wire every __init__ in the package together
+    def __init__(self, key, tag):
+        super().__init__(key)
+        self.tag = tag

@@ -1,0 +1,15 @@
+"""The sanctioned wall-clock boundary of the fixture package.
+
+``sim/`` is on the determinism allowlist: banned calls here neither
+trip the per-file wallclock check nor seed the interprocedural taint.
+"""
+
+import time
+
+
+def wall_ns():
+    return time.perf_counter_ns()
+
+
+def tick(n):
+    return n + 1

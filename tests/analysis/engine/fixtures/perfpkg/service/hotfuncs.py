@@ -1,0 +1,112 @@
+"""One bad/good function pair per perflint check.
+
+Every function here is marked hot by the fixture ledger; the tests
+assert each ``bad_*`` body is flagged by exactly its check and no
+``good_*`` body is flagged by anything.
+"""
+
+
+class Plain:
+    def __init__(self, key):
+        self.key = key
+
+
+class Thing:
+    __slots__ = ("name", "weight")
+
+    def __init__(self, name, weight):
+        self.name = name
+        self.weight = weight
+
+
+def bad_slots(items):
+    out = 0
+    for key in items:
+        out += Plain(key).key
+    return out
+
+
+def good_slots(items):
+    out = 0
+    for key in items:
+        out += Thing(key, 1).weight
+    return out
+
+
+def bad_alloc(items):
+    total = 0
+    for item in items:
+        pair = [item, total]
+        total += len(pair)
+    return total
+
+
+def good_alloc(items):
+    total = 0
+    for item in items:
+        total += item
+    return total
+
+
+def bad_attr(things):
+    out = []
+    for thing in things:
+        if thing.name:
+            out.append(thing.name)
+        out.append(thing.name)
+    return out
+
+
+def good_attr(things):
+    out = []
+    for thing in things:
+        name = thing.name
+        if name:
+            out.append(name)
+        out.append(name)
+    return out
+
+
+def bad_dispatch(handlers, ops):
+    done = 0
+    for op in ops:
+        if hasattr(handlers, op.kind.name.lower()):
+            done += 1
+    return done
+
+
+def good_dispatch(table, ops):
+    done = 0
+    for op in ops:
+        done += table[op.kind]
+    return done
+
+
+def bad_try(items):
+    total = 0
+    for item in items:
+        try:
+            total += item
+        except TypeError:
+            total += 0
+    return total
+
+
+def good_try(items):
+    total = 0
+    try:
+        for item in items:
+            total += item
+    except TypeError:
+        total = -1
+    return total
+
+
+def bad_interned(stats, name, value):
+    stats["latency." + name] = value
+    return stats
+
+
+def good_interned(stats, key, value):
+    stats[key] = value
+    return stats

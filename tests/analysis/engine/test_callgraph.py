@@ -1,0 +1,109 @@
+"""Call-graph resolution over the enginepkg fixture tree.
+
+The fixture package has a call cycle (``spin_a`` <-> ``spin_b``), a
+duck-typed ``fault_plan`` hook with no static receiver type, precise
+constructor edges, and a ``super().__init__`` call that must NOT be
+duck-resolved.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.hotpath import HotPaths
+from repro.analysis.engine.symbols import SymbolTable
+from repro.analysis.reprolint import _iter_sources, _parse
+
+FIXTURES = Path(__file__).parent / "fixtures"
+ENGINEPKG = FIXTURES / "enginepkg"
+LEDGER = FIXTURES / "enginepkg_ledger.json"
+
+DISPATCH = "service/loop.py::dispatch"
+SPIN_A = "service/loop.py::spin_a"
+SPIN_B = "service/loop.py::spin_b"
+FAULT_PLAN = "faults/plan.py::ChaosPlan.fault_plan"
+RECORD_INIT = "service/record.py::Record.__init__"
+SLOTTED_INIT = "service/record.py::Slotted.__init__"
+
+
+@pytest.fixture(scope="module")
+def table():
+    modules = [_parse(p, ENGINEPKG) for p in _iter_sources(ENGINEPKG)]
+    return SymbolTable.build(modules)
+
+
+@pytest.fixture(scope="module")
+def graph(table):
+    # this also exercises "duck-typed hooks must not crash resolution"
+    return CallGraph.build(table)
+
+
+def test_cycle_edges_are_symmetric(graph):
+    assert SPIN_B in graph.callees[SPIN_A]
+    assert SPIN_A in graph.callees[SPIN_B]
+    assert SPIN_A in graph.callers[SPIN_B]
+    assert SPIN_B in graph.callers[SPIN_A]
+
+
+def test_duck_typed_hook_resolves(graph):
+    assert FAULT_PLAN in graph.callees[DISPATCH]
+    assert DISPATCH in graph.callers[FAULT_PLAN]
+
+
+def test_instantiation_resolves_class_and_init(graph):
+    assert graph.instantiates[DISPATCH] == (
+        "service/record.py::Record",
+        "service/record.py::Slotted",
+    )
+    assert RECORD_INIT in graph.callees[DISPATCH]
+    assert SLOTTED_INIT in graph.callees[DISPATCH]
+
+
+def test_super_init_is_not_duck_resolved(graph):
+    # Tagged.__init__ calls super().__init__; were dunders duck-typed,
+    # Record.__init__ would gain a caller edge from Tagged.__init__
+    assert graph.callers[RECORD_INIT] == (DISPATCH,)
+    tagged = "service/record.py::Tagged.__init__"
+    assert graph.callees[tagged] == ()
+
+
+def test_banned_calls_recorded_as_external(graph):
+    assert "time.time" in graph.external_calls["core/clockuser.py::raw_now"]
+    assert (
+        "time.perf_counter_ns"
+        in graph.external_calls["sim/clock.py::wall_ns"]
+    )
+
+
+def test_call_lines_point_at_first_call_site(graph):
+    line = graph.call_lines[DISPATCH][FAULT_PLAN]
+    source = (ENGINEPKG / "service" / "loop.py").read_text().splitlines()
+    assert "plan.fault_plan(op)" in source[line - 1]
+
+
+def test_hot_closure_is_exact(table, graph):
+    hot = HotPaths.from_ledger(LEDGER, table, graph)
+    assert set(hot.evidence) == {
+        DISPATCH,
+        SPIN_A,
+        SPIN_B,
+        FAULT_PLAN,
+        RECORD_INIT,
+        SLOTTED_INIT,
+    }
+    # the seed carries ledger evidence; closure members carry the chain
+    assert "42.0% self time on fixture_speed" in hot.why(DISPATCH)
+    assert hot.why(FAULT_PLAN) == f"called from hot {DISPATCH}"
+    # sample sits below the 1% self-time threshold: not a seed, and
+    # nothing hot calls it
+    assert "service/loop.py::sample" not in hot
+    assert hot.source.endswith("enginepkg_ledger.json")
+
+
+def test_missing_ledger_yields_empty_hot_set(table, graph):
+    hot = HotPaths.from_ledger(None, table, graph)
+    assert len(hot) == 0
+    missing = FIXTURES / "no_such_ledger.json"
+    assert len(HotPaths.from_ledger(missing, table, graph)) == 0
+    assert HotPaths.from_ledger(missing, table, graph).source == "no ledger"

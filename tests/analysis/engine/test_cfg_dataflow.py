@@ -1,0 +1,196 @@
+"""CFG construction and the dataflow fixpoints on hand-written bodies."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.engine.cfg import build_cfg
+from repro.analysis.engine.dataflow import liveness, reaching_definitions
+
+
+def _fn(source):
+    tree = ast.parse(textwrap.dedent(source))
+    node = tree.body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+def _block_with(cfg, node_type):
+    matches = [
+        block
+        for block in cfg.blocks
+        if any(isinstance(s, node_type) for s in block.stmts)
+    ]
+    assert len(matches) == 1, f"expected one block holding {node_type}"
+    return matches[0]
+
+
+def test_build_cfg_rejects_non_functions():
+    with pytest.raises(TypeError):
+        build_cfg(ast.parse("x = 1").body[0])
+
+
+def test_entry_and_synthetic_exit():
+    cfg = build_cfg(_fn("def f():\n    return 1\n"))
+    assert cfg.blocks[0].index == 0
+    exit_block = cfg.blocks[cfg.exit_index]
+    assert exit_block.stmts == []
+    assert exit_block.succs == []
+    # the return edges straight to the exit
+    assert cfg.exit_index in cfg.blocks[0].succs
+
+
+def test_if_join_sees_both_definitions():
+    cfg = build_cfg(
+        _fn(
+            """
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+    )
+    rd = reaching_definitions(cfg)
+    join = _block_with(cfg, ast.Return)
+    defs = rd.reaching(join.index, "x")
+    assert len(defs) == 2
+    values = sorted(d.value.value for d in defs)
+    assert values == [1, 2]
+
+
+def test_redefinition_kills_earlier_def():
+    cfg = build_cfg(
+        _fn(
+            """
+            def g(flag):
+                x = 1
+                x = 2
+                if flag:
+                    y = x
+                return x
+            """
+        )
+    )
+    rd = reaching_definitions(cfg)
+    ret = _block_with(cfg, ast.Return)
+    defs = rd.reaching(ret.index, "x")
+    assert len(defs) == 1
+    assert defs[0].value.value == 2
+    # within the defining block itself the kill already happened
+    x_out = [d for k, d in rd.reach_out[0].items() if k[0] == "x"]
+    assert len(x_out) == 1 and x_out[0].value.value == 2
+
+
+def test_loop_back_edge_carries_body_definition():
+    cfg = build_cfg(
+        _fn(
+            """
+            def h(items):
+                out = 0
+                for i in items:
+                    out = out + 1
+                return out
+            """
+        )
+    )
+    rd = reaching_definitions(cfg)
+    head = _block_with(cfg, ast.For)
+    # both the initial def and the loop-body def reach the head: the
+    # back edge is in the graph
+    assert len(rd.reaching(head.index, "out")) == 2
+    ret = _block_with(cfg, ast.Return)
+    assert len(rd.reaching(ret.index, "out")) == 2
+    # the for target's definition has no statically evident value
+    i_defs = [d for d in rd.all_defs if d.name == "i"]
+    assert len(i_defs) == 1 and i_defs[0].value is None
+
+
+def test_augassign_definition_has_no_value():
+    cfg = build_cfg(_fn("def f(x):\n    x += 1\n    return x\n"))
+    rd = reaching_definitions(cfg)
+    defs = [d for d in rd.all_defs if d.name == "x"]
+    assert len(defs) == 1 and defs[0].value is None
+
+
+def test_try_body_edges_into_handler():
+    cfg = build_cfg(
+        _fn(
+            """
+            def f(d):
+                try:
+                    v = d.pop()
+                except KeyError:
+                    v = None
+                return v
+            """
+        )
+    )
+    rd = reaching_definitions(cfg)
+    ret = _block_with(cfg, ast.Return)
+    # either arm's definition of v may reach the return
+    assert len(rd.reaching(ret.index, "v")) == 2
+
+
+def test_liveness_params_in_locals_out():
+    cfg = build_cfg(
+        _fn(
+            """
+            def k(a, b):
+                c = a + b
+                return c
+            """
+        )
+    )
+    live_in, live_out = liveness(cfg)
+    assert live_in[0] == ["a", "b"]
+    assert "c" not in live_in[0]
+    assert live_out[cfg.exit_index] == []
+
+
+def test_liveness_across_loop():
+    cfg = build_cfg(
+        _fn(
+            """
+            def m(items):
+                total = 0
+                for item in items:
+                    total = total + item
+                return total
+            """
+        )
+    )
+    live_in, live_out = liveness(cfg)
+    # ``items`` is live into the entry block (consumed by the loop);
+    # ``total`` is not, because the entry defines it before any use
+    assert "items" in live_in[0]
+    assert "total" not in live_in[0]
+    body = next(
+        b
+        for b in cfg.blocks
+        if any(isinstance(s, ast.Assign) for s in b.stmts)
+        and b.index != 0
+    )
+    assert "total" in live_out[body.index]
+
+
+def test_reaching_is_deterministic_across_builds():
+    source = """
+        def f(flag, items):
+            x = 0
+            for i in items:
+                if flag:
+                    x = x + i
+                else:
+                    x = 0
+            return x
+        """
+
+    def snapshot():
+        rd = reaching_definitions(build_cfg(_fn(source)))
+        return [(d.name, d.def_id, d.lineno) for d in rd.all_defs]
+
+    assert snapshot() == snapshot()

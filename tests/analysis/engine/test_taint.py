@@ -1,0 +1,57 @@
+"""Interprocedural wallclock taint over the enginepkg fixture.
+
+``core/clockuser.py`` wraps ``time.time()`` behind two helper hops;
+``wallclock-indirect`` must flag each *caller* at its call site, with
+the full chain in the message, while the sanctioned ``sim/`` boundary
+stays untainted.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.perflint import Engine
+from repro.analysis.reprolint import _iter_sources, _parse
+
+FIXTURES = Path(__file__).parent / "fixtures"
+ENGINEPKG = FIXTURES / "enginepkg"
+
+
+@pytest.fixture(scope="module")
+def diags():
+    modules = [_parse(p, ENGINEPKG) for p in _iter_sources(ENGINEPKG)]
+    engine = Engine.build(modules, ledger_path=None)
+    return engine.check_wallclock_indirect()
+
+
+def test_both_indirection_hops_flagged_at_caller(diags):
+    assert len(diags) == 2
+    assert all(d.path == "core/clockuser.py" for d in diags)
+    assert all(d.check == "wallclock-indirect" for d in diags)
+    chains = " | ".join(sorted(d.message for d in diags))
+    assert "(now_ms -> raw_now -> time.time)" in chains
+    assert "(read_now -> now_ms -> raw_now -> time.time)" in chains
+
+
+def test_findings_anchor_on_the_call_site(diags):
+    source = (ENGINEPKG / "core" / "clockuser.py").read_text().splitlines()
+    flagged = sorted(source[d.line - 1] for d in diags)
+    assert flagged == ["    return now_ms()", "    return raw_now() * 1000.0"]
+
+
+def test_seed_itself_is_not_flagged_indirect(diags):
+    # raw_now makes the banned call itself: that is the per-file
+    # wallclock check's finding, not an indirect one
+    source = (ENGINEPKG / "core" / "clockuser.py").read_text().splitlines()
+    time_line = next(
+        i for i, line in enumerate(source, 1) if "time.time()" in line
+    )
+    assert all(d.line != time_line for d in diags)
+
+
+def test_sim_boundary_never_taints(diags):
+    # sample() calls sim's wall_ns(), which calls time.perf_counter_ns —
+    # the sim/ allowlist stops the taint at the sanctioned boundary
+    messages = " | ".join(d.message for d in diags)
+    assert "wall_ns" not in messages
+    assert "sample" not in messages
