@@ -76,6 +76,14 @@ class CallGraph:
         self.instantiates: dict[str, tuple[str, ...]] = {}
         #: caller qualname -> {project callee qualname -> first call line}
         self.call_lines: dict[str, dict[str, int]] = {}
+        #: caller qualname -> {project callee qualname -> all call lines}
+        self.call_sites: dict[str, dict[str, tuple[int, ...]]] = {}
+        #: caller qualname -> callees resolved *only* by bare duck
+        #: typing (never precisely at any site). Effect/exception
+        #: propagation treats these edges with suspicion: a chance name
+        #: match (``path.exists()`` vs a reader's ``exists``) must not
+        #: smuggle lock effects into unrelated code.
+        self.duck_only: dict[str, frozenset] = {}
 
     @classmethod
     def build(cls, table: SymbolTable) -> "CallGraph":
@@ -85,12 +93,30 @@ class CallGraph:
             project: dict[str, int] = {}
             external: dict[str, int] = {}
             classes: dict[str, int] = {}
+            sites: dict[str, list[int]] = {}
+            duck_acc: set[str] = set()
+            precise_acc: set[str] = set()
             for call in _own_calls(info):
-                graph._resolve_call(info, call, project, external, classes)
+                hits: dict[str, int] = {}
+                duck_hits: set[str] = set()
+                graph._resolve_call(
+                    info, call, hits, external, classes, duck_hits
+                )
+                duck_acc |= duck_hits
+                precise_acc |= set(hits) - duck_hits
+                for callee, line in hits.items():
+                    if callee not in project:
+                        project[callee] = line
+                    sites.setdefault(callee, []).append(line)
+            graph.duck_only[qualname] = frozenset(duck_acc - precise_acc)
             graph.callees[qualname] = tuple(sorted(project))
             graph.external_calls[qualname] = tuple(sorted(external))
             graph.instantiates[qualname] = tuple(sorted(classes))
             graph.call_lines[qualname] = project
+            graph.call_sites[qualname] = {
+                callee: tuple(sorted(set(lines)))
+                for callee, lines in sorted(sites.items())
+            }
             for callee in sorted(project):
                 callers_acc.setdefault(callee, {})[qualname] = None
         for qualname in table.functions:
@@ -98,6 +124,30 @@ class CallGraph:
                 sorted(callers_acc.get(qualname, {}))
             )
         return graph
+
+    def resolve_call_node(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> tuple[tuple[str, ...], tuple[str, ...], frozenset]:
+        """Resolve one call node: (project callees, externals, duck set).
+
+        The statement-grained passes (effect inference, typestate) need
+        per-call resolution with the exact same rules the graph was
+        built with — duck-typing stoplist included — so this is the one
+        resolver, re-run on demand. The third element is the subset of
+        callees that resolved only by bare duck typing at this site.
+        """
+        project: dict[str, int] = {}
+        external: dict[str, int] = {}
+        classes: dict[str, int] = {}
+        duck_hits: set[str] = set()
+        self._resolve_call(caller, call, project, external, classes, duck_hits)
+        # a constructor call carries the __init__ edge via `project`
+        # already; expose the class for completeness-minded callers
+        return (
+            tuple(sorted(project)),
+            tuple(sorted(external)),
+            frozenset(duck_hits),
+        )
 
     # -- resolution --------------------------------------------------------
 
@@ -108,6 +158,7 @@ class CallGraph:
         project: dict[str, int],
         external: dict[str, int],
         classes: dict[str, int],
+        duck_hits: Optional[set] = None,
     ) -> None:
         table = self.table
         func = call.func
@@ -155,7 +206,7 @@ class CallGraph:
                         if target is not None:
                             record(project, target)
                             return
-                self._duck(method, project, line)
+                self._duck(method, project, line, duck_hits)
                 return
             # dotted module call through an import alias?
             from repro.analysis.checks import _dotted_name
@@ -172,7 +223,7 @@ class CallGraph:
                     rest = dotted.split(".", 1)[1] if "." in dotted else ""
                     record(external, f"{target}.{rest}" if rest else target)
                     return
-            self._duck(method, project, line)
+            self._duck(method, project, line, duck_hits)
             if dotted is not None and "." in dotted:
                 record(external, dotted)
 
@@ -234,7 +285,11 @@ class CallGraph:
         return None
 
     def _duck(
-        self, method: str, project: dict[str, int], line: int
+        self,
+        method: str,
+        project: dict[str, int],
+        line: int,
+        duck_hits: Optional[set] = None,
     ) -> None:
         """Duck-typed resolution: every project function of this name."""
         # dunders would wire e.g. ``super().__init__`` to every class in
@@ -247,11 +302,15 @@ class CallGraph:
         for qual in self.table.functions_by_name.get(method, []):
             if qual not in project:
                 project[qual] = line
+            if duck_hits is not None:
+                duck_hits.add(qual)
 
 
 def _own_calls(info: FunctionInfo) -> list[ast.Call]:
     """Call nodes in this function, excluding nested def bodies (those
-    are their own graph nodes)."""
+    are their own graph nodes) and *named* lambda bodies (lifted into
+    their own symbol-table functions; inline lambdas still attribute
+    their calls here, since only the enclosing function can run them)."""
     out: list[ast.Call] = []
     stack: list[ast.AST] = [info.node]
     first = True
@@ -259,6 +318,10 @@ def _own_calls(info: FunctionInfo) -> list[ast.Call]:
         node = stack.pop()
         if not first and isinstance(
             node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        if isinstance(node, ast.Lambda) and getattr(
+            node, "_engine_lifted", False
         ):
             continue
         first = False

@@ -1,0 +1,400 @@
+"""Concurrency checks: atomicity across yields and lock discipline.
+
+Both checks reason about one function's CFG with every statement
+annotated by its :class:`~repro.analysis.engine.effects.StatementEffects`
+(own accesses plus callee summaries). :class:`FunctionFlow` is that
+annotated CFG plus the path queries the checks (here and in
+:mod:`repro.analysis.engine.typestate`) share:
+
+``atomicity-across-yield``
+    A read of a shared cell, then a statement that may re-enter the
+    event loop, then a write of the same cell — with no lock held at
+    the yield — is a sim race: other events interleave at the yield
+    and the read is stale by the time the write lands. Reads/writes
+    use the *near* sets (own accesses plus direct accesses of called
+    singleton methods), not fully-transitive ones: a harness that
+    pumps the kernel between whole transactions touches every cell
+    transitively and would drown the report.
+
+``lock-discipline``
+    Three violation classes, each the static twin of a dynamic 2PL
+    sanitizer class:
+
+    - ``[static-lock-leak]`` — in a function that both acquires and
+      releases locks (it owns a lock lifetime), some path from an
+      acquire reaches the exit without passing any may-release
+      statement.
+    - ``[static-acquire-after-release]`` — an acquire reachable from a
+      release with no intervening ``begin`` (a new transaction resets
+      the discipline); the dynamic twin fires when a transaction
+      re-acquires after ``release_all``.
+    - ``[static-lock-order]`` — two lock resources acquired in
+      opposite orders in two places: the classic deadlock recipe, which
+      the single-threaded sim can never exhibit dynamically.
+    - ``[static-scan-range-gap]`` — a row-lock-taking function loops
+      over MVCC reads without ever taking a range lock (phantoms; the
+      dynamic twin is ``scan-without-range-lock``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Optional
+
+from repro.analysis.engine.cfg import Cfg, build_cfg
+from repro.analysis.engine.effects import (
+    EffectAnalysis,
+    StatementEffects,
+    iter_own_nodes,
+)
+from repro.analysis.engine.symbols import FunctionInfo
+from repro.analysis.reprolint import Diagnostic
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+#: position in a FunctionFlow: (block index, statement index)
+Pos = tuple
+
+
+class FunctionFlow:
+    """One function's CFG with per-statement effect annotations."""
+
+    def __init__(self, info: FunctionInfo, analysis: EffectAnalysis):
+        self.info = info
+        self.cfg: Cfg = build_cfg(info.node)
+        #: block index -> [(stmt, StatementEffects), ...]
+        self.block_stmts: dict[int, list] = {}
+        for block in self.cfg.blocks:
+            self.block_stmts[block.index] = [
+                (stmt, analysis.statement_effects(info, stmt))
+                for stmt in block.stmts
+            ]
+        self._reach: Optional[list[frozenset]] = None
+
+    # -- queries -----------------------------------------------------------
+
+    def positions(self):
+        """Every (pos, stmt, effects) in deterministic block order."""
+        for block in self.cfg.blocks:
+            for idx, (stmt, eff) in enumerate(self.block_stmts[block.index]):
+                yield (block.index, idx), stmt, eff
+
+    def reach(self) -> list[frozenset]:
+        """block -> blocks reachable via one or more edges."""
+        if self._reach is None:
+            out = []
+            for block in self.cfg.blocks:
+                seen: set[int] = set()
+                stack = list(block.succs)
+                while stack:
+                    cur = stack.pop()
+                    if cur in seen:
+                        continue
+                    seen.add(cur)
+                    stack.extend(self.cfg.blocks[cur].succs)
+                out.append(frozenset(seen))
+            self._reach = out
+        return self._reach
+
+    def strictly_before(self, a: Pos, b: Pos) -> bool:
+        """Some path executes statement ``a``, later statement ``b``."""
+        (ba, ia), (bb, ib) = a, b
+        if ba == bb and ia < ib:
+            return True
+        return bb in self.reach()[ba]
+
+    def find_path(
+        self,
+        start: Pos,
+        stop: Callable[[StatementEffects, Pos], bool],
+        goal: Optional[Callable[[StatementEffects, Pos], bool]] = None,
+        to_exit: bool = False,
+    ) -> Optional[Pos]:
+        """DFS forward from just after ``start``: prune paths at
+        ``stop`` statements; return the first position satisfying
+        ``goal`` (or ``(exit, -1)`` when ``to_exit`` and the exit block
+        is reachable). None when every path is pruned first."""
+
+        def scan(block_idx: int, from_idx: int):
+            stmts = self.block_stmts[block_idx]
+            for idx in range(from_idx, len(stmts)):
+                _, eff = stmts[idx]
+                pos = (block_idx, idx)
+                if goal is not None and goal(eff, pos):
+                    return ("goal", pos)
+                if stop(eff, pos):
+                    return ("stopped", None)
+            return ("open", None)
+
+        sb, si = start
+        state, hit = scan(sb, si + 1)
+        if state == "goal":
+            return hit
+        frontier = list(self.cfg.blocks[sb].succs) if state == "open" else []
+        visited: set[int] = set()
+        while frontier:
+            block_idx = frontier.pop()
+            if block_idx in visited:
+                continue
+            visited.add(block_idx)
+            if block_idx == self.cfg.exit_index:
+                if to_exit:
+                    return (block_idx, -1)
+                continue
+            state, hit = scan(block_idx, 0)
+            if state == "goal":
+                return hit
+            if state == "open":
+                frontier.extend(self.cfg.blocks[block_idx].succs)
+        return None
+
+    def held_before(self) -> dict[Pos, bool]:
+        """Must-held-lock at each statement (before executing it).
+
+        Forward must-analysis: acquires set it, may-releases clear it,
+        a statement that may do both leaves it unchanged (unknown
+        internal order — keeping the previous value avoids inventing
+        either a false cover or a false gap), merge is conjunction."""
+
+        def transfer(held: bool, eff: StatementEffects) -> bool:
+            takes = eff.acquires or eff.acquires_range
+            if eff.releases and not takes:
+                return False
+            if takes and not eff.releases:
+                return True
+            return held
+
+        n = len(self.cfg.blocks)
+        held_in = [True] * n  # top; entry forced below
+        held_in[0] = False
+        changed = True
+        while changed:
+            changed = False
+            for block in self.cfg.blocks:
+                if block.index == 0:
+                    val = False
+                else:
+                    preds = block.preds
+                    val = all(
+                        self._block_out(held_in[p], p) for p in preds
+                    ) if preds else False
+                if val != held_in[block.index]:
+                    held_in[block.index] = val
+                    changed = True
+        out: dict[Pos, bool] = {}
+        for block in self.cfg.blocks:
+            held = held_in[block.index]
+            for idx, (_, eff) in enumerate(self.block_stmts[block.index]):
+                out[(block.index, idx)] = held
+                held = transfer(held, eff)
+        return out
+
+    def _block_out(self, held: bool, block_idx: int) -> bool:
+        for _, eff in self.block_stmts[block_idx]:
+            takes = eff.acquires or eff.acquires_range
+            if eff.releases and not takes:
+                held = False
+            elif takes and not eff.releases:
+                held = True
+        return held
+
+
+def _diag(info: FunctionInfo, line: int, check: str, message: str) -> Diagnostic:
+    return Diagnostic(info.rel_path, line, 0, check, message)
+
+
+# -- atomicity-across-yield --------------------------------------------------
+
+
+def check_atomicity(flows: dict[str, FunctionFlow]) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for qual in sorted(flows):
+        flow = flows[qual]
+        stmts = list(flow.positions())
+        yields = [
+            (pos, eff)
+            for pos, _, eff in stmts
+            if eff.may_yield
+        ]
+        if not yields:
+            continue
+        held = flow.held_before()
+        yields = [(pos, eff) for pos, eff in yields if not held[pos]]
+        if not yields:
+            continue
+        reported: set[tuple] = set()
+        for ypos, yeff in yields:
+            for rpos, _, reff in stmts:
+                if rpos == ypos or not flow.strictly_before(rpos, ypos):
+                    continue
+                for wpos, _, weff in stmts:
+                    if wpos in (ypos, rpos):
+                        continue
+                    if not flow.strictly_before(ypos, wpos):
+                        continue
+                    cells = sorted(
+                        reff.near_reads & weff.near_writes
+                    )
+                    if not cells:
+                        continue
+                    key = (yeff.line, cells[0])
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    via = f" (via {yeff.yield_via})" if yeff.yield_via else ""
+                    out.append(
+                        _diag(
+                            flow.info,
+                            yeff.line,
+                            "atomicity-across-yield",
+                            f"{flow.info.qualname.rsplit('::', 1)[-1]}: "
+                            f"read of {cells[0]} (line {reff.line}) and "
+                            f"write (line {weff.line}) are split by a "
+                            f"may-yield call{via} with no lock held — "
+                            "events interleave here and the read is "
+                            "stale [atomicity-across-yield]",
+                        )
+                    )
+    return sorted(set(out))
+
+
+# -- lock-discipline ---------------------------------------------------------
+
+
+def check_lock_discipline(
+    flows: dict[str, FunctionFlow]
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    #: resource-pair order evidence: (first, second) -> (qualname, line)
+    pair_seen: dict[tuple, tuple] = {}
+    for qual in sorted(flows):
+        flow = flows[qual]
+        name = flow.info.qualname.rsplit("::", 1)[-1]
+        stmts = list(flow.positions())
+        acquire_stmts = [
+            (pos, eff) for pos, _, eff in stmts
+            if eff.acquires or eff.acquires_range
+        ]
+        release_stmts = [
+            (pos, eff) for pos, _, eff in stmts if eff.releases
+        ]
+
+        # [static-lock-leak] — only in functions owning a full lock
+        # lifetime; pure readers hold 2PL locks past return by design.
+        if acquire_stmts and release_stmts:
+            for pos, eff in acquire_stmts:
+                if eff.releases:
+                    continue  # may already release internally
+                reached_exit = flow.find_path(
+                    pos, stop=lambda e, _: e.releases, to_exit=True
+                )
+                if reached_exit is not None:
+                    out.append(
+                        _diag(
+                            flow.info,
+                            eff.line,
+                            "lock-discipline",
+                            f"{name}: a path from this acquire reaches "
+                            "the exit without release_all — static lock "
+                            "leak [static-lock-leak]",
+                        )
+                    )
+
+        # [static-acquire-after-release] — re-acquiring after release
+        # without a new begin(): the transaction identity is stale.
+        for pos, eff in release_stmts:
+            if eff.begins:
+                continue  # commit-and-retry wrappers reset via begin
+            hit = flow.find_path(
+                pos,
+                stop=lambda e, _: e.begins,
+                goal=lambda e, _: (e.acquires or e.acquires_range)
+                and not e.begins,
+            )
+            if hit is not None:
+                _, heff = flow.block_stmts[hit[0]][hit[1]]
+                out.append(
+                    _diag(
+                        flow.info,
+                        heff.line,
+                        "lock-discipline",
+                        f"{name}: acquire reachable from release_all "
+                        f"(line {eff.line}) with no intervening begin "
+                        "— locks taken on a finished transaction "
+                        "[static-acquire-after-release]",
+                    )
+                )
+
+        # [static-lock-order] — pairwise acquisition order, by the
+        # syntactic receiver of each acquire, in source order.
+        resources: list[tuple[str, int]] = []
+        for _, _, eff in stmts:
+            for res in eff.acquire_resources:
+                if res != "<expr>" and all(
+                    r != res for r, _ in resources
+                ):
+                    resources.append((res, eff.line))
+        for i, (first, _) in enumerate(resources):
+            for second, line in resources[i + 1:]:
+                pair_seen.setdefault((first, second), (qual, line))
+                prior = pair_seen.get((second, first))
+                if prior is not None:
+                    out.append(
+                        _diag(
+                            flow.info,
+                            line,
+                            "lock-discipline",
+                            f"{name}: acquires {first!r} then "
+                            f"{second!r}, but {prior[0]} (line "
+                            f"{prior[1]}) acquires them in the "
+                            "opposite order [static-lock-order]",
+                        )
+                    )
+
+        # [static-scan-range-gap] — row locks plus an MVCC read loop
+        # but no range lock anywhere in the function.
+        syntactic = _syntactic_lock_calls(flow.info)
+        if "acquire" in syntactic and "acquire_range" not in syntactic:
+            for node in iter_own_nodes(flow.info.node):
+                if not isinstance(node, _LOOP_NODES):
+                    continue
+                if _loop_reads_mvcc(flow, node):
+                    out.append(
+                        _diag(
+                            flow.info,
+                            node.lineno,
+                            "lock-discipline",
+                            f"{name}: loop reads MVCC state under row "
+                            "locks but the function never takes a "
+                            "range lock — phantoms possible "
+                            "[static-scan-range-gap]",
+                        )
+                    )
+                    break
+    return sorted(set(out))
+
+
+def _syntactic_lock_calls(info: FunctionInfo) -> set[str]:
+    out: set[str] = set()
+    for node in iter_own_nodes(info.node):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in ("acquire", "acquire_range", "release_all"):
+                out.add(node.func.attr)
+    return out
+
+
+def _loop_reads_mvcc(flow: FunctionFlow, loop: ast.AST) -> bool:
+    """Does any statement lexically inside ``loop`` near-read mvcc?"""
+    body_lines = set()
+    for sub in ast.walk(loop):
+        line = getattr(sub, "lineno", None)
+        if line is not None and line > loop.lineno:
+            body_lines.add(line)
+    for _, _, eff in flow.positions():
+        if eff.line in body_lines and any(
+            cell.startswith("mvcc.") for cell in eff.near_reads
+        ):
+            return True
+    return False

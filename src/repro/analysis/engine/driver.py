@@ -24,6 +24,8 @@ budget rows, no timestamps.
 
 from __future__ import annotations
 
+import json
+import re
 import sys
 from pathlib import Path
 from typing import Optional, TextIO
@@ -40,6 +42,21 @@ from repro.analysis.reprolint import (
 
 #: repo-relative default budget location
 DEFAULT_BUDGET = Path("benchmarks") / "speed_budget.toml"
+
+#: committed gate baseline the staleness guard compares the ledger to
+DEFAULT_BASELINE = (
+    Path("benchmarks") / "baselines" / "BENCH_gate_speed.json"
+)
+
+#: ledger wall_us_per_sim_us may exceed the gate baseline's by up to
+#: this factor (cProfile instrumentation overhead) before the ledger
+#: is considered stale; below the lower bound the *baseline* moved
+#: (the kernel got slower and the ledger was never re-recorded).
+_STALENESS_BAND = (0.8, 4.0)
+
+#: minimum fraction of ledger entries that must still resolve against
+#: the current symbol table
+_STALENESS_RESOLVE_FRACTION = 0.75
 
 
 def load_budget(path: Path) -> dict[str, int]:
@@ -83,11 +100,74 @@ def _budget_key(path: str, budget: dict[str, int]) -> str:
     return best
 
 
+def _staleness_warnings(
+    engine: Engine, ledger_path: Optional[Path]
+) -> list[str]:
+    """Non-failing drift warnings: a stale ledger means a stale
+    hot-path set, so the perf lints aim at yesterday's kernel."""
+    out: list[str] = []
+    if ledger_path is None or not Path(ledger_path).exists():
+        return out
+    try:
+        data = json.loads(Path(ledger_path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return out
+    functions = data.get("functions", [])
+    if functions:
+        resolved = sum(
+            1
+            for entry in functions
+            if engine.table.function_at(
+                str(entry.get("file", "")),
+                str(entry.get("function", "")),
+                entry.get("line"),
+            )
+            is not None
+        )
+        fraction = resolved / len(functions)
+        if fraction < _STALENESS_RESOLVE_FRACTION:
+            out.append(
+                f"engine: warning: speed ledger is stale — only "
+                f"{resolved}/{len(functions)} profiled functions still "
+                "resolve against the tree (re-record with python -m "
+                "repro.obs.bench --record-speed-ledger)"
+            )
+    if DEFAULT_BASELINE.exists():
+        try:
+            baseline = json.loads(
+                DEFAULT_BASELINE.read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return out
+        metric = baseline.get("metrics", {}).get("wall_us_per_sim_us", {})
+        base_ratio = metric.get("value")
+        note = str(data.get("run", ""))
+        match = re.search(r"(\d+(?:\.\d+)?)\s*sim-s", note)
+        total_self_s = sum(
+            float(entry.get("self_s", 0.0)) for entry in functions
+        )
+        if base_ratio and match and total_self_s > 0:
+            ledger_ratio = total_self_s / float(match.group(1))
+            rel = ledger_ratio / float(base_ratio)
+            lo, hi = _STALENESS_BAND
+            if not (lo <= rel <= hi):
+                out.append(
+                    "engine: warning: speed ledger disagrees with "
+                    "BENCH_gate_speed.json — ledger wall/sim ratio is "
+                    f"{rel:.2f}x the baseline (allowed "
+                    f"{lo:.1f}x–{hi:.1f}x incl. profiler overhead); "
+                    "one of them is stale"
+                )
+    return out
+
+
 def run_engine(
     root: Optional[Path] = None,
     budget_path: Optional[Path] = None,
     ledger_path: Optional[Path] = None,
     out: TextIO = sys.stdout,
+    report_format: str = "text",
+    out_path: Optional[Path] = None,
 ) -> int:
     """Run the full engine pipeline; returns the process exit code."""
     root = Path(root) if root is not None else _default_root()
@@ -105,6 +185,32 @@ def run_engine(
     engine = Engine.build(modules, ledger_path=ledger_path)
     engine_diags: list[Diagnostic] = []
     for diag in engine.run_perflint():
+        module = engine.modules_by_path.get(diag.path)
+        if module is not None and module.suppressed(diag):
+            continue
+        engine_diags.append(diag)
+
+    # v3: effect inference + concurrency/typestate/error-boundary checks
+    from repro.analysis.engine.concurrency import (
+        FunctionFlow,
+        check_atomicity,
+        check_lock_discipline,
+    )
+    from repro.analysis.engine.effects import EffectAnalysis
+    from repro.analysis.engine.excflow import check_error_escape
+    from repro.analysis.engine.typestate import check_typestate
+
+    analysis = EffectAnalysis(engine.table, engine.graph)
+    flows = {
+        qual: FunctionFlow(info, analysis)
+        for qual, info in sorted(engine.table.functions.items())
+    }
+    v3_diags: list[Diagnostic] = []
+    v3_diags.extend(check_atomicity(flows))
+    v3_diags.extend(check_lock_discipline(flows))
+    v3_diags.extend(check_typestate(flows))
+    v3_diags.extend(check_error_escape(engine.table, engine.graph))
+    for diag in v3_diags:
         module = engine.modules_by_path.get(diag.path)
         if module is not None and module.suppressed(diag):
             continue
@@ -130,18 +236,73 @@ def run_engine(
         used[key].append(diag)
 
     failures = list(hard)
-    budget_rows: list[str] = []
+    budget_cells: list[tuple[str, int, int, str]] = []
     for key in sorted(budget):
         findings = used.get(key, [])
         allowed = budget[key]
         state = "ok" if len(findings) <= allowed else "OVER"
-        budget_rows.append(
-            f"  {key:<24s} {len(findings)}/{allowed} {state}"
-        )
+        budget_cells.append((key, len(findings), allowed, state))
         if len(findings) > allowed:
             failures.extend(findings)
     failures.extend(over)
     failures = sorted(set(failures))
+
+    warnings = _staleness_warnings(engine, ledger_path)
+
+    exit_code = 1 if failures else 0
+    if report_format == "json":
+        payload = {
+            "findings": [
+                {
+                    "path": d.path,
+                    "line": d.line,
+                    "col": d.col,
+                    "check": d.check,
+                    "message": d.message,
+                }
+                for d in failures
+            ],
+            "uncovered": [d.path for d in over],
+            "functions": len(engine.table.functions),
+            "hot": len(engine.hot),
+            "hot_source": engine.hot.source,
+            "budget": [
+                {
+                    "prefix": key,
+                    "used": used_n,
+                    "allowed": allowed,
+                    "state": state,
+                }
+                for key, used_n, allowed, state in budget_cells
+            ],
+            "warnings": warnings,
+            "exit_code": exit_code,
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if out_path is not None:
+            Path(out_path).write_text(text, encoding="utf-8")
+        else:
+            out.write(text)
+        return exit_code
+
+    if report_format == "github":
+        prefix = _workspace_prefix(root)
+        for diag in failures:
+            message = diag.message.replace("\n", " ")
+            print(
+                f"::error file={prefix}{diag.path},line={diag.line},"
+                f"col={diag.col + 1},title={diag.check}::{message}",
+                file=out,
+            )
+        for line in warnings:
+            print(f"::warning ::{line}", file=out)
+        print(
+            f"engine: {len(failures)} finding(s), "
+            f"{len(engine.table.functions)} functions, "
+            f"{len(engine.hot)} hot",
+            file=out,
+        )
+        return exit_code
 
     for diag in failures:
         print(diag.render(), file=out)
@@ -151,6 +312,8 @@ def run_engine(
             "(add one to benchmarks/speed_budget.toml or fix the finding)",
             file=out,
         )
+    for line in warnings:
+        print(line, file=out)
     print(
         f"engine: {len(engine.table.functions)} functions, "
         f"{len(engine.hot)} hot ({engine.hot.source})",
@@ -158,8 +321,8 @@ def run_engine(
     )
     if budget:
         print("speed budget (used/allowed):", file=out)
-        for row in budget_rows:
-            print(row, file=out)
+        for key, used_n, allowed, state in budget_cells:
+            print(f"  {key:<24s} {used_n}/{allowed} {state}", file=out)
     if failures:
         print(
             f"engine: {len(failures)} violation(s) in "
@@ -169,3 +332,13 @@ def run_engine(
         return 1
     print("engine: 0 findings", file=out)
     return 0
+
+
+def _workspace_prefix(root: Path) -> str:
+    """Repo-relative prefix for GitHub annotations (``src/repro/``)."""
+    try:
+        rel = Path(root).resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        return ""
+    text = rel.as_posix()
+    return "" if text == "." else text + "/"

@@ -1,0 +1,526 @@
+"""Interprocedural effect inference over the call graph.
+
+Every function gets a summary — may it re-enter the event loop, may it
+schedule events, which shared-singleton cells may it read or write, and
+what lock-protocol actions may it perform — computed as a least
+fixpoint over the call graph (cycles converge because every component
+of the summary is a monotone union/or).
+
+The shared-state model is deliberately concrete: the simulator's
+mutable cross-transaction state lives in a handful of singleton
+classes (:data:`SHARED_SINGLETONS`), and a "cell" is one attribute of
+one of them, written ``label.attr`` (``locks._held_by_txn``,
+``mvcc._values``, ...). Direct reads/writes are extracted only inside
+those classes' own methods; everything else inherits them through
+calls, so ``ReadWriteTransaction.commit`` is known to write
+``mvcc._values`` because it (transitively, duck-typed) reaches
+``VersionChain.write``.
+
+Yield/schedule effects are seeded on the simulation kernel itself:
+functions defined under ``sim/`` whose names are the loop re-entry
+points (:data:`YIELD_SEEDS`) or the scheduling entry points
+(:data:`SCHEDULE_SEEDS`). Seeding by (path, name) rather than
+hardcoded qualnames means fixture packages with their own ``sim/``
+stub get the same treatment as the real kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.symbols import FunctionInfo, SymbolTable
+
+_FuncNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: singleton class name -> cell label. One instance of each of these
+#: (per database/region) holds the cross-transaction mutable state the
+#: concurrency checks care about.
+SHARED_SINGLETONS = {
+    "LockTable": "locks",
+    "VersionChain": "mvcc",
+    "MVCCStore": "mvcc",
+    "Changelog": "changelog",
+    "TaskPool": "pool",
+    "ReplicaGroup": "replication",
+}
+
+#: sim/ function names that re-enter the event loop: anything that runs
+#: queued events before returning, so arbitrary other work interleaves.
+YIELD_SEEDS = frozenset({"run_until", "run_for", "drain", "step", "advance"})
+
+#: sim/ function names that enqueue future events without running them.
+SCHEDULE_SEEDS = frozenset({"at", "after", "post"})
+
+#: method names whose *call* mutates the receiver in place. Used to
+#: classify ``self.X.append(...)`` as a write to cell ``X``.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "push",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+        "write",
+    }
+)
+
+#: call-site method names carrying a lock-protocol effect even when the
+#: receiver cannot be resolved to a project function (belt to the call
+#: graph's duck-typed braces).
+_LOCK_METHOD_EFFECTS = {
+    "acquire": "acquires",
+    "acquire_range": "acquires_range",
+    "release_all": "releases",
+    "issue_commit_timestamp": "issues_commit_ts",
+    "begin": "begins",
+}
+
+
+class FunctionEffects:
+    """The (frozen) inferred summary of one function."""
+
+    __slots__ = (
+        "may_yield",
+        "may_schedule",
+        "reads",
+        "writes",
+        "acquires",
+        "acquires_range",
+        "releases",
+        "issues_commit_ts",
+        "begins",
+    )
+
+    def __init__(
+        self,
+        may_yield: bool = False,
+        may_schedule: bool = False,
+        reads: frozenset = frozenset(),
+        writes: frozenset = frozenset(),
+        acquires: bool = False,
+        acquires_range: bool = False,
+        releases: bool = False,
+        issues_commit_ts: bool = False,
+        begins: bool = False,
+    ):
+        self.may_yield = may_yield
+        self.may_schedule = may_schedule
+        self.reads = reads
+        self.writes = writes
+        self.acquires = acquires
+        self.acquires_range = acquires_range
+        self.releases = releases
+        self.issues_commit_ts = issues_commit_ts
+        self.begins = begins
+
+    def __repr__(self) -> str:  # debugging aid only
+        flags = [
+            name
+            for name in (
+                "may_yield",
+                "may_schedule",
+                "acquires",
+                "acquires_range",
+                "releases",
+                "issues_commit_ts",
+                "begins",
+            )
+            if getattr(self, name)
+        ]
+        return (
+            f"FunctionEffects({'|'.join(flags) or '-'},"
+            f" r={sorted(self.reads)}, w={sorted(self.writes)})"
+        )
+
+
+class StatementEffects:
+    """Effects one CFG statement may have, callee summaries included."""
+
+    __slots__ = (
+        "line",
+        "may_yield",
+        "may_schedule",
+        "reads",
+        "writes",
+        "near_reads",
+        "near_writes",
+        "acquires",
+        "acquires_range",
+        "releases",
+        "issues_commit_ts",
+        "begins",
+        "acquire_resources",
+        "yield_via",
+    )
+
+    def __init__(self, line: int):
+        self.line = line
+        self.may_yield = False
+        self.may_schedule = False
+        self.reads: set = set()
+        self.writes: set = set()
+        #: "near" accesses: the statement's own singleton-cell accesses
+        #: plus the *direct* accesses of singleton methods it calls —
+        #: one level of heap indirection, not the transitive closure.
+        #: The race check uses these: transitive sets make a harness
+        #: that pumps whole transactions look like it touches every
+        #: cell, which is true but useless.
+        self.near_reads: set = set()
+        self.near_writes: set = set()
+        self.acquires = False
+        self.acquires_range = False
+        self.releases = False
+        self.issues_commit_ts = False
+        self.begins = False
+        #: syntactic receiver of each ``.acquire``/``.acquire_range``
+        #: call in source order, for lock-order comparison
+        self.acquire_resources: list = []
+        #: name of the first callee that makes this statement may-yield
+        self.yield_via: Optional[str] = None
+
+
+def iter_own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """AST nodes belonging to *this* function: nested ``def``/``class``
+    bodies and lifted named-lambda bodies are separate symbol-table
+    entries, so they are skipped; inline lambdas run in the enclosing
+    function and are kept."""
+    stack: list[ast.AST] = [root]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first and isinstance(node, _FuncNode + (ast.ClassDef,)):
+            continue
+        if isinstance(node, ast.Lambda) and getattr(
+            node, "_engine_lifted", False
+        ):
+            continue
+        first = False
+        yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def _header_parts(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions a compound statement evaluates *itself*.
+
+    CFG blocks hold compound statements whole while their bodies live
+    in other blocks, so per-statement effects must only look at the
+    header — otherwise a body's effects would be double-counted at the
+    branch point."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return list(stmt.items)
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def _self_root_attr(expr: ast.AST) -> Optional[str]:
+    """``self.X...`` — the attribute directly under ``self``, if any."""
+    cur = expr
+    while True:
+        if isinstance(cur, ast.Attribute):
+            if isinstance(cur.value, ast.Name) and cur.value.id == "self":
+                return cur.attr
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            cur = cur.value
+        elif isinstance(cur, ast.Call):
+            cur = cur.func
+        else:
+            return None
+
+
+def _dotted(expr: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string, or None for non-name chains."""
+    parts: list[str] = []
+    cur = expr
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_sim_seed(info: FunctionInfo) -> tuple[bool, bool]:
+    """(yields, schedules) if this function *is* a kernel entry point."""
+    in_sim = info.rel_path.startswith("sim/") or "/sim/" in info.rel_path
+    if not in_sim or info.class_name is None:
+        return (False, False)
+    return (info.name in YIELD_SEEDS, info.name in SCHEDULE_SEEDS)
+
+
+def duck_edge_ok(table: SymbolTable, callee: str) -> bool:
+    """Whether a *duck-typed* call edge may carry effects.
+
+    Duck typing resolves ``obj.m(...)`` to every project ``m``, which is
+    right for the load-bearing dynamic dispatch this repo actually does
+    (``chain.write`` -> VersionChain, ``kernel.after`` -> the event
+    kernel) and wrong for chance name collisions (``Path(...).exists()``
+    resolving to some reader's ``exists`` and dragging its lock effects
+    into every caller). The compromise: effects and escaping exceptions
+    flow through a duck edge only when the target is a shared-singleton
+    method or sim-kernel code — precise edges always carry everything.
+    """
+    info = table.functions.get(callee)
+    if info is None:
+        return False
+    if info.class_name in SHARED_SINGLETONS:
+        return True
+    return info.rel_path.startswith("sim/") or "/sim/" in info.rel_path
+
+
+class EffectAnalysis:
+    """Per-function effect summaries, transitively closed.
+
+    Construction runs the fixpoint; :meth:`of` returns summaries and
+    :meth:`statement_effects` projects them onto single statements for
+    the CFG-based checks.
+    """
+
+    def __init__(self, table: SymbolTable, graph: CallGraph):
+        self.table = table
+        self.graph = graph
+        self.effects: dict[str, FunctionEffects] = {}
+        #: pre-closure summaries, kept for the "near" statement sets
+        self.direct: dict[str, FunctionEffects] = {
+            qual: self._direct(info)
+            for qual, info in sorted(table.functions.items())
+        }
+        self._fixpoint(self.direct)
+
+    def of(self, qualname: str) -> FunctionEffects:
+        return self.effects.get(qualname, _EMPTY)
+
+    # -- direct extraction -------------------------------------------------
+
+    def _direct(self, info: FunctionInfo) -> FunctionEffects:
+        may_yield, may_schedule = _is_sim_seed(info)
+        reads: set = set()
+        writes: set = set()
+        flags = {
+            "acquires": False,
+            "acquires_range": False,
+            "releases": False,
+            "issues_commit_ts": False,
+            "begins": False,
+        }
+        label = (
+            SHARED_SINGLETONS.get(info.class_name)
+            if info.class_name is not None
+            else None
+        )
+        for node in iter_own_nodes(info.node):
+            if label is not None:
+                self._singleton_access(node, label, reads, writes)
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                effect = _LOCK_METHOD_EFFECTS.get(node.func.attr)
+                if effect is not None:
+                    flags[effect] = True
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                if node.func.id == "issue_commit_timestamp":
+                    flags["issues_commit_ts"] = True
+        return FunctionEffects(
+            may_yield=may_yield,
+            may_schedule=may_schedule,
+            reads=frozenset(reads),
+            writes=frozenset(writes),
+            **flags,
+        )
+
+    def _singleton_access(
+        self, node: ast.AST, label: str, reads: set, writes: set
+    ) -> None:
+        """Classify one node of a singleton-class method body."""
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                attr = _self_root_attr(target)
+                if attr is not None:
+                    writes.add(f"{label}.{attr}")
+                    if isinstance(node, ast.AugAssign) or not isinstance(
+                        target, ast.Attribute
+                    ):
+                        # x[k] = v and x += 1 also read the container
+                        reads.add(f"{label}.{attr}")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_root_attr(target)
+                if attr is not None:
+                    writes.add(f"{label}.{attr}")
+                    reads.add(f"{label}.{attr}")
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _MUTATORS:
+                attr = _self_root_attr(node.func.value)
+                if attr is not None:
+                    writes.add(f"{label}.{attr}")
+                    reads.add(f"{label}.{attr}")
+        elif isinstance(node, ast.Attribute) and isinstance(
+            node.ctx, ast.Load
+        ):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                reads.add(f"{label}.{node.attr}")
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _fixpoint(self, direct: dict[str, FunctionEffects]) -> None:
+        state: dict[str, dict] = {}
+        for qual, eff in direct.items():
+            state[qual] = {
+                "may_yield": eff.may_yield,
+                "may_schedule": eff.may_schedule,
+                "reads": set(eff.reads),
+                "writes": set(eff.writes),
+                "acquires": eff.acquires,
+                "acquires_range": eff.acquires_range,
+                "releases": eff.releases,
+                "issues_commit_ts": eff.issues_commit_ts,
+                "begins": eff.begins,
+            }
+        bool_keys = (
+            "may_yield",
+            "may_schedule",
+            "acquires",
+            "acquires_range",
+            "releases",
+            "issues_commit_ts",
+            "begins",
+        )
+        # worklist keyed as a dict (ordered set): when a callee's summary
+        # grows, its callers re-merge. Sorted seeding + dict order keeps
+        # convergence deterministic; monotone unions guarantee it.
+        work: dict[str, None] = {qual: None for qual in sorted(state)}
+        while work:
+            qual = next(iter(work))
+            del work[qual]
+            cur = state[qual]
+            changed = False
+            duck_only = self.graph.duck_only.get(qual, frozenset())
+            for callee in self.graph.callees.get(qual, ()):
+                if callee in duck_only and not duck_edge_ok(
+                    self.table, callee
+                ):
+                    continue
+                sub = state.get(callee)
+                if sub is None:
+                    continue
+                for key in bool_keys:
+                    if sub[key] and not cur[key]:
+                        cur[key] = True
+                        changed = True
+                if not sub["reads"] <= cur["reads"]:
+                    cur["reads"] |= sub["reads"]
+                    changed = True
+                if not sub["writes"] <= cur["writes"]:
+                    cur["writes"] |= sub["writes"]
+                    changed = True
+            if changed:
+                for caller in self.graph.callers.get(qual, ()):
+                    work[caller] = None
+        for qual in sorted(state):
+            cur = state[qual]
+            self.effects[qual] = FunctionEffects(
+                may_yield=cur["may_yield"],
+                may_schedule=cur["may_schedule"],
+                reads=frozenset(cur["reads"]),
+                writes=frozenset(cur["writes"]),
+                acquires=cur["acquires"],
+                acquires_range=cur["acquires_range"],
+                releases=cur["releases"],
+                issues_commit_ts=cur["issues_commit_ts"],
+                begins=cur["begins"],
+            )
+
+    # -- statement projection ----------------------------------------------
+
+    def statement_effects(
+        self, info: FunctionInfo, stmt: ast.stmt
+    ) -> StatementEffects:
+        """What this one statement may do, callee summaries included."""
+        out = StatementEffects(getattr(stmt, "lineno", info.lineno))
+        label = (
+            SHARED_SINGLETONS.get(info.class_name)
+            if info.class_name is not None
+            else None
+        )
+        for part in _header_parts(stmt):
+            for node in iter_own_nodes(part):
+                if label is not None:
+                    self._singleton_access(
+                        node, label, out.reads, out.writes
+                    )
+                    self._singleton_access(
+                        node, label, out.near_reads, out.near_writes
+                    )
+                if not isinstance(node, ast.Call):
+                    continue
+                if isinstance(node.func, ast.Attribute):
+                    effect = _LOCK_METHOD_EFFECTS.get(node.func.attr)
+                    if effect is not None:
+                        setattr(out, effect, True)
+                    if node.func.attr in ("acquire", "acquire_range"):
+                        receiver = _dotted(node.func.value) or "<expr>"
+                        out.acquire_resources.append(receiver)
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "issue_commit_timestamp"
+                ):
+                    out.issues_commit_ts = True
+                callees, _, duck = self.graph.resolve_call_node(info, node)
+                for callee in callees:
+                    if callee in duck and not duck_edge_ok(
+                        self.table, callee
+                    ):
+                        continue
+                    eff = self.effects.get(callee)
+                    if eff is None:
+                        continue
+                    if eff.may_yield and not out.may_yield:
+                        out.may_yield = True
+                        out.yield_via = callee.rsplit("::", 1)[-1]
+                    out.may_schedule |= eff.may_schedule
+                    out.reads |= eff.reads
+                    out.writes |= eff.writes
+                    out.acquires |= eff.acquires
+                    out.acquires_range |= eff.acquires_range
+                    out.releases |= eff.releases
+                    out.issues_commit_ts |= eff.issues_commit_ts
+                    out.begins |= eff.begins
+                    callee_info = self.table.functions.get(callee)
+                    if (
+                        callee_info is not None
+                        and callee_info.class_name in SHARED_SINGLETONS
+                    ):
+                        sub = self.direct.get(callee)
+                        if sub is not None:
+                            out.near_reads |= sub.reads
+                            out.near_writes |= sub.writes
+        return out
+
+
+_EMPTY = FunctionEffects()

@@ -1,0 +1,337 @@
+"""Whole-program exception flow: error boundaries, interprocedurally.
+
+The per-file ``error-boundary`` lint checks what a module *raises*;
+it cannot see a subsystem-private exception escaping through a call
+chain into another subsystem. This pass computes, per function, the
+set of exception class names that may escape it — direct raises plus
+callees' escapes, both filtered through the enclosing ``try`` handlers
+at each site — as a fixpoint over the call graph, then flags every
+cross-package call through which a project-defined exception that is
+neither a :mod:`repro.errors` class nor a builtin escapes
+(``error-escape``).
+
+Precision choices all point the same direction (no false positives):
+
+- a handler whose type cannot be resolved is assumed to catch
+  everything;
+- ``except Exception``/``BaseException`` catch everything;
+- subclass facts come from the symbol table's class bases plus the
+  live ``repro.errors`` hierarchy; an unknown relation counts as
+  caught;
+- builtins and ``repro.errors`` classes may cross boundaries freely
+  (that is the sanctioned contract).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Optional
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.effects import duck_edge_ok
+from repro.analysis.engine.symbols import FunctionInfo, SymbolTable
+from repro.analysis.reprolint import Diagnostic
+
+_FuncNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: sentinel handler entry: catches every exception
+_CATCH_ALL = "*"
+
+
+def _errors_names() -> frozenset:
+    from repro.analysis.checks import _errors_class_names
+
+    return _errors_class_names()
+
+
+class _Site:
+    """A raise or call site with its enclosing-handler context."""
+
+    __slots__ = ("node", "line", "handlers")
+
+    def __init__(self, node, line: int, handlers: tuple):
+        self.node = node
+        self.line = line
+        #: tuple of frozensets, innermost last; each is the set of
+        #: type names one enclosing ``try`` can catch
+        self.handlers = handlers
+
+
+class ExceptionFlow:
+    """Escaping-exception sets per function, and the boundary check."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph):
+        self.table = table
+        self.graph = graph
+        self.errors_names = _errors_names()
+        #: class name -> set of ancestor class names (project + errors)
+        self.ancestors = self._hierarchy()
+        #: qualname -> (raise sites, call sites)
+        self.sites: dict[str, tuple] = {}
+        for qual, info in sorted(table.functions.items()):
+            self.sites[qual] = self._collect_sites(info)
+        #: qualname -> frozenset of escaping exception class names
+        self.escapes: dict[str, frozenset] = {}
+        self._fixpoint()
+
+    # -- hierarchy ---------------------------------------------------------
+
+    def _hierarchy(self) -> dict[str, frozenset]:
+        import repro.errors as errors_mod
+
+        direct: dict[str, set] = {}
+        for name in self.errors_names:
+            obj = getattr(errors_mod, name, None)
+            if obj is None:
+                continue
+            direct[name] = {
+                base.__name__ for base in obj.__mro__[1:]
+            }
+        for cls_qual in sorted(self.table.classes):
+            cls = self.table.classes[cls_qual]
+            bases = set()
+            for base in cls.node.bases:
+                base_name = _last_name(base)
+                if base_name is not None:
+                    bases.add(base_name)
+            direct.setdefault(cls.name, set()).update(bases)
+        # transitive closure (small, name-keyed)
+        out: dict[str, frozenset] = {}
+        for name in sorted(direct):
+            seen: set = set()
+            stack = list(direct.get(name, ()))
+            while stack:
+                cur = stack.pop()
+                if cur in seen:
+                    continue
+                seen.add(cur)
+                stack.extend(direct.get(cur, ()))
+            out[name] = frozenset(seen)
+        return out
+
+    def _catches(self, handler_types: frozenset, exc: str) -> bool:
+        if _CATCH_ALL in handler_types:
+            return True
+        if exc in handler_types:
+            return True
+        ancestors = self.ancestors.get(exc)
+        if ancestors is None:
+            # unknown exception type: assume caught (no-FP direction)
+            return True
+        return bool(ancestors & handler_types)
+
+    def _escapes_frames(self, exc: str, frames: tuple) -> bool:
+        return not any(
+            self._catches(frame, exc) for frame in frames
+        )
+
+    # -- site collection ---------------------------------------------------
+
+    def _collect_sites(self, info: FunctionInfo):
+        raises: list[tuple] = []  # (type name | None, _Site)
+        calls: list[_Site] = []
+
+        def handler_types(handler: ast.ExceptHandler) -> frozenset:
+            if handler.type is None:
+                return frozenset({_CATCH_ALL})
+            names: set = set()
+            types = (
+                handler.type.elts
+                if isinstance(handler.type, ast.Tuple)
+                else [handler.type]
+            )
+            for node in types:
+                name = _last_name(node)
+                if name is None:
+                    names.add(_CATCH_ALL)
+                elif name in ("Exception", "BaseException"):
+                    names.add(_CATCH_ALL)
+                else:
+                    names.add(name)
+            return frozenset(names)
+
+        def record_raise(node: ast.Raise, frames, current_handler):
+            site = _Site(node, node.lineno, frames)
+            if node.exc is None:
+                # bare re-raise: whatever the enclosing handler caught
+                for name in sorted(current_handler):
+                    raises.append((name, site))
+            else:
+                exc = node.exc
+                name = _last_name(
+                    exc.func if isinstance(exc, ast.Call) else exc
+                )
+                raises.append((name, site))
+
+        def dispatch(node, frames, current_handler):
+            if isinstance(node, _FuncNode + (ast.ClassDef,)):
+                return
+            if isinstance(node, ast.Lambda) and getattr(
+                node, "_engine_lifted", False
+            ):
+                return
+            if isinstance(node, ast.Try):
+                handle_try(node, frames, current_handler)
+                return
+            if isinstance(node, ast.Raise):
+                record_raise(node, frames, current_handler)
+            elif isinstance(node, ast.Call):
+                calls.append(_Site(node, node.lineno, frames))
+            for child in ast.iter_child_nodes(node):
+                dispatch(child, frames, current_handler)
+
+        def handle_try(node: ast.Try, frames, current_handler):
+            body_frame = (
+                frozenset().union(
+                    *[handler_types(h) for h in node.handlers]
+                )
+                if node.handlers
+                else frozenset()
+            )
+            inner = frames + (body_frame,) if body_frame else frames
+            # orelse exceptions actually bypass the handlers; folding
+            # them under `inner` over-approximates catching, the no-FP
+            # direction
+            for stmt in node.body + node.orelse:
+                dispatch(stmt, inner, current_handler)
+            for handler in node.handlers:
+                bound = handler_types(handler)
+                for stmt in handler.body:
+                    dispatch(stmt, frames, bound)
+            for stmt in node.finalbody:
+                dispatch(stmt, frames, current_handler)
+
+        for child in ast.iter_child_nodes(info.node):
+            dispatch(child, (), frozenset())
+        return raises, calls
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        state: dict[str, set] = {}
+        for qual, (raises, _) in self.sites.items():
+            direct: set = set()
+            for name, site in raises:
+                if name is None:
+                    continue
+                if self._escapes_frames(name, site.handlers):
+                    direct.add(name)
+            state[qual] = direct
+        work: dict[str, None] = {qual: None for qual in sorted(state)}
+        while work:
+            qual = next(iter(work))
+            del work[qual]
+            cur = state[qual]
+            info = self.table.functions[qual]
+            grew = False
+            for site in self.sites[qual][1]:
+                callees, _, duck = self.graph.resolve_call_node(
+                    info, site.node
+                )
+                for callee in callees:
+                    if callee in duck and not duck_edge_ok(
+                        self.table, callee
+                    ):
+                        continue
+                    for exc in state.get(callee, ()):
+                        if exc in cur:
+                            continue
+                        if self._escapes_frames(exc, site.handlers):
+                            cur.add(exc)
+                            grew = True
+            if grew:
+                for caller in self.graph.callers.get(qual, ()):
+                    work[caller] = None
+        self.escapes = {
+            qual: frozenset(vals) for qual, vals in state.items()
+        }
+
+    # -- the check ---------------------------------------------------------
+
+    def check_error_escape(self) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        offending = self._offending_classes()
+        for qual in sorted(self.sites):
+            info = self.table.functions[qual]
+            for site in self.sites[qual][1]:
+                callees, _, duck = self.graph.resolve_call_node(
+                    info, site.node
+                )
+                bad: set = set()
+                for callee in callees:
+                    if callee in duck and not duck_edge_ok(
+                        self.table, callee
+                    ):
+                        continue
+                    callee_info = self.table.functions.get(callee)
+                    if (
+                        callee_info is None
+                        or callee_info.package == info.package
+                    ):
+                        continue
+                    for exc in self.escapes.get(callee, ()):
+                        if exc not in offending:
+                            continue
+                        if self._escapes_frames(exc, site.handlers):
+                            bad.add((exc, callee))
+                for exc, callee in sorted(bad):
+                    out.append(
+                        Diagnostic(
+                            info.rel_path,
+                            site.line,
+                            0,
+                            "error-escape",
+                            f"{exc} (not a repro.errors class) may "
+                            f"escape {callee.rsplit('::', 1)[-1]} "
+                            f"across the "
+                            f"{callee.split('/', 1)[0]}→{info.package} "
+                            "boundary uncaught — only repro.errors "
+                            "types may cross subsystems "
+                            "[error-escape]",
+                        )
+                    )
+        return sorted(set(out))
+
+    def _offending_classes(self) -> frozenset:
+        """Project exception classes that must not cross packages."""
+        out: set = set()
+        for cls_qual in sorted(self.table.classes):
+            cls = self.table.classes[cls_qual]
+            name = cls.name
+            if name in self.errors_names:
+                continue
+            if cls.rel_path == "errors.py":
+                continue
+            ancestors = self.ancestors.get(name, frozenset())
+            if ancestors & self.errors_names:
+                continue  # subclassing repro.errors is sanctioned
+            if hasattr(builtins, name):
+                continue
+            if not (
+                ancestors
+                & {"Exception", "BaseException", "RuntimeError", "ValueError"}
+            ) and not any(
+                a in self.errors_names for a in ancestors
+            ):
+                # not exception-ish at all
+                if not name.endswith(
+                    ("Error", "Failure", "Violation", "Conflict")
+                ):
+                    continue
+            out.add(name)
+        return frozenset(out)
+
+
+def _last_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def check_error_escape(
+    table: SymbolTable, graph: CallGraph
+) -> list[Diagnostic]:
+    return ExceptionFlow(table, graph).check_error_escape()

@@ -75,6 +75,11 @@ ENGINE_CHECK_IDS = (
     "try-in-hot-loop",
     "interned-key-miss",
     "wallclock-indirect",
+    # v3 concurrency/protocol checks (never budgeted: hard failures)
+    "atomicity-across-yield",
+    "lock-discipline",
+    "typestate",
+    "error-escape",
 )
 
 #: the perf checks the speed budget meters (determinism/layering checks

@@ -20,6 +20,34 @@ from repro.analysis.reprolint import ParsedModule
 _FuncNode = (ast.FunctionDef, ast.AsyncFunctionDef)
 
 
+def _lift_lambda(name: str, lam: ast.Lambda) -> ast.FunctionDef:
+    """A synthetic ``def`` wrapping a *named* lambda (``f = lambda: ...``).
+
+    Named lambdas are callables reachable by name exactly like a ``def``;
+    without lifting, the call graph dead-ends at the name ("external f")
+    and effect/taint propagation silently stops. The synthetic node keeps
+    the lambda's source positions so findings anchor to the real line.
+    The original Lambda node is marked ``_engine_lifted`` so the
+    enclosing function's call walk does not double-attribute its body.
+    """
+    ret = ast.Return(value=lam.body)
+    ast.copy_location(ret, lam.body)
+    fn = ast.FunctionDef(
+        name=name,
+        args=lam.args,
+        body=[ret],
+        decorator_list=[],
+        returns=None,
+        type_comment=None,
+    )
+    if hasattr(ast.FunctionDef, "type_params"):  # 3.12+
+        fn.type_params = []
+    ast.copy_location(fn, lam)
+    ast.fix_missing_locations(fn)
+    lam._engine_lifted = True  # type: ignore[attr-defined]
+    return fn
+
+
 class FunctionInfo:
     """One function or method definition."""
 
@@ -31,6 +59,7 @@ class FunctionInfo:
         "node",
         "lineno",
         "package",
+        "is_lambda",
     )
 
     def __init__(
@@ -41,6 +70,7 @@ class FunctionInfo:
         class_name: Optional[str],
         node: ast.AST,
         package: str,
+        is_lambda: bool = False,
     ):
         self.qualname = qualname
         self.rel_path = rel_path
@@ -49,6 +79,7 @@ class FunctionInfo:
         self.node = node
         self.lineno = node.lineno
         self.package = package
+        self.is_lambda = is_lambda
 
     def __repr__(self) -> str:  # debugging aid only
         return f"FunctionInfo({self.qualname})"
@@ -198,6 +229,42 @@ class SymbolTable:
                     class_name=stmt.name,
                     class_info=info,
                 )
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                # f = lambda ...: a named callable, indexed like a def
+                value = stmt.value
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                if isinstance(value, ast.Lambda):
+                    for target in targets:
+                        if not isinstance(target, ast.Name):
+                            continue
+                        qual = f"{prefix}{target.id}"
+                        qualname = f"{module.rel_path}::{qual}"
+                        info = FunctionInfo(
+                            qualname,
+                            module.rel_path,
+                            target.id,
+                            class_name,
+                            _lift_lambda(target.id, value),
+                            module.package,
+                            is_lambda=True,
+                        )
+                        self.functions[qualname] = info
+                        self.functions_by_name.setdefault(
+                            target.id, []
+                        ).append(qualname)
+                        self.functions_by_file_name.setdefault(
+                            (module.rel_path, target.id), []
+                        ).append(qualname)
+                        if class_info is not None:
+                            class_info.methods[target.id] = qualname
+                        elif class_name is None and prefix.count(".") == 0:
+                            self.module_functions[module.rel_path][
+                                target.id
+                            ] = qualname
             elif isinstance(
                 stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)
             ):

@@ -1,0 +1,384 @@
+"""Typestate checks: transaction lifecycle and the Backend write protocol.
+
+The dynamic sanitizers catch these violations when a chaos seed happens
+to execute the offending path; these checks prove the same disciplines
+on *every* CFG path. :data:`STATIC_COUNTERPARTS` names the mapping so
+tests can assert no dynamic violation class is left without a static
+twin.
+
+``typestate`` violation classes:
+
+- ``[txn-read-after-commit]`` / ``[txn-write-after-commit]`` — a
+  transaction handle used after ``commit()``/``rollback()`` on some
+  path (dynamic twin: ``_check_active`` raising InternalError).
+- ``[txn-double-commit]`` — ``commit()`` reachable after a commit of
+  the same handle with no intervening ``begin``.
+- ``[static-commit-wait]`` — a commit timestamp issued on a path
+  *after* locks were released: commit-wait must happen while the locks
+  still exclude conflicting writers (dynamic twin:
+  ``truetime-commit-wait``).
+- ``[backend-step-order]`` — in a function driving the Backend's
+  7-step write protocol (it calls both ``prepare`` and ``accept``), a
+  step observed after a later step on some path: ``begin`` (1) →
+  stage (2) → ``prepare`` (5) → ``commit`` (6) → ``accept`` (7) must
+  be non-decreasing; a fresh ``begin`` legitimately restarts the
+  sequence.
+- ``[backend-missing-accept]`` — a path from the Spanner commit (step
+  6) to the exit that never tells the realtime pipeline (step 7): a
+  changelog entry would be prepared but never accepted, wedging the
+  watermark.
+
+Transaction handles are recognized syntactically: a name assigned from
+a ``*.begin(...)`` call, or conventionally named ``txn``/
+``transaction``. State joins toward "most terminal", so a use after a
+conditional commit is flagged — if one path commits, the use is wrong
+on that path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine.concurrency import FunctionFlow, _diag
+from repro.analysis.engine.effects import _dotted, iter_own_nodes
+from repro.analysis.reprolint import Diagnostic
+
+#: dynamic sanitizer violation class -> static counterpart tag.
+#: Every tag appears in the message of exactly one static check, and
+#: the fixture suite exercises each one.
+STATIC_COUNTERPARTS = {
+    "lock-acquire-after-release": "static-acquire-after-release",
+    "lock-leak": "static-lock-leak",
+    "scan-without-range-lock": "static-scan-range-gap",
+    "truetime-commit-wait": "static-commit-wait",
+    "txn-read-after-terminal": "txn-read-after-commit",
+    "txn-write-after-terminal": "txn-write-after-commit",
+    "txn-commit-after-terminal": "txn-double-commit",
+}
+
+_READ_METHODS = frozenset({"read", "read_versioned", "scan"})
+_WRITE_METHODS = frozenset({"put", "delete", "enqueue_message"})
+_ROLLBACK_METHODS = frozenset({"rollback", "abort"})
+
+#: Backend write-protocol step numbers, by called method name
+_PROTOCOL_STEPS = {
+    "begin": 1,
+    "_stage_writes": 2,
+    "stage_writes": 2,
+    "stage": 2,
+    "prepare": 5,
+    "commit": 6,
+    "accept": 7,
+}
+
+# transaction handle states
+_UNKNOWN, _BEGUN, _COMMITTED, _ABORTED = 0, 1, 2, 3
+
+
+def _receiver(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return _dotted(call.func.value)
+    return None
+
+
+def _txn_events(stmt: ast.stmt) -> list[tuple]:
+    """(kind, receiver) events of one statement, in evaluation order.
+
+    kinds: ``begin-assign`` (receiver reborn), ``kill-assign``
+    (receiver reassigned to something else), ``commit``, ``rollback``,
+    ``read``, ``write``.
+    """
+    events: list[tuple] = []
+    from repro.analysis.engine.effects import _header_parts
+
+    for part in _header_parts(stmt):
+        for node in iter_own_nodes(part):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                recv = _receiver(node)
+                if recv is None:
+                    continue
+                method = node.func.attr
+                if method == "commit":
+                    events.append(("commit", recv))
+                elif method in _ROLLBACK_METHODS:
+                    events.append(("rollback", recv))
+                elif method in _READ_METHODS:
+                    events.append(("read", recv))
+                elif method in _WRITE_METHODS:
+                    events.append(("write", recv))
+    # assignments happen after their value is evaluated
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        value = stmt.value
+        is_begin = (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "begin"
+        )
+        for target in targets:
+            name = _dotted(target)
+            if name is not None:
+                events.append(
+                    ("begin-assign" if is_begin else "kill-assign", name)
+                )
+    return events
+
+
+def check_typestate(flows: dict) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for qual in sorted(flows):
+        flow = flows[qual]
+        out.extend(_check_lifecycle(flow))
+        out.extend(_check_commit_wait(flow))
+        out.extend(_check_protocol(flow))
+    return sorted(set(out))
+
+
+# -- transaction lifecycle ---------------------------------------------------
+
+
+def _check_lifecycle(flow: FunctionFlow) -> list[Diagnostic]:
+    events: dict[tuple, list[tuple]] = {}
+    tracked: set[str] = set()
+    for pos, stmt, _ in flow.positions():
+        evs = _txn_events(stmt)
+        events[pos] = evs
+        for kind, recv in evs:
+            if kind == "begin-assign" or recv in ("txn", "transaction"):
+                tracked.add(recv)
+    if not tracked:
+        return []
+
+    def transfer(state: dict, pos) -> dict:
+        state = dict(state)
+        for kind, recv in events[pos]:
+            if recv not in tracked:
+                continue
+            if kind == "begin-assign":
+                state[recv] = _BEGUN
+            elif kind == "kill-assign":
+                state[recv] = _UNKNOWN
+            elif kind == "commit":
+                state[recv] = _COMMITTED
+            elif kind == "rollback":
+                state[recv] = _ABORTED
+        return state
+
+    block_in = _block_fixpoint(flow, transfer, join=_join_max)
+
+    out: list[Diagnostic] = []
+    name = flow.info.qualname.rsplit("::", 1)[-1]
+    reported: set[tuple] = set()
+    for block in flow.cfg.blocks:
+        state = block_in[block.index]
+        for idx in range(len(flow.block_stmts[block.index])):
+            pos = (block.index, idx)
+            _, eff = flow.block_stmts[block.index][idx]
+            for kind, recv in events[pos]:
+                if recv not in tracked:
+                    continue
+                cur = state.get(recv, _UNKNOWN)
+                terminal = cur in (_COMMITTED, _ABORTED)
+                key = (eff.line, kind, recv)
+                if key in reported:
+                    continue
+                how = "committed" if cur == _COMMITTED else "rolled back"
+                if kind in ("read", "write") and terminal:
+                    reported.add(key)
+                    tag = (
+                        "txn-read-after-commit"
+                        if kind == "read"
+                        else "txn-write-after-commit"
+                    )
+                    out.append(
+                        _diag(
+                            flow.info,
+                            eff.line,
+                            "typestate",
+                            f"{name}: {kind} on {recv!r} after it was "
+                            f"{how} on some path — terminal "
+                            f"transactions reject all use [{tag}]",
+                        )
+                    )
+                elif kind == "commit" and terminal:
+                    reported.add(key)
+                    out.append(
+                        _diag(
+                            flow.info,
+                            eff.line,
+                            "typestate",
+                            f"{name}: commit on {recv!r} after it was "
+                            f"already {how} on some path "
+                            "[txn-double-commit]",
+                        )
+                    )
+            state = transfer(state, pos)
+    return out
+
+
+def _join_max(a: dict, b: dict) -> dict:
+    out = dict(a)
+    for key, val in b.items():
+        if out.get(key, _UNKNOWN) < val:
+            out[key] = val
+    return out
+
+
+def _block_fixpoint(flow: FunctionFlow, transfer, join):
+    """Forward may-dataflow over blocks; entry starts empty."""
+    n = len(flow.cfg.blocks)
+    block_in: list = [{} for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for block in flow.cfg.blocks:
+            state = block_in[block.index]
+            for idx in range(len(flow.block_stmts[block.index])):
+                state = transfer(state, (block.index, idx))
+            for succ in block.succs:
+                merged = join(block_in[succ], state)
+                if merged != block_in[succ]:
+                    block_in[succ] = merged
+                    changed = True
+    return block_in
+
+
+# -- commit-wait order -------------------------------------------------------
+
+
+def _check_commit_wait(flow: FunctionFlow) -> list[Diagnostic]:
+    has_release = any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "release_all"
+        for node in iter_own_nodes(flow.info.node)
+    )
+    if not has_release:
+        return []
+    out: list[Diagnostic] = []
+    name = flow.info.qualname.rsplit("::", 1)[-1]
+    for pos, _, eff in flow.positions():
+        if not eff.releases or eff.issues_commit_ts:
+            continue
+        hit = flow.find_path(
+            pos,
+            stop=lambda e, _: False,
+            goal=lambda e, _: e.issues_commit_ts,
+        )
+        if hit is not None:
+            _, heff = flow.block_stmts[hit[0]][hit[1]]
+            out.append(
+                _diag(
+                    flow.info,
+                    heff.line,
+                    "typestate",
+                    f"{name}: commit timestamp issued after locks were "
+                    f"released (line {eff.line}) — commit-wait must "
+                    "complete while locks are held "
+                    "[static-commit-wait]",
+                )
+            )
+    return out
+
+
+# -- Backend 7-step write protocol -------------------------------------------
+
+
+def _protocol_events(stmt: ast.stmt) -> list[tuple]:
+    from repro.analysis.engine.effects import _header_parts
+
+    events: list[tuple] = []
+    for part in _header_parts(stmt):
+        for node in iter_own_nodes(part):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                step = _PROTOCOL_STEPS.get(node.func.attr)
+                if step is not None:
+                    events.append((step, node.func.attr))
+    return events
+
+
+def _check_protocol(flow: FunctionFlow) -> list[Diagnostic]:
+    called = {
+        node.func.attr
+        for node in iter_own_nodes(flow.info.node)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+    }
+    if not ({"prepare", "accept"} <= called):
+        return []
+    events: dict[tuple, list[tuple]] = {
+        pos: _protocol_events(stmt) for pos, stmt, _ in flow.positions()
+    }
+
+    def transfer(state: dict, pos) -> dict:
+        top = state.get("max", 0)
+        for step, _ in events[pos]:
+            top = 1 if step == 1 else max(top, step)
+        return {"max": top} if top else state
+
+    block_in = _block_fixpoint(
+        flow, transfer, join=lambda a, b: (
+            {"max": max(a.get("max", 0), b.get("max", 0))}
+            if a.get("max", 0) or b.get("max", 0)
+            else a
+        ),
+    )
+
+    out: list[Diagnostic] = []
+    name = flow.info.qualname.rsplit("::", 1)[-1]
+    commit_positions: list[tuple] = []
+    for block in flow.cfg.blocks:
+        state = block_in[block.index]
+        for idx in range(len(flow.block_stmts[block.index])):
+            pos = (block.index, idx)
+            _, eff = flow.block_stmts[block.index][idx]
+            top = state.get("max", 0)
+            for step, method in events[pos]:
+                if step == 6:
+                    commit_positions.append(pos)
+                if step != 1 and step < top:
+                    out.append(
+                        _diag(
+                            flow.info,
+                            eff.line,
+                            "typestate",
+                            f"{name}: protocol step {step} "
+                            f"({method}) after step {top} was already "
+                            "reached on some path — the 7-step write "
+                            "protocol is order-sensitive "
+                            "[backend-step-order]",
+                        )
+                    )
+                top = 1 if step == 1 else max(top, step)
+            state = transfer(state, pos)
+
+    def has_accept(e, pos) -> bool:
+        return any(step == 7 for step, _ in events.get(pos, ()))
+
+    for pos in commit_positions:
+        _, eff = flow.block_stmts[pos[0]][pos[1]]
+        if has_accept(None, pos):
+            continue
+        reached_exit = flow.find_path(
+            pos, stop=has_accept, to_exit=True
+        )
+        if reached_exit is not None:
+            out.append(
+                _diag(
+                    flow.info,
+                    eff.line,
+                    "typestate",
+                    f"{name}: a path from this commit (step 6) reaches "
+                    "the exit without realtime accept (step 7) — the "
+                    "prepared changelog entry is never resolved "
+                    "[backend-missing-accept]",
+                )
+            )
+    return out

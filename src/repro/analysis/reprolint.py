@@ -257,6 +257,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         "benchmarks/profiles/speed_ledger.json when present; engine "
         "mode only)",
     )
+    parser.add_argument(
+        "--format",
+        dest="report_format",
+        choices=("text", "github", "json"),
+        default="text",
+        help="engine report format: text (default), github workflow "
+        "commands, or a json report (engine mode only)",
+    )
+    parser.add_argument(
+        "--out",
+        dest="out_path",
+        help="write the json report here instead of stdout "
+        "(engine mode, --format json only)",
+    )
     args = parser.parse_args(argv)
 
     if args.engine:
@@ -266,6 +280,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             root=Path(args.root) if args.root else None,
             budget_path=Path(args.budget) if args.budget else None,
             ledger_path=Path(args.ledger) if args.ledger else None,
+            report_format=args.report_format,
+            out_path=Path(args.out_path) if args.out_path else None,
         )
 
     if args.list_checks:

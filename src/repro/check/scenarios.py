@@ -167,6 +167,7 @@ def _isolation_scenario(seed: int, mode: str, ops: int) -> None:
                 # commit drives the Changelog out-of-sync fail-safe
                 applied = rand.bernoulli(0.5)
                 spanner.commit_fault_injector = (
+                    # reprolint: disable=error-escape -- the injector lambda runs inside spanner's commit, which catches _UnknownOutcomeFailure itself
                     lambda _txn: inject_unknown_outcome(applied)
                 )
             try:

@@ -166,6 +166,7 @@ class ReadWriteTransaction:
                 f"lock acquisition timed out on {ckey!r} (injected)"
             )
         try:
+            # reprolint: disable=lock-discipline -- 2PL: read locks are held past return until commit/rollback releases them; only the abort path releases here
             self._db.locks.acquire(self.txn_id, ckey, mode)
         except LockConflict as exc:
             self._abort()
@@ -230,6 +231,7 @@ class ReadWriteTransaction:
         else:  # pragma: no cover - tag space is capped below 0xFF
             range_end = None
         try:
+            # reprolint: disable=lock-discipline -- 2PL: the scan's range lock is held until commit/rollback releases it; only the abort path releases here
             self._db.locks.acquire_range(self.txn_id, range_start, range_end)
         except LockConflict as exc:
             self._abort()
@@ -247,6 +249,7 @@ class ReadWriteTransaction:
             schema = self._db.table(table)
             ckey = schema.composite_key(row_key)
             try:
+                # reprolint: disable=lock-discipline -- 2PL: row locks taken by a reader are held until commit/rollback releases them; only the abort path releases here
                 self._db.locks.acquire(self.txn_id, ckey, LockMode.SHARED)
             except LockConflict as exc:
                 self._abort()

@@ -1,0 +1,42 @@
+"""Backend 7-step protocol and commit-wait fixtures."""
+
+
+class Pipeline:
+    def __init__(self, backend, spanner, realtime, locks, truetime, txn_id):
+        self.backend = backend
+        self.spanner = spanner
+        self.realtime = realtime
+        self.locks = locks
+        self.truetime = truetime
+        self.txn_id = txn_id
+
+    def good_apply(self, writes):
+        self.backend.begin(self.txn_id)
+        self.backend.stage_writes(writes)
+        self.spanner.prepare(self.txn_id)
+        self.spanner.commit(self.txn_id)
+        self.realtime.accept(self.txn_id)
+
+    def bad_stage_after_prepare(self, writes):
+        self.backend.begin(self.txn_id)
+        self.spanner.prepare(self.txn_id)
+        self.backend.stage_writes(writes)
+        self.spanner.commit(self.txn_id)
+        self.realtime.accept(self.txn_id)
+
+    def bad_commit_without_accept(self, writes, ok):
+        self.backend.begin(self.txn_id)
+        self.backend.stage_writes(writes)
+        self.spanner.prepare(self.txn_id)
+        self.spanner.commit(self.txn_id)
+        if ok:
+            self.realtime.accept(self.txn_id)
+
+    def bad_release_before_wait(self):
+        self.locks.release_all(self.txn_id)
+        return self.truetime.issue_commit_timestamp()
+
+    def good_wait_then_release(self):
+        ts = self.truetime.issue_commit_timestamp()
+        self.locks.release_all(self.txn_id)
+        return ts

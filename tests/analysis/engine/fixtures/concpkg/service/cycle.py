@@ -1,0 +1,51 @@
+"""Effect-inference fixtures: call cycles and duck-typing boundaries."""
+
+
+def spin_feed(ctx, n):
+    if n > 0:
+        spin_drain(ctx, n - 1)
+
+
+def spin_drain(ctx, n):
+    ctx.store.store_version(n, n)
+    ctx.kernel.run_until(n)
+    if n > 0:
+        spin_feed(ctx, n - 1)
+
+
+class PlanReader:
+    """A chance name collision: ``exists`` here acquires locks; a
+    caller doing ``path.exists()`` must not inherit that."""
+
+    def __init__(self, locks, txn_id):
+        self.locks = locks
+        self.txn_id = txn_id
+
+    def exists(self, key):
+        self.locks.acquire(self.txn_id, key, "S")
+        return True
+
+
+def probe_path(path):
+    return path.exists()
+
+
+class FaultPlan:
+    """Duck-typed hook surface; ``get`` is stoplisted."""
+
+    def __init__(self, locks, txn_id):
+        self.locks = locks
+        self.txn_id = txn_id
+
+    def get(self, key):
+        self.locks.acquire(self.txn_id, key, "S")
+        return None
+
+    def fault_plan(self, key):
+        self.locks.acquire(self.txn_id, key, "S")
+        return None
+
+
+def consult(plan):
+    plan.get("spanner.commit_fail")
+    return plan.fault_plan("spanner.commit_fail")

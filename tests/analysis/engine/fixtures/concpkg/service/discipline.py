@@ -1,0 +1,60 @@
+"""Lock-discipline fixtures: leak, re-acquire, order, phantom gap."""
+
+
+class Discipline:
+    def __init__(self, locks, store, sessions, txn_id):
+        self.row_locks = locks
+        self.index_locks = locks
+        self.locks = locks
+        self.store = store
+        self.sessions = sessions
+        self.txn_id = txn_id
+
+    def bad_leaky_commit(self, ok):
+        self.locks.acquire(self.txn_id, b"k", "X")
+        if not ok:
+            return None
+        self.locks.release_all(self.txn_id)
+        return True
+
+    def good_commit(self, ok):
+        self.locks.acquire(self.txn_id, b"k", "X")
+        if not ok:
+            self.locks.release_all(self.txn_id)
+            return None
+        self.locks.release_all(self.txn_id)
+        return True
+
+    def bad_retry(self):
+        self.locks.release_all(self.txn_id)
+        self.locks.acquire(self.txn_id, b"k", "X")
+        self.locks.release_all(self.txn_id)
+
+    def good_retry(self):
+        self.locks.release_all(self.txn_id)
+        self.txn_id = self.sessions.begin()
+        self.locks.acquire(self.txn_id, b"k", "X")
+        self.locks.release_all(self.txn_id)
+
+    def bad_order_ab(self):
+        self.row_locks.acquire(self.txn_id, b"a", "X")
+        self.index_locks.acquire(self.txn_id, b"i", "X")
+
+    def bad_order_ba(self):
+        self.index_locks.acquire(self.txn_id, b"i", "X")
+        self.row_locks.acquire(self.txn_id, b"a", "X")
+
+    def bad_scan_rows(self, keys):
+        out = []
+        for key in keys:
+            self.locks.acquire(self.txn_id, key, "S")
+            out.append(self.store.read_latest(key))
+        return out
+
+    def good_scan_rows(self, keys):
+        self.locks.acquire_range(self.txn_id, keys[0], keys[-1])
+        out = []
+        for key in keys:
+            self.locks.acquire(self.txn_id, key, "S")
+            out.append(self.store.read_latest(key))
+        return out

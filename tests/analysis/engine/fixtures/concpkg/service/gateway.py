@@ -1,0 +1,18 @@
+"""Cross-package error-boundary fixtures."""
+
+from repro.spanner.store import SnapshotGone, load_sanctioned, load_snapshot
+
+
+def bad_fetch(store, version):
+    return load_snapshot(store, version)
+
+
+def good_fetch_guarded(store, version):
+    try:
+        return load_snapshot(store, version)
+    except SnapshotGone:
+        return None
+
+
+def good_fetch_sanctioned(store, version):
+    return load_sanctioned(store, version)

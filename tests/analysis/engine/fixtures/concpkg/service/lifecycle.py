@@ -1,0 +1,36 @@
+"""Transaction-lifecycle fixtures for the typestate check."""
+
+
+def bad_read_after_commit(db):
+    txn = db.begin()
+    txn.put(b"k", 1)
+    txn.commit()
+    return txn.read(b"k")
+
+
+def bad_write_after_rollback(db):
+    txn = db.begin()
+    txn.rollback()
+    txn.put(b"k", 2)
+
+
+def bad_double_commit(db):
+    txn = db.begin()
+    txn.put(b"k", 3)
+    txn.commit()
+    txn.commit()
+
+
+def bad_conditional_use(db, retry):
+    txn = db.begin()
+    if retry:
+        txn.commit()
+    return txn.read(b"k")
+
+
+def good_reborn(db):
+    txn = db.begin()
+    txn.put(b"k", 4)
+    txn.commit()
+    txn = db.begin()
+    return txn.read(b"k")

@@ -1,0 +1,27 @@
+"""Atomicity-across-yield fixtures: bad/good twins."""
+
+
+class Mover:
+    """Read-modify-write against the MVCC store, sometimes yielding."""
+
+    def __init__(self, kernel, locks, store, txn_id):
+        self.kernel = kernel
+        self.locks = locks
+        self.store = store
+        self.txn_id = txn_id
+
+    def bad_shift(self, key):
+        value = self.store.read_latest(key)
+        self.kernel.run_until(self.kernel.now_us + 1_000)
+        self.store.store_version(key, (value or 0) + 1)
+
+    def good_shift_locked(self, key):
+        self.locks.acquire(self.txn_id, key, "X")
+        value = self.store.read_latest(key)
+        self.kernel.run_until(self.kernel.now_us + 1_000)
+        self.store.store_version(key, (value or 0) + 1)
+        self.locks.release_all(self.txn_id)
+
+    def good_shift_straight(self, key):
+        value = self.store.read_latest(key)
+        self.store.store_version(key, (value or 0) + 1)

@@ -1,0 +1,25 @@
+"""Minimal event-kernel stub: the seed of yield/schedule effects.
+
+Effect inference seeds ``may_yield``/``may_schedule`` on sim/ class
+methods by name, so this stub gets the same treatment as the real
+kernel without importing it.
+"""
+
+
+class EventKernel:
+    def __init__(self):
+        self.now_us = 0
+        self.queue = []
+
+    def at(self, when_us, fn, label=""):
+        self.queue.append((when_us, label, fn))
+
+    def after(self, delay_us, fn, label=""):
+        self.at(self.now_us + delay_us, fn, label)
+
+    def run_until(self, deadline_us):
+        while self.queue and self.queue[0][0] <= deadline_us:
+            when, _, fn = self.queue.pop(0)
+            self.now_us = when
+            fn()
+        self.now_us = deadline_us

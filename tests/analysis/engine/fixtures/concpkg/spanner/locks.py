@@ -1,0 +1,20 @@
+"""Two-phase lock table singleton (fixture twin of spanner.locks)."""
+
+
+class LockTable:
+    def __init__(self):
+        self._held_by_txn = {}
+        self._ranges = []
+
+    def acquire(self, txn_id, key, mode):
+        owners = self._held_by_txn.setdefault(txn_id, [])
+        owners.append((key, mode))
+
+    def acquire_range(self, txn_id, start, end):
+        self._ranges.append((txn_id, start, end))
+        owners = self._held_by_txn.setdefault(txn_id, [])
+        owners.append((start, "range"))
+
+    def release_all(self, txn_id):
+        self._held_by_txn.pop(txn_id, None)
+        self._ranges = [r for r in self._ranges if r[0] != txn_id]

@@ -1,0 +1,36 @@
+"""MVCC store singleton plus spanner-private exceptions (fixture)."""
+
+from repro.errors import FirestoreError
+
+
+class SnapshotGone(Exception):
+    """Spanner-private: must not cross the package boundary raw."""
+
+
+class StoreUnavailable(FirestoreError):
+    """Sanctioned: subclasses the shared error hierarchy."""
+
+
+class MVCCStore:
+    def __init__(self):
+        self._values = {}
+
+    def read_latest(self, key):
+        versions = self._values.get(key, ())
+        return versions[-1] if versions else None
+
+    def store_version(self, key, value):
+        chain = self._values.setdefault(key, [])
+        chain.append(value)
+
+
+def load_snapshot(store, version):
+    if version < 0:
+        raise SnapshotGone(version)
+    return store.read_latest(version)
+
+
+def load_sanctioned(store, version):
+    if version < 0:
+        raise StoreUnavailable("snapshot gc'd")
+    return store.read_latest(version)

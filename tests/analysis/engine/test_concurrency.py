@@ -1,0 +1,104 @@
+"""Atomicity-across-yield and lock-discipline over concpkg.
+
+Every bad fixture fires exactly once under its tag; every good twin
+stays silent.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.concurrency import (
+    FunctionFlow,
+    check_atomicity,
+    check_lock_discipline,
+)
+from repro.analysis.engine.effects import EffectAnalysis
+from repro.analysis.engine.symbols import SymbolTable
+from repro.analysis.reprolint import _iter_sources, _parse
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CONCPKG = FIXTURES / "concpkg"
+
+
+@pytest.fixture(scope="module")
+def flows():
+    modules = [_parse(p, CONCPKG) for p in _iter_sources(CONCPKG)]
+    table = SymbolTable.build(modules)
+    graph = CallGraph.build(table)
+    analysis = EffectAnalysis(table, graph)
+    return {
+        qual: FunctionFlow(info, analysis)
+        for qual, info in sorted(table.functions.items())
+    }
+
+
+@pytest.fixture(scope="module")
+def atomicity(flows):
+    return check_atomicity(flows)
+
+
+@pytest.fixture(scope="module")
+def discipline(flows):
+    return check_lock_discipline(flows)
+
+
+def _with_tag(diags, tag):
+    return [d for d in diags if f"[{tag}]" in d.message]
+
+
+def test_unprotected_read_yield_write_is_flagged(atomicity):
+    assert len(atomicity) == 1
+    diag = atomicity[0]
+    assert diag.path == "service/races.py"
+    assert diag.check == "atomicity-across-yield"
+    assert "bad_shift" in diag.message
+    assert "mvcc._values" in diag.message
+    assert "run_until" in diag.message
+
+
+def test_lock_held_across_yield_is_not_a_race(atomicity):
+    assert not any("good_shift_locked" in d.message for d in atomicity)
+
+
+def test_no_yield_no_race(atomicity):
+    assert not any("good_shift_straight" in d.message for d in atomicity)
+
+
+def test_static_lock_leak(discipline):
+    leaks = _with_tag(discipline, "static-lock-leak")
+    assert len(leaks) == 1
+    assert "bad_leaky_commit" in leaks[0].message
+    assert not any("good_commit" in d.message for d in discipline)
+
+
+def test_static_acquire_after_release(discipline):
+    hits = _with_tag(discipline, "static-acquire-after-release")
+    assert len(hits) == 1
+    assert "bad_retry" in hits[0].message
+    # a fresh begin() resets the discipline
+    assert not any("good_retry" in d.message for d in discipline)
+
+
+def test_static_lock_order(discipline):
+    hits = _with_tag(discipline, "static-lock-order")
+    assert len(hits) == 1
+    assert "bad_order_ba" in hits[0].message
+    assert "bad_order_ab" in hits[0].message  # cites the other site
+
+
+def test_static_scan_range_gap(discipline):
+    hits = _with_tag(discipline, "static-scan-range-gap")
+    assert len(hits) == 1
+    assert "bad_scan_rows" in hits[0].message
+    assert not any("good_scan_rows" in d.message for d in discipline)
+
+
+def test_pure_2pl_readers_are_out_of_scope(flows):
+    # functions that only acquire (locks outlive the return, 2PL-style)
+    # must not be treated as lock-lifetime owners
+    diags = check_lock_discipline(
+        {q: f for q, f in flows.items() if q.endswith("bad_order_ab")}
+    )
+    assert not _with_tag(diags, "static-lock-leak")

@@ -1,0 +1,124 @@
+"""Effect inference over the concpkg fixture tree.
+
+Covers the fixpoint on call-graph cycles, yield/schedule seeding from
+the fixture's own ``sim/`` stub, shared-singleton cell extraction, and
+the two duck-typing boundaries: the stoplist (no edge at all) and the
+duck-only effect filter (edge exists, effects do not cross).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.effects import EffectAnalysis, duck_edge_ok
+from repro.analysis.engine.symbols import SymbolTable
+from repro.analysis.reprolint import _iter_sources, _parse
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CONCPKG = FIXTURES / "concpkg"
+
+RUN_UNTIL = "sim/kernel.py::EventKernel.run_until"
+AFTER = "sim/kernel.py::EventKernel.after"
+STORE_WRITE = "spanner/store.py::MVCCStore.store_version"
+STORE_READ = "spanner/store.py::MVCCStore.read_latest"
+LOCK_ACQUIRE = "spanner/locks.py::LockTable.acquire"
+BAD_SHIFT = "service/races.py::Mover.bad_shift"
+SPIN_FEED = "service/cycle.py::spin_feed"
+SPIN_DRAIN = "service/cycle.py::spin_drain"
+PROBE_PATH = "service/cycle.py::probe_path"
+CONSULT = "service/cycle.py::consult"
+PLAN_GET = "service/cycle.py::FaultPlan.get"
+PLAN_HOOK = "service/cycle.py::FaultPlan.fault_plan"
+READER_EXISTS = "service/cycle.py::PlanReader.exists"
+
+
+@pytest.fixture(scope="module")
+def table():
+    modules = [_parse(p, CONCPKG) for p in _iter_sources(CONCPKG)]
+    return SymbolTable.build(modules)
+
+
+@pytest.fixture(scope="module")
+def graph(table):
+    return CallGraph.build(table)
+
+
+@pytest.fixture(scope="module")
+def analysis(table, graph):
+    return EffectAnalysis(table, graph)
+
+
+def test_singleton_cells_extracted_directly(analysis):
+    assert "mvcc._values" in analysis.direct[STORE_WRITE].writes
+    assert "mvcc._values" in analysis.direct[STORE_READ].reads
+    assert "mvcc._values" not in analysis.direct[STORE_READ].writes
+    assert "locks._held_by_txn" in analysis.direct[LOCK_ACQUIRE].writes
+
+
+def test_sim_seeds(analysis):
+    assert analysis.of(RUN_UNTIL).may_yield
+    assert analysis.of(AFTER).may_schedule
+    assert not analysis.of(AFTER).may_yield
+
+
+def test_transitive_closure_through_duck_singleton_calls(analysis):
+    eff = analysis.of(BAD_SHIFT)
+    assert eff.may_yield
+    assert "mvcc._values" in eff.reads
+    assert "mvcc._values" in eff.writes
+
+
+def test_fixpoint_converges_on_call_cycle(analysis, graph):
+    # spin_feed <-> spin_drain is a cycle; the mvcc write and the yield
+    # originate in spin_drain and must come all the way around.
+    assert SPIN_DRAIN in graph.callees[SPIN_FEED]
+    assert SPIN_FEED in graph.callees[SPIN_DRAIN]
+    eff = analysis.of(SPIN_FEED)
+    assert eff.may_yield
+    assert "mvcc._values" in eff.writes
+
+
+def test_stoplisted_get_has_no_edge_at_all(graph):
+    # ``plan.get(...)`` must not resolve to FaultPlan.get: the stoplist
+    # kills the edge before effects are even considered.
+    assert PLAN_GET not in graph.callees[CONSULT]
+
+
+def test_duck_only_hook_edge_exists_but_effects_do_not_cross(
+    table, graph, analysis
+):
+    # ``plan.fault_plan(...)`` keeps its duck edge (hot-path marking
+    # wants it) but the hook's lock effects must not leak into consult.
+    assert PLAN_HOOK in graph.callees[CONSULT]
+    assert PLAN_HOOK in graph.duck_only[CONSULT]
+    assert analysis.of(PLAN_HOOK).acquires
+    assert not analysis.of(CONSULT).acquires
+
+
+def test_chance_name_collision_is_filtered(table, graph, analysis):
+    # ``path.exists()`` duck-resolves to PlanReader.exists, which
+    # acquires locks; probe_path must stay effect-free.
+    assert READER_EXISTS in graph.callees[PROBE_PATH]
+    assert READER_EXISTS in graph.duck_only[PROBE_PATH]
+    assert not analysis.of(PROBE_PATH).acquires
+
+
+def test_duck_edge_filter_is_singleton_and_sim_scoped(table):
+    assert duck_edge_ok(table, STORE_WRITE)  # shared singleton
+    assert duck_edge_ok(table, RUN_UNTIL)  # sim kernel
+    assert not duck_edge_ok(table, READER_EXISTS)  # plain service code
+    assert not duck_edge_ok(table, "no/such.py::fn")
+
+
+def test_statement_near_sets_are_one_level(table, graph, analysis):
+    # the read statement of bad_shift near-reads the mvcc cell (it
+    # calls a singleton method directly), but its yield statement must
+    # not: run_until touches nothing of the store.
+    info = table.functions[BAD_SHIFT]
+    effs = [
+        analysis.statement_effects(info, stmt) for stmt in info.node.body
+    ]
+    assert "mvcc._values" in effs[0].near_reads
+    assert effs[1].may_yield and not effs[1].near_reads
+    assert "mvcc._values" in effs[2].near_writes

@@ -1,0 +1,56 @@
+"""Whole-program exception flow and the error-escape boundary check."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.excflow import ExceptionFlow
+from repro.analysis.engine.symbols import SymbolTable
+from repro.analysis.reprolint import _iter_sources, _parse
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CONCPKG = FIXTURES / "concpkg"
+
+LOAD_SNAPSHOT = "spanner/store.py::load_snapshot"
+LOAD_SANCTIONED = "spanner/store.py::load_sanctioned"
+BAD_FETCH = "service/gateway.py::bad_fetch"
+GUARDED = "service/gateway.py::good_fetch_guarded"
+
+
+@pytest.fixture(scope="module")
+def flow():
+    modules = [_parse(p, CONCPKG) for p in _iter_sources(CONCPKG)]
+    table = SymbolTable.build(modules)
+    graph = CallGraph.build(table)
+    return ExceptionFlow(table, graph)
+
+
+def test_direct_raise_escapes(flow):
+    assert "SnapshotGone" in flow.escapes[LOAD_SNAPSHOT]
+    assert "StoreUnavailable" in flow.escapes[LOAD_SANCTIONED]
+
+
+def test_escape_propagates_through_the_call_chain(flow):
+    assert "SnapshotGone" in flow.escapes[BAD_FETCH]
+
+
+def test_handler_stops_propagation(flow):
+    assert "SnapshotGone" not in flow.escapes[GUARDED]
+
+
+def test_offending_classes_exclude_sanctioned_hierarchy(flow):
+    offending = flow._offending_classes()
+    assert "SnapshotGone" in offending
+    # subclasses of repro.errors may cross subsystems freely
+    assert "StoreUnavailable" not in offending
+
+
+def test_error_escape_flags_only_the_unguarded_cross_package_call(flow):
+    diags = flow.check_error_escape()
+    assert len(diags) == 1
+    diag = diags[0]
+    assert diag.check == "error-escape"
+    assert diag.path == "service/gateway.py"
+    assert "SnapshotGone" in diag.message
+    assert "spanner→service" in diag.message

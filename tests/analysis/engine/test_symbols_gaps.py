@@ -1,0 +1,99 @@
+"""Symbol-table/CFG regression tests for lambdas, comprehension
+scopes and nested functions.
+
+Named lambdas are lifted into their own symbol-table functions (their
+calls must not be attributed to the enclosing scope); comprehensions
+are *not* separate functions (their calls belong to the enclosing
+one); nested defs are their own graph nodes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.cfg import build_cfg
+from repro.analysis.engine.effects import EffectAnalysis
+from repro.analysis.engine.symbols import SymbolTable
+from repro.analysis.reprolint import _iter_sources, _parse
+
+SRC = '''\
+def comp_helper(x):
+    return x
+
+def lam_helper(x):
+    return x
+
+def inner_helper(x):
+    return x
+
+def outer(items):
+    def inner(x):
+        return inner_helper(x)
+    key_fn = lambda item: lam_helper(item)
+    squares = {k: comp_helper(v) for k, v in items}
+    totals = [lam for lam in squares if comp_helper(lam)]
+    return inner, key_fn, totals
+
+named = lambda x: lam_helper(x)
+'''
+
+OUTER = "service/mod.py::outer"
+INNER = "service/mod.py::outer.inner"
+KEY_FN = "service/mod.py::outer.key_fn"
+NAMED = "service/mod.py::named"
+LAM_HELPER = "service/mod.py::lam_helper"
+INNER_HELPER = "service/mod.py::inner_helper"
+COMP_HELPER = "service/mod.py::comp_helper"
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    root = tmp_path_factory.mktemp("lambdapkg")
+    mod = root / "service" / "mod.py"
+    mod.parent.mkdir()
+    mod.write_text(SRC)
+    modules = [_parse(p, root) for p in _iter_sources(root)]
+    table = SymbolTable.build(modules)
+    return table, CallGraph.build(table)
+
+
+def test_named_lambdas_are_lifted(built):
+    table, _ = built
+    assert KEY_FN in table.functions
+    assert table.functions[KEY_FN].is_lambda
+    assert NAMED in table.functions
+    assert table.functions[NAMED].is_lambda
+
+
+def test_lambda_calls_attribute_to_the_lambda_not_the_enclosure(built):
+    _, graph = built
+    assert LAM_HELPER in graph.callees[KEY_FN]
+    assert LAM_HELPER in graph.callees[NAMED]
+    assert LAM_HELPER not in graph.callees[OUTER]
+
+
+def test_nested_function_is_its_own_node(built):
+    table, graph = built
+    assert INNER in table.functions
+    assert INNER_HELPER in graph.callees[INNER]
+    assert INNER_HELPER not in graph.callees[OUTER]
+
+
+def test_comprehension_calls_belong_to_the_enclosing_function(built):
+    _, graph = built
+    assert COMP_HELPER in graph.callees[OUTER]
+
+
+def test_cfg_and_effects_handle_lifted_bodies(built):
+    table, graph = built
+    # neither pass may crash on the synthetic lambda FunctionDefs, and
+    # statement effects of the enclosing function must not pull the
+    # lambda body in twice
+    analysis = EffectAnalysis(table, graph)
+    info = table.functions[OUTER]
+    cfg = build_cfg(info.node)
+    assert cfg.blocks
+    for stmt in info.node.body:
+        analysis.statement_effects(info, stmt)
+    assert analysis.of(KEY_FN) is not None

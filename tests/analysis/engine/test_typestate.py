@@ -1,0 +1,120 @@
+"""Typestate checks over concpkg: lifecycle, commit-wait, protocol."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.concurrency import (
+    FunctionFlow,
+    check_atomicity,
+    check_lock_discipline,
+)
+from repro.analysis.engine.effects import EffectAnalysis
+from repro.analysis.engine.excflow import check_error_escape
+from repro.analysis.engine.symbols import SymbolTable
+from repro.analysis.engine.typestate import (
+    STATIC_COUNTERPARTS,
+    check_typestate,
+)
+from repro.analysis.reprolint import _iter_sources, _parse
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CONCPKG = FIXTURES / "concpkg"
+
+
+@pytest.fixture(scope="module")
+def built():
+    modules = [_parse(p, CONCPKG) for p in _iter_sources(CONCPKG)]
+    table = SymbolTable.build(modules)
+    graph = CallGraph.build(table)
+    analysis = EffectAnalysis(table, graph)
+    flows = {
+        qual: FunctionFlow(info, analysis)
+        for qual, info in sorted(table.functions.items())
+    }
+    return table, graph, flows
+
+
+@pytest.fixture(scope="module")
+def typestate(built):
+    _, _, flows = built
+    return check_typestate(flows)
+
+
+def _with_tag(diags, tag):
+    return [d for d in diags if f"[{tag}]" in d.message]
+
+
+def test_read_after_commit(typestate):
+    hits = _with_tag(typestate, "txn-read-after-commit")
+    assert {d.message.split(":")[0] for d in hits} == {
+        "bad_read_after_commit",
+        "bad_conditional_use",  # terminal on one path is enough
+    }
+
+
+def test_write_after_rollback(typestate):
+    hits = _with_tag(typestate, "txn-write-after-commit")
+    assert len(hits) == 1
+    assert "bad_write_after_rollback" in hits[0].message
+    assert "rolled back" in hits[0].message
+
+
+def test_double_commit(typestate):
+    hits = _with_tag(typestate, "txn-double-commit")
+    assert len(hits) == 1
+    assert "bad_double_commit" in hits[0].message
+
+
+def test_rebegin_resets_the_lifecycle(typestate):
+    assert not any("good_reborn" in d.message for d in typestate)
+
+
+def test_commit_wait_order(typestate):
+    hits = _with_tag(typestate, "static-commit-wait")
+    assert len(hits) == 1
+    assert "bad_release_before_wait" in hits[0].message
+    assert not any(
+        "good_wait_then_release" in d.message for d in typestate
+    )
+
+
+def test_backend_step_order(typestate):
+    hits = _with_tag(typestate, "backend-step-order")
+    assert len(hits) == 1
+    assert "bad_stage_after_prepare" in hits[0].message
+    assert "step 2" in hits[0].message and "step 5" in hits[0].message
+
+
+def test_backend_missing_accept(typestate):
+    hits = _with_tag(typestate, "backend-missing-accept")
+    assert len(hits) == 1
+    assert "bad_commit_without_accept" in hits[0].message
+    assert not any("good_apply" in d.message for d in typestate)
+
+
+# -- dynamic/static coverage -------------------------------------------------
+
+
+def test_every_dynamic_sanitizer_class_has_a_static_counterpart():
+    # the dynamic 2PL sanitizer ids, verbatim from sanitizers/locks.py
+    # and sanitizers/truetime.py
+    assert {
+        "lock-acquire-after-release",
+        "lock-leak",
+        "scan-without-range-lock",
+        "truetime-commit-wait",
+    } <= set(STATIC_COUNTERPARTS)
+
+
+def test_every_counterpart_tag_is_exercised_by_a_fixture(built):
+    table, graph, flows = built
+    diags = []
+    diags.extend(check_atomicity(flows))
+    diags.extend(check_lock_discipline(flows))
+    diags.extend(check_typestate(flows))
+    diags.extend(check_error_escape(table, graph))
+    messages = "\n".join(d.message for d in diags)
+    for tag in sorted(STATIC_COUNTERPARTS.values()):
+        assert f"[{tag}]" in messages, f"no fixture exercises [{tag}]"
