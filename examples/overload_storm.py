@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The metastable-failure demonstration, narrated.
+
+Runs the same four-tenant serving fleet through a 10x load surge twice:
+
+- **fragile** — a static queue bound, no deadline propagation (the
+  backend happily serves work whose client already gave up), and
+  unbudgeted fixed-interval retries. The surge lasts 1.2 seconds; the
+  collapse it triggers lasts forever. This is a *metastable failure*:
+  the sustaining feedback loop (timeouts -> retries -> more queueing ->
+  more timeouts) outlives its trigger.
+- **resilient** — the graceful-degradation stack from
+  ``repro.service.overload``: an AIMD concurrency limit on observed
+  queue wait, CoDel queue-deadline shedding, deadline propagation,
+  gRPC-style retry budgets, and server-driven backoff hints. Goodput
+  dips while the surge lasts, then returns to baseline.
+
+Both arms run on the simulated clock with seeded randomness, so the
+numbers below are byte-identical on every run.
+
+Run:  PYTHONPATH=src python examples/overload_storm.py
+"""
+
+from repro.faults.chaos import metastable_run
+
+
+def sparkline(per_second, capacity):
+    blocks = " .:-=+*#%@"
+    out = []
+    for ops in per_second:
+        idx = min(len(blocks) - 1, (ops * (len(blocks) - 1)) // capacity)
+        out.append(blocks[idx])
+    return "".join(out)
+
+
+def narrate(arm: dict) -> None:
+    per_second = arm["per_second_goodput"]
+    peak = max(max(per_second), 1)
+    print(f"\n--- {arm['arm']} arm ---")
+    print(f"goodput/s : {per_second}")
+    print(f"            [{sparkline(per_second, peak)}]  "
+          f"(surge ends at t={arm['surge_end_s']}s)")
+    print(f"baseline  : {arm['baseline_per_s']:.0f} ops/s   "
+          f"recovery: {arm['recovery_per_s']:.0f} ops/s   "
+          f"ratio: {arm['recovery_ratio']:.2f}")
+    print(f"sheds     : door={arm['door_sheds']} "
+          f"zombie-served={arm['zombie_completions']} "
+          f"budget-stops={arm['budget_exhausted']}")
+    if arm["arm"] == "resilient":
+        print(f"aimd      : final limit={arm['adaptive_limit']} "
+              f"decreases={arm['limit_decreases']}")
+
+
+def main() -> None:
+    print("metastable failure: a 10x surge for 1.2s against a fleet "
+          "with 2x headroom")
+
+    fragile = metastable_run(seed=1, resilient=False)
+    narrate(fragile)
+    print("the surge is long gone, yet goodput is pinned at zero: every "
+          "client\nretries on a fixed timer, the queue stays full of "
+          "already-abandoned work,\nand serving it starves the live "
+          "requests that would break the loop.")
+
+    resilient = metastable_run(seed=1, resilient=True)
+    narrate(resilient)
+    print("same fleet, same surge: expired work is freed at dispatch, "
+          "the AIMD\nlimit cuts until the queue drains, dry retry "
+          "budgets stop the feedback\nloop, and goodput walks back to "
+          "baseline.")
+
+    recovered = resilient["recovery_ratio"] >= 0.9
+    collapsed = fragile["recovery_ratio"] < 0.5
+    print(f"\nverdict: resilient recovered={recovered} "
+          f"fragile stayed collapsed={collapsed}")
+    assert recovered and collapsed
+
+
+if __name__ == "__main__":
+    main()

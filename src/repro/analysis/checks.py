@@ -671,6 +671,7 @@ def check_history_tap(module: ParsedModule) -> list[Diagnostic]:
 #: reference ``profiler``.
 REQUIRED_PERF_TAPS: dict[str, frozenset[str]] = {
     "service/pool.py": frozenset({"TaskPool._dispatch"}),
+    "service/overload.py": frozenset({"OverloadState.account_hedge"}),
     "service/scheduler.py": frozenset(
         {"FairShareScheduler._record_dispatch"}
     ),

@@ -23,7 +23,13 @@ from repro.errors import (
 )
 from repro.core.backend import AuthContext, WriteOp, delete_op, set_op, update_op
 from repro.core.firestore import FirestoreDatabase
-from repro.faults.retry import DEFAULT_POLICY, call_with_retry, retry_stream
+from repro.faults.retry import (
+    DEFAULT_POLICY,
+    RetryBudget,
+    RetryPolicy,
+    call_with_retry,
+    retry_stream,
+)
 from repro.core.path import Path, collection_path, document_path
 from repro.core.query import Query
 from repro.client.local_cache import LocalCache
@@ -76,6 +82,8 @@ class MobileClient:
         persistence=None,
         start_online: bool = True,
         client_id: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
     ):
         self.database = database
         self.auth = auth
@@ -103,6 +111,23 @@ class MobileClient:
         self._backoff_until_us = 0
         self._shed_streak = 0
         self.shed_requests = 0
+        # per-client retry discipline: the backoff ladder starts at a
+        # per-device offset (seeded from the client id, drawn from its own
+        # stream so existing jitter sequences are unchanged) — a fleet of
+        # devices shed at the same instant must not all come back at the
+        # same instant. The budget bounds total retry amplification.
+        base = retry_policy if retry_policy is not None else DEFAULT_POLICY
+        spread = retry_stream(f"{self.client_id}:policy").uniform(0.75, 1.25)
+        self.retry_policy = RetryPolicy(
+            max_attempts=base.max_attempts,
+            initial_backoff_us=max(1, int(base.initial_backoff_us * spread)),
+            multiplier=base.multiplier,
+            max_backoff_us=base.max_backoff_us,
+            jitter=base.jitter,
+        )
+        self.retry_budget = (
+            retry_budget if retry_budget is not None else RetryBudget()
+        )
 
         if persistence is not None:
             blob = persistence.load()
@@ -413,21 +438,27 @@ class MobileClient:
                     lambda op=op, token=token: self.database.commit(
                         [op], auth=self.auth, idempotency_token=token
                     ),
+                    policy=self.retry_policy,
                     clock=self.database.service.clock,
                     rand=self._retry_rand,
                     idempotent=True,
                     metrics=self.database.service.metrics,
+                    budget=self.retry_budget,
                 )
                 flushed += 1
                 self._shed_streak = 0
-            except ResourceExhausted:
+            except ResourceExhausted as exc:
                 # the service shed us (admission control): requeue and
                 # back off — degradation, not a user-visible failure
                 self.mutation_queue.requeue_front(mutations[index:])
                 self.shed_requests += 1
-                pause = DEFAULT_POLICY.backoff_us(
+                pause = self.retry_policy.backoff_us(
                     self._shed_streak, self._retry_rand
                 )
+                hint = exc.retry_after_us
+                if hint is not None and hint > pause:
+                    # honor the server's backoff ask over our own schedule
+                    pause = hint
                 self._shed_streak += 1
                 self._backoff_until_us = self._now_us() + pause
                 metrics = self.database.service.metrics

@@ -18,6 +18,12 @@ class FirestoreError(ReproError):
     #: canonical gRPC-style status code name
     code = "UNKNOWN"
 
+    #: server-driven backoff hint (microseconds), carried in the error
+    #: envelope exactly like gRPC's RetryInfo: a shedding server that
+    #: knows its queue sets this, and ``call_with_retry`` raises its
+    #: pause to at least the server's ask. None = no hint.
+    retry_after_us = None
+
 
 class InvalidArgument(FirestoreError):
     """The request is malformed (bad path, bad query, oversized document)."""

@@ -31,6 +31,7 @@ from repro.faults.retry import (
     DEFAULT_POLICY,
     RETRYABLE_ALWAYS,
     RETRYABLE_IF_IDEMPOTENT,
+    RetryBudget,
     RetryPolicy,
     call_with_retry,
     commit_with_retry,
@@ -45,6 +46,7 @@ __all__ = [
     "FaultPlan",
     "RETRYABLE_ALWAYS",
     "RETRYABLE_IF_IDEMPOTENT",
+    "RetryBudget",
     "RetryPolicy",
     "after",
     "call_with_retry",

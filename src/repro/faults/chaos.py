@@ -32,8 +32,8 @@ from typing import Callable, Optional
 from repro.check.checker import Violation, check_history
 from repro.check.history import recording
 from repro.faults.plan import FAULT_MIXES, FaultPlan, install, plan_for_mix
-from repro.faults.retry import commit_with_retry, retry_stream
-from repro.obs.slo import SloEngine, SloSpec
+from repro.faults.retry import RetryBudget, commit_with_retry, retry_stream
+from repro.obs.slo import OVERLOAD_SLOS, SloEngine, SloSpec
 from repro.obs.stats import percentile_or
 from repro.sim.rand import SimRandom
 
@@ -539,6 +539,571 @@ def _failover_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None
     }
 
 
+# -- overload scenarios (paper section IV-C: graceful degradation) -----------
+
+#: fleet shape shared by the overload scenarios: four symmetric tenants
+#: against a single backend task at 1ms/op (1000 ops/s capacity), so a
+#: 10x offered-load step is a genuine 2x overload of the fleet
+_OVERLOAD_TENANTS = ("t0", "t1", "t2", "t3")
+_OVERLOAD_BASE_INTERVAL_US = 20_000  # 50 ops/s per tenant, 200/s total
+_OVERLOAD_CPU_COST_US = 1_000
+#: how long a client waits for an answer before giving up on an attempt
+_OVERLOAD_PATIENCE_US = 700_000
+#: arrivals stop here; the goodput windows live inside this horizon
+_OVERLOAD_END_US = 12_000_000
+#: extra kernel time for straggler retries to settle after arrivals stop
+_OVERLOAD_DRAIN_US = 8_000_000
+#: recovery = post-trigger goodput back above this fraction of baseline
+_OVERLOAD_RECOVERED_RATIO = 0.9
+#: collapse = post-trigger goodput still below this fraction of baseline
+_OVERLOAD_COLLAPSED_RATIO = 0.5
+
+
+class _FollowerStub:
+    """Minimal ReplicaGroup duck-type: a follower that is always caught
+    up, so hedged reads always have an eligible backup target without
+    dragging the full replication machinery into the storm."""
+
+    __slots__ = ("leader_region", "follower_region")
+
+    def __init__(self, leader_region: str, follower_region: str):
+        self.leader_region = leader_region
+        self.follower_region = follower_region
+
+    def route_read(self, client_region: str, staleness_bound_us: int):
+        return self.follower_region, None
+
+
+def _drive_overload_fleet(
+    seed: int,
+    *,
+    resilient: bool,
+    plan: Optional[FaultPlan] = None,
+    surge_factor: int = 1,
+    surge_start_us: int = 3_000_000,
+    surge_duration_us: int = 2_000_000,
+    drop_burst: Optional[tuple[int, int, float]] = None,
+    hedged: bool = False,
+    slo: Optional[SloEngine] = None,
+) -> dict:
+    """Drive the shared overload fleet entirely on the event kernel.
+
+    Four tenants offer a steady 200 ops/s of GETs to a one-task backend
+    (1000 ops/s capacity); ``surge_factor`` multiplies the arrival rate
+    during the trigger window and ``drop_burst`` = (start, end, rate)
+    injects an ``rpc.drop`` error burst instead. Every client is an
+    attempt state machine scheduled with ``kernel.after`` — the sim
+    clock is never advanced from inside a callback.
+
+    The two arms differ exactly where the paper's degradation machinery
+    sits. *Resilient* clients propagate their deadline on the RPC
+    envelope, pace retries through a :class:`RetryBudget`, honor the
+    server's backoff hint, and run against the adaptive-admission/CoDel/
+    breaker stack. *Fragile* clients time out locally without telling
+    the server (so abandoned work is still served — zombie work), retry
+    hard on a fixed short pause with no budget, and run against a deep
+    static admission queue: the classic metastable-failure recipe.
+
+    Returns a JSON-friendly stats dict; ``latencies`` holds the raw
+    per-op success latencies for the caller to consume.
+    """
+    from repro.service.admission import AdmissionConfig
+    from repro.service.cluster import ClusterConfig, ServingCluster
+    from repro.service.overload import OverloadConfig
+    from repro.service.rpc import RpcKind
+
+    if resilient:
+        overload_config = OverloadConfig(enabled=True, initial_limit=64)
+        admission_config = AdmissionConfig()
+    else:
+        # the fragile arm: no degradation layer and a queue deep enough
+        # that admitted work is always served, however stale it is by then
+        overload_config = OverloadConfig(enabled=False)
+        admission_config = AdmissionConfig(shed_queue_depth=5_000)
+    cluster = ServingCluster(
+        config=ClusterConfig(
+            multi_region=False,
+            frontend_tasks=2,
+            backend_tasks=1,
+            autoscale_frontend=False,
+            autoscale_backend=False,
+            admission=admission_config,
+            overload=overload_config,
+            seed=seed,
+        )
+    )
+    cluster.fault_plan = plan
+    if hedged:
+        for tenant in _OVERLOAD_TENANTS:
+            cluster.router.attach_replicas(
+                tenant, _FollowerStub("us-east", "us-central")
+            )
+
+    kernel = cluster.kernel
+    clock = kernel.clock
+    arm = "resilient" if resilient else "fragile"
+    rand = SimRandom(seed).fork(f"overload-fleet-{arm}")
+    budgets = (
+        {tenant: RetryBudget() for tenant in _OVERLOAD_TENANTS}
+        if resilient
+        else None
+    )
+    max_attempts = 4 if resilient else 10
+    stats = {
+        "attempted": 0,
+        "succeeded": 0,
+        "failed": 0,
+        "zombie_completions": 0,
+        "abandoned_waits": 0,
+        "budget_stopped": 0,
+        "sheds": {tenant: 0 for tenant in _OVERLOAD_TENANTS},
+    }
+    success_times: list[int] = []
+    latencies: list[int] = []
+    open_ops = [0]
+
+    def start_op(tenant: str) -> None:
+        stats["attempted"] += 1
+        open_ops[0] += 1
+        born = clock._now_us
+        give_up_us = born + _OVERLOAD_PATIENCE_US
+        state = [0, False]  # [attempts made, resolved]
+
+        def resolve(success: bool) -> None:
+            if state[1]:
+                return
+            state[1] = True
+            open_ops[0] -= 1
+            now = clock._now_us
+            if success:
+                stats["succeeded"] += 1
+                success_times.append(now)
+                latencies.append(now - born)
+            else:
+                stats["failed"] += 1
+            if slo is not None:
+                slo.record("overload.goodput", now, success)
+
+        def attempt() -> None:
+            if state[1]:
+                return
+            if resilient and clock._now_us >= give_up_us:
+                resolve(False)
+                return
+            state[0] += 1
+            waiting = [True]
+
+            def on_complete(latency_us: int) -> None:
+                if not waiting[0]:
+                    # the client already walked away: zombie work, served
+                    # for nobody — the fuel of a metastable failure
+                    stats["zombie_completions"] += 1
+                    return
+                waiting[0] = False
+                if budgets is not None:
+                    budgets[tenant].on_success()
+                resolve(True)
+
+            def on_reject(reason: str) -> None:
+                if not waiting[0]:
+                    return
+                waiting[0] = False
+                stats["sheds"][tenant] += 1
+                if slo is not None:
+                    slo.record_share(
+                        "overload.shed", clock._now_us, tenant, 1
+                    )
+                retry_later()
+
+            def abandon() -> None:
+                # fragile clients time out locally without telling the
+                # server (no deadline on the envelope): the attempt's
+                # work stays queued and will be served anyway
+                if not waiting[0] or state[1]:
+                    return
+                waiting[0] = False
+                stats["abandoned_waits"] += 1
+                retry_later()
+
+            def retry_later() -> None:
+                if state[1]:
+                    return
+                if state[0] >= max_attempts:
+                    resolve(False)
+                    return
+                if resilient:
+                    if not budgets[tenant].try_spend():
+                        stats["budget_stopped"] += 1
+                        resolve(False)
+                        return
+                    base = min(500_000.0, 25_000.0 * 2.0 ** (state[0] - 1))
+                    pause = max(1, int(base * rand.uniform(0.5, 1.0)))
+                    hint = cluster.retry_after_hint_us()
+                    if hint > pause:
+                        pause = hint
+                else:
+                    pause = 20_000
+                kernel.after(pause, attempt, label="overload-retry")
+
+            cluster.submit(
+                tenant,
+                RpcKind.GET,
+                on_complete,
+                cpu_cost_us=_OVERLOAD_CPU_COST_US,
+                on_reject=on_reject,
+                deadline_us=give_up_us if resilient else None,
+            )
+            if not resilient:
+                kernel.after(
+                    _OVERLOAD_PATIENCE_US, abandon, label="overload-patience"
+                )
+
+        attempt()
+
+    def spawn(tenant: str) -> None:
+        now = clock._now_us
+        if now >= _OVERLOAD_END_US:
+            return
+        start_op(tenant)
+        interval = _OVERLOAD_BASE_INTERVAL_US
+        if (
+            surge_factor > 1
+            and surge_start_us <= now < surge_start_us + surge_duration_us
+        ):
+            interval //= surge_factor
+        delay = max(1, int(interval * rand.uniform(0.9, 1.1)))
+        kernel.after(delay, lambda: spawn(tenant), label="overload-arrival")
+
+    for offset, tenant in enumerate(_OVERLOAD_TENANTS):
+        kernel.at(
+            1 + offset * 1_250,
+            lambda t=tenant: spawn(t),
+            label="overload-arrival",
+        )
+
+    if drop_burst is not None:
+        burst_start, burst_end, burst_rate = drop_burst
+        resting_rate = [0.0]
+
+        def raise_rate() -> None:
+            resting_rate[0] = plan.rates.get("rpc.drop", 0.0)
+            plan.rates["rpc.drop"] = burst_rate
+
+        def restore_rate() -> None:
+            plan.rates["rpc.drop"] = resting_rate[0]
+
+        kernel.at(burst_start, raise_rate, label="overload-burst")
+        kernel.at(burst_end, restore_rate, label="overload-burst")
+
+    kernel.run_until(_OVERLOAD_END_US + _OVERLOAD_DRAIN_US)
+
+    per_second = [0] * (_OVERLOAD_END_US // 1_000_000)
+    for t in success_times:
+        index = t // 1_000_000
+        if index < len(per_second):
+            per_second[index] += 1
+    surge_end_s = (surge_start_us + surge_duration_us) // 1_000_000
+    baseline = per_second[1:3]
+    recovery = per_second[8:11]
+    baseline_per_s = sum(baseline) / len(baseline)
+    recovery_per_s = sum(recovery) / len(recovery)
+    ratio = recovery_per_s / baseline_per_s if baseline_per_s else 0.0
+
+    overload = cluster.overload
+    breakers = cluster.router.breakers
+    stats.update(
+        {
+            "arm": arm,
+            "unresolved": open_ops[0],
+            "per_second_goodput": per_second,
+            "surge_end_s": surge_end_s,
+            "baseline_per_s": round(baseline_per_s, 3),
+            "recovery_per_s": round(recovery_per_s, 3),
+            "recovery_ratio": round(ratio, 4),
+            "latency_p50_us": percentile_or(latencies, 50),
+            "latency_p99_us": percentile_or(latencies, 99),
+            "door_sheds": cluster.admission.shed,
+            "adaptive_limit": (
+                overload.limiter.limit if overload is not None else 0
+            ),
+            "limit_decreases": (
+                overload.limiter.decreases if overload is not None else 0
+            ),
+            "breaker_opens": (
+                breakers.total_opens() if breakers is not None else 0
+            ),
+            "hedges_fired": (
+                overload.hedges_fired if overload is not None else 0
+            ),
+            "hedge_wins": overload.hedge_wins if overload is not None else 0,
+            "budget_exhausted": (
+                sum(b.exhausted for b in budgets.values())
+                if budgets is not None
+                else 0
+            ),
+            "latencies": latencies,
+        }
+    )
+    return stats
+
+
+def _fleet_summary(fleet: dict) -> dict:
+    """The ``extra``-block view of a fleet run (raw latencies dropped)."""
+    summary = dict(fleet)
+    summary.pop("latencies", None)
+    return summary
+
+
+def _overload_sidecar(
+    plan: FaultPlan, seed: int, ops: int, run: ChaosRun, label: str
+) -> dict:
+    """The functional consistency phase of an overload scenario.
+
+    The storm exercises the serving fleet, which records no histories;
+    this sidecar commits through the full stack under the same fault
+    plan so ``repro.check``, exactly-once accounting, and listener
+    convergence all have something real to judge. It runs *after* the
+    kernel storm because ``commit_with_retry`` advances the wall clock,
+    which is illegal inside kernel callbacks.
+    """
+    from repro.core.backend import set_op
+    from repro.core.firestore import FirestoreService
+    from repro.core.values import increment
+    from repro.errors import FirestoreError
+
+    rand = SimRandom(seed).fork(f"chaos-{label}-sidecar")
+    jitter = retry_stream(f"chaos-{label}:{seed}")
+    service = FirestoreService(multi_region=False)
+    database = service.create_database(label)
+    install(plan, database)
+    clock = service.clock
+
+    view: dict = {}
+    connection = database.connect()
+
+    def apply(delta) -> None:
+        for doc in delta.documents:
+            view[str(doc.path)] = doc.data
+        for path in delta.removed:
+            view.pop(str(path), None)
+
+    connection.listen(database.query("docs"), apply)
+
+    tokens: list[str] = []
+    acked = 0
+    for op in range(ops):
+        clock.advance(rand.randint(1_000, 10_000))
+        token = f"chaos-{label}:{seed}:{op}"
+        tokens.append(token)
+        writes = [
+            set_op(f"docs/d{rand.randint(0, 3)}", {"v": op}),
+            set_op("docs/counter", {"n": increment(1)}),
+        ]
+        run.attempted += 1
+        start = clock.now_us
+        try:
+            commit_with_retry(
+                database,
+                writes,
+                token=token,
+                rand=jitter,
+                metrics=plan.metrics,
+            )
+        except FirestoreError:
+            run.failed += 1
+        else:
+            acked += 1
+            run.succeeded += 1
+            run.latencies_us.append(clock.now_us - start)
+        clock.advance(rand.randint(1_000, 8_000))
+        database.pump_realtime()
+
+    _uninstall(database)
+    _drain(database, rand)
+    connection.close()
+
+    applied = _applied_tokens(database, tokens)
+    counter = database.lookup("docs/counter")
+    actual = (counter.data or {}).get("n", 0)
+    run.exactly_once = actual == len(applied) and acked <= len(applied)
+    truth = {
+        str(doc.path): doc.data
+        for doc in database.run_query(database.query("docs")).documents
+    }
+    run.converged = run.converged and view == truth
+    return {"counter": actual, "ledger_applied": len(applied)}
+
+
+def _judge_overload(
+    run: ChaosRun, engine: SloEngine, recovered: bool
+) -> dict:
+    """Land the recovery probe and judge the overload SLO block.
+
+    The controlled (``none``-mix) cell also folds the verdicts into the
+    run's ``converged`` flag, so a goodput/fairness/recovery miss fails
+    the sweep outright; under fault mixes the block is informational.
+    """
+    horizon = _OVERLOAD_END_US + _OVERLOAD_DRAIN_US
+    engine.record("overload.recovery", horizon - 1, recovered)
+    verdicts = engine.verdict_block(horizon)
+    if run.mix == "none":
+        run.converged = run.converged and all(
+            verdict["ok"] for verdict in verdicts.values()
+        )
+    return verdicts
+
+
+def _overload_storm_chaos(
+    plan: FaultPlan, seed: int, ops: int, run: ChaosRun
+) -> None:
+    """A 10x offered-load step against the graceful-degradation stack.
+
+    The resilient fleet rides through the two-second surge: adaptive
+    admission keeps the standing queue near its delay target, CoDel
+    sheds what still goes stale, hedged reads (via the always-caught-up
+    follower stub) cover the primary's tail, and budgeted clients back
+    off on the server's hint. Judged by the OVERLOAD_SLOS goodput floor,
+    shed-fairness, and post-trigger recovery. ``ops`` sizes the
+    functional consistency sidecar; the storm itself has a fixed shape
+    so goodput windows are comparable across seeds.
+    """
+    engine = SloEngine(OVERLOAD_SLOS())
+    fleet = _drive_overload_fleet(
+        seed,
+        resilient=True,
+        plan=plan,
+        surge_factor=10,
+        surge_start_us=3_000_000,
+        surge_duration_us=2_000_000,
+        hedged=True,
+        slo=engine,
+    )
+    run.latencies_us.extend(fleet["latencies"])
+    run.attempted += fleet["attempted"]
+    run.succeeded += fleet["succeeded"]
+    run.failed += fleet["failed"]
+    recovered = fleet["recovery_ratio"] >= _OVERLOAD_RECOVERED_RATIO
+    verdicts = _judge_overload(run, engine, recovered)
+    sidecar = _overload_sidecar(plan, seed, ops, run, "overload-storm")
+    run.extra = {
+        "fleet": _fleet_summary(fleet),
+        "recovered": recovered,
+        "overload_slo": verdicts,
+        "sidecar": sidecar,
+    }
+
+
+def _retry_storm_chaos(
+    plan: FaultPlan, seed: int, ops: int, run: ChaosRun
+) -> None:
+    """An injected error burst that provokes a client retry storm.
+
+    For 1.5 seconds, 90% of admitted RPCs are dropped on the wire. The
+    failure rate trips the per-(database, region) circuit breakers, so
+    follow-on traffic fast-fails at the door instead of queueing doomed
+    work; retry budgets cap the clients' amplification at ~1.1x; and
+    once the burst clears, half-open probes re-close the breakers and
+    goodput recovers to baseline. Judged by the same OVERLOAD_SLOS
+    block as the load storm.
+    """
+    engine = SloEngine(OVERLOAD_SLOS())
+    fleet = _drive_overload_fleet(
+        seed,
+        resilient=True,
+        plan=plan,
+        drop_burst=(3_000_000, 4_500_000, 0.9),
+        slo=engine,
+    )
+    run.latencies_us.extend(fleet["latencies"])
+    run.attempted += fleet["attempted"]
+    run.succeeded += fleet["succeeded"]
+    run.failed += fleet["failed"]
+    recovered = fleet["recovery_ratio"] >= _OVERLOAD_RECOVERED_RATIO
+    verdicts = _judge_overload(run, engine, recovered)
+    sidecar = _overload_sidecar(plan, seed, ops, run, "retry-storm")
+    run.extra = {
+        "fleet": _fleet_summary(fleet),
+        "recovered": recovered,
+        "breaker_tripped": fleet["breaker_opens"] > 0,
+        "overload_slo": verdicts,
+        "sidecar": sidecar,
+    }
+
+
+def _metastable_chaos(
+    plan: FaultPlan, seed: int, ops: int, run: ChaosRun
+) -> None:
+    """The metastable-failure demonstration: trigger, feedback, contrast.
+
+    A brief 10x trigger (1.2s) hits two fleets. The *fragile* arm —
+    no deadline propagation (the server keeps serving work its clients
+    abandoned), unbudgeted hard retries, deep static admission — stays
+    collapsed long after the trigger clears: sustained retry feedback
+    holds offered work above capacity, the signature of a metastable
+    failure. The *resilient* arm — deadlines, retry budgets, adaptive
+    admission — recovers to >= 90% of baseline goodput. The resilient
+    arm is the judged run; the fragile arm's collapse is recorded in
+    ``extra`` and asserted by the controlled cell.
+    """
+    engine = SloEngine(OVERLOAD_SLOS())
+    resilient = _drive_overload_fleet(
+        seed,
+        resilient=True,
+        plan=plan,
+        surge_factor=10,
+        surge_start_us=3_000_000,
+        surge_duration_us=1_200_000,
+        slo=engine,
+    )
+    fragile = _drive_overload_fleet(
+        seed,
+        resilient=False,
+        plan=None,  # the contrast arm runs fault-free: pure overload
+        surge_factor=10,
+        surge_start_us=3_000_000,
+        surge_duration_us=1_200_000,
+    )
+    run.latencies_us.extend(resilient["latencies"])
+    run.attempted += resilient["attempted"]
+    run.succeeded += resilient["succeeded"]
+    run.failed += resilient["failed"]
+    recovered = resilient["recovery_ratio"] >= _OVERLOAD_RECOVERED_RATIO
+    collapsed = fragile["recovery_ratio"] < _OVERLOAD_COLLAPSED_RATIO
+    verdicts = _judge_overload(run, engine, recovered)
+    if run.mix == "none":
+        # the fragile fleet MUST stay collapsed: if it recovers, the
+        # scenario no longer demonstrates anything and the cell fails
+        run.converged = run.converged and collapsed
+    sidecar = _overload_sidecar(plan, seed, ops, run, "metastable")
+    run.extra = {
+        "resilient": _fleet_summary(resilient),
+        "fragile": _fleet_summary(fragile),
+        "recovered": recovered,
+        "collapsed": collapsed,
+        "overload_slo": verdicts,
+        "sidecar": sidecar,
+    }
+
+
+def metastable_run(seed: int, resilient: bool = True) -> dict:
+    """One arm of the metastable demonstration, sans chaos scaffolding.
+
+    The ``gate_overload`` bench cell runs this twice — resilient (must
+    recover) and fragile (must stay collapsed) — without the recording/
+    checking overhead of the full scenario. Returns the fleet summary
+    (goodput windows, recovery ratio, shed/breaker/budget counters).
+    """
+    fleet = _drive_overload_fleet(
+        seed,
+        resilient=resilient,
+        plan=None,
+        surge_factor=10,
+        surge_start_us=3_000_000,
+        surge_duration_us=1_200_000,
+    )
+    return _fleet_summary(fleet)
+
+
 #: scenario name -> (builder, default ops)
 CHAOS_SCENARIOS: dict[
     str, tuple[Callable[[FaultPlan, int, int, ChaosRun], None], int]
@@ -547,6 +1112,9 @@ CHAOS_SCENARIOS: dict[
     "ycsb": (_ycsb_chaos, 40),
     "realtime-fanout": (_fanout_chaos, 14),
     "failover": (_failover_chaos, 20),
+    "overload-storm": (_overload_storm_chaos, 8),
+    "retry-storm": (_retry_storm_chaos, 8),
+    "metastable": (_metastable_chaos, 8),
 }
 
 

@@ -87,6 +87,43 @@ class RetryPolicy:
 DEFAULT_POLICY = RetryPolicy()
 
 
+class RetryBudget:
+    """A per-client token bucket bounding total retry amplification.
+
+    The gRPC retry-throttling scheme: each *success* earns ``ratio``
+    tokens (capped at ``max_tokens``), each retry spends a whole one.
+    A healthy client banks tokens and rides out blips; a client whose
+    requests mostly fail runs dry and stops retrying — so a fleet of
+    budgeted clients amplifies offered load by at most ``1 + ratio``
+    under sustained failure, the property that lets an overloaded
+    service drain instead of staying collapsed (metastable failure).
+
+    Starts full: the first failures of a fresh client may retry.
+    """
+
+    __slots__ = ("max_tokens", "ratio", "tokens", "exhausted")
+
+    def __init__(self, max_tokens: float = 10.0, ratio: float = 0.1):
+        self.max_tokens = max_tokens
+        self.ratio = ratio
+        self.tokens = max_tokens
+        #: retries suppressed because the bucket was dry
+        self.exhausted = 0
+
+    def on_success(self) -> None:
+        """Earn ``ratio`` tokens for one successful call."""
+        tokens = self.tokens + self.ratio
+        self.tokens = tokens if tokens < self.max_tokens else self.max_tokens
+
+    def try_spend(self) -> bool:
+        """Spend one token to retry; False = budget dry, do not retry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        self.exhausted += 1
+        return False
+
+
 def retry_stream(label: str) -> SimRandom:
     """A deterministic per-caller jitter stream.
 
@@ -95,6 +132,17 @@ def retry_stream(label: str) -> SimRandom:
     jitter, rather than re-creating the default stream every call.
     """
     return SimRandom(0).fork(f"retry:{label}")
+
+
+def _deadline_error(reason: str, attempt: int, error: Exception):
+    """Build the terminal deadline verdict for a retry loop.
+
+    Cold path — kept out of :func:`call_with_retry`'s attempt loop so
+    the message formatting never rides the hot path.
+    """
+    return DeadlineExceeded(
+        f"{reason} (attempt {attempt}, {type(error).__name__})"
+    )
 
 
 def call_with_retry(
@@ -106,40 +154,71 @@ def call_with_retry(
     idempotent: bool = False,
     deadline_us: Optional[int] = None,
     metrics=None,
+    budget: Optional[RetryBudget] = None,
 ):
     """Run ``operation()`` under ``policy``, backing off on retryables.
 
     ``operation`` is a zero-argument callable. Retries stop when the
-    error is terminal, attempts run out, or the deadline would pass
+    error is terminal, attempts run out, the per-client ``budget`` runs
+    dry (``faults_retry_budget_exhausted``), or the deadline would pass
     before the next attempt (the pending backoff is charged against it).
-    Backoff advances ``clock`` (the sim clock) when one is given.
+    Backoff advances ``clock`` (the sim clock) when one is given; a
+    server-supplied ``retry_after_us`` hint on the error raises the pause
+    to at least the server's ask. If the clock lands past the absolute
+    deadline after a backoff (timer coalescing, an overshooting sleep),
+    the op surfaces terminal ``DeadlineExceeded`` — never another attempt.
     """
     stream = rand if rand is not None else SimRandom(0).fork("retry")
+    retries_counter = backoff_counter = None
+    if metrics is not None:
+        retries_counter = metrics.counter("faults_retries")
+        backoff_counter = metrics.counter("faults_backoff_us")
     last: Optional[FirestoreError] = None
     for attempt in range(policy.max_attempts):
         try:
-            return operation()
+            result = operation()
         except FirestoreError as error:
             last = error
             if not is_retryable(error, idempotent=idempotent):
                 raise
             if attempt + 1 >= policy.max_attempts:
                 raise
+            if budget is not None and not budget.try_spend():
+                if metrics is not None:
+                    metrics.counter("faults_retry_budget_exhausted").inc()
+                raise
             pause = policy.backoff_us(attempt, stream)
+            hint = error.retry_after_us
+            if hint is not None and hint > pause:
+                # the server knows its queue better than our schedule does
+                pause = hint
             if (
                 deadline_us is not None
                 and clock is not None
                 and clock.now_us + pause >= deadline_us
             ):
-                raise DeadlineExceeded(
-                    "retry budget exhausted: backoff would overrun the "
-                    f"deadline (attempt {attempt + 1}, {type(error).__name__})"
+                raise _deadline_error(
+                    "retry backoff would overrun the deadline",
+                    attempt + 1,
+                    error,
                 ) from error
-            if metrics is not None:
-                metrics.counter("faults_retries").inc()
-                metrics.counter("faults_backoff_us").inc(pause)
+            if retries_counter is not None:
+                retries_counter.inc()
+                backoff_counter.inc(pause)
             if clock is not None:
                 clock.advance(pause)
+                if deadline_us is not None and clock.now_us >= deadline_us:
+                    # the backoff timer fired after the absolute deadline
+                    # passed: terminal, never another attempt
+                    raise _deadline_error(
+                        "deadline passed during retry backoff",
+                        attempt + 1,
+                        error,
+                    ) from error
+        else:
+            if budget is not None:
+                budget.on_success()
+            return result
     raise last  # pragma: no cover - loop always returns or raises
 
 
@@ -153,6 +232,7 @@ def commit_with_retry(
     deadline_us: Optional[int] = None,
     metrics=None,
     auth=None,
+    budget: Optional[RetryBudget] = None,
 ):
     """Commit ``writes`` with at-most-once semantics under retries.
 
@@ -180,4 +260,5 @@ def commit_with_retry(
         idempotent=True,
         deadline_us=deadline_us,
         metrics=metrics,
+        budget=budget,
     )

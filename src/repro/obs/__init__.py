@@ -34,7 +34,14 @@ from repro.obs.export import (
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.perf import NULL_PROFILER, Profiler, collapse_spans, flamegraph_svg
 from repro.obs.sampling import trace_full_commit
-from repro.obs.slo import DEFAULT_SLOS, SloEngine, SloSpec, SloVerdict
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    OVERLOAD_SLOS,
+    REPLICATION_SLOS,
+    SloEngine,
+    SloSpec,
+    SloVerdict,
+)
 from repro.obs.stats import boxplot, percentile, percentile_or, summarize
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -55,7 +62,9 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "OVERLOAD_SLOS",
     "Profiler",
+    "REPLICATION_SLOS",
     "SloEngine",
     "SloSpec",
     "SloVerdict",

@@ -343,6 +343,80 @@ def gate_failover(seed: int = 3) -> tuple[dict, dict]:
     return payload, {}
 
 
+def gate_overload(seed: int = 9) -> tuple[dict, dict]:
+    """Overload cell: the metastable-failure contrast, pinned.
+
+    Runs the ``metastable`` chaos scenario (fault-free mix): the same
+    tenant fleet twice through a 1.2s 10x load surge — once with the
+    full degradation stack (adaptive admission, deadline propagation,
+    retry budgets, server backoff hints) and once with the fragile
+    legacy config (static queue bound, unbudgeted fixed-interval
+    retries, no deadlines). The two hard verdicts the gate pins are
+    ``recovered`` (resilient arm back above 90% of pre-surge goodput)
+    and ``collapsed`` (fragile arm stuck below 50% after the trigger
+    clears) — the paper's metastable-failure demonstration — plus zero
+    checker violations and the :data:`~repro.obs.slo.OVERLOAD_SLOS`
+    verdict block. The control-loop counters (adaptive-limit decreases,
+    door sheds, budget exhaustions) are exact: they are the overload
+    machinery's observable decisions, deterministic per seed.
+    """
+    # reprolint: disable=layering -- the gate harness drives the chaos runner; it is above the obs layer, not inside it
+    from repro.faults.chaos import run_chaos
+
+    run = run_chaos("metastable", seed=seed, mix="none")
+    extra = run.extra or {}
+    resilient = extra.get("resilient", {})
+    fragile = extra.get("fragile", {})
+    slos = dict(run.slo_verdicts())
+    slos.update(extra.get("overload_slo", {}))
+    payload = bench_payload(
+        name="gate_overload",
+        figure="",
+        metrics={
+            "violations": metric(len(run.violations), "count", kind="exact"),
+            "recovered": metric(
+                int(bool(extra.get("recovered"))), "bool", kind="exact"
+            ),
+            "collapsed": metric(
+                int(bool(extra.get("collapsed"))), "bool", kind="exact"
+            ),
+            "resilient_recovery_ratio": metric(
+                round(resilient.get("recovery_ratio", 0.0), 4), "ratio"
+            ),
+            "fragile_recovery_ratio": metric(
+                round(fragile.get("recovery_ratio", 0.0), 4), "ratio"
+            ),
+            "resilient_recovery_per_s": metric(
+                round(resilient.get("recovery_per_s", 0.0), 1), "ops/s"
+            ),
+            "adaptive_limit": metric(
+                resilient.get("adaptive_limit", 0), "rpcs", kind="exact"
+            ),
+            "limit_decreases": metric(
+                resilient.get("limit_decreases", 0), "count", kind="exact"
+            ),
+            "door_sheds": metric(
+                resilient.get("door_sheds", 0), "count", kind="exact"
+            ),
+            "budget_exhausted": metric(
+                resilient.get("budget_exhausted", 0), "count", kind="exact"
+            ),
+            "breaker_opens": metric(
+                resilient.get("breaker_opens", 0), "count", kind="exact"
+            ),
+            "latency_p50_us": metric(
+                resilient.get("latency_p50_us", 0), "us"
+            ),
+            "latency_p99_us": metric(
+                resilient.get("latency_p99_us", 0), "us"
+            ),
+        },
+        slos=slos,
+        raw={"summary": run.to_dict(), "seed": seed},
+    )
+    return payload, {}
+
+
 #: the fixed kernel run the speed cell times: YCSB A at 2000 QPS for 25
 #: simulated seconds executes exactly this many events at seed 42
 SPEED_RUN_EVENTS = 200_505
@@ -508,6 +582,7 @@ GATE_CELLS = {
     "gate_datashape": gate_datashape,
     "gate_chaos": gate_chaos,
     "gate_failover": gate_failover,
+    "gate_overload": gate_overload,
     "gate_speed": gate_speed,
 }
 

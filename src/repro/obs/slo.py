@@ -42,6 +42,7 @@ __all__ = [
     "SloEngine",
     "DEFAULT_SLOS",
     "REPLICATION_SLOS",
+    "OVERLOAD_SLOS",
 ]
 
 #: bucket granularity for windowed accounting (1 simulated second)
@@ -378,5 +379,51 @@ def REPLICATION_SLOS(window_us: int = 60_000_000) -> list[SloSpec]:
             target=1.0,
             window_us=window_us,
             stream="replication.convergence",
+        ),
+    ]
+
+
+def OVERLOAD_SLOS(window_us: int = 60_000_000) -> list[SloSpec]:
+    """Graceful-degradation objectives for the overload chaos scenarios.
+
+    Judged over the *whole* storm, trigger included — the point of the
+    layer is what survives while the spike is on and how fast the fleet
+    comes back once it clears:
+
+    - ``overload.goodput`` — the goodput floor: even at 10x offered
+      load, at least half of the *logical* operations (not raw RPCs)
+      must still succeed across the run. Fast-fail sheds don't count as
+      goodput; completed user ops do.
+    - ``overload.shed_fairness`` — shedding must not single out one
+      tenant: the hottest tenant's share of shed requests stays within
+      2.5x its fair share. (Targeted per-tenant actions — breakers,
+      memory pressure — are deliberate exceptions and feed their own
+      streams, not this one.)
+    - ``overload.recovery`` — the metastable check: every post-trigger
+      recovery probe (goodput back above the recovery threshold within
+      the bounded window after the trigger clears) must pass. One failed
+      probe = the fleet stayed collapsed = the SLO is broken.
+    """
+    return [
+        SloSpec(
+            name="overload.goodput",
+            kind="availability",
+            target=0.5,
+            window_us=window_us,
+            stream="overload.goodput",
+        ),
+        SloSpec(
+            name="overload.shed_fairness",
+            kind="fairness",
+            target=2.5,
+            window_us=window_us,
+            stream="overload.shed",
+        ),
+        SloSpec(
+            name="overload.recovery",
+            kind="convergence",
+            target=1.0,
+            window_us=window_us,
+            stream="overload.recovery",
         ),
     ]

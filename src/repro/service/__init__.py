@@ -13,6 +13,18 @@ from repro.service.rpc import Rpc, RpcKind
 from repro.service.scheduler import FairShareScheduler
 from repro.service.pool import TaskPool
 from repro.service.autoscaler import Autoscaler, AutoscalerConfig
+from repro.service.overload import (
+    AdaptiveLimit,
+    BreakerBoard,
+    CircuitBreaker,
+    CodelShedder,
+    HedgeThrottle,
+    OverloadConfig,
+    OverloadState,
+    QueueDiscipline,
+    ReadLatencyTracker,
+    ShedReason,
+)
 from repro.service.admission import AdmissionController, AdmissionConfig
 from repro.service.billing import BillingLedger, FreeQuota, PriceSheet
 from repro.service.routing import GlobalRouter
@@ -27,6 +39,16 @@ __all__ = [
     "TaskPool",
     "Autoscaler",
     "AutoscalerConfig",
+    "AdaptiveLimit",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CodelShedder",
+    "HedgeThrottle",
+    "OverloadConfig",
+    "OverloadState",
+    "QueueDiscipline",
+    "ReadLatencyTracker",
+    "ShedReason",
     "AdmissionController",
     "AdmissionConfig",
     "BillingLedger",

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.service.overload import AdaptiveLimit, ShedReason
 from repro.sim.clock import SimClock
 
 CONFORMING_BASE_QPS = 500.0
@@ -55,6 +56,8 @@ class AdmissionController:
         "shed",
         "limited",
         "memory_rejected",
+        "adaptive",
+        "batch_admit_fraction",
     )
 
     def __init__(
@@ -79,18 +82,31 @@ class AdmissionController:
         self.shed = 0
         self.limited = 0
         self.memory_rejected = 0
+        #: optional :class:`repro.service.overload.AdaptiveLimit`; when
+        #: present its AIMD limit replaces the static ``shed_queue_depth``
+        self.adaptive: Optional[AdaptiveLimit] = None
+        #: fraction of the adaptive limit at which batch traffic already
+        #: sheds (user-facing ops degrade last); only used with ``adaptive``
+        self.batch_admit_fraction = 0.5
 
     # -- admission ---------------------------------------------------------------
 
     def try_admit(
-        self, database_id: str, queue_depth: int, memory_bytes: int = 0
-    ) -> tuple[bool, str]:
-        """(admitted, reason). Also counts the request toward conformance.
+        self,
+        database_id: str,
+        queue_depth: int,
+        memory_bytes: int = 0,
+        latency_sensitive: bool = True,
+    ) -> tuple[bool, Optional[ShedReason]]:
+        """(admitted, shed reason). Also counts toward conformance.
 
         ``memory_bytes`` is the request's estimated in-flight memory; when
         the component is under memory pressure, rejection targets the
         database holding the most in-flight memory — selective pressure,
-        not collective punishment (section VIII).
+        not collective punishment (section VIII). With an ``adaptive``
+        limiter attached the depth gate uses its AIMD limit, and batch
+        traffic (``latency_sensitive=False``) sheds already at
+        ``batch_admit_fraction`` of it.
         """
         # conformance tracking, inlined from _track: this runs once per
         # request and the common case is a single item-store
@@ -105,12 +121,19 @@ class AdmissionController:
         ):
             if self._inflight.get(database_id, 0) >= config.per_database_inflight_limit:
                 self.limited += 1
-                self._record(database_id, "inflight_limit")
-                return False, "per-database in-flight limit"
-        if queue_depth >= config.shed_queue_depth:
+                self._record(database_id, "inflight")
+                return False, ShedReason.INFLIGHT
+        adaptive = self.adaptive
+        if adaptive is None:
+            depth_limit = config.shed_queue_depth
+        else:
+            depth_limit = adaptive.limit
+            if not latency_sensitive:
+                depth_limit = int(depth_limit * self.batch_admit_fraction)
+        if queue_depth >= depth_limit:
             self.shed += 1
-            self._record(database_id, "load_shed")
-            return False, "load shed"
+            self._record(database_id, "queue_depth")
+            return False, ShedReason.QUEUE_DEPTH
         if (
             config.memory_pressure_bytes is not None
             and self.total_inflight_memory() + memory_bytes
@@ -118,8 +141,8 @@ class AdmissionController:
             and database_id == self._top_memory_consumer(database_id, memory_bytes)
         ):
             self.memory_rejected += 1
-            self._record(database_id, "memory_pressure")
-            return False, "memory pressure"
+            self._record(database_id, "memory")
+            return False, ShedReason.MEMORY
         self._inflight[database_id] = self._inflight.get(database_id, 0) + 1
         if memory_bytes:
             self._inflight_memory[database_id] = (
@@ -128,7 +151,33 @@ class AdmissionController:
         self.admitted += 1
         if self.metrics is not None or self.profiler is not None:
             self._record(database_id, "admitted")
-        return True, ""
+        return True, None
+
+    def recheck(self, database_id: str, queue_depth: int) -> Optional[ShedReason]:
+        """Re-judge an *already admitted* request about to be re-queued.
+
+        The crash-requeue path: the RPC holds its admission slot, so only
+        the queue-depth gate applies — under pressure a crashed request is
+        shed rather than silently re-inserted ahead of the gate.
+        """
+        adaptive = self.adaptive
+        depth_limit = (
+            self.config.shed_queue_depth if adaptive is None else adaptive.limit
+        )
+        if queue_depth >= depth_limit:
+            self.shed += 1
+            self._record(database_id, "queue_depth")
+            return ShedReason.QUEUE_DEPTH
+        return None
+
+    def record_decision(self, database_id: str, reason: ShedReason) -> None:
+        """Ledger a shed decided outside this controller (breaker, CoDel).
+
+        Keeps every shed cause on the one ``admission_decisions`` metric so
+        the dashboard splits them on a single label.
+        """
+        self.shed += 1
+        self._record(database_id, reason.value)
 
     def _record(self, database_id: str, outcome: str) -> None:
         if self.metrics is not None:

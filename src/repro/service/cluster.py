@@ -23,6 +23,13 @@ from repro.sim.rand import SimRandom
 from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.autoscaler import Autoscaler, AutoscalerConfig
 from repro.service.billing import BillingLedger
+from repro.service.overload import (
+    BreakerBoard,
+    OverloadConfig,
+    OverloadState,
+    QueueDiscipline,
+    ShedReason,
+)
 from repro.service.pool import TaskPool
 from repro.service.rpc import DEFAULT_CPU_COST_US, Rpc, RpcKind
 
@@ -46,6 +53,10 @@ class ClusterConfig:
     autoscale_backend: bool = True
     autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: graceful-degradation layer (adaptive admission, CoDel shedding,
+    #: breakers, hedged reads); ``enabled=False`` keeps the serving path
+    #: byte-identical to a cluster without it
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     seed: int = 0
 
 
@@ -133,11 +144,61 @@ class ServingCluster:
         #: global routing: register databases' home regions to price the
         #: client -> region network hop per request (section IV-A)
         self.router = GlobalRouter(metrics=metrics)
+        #: graceful-degradation state (repro.service.overload); None when
+        #: the layer is disabled so the hot path pays nothing for it
+        self.overload: Optional[OverloadState] = None
+        overload_config = self.config.overload
+        if overload_config.enabled:
+            self.overload = OverloadState(
+                overload_config,
+                metrics=metrics,
+                profiler=self.profiler if self.profiler else None,
+            )
+            # the limiter's AIMD limit replaces the static shed_queue_depth
+            self.admission.adaptive = self.overload.limiter
+            self.admission.batch_admit_fraction = (
+                overload_config.batch_admit_fraction
+            )
+            self.backend_pool.overload = QueueDiscipline(
+                overload_config, self.overload.limiter
+            )
+            self.backend_pool.shed_hook = self._codel_shed
+            self.backend_pool.readmit = self._readmit
+            if overload_config.breakers_enabled:
+                self.router.breakers = BreakerBoard(
+                    overload_config, metrics=metrics
+                )
         # the section-VI emergency tool: databases routed to their own pool
         self._isolated_pools: dict[str, TaskPool] = {}
         self._isolated_autoscalers: dict[str, Autoscaler] = {}
         self.completed = 0
         self.rejected = 0
+
+    def _codel_shed(self, rpc: Rpc) -> None:
+        """Backend-pool hook: queue-deadline (CoDel) shed of one RPC."""
+        self.admission.record_decision(rpc.database_id, ShedReason.DEADLINE)
+        rpc.retry_after_us = self.overload.retry_after_us()
+        rpc.reject(ShedReason.DEADLINE.message)
+
+    def _readmit(self, rpc: Rpc) -> bool:
+        """Backend-pool hook: re-judge a crashed RPC before re-queueing."""
+        reason = self.admission.recheck(
+            rpc.database_id, self.backend_pool.scheduler.pending
+        )
+        if reason is None:
+            return True
+        rpc.retry_after_us = self.overload.retry_after_us()
+        rpc.reject(reason.message)
+        return False
+
+    def retry_after_hint_us(self) -> int:
+        """The server-driven backoff hint for shed traffic (0 = none).
+
+        Clients that honor it retry after the standing queue has had a
+        chance to drain instead of on their own fixed schedule.
+        """
+        overload = self.overload
+        return 0 if overload is None else overload.retry_after_us()
 
     def _make_scheduler(self, fair: bool) -> FairShareScheduler:
         scheduler = FairShareScheduler(
@@ -216,10 +277,24 @@ class ServingCluster:
                 component="cluster",
                 attributes={"database_id": database_id, "operation": operation},
             )
-        admitted, reason = self.admission.try_admit(
-            database_id, self.backend_pool.scheduler.pending, memory_bytes
-        )
-        if not admitted:
+        overload = self.overload
+        if (
+            overload is not None
+            and self.router.breakers is not None
+            and not self.router.breaker_allows(database_id, arrival)
+        ):
+            # fast-fail at the door: the (database, region) breaker is
+            # open, so queueing more doomed work only deepens the hole
+            self.admission.record_decision(database_id, ShedReason.BREAKER)
+            reason = ShedReason.BREAKER
+        else:
+            admitted, reason = self.admission.try_admit(
+                database_id,
+                self.backend_pool.scheduler.pending,
+                memory_bytes,
+                latency_sensitive,
+            )
+        if reason is not None:
             self.rejected += 1
             if self.metrics is not None:
                 self.metrics.counter(
@@ -230,13 +305,14 @@ class ServingCluster:
             if self.slo:
                 self.slo.record("request", self.kernel.now_us, False)
             if root is not None:
-                root.set_attribute("rejected", reason)
+                root.set_attribute("rejected", reason.value)
                 root.end()
             if on_reject is not None:
-                on_reject(reason)
+                on_reject(reason.message)
             return False
 
         cost = cpu_cost_us if cpu_cost_us is not None else DEFAULT_CPU_COST_US[kind]
+        hedge_primary = None
         if staleness_bound_us is not None and kind in (RpcKind.GET, RpcKind.QUERY):
             # bounded-staleness read: the chosen replica serves it from
             # local state — no leader quorum round trip on the read path
@@ -248,6 +324,7 @@ class ServingCluster:
             serving_region, _read_ts = self.router.route_read(
                 database_id, reader, staleness_bound_us
             )
+            hedge_primary = serving_region
             storage_us = self.latency.local_read_us(self.rand)
             network_us = 2 * self.router.pair_latency_us(reader, serving_region)
         elif client_region is not None:
@@ -257,10 +334,20 @@ class ServingCluster:
             storage_us = self._storage_latency(kind, commit_participants)
             network_us = 2 * self.latency.rpc_us(self.rand)  # same-region client
         trace_ctx = root.context if root is not None else None
+        # first-terminal-outcome-wins guard, shared by the primary path,
+        # its failure paths, and a hedged backup read (None = layer off)
+        settled = [False] if overload is not None else None
 
         def fail(reason: str) -> None:
             # shared failure path for drops and expired deadlines: the
             # admission slot is returned, the caller hears why
+            if settled is not None:
+                if settled[0]:
+                    return
+                settled[0] = True
+                self.router.record_outcome(
+                    database_id, False, clock._now_us
+                )
             self.admission.release(database_id, memory_bytes)
             if self.metrics is not None:
                 self.metrics.counter(
@@ -293,22 +380,21 @@ class ServingCluster:
         else:
             bill_op = None
 
-        def backend_done(rpc: Rpc, latency_us: int) -> None:
+        def settle_success(total_us: int, net_us: int, store_us: int) -> None:
             self.admission.release(database_id, memory_bytes)
             self.completed += 1
             if bill_op is not None:
                 bill_op(database_id)
-            total_us = network_us + frontend_cost + latency_us
             now = clock._now_us
             if self._profiler_on:
                 # wire and storage time are busy time spent elsewhere on
                 # this request's behalf — attributed so the flame adds up
                 self.profiler.account(
-                    "network", f"wire.{operation}", network_us, database_id
+                    "network", f"wire.{operation}", net_us, database_id
                 )
-                if storage_us:
+                if store_us:
                     self.profiler.account(
-                        "spanner", f"storage.{operation}", storage_us, database_id
+                        "spanner", f"storage.{operation}", store_us, database_id
                     )
             if self.slo:
                 self.slo.record("request", now, True)
@@ -328,12 +414,97 @@ class ServingCluster:
                 root.set_attributes(
                     {
                         "latency_us": total_us,
-                        "network_us": network_us,
-                        "storage_us": storage_us,
+                        "network_us": net_us,
+                        "storage_us": store_us,
                     }
                 )
                 root.end()
             on_complete(total_us)
+
+        def backend_done(rpc: Rpc, latency_us: int) -> None:
+            total_us = network_us + frontend_cost + latency_us
+            if settled is not None:
+                if settled[0]:
+                    # a hedge already answered: this is the losing arm
+                    overload.account_hedge("waste", database_id)
+                    return
+                settled[0] = True
+                self.router.record_outcome(database_id, True, clock._now_us)
+                if kind in _READ_KINDS:
+                    overload.read_latency.observe(total_us)
+                    overload.hedges.on_read()
+            settle_success(total_us, network_us, storage_us)
+
+        hedging = (
+            settled is not None
+            and overload.config.hedge_enabled
+            and kind in (RpcKind.GET, RpcKind.QUERY)
+        )
+        if hedging:
+            hedge_net = [0]
+
+            def hedge_done(rpc: Rpc, latency_us: int) -> None:
+                if settled[0]:
+                    overload.account_hedge("waste", database_id)
+                    return
+                settled[0] = True
+                overload.account_hedge("win", database_id)
+                self.router.record_outcome(database_id, True, clock._now_us)
+                total_us = (rpc.arrival_us - arrival) + latency_us + hedge_net[0]
+                overload.read_latency.observe(total_us)
+                overload.hedges.on_read()
+                settle_success(total_us, hedge_net[0], rpc.storage_latency_us)
+
+            def hedge_rejected(rpc: Rpc, reason: str) -> None:
+                # a failed hedge never fails the request — the primary is
+                # still in flight (or already settled it)
+                overload.account_hedge("waste", database_id)
+
+            def fire_hedge() -> None:
+                if settled[0]:
+                    return
+                now = clock._now_us
+                if deadline_us is not None and now >= deadline_us:
+                    return
+                reader = (
+                    client_region
+                    if client_region is not None
+                    else self.router.home_region(database_id)
+                )
+                region, _ts = self.router.route_read(
+                    database_id,
+                    reader,
+                    overload.config.hedge_staleness_bound_us,
+                )
+                primary = (
+                    hedge_primary
+                    if hedge_primary is not None
+                    else self.router.home_region(database_id)
+                )
+                if region == primary:
+                    # no distinct eligible follower: nothing to hedge to
+                    return
+                if not overload.hedges.try_spend():
+                    return
+                overload.account_hedge("fired", database_id)
+                hedge_net[0] = 2 * self.router.pair_latency_us(reader, region)
+                hedge_rpc = Rpc(
+                    database_id=database_id,
+                    kind=kind,
+                    cpu_cost_us=cost,
+                    arrival_us=now,
+                    storage_latency_us=self.latency.local_read_us(self.rand),
+                    latency_sensitive=latency_sensitive,
+                    deadline_us=deadline_us,
+                    on_complete=hedge_done,
+                    on_reject=hedge_rejected,
+                    trace_ctx=trace_ctx,
+                )
+                pool = self._isolated_pools.get(
+                    database_id, self.backend_pool
+                )
+                pool.scheduler.enqueue(hedge_rpc)
+                pool._dispatch()
 
         def frontend_done(rpc: Rpc, frontend_latency_us: int) -> None:
             if deadline_us is not None and clock._now_us >= deadline_us:
@@ -355,6 +526,12 @@ class ServingCluster:
             # inlined pool.submit: one fewer frame on the per-request path
             pool.scheduler.enqueue(backend_rpc)
             pool._dispatch()
+            if hedging and self.router.has_replicas(database_id):
+                # the backup read fires if the primary has not answered
+                # within its p99 budget; first terminal outcome wins
+                self.kernel.after(
+                    overload.hedge_after_us(), fire_hedge, label="hedge-read"
+                )
 
         frontend_cost = 50  # routing + session bookkeeping
         frontend_rpc = Rpc(

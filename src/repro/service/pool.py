@@ -70,6 +70,16 @@ class TaskPool:
         self._exec_span_name = f"{name}.exec"
         self._tasks = [_Task(i) for i in range(initial_tasks)]
         self._next_task_id = initial_tasks
+        #: optional :class:`repro.service.overload.QueueDiscipline` — when
+        #: set, dispatch feeds queue waits to its adaptive limiter and
+        #: sheds RPCs whose sojourn blew the CoDel target
+        self.overload = None
+        #: cluster callback invoked for each CoDel-shed RPC (ledger the
+        #: decision, stamp the backoff hint, reject); set with ``overload``
+        self.shed_hook = None
+        #: optional re-admission gate for the crash-requeue path; returns
+        #: True to re-enqueue, False when it shed (and rejected) the RPC
+        self.readmit = None
         # utilization accounting
         self._busy_us_accum = 0.0
         self._accounted_until = kernel.now_us
@@ -133,7 +143,12 @@ class TaskPool:
             if rpc is not None:
                 victim.current_event.cancel()
                 if requeue:
-                    self.scheduler.enqueue(rpc)
+                    # the RPC still holds its admission slot, but the
+                    # queue may have filled since: re-check before
+                    # re-inserting (the readmit hook rejects on shed)
+                    readmit = self.readmit
+                    if readmit is None or readmit(rpc):
+                        self.scheduler.enqueue(rpc)
                 else:
                     rpc.reject("task crashed")
             tasks.append(_Task(self._next_task_id))
@@ -178,6 +193,7 @@ class TaskPool:
         metrics = self.metrics
         speedup = self.speedup
         pick = scheduler.pick
+        overload = self.overload
         while True:
             rpc = pick()
             if rpc is None:
@@ -191,6 +207,15 @@ class TaskPool:
                     ).inc()
                 rpc.reject("deadline exceeded in queue")
                 continue
+            if overload is not None:
+                sojourn = now - rpc.arrival_us
+                overload.observe(sojourn, now)
+                if overload.should_shed(sojourn, now, rpc.latency_sensitive):
+                    # queue-deadline shedding: sojourn blew the CoDel
+                    # target, drain the standing queue instead of serving
+                    # stale work (the hook ledgers and rejects)
+                    self.shed_hook(rpc)
+                    continue
             cost = rpc.cpu_cost_us
             service_us = max(1, round(cost / speedup)) if speedup != 1.0 else cost
             finish = now + service_us

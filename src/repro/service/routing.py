@@ -38,6 +38,9 @@ class GlobalRouter:
 
     latencies: dict[tuple[str, str], int] = field(default_factory=region_matrix)
     metrics: Optional[object] = None
+    #: optional :class:`repro.service.overload.BreakerBoard` — circuit
+    #: breakers keyed (database, region); requests consult it at the door
+    breakers: Optional[object] = None
     _homes: dict[str, str] = field(default_factory=dict)
     _replicas: dict[str, object] = field(default_factory=dict)
 
@@ -54,6 +57,10 @@ class GlobalRouter:
         self._replicas[database_id] = group
         self._homes.setdefault(database_id, group.leader_region)
 
+    def has_replicas(self, database_id: str) -> bool:
+        """Whether a ReplicaGroup is attached (hedged reads need one)."""
+        return database_id in self._replicas
+
     def home_region(self, database_id: str) -> str:
         """The region a database lives in.
 
@@ -68,6 +75,25 @@ class GlobalRouter:
                 self.metrics.counter("routing.unknown_database").inc()
             raise NotFound(f"unrouted database {database_id!r}")
         return region
+
+    def breaker_allows(self, database_id: str, now_us: int) -> bool:
+        """Circuit-breaker verdict for the database's serving region.
+
+        True with no board attached (breakers are opt-in) or while the
+        (database, region) breaker is closed / probing half-open.
+        """
+        board = self.breakers
+        if board is None:
+            return True
+        region = self._homes.get(database_id, "local")
+        return board.allow(database_id, region, now_us)
+
+    def record_outcome(self, database_id: str, ok: bool, now_us: int) -> None:
+        """Feed a downstream outcome to the (database, region) breaker."""
+        board = self.breakers
+        if board is not None:
+            region = self._homes.get(database_id, "local")
+            board.record(database_id, region, ok, now_us)
 
     def pair_latency_us(self, a: str, b: str) -> int:
         """One-way latency between two regions, from the shared matrix."""

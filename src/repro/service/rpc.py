@@ -59,6 +59,10 @@ class Rpc:
     - ``trace_ctx``: trace context propagated across the serving hops
       (repro.obs); None on untraced requests, so tracing stays
       zero-cost when off
+    - ``retry_after_us``: server-driven backoff hint stamped onto the
+      envelope when the request is shed; carried back to the client so
+      ``call_with_retry`` paces its next attempt to the server's queue
+      instead of its own guess
     """
 
     __slots__ = (
@@ -73,6 +77,7 @@ class Rpc:
         "on_reject",
         "trace_ctx",
         "rpc_id",
+        "retry_after_us",
     )
 
     def __init__(
@@ -101,6 +106,7 @@ class Rpc:
         self.on_reject = on_reject
         self.trace_ctx = trace_ctx
         self.rpc_id = next(_rpc_ids)
+        self.retry_after_us: Optional[int] = None
 
     def __repr__(self) -> str:
         return (

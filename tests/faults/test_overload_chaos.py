@@ -1,0 +1,73 @@
+"""The overload chaos scenarios: storms, retry feedback, metastability.
+
+These are the checked demonstrations of the graceful-degradation layer
+(:mod:`repro.service.overload`): a 10x load surge sheds fairly and
+recovers, a fault-injected error burst trips circuit breakers without a
+retry storm, and the metastable contrast — the same fleet collapses
+without budgets + adaptive admission and recovers with them.
+"""
+
+from repro.faults.chaos import metastable_run, replay_digest, run_chaos
+
+
+def test_overload_storm_recovers_goodput():
+    run = run_chaos("overload-storm", seed=1, mix="none")
+    assert run.ok, (run.violations, run.extra.get("overload_slo"))
+    fleet = run.extra["fleet"]
+    assert run.extra["recovered"]
+    assert fleet["recovery_ratio"] >= 0.9
+    # the surge actually bit: the door shed work and the limit stepped down
+    assert fleet["door_sheds"] > 0
+    assert fleet["limit_decreases"] > 0
+    # hedges fired against the follower stub without becoming overload
+    assert fleet["hedges_fired"] > 0
+    verdicts = run.extra["overload_slo"]
+    assert all(v["ok"] for v in verdicts.values()), verdicts
+
+
+def test_overload_storm_sheds_fairly_across_tenants():
+    run = run_chaos("overload-storm", seed=2, mix="none")
+    assert run.extra["overload_slo"]["overload.shed_fairness"]["ok"]
+    # zero consistency violations across the storm + functional sidecar
+    assert not run.violations
+    assert run.exactly_once
+
+
+def test_retry_storm_trips_breakers_and_recovers():
+    run = run_chaos("retry-storm", seed=1, mix="none")
+    assert run.ok, (run.violations, run.extra.get("overload_slo"))
+    fleet = run.extra["fleet"]
+    assert run.extra["breaker_tripped"]
+    assert fleet["breaker_opens"] > 0
+    # the budget bounded the retry amplification during the burst
+    assert fleet["budget_exhausted"] > 0
+    assert run.extra["recovered"]
+
+
+def test_metastable_contrast_is_the_paper_demonstration():
+    run = run_chaos("metastable", seed=1, mix="none")
+    assert run.ok, (run.violations, run.extra.get("overload_slo"))
+    resilient = run.extra["resilient"]
+    fragile = run.extra["fragile"]
+    # budgets + adaptive admission: goodput back above 90% of baseline
+    assert run.extra["recovered"]
+    assert resilient["recovery_ratio"] >= 0.9
+    # no budgets, no deadlines, static shed depth: the trigger clears but
+    # sustaining retry feedback keeps the fleet collapsed below 50%
+    assert run.extra["collapsed"]
+    assert fragile["recovery_ratio"] < 0.5
+    # both arms saw the same offered load until the surge
+    assert fragile["baseline_per_s"] > 0
+
+
+def test_metastable_run_exposes_both_arms_for_the_gate():
+    resilient = metastable_run(seed=1, resilient=True)
+    fragile = metastable_run(seed=1, resilient=False)
+    assert resilient["arm"] == "resilient"
+    assert fragile["arm"] == "fragile"
+    assert resilient["recovery_ratio"] > fragile["recovery_ratio"]
+    assert "latencies" not in resilient  # summaries stay JSON-small
+
+
+def test_overload_scenarios_replay_byte_identical():
+    replay_digest("retry-storm", 5, "none")  # raises on divergence

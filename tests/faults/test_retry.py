@@ -17,6 +17,7 @@ from repro.errors import (
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import (
     DEFAULT_POLICY,
+    RetryBudget,
     RetryPolicy,
     call_with_retry,
     commit_with_retry,
@@ -146,7 +147,7 @@ def test_attempts_exhausted_raises_the_last_error():
 def test_backoff_never_overruns_the_deadline():
     clock = SimClock()
     op = Flaky(99, Unavailable("down"))
-    with pytest.raises(DeadlineExceeded, match="retry budget exhausted"):
+    with pytest.raises(DeadlineExceeded, match="would overrun the deadline"):
         call_with_retry(
             op,
             clock=clock,
@@ -216,3 +217,125 @@ def test_distinct_tokens_apply_independently():
     db.commit([set_op("docs/a", {"n": increment(1)})], idempotency_token="t1")
     db.commit([set_op("docs/a", {"n": increment(1)})], idempotency_token="t2")
     assert db.lookup("docs/a").data == {"n": 2}
+
+
+# -- retry budgets: bounded amplification under sustained failure ------------
+
+
+def test_budget_earns_on_success_and_spends_on_retry():
+    budget = RetryBudget(max_tokens=2.0, ratio=0.5)
+    assert budget.tokens == 2.0  # starts full
+    assert budget.try_spend()
+    assert budget.try_spend()
+    assert not budget.try_spend()  # dry
+    assert budget.exhausted == 1
+    for _ in range(10):
+        budget.on_success()
+    assert budget.tokens == 2.0  # capped at max_tokens
+
+
+def test_budget_dry_stops_retrying_and_counts():
+    metrics = MetricsRegistry()
+    budget = RetryBudget(max_tokens=2.0, ratio=0.1)
+    op = Flaky(99, Unavailable("down"))
+    with pytest.raises(Unavailable):
+        call_with_retry(
+            op,
+            clock=SimClock(),
+            rand=retry_stream("t"),
+            metrics=metrics,
+            budget=budget,
+        )
+    # two retries spent the bucket; the third was suppressed
+    assert op.calls == 3
+    assert budget.exhausted == 1
+    snapshot = metrics.to_dict()
+    assert snapshot["faults_retry_budget_exhausted"][0]["value"] == 1
+
+
+def test_budget_success_refills_across_calls():
+    budget = RetryBudget(max_tokens=1.0, ratio=1.0)
+    assert budget.try_spend()  # drain the bucket
+    op = Flaky(0, None)
+    assert call_with_retry(op, rand=retry_stream("t"), budget=budget) == "ok"
+    assert budget.tokens == 1.0  # the success earned a whole token back
+    assert budget.try_spend()
+
+
+# -- server-driven backoff hints ---------------------------------------------
+
+
+def test_server_hint_raises_the_pause():
+    clock = SimClock()
+    error = Unavailable("shed")
+    error.retry_after_us = 400_000
+    op = Flaky(1, error)
+    policy = RetryPolicy(initial_backoff_us=1_000, jitter=0.0)
+    assert call_with_retry(
+        op, policy=policy, clock=clock, rand=retry_stream("t")
+    ) == "ok"
+    assert clock.now_us == 400_000  # the hint overrode the 1ms schedule
+
+
+def test_server_hint_below_schedule_is_ignored():
+    clock = SimClock()
+    error = Unavailable("shed")
+    error.retry_after_us = 10
+    op = Flaky(1, error)
+    policy = RetryPolicy(initial_backoff_us=50_000, jitter=0.0)
+    assert call_with_retry(
+        op, policy=policy, clock=clock, rand=retry_stream("t")
+    ) == "ok"
+    assert clock.now_us == 50_000
+
+
+# -- deadline expiry racing a queued backoff timer ---------------------------
+
+
+class CoalescingClock(SimClock):
+    """A clock whose sleeps overshoot, like a coalesced backoff timer."""
+
+    __slots__ = ("slop_us",)
+
+    def __init__(self, slop_us):
+        super().__init__()
+        self.slop_us = slop_us
+
+    def advance(self, delta_us):
+        return super().advance(delta_us + self.slop_us)
+
+
+def test_backoff_timer_firing_after_deadline_is_terminal():
+    # the pre-backoff check passes (now + pause < deadline), but the
+    # timer fires late and lands past the absolute deadline: the race
+    # must surface terminal DeadlineExceeded, never another attempt
+    clock = CoalescingClock(slop_us=6_000)
+    op = Flaky(99, Unavailable("down"))
+    policy = RetryPolicy(initial_backoff_us=5_000, jitter=0.0)
+    with pytest.raises(DeadlineExceeded, match="during retry backoff"):
+        call_with_retry(
+            op,
+            policy=policy,
+            clock=clock,
+            rand=retry_stream("t"),
+            deadline_us=10_000,
+        )
+    assert op.calls == 1  # no attempt ran past the deadline
+    assert clock.now_us == 11_000  # the overshooting sleep, nothing more
+
+
+def test_on_time_timer_still_retries():
+    clock = CoalescingClock(slop_us=0)
+    op = Flaky(1, Unavailable("down"))
+    policy = RetryPolicy(initial_backoff_us=5_000, jitter=0.0)
+    assert (
+        call_with_retry(
+            op,
+            policy=policy,
+            clock=clock,
+            rand=retry_stream("t"),
+            deadline_us=10_000,
+        )
+        == "ok"
+    )
+    assert op.calls == 2

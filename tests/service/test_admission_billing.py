@@ -6,6 +6,7 @@ from repro.service.admission import (
     AdmissionController,
     CONFORMING_BASE_QPS,
 )
+from repro.service.overload import ShedReason
 from repro.service.billing import MICROS_PER_DAY, BillingLedger, FreeQuota
 
 
@@ -13,7 +14,7 @@ class TestAdmission:
     def test_admits_normally(self):
         controller = AdmissionController(SimClock())
         admitted, reason = controller.try_admit("db", queue_depth=0)
-        assert admitted and reason == ""
+        assert admitted and reason is None
         assert controller.inflight("db") == 1
         controller.release("db")
         assert controller.inflight("db") == 0
@@ -23,7 +24,7 @@ class TestAdmission:
             SimClock(), AdmissionConfig(shed_queue_depth=10)
         )
         admitted, reason = controller.try_admit("db", queue_depth=10)
-        assert not admitted and reason == "load shed"
+        assert not admitted and reason is ShedReason.QUEUE_DEPTH
         assert controller.shed == 1
 
     def test_per_database_inflight_limit(self):
@@ -34,7 +35,8 @@ class TestAdmission:
         assert controller.try_admit("bad", 0)[0]
         assert controller.try_admit("bad", 0)[0]
         admitted, reason = controller.try_admit("bad", 0)
-        assert not admitted and "in-flight" in reason
+        assert not admitted and reason is ShedReason.INFLIGHT
+        assert "in-flight" in reason.message
         # unlimited databases are unaffected
         assert controller.try_admit("good", 0)[0]
 

@@ -6,6 +6,7 @@ import pytest
 from repro.sim.clock import SimClock
 from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.cluster import ClusterConfig, ServingCluster
+from repro.service.overload import ShedReason
 from repro.service.rpc import RpcKind
 
 
@@ -40,7 +41,7 @@ class TestSelectiveRejection:
         assert controller.try_admit("hog", 0, memory_bytes=900)[0]
         # the hog's next request would breach the limit: rejected
         admitted, reason = controller.try_admit("hog", 0, memory_bytes=300)
-        assert not admitted and reason == "memory pressure"
+        assert not admitted and reason is ShedReason.MEMORY
         assert controller.memory_rejected == 1
 
     def test_small_consumers_unaffected_under_pressure(self, controller):
@@ -92,7 +93,7 @@ class TestClusterIntegration:
             )
             admitted += ok
         assert admitted == 2  # third request would exceed 10MB
-        assert reasons.count("memory pressure") == 3
+        assert reasons.count(ShedReason.MEMORY.message) == 3
         cluster.kernel.run_for(10_000_000)
         # after the queries finish, memory is released and traffic flows
         assert cluster.submit(

@@ -1,0 +1,381 @@
+"""The graceful-degradation layer: AIMD limits, CoDel, breakers, hedges."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.overload import (
+    AdaptiveLimit,
+    BreakerBoard,
+    CircuitBreaker,
+    CodelShedder,
+    HedgeThrottle,
+    OverloadConfig,
+    OverloadState,
+    QueueDiscipline,
+    ReadLatencyTracker,
+    ShedReason,
+)
+from repro.sim.clock import SimClock
+
+
+def config(**overrides):
+    return OverloadConfig(enabled=True, **overrides)
+
+
+# -- shed reasons ------------------------------------------------------------
+
+
+def test_shed_reasons_have_distinct_labels_and_messages():
+    labels = {reason.value for reason in ShedReason}
+    messages = {reason.message for reason in ShedReason}
+    assert len(labels) == len(ShedReason)
+    assert len(messages) == len(ShedReason)
+    assert ShedReason.BREAKER.message == "load shed: circuit breaker open"
+
+
+# -- adaptive concurrency ----------------------------------------------------
+
+
+def test_limit_grows_additively_while_mean_wait_is_healthy():
+    limiter = AdaptiveLimit(
+        config(initial_limit=10, additive_increase=4, adjust_interval_us=1_000)
+    )
+    limiter.observe(queue_wait_us=5_000, now_us=500)
+    limiter.observe(queue_wait_us=5_000, now_us=1_000)  # closes the window
+    assert limiter.limit == 14
+    assert limiter.increases == 1
+
+
+def test_limit_cuts_multiplicatively_on_overshoot():
+    limiter = AdaptiveLimit(
+        config(
+            initial_limit=100,
+            multiplicative_decrease=0.7,
+            target_queue_delay_us=50_000,
+            adjust_interval_us=1_000,
+        )
+    )
+    limiter.observe(queue_wait_us=200_000, now_us=1_000)
+    assert limiter.limit == 70
+    assert limiter.decreases == 1
+    assert limiter.last_observed_us == 200_000
+
+
+def test_one_fast_tenant_cannot_mask_a_standing_queue():
+    # the fair-share trap: one short-queue tenant keeps landing ~0 waits
+    # while everyone else queues 200ms — the windowed *mean* still reads
+    # congested, so the limit cuts (a windowed min would read healthy)
+    limiter = AdaptiveLimit(
+        config(
+            initial_limit=100,
+            target_queue_delay_us=50_000,
+            adjust_interval_us=10_000,
+        )
+    )
+    for i in range(9):
+        limiter.observe(queue_wait_us=200_000, now_us=i * 1_000)
+    limiter.observe(queue_wait_us=0, now_us=10_000)  # the fast tenant
+    assert limiter.decreases == 1
+    assert limiter.limit == 70
+
+
+def test_codel_shed_forces_a_decrease_despite_healthy_mean():
+    limiter = AdaptiveLimit(
+        config(initial_limit=100, adjust_interval_us=1_000)
+    )
+    limiter.note_congested()
+    limiter.observe(queue_wait_us=0, now_us=1_000)  # mean is healthy
+    assert limiter.decreases == 1
+    # the flag resets with the window
+    limiter.observe(queue_wait_us=0, now_us=2_000)
+    assert limiter.increases == 1
+
+
+def test_limit_respects_min_and_max():
+    limiter = AdaptiveLimit(
+        config(
+            initial_limit=5,
+            min_limit=4,
+            max_limit=6,
+            adjust_interval_us=1_000,
+        )
+    )
+    limiter.observe(queue_wait_us=0, now_us=1_000)
+    limiter.observe(queue_wait_us=0, now_us=2_000)
+    assert limiter.limit == 6  # clamped at max
+    limiter.observe(queue_wait_us=10**9, now_us=3_000)
+    limiter.observe(queue_wait_us=10**9, now_us=4_000)
+    limiter.observe(queue_wait_us=10**9, now_us=5_000)
+    assert limiter.limit == 4  # clamped at min
+
+
+def test_retry_after_hint_tracks_observed_delay_and_clamps():
+    limiter = AdaptiveLimit(
+        config(
+            adjust_interval_us=1_000,
+            retry_after_min_us=20_000,
+            retry_after_max_us=100_000,
+        )
+    )
+    assert limiter.retry_after_us() == 20_000  # floor before any window
+    limiter.observe(queue_wait_us=30_000, now_us=1_000)
+    assert limiter.retry_after_us() == 60_000  # 2x the observed mean
+    limiter.observe(queue_wait_us=10**6, now_us=2_000)
+    assert limiter.retry_after_us() == 100_000  # ceiling
+
+
+# -- CoDel queue-deadline shedding -------------------------------------------
+
+
+def test_short_bursts_ride_through_untouched():
+    shedder = CodelShedder(target_us=100, interval_us=1_000)
+    assert not shedder.should_shed(sojourn_us=500, now_us=0)  # first above
+    assert not shedder.should_shed(sojourn_us=50, now_us=500)  # recovered
+    assert not shedder.should_shed(sojourn_us=500, now_us=900)
+    assert shedder.shed == 0
+
+
+def test_standing_queue_enters_dropping_after_a_full_interval():
+    shedder = CodelShedder(target_us=100, interval_us=1_000)
+    assert not shedder.should_shed(500, now_us=0)
+    assert not shedder.should_shed(500, now_us=999)
+    assert shedder.should_shed(500, now_us=1_000)
+    assert shedder.shed == 1
+
+
+def test_drop_rate_accelerates_by_inverse_sqrt():
+    shedder = CodelShedder(target_us=100, interval_us=1_000)
+    shedder.should_shed(500, 0)
+    assert shedder.should_shed(500, 1_000)  # enters dropping
+    assert not shedder.should_shed(500, 1_500)  # next drop not due yet
+    assert shedder.should_shed(500, 2_000)  # interval/sqrt(1) later
+    # interval/sqrt(2) ~= 707us after the second drop
+    assert not shedder.should_shed(500, 2_700)
+    assert shedder.should_shed(500, 2_707)
+    assert shedder.shed == 3
+
+
+def test_recovery_exits_the_dropping_state():
+    shedder = CodelShedder(target_us=100, interval_us=1_000)
+    shedder.should_shed(500, 0)
+    assert shedder.should_shed(500, 1_000)
+    assert not shedder.should_shed(50, 1_100)  # queue drained
+    # a fresh excursion starts a fresh interval, no immediate drop
+    assert not shedder.should_shed(500, 1_200)
+    assert not shedder.should_shed(500, 2_100)
+    assert shedder.should_shed(500, 2_200)
+
+
+def test_batch_tier_sheds_at_half_the_target():
+    discipline = QueueDiscipline(
+        config(codel_target_us=100, codel_interval_us=1_000)
+    )
+    # sojourn 60us: below the interactive target, above the batch one
+    assert not discipline.should_shed(60, 0, latency_sensitive=True)
+    assert not discipline.should_shed(60, 0, latency_sensitive=False)
+    assert not discipline.should_shed(60, 499, latency_sensitive=False)
+    assert discipline.should_shed(60, 500, latency_sensitive=False)
+    assert discipline.total_shed == 1
+    # the interactive tier never fired
+    assert discipline.interactive.shed == 0
+
+
+def test_codel_shed_notifies_the_limiter():
+    conf = config(codel_target_us=100, codel_interval_us=1_000)
+    limiter = AdaptiveLimit(conf)
+    discipline = QueueDiscipline(conf, limiter=limiter)
+    discipline.should_shed(500, 0, latency_sensitive=True)
+    assert not limiter._window_congested
+    discipline.should_shed(500, 1_000, latency_sensitive=True)  # sheds
+    assert limiter._window_congested
+
+
+# -- circuit breakers --------------------------------------------------------
+
+
+def make_breaker(**overrides):
+    defaults = dict(
+        failure_threshold=0.5, min_volume=4, window_us=1_000, cooldown_us=500
+    )
+    defaults.update(overrides)
+    return CircuitBreaker(**defaults)
+
+
+def test_breaker_stays_closed_below_min_volume():
+    breaker = make_breaker()
+    for _ in range(3):
+        breaker.record(ok=False, now_us=0)
+    assert breaker.state == "closed"
+    assert breaker.allow(0)
+
+
+def test_breaker_trips_at_the_failure_threshold():
+    breaker = make_breaker()
+    breaker.record(True, 0)
+    breaker.record(True, 0)
+    breaker.record(False, 0)
+    assert breaker.state == "closed"
+    breaker.record(False, 0)  # 2/4 failed = threshold
+    assert breaker.state == "open"
+    assert breaker.opens == 1
+    assert not breaker.allow(100)
+
+
+def test_half_open_probe_closes_on_success():
+    breaker = make_breaker()
+    for _ in range(4):
+        breaker.record(False, 0)
+    assert not breaker.allow(499)
+    assert breaker.allow(500)  # cooldown over: the probe
+    assert breaker.state == "half_open"
+    breaker.record(True, 600)
+    assert breaker.state == "closed"
+    assert breaker.allow(601)
+
+
+def test_half_open_probe_failure_reopens():
+    breaker = make_breaker()
+    for _ in range(4):
+        breaker.record(False, 0)
+    assert breaker.allow(500)
+    breaker.record(False, 600)
+    assert breaker.state == "open"
+    assert breaker.opens == 2
+    assert not breaker.allow(700)
+    assert breaker.allow(1_100)  # a second cooldown, a second probe
+
+
+def test_rolling_window_forgets_stale_outcomes():
+    # the same outcome mix trips when recent ...
+    recent = make_breaker(window_us=1_000)
+    recent.record(False, 0)
+    recent.record(False, 0)
+    recent.record(True, 100)
+    recent.record(False, 200)  # 3 bad / 4 total
+    assert recent.state == "open"
+    # ... but not once the early failures are two windows old
+    aged = make_breaker(window_us=1_000)
+    aged.record(False, 0)
+    aged.record(False, 0)
+    aged.record(True, 2_000)  # rolls once: failures move to prev window
+    aged.record(True, 3_500)  # rolls again: failures age out entirely
+    aged.record(True, 3_600)
+    aged.record(False, 3_700)  # 1 bad / 4 judged
+    assert aged.state == "closed"
+
+
+def test_board_keys_breakers_by_database_and_region():
+    metrics = MetricsRegistry()
+    board = BreakerBoard(
+        config(breaker_min_volume=2, breaker_failure_threshold=0.5),
+        metrics=metrics,
+    )
+    board.record("db-a", "us-east", False, 0)
+    board.record("db-a", "us-east", False, 0)
+    assert not board.allow("db-a", "us-east", 100)
+    assert board.allow("db-a", "us-west", 100)  # different region
+    assert board.allow("db-b", "us-east", 100)  # different database
+    assert board.total_opens() == 1
+    opens = metrics.to_dict()["overload_breaker_opens"]
+    assert opens[0]["labels"] == {"database_id": "db-a", "region": "us-east"}
+
+
+# -- hedged reads ------------------------------------------------------------
+
+
+def test_latency_tracker_estimates_p99():
+    tracker = ReadLatencyTracker()
+    assert tracker.p99_us() == -1
+    for latency in range(1, 101):
+        tracker.observe(latency * 1_000)
+    assert tracker.p99_us() == 100_000
+
+
+def test_latency_tracker_ring_forgets_old_samples():
+    tracker = ReadLatencyTracker()
+    for _ in range(ReadLatencyTracker.RING):
+        tracker.observe(10**6)
+    for _ in range(ReadLatencyTracker.RING):
+        tracker.observe(1_000)
+    assert tracker.p99_us() == 1_000
+
+
+def test_hedge_throttle_caps_hedges_to_a_fraction_of_reads():
+    throttle = HedgeThrottle(ratio=0.5, burst=1.0)
+    assert throttle.try_spend()  # starts with the burst
+    assert not throttle.try_spend()
+    assert throttle.denied == 1
+    throttle.on_read()
+    assert not throttle.try_spend()  # 0.5 tokens: still short
+    throttle.on_read()
+    assert throttle.try_spend()  # two reads earned one hedge
+
+
+def test_hedge_delay_uses_default_then_p99_with_a_floor():
+    state = OverloadState(
+        config(hedge_default_delay_us=100_000, hedge_min_delay_us=20_000)
+    )
+    assert state.hedge_after_us() == 100_000  # no samples yet
+    for _ in range(64):
+        state.read_latency.observe(5_000)
+    assert state.hedge_after_us() == 20_000  # floored
+    for _ in range(ReadLatencyTracker.RING):
+        state.read_latency.observe(75_000)
+    assert state.hedge_after_us() == 75_000  # live p99
+
+
+def test_hedge_accounting_splits_outcomes():
+    metrics = MetricsRegistry()
+    state = OverloadState(config(), metrics=metrics)
+    state.account_hedge("fired", "db")
+    state.account_hedge("win", "db")
+    state.account_hedge("waste", "db")
+    assert (state.hedges_fired, state.hedge_wins, state.hedge_waste) == (
+        1,
+        1,
+        1,
+    )
+    outcomes = {
+        entry["labels"]["outcome"]
+        for entry in metrics.to_dict()["overload_hedges"]
+    }
+    assert outcomes == {"fired", "win", "waste"}
+
+
+# -- admission integration ---------------------------------------------------
+
+
+def make_admission(limiter):
+    controller = AdmissionController(SimClock(), AdmissionConfig())
+    controller.adaptive = limiter
+    controller.batch_admit_fraction = 0.5
+    return controller
+
+
+def test_admission_uses_the_adaptive_limit():
+    limiter = AdaptiveLimit(config(initial_limit=10))
+    controller = make_admission(limiter)
+    assert controller.try_admit("db", queue_depth=9)[0]
+    admitted, reason = controller.try_admit("db", queue_depth=10)
+    assert not admitted and reason is ShedReason.QUEUE_DEPTH
+
+
+def test_batch_traffic_sheds_at_the_admit_fraction():
+    limiter = AdaptiveLimit(config(initial_limit=10))
+    controller = make_admission(limiter)
+    admitted, reason = controller.try_admit(
+        "db", queue_depth=5, latency_sensitive=False
+    )
+    assert not admitted and reason is ShedReason.QUEUE_DEPTH
+    # the same depth is fine for user-facing traffic
+    assert controller.try_admit("db", queue_depth=5)[0]
+
+
+def test_crash_requeue_recheck_honors_the_live_limit():
+    limiter = AdaptiveLimit(config(initial_limit=10, adjust_interval_us=1_000))
+    controller = make_admission(limiter)
+    assert controller.recheck("db", queue_depth=9) is None
+    # the limit cut after this request was first admitted
+    limiter.observe(queue_wait_us=10**6, now_us=1_000)
+    assert limiter.limit == 7
+    assert controller.recheck("db", queue_depth=9) is ShedReason.QUEUE_DEPTH
+    assert controller.shed == 1
