@@ -81,7 +81,10 @@ from repro.analysis.reprolint import Diagnostic, ParsedModule
 LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     "sim": frozenset({"errors"}),
-    "obs": frozenset({"core", "errors", "service", "sim"}),
+    #: ``obs -> faults`` mirrors the spanner/analysis pairing: the
+    #: critpath CLI lazily drives chaos scenarios to produce the traces
+    #: it attributes, while ``faults`` lazily imports the analyzers.
+    "obs": frozenset({"core", "errors", "faults", "service", "sim"}),
     "analysis": frozenset({"errors", "obs", "sim", "spanner"}),
     "check": frozenset(
         {"core", "errors", "obs", "sim", "spanner", "workloads"}
@@ -132,7 +135,9 @@ DETERMINISM_ALLOWLIST = ("sim/",)
 
 #: Explicit-lifetime spans (start_span + end) are the pattern for the
 #: event-driven serving sim, where a span outlives any lexical scope.
-START_SPAN_ALLOWLIST = ("service/", "obs/")
+#: ``faults/chaos.py`` qualifies: its overload fleet is a kernel-driven
+#: state machine whose per-op root spans end in completion callbacks.
+START_SPAN_ALLOWLIST = ("service/", "obs/", "faults/chaos.py")
 
 BANNED_CALLS: dict[str, str] = {
     "time.time": "wall-clock read",
@@ -738,6 +743,103 @@ def check_perf_attribution(module: ParsedModule) -> list[Diagnostic]:
     return out
 
 
+# -- wait-cause coverage ------------------------------------------------------
+
+#: The blocking paths that must annotate their waits with a structured
+#: cause for the critical-path engine (``repro.obs.critpath``). Tail
+#: coverage is gated at >= 99% attributed; a refactor that drops one of
+#: these taps silently turns its time into ``unattributed`` and the
+#: gate fails far from the diff that caused it — this check makes the
+#: omission a lint failure instead. Keys are module rel-paths, values
+#: are ``Class.method`` or module-level function names that must
+#: reference the wait plumbing (``.wait(...)``, ``record_wait(...)``,
+#: or a ``wait_cause`` error hint).
+REQUIRED_WAIT_TAPS: dict[str, frozenset[str]] = {
+    "service/pool.py": frozenset({"TaskPool._make_completion"}),
+    "service/scheduler.py": frozenset(
+        {"FairShareScheduler._record_dispatch"}
+    ),
+    "service/cluster.py": frozenset({"ServingCluster.submit"}),
+    "service/overload.py": frozenset({"OverloadState.record_hedge_wait"}),
+    "faults/retry.py": frozenset({"call_with_retry"}),
+    "spanner/transaction.py": frozenset(
+        {
+            "_lock_abort",
+            "ReadWriteTransaction.read_versioned",
+            "ReadWriteTransaction.commit",
+        }
+    ),
+    "replication/group.py": frozenset(
+        {
+            "ReplicaGroup.precommit",
+            "ReplicaGroup.elect",
+            "ReplicaGroup.commit",
+        }
+    ),
+    "core/transaction.py": frozenset({"run_transaction"}),
+}
+
+_WAIT_TAP_NAMES = ("wait", "record_wait", "wait_cause")
+
+
+def _references_wait_tap(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr in _WAIT_TAP_NAMES:
+            return True
+        if isinstance(node, ast.Name) and node.id in _WAIT_TAP_NAMES:
+            return True
+    return False
+
+
+def check_wait_taps(module: ParsedModule) -> list[Diagnostic]:
+    """Blocking path lost its structured wait-cause annotation."""
+    required = REQUIRED_WAIT_TAPS.get(module.rel_path)
+    if not required:
+        return []
+    out = []
+    found: set[str] = set()
+
+    def visit(fn, qualname: str) -> None:
+        if qualname not in required:
+            return
+        found.add(qualname)
+        if not _references_wait_tap(fn):
+            out.append(
+                _diag(
+                    module,
+                    fn,
+                    "wait-tap",
+                    f"{qualname} must annotate its blocking interval with "
+                    "a structured wait cause (span.wait(...) / "
+                    "tracer.record_wait(...) / an error's wait_cause "
+                    "hint); without the tap repro.obs.critpath reports "
+                    "this time as 'unattributed' and the tail-coverage "
+                    "gate fails",
+                )
+            )
+
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit(node, node.name)
+        elif isinstance(node, ast.ClassDef):
+            for fn in node.body:
+                if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit(fn, f"{node.name}.{fn.name}")
+    for qualname in sorted(required - found):
+        first = module.tree.body[0] if module.tree.body else module.tree
+        out.append(
+            _diag(
+                module,
+                first,
+                "wait-tap",
+                f"expected wait-tapped path {qualname} was not found; "
+                "update REQUIRED_WAIT_TAPS in repro.analysis.checks if "
+                "the blocking path moved",
+            )
+        )
+    return out
+
+
 # -- trace hygiene ------------------------------------------------------------
 
 
@@ -838,6 +940,7 @@ CHECKS = {
     "error-boundary": check_error_boundary,
     "history-tap": check_history_tap,
     "perf-attribution": check_perf_attribution,
+    "wait-tap": check_wait_taps,
     "trace-span-context": check_trace_span_context,
     "fault-seeded": check_fault_seeded,
 }

@@ -24,6 +24,14 @@ class FirestoreError(ReproError):
     #: pause to at least the server's ask. None = no hint.
     retry_after_us = None
 
+    #: structured wait-cause hint (see ``repro.obs.tracer.WAIT_CAUSES``):
+    #: the raising subsystem names what the caller will actually be
+    #: waiting on during the retry backoff (e.g. replication sets
+    #: ``quorum_rtt`` on Unavailable), so critical-path attribution can
+    #: blame the backoff on its root cause rather than generic
+    #: ``retry_backoff``. None = no hint.
+    wait_cause = None
+
 
 class InvalidArgument(FirestoreError):
     """The request is malformed (bad path, bad query, oversized document)."""

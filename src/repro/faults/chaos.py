@@ -192,6 +192,40 @@ def _applied_tokens(database, tokens: list[str]) -> set[str]:
     return applied
 
 
+def _scenario_tracer(plan: FaultPlan, clock, seed: int):
+    """A scenario-owned Tracer when critical-path attribution was
+    requested (``run_chaos(..., trace=True)``), else ``None``.
+
+    Scenarios build their own services and clocks, so the tracer is
+    created here — bound to the scenario clock, id stream forked off a
+    dedicated name so tracing never perturbs workload randomness — and
+    installed on the plan so fault hooks can tag in-flight spans.
+    """
+    if not getattr(plan, "trace_requested", False):
+        return None
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer(clock, SimRandom(seed).fork("critpath-trace"))
+    plan.tracer = tracer
+    return tracer
+
+
+def _attach_critpath(run: ChaosRun, tracer) -> None:
+    """Run critical-path analysis over the scenario's trace and attach
+    the JSON-ready summary to ``run.extra["critpath"]``.
+
+    The summary rides inside :meth:`ChaosRun.to_dict`, so same-seed
+    byte-identity of the critpath artifact falls out of the existing
+    replay harness for free.
+    """
+    if tracer is None:
+        return
+    from repro.obs.critpath import analyze
+    from repro.obs.sampling import TailSampler
+
+    run.extra["critpath"] = analyze(tracer, sampler=TailSampler())
+
+
 def _drain(database, rand: SimRandom, pumps: int = 16) -> None:
     """Advance past the Accept-timeout horizon, pumping the RTC.
 
@@ -447,9 +481,20 @@ def _failover_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None
     from repro.core.values import increment
     from repro.errors import FirestoreError
 
+    from repro.obs.tracer import NULL_TRACER
+    from repro.sim.clock import SimClock
+
     rand = SimRandom(seed).fork("chaos-failover")
     jitter = retry_stream(f"chaos-failover:{seed}")
-    service = FirestoreService(multi_region=True)
+    sim_clock = SimClock()
+    tracer = _scenario_tracer(plan, sim_clock, seed)
+    if tracer is not None:
+        service = FirestoreService(
+            multi_region=True, clock=sim_clock, tracer=tracer
+        )
+    else:
+        service = FirestoreService(multi_region=True)
+    trace = tracer if tracer is not None else NULL_TRACER
     database = service.create_database("failover")
     install(plan, database)
     clock = service.clock
@@ -490,19 +535,23 @@ def _failover_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None
         ]
         run.attempted += 1
         start = clock.now_us
-        try:
-            commit_with_retry(
-                database,
-                writes,
-                token=token,
-                rand=jitter,
-                metrics=plan.metrics,
-            )
-        except FirestoreError:
-            run.failed += 1
-        else:
-            run.succeeded += 1
-            run.latencies_us.append(clock.now_us - start)
+        with trace.span(
+            "chaos.op",
+            attributes={"operation": "commit", "database_id": "failover"},
+        ):
+            try:
+                commit_with_retry(
+                    database,
+                    writes,
+                    token=token,
+                    rand=jitter,
+                    metrics=plan.metrics,
+                )
+            except FirestoreError:
+                run.failed += 1
+            else:
+                run.succeeded += 1
+                run.latencies_us.append(clock.now_us - start)
         group.catch_up()
         lag_samples.append(group.replication_lag_us())
         clock.advance(rand.randint(1_000, 8_000))
@@ -537,6 +586,7 @@ def _failover_chaos(plan: FaultPlan, seed: int, ops: int, run: ChaosRun) -> None
         "replication_lag_p99_us": percentile_or(lag_samples, 99),
         "lag_samples_us": lag_samples,
     }
+    _attach_critpath(run, tracer)
 
 
 # -- overload scenarios (paper section IV-C: graceful degradation) -----------
@@ -585,6 +635,7 @@ def _drive_overload_fleet(
     drop_burst: Optional[tuple[int, int, float]] = None,
     hedged: bool = False,
     slo: Optional[SloEngine] = None,
+    trace: bool = False,
 ) -> dict:
     """Drive the shared overload fleet entirely on the event kernel.
 
@@ -620,7 +671,21 @@ def _drive_overload_fleet(
         # that admitted work is always served, however stale it is by then
         overload_config = OverloadConfig(enabled=False)
         admission_config = AdmissionConfig(shed_queue_depth=5_000)
+    tracer = None
+    trace_kernel = None
+    if trace:
+        # critical-path attribution: the tracer shares the cluster's
+        # clock, so the kernel is built first and handed in
+        from repro.obs.tracer import Tracer
+        from repro.sim.events import EventKernel
+
+        trace_kernel = EventKernel()
+        tracer = Tracer(
+            trace_kernel.clock, SimRandom(seed).fork("critpath-trace")
+        )
     cluster = ServingCluster(
+        kernel=trace_kernel,
+        tracer=tracer,
         config=ClusterConfig(
             multi_region=False,
             frontend_tasks=2,
@@ -668,6 +733,15 @@ def _drive_overload_fleet(
         born = clock._now_us
         give_up_us = born + _OVERLOAD_PATIENCE_US
         state = [0, False]  # [attempts made, resolved]
+        op_span = (
+            tracer.start_span(
+                "chaos.op",
+                attributes={"operation": "get", "database_id": tenant},
+            )
+            if tracer is not None
+            else None
+        )
+        op_ctx = op_span.context if op_span is not None else None
 
         def resolve(success: bool) -> None:
             if state[1]:
@@ -675,6 +749,9 @@ def _drive_overload_fleet(
             state[1] = True
             open_ops[0] -= 1
             now = clock._now_us
+            if op_span is not None:
+                op_span.set_attribute("ok", success)
+                op_span.end()
             if success:
                 stats["succeeded"] += 1
                 success_times.append(now)
@@ -743,7 +820,25 @@ def _drive_overload_fleet(
                         pause = hint
                 else:
                     pause = 20_000
-                kernel.after(pause, attempt, label="overload-retry")
+                if tracer is None:
+                    kernel.after(pause, attempt, label="overload-retry")
+                else:
+                    # annotate the pause as a retry_backoff wait on the
+                    # op's root span when the retry actually fires (an
+                    # op resolved meanwhile never waited on it)
+                    paused_from = clock._now_us
+
+                    def paced_attempt() -> None:
+                        if not state[1]:
+                            tracer.record_wait(
+                                op_ctx,
+                                "retry_backoff",
+                                start_us=paused_from,
+                                end_us=clock._now_us,
+                            )
+                        attempt()
+
+                    kernel.after(pause, paced_attempt, label="overload-retry")
 
             cluster.submit(
                 tenant,
@@ -752,6 +847,7 @@ def _drive_overload_fleet(
                 cpu_cost_us=_OVERLOAD_CPU_COST_US,
                 on_reject=on_reject,
                 deadline_us=give_up_us if resilient else None,
+                trace_parent=op_ctx,
             )
             if not resilient:
                 kernel.after(
@@ -844,6 +940,8 @@ def _drive_overload_fleet(
             "latencies": latencies,
         }
     )
+    if tracer is not None:
+        stats["_tracer"] = tracer
     return stats
 
 
@@ -851,6 +949,7 @@ def _fleet_summary(fleet: dict) -> dict:
     """The ``extra``-block view of a fleet run (raw latencies dropped)."""
     summary = dict(fleet)
     summary.pop("latencies", None)
+    summary.pop("_tracer", None)
     return summary
 
 
@@ -977,6 +1076,7 @@ def _overload_storm_chaos(
         surge_duration_us=2_000_000,
         hedged=True,
         slo=engine,
+        trace=getattr(plan, "trace_requested", False),
     )
     run.latencies_us.extend(fleet["latencies"])
     run.attempted += fleet["attempted"]
@@ -991,6 +1091,7 @@ def _overload_storm_chaos(
         "overload_slo": verdicts,
         "sidecar": sidecar,
     }
+    _attach_critpath(run, fleet.get("_tracer"))
 
 
 def _retry_storm_chaos(
@@ -1140,12 +1241,23 @@ def run_chaos(
     ops: Optional[int] = None,
     metrics=None,
     tracer=None,
+    trace: bool = False,
 ) -> ChaosRun:
-    """One chaos run: recorded, checked, accounted."""
+    """One chaos run: recorded, checked, accounted.
+
+    With ``trace=True``, scenarios that support critical-path
+    attribution (``failover``, ``overload-storm``) build a clock-bound
+    tracer, annotate every blocking interval with its wait cause, and
+    attach the :mod:`repro.obs.critpath` summary to
+    ``run.extra["critpath"]``. Tracing is pure observation: it never
+    advances the clock or consumes workload randomness, so traced and
+    untraced runs see identical histories.
+    """
     builder, dflt = _lookup(scenario)
     if ops is None:
         ops = dflt
     plan = plan_for_mix(seed, mix, metrics=metrics, tracer=tracer)
+    plan.trace_requested = trace
     run = ChaosRun(scenario=scenario, seed=seed, mix=mix, ops=ops)
     with recording() as recorders:
         builder(plan, seed, ops, run)

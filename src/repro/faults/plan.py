@@ -178,6 +178,10 @@ class FaultPlan:
         self.rates = dict(rates) if rates else {}
         self.metrics = metrics
         self.tracer = tracer
+        #: set by ``run_chaos(..., trace=True)``: scenarios that support
+        #: critical-path attribution build a clock-bound Tracer, install
+        #: it here, and attach the critpath summary to ``run.extra``
+        self.trace_requested = False
         #: site -> number of faults injected there (for reports/tests)
         self.injected: dict[str, int] = {}
         #: ordered log of (site, detail) — the "fault plan artifact"

@@ -134,6 +134,22 @@ def retry_stream(label: str) -> SimRandom:
     return SimRandom(0).fork(f"retry:{label}")
 
 
+def backoff_wait_cause(error: Exception) -> str:
+    """The wait cause a retry backoff after ``error`` should carry.
+
+    Priority: an explicit ``wait_cause`` hint on the error (the raising
+    subsystem knows what the caller is really waiting on — replication
+    sets ``quorum_rtt``, lock conflicts set ``lock_wait``), then the
+    admission-control shed code, then generic ``retry_backoff``.
+    """
+    hint = getattr(error, "wait_cause", None)
+    if hint is not None:
+        return hint
+    if getattr(error, "code", None) == "RESOURCE_EXHAUSTED":
+        return "admission_shed_retry"
+    return "retry_backoff"
+
+
 def _deadline_error(reason: str, attempt: int, error: Exception):
     """Build the terminal deadline verdict for a retry loop.
 
@@ -155,6 +171,7 @@ def call_with_retry(
     deadline_us: Optional[int] = None,
     metrics=None,
     budget: Optional[RetryBudget] = None,
+    tracer=None,
 ):
     """Run ``operation()`` under ``policy``, backing off on retryables.
 
@@ -167,6 +184,11 @@ def call_with_retry(
     to at least the server's ask. If the clock lands past the absolute
     deadline after a backoff (timer coalescing, an overshooting sleep),
     the op surfaces terminal ``DeadlineExceeded`` — never another attempt.
+
+    When a ``tracer`` is given, every backoff that elapsed on the clock
+    is annotated as a wait on the innermost open span, with the cause
+    from :func:`backoff_wait_cause` — the raw material for critical-path
+    tail attribution (``repro.obs.critpath``).
     """
     stream = rand if rand is not None else SimRandom(0).fork("retry")
     retries_counter = backoff_counter = None
@@ -207,6 +229,15 @@ def call_with_retry(
                 backoff_counter.inc(pause)
             if clock is not None:
                 clock.advance(pause)
+                if tracer:
+                    span = tracer.current_span()
+                    if span is not None:
+                        span.wait(
+                            backoff_wait_cause(error),
+                            start_us=clock.now_us - pause,
+                            end_us=clock.now_us,
+                            detail=error.code,
+                        )
                 if deadline_us is not None and clock.now_us >= deadline_us:
                     # the backoff timer fired after the absolute deadline
                     # passed: terminal, never another attempt
@@ -243,6 +274,7 @@ def commit_with_retry(
     paper's "the write may or may not be applied" case made safe.
     """
     clock = database.layout.spanner.clock
+    tracer = getattr(database.layout.spanner, "tracer", None)
 
     def attempt():
         return database.commit(
@@ -261,4 +293,5 @@ def commit_with_retry(
         deadline_us=deadline_us,
         metrics=metrics,
         budget=budget,
+        tracer=tracer,
     )

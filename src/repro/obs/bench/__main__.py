@@ -14,7 +14,9 @@ so finding regressions exits 0 and a clean canary exits 1.
 
 Artifacts land in ``benchmarks/out`` (override with ``--out`` or
 ``REPRO_BENCH_DIR``): ``BENCH_gate_*.json`` payloads, the collapsed
-flamegraph stacks + SVG for the YCSB cell, and ``dashboard.html``.
+flamegraph stacks + SVG for the YCSB cell, the critical-path
+``CRITPATH_*.json`` + ``CRITPATH_*.svg`` for the tail cell, and
+``dashboard.html``.
 """
 
 from __future__ import annotations
@@ -153,6 +155,14 @@ def main(argv=None) -> int:
         flame_svg = ycsb_art["flamegraph_svg"]
         print(f"[gate]   wrote {out_dir / 'FLAME_gate_ycsb.svg'}")
         print(ycsb_art["profile_table"])
+
+    # the tail cell's artifacts are keyed by their output filename
+    # (CRITPATH_<scenario>.json / .svg) — write them through verbatim
+    tail_art = artifacts.get("gate_tail")
+    if tail_art:
+        for filename, text in sorted(tail_art.items()):
+            (out_dir / filename).write_text(text, encoding="utf-8")
+            print(f"[gate]   wrote {out_dir / filename}")
 
     baseline_dir = args.against
     if baseline_dir is None and args.update_baselines:

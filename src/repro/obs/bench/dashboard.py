@@ -127,6 +127,100 @@ def _slo_grid(payloads: dict[str, dict]) -> str:
     )
 
 
+def _fmt_us(us) -> str:
+    try:
+        us = float(us)
+    except (TypeError, ValueError):
+        return _escape(us)
+    if us >= 1_000_000:
+        return f"{us / 1_000_000:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1_000:.1f}ms"
+    return f"{int(us)}us"
+
+
+def _tail_panel(payload: dict, baseline: Optional[dict]) -> list[str]:
+    """The critical-path panel: per-scenario, per-operation decomposition
+    tables plus the differential tail-blame table, with a baseline→fresh
+    trend on each cause's growth so blame drift is visible at a glance."""
+    raw = payload.get("raw", {})
+    base_raw = (baseline or {}).get("raw", {})
+    parts = []
+    for scenario in sorted(raw):
+        entry = raw[scenario]
+        operations = entry.get("operations", {})
+        if not operations:
+            continue
+        coverage = entry.get("coverage", {})
+        ratio = coverage.get("ratio")
+        parts.append(
+            f"<h3>{_escape(scenario)} <span class='muted'>"
+            f"(seed {_escape(entry.get('seed'))}, "
+            f"mix {_escape(entry.get('mix'))}"
+            + (
+                f", coverage {float(ratio) * 100:.2f}%"
+                if ratio is not None
+                else ""
+            )
+            + ")</span></h3>"
+        )
+        base_ops = base_raw.get(scenario, {}).get("operations", {})
+        for operation in sorted(operations):
+            block = operations[operation]
+            if not block.get("decomposition"):
+                continue
+            parts.append(
+                f"<h4>{_escape(operation)} <span class='muted'>"
+                f"(n={_escape(block.get('count'))}, "
+                f"p50 {_fmt_us(block.get('p50_us'))}, "
+                f"p99 {_fmt_us(block.get('p99_us'))})</span></h4>"
+            )
+            parts.append(
+                '<table><tr><th class="name">where the time goes</th>'
+                "<th>critical-path us</th><th>share</th></tr>"
+            )
+            ranked = sorted(
+                block["decomposition"].items(),
+                key=lambda item: (-item[1]["us"], item[0]),
+            )
+            for cause, cell in ranked:
+                parts.append(
+                    "<tr>"
+                    f'<td class="name">{_escape(cause)}</td>'
+                    f"<td>{_fmt_us(cell['us'])}</td>"
+                    f"<td>{cell['share'] * 100:.1f}%</td>"
+                    "</tr>"
+                )
+            parts.append("</table>")
+            blame = [
+                row for row in block.get("blame", [])
+                if row.get("growth_us", 0) > 0
+            ]
+            if not blame:
+                continue
+            base_blame = {
+                row["cause"]: row.get("growth_us")
+                for row in base_ops.get(operation, {}).get("blame", [])
+            }
+            parts.append(
+                '<table><tr><th class="name">why the tail is slow</th>'
+                "<th>p50 mean</th><th>tail mean</th><th>growth</th>"
+                "<th>trend</th></tr>"
+            )
+            for row in blame:
+                parts.append(
+                    "<tr>"
+                    f'<td class="name">{_escape(row["cause"])}</td>'
+                    f"<td>{_fmt_us(row['p50_mean_us'])}</td>"
+                    f"<td>{_fmt_us(row['tail_mean_us'])}</td>"
+                    f"<td>+{_fmt_us(row['growth_us'])}</td>"
+                    f"<td>{_trend_svg(base_blame.get(row['cause']), row['growth_us'])}</td>"
+                    "</tr>"
+                )
+            parts.append("</table>")
+    return parts
+
+
 def render_dashboard(
     payloads: dict[str, dict],
     baselines: Optional[dict[str, dict]] = None,
@@ -169,6 +263,11 @@ def render_dashboard(
         )
         parts.extend(_metric_rows(payload, baselines.get(bench)))
         parts.append("</table>")
+    if "gate_tail" in payloads:
+        parts.append("<h2>critical-path tail attribution</h2>")
+        parts.extend(
+            _tail_panel(payloads["gate_tail"], baselines.get("gate_tail"))
+        )
     if flamegraph:
         parts.append("<h2>sim-time flamegraph</h2>")
         parts.append(f'<div class="flame">{flamegraph}</div>')

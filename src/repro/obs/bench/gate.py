@@ -417,6 +417,118 @@ def gate_overload(seed: int = 9) -> tuple[dict, dict]:
     return payload, {}
 
 
+#: what the differential blame table must name per traced scenario —
+#: the attribution claim in executable form: overload tails are queueing
+#: plus retry pauses, failover tails are quorum RTTs plus log apply
+TAIL_BLAME_EXPECTED = {
+    "overload-storm": ("queue", "retry_backoff"),
+    "failover": ("quorum_rtt", "replication_apply"),
+}
+
+
+def gate_tail() -> tuple[dict, dict]:
+    """Tail-attribution cell: the critical-path engine, pinned end to end.
+
+    Re-runs the two traced chaos scenarios the ``repro.obs.critpath``
+    CLI defaults to (:data:`~repro.obs.critpath.SCENARIO_DEFAULTS`) and
+    judges the attribution itself, not just the latency: coverage must
+    hold the >= 99% target (every microsecond of the tail explained, the
+    residual ``unattributed`` bucket below 1%), and the p50-vs-p99
+    differential blame table must keep naming the *right* causes —
+    :data:`TAIL_BLAME_EXPECTED` — so a refactor that silently unhooks a
+    wait tap or misclassifies a gap fails the gate by name. Counts and
+    the unattributed residual are exact (the engine is deterministic per
+    seed); the latency percentiles are stat. Artifacts carry the full
+    CRITPATH json + flamegraph SVG per scenario for CI upload.
+    """
+    import json
+
+    # reprolint: disable=layering -- the gate harness drives the chaos runner; it is above the obs layer, not inside it
+    from repro.faults.chaos import run_chaos
+    from repro.obs.critpath import SCENARIO_DEFAULTS, critpath_flamegraph_svg
+
+    metrics: dict[str, dict] = {}
+    artifacts: dict[str, str] = {}
+    raw: dict[str, dict] = {}
+    slos: dict[str, dict] = {}
+    for scenario, (mix, seed) in SCENARIO_DEFAULTS.items():
+        run = run_chaos(scenario, seed=seed, mix=mix, trace=True)
+        summary = (run.extra or {}).get("critpath")
+        if summary is None:  # pragma: no cover - wiring bug, fail loudly
+            raise RuntimeError(f"{scenario}: traced run produced no critpath")
+        coverage = summary["coverage"]
+        named = set()
+        for block in summary["operations"].values():
+            named.update(block["top_tail_causes"])
+        expected = TAIL_BLAME_EXPECTED[scenario]
+        tag = scenario.replace("-storm", "").replace("-", "_")
+        metrics[f"{tag}_requests"] = metric(
+            summary["requests"], "count", kind="exact"
+        )
+        metrics[f"{tag}_spans"] = metric(
+            summary["spans"], "count", kind="exact"
+        )
+        metrics[f"{tag}_unattributed_us"] = metric(
+            coverage["unattributed_us"], "us", kind="exact"
+        )
+        metrics[f"{tag}_coverage"] = metric(
+            round(coverage["ratio"], 6), "ratio", tolerance=0.01
+        )
+        metrics[f"{tag}_coverage_ok"] = metric(
+            int(bool(coverage["ok"])), "bool", kind="exact"
+        )
+        metrics[f"{tag}_blame_ok"] = metric(
+            int(all(cause in named for cause in expected)),
+            "bool",
+            kind="exact",
+        )
+        metrics[f"{tag}_retained_traces"] = metric(
+            summary.get("sampler", {}).get("retained", 0),
+            "count",
+            kind="exact",
+        )
+        for operation, block in summary["operations"].items():
+            metrics[f"{tag}_{operation}_p99_us"] = metric(
+                block["p99_us"], "us"
+            )
+        slos.update(run.slo_verdicts())
+        raw[scenario] = {
+            "seed": seed,
+            "mix": mix,
+            "top_tail_causes": {
+                operation: block["top_tail_causes"]
+                for operation, block in summary["operations"].items()
+            },
+            "coverage": coverage,
+            # slim per-operation blocks: what the dashboard's
+            # decomposition table and tail-blame trend render from
+            "operations": {
+                operation: {
+                    "count": block["count"],
+                    "p50_us": block["p50_us"],
+                    "p99_us": block["p99_us"],
+                    "decomposition": block["decomposition"],
+                    "blame": block["blame"],
+                }
+                for operation, block in summary["operations"].items()
+            },
+        }
+        artifacts[f"CRITPATH_{scenario}.json"] = (
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        artifacts[f"CRITPATH_{scenario}.svg"] = critpath_flamegraph_svg(
+            summary, title=f"critical path: {scenario} (seed {seed})"
+        )
+    payload = bench_payload(
+        name="gate_tail",
+        figure="",
+        metrics=metrics,
+        slos=slos,
+        raw=raw,
+    )
+    return payload, artifacts
+
+
 #: the fixed kernel run the speed cell times: YCSB A at 2000 QPS for 25
 #: simulated seconds executes exactly this many events at seed 42
 SPEED_RUN_EVENTS = 200_505
@@ -583,6 +695,7 @@ GATE_CELLS = {
     "gate_chaos": gate_chaos,
     "gate_failover": gate_failover,
     "gate_overload": gate_overload,
+    "gate_tail": gate_tail,
     "gate_speed": gate_speed,
 }
 

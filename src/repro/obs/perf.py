@@ -243,19 +243,43 @@ NULL_PROFILER = _NullProfiler()
 def collapse_spans(tracer) -> list[str]:
     """Fold finished spans into collapsed-stack lines (``a;b;c N``).
 
-    ``N`` is *self* time: the span's duration minus its children's,
-    clamped at zero (children scheduled past the parent's end overlap).
-    Identical paths aggregate; output is path-sorted, so two same-seed
-    runs produce byte-identical files.
+    ``N`` is *self* time: the span's duration minus the union of its
+    children's intervals *clipped to the span's own window*. Clipping
+    and merging (rather than summing raw child durations) keeps self
+    time honest in the cases that used to zero it: children scheduled
+    past the parent's end, overlapping parallel children (hedged
+    requests), and zero-duration or orphaned spans. Identical paths
+    aggregate; output is path-sorted, so two same-seed runs produce
+    byte-identical files.
     """
     finished = list(tracer.finished)
     by_id = {span.span_id: span for span in finished}
-    child_us: dict[str, int] = {}
+    child_intervals: dict[str, list[tuple[int, int]]] = {}
     for span in finished:
-        if span.parent_id is not None and span.parent_id in by_id:
-            child_us[span.parent_id] = (
-                child_us.get(span.parent_id, 0) + span.duration_us
-            )
+        if span.parent_id is None or span.parent_id not in by_id:
+            continue
+        parent = by_id[span.parent_id]
+        end_us = span.end_us if span.end_us is not None else span.start_us
+        parent_end = (
+            parent.end_us if parent.end_us is not None else parent.start_us
+        )
+        lo = max(span.start_us, parent.start_us)
+        hi = min(end_us, parent_end)
+        if hi > lo:
+            child_intervals.setdefault(span.parent_id, []).append((lo, hi))
+    child_us: dict[str, int] = {}
+    for parent_id, intervals in child_intervals.items():
+        intervals.sort()
+        covered = 0
+        merged_lo, merged_hi = intervals[0]
+        for lo, hi in intervals[1:]:
+            if lo > merged_hi:
+                covered += merged_hi - merged_lo
+                merged_lo, merged_hi = lo, hi
+            else:
+                merged_hi = max(merged_hi, hi)
+        covered += merged_hi - merged_lo
+        child_us[parent_id] = covered
     folded: dict[str, int] = {}
     for span in finished:
         path = [span.name]

@@ -1,4 +1,4 @@
-"""Sampled full-stack traced commits.
+"""Sampled full-stack traced commits and tail-biased trace retention.
 
 The serving simulation (`repro.service`) models RPC *cost and queueing*;
 the functional stack (`repro.core` + `repro.spanner` + `repro.realtime`)
@@ -8,6 +8,13 @@ for one commit, run the real seven-step write protocol under a root
 appears in the same trace — producing the full tree of paper section
 IV-D2/D4 (Frontend RPC -> Backend write -> Spanner 2PC + Real-time
 Prepare/Accept -> listener notification).
+
+:class:`TailSampler` is the retention policy for production-shaped
+tracing: uniform head sampling keeps the traces nobody needs (the p50
+is boring by definition), so the sampler deterministically retains the
+full span trees of the *slowest N* requests per (operation, database)
+time window — exactly the traces the critical-path engine's tail
+exemplars want to link to.
 """
 
 from __future__ import annotations
@@ -70,3 +77,74 @@ def trace_full_commit(
     if connection is not None and close_after:
         connection.close()
     return delivered
+
+
+class TailSampler:
+    """Deterministic tail-biased trace retention.
+
+    Keeps the trace ids of the ``keep`` slowest requests per
+    (operation, database, window) bucket, where windows are fixed
+    ``window_us`` slices of the sim timeline. Everything is pure
+    arithmetic over offered (total_us, trace_id) pairs — no randomness —
+    so two same-seed runs retain byte-identical trace sets. Ties on
+    total latency break toward the lexicographically smaller trace id.
+    """
+
+    def __init__(self, keep: int = 3, window_us: int = 1_000_000):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        if window_us < 1:
+            raise ValueError("window_us must be positive")
+        self.keep = keep
+        self.window_us = window_us
+        self.offered = 0
+        #: (operation, database_id, window) -> [(total_us, trace_id)]
+        #: sorted slowest-first, truncated to ``keep``
+        self._buckets: dict[tuple, list[tuple[int, str]]] = {}
+
+    def offer(
+        self,
+        operation: str,
+        database_id: str,
+        trace_id: str,
+        total_us: int,
+        start_us: int = 0,
+    ) -> bool:
+        """Offer one finished request; returns whether it is currently
+        retained (a later, slower request may still evict it)."""
+        self.offered += 1
+        key = (operation, database_id, start_us // self.window_us)
+        bucket = self._buckets.setdefault(key, [])
+        bucket.append((total_us, trace_id))
+        # slowest first; tie -> smaller trace id wins the slot
+        bucket.sort(key=lambda entry: (-entry[0], entry[1]))
+        del bucket[self.keep:]
+        return (total_us, trace_id) in bucket
+
+    def retained(self) -> set:
+        """The retained trace ids across every window."""
+        return {
+            trace_id
+            for bucket in self._buckets.values()
+            for _, trace_id in bucket
+        }
+
+    def retained_count(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def prune(self, tracer) -> int:
+        """Drop finished spans and waits of non-retained traces from
+        ``tracer`` in place; returns the number of spans dropped.
+
+        This is the storage story: full span trees survive only for the
+        tail, everything else keeps nothing but its aggregates.
+        """
+        kept = self.retained()
+        before = len(tracer.finished)
+        tracer.finished[:] = [
+            span for span in tracer.finished if span.trace_id in kept
+        ]
+        tracer.waits[:] = [
+            wait for wait in tracer.waits if wait.trace_id in kept
+        ]
+        return before - len(tracer.finished)

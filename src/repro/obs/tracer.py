@@ -38,6 +38,79 @@ class SpanContext:
     span_id: str
 
 
+#: the structured wait-cause taxonomy — every blocking interval a request
+#: can spend time in is annotated at its source with one of these, so the
+#: critical-path engine (``repro.obs.critpath``) can explain the tail
+WAIT_CAUSES = (
+    "queue",                # scheduler queue wait before dispatch
+    "admission_shed_retry",  # backoff after an admission-control shed
+    "lock_wait",            # transaction aborted on a lock conflict, backing off
+    "commit_wait",          # TrueTime commit-wait (modeled, priced not elapsed)
+    "quorum_rtt",           # replication quorum round trip / unreachable quorum
+    "replication_apply",    # new leader replaying the recovered log suffix
+    "retry_backoff",        # generic retry backoff between attempts
+    "hedge_wait",           # waiting on the primary before the hedge fired
+    "rpc_network",          # modeled network hops (priced, not elapsed)
+    "storage_read",         # storage-layer read/commit latency gap
+)
+
+
+class WaitRecord:
+    """One annotated blocking interval, bound to a span.
+
+    Two kinds:
+
+    ``interval``
+        the wait elapsed on the simulated timeline — ``start_us`` /
+        ``end_us`` are clock readings and the critical-path engine
+        classifies span gaps by overlap against them.
+    ``modeled``
+        the wait is *priced* by the stack but never advances the sim
+        clock (quorum ack RTT, TrueTime commit-wait, network hops) —
+        only ``duration_us`` is meaningful, and the engine adds it on
+        top of the elapsed critical path.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "cause",
+        "start_us",
+        "end_us",
+        "duration_us",
+        "kind",
+        "detail",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        cause: str,
+        start_us: Optional[int],
+        end_us: Optional[int],
+        duration_us: int,
+        kind: str,
+        detail: str = "",
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.cause = cause
+        self.start_us = start_us
+        self.end_us = end_us
+        self.duration_us = duration_us
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        window = (
+            f"[{self.start_us}, {self.end_us}]"
+            if self.kind == "interval"
+            else f"{self.duration_us}us"
+        )
+        return f"WaitRecord({self.cause}, {self.kind}, {window})"
+
+
 class Span:
     """One timed operation within a trace."""
 
@@ -96,6 +169,32 @@ class Span:
         )
         return self
 
+    def wait(
+        self,
+        cause: str,
+        start_us: Optional[int] = None,
+        end_us: Optional[int] = None,
+        duration_us: Optional[int] = None,
+        detail: str = "",
+    ) -> "Span":
+        """Annotate a blocking interval charged to this span.
+
+        Pass ``start_us``/``end_us`` (clock readings) for a wait that
+        elapsed on the simulated timeline, or ``duration_us`` alone for
+        a *modeled* wait the stack prices but never elapses (quorum ack
+        RTT, commit-wait, network hops). Pure observation: recording a
+        wait never advances the clock or consumes randomness.
+        """
+        self._tracer.record_wait(
+            self.context,
+            cause,
+            start_us=start_us,
+            end_us=end_us,
+            duration_us=duration_us,
+            detail=detail,
+        )
+        return self
+
     def end(self, end_us: Optional[int] = None) -> None:
         """Finish the span (idempotent). ``end_us`` defaults to now."""
         if self.end_us is not None:
@@ -149,6 +248,9 @@ class _NullSpan:
     def add_event(self, name: str, attributes: Optional[dict] = None) -> "_NullSpan":
         return self
 
+    def wait(self, cause, start_us=None, end_us=None, duration_us=None, detail=""):
+        return self
+
     def end(self, end_us: Optional[int] = None) -> None:
         pass
 
@@ -193,6 +295,9 @@ class Tracer:
         self.finished: list[Span] = []
         self._stack: list[Span] = []
         self.dropped = 0
+        self.waits: list[WaitRecord] = []
+        #: wait records dropped past ``max_spans`` (same cap, same policy)
+        self.waits_dropped = 0
 
     def __bool__(self) -> bool:
         return True
@@ -270,6 +375,66 @@ class Tracer:
         """
         return self._stack[-1] if self._stack else None
 
+    # -- wait attribution --------------------------------------------------
+
+    def record_wait(
+        self,
+        context: Optional[SpanContext],
+        cause: str,
+        start_us: Optional[int] = None,
+        end_us: Optional[int] = None,
+        duration_us: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        """Record a blocking interval for :class:`SpanContext` holders.
+
+        The discrete-event serving plane carries a ``SpanContext`` (not a
+        live span) through RPC envelopes, so pools/schedulers record waits
+        here; synchronous code uses :meth:`Span.wait`. ``start_us``/
+        ``end_us`` describe an *interval* wait on the sim timeline;
+        ``duration_us`` alone describes a *modeled* (priced-not-elapsed)
+        wait. Zero/negative waits are dropped — they carry no blame.
+        """
+        if context is None:
+            return
+        if start_us is not None and end_us is not None:
+            if end_us <= start_us:
+                return
+            record = WaitRecord(
+                context.trace_id,
+                context.span_id,
+                cause,
+                start_us,
+                end_us,
+                end_us - start_us,
+                "interval",
+                detail,
+            )
+        else:
+            if not duration_us or duration_us <= 0:
+                return
+            record = WaitRecord(
+                context.trace_id,
+                context.span_id,
+                cause,
+                None,
+                None,
+                duration_us,
+                "modeled",
+                detail,
+            )
+        if len(self.waits) >= self.max_spans:
+            self.waits_dropped += 1
+            return
+        self.waits.append(record)
+
+    def waits_by_trace(self) -> dict[str, list[WaitRecord]]:
+        """Wait records grouped by trace id, in record order."""
+        grouped: dict[str, list[WaitRecord]] = {}
+        for record in self.waits:
+            grouped.setdefault(record.trace_id, []).append(record)
+        return grouped
+
     # -- bookkeeping -------------------------------------------------------
 
     def _pop(self, span: Span) -> None:
@@ -293,6 +458,8 @@ class Tracer:
         """Discard every finished span (open stack spans survive)."""
         self.finished.clear()
         self.dropped = 0
+        self.waits.clear()
+        self.waits_dropped = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -322,9 +489,25 @@ class NullTracer:
     enabled = False
     finished: list = []
     dropped = 0
+    waits: list = []
+    waits_dropped = 0
 
     def __bool__(self) -> bool:
         return False
+
+    def record_wait(
+        self,
+        context,
+        cause,
+        start_us=None,
+        end_us=None,
+        duration_us=None,
+        detail="",
+    ) -> None:
+        pass
+
+    def waits_by_trace(self) -> dict:
+        return {}
 
     def start_span(self, name, parent=None, attributes=None, component=""):
         return NULL_SPAN

@@ -51,6 +51,11 @@ PARTITION_DURATION_US = (500_000, 3_000_000)
 SLOW_PENALTY_US = (20_000, 200_000)
 SLOW_DURATION_US = (1_000_000, 5_000_000)
 
+#: modeled per-entry cost of the new leader replaying log entries it had
+#: not yet applied locally at election — feeds the ``replication_apply``
+#: wait in critical-path attribution (repro.obs.critpath)
+LOG_APPLY_US_PER_ENTRY = 150
+
 
 class Replica:
     """Per-region replica state: liveness, shipping, apply watermark."""
@@ -325,11 +330,15 @@ class ReplicaGroup:
                 self.metrics.counter(
                     "replication.lease_wait", group=self.name
                 ).inc()
-            raise Unavailable(
+            error = Unavailable(
                 f"replica group {self.name!r}: leader "
                 f"{self.leader_region!r} unreachable, lease held for "
                 f"{self.lease_expiry_us - now}us more"
             )
+            # the caller's retry backoff is really spent waiting on the
+            # replication quorum — tell critical-path attribution so
+            error.wait_cause = "quorum_rtt"
+            raise error
         self.elect(now)
         self._check_quorum(now)
 
@@ -340,11 +349,13 @@ class ReplicaGroup:
                 self.metrics.counter(
                     "replication.no_quorum", group=self.name
                 ).inc()
-            raise Unavailable(
+            error = Unavailable(
                 f"replica group {self.name!r}: {reachable}/"
                 f"{len(self.replicas)} replicas reachable, quorum is "
                 f"{self.quorum_size}"
             )
+            error.wait_cause = "quorum_rtt"
+            raise error
 
     def commit(self, commit_ts: int, mutations: int) -> int:
         """Append a committed transaction and run its quorum round.
@@ -383,6 +394,13 @@ class ReplicaGroup:
         profiler = self.host.profiler if self.host is not None else None
         if profiler:
             profiler.account("replication", "quorum.ack", ack_us)
+        tracer = self.host.tracer if self.host is not None else None
+        if tracer and ack_us:
+            span = tracer.current_span()
+            if span is not None:
+                # the quorum round trip is priced, never elapsed — a
+                # modeled wait on whatever commit span is open
+                span.wait("quorum_rtt", duration_us=ack_us, detail="quorum ack")
         recorder = self._recorder()
         if recorder is not None:
             recorder.repl_commit(
@@ -410,11 +428,13 @@ class ReplicaGroup:
         now = self.clock.now_us if now_us is None else now_us
         candidates = self._reachable_regions(now)
         if len(candidates) < self.quorum_size:
-            raise Unavailable(
+            error = Unavailable(
                 f"replica group {self.name!r}: cannot elect, "
                 f"{len(candidates)}/{len(self.replicas)} reachable, "
                 f"quorum is {self.quorum_size}"
             )
+            error.wait_cause = "quorum_rtt"
+            raise error
         for region in candidates:
             self._apply_arrived(self.replicas[region], now)
         winner = min(
@@ -426,6 +446,7 @@ class ReplicaGroup:
         leader = self.replicas[winner]
         # log recovery: the new leader reconstructs the quorum-acked
         # suffix it had not yet applied locally
+        recovered = len(self.log) - leader.applied_index
         leader.inflight.clear()
         leader.next_index = len(self.log)
         leader.applied_index = len(self.log)
@@ -443,6 +464,30 @@ class ReplicaGroup:
             )
         if self.metrics is not None:
             self.metrics.counter("replication.failovers", group=self.name).inc()
+        tracer = self.host.tracer if self.host is not None else None
+        if tracer:
+            span = tracer.current_span()
+            if span is not None:
+                # election recovery rides the critical path of whichever
+                # request triggered it: the winner reconciles the
+                # quorum-acked suffix with a quorum of peers (one round
+                # trip) and replays entries it lacked. Modeled — priced
+                # but never elapsed on the sim clock, like quorum acks.
+                rtts = sorted(
+                    2 * self._one_way_us(winner, region)
+                    for region in candidates
+                    if region != winner
+                )
+                needed = self.quorum_size - 1
+                reconcile_us = rtts[needed - 1] if len(rtts) >= needed else 0
+                span.wait(
+                    "replication_apply",
+                    duration_us=reconcile_us
+                    + recovered * LOG_APPLY_US_PER_ENTRY,
+                    detail=(
+                        f"term {self.term} recovered {recovered} entries"
+                    ),
+                )
         return winner
 
     # -- staleness routing --------------------------------------------------------

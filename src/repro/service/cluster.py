@@ -208,6 +208,9 @@ class ServingCluster:
             slo=self.slo,
         )
         scheduler.clock = self.kernel.clock
+        if self._tracer_on:
+            # queue waits become structured wait causes on each trace
+            scheduler.tracer = self.tracer
         return scheduler
 
     # -- long-lived connections --------------------------------------------------
@@ -246,6 +249,7 @@ class ServingCluster:
         client_region: Optional[str] = None,
         deadline_us: Optional[int] = None,
         staleness_bound_us: Optional[int] = None,
+        trace_parent=None,
     ) -> bool:
         """Inject one request; ``on_complete`` receives end-to-end latency.
 
@@ -261,7 +265,10 @@ class ServingCluster:
         GET/QUERY as a bounded-staleness read: the router picks the
         nearest sufficiently caught-up replica (leader fallback) and the
         request pays that replica's hop plus a local read, instead of the
-        home region's leader round trip.
+        home region's leader round trip. ``trace_parent`` (a Span or
+        SpanContext) nests this request's ``cluster.rpc`` span under a
+        caller-owned trace — e.g. one logical client operation that
+        retries across several submits — instead of starting a new one.
         """
         clock = self.kernel.clock
         arrival = clock._now_us
@@ -274,6 +281,7 @@ class ServingCluster:
         if self._tracer_on:
             root = self.tracer.start_span(
                 "cluster.rpc",
+                parent=trace_parent,
                 component="cluster",
                 attributes={"database_id": database_id, "operation": operation},
             )
@@ -418,6 +426,11 @@ class ServingCluster:
                         "storage_us": store_us,
                     }
                 )
+                if net_us:
+                    # network hops are priced arithmetically, never elapsed
+                    # on the kernel — a *modeled* wait, added on top of the
+                    # elapsed critical path by repro.obs.critpath
+                    root.wait("rpc_network", duration_us=net_us)
                 root.end()
             on_complete(total_us)
 
@@ -442,6 +455,7 @@ class ServingCluster:
         )
         if hedging:
             hedge_net = [0]
+            hedge_sched = [0]
 
             def hedge_done(rpc: Rpc, latency_us: int) -> None:
                 if settled[0]:
@@ -487,6 +501,12 @@ class ServingCluster:
                 if not overload.hedges.try_spend():
                     return
                 overload.account_hedge("fired", database_id)
+                if self._tracer_on:
+                    # from hedge arming to firing, the request was waiting
+                    # on the primary — blame the hedge delay explicitly
+                    overload.record_hedge_wait(
+                        self.tracer, trace_ctx, hedge_sched[0], now
+                    )
                 hedge_net[0] = 2 * self.router.pair_latency_us(reader, region)
                 hedge_rpc = Rpc(
                     database_id=database_id,
@@ -529,6 +549,7 @@ class ServingCluster:
             if hedging and self.router.has_replicas(database_id):
                 # the backup read fires if the primary has not answered
                 # within its p99 budget; first terminal outcome wins
+                hedge_sched[0] = clock._now_us
                 self.kernel.after(
                     overload.hedge_after_us(), fire_hedge, label="hedge-read"
                 )

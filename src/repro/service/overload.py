@@ -611,6 +611,18 @@ class OverloadState:
                 "service", f"hedge.{outcome}", 0, database_id
             )
 
+    def record_hedge_wait(
+        self, tracer, trace_ctx, armed_us: int, fired_us: int
+    ) -> None:
+        """Annotate the time a request spent waiting on its primary
+        before the backup read fired — the ``hedge_wait`` component of
+        critical-path attribution (``repro.obs.critpath``). Called by the
+        cluster at hedge-fire time; pure observation, no sim effects.
+        """
+        tracer.record_wait(
+            trace_ctx, "hedge_wait", start_us=armed_us, end_us=fired_us
+        )
+
     def retry_after_us(self) -> int:
         """The backoff hint attached to shed responses."""
         return self.limiter.retry_after_us()

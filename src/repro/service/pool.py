@@ -240,6 +240,9 @@ class TaskPool:
                         "kind": self._kind_labels[rpc.kind],
                         "queue_wait_us": now - rpc.arrival_us,
                         "task": task.task_id,
+                        # critical-path self-classification: uncovered time
+                        # inside an exec span is CPU service, not a gap
+                        "self_cause": "service",
                     },
                 ).end(finish)
             event = kernel.at(
@@ -276,6 +279,18 @@ class TaskPool:
                 # known at schedule time: precompute it instead of
                 # re-reading the clock inside the deferred callback
                 fire_us = self.kernel.clock._now_us + storage_us
+                if self._tracer_on and rpc.trace_ctx is not None:
+                    # the gap until the deferred completion fires is the
+                    # storage layer's latency — for commits that is the
+                    # modeled Spanner quorum round trip
+                    self.tracer.record_wait(
+                        rpc.trace_ctx,
+                        "quorum_rtt"
+                        if rpc.kind is RpcKind.COMMIT
+                        else "storage_read",
+                        start_us=fire_us - storage_us,
+                        end_us=fire_us,
+                    )
                 on_done = rpc.on_complete
                 if on_done is not None:
                     latency_us = fire_us - rpc.arrival_us

@@ -46,6 +46,7 @@ class FairShareScheduler:
         "metrics",
         "profiler",
         "slo",
+        "tracer",
         "clock",
         "_queues",
         "_queue_view",
@@ -64,6 +65,9 @@ class FairShareScheduler:
         #: optional repro.obs.slo.SloEngine fed per-tenant CPU shares;
         #: needs a clock to timestamp them
         self.slo = slo
+        #: optional repro.obs.tracer.Tracer — queue waits are recorded at
+        #: dispatch as structured wait causes for critical-path attribution
+        self.tracer = None
         self.clock = None
         self._queues: dict[str, _DatabaseQueue] = {}
         # a dict view is live, so build it once: pick() iterates it per
@@ -151,6 +155,7 @@ class FairShareScheduler:
             self.metrics is not None
             or self.profiler is not None
             or self.slo is not None
+            or self.tracer is not None
         ):
             self._record_dispatch(rpc)
         return rpc
@@ -177,6 +182,16 @@ class FairShareScheduler:
                 self.clock.now_us,
                 rpc.database_id,
                 rpc.cpu_cost_us,
+            )
+        if self.tracer is not None and self.clock is not None:
+            # the time from RPC arrival to this dispatch was queue wait —
+            # annotate it on the request's trace so the critical-path
+            # engine can blame the scheduler rather than leave a gap
+            self.tracer.record_wait(
+                rpc.trace_ctx,
+                "queue",
+                start_us=rpc.arrival_us,
+                end_us=self.clock.now_us,
             )
 
     def queued(self, database_id: Optional[str] = None) -> int:

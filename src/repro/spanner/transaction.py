@@ -52,6 +52,18 @@ class CommitResult:
         return len(self.participant_tablets)
 
 
+def _lock_abort(exc: LockConflict) -> Aborted:
+    """Convert a lock conflict into the Aborted the caller retries on.
+
+    The error carries ``wait_cause="lock_wait"`` so critical-path
+    attribution can blame the retry backoff on lock contention rather
+    than generic ``retry_backoff`` (see ``repro.obs.tracer.WAIT_CAUSES``).
+    """
+    error = Aborted(str(exc))
+    error.wait_cause = "lock_wait"
+    return error
+
+
 class _DefinitiveCommitFailure(Exception):
     """Raised by fault injectors to force a known-failed commit."""
 
@@ -170,7 +182,7 @@ class ReadWriteTransaction:
             self._db.locks.acquire(self.txn_id, ckey, mode)
         except LockConflict as exc:
             self._abort()
-            raise Aborted(str(exc)) from exc
+            raise _lock_abort(exc) from exc
         if plan is not None:
             if plan.decide("spanner.tablet_unavailable") is not None:
                 self._abort()
@@ -190,6 +202,18 @@ class ReadWriteTransaction:
                     self._db.profiler.account(
                         "spanner", "read.tablet_slow", delay_us
                     )
+                tracer = self._db.tracer
+                if tracer:
+                    span = tracer.current_span()
+                    if span is not None:
+                        # the stall elapsed on the clock inside whatever
+                        # span is open — an interval storage wait
+                        span.wait(
+                            "storage_read",
+                            start_us=self._db.clock.now_us - delay_us,
+                            end_us=self._db.clock.now_us,
+                            detail="tablet_slow",
+                        )
         tablet = self._db.tablet_for(ckey)
         tablet.stats.record_read(self._db.clock.now_us)
         ts, value = tablet.read_latest(ckey)
@@ -235,7 +259,7 @@ class ReadWriteTransaction:
             self._db.locks.acquire_range(self.txn_id, range_start, range_end)
         except LockConflict as exc:
             self._abort()
-            raise Aborted(str(exc)) from exc
+            raise _lock_abort(exc) from exc
         if self._db.sanitizer is not None:
             self._db.sanitizer.on_transactional_scan(
                 self.txn_id, range_start, range_end
@@ -253,7 +277,7 @@ class ReadWriteTransaction:
                 self._db.locks.acquire(self.txn_id, ckey, LockMode.SHARED)
             except LockConflict as exc:
                 self._abort()
-                raise Aborted(str(exc)) from exc
+                raise _lock_abort(exc) from exc
             yield row_key, value
             count += 1
             if limit is not None and count >= limit:
@@ -385,7 +409,7 @@ class ReadWriteTransaction:
                         )
                     except LockConflict as exc:
                         self._abort()
-                        raise Aborted(str(exc)) from exc
+                        raise _lock_abort(exc) from exc
 
             self._inject_commit_faults(min_commit_ts, max_commit_ts)
 
@@ -403,6 +427,15 @@ class ReadWriteTransaction:
                 )
                 span.set_attribute("participants", len(participants))
                 span.set_attribute("commit_ts", commit_ts)
+                if tracer:
+                    # TrueTime commit-wait: the committer must sit out the
+                    # clock uncertainty before acking. The functional stack
+                    # prices it without elapsing it — a *modeled* wait for
+                    # critical-path attribution.
+                    span.wait(
+                        "commit_wait",
+                        duration_us=self._db.truetime.commit_wait_us(commit_ts),
+                    )
                 result = CommitResult(commit_ts, participants, len(self._writes))
                 self._db.locks.release_all(self.txn_id)
                 self._state = "committed"

@@ -12,3 +12,8 @@ class TaskPool:
         self.busy_us_total += service_us
         if self.profiler:
             self.profiler.account("service", "pool.dispatch", service_us)
+
+    def _make_completion(self, span, queued_from):
+        # keeps the structured wait tap the critical-path engine needs
+        if span is not None:
+            span.wait("storage_read", start_us=queued_from)

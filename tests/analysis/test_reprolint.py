@@ -112,6 +112,18 @@ def test_perf_attribution_catches_untagged_and_missing(bad_diagnostics):
     assert "was not found" in messages
 
 
+def test_wait_tap_catches_untapped_and_missing(bad_diagnostics):
+    found = by_check(bad_diagnostics, "wait-tap")
+    messages = "\n".join(d.message for d in found)
+    # read_versioned / commit exist but never annotate a wait cause
+    assert "ReadWriteTransaction.read_versioned" in messages
+    assert "ReadWriteTransaction.commit" in messages
+    assert "unattributed" in messages
+    # _lock_abort disappeared entirely — the missing-path arm
+    assert "_lock_abort" in messages
+    assert "was not found" in messages
+
+
 def test_trace_span_context(bad_diagnostics):
     found = by_check(bad_diagnostics, "trace-span-context")
     assert {d.path for d in found} == {"core/bad_trace.py"}

@@ -167,3 +167,32 @@ def test_gate_failover_cell_byte_stable_and_clean():
     assert slos["replication.lag"]["ok"]
     assert slos["replication.convergence"]["ok"]
     assert compare_bench(payload, payload) == []
+
+
+def test_gate_tail_cell_pins_blame_and_ships_artifacts():
+    from repro.obs.bench.gate import GATE_CELLS, gate_tail
+
+    assert GATE_CELLS["gate_tail"] is gate_tail
+    payload, artifacts = gate_tail()
+    metrics = payload["metrics"]
+    for scenario in ("overload", "failover"):
+        assert metrics[f"{scenario}_coverage_ok"]["value"] == 1
+        assert metrics[f"{scenario}_blame_ok"]["value"] == 1
+        assert metrics[f"{scenario}_unattributed_us"]["value"] == 0
+        assert metrics[f"{scenario}_requests"]["value"] > 0
+    assert compare_bench(payload, payload) == []
+    # artifacts are keyed by output filename, one json + svg per scenario
+    assert sorted(artifacts) == [
+        "CRITPATH_failover.json",
+        "CRITPATH_failover.svg",
+        "CRITPATH_overload-storm.json",
+        "CRITPATH_overload-storm.svg",
+    ]
+    summary = json.loads(artifacts["CRITPATH_failover.json"])
+    assert summary["schema"] == "repro.critpath/1"
+    assert artifacts["CRITPATH_failover.svg"].startswith("<svg ")
+    # the dashboard renders the decomposition + blame panel from raw
+    html = render_dashboard({"gate_tail": payload})
+    assert "critical-path tail attribution" in html
+    assert "why the tail is slow" in html
+    assert "retry_backoff" in html

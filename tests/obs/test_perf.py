@@ -157,6 +157,61 @@ def test_collapse_spans_byte_identical_across_builds():
     )
 
 
+def test_collapse_spans_clips_child_past_parent_end():
+    # regression: a child scheduled past its parent's end used to eat the
+    # raw child duration out of the parent, zeroing (or going negative
+    # before the clamp) the parent's real self time
+    clock = SimClock()
+    tracer = Tracer(clock, SimRandom(2).fork("tracer"))
+    parent = tracer.start_span("frontend.rpc")
+    clock.advance(50)
+    child = tracer.start_span("backend.flush", parent=parent.context)
+    child.end(end_us=200)  # keeps running 100us past the parent
+    parent.end(end_us=100)
+    assert collapse_spans(tracer) == [
+        "frontend.rpc 50",  # only the clipped [50, 100) is subtracted
+        "frontend.rpc;backend.flush 150",
+    ]
+
+
+def test_collapse_spans_merges_overlapping_parallel_children():
+    # regression: two hedged children [10,60) and [40,90) cover 80us of
+    # the parent, not 100 — summing raw durations double-counted the
+    # overlap and reported parent self time as 0 instead of 20 (the
+    # children keep their full 50us self each: parallel work may exceed
+    # the parent's wall time, the parent's own time must not vanish)
+    clock = SimClock()
+    tracer = Tracer(clock, SimRandom(3).fork("tracer"))
+    parent = tracer.start_span("cluster.rpc")
+    clock.advance(10)
+    primary = tracer.start_span("tablet.read", parent=parent.context)
+    clock.advance(30)
+    hedge = tracer.start_span("tablet.read", parent=parent.context)
+    clock.advance(20)
+    primary.end()  # [10, 60)
+    clock.advance(30)
+    hedge.end()  # [40, 90)
+    clock.advance(10)
+    parent.end()  # [0, 100)
+    assert collapse_spans(tracer) == [
+        "cluster.rpc 20",
+        "cluster.rpc;tablet.read 100",
+    ]
+
+
+def test_collapse_spans_ignores_zero_duration_children():
+    clock = SimClock()
+    tracer = Tracer(clock, SimRandom(4).fork("tracer"))
+    with tracer.span("backend.get") as parent:
+        clock.advance(5)
+        tracer.start_span("cache.probe", parent=parent.context).end()
+        clock.advance(5)
+    assert collapse_spans(tracer) == [
+        "backend.get 10",
+        "backend.get;cache.probe 0",
+    ]
+
+
 def test_flamegraph_svg_deterministic_and_well_formed():
     folded = collapse_spans(_span_tree())
     first = flamegraph_svg(folded, title="commit path")
